@@ -1,0 +1,66 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. eager-limit sweep        — where should eager/rendezvous switch?
+//   2. context-switch cost      — how does the Base/Enhanced gap scale?
+//   3. hysteresis window        — native interrupt latency vs window size
+//   4. packet loss              — latency degradation under drops
+//   5. route count              — 1 vs 4 switch routes under streaming load
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sp;
+  using mpi::Backend;
+
+  std::printf("Ablation 1: eager limit vs one-way latency (us), MPI-LAPI Enhanced\n");
+  std::printf("%-12s %12s %12s %12s\n", "limit(B)", "1KiB msg", "4KiB msg", "16KiB msg");
+  for (std::size_t limit : {0ul, 256ul, 1024ul, 4096ul, 16384ul, 65536ul}) {
+    sim::MachineConfig cfg;
+    cfg.eager_limit = limit;
+    bench::print_row(std::to_string(limit),
+                     {bench::mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 1024, 16),
+                      bench::mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 4096, 16),
+                      bench::mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 16384, 16)});
+  }
+
+  std::printf("\nAblation 2: completion-handler thread switch cost vs Base/Enhanced gap\n");
+  std::printf("%-12s %12s %12s %12s\n", "switch(us)", "Base(us)", "Enhanced(us)", "gap");
+  for (sim::TimeNs sw : {0L, 5'000L, 13'000L, 26'000L, 52'000L, 104'000L}) {
+    sim::MachineConfig cfg;
+    cfg.completion_thread_switch_ns = sw;
+    const double base = bench::mpi_pingpong_us(cfg, Backend::kLapiBase, 256, 16);
+    const double enh = bench::mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 256, 16);
+    bench::print_row(std::to_string(sw / 1000), {base, enh, base - enh});
+  }
+
+  std::printf("\nAblation 3: native interrupt hysteresis window vs latency (1 KiB)\n");
+  std::printf("%-12s %12s\n", "window(us)", "latency(us)");
+  for (sim::TimeNs wnd : {0L, 15'000L, 30'000L, 60'000L, 120'000L}) {
+    sim::MachineConfig cfg;
+    cfg.interrupt_hysteresis_ns = wnd;
+    bench::print_row(std::to_string(wnd / 1000),
+                     {bench::mpi_interrupt_pingpong_us(cfg, Backend::kNativePipes, 1024, 8)});
+  }
+
+  std::printf("\nAblation 4: packet drop rate vs latency (us), 4 KiB messages\n");
+  std::printf("%-12s %12s %12s\n", "drop", "Native", "MPI-LAPI");
+  for (double p : {0.0, 0.01, 0.05, 0.10}) {
+    sim::MachineConfig cfg;
+    cfg.packet_drop_rate = p;
+    cfg.retransmit_timeout_ns = 400'000;
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f", p);
+    bench::print_row(label, {bench::mpi_pingpong_us(cfg, Backend::kNativePipes, 4096, 12),
+                             bench::mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 4096, 12)});
+  }
+
+  std::printf("\nAblation 5: switch routes vs streaming bandwidth (MB/s), 64 KiB\n");
+  std::printf("%-12s %12s\n", "routes", "bandwidth");
+  for (int routes : {1, 2, 4, 8}) {
+    sim::MachineConfig cfg;
+    cfg.num_routes = routes;
+    bench::print_row(std::to_string(routes),
+                     {bench::mpi_bandwidth_mbs(cfg, Backend::kLapiEnhanced, 65536, 24)});
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Beyond-paper bench: collective operation scaling with machine size, native
+// MPI vs MPI-LAPI Enhanced. The paper's MPI layer decomposes collectives into
+// point-to-point calls, so per-message savings compound with log(n) (trees)
+// or n (exchanges) message counts.
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace sp;
+
+double coll_us(mpi::Backend b, int nodes, const char* which, std::size_t count) {
+  sim::MachineConfig cfg;
+  mpi::Machine m(cfg, nodes, b);
+  const int iters = 10;
+  double out = 0.0;
+  std::string sel(which);
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<double> buf(count, w.rank());
+    std::vector<double> res(count * static_cast<std::size_t>(w.size()), 0.0);
+    mpi.barrier(w);
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < iters; ++i) {
+      if (sel == "barrier") {
+        mpi.barrier(w);
+      } else if (sel == "bcast") {
+        mpi.bcast(buf.data(), count, mpi::Datatype::kDouble, 0, w);
+      } else if (sel == "allreduce") {
+        mpi.allreduce(buf.data(), res.data(), count, mpi::Datatype::kDouble, mpi::Op::kSum, w);
+      } else if (sel == "alltoall") {
+        std::vector<double> src(count * static_cast<std::size_t>(w.size()), w.rank());
+        mpi.alltoall(src.data(), count, res.data(), mpi::Datatype::kDouble, w);
+      }
+    }
+    if (w.rank() == 0) out = (mpi.wtime() - t0) * 1e6 / iters;
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sp;
+  const std::size_t count = 256;  // 2 KiB payloads
+  std::printf("Collective scaling (us per op, %zu doubles), native vs MPI-LAPI\n", count);
+  for (const char* which : {"barrier", "bcast", "allreduce", "alltoall"}) {
+    std::printf("\n%s:\n%-8s %12s %12s %10s\n", which, "nodes", "Native", "MPI-LAPI", "gain");
+    for (int nodes : {2, 4, 8, 16}) {
+      const double n = coll_us(mpi::Backend::kNativePipes, nodes, which, count);
+      const double l = coll_us(mpi::Backend::kLapiEnhanced, nodes, which, count);
+      std::printf("%-8d %12.1f %12.1f %9.2fx\n", nodes, n, l, n / l);
+    }
+  }
+  return 0;
+}

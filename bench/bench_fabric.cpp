@@ -1,0 +1,63 @@
+// Fabric-level bench: hotspot (all->one) vs uniform (all-to-all) traffic on
+// the multistage switch, and the effect of multipathing under contention.
+// This exercises the substrate the paper's machine runs on: per-link
+// serialization, spine contention and route spraying.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace sp;
+
+/// Aggregate delivered bandwidth (MB/s) for a traffic pattern on N nodes.
+double pattern_mbs(int nodes, bool hotspot, int routes, std::size_t bytes_per_node) {
+  sim::MachineConfig cfg;
+  cfg.num_routes = routes;
+  mpi::Machine m(cfg, nodes, mpi::Backend::kLapiEnhanced);
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    const int me = w.rank();
+    std::vector<std::byte> buf(bytes_per_node);
+    if (hotspot) {
+      if (me == 0) {
+        for (int s = 1; s < w.size(); ++s) {
+          mpi.recv(buf.data(), bytes_per_node, mpi::Datatype::kByte, s, 0, w);
+        }
+      } else {
+        mpi.send(buf.data(), bytes_per_node, mpi::Datatype::kByte, 0, 0, w);
+      }
+    } else {
+      // Uniform shift pattern: everyone sends to (me+1), receives from (me-1).
+      mpi::Request r = mpi.irecv(buf.data(), bytes_per_node, mpi::Datatype::kByte,
+                                 (me - 1 + w.size()) % w.size(), 0, w);
+      mpi.send(buf.data(), bytes_per_node, mpi::Datatype::kByte, (me + 1) % w.size(), 0, w);
+      mpi.wait(r);
+    }
+  });
+  const double total_bytes = static_cast<double>(bytes_per_node) * (m.num_tasks() - (hotspot ? 1 : 0));
+  return (total_bytes / 1e6) / sim::to_sec(m.elapsed());
+}
+
+}  // namespace
+
+int main() {
+  using namespace sp;
+  const std::size_t per_node = 256 * 1024;
+
+  std::printf("Fabric traffic patterns: aggregate delivered bandwidth (MB/s)\n");
+  std::printf("%-8s %14s %14s\n", "nodes", "hotspot->n0", "uniform-shift");
+  for (int nodes : {4, 8, 16, 32}) {
+    const double hs = pattern_mbs(nodes, true, 4, per_node);
+    const double un = pattern_mbs(nodes, false, 4, per_node);
+    std::printf("%-8d %14.1f %14.1f\n", nodes, hs, un);
+  }
+
+  std::printf("\nMultipathing under uniform load (16 nodes): routes vs bandwidth\n");
+  std::printf("%-8s %14s\n", "routes", "MB/s");
+  for (int routes : {1, 2, 4, 8}) {
+    std::printf("%-8d %14.1f\n", routes, pattern_mbs(16, false, routes, per_node));
+  }
+  return 0;
+}

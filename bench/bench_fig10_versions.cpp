@@ -1,0 +1,30 @@
+// Figure 10: message transfer time of raw LAPI vs the three MPI-LAPI
+// versions (Base, Counters, Enhanced), ping-pong between two nodes,
+// message sizes 1 B .. 1 MiB (§5).
+//
+// Expected shape (paper): Base is far above raw LAPI for all sizes (the
+// completion-handler thread context switch); Counters recovers most of the
+// gap for short (eager) messages only; Enhanced comes very close to raw
+// LAPI across the range, the residue being MPI matching + locking.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sp;
+  using bench::print_row;
+  sim::MachineConfig cfg;
+
+  std::printf("Figure 10: raw LAPI vs MPI-LAPI versions, one-way time (us)\n");
+  std::printf("%-24s %10s %10s %10s %10s\n", "size(B)", "RAW-LAPI", "Base", "Counters",
+              "Enhanced");
+  for (std::size_t s : bench::size_sweep(1 << 20)) {
+    const int iters = s >= (1 << 16) ? 8 : 24;
+    const double raw = bench::raw_lapi_pingpong_us(cfg, s, iters);
+    const double base = bench::mpi_pingpong_us(cfg, mpi::Backend::kLapiBase, s, iters);
+    const double cntr = bench::mpi_pingpong_us(cfg, mpi::Backend::kLapiCounters, s, iters);
+    const double enh = bench::mpi_pingpong_us(cfg, mpi::Backend::kLapiEnhanced, s, iters);
+    print_row(std::to_string(s), {raw, base, cntr, enh});
+  }
+  return 0;
+}

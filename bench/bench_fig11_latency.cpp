@@ -1,0 +1,23 @@
+// Figure 11: polling-mode latency, native MPI vs MPI-LAPI Enhanced (§6.1).
+//
+// Expected shape (paper): native MPI slightly faster for very short messages
+// (LAPI's exposed-interface parameter checking and larger headers); MPI-LAPI
+// wins past a few hundred bytes because it avoids the pipe-buffer copies.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sp;
+  sim::MachineConfig cfg;
+
+  std::printf("Figure 11: one-way latency (us), polling mode\n");
+  std::printf("%-24s %10s %10s %10s\n", "size(B)", "Native", "MPI-LAPI", "ratio");
+  for (std::size_t s : bench::size_sweep(1 << 16)) {
+    const int iters = 24;
+    const double native = bench::mpi_pingpong_us(cfg, mpi::Backend::kNativePipes, s, iters);
+    const double enh = bench::mpi_pingpong_us(cfg, mpi::Backend::kLapiEnhanced, s, iters);
+    bench::print_row(std::to_string(s), {native, enh, native / enh});
+  }
+  return 0;
+}

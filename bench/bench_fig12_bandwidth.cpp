@@ -1,0 +1,26 @@
+// Figure 12: obtainable bandwidth, native MPI vs MPI-LAPI Enhanced (§6.1).
+//
+// Method: a stream of back-to-back MPI_Isend from node 0 to node 1; the clock
+// stops when the last message's zero-byte acknowledgement returns.
+//
+// Expected shape (paper): MPI-LAPI's bandwidth is higher than native over a
+// wide range of sizes (the native stack's receive path pays an extra copy per
+// byte through the pipe buffers).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sp;
+  sim::MachineConfig cfg;
+
+  std::printf("Figure 12: streaming bandwidth (MB/s)\n");
+  std::printf("%-24s %10s %10s %10s\n", "size(B)", "Native", "MPI-LAPI", "gain");
+  for (std::size_t s : bench::size_sweep(1 << 20)) {
+    const int iters = s >= (1 << 18) ? 16 : 40;
+    const double native = bench::mpi_bandwidth_mbs(cfg, mpi::Backend::kNativePipes, s, iters);
+    const double enh = bench::mpi_bandwidth_mbs(cfg, mpi::Backend::kLapiEnhanced, s, iters);
+    bench::print_row(std::to_string(s), {native, enh, enh / native});
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks of the simulator's own hot paths: event
+// queue throughput, fabric routing, whole-machine construction, and simulated
+// message rates. These measure REAL (host) time — they keep the simulator
+// fast enough that the paper-scale experiments run in seconds.
+#include <benchmark/benchmark.h>
+
+#include "mpi/machine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace sp;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Pcg32 rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<sim::TimeNs>(rng.next()), [] {});
+    }
+    while (!q.empty()) {
+      auto [t, a] = q.pop();
+      benchmark::DoNotOptimize(t);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int hops = 0;
+    std::function<void()> hop = [&] {
+      if (++hops < 10000) sim.after(10, hop);
+    };
+    sim.after(0, hop);
+    sim.run();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_FabricInjectDeliver(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::SwitchFabric fab(sim, cfg, 8);
+    for (int i = 0; i < 8; ++i) fab.attach(i, [](net::Packet&&) {});
+    sim.at(0, [&] {
+      for (int i = 0; i < 1000; ++i) {
+        net::Packet p;
+        p.src = i % 8;
+        p.dst = (i + 3) % 8;
+        p.frame.assign(1024, std::byte{1});
+        fab.inject(std::move(p));
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FabricInjectDeliver);
+
+void BM_MachineConstruction(benchmark::State& state) {
+  sim::MachineConfig cfg;
+  for (auto _ : state) {
+    mpi::Machine m(cfg, static_cast<int>(state.range(0)), mpi::Backend::kLapiEnhanced);
+    benchmark::DoNotOptimize(&m);
+  }
+}
+BENCHMARK(BM_MachineConstruction)->Arg(4)->Arg(16);
+
+void BM_SimulatedPingPong(benchmark::State& state) {
+  // Host-time cost of simulating one full 2-node ping-pong machine run.
+  sim::MachineConfig cfg;
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    mpi::Machine m(cfg, 2, mpi::Backend::kLapiEnhanced);
+    m.run([&](mpi::Mpi& mpi) {
+      auto& w = mpi.world();
+      std::vector<std::byte> buf(bytes);
+      for (int i = 0; i < 10; ++i) {
+        if (w.rank() == 0) {
+          mpi.send(buf.data(), bytes, mpi::Datatype::kByte, 1, 0, w);
+          mpi.recv(buf.data(), bytes, mpi::Datatype::kByte, 1, 0, w);
+        } else {
+          mpi.recv(buf.data(), bytes, mpi::Datatype::kByte, 0, 0, w);
+          mpi.send(buf.data(), bytes, mpi::Datatype::kByte, 0, 0, w);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_SimulatedPingPong)->Arg(64)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

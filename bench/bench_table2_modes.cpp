@@ -1,0 +1,71 @@
+// Table 2: translation of MPI communication modes to internal protocols,
+// demonstrated behaviourally — each mode/size combination is sent on a live
+// machine and the channel statistics show which protocol actually ran.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace sp;
+
+const char* run_mode(mpi::Backend backend, char mode, std::size_t bytes) {
+  sim::MachineConfig cfg;
+  mpi::Machine m(cfg, 2, backend);
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<char> buf(bytes > 0 ? bytes : 1);
+    if (w.rank() == 0) {
+      switch (mode) {
+        case 'S': mpi.send(buf.data(), bytes, mpi::Datatype::kByte, 1, 0, w); break;
+        case 'R':
+          mpi.compute(2 * sim::kMs);
+          mpi.rsend(buf.data(), bytes, mpi::Datatype::kByte, 1, 0, w);
+          break;
+        case 'Y': mpi.ssend(buf.data(), bytes, mpi::Datatype::kByte, 1, 0, w); break;
+        case 'B': {
+          std::vector<char> pool(2 * bytes + 4096);
+          mpi.buffer_attach(pool.data(), pool.size());
+          mpi.bsend(buf.data(), bytes, mpi::Datatype::kByte, 1, 0, w);
+          mpi.buffer_detach();
+          break;
+        }
+        default: break;
+      }
+    } else {
+      if (mode == 'R') {
+        mpi::Request r = mpi.irecv(buf.data(), bytes, mpi::Datatype::kByte, 0, 0, w);
+        mpi.wait(r);
+      } else {
+        mpi.recv(buf.data(), bytes, mpi::Datatype::kByte, 0, 0, w);
+      }
+    }
+  });
+  const bool rdv = m.channel(0).rendezvous_sends() > 0;
+  return rdv ? "rendezvous" : "eager";
+}
+
+}  // namespace
+
+int main() {
+  using namespace sp;
+  sim::MachineConfig cfg;
+  const std::size_t small = 1024;             // below the 4 KiB eager limit
+  const std::size_t large = 64 * 1024;        // above it
+
+  std::printf("Table 2: MPI communication mode -> internal protocol (observed)\n");
+  std::printf("%-14s %-22s %-22s\n", "mode", "size<=EagerLimit", "size>EagerLimit");
+  struct Row {
+    const char* name;
+    char code;
+  } rows[] = {{"Standard", 'S'}, {"Ready", 'R'}, {"Synchronous", 'Y'}, {"Buffered", 'B'}};
+  for (const auto& r : rows) {
+    const char* lo = run_mode(mpi::Backend::kLapiEnhanced, r.code, small);
+    const char* hi = run_mode(mpi::Backend::kLapiEnhanced, r.code, large);
+    std::printf("%-14s %-22s %-22s\n", r.name, lo, hi);
+  }
+  std::printf("\n(paper: Standard/Buffered switch at the eager limit; Ready always eager;\n"
+              " Synchronous always rendezvous)\n");
+  return 0;
+}

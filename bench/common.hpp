@@ -1,0 +1,42 @@
+// Shared measurement harness for the paper-reproduction benches.
+//
+// Measurements follow the paper's §5.1/§6.1 methodology:
+//  - latency: messages bounced between two nodes (MPI_Send/MPI_Recv, or
+//    LAPI_Put + LAPI_Waitcntr for the raw-LAPI curve); time per one-way
+//    transfer = round-trip / 2, averaged over many iterations.
+//  - bandwidth: a back-to-back stream of MPI_Isend, stopping the clock when
+//    the last message is acknowledged by a zero-byte reply.
+//  - interrupt-mode latency: the receiver pre-posts MPI_Irecv and spins on
+//    completion *outside* the MPI library, so delivery needs an interrupt.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::bench {
+
+/// One-way MPI latency in microseconds (polling mode).
+double mpi_pingpong_us(const sim::MachineConfig& cfg, mpi::Backend backend, std::size_t bytes,
+                       int iters);
+
+/// One-way MPI latency in microseconds, interrupt-mode delivery (Fig. 13).
+double mpi_interrupt_pingpong_us(const sim::MachineConfig& cfg, mpi::Backend backend,
+                                 std::size_t bytes, int iters);
+
+/// Streaming bandwidth in MB/s using MPI_Isend/MPI_Irecv (Fig. 12).
+double mpi_bandwidth_mbs(const sim::MachineConfig& cfg, mpi::Backend backend, std::size_t bytes,
+                         int iters);
+
+/// One-way raw-LAPI latency in microseconds (LAPI_Put + LAPI_Waitcntr).
+double raw_lapi_pingpong_us(const sim::MachineConfig& cfg, std::size_t bytes, int iters);
+
+/// Message-size sweep used by the figures (1 B .. `max`).
+[[nodiscard]] std::vector<std::size_t> size_sweep(std::size_t max);
+
+/// Print a aligned table row of doubles.
+void print_row(const std::string& label, const std::vector<double>& values);
+
+}  // namespace sp::bench

@@ -1,0 +1,92 @@
+// Raw LAPI programming (Fig. 2 of the paper): header handlers, completion
+// handlers, counters, one-sided Put/Get and fetch-and-add — the model the
+// MPI-LAPI implementation is built on.
+//
+//   $ ./active_messages
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+int main() {
+  using namespace sp;
+  using lapi::Cntr;
+  using lapi::Lapi;
+
+  sim::MachineConfig cfg;
+  mpi::Machine machine(cfg, 2, mpi::Backend::kLapiEnhanced);
+
+  machine.run_lapi([](Lapi& l) {
+    const int me = l.task_id();
+    const int peer = 1 - me;
+
+    // --- Active message with header + completion handler ---------------
+    std::vector<char> inbox(64, '\0');
+    Cntr tgt_cntr;
+    int completions = 0;
+
+    // The header handler decides where the payload lands; the completion
+    // handler runs once every packet has been assembled there.
+    const int greet_handler = l.register_header_handler(
+        [&inbox, &completions](int origin, const std::byte* uhdr, std::size_t uhdr_len,
+                               std::size_t total) {
+          std::printf("[header handler] got: %zu B from %d (uhdr %zu B)\n", total,
+                      origin, uhdr_len);
+          (void)uhdr;
+          Lapi::HeaderHandlerResult res;
+          res.buffer = reinterpret_cast<std::byte*>(inbox.data());
+          res.completion = [&completions](void*) { ++completions; };
+          res.inline_completion = true;  // Enhanced-LAPI predefined handler
+          return res;
+        });
+
+    // Exchange counter addresses up front (LAPI_Address_init).
+    auto cntrs = l.address_init(/*exchange_id=*/1, Lapi::token_of(&tgt_cntr));
+
+    if (me == 0) {
+      const char msg[] = "greetings via LAPI_Amsend";
+      const char hdr[] = "hdr";
+      Cntr org;
+      l.amsend(peer, greet_handler, hdr, sizeof hdr, msg, sizeof msg,
+               cntrs[static_cast<std::size_t>(peer)], &org, nullptr);
+      l.waitcntr(org, 1);  // origin buffer reusable
+    } else {
+      l.waitcntr(tgt_cntr, 1);  // bumped after the completion handler ran
+      std::printf("task 1 received: \"%s\" (completions=%d)\n", inbox.data(), completions);
+    }
+
+    // --- One-sided Put / Get -------------------------------------------
+    std::int64_t window = 1000 + me;
+    auto windows = l.address_init(2, Lapi::token_of(&window));
+    l.gfence();
+
+    if (me == 0) {
+      std::int64_t value = 42;
+      Cntr org, cmpl;
+      l.put(peer, windows[1], &value, sizeof value, 0, &org, &cmpl);
+      l.waitcntr(cmpl, 1);  // remote completion confirmed
+
+      std::int64_t fetched = 0;
+      Cntr got;
+      l.get(peer, windows[1], &fetched, sizeof fetched, 0, &got);
+      l.waitcntr(got, 1);
+      std::printf("task 0 put 42, got back %lld\n", static_cast<long long>(fetched));
+
+      // --- Remote fetch-and-add (LAPI_Rmw) ---------------------------
+      std::int64_t prev = -1;
+      Cntr rmw_done;
+      l.rmw(peer, lapi::RmwOp::kFetchAndAdd, windows[1], 8, 0, &prev, &rmw_done);
+      l.waitcntr(rmw_done, 1);
+      std::printf("fetch-and-add: previous=%lld\n", static_cast<long long>(prev));
+    }
+    l.gfence();
+    if (me == 1) {
+      std::printf("task 1 window value now %lld (expected 50)\n",
+                  static_cast<long long>(window));
+    }
+  });
+
+  std::printf("done in %.1f simulated us\n", sim::to_us(machine.elapsed()));
+  return 0;
+}

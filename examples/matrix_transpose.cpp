@@ -1,0 +1,85 @@
+// Distributed matrix transpose using derived datatypes — the feature the
+// paper listed as future work ("We plan to implement MPI data types").
+//
+// An N x N matrix is row-partitioned across ranks. Each rank sends, to every
+// peer, the *column block* that peer will own after the transpose — described
+// as a strided vector datatype, so no manual packing appears in user code.
+//
+//   $ ./matrix_transpose
+#include <cstdio>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+int main() {
+  using namespace sp;
+  sim::MachineConfig cfg;
+  const int nodes = 4;
+  constexpr std::size_t N = 32;  // global matrix edge (divisible by nodes)
+
+  mpi::Machine machine(cfg, nodes, mpi::Backend::kLapiEnhanced);
+  bool ok = true;
+
+  machine.run([&](mpi::Mpi& mpi) {
+    mpi::Comm& w = mpi.world();
+    const auto n = static_cast<std::size_t>(w.size());
+    const std::size_t rows = N / n;  // my row block
+    const auto me = static_cast<std::size_t>(w.rank());
+
+    // a[i][j] = global_row * N + j, rows [me*rows, (me+1)*rows).
+    std::vector<long> a(rows * N), t(rows * N, -1);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < N; ++j) a[i * N + j] = static_cast<long>((me * rows + i) * N + j);
+    }
+
+    // The block of columns [r*rows, (r+1)*rows) over all my rows, as a
+    // derived datatype: `rows` blocks of `rows` longs, stride N.
+    const auto colblock = mpi::DerivedDatatype::vector(rows, rows, N, mpi::Datatype::kLong);
+
+    std::vector<mpi::Request> reqs;
+    std::vector<std::vector<long>> inbox(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == me) continue;
+      inbox[r].resize(rows * rows);
+      reqs.push_back(mpi.irecv(inbox[r].data(), rows * rows, mpi::Datatype::kLong,
+                               static_cast<int>(r), 0, w));
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == me) continue;
+      // One derived-datatype send replaces a manual pack loop.
+      reqs.push_back(mpi.isend(&a[r * rows], 1, colblock, static_cast<int>(r), 0, w));
+    }
+    mpi.waitall(reqs.data(), reqs.size());
+
+    // Assemble my block of the transposed matrix: t[i][j] = a_global[j][i].
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t bi = 0; bi < rows; ++bi) {      // row within peer block
+        for (std::size_t bj = 0; bj < rows; ++bj) {    // column within my block
+          const long v = r == me ? a[bi * N + me * rows + bj]
+                                 : inbox[r][bi * rows + bj];
+          // v lives at global (r*rows+bi, me*rows+bj); transposed it goes to
+          // my local row bj, global column r*rows+bi.
+          t[bj * N + r * rows + bi] = v;
+        }
+      }
+    }
+
+    // Verify t[i][j] == original[j][i].
+    bool mine_ok = true;
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < N; ++j) {
+        const long expect = static_cast<long>(j * N + (me * rows + i));
+        if (t[i * N + j] != expect) mine_ok = false;
+      }
+    }
+    int local = mine_ok ? 1 : 0, all = 0;
+    mpi.allreduce(&local, &all, 1, mpi::Datatype::kInt, mpi::Op::kMin, w);
+    if (w.rank() == 0) {
+      std::printf("transpose of %zux%zu over %d ranks: %s (%.1f us simulated)\n", N, N,
+                  w.size(), all == 1 ? "VERIFIED" : "WRONG", mpi.wtime() * 1e6);
+    }
+    if (all != 1) throw std::runtime_error("transpose verification failed");
+  });
+
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: build a simulated 4-node SP machine, run an SPMD MPI program on
+// the MPI-LAPI stack, and print what happened.
+//
+//   $ ./quickstart
+//
+// The program is ordinary blocking MPI-style code: each rank sends a greeting
+// around a ring and rank 0 reduces a checksum at the end. Swap the Backend to
+// kNativePipes to run the same program on the original Pipes-based stack.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+int main() {
+  using namespace sp;
+
+  sim::MachineConfig cfg;        // the calibrated RS/6000 SP cost model
+  const int nodes = 4;
+  mpi::Machine machine(cfg, nodes, mpi::Backend::kLapiEnhanced);
+
+  machine.run([](mpi::Mpi& mpi) {
+    mpi::Comm& world = mpi.world();
+    const int me = world.rank();
+    const int n = world.size();
+
+    // Pass a growing message around the ring.
+    char buf[256] = {0};
+    if (me == 0) {
+      std::snprintf(buf, sizeof buf, "hello from 0");
+      mpi.send(buf, sizeof buf, mpi::Datatype::kByte, 1 % n, 0, world);
+      mpi.recv(buf, sizeof buf, mpi::Datatype::kByte, n - 1, 0, world);
+      std::printf("ring result: \"%s\" (t = %.1f us)\n", buf, mpi.wtime() * 1e6);
+    } else {
+      mpi.recv(buf, sizeof buf, mpi::Datatype::kByte, me - 1, 0, world);
+      char mine[32];
+      std::snprintf(mine, sizeof mine, " + %d", me);
+      std::strncat(buf, mine, sizeof buf - std::strlen(buf) - 1);
+      mpi.send(buf, sizeof buf, mpi::Datatype::kByte, (me + 1) % n, 0, world);
+    }
+
+    // Everyone contributes to a reduction.
+    long local = (me + 1) * 100;
+    long sum = 0;
+    mpi.allreduce(&local, &sum, 1, mpi::Datatype::kLong, mpi::Op::kSum, world);
+    if (me == 0) {
+      std::printf("allreduce sum = %ld (expected %d)\n", sum, 100 * n * (n + 1) / 2);
+    }
+  });
+
+  std::printf("simulated run took %.1f us on %s\n", sim::to_us(machine.elapsed()),
+              mpi::backend_name(machine.backend()));
+  return 0;
+}

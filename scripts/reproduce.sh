@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Reproduce every result: build, full test suite, every paper figure/table,
+# the ablations and the micro benchmarks. Outputs land in ./results.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+mkdir -p results
+
+ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "== $name"
+  "$b" 2>&1 | tee "results/$name.txt"
+done
+echo "done; see ./results"

@@ -1,0 +1,156 @@
+#include "hal/hal.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace sp::hal {
+
+namespace {
+[[nodiscard]] sim::TimeNs dma_time(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return cfg.adapter_packet_setup_ns +
+         static_cast<sim::TimeNs>(std::llround(cfg.adapter_ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+Hal::Hal(sim::NodeRuntime& node, net::SwitchFabric& fabric)
+    : node_(node), fabric_(fabric), protocols_(kMaxProto) {
+  fabric_.attach(node_.node, [this](net::Packet&& pkt) { on_frame_from_fabric(std::move(pkt)); });
+}
+
+void Hal::register_protocol(ProtoId proto, RecvFn fn) {
+  assert(proto < kMaxProto);
+  protocols_[proto] = std::move(fn);
+}
+
+bool Hal::send_packet(int dst, ProtoId proto, std::vector<std::byte> payload,
+                      std::size_t modeled_payload_bytes) {
+  assert(payload.size() <= node_.cfg.packet_mtu + 512 && "packet exceeds MTU allowance");
+  if (send_buffers_in_use_ >= node_.cfg.hal_send_buffers) return false;
+  ++send_buffers_in_use_;
+  ++packets_sent_;
+  node_.trace_event("hal.send", [&] {
+    char b[64];
+    std::snprintf(b, sizeof b, "dst=%d proto=%d bytes=%zu", dst, int(proto), payload.size());
+    return std::string(b);
+  });
+
+  // Host-side handshake with the adapter microcode.
+  const sim::TimeNs cpu_done = node_.cpu.charge(node_.sim, node_.cfg.hal_per_packet_cpu_ns);
+
+  // Build the wire frame: HAL header (modelled as cfg.hal_header_bytes on the
+  // wire; carries the protocol id) followed by the upper layer's bytes.
+  net::Packet pkt;
+  pkt.src = node_.node;
+  pkt.dst = dst;
+  pkt.frame.resize(node_.cfg.hal_header_bytes + payload.size());
+  pkt.frame[0] = static_cast<std::byte>(proto);
+  if (!payload.empty()) {
+    std::memcpy(pkt.frame.data() + node_.cfg.hal_header_bytes, payload.data(), payload.size());
+  }
+  if (modeled_payload_bytes != 0) {
+    pkt.modeled_bytes = node_.cfg.hal_header_bytes + modeled_payload_bytes;
+  }
+
+  // Adapter DMA: one packet at a time, starting when both the descriptor is
+  // posted (cpu_done) and the engine is free.
+  const sim::TimeNs start = cpu_done > send_dma_free_at_ ? cpu_done : send_dma_free_at_;
+  const sim::TimeNs injected_at = start + dma_time(node_.cfg, pkt.wire_bytes());
+  send_dma_free_at_ = injected_at;
+
+  node_.sim.at(injected_at, [this, p = std::move(pkt)]() mutable {
+    fabric_.inject(std::move(p));
+    --send_buffers_in_use_;
+    for (auto& fn : on_send_space_) fn();
+  });
+  return true;
+}
+
+void Hal::on_frame_from_fabric(net::Packet&& pkt) {
+  // DMA from adapter SRAM into a pinned HAL receive buffer.
+  const sim::TimeNs now = node_.sim.now();
+  const sim::TimeNs start = now > recv_dma_free_at_ ? now : recv_dma_free_at_;
+  const sim::TimeNs host_visible = start + dma_time(node_.cfg, pkt.wire_bytes());
+  recv_dma_free_at_ = host_visible;
+
+  node_.sim.at(host_visible, [this, p = std::move(pkt)]() mutable {
+    ++packets_received_;
+    if (!interrupt_mode_) {
+      // Polling mode: the paper's experiments poll inside blocking calls, so
+      // dispatch proceeds as soon as the host CPU is free.
+      node_.cpu.run(node_.sim, node_.cfg.hal_per_packet_cpu_ns,
+                    [this, q = std::move(p)]() mutable { deliver_to_protocol(std::move(q)); });
+    } else {
+      recv_pending_.push_back(std::move(p));
+      if (!interrupt_active_) {
+        interrupt_active_ = true;
+        node_.sim.after(node_.cfg.interrupt_latency_ns, [this] { enter_interrupt(); });
+      }
+    }
+  });
+}
+
+void Hal::deliver_to_protocol(net::Packet&& pkt) {
+  assert(!pkt.frame.empty());
+  const auto proto = static_cast<ProtoId>(pkt.frame[0]);
+  node_.trace_event("hal.deliver", [&] {
+    char b[64];
+    std::snprintf(b, sizeof b, "src=%d proto=%d route=%d", pkt.src, int(proto), pkt.route);
+    return std::string(b);
+  });
+  assert(proto < kMaxProto && protocols_[proto] && "frame for unregistered protocol");
+  std::vector<std::byte> upper(pkt.frame.begin() + static_cast<std::ptrdiff_t>(node_.cfg.hal_header_bytes),
+                               pkt.frame.end());
+  protocols_[proto](pkt.src, std::move(upper));
+}
+
+void Hal::enter_interrupt() {
+  ++interrupts_taken_;
+  node_.trace_event("hal.interrupt", [&] {
+    char b[48];
+    std::snprintf(b, sizeof b, "pending=%zu", recv_pending_.size());
+    return std::string(b);
+  });
+  // The handler (and its hysteresis busy-wait) occupies the CPU; completions
+  // become visible to application threads only when it returns.
+  node_.gate.close();
+  node_.cpu.charge(node_.sim, node_.cfg.interrupt_service_ns);
+  const sim::TimeNs window = hysteresis_enabled_ ? node_.cfg.interrupt_hysteresis_ns : 0;
+  interrupt_drain_and_maybe_wait(window);
+}
+
+void Hal::interrupt_drain_and_maybe_wait(sim::TimeNs window) {
+  // Service everything that has arrived.
+  bool serviced_any = false;
+  while (!recv_pending_.empty()) {
+    serviced_any = true;
+    net::Packet pkt = std::move(recv_pending_.front());
+    recv_pending_.pop_front();
+    node_.cpu.charge(node_.sim, node_.cfg.hal_per_packet_cpu_ns);
+    deliver_to_protocol(std::move(pkt));
+  }
+  if (window > 0) {
+    // Hysteresis: busy-wait `window` for more packets before returning. If
+    // packets did arrive, service them and wait a grown window again.
+    node_.sim.after(window, [this, window, serviced_any] {
+      if (!recv_pending_.empty()) {
+        sim::TimeNs grown = static_cast<sim::TimeNs>(
+            static_cast<double>(window) * node_.cfg.interrupt_hysteresis_growth);
+        if (grown > node_.cfg.interrupt_hysteresis_max_ns) grown = node_.cfg.interrupt_hysteresis_max_ns;
+        interrupt_drain_and_maybe_wait(grown);
+      } else {
+        (void)serviced_any;
+        interrupt_active_ = false;
+        node_.gate.open();  // handler returns; completions become visible
+      }
+    });
+  } else {
+    interrupt_active_ = false;
+    node_.gate.open();
+  }
+}
+
+}  // namespace sp::hal

@@ -1,0 +1,101 @@
+// HAL: the packet layer over the switch adapter (Fig. 1 of the paper).
+//
+// Upper layers (Pipes, LAPI) hand the HAL one packet's worth of serialized
+// bytes; the HAL charges the host-side handshake with the adapter microcode,
+// models the adapter DMA engine (per-packet setup + per-byte transfer, one
+// packet at a time), and injects the frame into the switch fabric. Inbound,
+// frames are DMAed from the adapter into pinned HAL receive buffers and
+// delivered to the registered protocol either immediately (polling mode — the
+// paper's experiments poll inside blocking calls) or through the interrupt
+// controller (interrupt mode), which reproduces the native stack's interrupt
+// hysteresis scheme.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/switch_fabric.hpp"
+#include "sim/node_runtime.hpp"
+
+namespace sp::hal {
+
+using ProtoId = std::uint8_t;
+inline constexpr ProtoId kProtoPipes = 1;
+inline constexpr ProtoId kProtoLapi = 2;
+inline constexpr int kMaxProto = 4;
+
+class Hal {
+ public:
+  /// Upcall delivering one received packet's upper-layer bytes.
+  using RecvFn = std::function<void(int src, std::vector<std::byte>&&)>;
+
+  Hal(sim::NodeRuntime& node, net::SwitchFabric& fabric);
+
+  Hal(const Hal&) = delete;
+  Hal& operator=(const Hal&) = delete;
+
+  /// Register the receive upcall for protocol `proto`.
+  void register_protocol(ProtoId proto, RecvFn fn);
+
+  /// Queue one packet for transmission. Returns false if all pinned HAL send
+  /// buffers are in use (caller must retry from its on_send_space callback).
+  /// `payload` is the upper layer's serialized header + data for ONE packet;
+  /// it must fit the MTU plus the upper layer's own header allowance.
+  /// `modeled_payload_bytes` is the size time is charged for (0 = real size);
+  /// see net::Packet::modeled_bytes.
+  [[nodiscard]] bool send_packet(int dst, ProtoId proto, std::vector<std::byte> payload,
+                                 std::size_t modeled_payload_bytes = 0);
+
+  /// Register a callback invoked (in event context) whenever a send buffer
+  /// frees up. Multiple upper layers may register.
+  void add_on_send_space(std::function<void()> fn) {
+    on_send_space_.push_back(std::move(fn));
+  }
+
+  /// Switch between polling delivery and interrupt delivery.
+  void set_interrupt_mode(bool on) noexcept { interrupt_mode_ = on; }
+  [[nodiscard]] bool interrupt_mode() const noexcept { return interrupt_mode_; }
+
+  /// Enable the native stack's interrupt hysteresis (LAPI leaves it off).
+  void set_hysteresis_enabled(bool on) noexcept { hysteresis_enabled_ = on; }
+
+  [[nodiscard]] int node() const noexcept { return node_.node; }
+  [[nodiscard]] sim::NodeRuntime& runtime() noexcept { return node_; }
+
+  // --- statistics ---
+  [[nodiscard]] std::int64_t packets_sent() const noexcept { return packets_sent_; }
+  [[nodiscard]] std::int64_t packets_received() const noexcept { return packets_received_; }
+  [[nodiscard]] std::int64_t interrupts_taken() const noexcept { return interrupts_taken_; }
+  [[nodiscard]] int send_buffers_in_use() const noexcept { return send_buffers_in_use_; }
+
+ private:
+  void on_frame_from_fabric(net::Packet&& pkt);
+  void deliver_to_protocol(net::Packet&& pkt);
+  void enter_interrupt();
+  void interrupt_drain_and_maybe_wait(sim::TimeNs window);
+
+  sim::NodeRuntime& node_;
+  net::SwitchFabric& fabric_;
+
+  std::vector<RecvFn> protocols_;
+  std::vector<std::function<void()>> on_send_space_;
+
+  // Send side: adapter DMA engine availability and pinned-buffer pool.
+  sim::TimeNs send_dma_free_at_ = 0;
+  int send_buffers_in_use_ = 0;
+
+  // Receive side.
+  sim::TimeNs recv_dma_free_at_ = 0;
+  std::deque<net::Packet> recv_pending_;  // arrived, not yet serviced (interrupt mode)
+  bool interrupt_mode_ = false;
+  bool hysteresis_enabled_ = false;
+  bool interrupt_active_ = false;
+
+  std::int64_t packets_sent_ = 0;
+  std::int64_t packets_received_ = 0;
+  std::int64_t interrupts_taken_ = 0;
+};
+
+}  // namespace sp::hal

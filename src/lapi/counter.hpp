@@ -1,0 +1,26 @@
+// LAPI counters (org_cntr / tgt_cntr / cmpl_cntr of Fig. 2).
+#pragma once
+
+#include <functional>
+
+#include "sim/rank_thread.hpp"
+
+namespace sp::lapi {
+
+/// A LAPI counter: an integer a task can wait on. Counters live in one task's
+/// address space; remote increments arrive via the LAPI transport and are
+/// published through that node's WakeGate.
+struct Cntr {
+  int value = 0;
+  sim::SimCondition cond;
+  /// Optional local hook run (after the increment, in publication context)
+  /// whenever the transport bumps this counter. Simulator-side convenience
+  /// for layers that would otherwise poll the counter.
+  std::function<void()> on_bump;
+
+  Cntr() = default;
+  Cntr(const Cntr&) = delete;
+  Cntr& operator=(const Cntr&) = delete;
+};
+
+}  // namespace sp::lapi

@@ -1,0 +1,166 @@
+#include "lapi/reliable_link.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace sp::lapi {
+
+namespace {
+[[nodiscard]] sim::TimeNs copy_cost(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return cfg.copy_call_ns +
+         static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+ReliableLink::ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer)
+    : node_(node), hal_(hal), peer_(peer) {}
+
+const std::byte* ReliableLink::data_ptr(const Pending& p) const noexcept {
+  return p.msg.owned.empty() ? p.msg.data : p.msg.owned.data();
+}
+
+std::size_t ReliableLink::data_len(const Pending& p) const noexcept {
+  return p.msg.owned.empty() ? p.msg.len : p.msg.owned.size();
+}
+
+void ReliableLink::submit(Message&& msg) {
+  queue_.push_back(Pending{std::move(msg), 0, false});
+  pump();
+}
+
+void ReliableLink::pump() {
+  const auto window = static_cast<std::uint32_t>(node_.cfg.sliding_window_packets);
+  while (!queue_.empty() && (next_seq_ - 1) - acked_ < window) {
+    if (hal_.send_buffers_in_use() >= node_.cfg.hal_send_buffers) break;
+    materialize_one();
+  }
+}
+
+void ReliableLink::materialize_one() {
+  assert(!queue_.empty());
+  Pending& p = queue_.front();
+  const std::size_t total = data_len(p);
+  const bool first = !p.first_sent;
+  const std::size_t uhdr_len = first ? p.msg.uhdr.size() : 0;
+  assert(uhdr_len <= node_.cfg.packet_mtu && "user header exceeds packet capacity");
+  const std::size_t capacity = node_.cfg.packet_mtu - uhdr_len;
+  const std::size_t remaining = total - p.next_offset;
+  const std::size_t chunk = remaining < capacity ? remaining : capacity;
+
+  PktHdr h = p.msg.meta;
+  h.pkt_seq = next_seq_++;
+  h.offset = static_cast<std::uint32_t>(p.next_offset);
+  h.data_len = static_cast<std::uint32_t>(chunk);
+  h.total_len = static_cast<std::uint32_t>(total);
+  h.flags = first ? kFlagFirst : 0;
+  h.uhdr_len = static_cast<std::uint16_t>(uhdr_len);
+
+  std::vector<std::byte> payload;
+  payload.reserve(sizeof(PktHdr) + uhdr_len + chunk);
+  append_hdr(payload, h);
+  if (first && uhdr_len > 0) {
+    payload.insert(payload.end(), p.msg.uhdr.begin(), p.msg.uhdr.end());
+  }
+  if (chunk > 0) {
+    const std::byte* src = data_ptr(p) + p.next_offset;
+    payload.insert(payload.end(), src, src + chunk);
+  }
+  // The single LAPI origin-side copy: user buffer -> HAL staging.
+  node_.cpu.charge(node_.sim, copy_cost(node_.cfg, chunk + uhdr_len));
+
+  const std::size_t modeled = node_.cfg.lapi_header_bytes + uhdr_len + chunk;
+  const bool sent = hal_.send_packet(peer_, hal::kProtoLapi, payload, modeled);
+  assert(sent && "pump() checked for HAL space");
+  (void)sent;
+  ++data_packets_sent_;
+
+  store_.emplace(h.pkt_seq, Stored{std::move(payload), modeled, node_.sim.now()});
+  schedule_retransmit_check();
+
+  p.first_sent = true;
+  p.next_offset += chunk;
+  if (p.next_offset >= total) {
+    auto done = std::move(p.msg.on_origin_done);
+    queue_.pop_front();
+    if (done) done();
+  }
+}
+
+void ReliableLink::on_ack(std::uint32_t cum) {
+  node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
+  if (cum > acked_) acked_ = cum;
+  store_.erase(store_.begin(), store_.upper_bound(cum));
+  pump();
+  if (drained()) drained_cond_.notify_all(node_.sim);
+}
+
+bool ReliableLink::accept(std::uint32_t pkt_seq) {
+  const bool dup = pkt_seq <= cum_in_ || ooo_in_.count(pkt_seq) != 0;
+  if (dup) {
+    ++duplicates_;
+    send_ack();  // re-advertise our cumulative position immediately
+    return false;
+  }
+  ooo_in_.insert(pkt_seq);
+  while (!ooo_in_.empty() && *ooo_in_.begin() == cum_in_ + 1) {
+    ooo_in_.erase(ooo_in_.begin());
+    ++cum_in_;
+  }
+  ++unacked_count_;
+  if (unacked_count_ >= node_.cfg.ack_every_packets) {
+    send_ack();
+  } else {
+    schedule_ack_flush();
+  }
+  return true;
+}
+
+void ReliableLink::send_ack() {
+  PktHdr h;
+  h.kind = static_cast<std::uint8_t>(Kind::kAck);
+  h.pkt_seq = cum_in_;
+  h.origin = static_cast<std::uint32_t>(hal_.node());
+  std::vector<std::byte> payload;
+  append_hdr(payload, h);
+  node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
+  if (hal_.send_packet(peer_, hal::kProtoLapi, std::move(payload), node_.cfg.lapi_header_bytes)) {
+    unacked_count_ = 0;
+  } else {
+    // HAL full: retry shortly (acks are not retransmitted, so keep trying).
+    schedule_ack_flush();
+  }
+}
+
+void ReliableLink::schedule_ack_flush() {
+  if (ack_flush_scheduled_) return;
+  ack_flush_scheduled_ = true;
+  node_.sim.after(node_.cfg.ack_delay_ns, [this] {
+    ack_flush_scheduled_ = false;
+    if (unacked_count_ > 0) send_ack();
+  });
+}
+
+void ReliableLink::schedule_retransmit_check() {
+  if (retransmit_scheduled_) return;
+  retransmit_scheduled_ = true;
+  node_.sim.after(node_.cfg.retransmit_timeout_ns, [this] {
+    retransmit_scheduled_ = false;
+    if (store_.empty()) return;
+    const sim::TimeNs age = node_.sim.now() - store_.begin()->second.sent_at;
+    if (age >= node_.cfg.retransmit_timeout_ns) {
+      // Go-back-N: resend everything unacknowledged.
+      for (auto& [seq, s] : store_) {
+        if (hal_.send_packet(peer_, hal::kProtoLapi, s.payload, s.modeled_bytes)) {
+          s.sent_at = node_.sim.now();
+          ++retransmits_;
+        } else {
+          break;  // HAL full; the rescheduled check will retry
+        }
+      }
+    }
+    schedule_retransmit_check();
+  });
+}
+
+}  // namespace sp::lapi

@@ -1,0 +1,108 @@
+// Per-peer reliable packet channel used by the LAPI transport.
+//
+// The origin side paces message packets with a sliding window, stores sent
+// packets for retransmission, and frees them on (cumulative) acknowledgement.
+// The target side filters duplicates and generates coalesced acks. Unlike the
+// Pipes byte stream, packets are *delivered upward out of order* — LAPI
+// reassembles at offsets — so only the reliability bookkeeping is ordered.
+//
+// Packet materialization is lazy: a submitted message borrows its data buffer
+// and packets are built (charging the single origin-side copy into HAL
+// staging) only as the window admits them; `on_origin_done` fires when the
+// last byte has been copied out and the origin buffer is safe to reuse —
+// exactly LAPI's org_cntr semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hal/hal.hpp"
+#include "lapi/wire.hpp"
+#include "sim/node_runtime.hpp"
+
+namespace sp::lapi {
+
+class ReliableLink {
+ public:
+  ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer);
+
+  struct Message {
+    PktHdr meta;                   ///< Template: kind/msg_id/total_len/tokens set by caller.
+    std::vector<std::byte> uhdr;   ///< User header (first packet only; may be empty).
+    const std::byte* data = nullptr;  ///< Borrowed data; must stay valid until on_origin_done.
+    std::size_t len = 0;
+    std::vector<std::byte> owned;  ///< Alternative owned data (control messages).
+    std::function<void()> on_origin_done;  ///< Fires when data fully copied out.
+  };
+
+  /// Queue a message for transmission (FIFO per link).
+  void submit(Message&& msg);
+
+  /// Try to make progress (window + HAL space permitting).
+  void pump();
+
+  // --- target side ---
+  /// Record an incoming sequenced packet. Returns true if fresh (deliver it),
+  /// false for duplicates (an ack is re-sent).
+  [[nodiscard]] bool accept(std::uint32_t pkt_seq);
+  /// Process an acknowledgement for everything <= cum.
+  void on_ack(std::uint32_t cum);
+
+  /// True when nothing is queued or awaiting acknowledgement (fence support).
+  [[nodiscard]] bool drained() const noexcept {
+    return queue_.empty() && store_.empty();
+  }
+  sim::SimCondition& drained_cond() noexcept { return drained_cond_; }
+
+  [[nodiscard]] std::int64_t retransmits() const noexcept { return retransmits_; }
+  [[nodiscard]] std::int64_t packets_sent() const noexcept { return data_packets_sent_; }
+  [[nodiscard]] std::int64_t duplicates() const noexcept { return duplicates_; }
+
+ private:
+  struct Stored {
+    std::vector<std::byte> payload;  ///< Serialized packet (hdr + uhdr + data).
+    std::size_t modeled_bytes = 0;
+    sim::TimeNs sent_at = 0;
+  };
+
+  struct Pending {
+    Message msg;
+    std::size_t next_offset = 0;
+    bool first_sent = false;
+  };
+
+  void materialize_one();
+  void send_ack();
+  void schedule_ack_flush();
+  void schedule_retransmit_check();
+  [[nodiscard]] const std::byte* data_ptr(const Pending& p) const noexcept;
+  [[nodiscard]] std::size_t data_len(const Pending& p) const noexcept;
+
+  sim::NodeRuntime& node_;
+  hal::Hal& hal_;
+  int peer_;
+
+  // Origin side.
+  std::deque<Pending> queue_;
+  std::map<std::uint32_t, Stored> store_;  ///< Unacked, keyed by pkt_seq.
+  std::uint32_t next_seq_ = 1;
+  std::uint32_t acked_ = 0;  ///< Highest cumulatively acked seq.
+  bool retransmit_scheduled_ = false;
+  sim::SimCondition drained_cond_;
+
+  // Target side.
+  std::uint32_t cum_in_ = 0;  ///< Highest contiguous seq received.
+  std::set<std::uint32_t> ooo_in_;
+  int unacked_count_ = 0;
+  bool ack_flush_scheduled_ = false;
+
+  std::int64_t retransmits_ = 0;
+  std::int64_t data_packets_sent_ = 0;
+  std::int64_t duplicates_ = 0;
+};
+
+}  // namespace sp::lapi

@@ -1,0 +1,95 @@
+// Buffered-mode (MPI_Bsend) attach-buffer pool.
+//
+// MPI_Buffer_attach hands MPCI a user-provided region; buffered sends copy
+// their payload into it and return immediately. A slot is released when the
+// receiver reports full reception (§4.2, Fig. 8).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rank_thread.hpp"
+
+namespace sp::mpci {
+
+class BsendPool {
+ public:
+  /// Attach a region of `len` bytes (replaces any previous region).
+  void attach(std::byte* base, std::size_t len) {
+    base_ = base;
+    len_ = len;
+    allocs_.clear();
+    next_slot_ = 0;
+  }
+
+  /// Detach; returns the base pointer (caller blocks until drained upstream).
+  std::byte* detach() {
+    std::byte* b = base_;
+    base_ = nullptr;
+    len_ = 0;
+    return b;
+  }
+
+  [[nodiscard]] bool attached() const noexcept { return base_ != nullptr; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return len_; }
+  [[nodiscard]] std::size_t in_use() const noexcept {
+    std::size_t sum = 0;
+    for (const auto& a : allocs_) sum += a.len;
+    return sum;
+  }
+  [[nodiscard]] bool empty() const noexcept { return allocs_.empty(); }
+
+  /// Allocate `len` bytes; returns slot id, or -1 if no space (MPI_ERR_BUFFER).
+  [[nodiscard]] int alloc(std::size_t len, std::byte** out) {
+    if (base_ == nullptr || in_use() + len > len_) return -1;
+    // First-fit over the gaps (the list is kept sorted by offset).
+    std::size_t off = 0;
+    auto it = allocs_.begin();
+    for (; it != allocs_.end(); ++it) {
+      if (it->off - off >= len) break;
+      off = it->off + it->len;
+    }
+    if (off + len > len_) return -1;
+    const int slot = next_slot_++;
+    allocs_.insert(it, Alloc{slot, off, len});
+    *out = base_ + off;
+    return slot;
+  }
+
+  /// Release the slot (receiver confirmed delivery).
+  void release(int slot) {
+    for (auto it = allocs_.begin(); it != allocs_.end(); ++it) {
+      if (it->slot == slot) {
+        allocs_.erase(it);
+        drained.notify_all_pending();
+        return;
+      }
+    }
+    throw std::logic_error("BsendPool: releasing unknown slot");
+  }
+
+  /// Notified whenever a slot is released (MPI_Buffer_detach waits on this).
+  struct DrainCond {
+    sim::SimCondition cond;
+    sim::Simulator* sim = nullptr;
+    void notify_all_pending() {
+      if (sim != nullptr) cond.notify_all(*sim);
+    }
+  } drained;
+
+ private:
+  struct Alloc {
+    int slot;
+    std::size_t off;
+    std::size_t len;
+  };
+
+  std::byte* base_ = nullptr;
+  std::size_t len_ = 0;
+  std::list<Alloc> allocs_;
+  int next_slot_ = 0;
+};
+
+}  // namespace sp::mpci

@@ -1,0 +1,105 @@
+// MPCI channel interface: the point-to-point message layer with matching and
+// early-arrival buffering. Two implementations exist, mirroring Fig. 1 of the
+// paper: PipesChannel (the native stack, Fig. 1a) and LapiChannel (the new
+// thin MPCI over LAPI, Fig. 1c, in its Base / Counters / Enhanced versions).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "mpci/bsend_pool.hpp"
+#include "mpci/request.hpp"
+#include "sim/node_runtime.hpp"
+
+namespace sp::mpci {
+
+/// Raised for unrecoverable MPI errors (e.g. ready-mode send with no posted
+/// receive — the paper's Error_handler(FATAL, "Recv not posted")).
+class FatalMpiError : public std::runtime_error {
+ public:
+  explicit FatalMpiError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Channel {
+ public:
+  explicit Channel(sim::NodeRuntime& node) : node_(node) {}
+  virtual ~Channel() = default;
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Begin a send; `req` must be pre-filled (dst/ctx/tag/buf/len/mode/...)
+  /// and stay alive until complete.
+  virtual void start_send(SendReq& req) = 0;
+
+  /// Post a receive; `req` must be pre-filled and stay alive until complete.
+  virtual void post_recv(RecvReq& req) = 0;
+
+  /// Called from the waiting application thread to push work that the paper
+  /// assigns to the blocking path (e.g. the rendezvous data phase after the
+  /// CTS arrives, Fig. 6).
+  virtual void progress(SendReq& req) = 0;
+
+  /// Collective per-rank initialisation, run on the rank thread before user
+  /// code (e.g. the Counters version's counter-ring address exchange).
+  virtual void on_thread_start() {}
+
+  /// Nonblocking probe: is a matchable unexpected message pending? Fills
+  /// `st` (source, tag, length) without consuming the message.
+  [[nodiscard]] virtual bool iprobe(int ctx, int src_sel, int tag_sel, Status* st) = 0;
+
+  /// Notified (through the wake gate) whenever a new envelope becomes
+  /// matchable — MPI_Probe blocks on this.
+  [[nodiscard]] sim::SimCondition& arrival_cond() noexcept { return arrival_cond_; }
+
+ protected:
+  /// Channels call this when a new unexpected envelope becomes matchable.
+  void publish_arrival() {
+    node_.publish([this] { arrival_cond_.notify_all(node_.sim); });
+  }
+
+ public:
+
+  [[nodiscard]] BsendPool& bsend_pool() noexcept { return bsend_; }
+  [[nodiscard]] sim::NodeRuntime& node() noexcept { return node_; }
+
+  // --- statistics ---
+  [[nodiscard]] std::int64_t eager_sends() const noexcept { return eager_sends_; }
+  [[nodiscard]] std::int64_t rendezvous_sends() const noexcept { return rendezvous_sends_; }
+  [[nodiscard]] std::int64_t early_arrivals() const noexcept { return early_arrivals_; }
+  [[nodiscard]] std::size_t early_arrival_bytes_in_use() const noexcept { return ea_bytes_; }
+
+ protected:
+  /// Charge the cost of scanning `entries` queue entries plus locking.
+  void charge_match_event(int entries) {
+    node_.cpu.charge(node_.sim, node_.cfg.match_base_ns +
+                                    node_.cfg.match_per_entry_ns * entries +
+                                    node_.cfg.lock_pair_ns);
+  }
+  void charge_match_app(int entries) {
+    node_.app_charge(node_.cfg.match_base_ns + node_.cfg.match_per_entry_ns * entries +
+                     node_.cfg.lock_pair_ns);
+  }
+
+  /// Early-arrival buffer accounting; throws FatalMpiError on exhaustion.
+  void ea_reserve(std::size_t bytes) {
+    if (ea_bytes_ + bytes > node_.cfg.early_arrival_bytes) {
+      throw FatalMpiError("early-arrival buffer exhausted (raise eager limit / EA size)");
+    }
+    ea_bytes_ += bytes;
+    ++early_arrivals_;
+  }
+  void ea_release(std::size_t bytes) noexcept { ea_bytes_ -= bytes; }
+
+  sim::NodeRuntime& node_;
+  BsendPool bsend_;
+  sim::SimCondition arrival_cond_;
+  std::int64_t eager_sends_ = 0;
+  std::int64_t rendezvous_sends_ = 0;
+  std::int64_t early_arrivals_ = 0;
+  std::size_t ea_bytes_ = 0;
+};
+
+}  // namespace sp::mpci

@@ -1,0 +1,619 @@
+#include "mpci/lapi_channel.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace sp::mpci {
+
+namespace {
+[[nodiscard]] sim::TimeNs copy_cost(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return cfg.copy_call_ns +
+         static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
+}
+
+constexpr std::uint64_t kRingExchangeBase = 0xC0DE0000ULL;
+}  // namespace
+
+LapiChannel::LapiChannel(sim::NodeRuntime& node, lapi::Lapi& lapi, LapiVariant variant,
+                         int my_task, int num_tasks)
+    : Channel(node),
+      lapi_(lapi),
+      variant_(variant),
+      my_task_(my_task),
+      num_tasks_(num_tasks),
+      send_seq_(static_cast<std::size_t>(num_tasks), 0),
+      expected_(static_cast<std::size_t>(num_tasks), 0),
+      parked_(static_cast<std::size_t>(num_tasks)),
+      drain_scheduled_(static_cast<std::size_t>(num_tasks), false),
+      ring_out_(static_cast<std::size_t>(num_tasks), 0),
+      slot_next_(static_cast<std::size_t>(num_tasks), 0) {
+  // The paper's §5.3 enhancement is a property of the LAPI library itself.
+  lapi_.set_inline_completion_allowed(variant_ == LapiVariant::kEnhanced);
+
+  if (variant_ == LapiVariant::kCounters) {
+    ring_in_.reserve(static_cast<std::size_t>(num_tasks));
+    for (int s = 0; s < num_tasks; ++s) {
+      ring_in_.emplace_back(static_cast<std::size_t>(node_.cfg.counter_ring_slots));
+    }
+  }
+
+  hh_eager_id_ = lapi_.register_header_handler(
+      [this](int origin, const std::byte* uhdr, std::size_t uhdr_len, std::size_t total) {
+        return hh_eager(origin, uhdr, uhdr_len, total);
+      });
+  hh_cts_id_ = lapi_.register_header_handler(
+      [this](int origin, const std::byte* uhdr, std::size_t uhdr_len, std::size_t total) {
+        return hh_cts(origin, uhdr, uhdr_len, total);
+      });
+  hh_rtsdata_id_ = lapi_.register_header_handler(
+      [this](int origin, const std::byte* uhdr, std::size_t uhdr_len, std::size_t total) {
+        return hh_rtsdata(origin, uhdr, uhdr_len, total);
+      });
+}
+
+void LapiChannel::on_thread_start() {
+  if (variant_ != LapiVariant::kCounters) return;
+  // §5.2: "a set of counters whose addresses are exchanged among the
+  // participating MPI processes during initialization".
+  for (int s = 0; s < num_tasks_; ++s) {
+    auto table = lapi_.address_init(kRingExchangeBase + static_cast<std::uint64_t>(s),
+                                    lapi::Lapi::token_of(ring_in_[static_cast<std::size_t>(s)].data()));
+    if (s == my_task_) ring_out_ = table;
+  }
+}
+
+lapi::Token LapiChannel::ring_token(int dst, std::uint16_t slot) const {
+  return ring_out_[static_cast<std::size_t>(dst)] +
+         static_cast<lapi::Token>(slot) * sizeof(lapi::Cntr);
+}
+
+lapi::Cntr* LapiChannel::ring_slot(int src, std::uint16_t slot) {
+  return &ring_in_[static_cast<std::size_t>(src)][slot];
+}
+
+LapiChannel::SReqState& LapiChannel::sstate(SendReq& req) {
+  auto it = sstates_.find(req.id);
+  if (it == sstates_.end()) {
+    it = sstates_.emplace(req.id, std::make_unique<SReqState>()).first;
+  }
+  return *it->second;
+}
+
+void LapiChannel::gc_sstate(std::uint32_t id) { sstates_.erase(id); }
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+void LapiChannel::start_send(SendReq& req) {
+  req.proto = protocol_for(req.mode, req.len, node_.cfg.eager_limit);
+  req.id = next_sreq_++;
+
+  Envelope env;
+  env.ctx = static_cast<std::uint16_t>(req.ctx);
+  env.src = static_cast<std::uint16_t>(req.src_in_comm);
+  env.tag = req.tag;
+  env.len = static_cast<std::uint32_t>(req.len);
+  env.sreq = req.id;
+  if (req.mode == Mode::kReady) env.flags |= kFlagReady;
+
+  SReqState& st = sstate(req);
+  st.org.on_bump = [this, &req] {
+    req.reusable = true;
+    maybe_complete_send(req);
+  };
+  lapi::Cntr* cmpl = nullptr;
+  if (req.bsend_slot >= 0) {
+    cmpl = &st.cmpl;
+    st.cmpl.on_bump = [this, &req] {
+      bsend_.release(req.bsend_slot);
+      req.bsend_released = true;
+      req.cond.notify_all(node_.sim);
+      if (req.complete) {
+        // Deferred: the counter whose hook is running lives in this state.
+        node_.sim.after(0, [this, id = req.id] { gc_sstate(id); });
+      }
+    };
+  }
+
+  if (req.proto == Protocol::kEager) {
+    ++eager_sends_;
+    env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
+    env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+    lapi::Token tgt = 0;
+    if (variant_ == LapiVariant::kCounters) {
+      env.cntr_slot = static_cast<std::uint16_t>(
+          slot_next_[static_cast<std::size_t>(req.dst)]++ %
+          static_cast<std::uint32_t>(node_.cfg.counter_ring_slots));
+      tgt = ring_token(req.dst, env.cntr_slot);
+    }
+    auto uhdr = pack(env);
+    lapi_.amsend(req.dst, hh_eager_id_, uhdr.data(), uhdr.size(), req.buf, req.len, tgt,
+                 &st.org, cmpl);
+  } else {
+    ++rendezvous_sends_;
+    sreqs_.emplace(req.id, &req);
+    env.kind = static_cast<std::uint8_t>(EnvKind::kRts);
+    env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+    auto uhdr = pack(env);
+    // Fig. 4a: the request-to-send carries no data.
+    lapi_.amsend(req.dst, hh_eager_id_, uhdr.data(), uhdr.size(), nullptr, 0, 0, nullptr,
+                 nullptr);
+  }
+
+  if (req.bsend_slot >= 0) {
+    req.reusable = true;
+    req.complete = true;
+  }
+}
+
+void LapiChannel::progress(SendReq& req) {
+  if (req.proto == Protocol::kRendezvous && req.cts_received && !req.data_sent) {
+    send_data_phase(req);
+  }
+}
+
+void LapiChannel::send_data_phase(SendReq& req) {
+  if (req.data_sent) return;  // progress() and the CTS handler can race
+  req.data_sent = true;
+  Envelope env;
+  env.ctx = static_cast<std::uint16_t>(req.ctx);
+  env.src = static_cast<std::uint16_t>(req.src_in_comm);
+  env.tag = req.tag;
+  env.len = static_cast<std::uint32_t>(req.len);
+  env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
+  env.sreq = req.id;
+  env.rreq = req.rreq_cache;
+
+  SReqState& st = sstate(req);
+  lapi::Token tgt = 0;
+  if (variant_ == LapiVariant::kCounters) {
+    env.cntr_slot = static_cast<std::uint16_t>(
+        slot_next_[static_cast<std::size_t>(req.dst)]++ %
+        static_cast<std::uint32_t>(node_.cfg.counter_ring_slots));
+    tgt = ring_token(req.dst, env.cntr_slot);
+  }
+  lapi::Cntr* cmpl = req.bsend_slot >= 0 ? &st.cmpl : nullptr;
+  auto uhdr = pack(env);
+  lapi_.amsend(req.dst, hh_rtsdata_id_, uhdr.data(), uhdr.size(), req.buf, req.len, tgt,
+               &st.org, cmpl);
+  sreqs_.erase(req.id);
+}
+
+void LapiChannel::maybe_complete_send(SendReq& req) {
+  if (req.complete) {
+    req.cond.notify_all(node_.sim);
+    return;
+  }
+  const bool done = (req.proto == Protocol::kEager) ? req.reusable
+                                                    : (req.data_sent && req.reusable);
+  if (done) {
+    req.complete = true;
+    req.cond.notify_all(node_.sim);
+    if (req.bsend_slot < 0 || req.bsend_released) {
+      // Deferred: this is called from the org counter's own bump hook.
+      node_.sim.after(0, [this, id = req.id] { gc_sstate(id); });
+    }
+  }
+}
+
+void LapiChannel::send_cts(int dst_task, std::uint32_t sreq, RecvReq& r) {
+  r.id = next_rreq_++;
+  rreqs_.emplace(r.id, &r);
+  Envelope cts;
+  cts.kind = static_cast<std::uint8_t>(EnvKind::kCts);
+  cts.sreq = sreq;
+  cts.rreq = r.id;
+  auto uhdr = pack(cts);
+  lapi_.amsend(dst_task, hh_cts_id_, uhdr.data(), uhdr.size(), nullptr, 0, 0, nullptr,
+               nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Receive side: header handlers
+// ---------------------------------------------------------------------------
+
+RecvReq* LapiChannel::match_posted(const Envelope& env) {
+  int scanned = 0;
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    ++scanned;
+    RecvReq* r = *it;
+    if (r->ctx == env.ctx && (r->src_sel == kAnySource || r->src_sel == env.src) &&
+        (r->tag_sel == kAnyTag || r->tag_sel == env.tag)) {
+      posted_.erase(it);
+      charge_match_event(scanned);
+      return r;
+    }
+  }
+  charge_match_event(scanned);
+  return nullptr;
+}
+
+lapi::Lapi::HeaderHandlerResult LapiChannel::hh_eager(int origin, const std::byte* uhdr,
+                                                      std::size_t uhdr_len,
+                                                      std::size_t total) {
+  assert(uhdr != nullptr && uhdr_len >= sizeof(Envelope));
+  (void)uhdr_len;
+  const Envelope env = unpack(uhdr);
+  auto& expected = expected_[static_cast<std::size_t>(origin)];
+
+  if (env.seq == expected) {
+    ++expected;
+    auto res = process_in_order(env, origin, total);
+    // Later-sequence envelopes may already be parked; make them matchable —
+    // outside header-handler context, since matching an RTS sends a CTS.
+    if (!parked_[static_cast<std::size_t>(origin)].empty() &&
+        !drain_scheduled_[static_cast<std::size_t>(origin)]) {
+      drain_scheduled_[static_cast<std::size_t>(origin)] = true;
+      node_.sim.after(0, [this, origin] { drain_parked(origin); });
+    }
+    return res;
+  }
+
+  // Out of order: park. The payload still reassembles into an EA buffer; the
+  // envelope becomes matchable only when its predecessors have been seen.
+  auto e = std::make_unique<EaEntry>();
+  e->env = env;
+  e->src_task = origin;
+  e->matchable = false;
+  e->is_rts = env.kind == static_cast<std::uint8_t>(EnvKind::kRts);
+  EaEntry* ep = e.get();
+  if (!e->is_rts) {
+    ea_reserve(env.len);
+    e->counted = true;
+    e->data.resize(env.len);
+  } else {
+    e->arrived = true;
+  }
+  parked_[static_cast<std::size_t>(origin)].emplace(env.seq, ep);
+  ea_.push_back(std::move(e));
+
+  lapi::Lapi::HeaderHandlerResult res;
+  res.buffer = ep->data.data();
+  if (ep->is_rts) return res;
+  if (variant_ == LapiVariant::kCounters) {
+    ep->watch = ring_slot(origin, env.cntr_slot);
+  } else {
+    res.inline_completion = variant_ == LapiVariant::kEnhanced;
+    res.completion = [this, ep](void*) {
+      node_.publish([this, ep] {
+        ep->arrived = true;
+        if (ep->bound != nullptr) deliver_from_ea(*ep->bound, *ep, /*app_context=*/false);
+      });
+    };
+  }
+  return res;
+}
+
+lapi::Lapi::HeaderHandlerResult LapiChannel::process_in_order(const Envelope& env,
+                                                              int origin,
+                                                              std::size_t total) {
+  lapi::Lapi::HeaderHandlerResult res;
+
+  if (env.kind == static_cast<std::uint8_t>(EnvKind::kRts)) {
+    RecvReq* r = match_posted(env);
+    if (r != nullptr) {
+      r->status = Status{static_cast<int>(env.src), env.tag, env.len};
+      // Fig. 4c: the CTS goes back from the completion handler (which may
+      // make LAPI calls). Enhanced runs it inline; Base/Counters pay the
+      // completion-handler thread switch.
+      res.inline_completion = variant_ == LapiVariant::kEnhanced;
+      res.completion = [this, origin, sreq = env.sreq, r](void*) { send_cts(origin, sreq, *r); };
+    } else {
+      auto e = std::make_unique<EaEntry>();
+      e->env = env;
+      e->src_task = origin;
+      e->is_rts = true;
+      e->arrived = true;
+      ea_.push_back(std::move(e));
+      publish_arrival();
+    }
+    return res;
+  }
+
+  // Eager message.
+  assert(env.kind == static_cast<std::uint8_t>(EnvKind::kEager));
+  RecvReq* r = match_posted(env);
+  if (r != nullptr && env.len <= r->cap) {
+    res.buffer = r->buf;
+    if (variant_ == LapiVariant::kCounters) {
+      setup_counters_recv(*r, origin, env);
+    } else {
+      res.inline_completion = variant_ == LapiVariant::kEnhanced;
+      res.completion = [this, r, env](void*) { publish_recv_complete(*r, env); };
+    }
+    return res;
+  }
+  if (r == nullptr && (env.flags & kFlagReady) != 0) {
+    throw FatalMpiError("ready-mode message arrived before its receive was posted");
+  }
+
+  // Early arrival (or truncation detour).
+  auto e = std::make_unique<EaEntry>();
+  e->env = env;
+  e->src_task = origin;
+  e->bound = r;  // non-null on truncation
+  if (r == nullptr) {
+    ea_reserve(env.len);
+    e->counted = true;
+  }
+  e->data.resize(total);
+  EaEntry* ep = e.get();
+  ea_.push_back(std::move(e));
+  if (ep->bound == nullptr) publish_arrival();
+  res.buffer = ep->data.data();
+  if (variant_ == LapiVariant::kCounters) {
+    ep->watch = ring_slot(origin, env.cntr_slot);
+    if (ep->bound != nullptr) bind_counters_ea(*ep->bound, *ep);
+  } else {
+    res.inline_completion = variant_ == LapiVariant::kEnhanced;
+    res.completion = [this, ep](void*) {
+      node_.publish([this, ep] {
+        ep->arrived = true;
+        if (ep->bound != nullptr) deliver_from_ea(*ep->bound, *ep, /*app_context=*/false);
+      });
+    };
+  }
+  return res;
+}
+
+void LapiChannel::drain_parked(int origin) {
+  // Runs as a simulator event: any LAPI call made while matching parked
+  // envelopes (e.g. a CTS for a parked RTS) is dispatcher-context work.
+  lapi::Lapi::CallbackScope scope(lapi_);
+  drain_scheduled_[static_cast<std::size_t>(origin)] = false;
+  auto& parked = parked_[static_cast<std::size_t>(origin)];
+  auto& expected = expected_[static_cast<std::size_t>(origin)];
+  while (true) {
+    auto it = parked.find(expected);
+    if (it == parked.end()) break;
+    EaEntry* e = it->second;
+    parked.erase(it);
+    ++expected;
+    e->matchable = true;
+    match_parked_entry(*e);
+  }
+}
+
+void LapiChannel::match_parked_entry(EaEntry& e) {
+  RecvReq* r = match_posted(e.env);
+  if (r == nullptr) {
+    if (!e.is_rts && (e.env.flags & kFlagReady) != 0) {
+      throw FatalMpiError("ready-mode message arrived before its receive was posted");
+    }
+    publish_arrival();
+    return;  // stays in the EA queue, now matchable
+  }
+  if (e.is_rts) {
+    r->status = Status{static_cast<int>(e.env.src), e.env.tag, e.env.len};
+    send_cts(e.src_task, e.env.sreq, *r);
+    erase_ea(&e);
+    return;
+  }
+  if (variant_ == LapiVariant::kCounters) {
+    bind_counters_ea(*r, e);
+    return;
+  }
+  if (e.arrived) {
+    deliver_from_ea(*r, e, /*app_context=*/false);
+  } else {
+    e.bound = r;
+  }
+}
+
+lapi::Lapi::HeaderHandlerResult LapiChannel::hh_cts(int origin, const std::byte* uhdr,
+                                                    std::size_t uhdr_len, std::size_t) {
+  assert(uhdr != nullptr && uhdr_len >= sizeof(Envelope));
+  (void)uhdr_len;
+  (void)origin;
+  const Envelope env = unpack(uhdr);
+  auto it = sreqs_.find(env.sreq);
+  assert(it != sreqs_.end() && "CTS for unknown send request");
+  SendReq* s = it->second;
+  s->cts_received = true;
+  s->rreq_cache = env.rreq;
+
+  lapi::Lapi::HeaderHandlerResult res;
+  if (s->blocking) {
+    // Fig. 6: wake the blocked sender; it pushes the data from app context.
+    node_.publish([this, s] { s->cond.notify_all(node_.sim); });
+  } else {
+    // Fig. 7: the data phase is issued from the completion handler. A
+    // concurrent MPI_Wait/Test may push it first via progress(), after which
+    // the request may already be gone — re-resolve it by id.
+    res.inline_completion = variant_ == LapiVariant::kEnhanced;
+    res.completion = [this, id = env.sreq](void*) {
+      auto sit = sreqs_.find(id);
+      if (sit != sreqs_.end()) send_data_phase(*sit->second);
+    };
+  }
+  return res;
+}
+
+lapi::Lapi::HeaderHandlerResult LapiChannel::hh_rtsdata(int origin, const std::byte* uhdr,
+                                                        std::size_t uhdr_len,
+                                                        std::size_t total) {
+  assert(uhdr != nullptr && uhdr_len >= sizeof(Envelope));
+  (void)uhdr_len;
+  const Envelope env = unpack(uhdr);
+  auto it = rreqs_.find(env.rreq);
+  assert(it != rreqs_.end() && "rendezvous data for unknown receive");
+  RecvReq* r = it->second;
+  rreqs_.erase(it);
+
+  lapi::Lapi::HeaderHandlerResult res;
+  if (env.len <= r->cap) {
+    res.buffer = r->buf;
+    if (variant_ == LapiVariant::kCounters) {
+      setup_counters_recv(*r, origin, env);
+    } else {
+      res.inline_completion = variant_ == LapiVariant::kEnhanced;
+      res.completion = [this, r, env](void*) { publish_recv_complete(*r, env); };
+    }
+    return res;
+  }
+  // Truncation detour.
+  auto e = std::make_unique<EaEntry>();
+  e->env = env;
+  e->src_task = origin;
+  e->bound = r;
+  e->data.resize(total);
+  EaEntry* ep = e.get();
+  ea_.push_back(std::move(e));
+  res.buffer = ep->data.data();
+  if (variant_ == LapiVariant::kCounters) {
+    ep->watch = ring_slot(origin, env.cntr_slot);
+    bind_counters_ea(*r, *ep);
+  } else {
+    res.inline_completion = variant_ == LapiVariant::kEnhanced;
+    res.completion = [this, ep](void*) {
+      node_.publish([this, ep] {
+        ep->arrived = true;
+        deliver_from_ea(*ep->bound, *ep, /*app_context=*/false);
+      });
+    };
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Completion plumbing
+// ---------------------------------------------------------------------------
+
+void LapiChannel::publish_recv_complete(RecvReq& req, const Envelope& env) {
+  node_.publish([this, &req, env] {
+    req.complete = true;
+    req.truncated = env.len > req.cap;
+    req.status = Status{static_cast<int>(env.src), env.tag,
+                        std::min<std::size_t>(env.len, req.cap)};
+    req.cond.notify_all(node_.sim);
+  });
+}
+
+void LapiChannel::setup_counters_recv(RecvReq& req, int origin, const Envelope& env) {
+  req.watch = ring_slot(origin, env.cntr_slot);
+  req.status = Status{static_cast<int>(env.src), env.tag, env.len};  // provisional
+  // A waiter may already be blocked on req.cond; wake it so it re-evaluates
+  // and switches to waiting on the counter.
+  node_.publish([this, &req] { req.cond.notify_all(node_.sim); });
+  req.poll = [this, &req, env]() {
+    if (req.watch->value <= 0) return false;
+    --req.watch->value;
+    req.complete = true;
+    req.truncated = env.len > req.cap;
+    req.status = Status{static_cast<int>(env.src), env.tag,
+                        std::min<std::size_t>(env.len, req.cap)};
+    return true;
+  };
+}
+
+void LapiChannel::bind_counters_ea(RecvReq& req, EaEntry& e) {
+  req.watch = e.watch;
+  e.bound = &req;
+  node_.publish([this, &req] { req.cond.notify_all(node_.sim); });
+  EaEntry* ep = &e;
+  req.poll = [this, &req, ep]() {
+    if (req.watch->value <= 0) return false;
+    --req.watch->value;
+    deliver_from_ea(req, *ep, /*app_context=*/true);
+    return true;
+  };
+}
+
+void LapiChannel::deliver_from_ea(RecvReq& req, EaEntry& e, bool app_context) {
+  const std::size_t n = std::min<std::size_t>(e.env.len, req.cap);
+  const sim::TimeNs cost = copy_cost(node_.cfg, n);
+  if (app_context) {
+    node_.app_charge(cost);
+  } else {
+    node_.cpu.charge(node_.sim, cost);
+  }
+  if (n > 0) std::memcpy(req.buf, e.data.data(), n);
+  publish_recv_complete(req, e.env);
+  erase_ea(&e);
+}
+
+void LapiChannel::erase_ea(EaEntry* e) {
+  for (auto it = ea_.begin(); it != ea_.end(); ++it) {
+    if (it->get() == e) {
+      if (e->counted) ea_release(e->env.len);
+      ea_.erase(it);
+      return;
+    }
+  }
+  assert(false && "erase_ea: entry not found");
+}
+
+// ---------------------------------------------------------------------------
+// post_recv
+// ---------------------------------------------------------------------------
+
+bool LapiChannel::iprobe(int ctx, int src_sel, int tag_sel, Status* st) {
+  charge_match_app(static_cast<int>(ea_.size()));
+  // Same non-overtaking selection rule as post_recv: a candidate counts only
+  // if no earlier-sequence matchable candidate from the same source exists.
+  const EaEntry* chosen = nullptr;
+  for (const auto& ep : ea_) {
+    const EaEntry& e = *ep;
+    if (!e.matchable || e.bound != nullptr) continue;
+    if (e.env.ctx != ctx) continue;
+    if (src_sel != kAnySource && src_sel != e.env.src) continue;
+    if (tag_sel != kAnyTag && tag_sel != e.env.tag) continue;
+    if (chosen == nullptr ||
+        (e.src_task == chosen->src_task && e.env.seq < chosen->env.seq)) {
+      chosen = &e;
+    }
+  }
+  if (chosen == nullptr) return false;
+  if (st != nullptr) {
+    *st = Status{static_cast<int>(chosen->env.src), chosen->env.tag, chosen->env.len};
+  }
+  return true;
+}
+
+void LapiChannel::post_recv(RecvReq& req) {
+  charge_match_app(static_cast<int>(ea_.size()));
+  // MPI non-overtaking: among matchable early arrivals, a candidate may only
+  // be taken if no earlier-sequence candidate from the same source also
+  // matches (arrival order != send order on the multipath switch). Among the
+  // per-source front-runners, earliest arrival wins (wildcard sources).
+  auto chosen = ea_.end();
+  for (auto it = ea_.begin(); it != ea_.end(); ++it) {
+    EaEntry& e = **it;
+    if (!e.matchable || e.bound != nullptr) continue;
+    if (e.env.ctx != req.ctx) continue;
+    if (req.src_sel != kAnySource && req.src_sel != e.env.src) continue;
+    if (req.tag_sel != kAnyTag && req.tag_sel != e.env.tag) continue;
+    if (chosen == ea_.end()) {
+      chosen = it;
+    } else if ((*it)->src_task == (*chosen)->src_task &&
+               (*it)->env.seq < (*chosen)->env.seq) {
+      chosen = it;
+    }
+  }
+  if (chosen != ea_.end()) {
+    auto it = chosen;
+    EaEntry& e = **it;
+    if (e.is_rts) {
+      req.status = Status{static_cast<int>(e.env.src), e.env.tag, e.env.len};
+      send_cts(e.src_task, e.env.sreq, req);
+      ea_.erase(it);
+      return;
+    }
+    if (variant_ == LapiVariant::kCounters) {
+      bind_counters_ea(req, e);
+      return;
+    }
+    if (e.arrived) {
+      deliver_from_ea(req, e, /*app_context=*/true);
+    } else {
+      e.bound = &req;
+    }
+    return;
+  }
+  posted_.push_back(&req);
+}
+
+}  // namespace sp::mpci

@@ -1,0 +1,421 @@
+#include "mpci/pipes_channel.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace sp::mpci {
+
+namespace {
+[[nodiscard]] sim::TimeNs copy_cost(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return cfg.copy_call_ns +
+         static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+PipesChannel::PipesChannel(sim::NodeRuntime& node, pipes::Pipes& pipes, int my_task,
+                           int num_tasks)
+    : Channel(node),
+      pipes_(pipes),
+      my_task_(my_task),
+      parsers_(static_cast<std::size_t>(num_tasks)),
+      send_seq_(static_cast<std::size_t>(num_tasks), 0) {
+  pipes_.set_on_data([this](int src) { on_data(src); });
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+void PipesChannel::start_send(SendReq& req) {
+  req.proto = protocol_for(req.mode, req.len, node_.cfg.eager_limit);
+  req.id = next_sreq_++;
+
+  Envelope env;
+  env.ctx = static_cast<std::uint16_t>(req.ctx);
+  env.src = static_cast<std::uint16_t>(req.src_in_comm);
+  env.tag = req.tag;
+  env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+  env.len = static_cast<std::uint32_t>(req.len);
+  env.sreq = req.id;
+  if (req.mode == Mode::kReady) env.flags |= kFlagReady;
+  if (req.bsend_slot >= 0) env.flags |= kFlagNotifyDone;
+
+  if (req.proto == Protocol::kEager) {
+    ++eager_sends_;
+    env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
+    const bool needs_done = req.bsend_slot >= 0;
+    if (needs_done) sreqs_.emplace(req.id, &req);
+    pipes_.write(req.dst, pack(env), req.buf, req.len, [this, &req] {
+      node_.publish([this, &req] {
+        req.reusable = true;
+        maybe_complete_send(req);
+      });
+    });
+  } else {
+    ++rendezvous_sends_;
+    sreqs_.emplace(req.id, &req);
+    env.kind = static_cast<std::uint8_t>(EnvKind::kRts);
+    pipes_.write(req.dst, pack(env), nullptr, 0, nullptr);
+  }
+
+  if (req.bsend_slot >= 0) {
+    // Buffered sends complete immediately: the payload already lives in the
+    // attach buffer; the slot is reclaimed when kRecvDone arrives.
+    req.reusable = true;
+    req.complete = true;
+  }
+}
+
+void PipesChannel::progress(SendReq& req) {
+  // The blocking rendezvous path (Fig. 6): the application thread, woken by
+  // the CTS, pushes the data phase itself.
+  if (req.proto == Protocol::kRendezvous && req.cts_received && !req.data_sent) {
+    send_data_phase(req, req.rreq_cache);
+  }
+}
+
+void PipesChannel::send_data_phase(SendReq& req, std::uint32_t rreq) {
+  if (req.data_sent) return;  // progress() and the CTS path can race
+  req.data_sent = true;
+  Envelope env;
+  env.ctx = static_cast<std::uint16_t>(req.ctx);
+  env.src = static_cast<std::uint16_t>(req.src_in_comm);
+  env.tag = req.tag;
+  env.len = static_cast<std::uint32_t>(req.len);
+  env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
+  env.sreq = req.id;
+  env.rreq = rreq;
+  if (req.bsend_slot >= 0) env.flags |= kFlagNotifyDone;
+  pipes_.write(req.dst, pack(env), req.buf, req.len, [this, &req] {
+    node_.publish([this, &req] {
+      req.reusable = true;
+      maybe_complete_send(req);
+    });
+  });
+  if (req.bsend_slot < 0) sreqs_.erase(req.id);
+}
+
+void PipesChannel::maybe_complete_send(SendReq& req) {
+  if (req.complete) {
+    req.cond.notify_all(node_.sim);
+    return;
+  }
+  const bool done = (req.proto == Protocol::kEager) ? req.reusable
+                                                    : (req.data_sent && req.reusable);
+  if (done) {
+    req.complete = true;
+    req.cond.notify_all(node_.sim);
+  }
+}
+
+void PipesChannel::send_control(int dst_task, const Envelope& env) {
+  pipes_.write(dst_task, pack(env), nullptr, 0, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+RecvReq* PipesChannel::match_posted(const Envelope& env) {
+  int scanned = 0;
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    ++scanned;
+    RecvReq* r = *it;
+    if (r->ctx == env.ctx && (r->src_sel == kAnySource || r->src_sel == env.src) &&
+        (r->tag_sel == kAnyTag || r->tag_sel == env.tag)) {
+      posted_.erase(it);
+      charge_match_event(scanned);
+      return r;
+    }
+  }
+  charge_match_event(scanned);
+  return nullptr;
+}
+
+void PipesChannel::on_data(int src) {
+  Parser& p = parsers_[static_cast<std::size_t>(src)];
+  for (;;) {
+    if (p.in_payload) {
+      const std::size_t n = std::min(p.remaining, pipes_.available(src));
+      if (n == 0) return;
+      pipes_.consume(src, p.sink, n);
+      p.sink += n;
+      p.remaining -= n;
+      if (p.remaining > 0) return;
+      p.in_payload = false;
+      auto done = std::move(p.on_complete);
+      if (done) done();
+    } else {
+      if (pipes_.available(src) < sizeof(Envelope)) return;
+      std::byte raw[sizeof(Envelope)];
+      pipes_.consume(src, raw, sizeof(Envelope));
+      dispatch_envelope(src, unpack(raw), p);
+    }
+  }
+}
+
+void PipesChannel::dispatch_envelope(int src, const Envelope& env, Parser& p) {
+  switch (static_cast<EnvKind>(env.kind)) {
+    case EnvKind::kEager: {
+      RecvReq* r = match_posted(env);
+      if (r != nullptr && env.len <= r->cap) {
+        // Direct path: pipe buffer -> user buffer as bytes arrive.
+        if (env.len == 0) {
+          publish_recv_complete(*r, env, false);
+          if ((env.flags & kFlagNotifyDone) != 0) {
+            Envelope d;
+            d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+            d.sreq = env.sreq;
+            send_control(src, d);
+          }
+          return;
+        }
+        p.in_payload = true;
+        p.remaining = env.len;
+        p.sink = r->buf;
+        p.on_complete = [this, r, env, src] {
+          publish_recv_complete(*r, env, false);
+          if ((env.flags & kFlagNotifyDone) != 0) {
+            Envelope d;
+            d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+            d.sreq = env.sreq;
+            send_control(src, d);
+          }
+        };
+        return;
+      }
+      if (r == nullptr && (env.flags & kFlagReady) != 0) {
+        throw FatalMpiError("ready-mode message arrived before its receive was posted");
+      }
+      // Early arrival (or truncation detour): stream into an EA buffer.
+      auto e = std::make_unique<EaEntry>();
+      e->env = env;
+      e->src_task = src;
+      e->bound = r;  // non-null on the truncation detour
+      if (r == nullptr) {
+        ea_reserve(env.len);
+        e->counted = true;
+      }
+      e->data.resize(env.len);
+      EaEntry* ep = e.get();
+      ea_.push_back(std::move(e));
+      if (ep->bound == nullptr) publish_arrival();
+      if (env.len == 0) {
+        ep->arrived = true;
+        if (ep->bound != nullptr) deliver_from_ea(*ep->bound, *ep, /*app_context=*/false);
+        return;
+      }
+      p.in_payload = true;
+      p.remaining = env.len;
+      p.sink = ep->data.data();
+      p.on_complete = [this, ep, src] {
+        node_.publish([this, ep, src] {
+          ep->arrived = true;
+          if ((ep->env.flags & kFlagNotifyDone) != 0) {
+            Envelope d;
+            d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+            d.sreq = ep->env.sreq;
+            send_control(src, d);
+          }
+          if (ep->bound != nullptr) deliver_from_ea(*ep->bound, *ep, /*app_context=*/false);
+        });
+      };
+      return;
+    }
+
+    case EnvKind::kRts: {
+      RecvReq* r = match_posted(env);
+      if (r != nullptr) {
+        r->id = next_rreq_++;
+        rreqs_.emplace(r->id, r);
+        r->status = Status{env.src, env.tag, env.len};  // provisional
+        Envelope cts;
+        cts.kind = static_cast<std::uint8_t>(EnvKind::kCts);
+        cts.sreq = env.sreq;
+        cts.rreq = r->id;
+        send_control(src, cts);
+      } else {
+        auto e = std::make_unique<EaEntry>();
+        e->env = env;
+        e->src_task = src;
+        e->is_rts = true;
+        e->arrived = true;  // an RTS carries no payload
+        ea_.push_back(std::move(e));
+        publish_arrival();
+      }
+      return;
+    }
+
+    case EnvKind::kCts: {
+      auto it = sreqs_.find(env.sreq);
+      assert(it != sreqs_.end() && "CTS for unknown send request");
+      SendReq* s = it->second;
+      s->cts_received = true;
+      s->rreq_cache = env.rreq;
+      if (s->blocking) {
+        // Wake the blocked sender; it pushes the data phase (Fig. 6).
+        node_.publish([this, s] { s->cond.notify_all(node_.sim); });
+      } else {
+        send_data_phase(*s, env.rreq);
+      }
+      return;
+    }
+
+    case EnvKind::kRtsData: {
+      auto it = rreqs_.find(env.rreq);
+      assert(it != rreqs_.end() && "rendezvous data for unknown receive");
+      RecvReq* r = it->second;
+      rreqs_.erase(it);
+      const bool truncated = env.len > r->cap;
+      if (env.len == 0) {
+        publish_recv_complete(*r, env, false);
+        return;
+      }
+      if (!truncated) {
+        p.in_payload = true;
+        p.remaining = env.len;
+        p.sink = r->buf;
+        p.on_complete = [this, r, env, src] {
+          publish_recv_complete(*r, env, false);
+          if ((env.flags & kFlagNotifyDone) != 0) {
+            Envelope d;
+            d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+            d.sreq = env.sreq;
+            send_control(src, d);
+          }
+        };
+      } else {
+        auto e = std::make_unique<EaEntry>();
+        e->env = env;
+        e->src_task = src;
+        e->bound = r;
+        e->data.resize(env.len);
+        EaEntry* ep = e.get();
+        ea_.push_back(std::move(e));
+        p.in_payload = true;
+        p.remaining = env.len;
+        p.sink = ep->data.data();
+        p.on_complete = [this, ep, src] {
+          node_.publish([this, ep, src] {
+            ep->arrived = true;
+            if ((ep->env.flags & kFlagNotifyDone) != 0) {
+              Envelope d;
+              d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+              d.sreq = ep->env.sreq;
+              send_control(src, d);
+            }
+            deliver_from_ea(*ep->bound, *ep, /*app_context=*/false);
+          });
+        };
+      }
+      return;
+    }
+
+    case EnvKind::kRecvDone: {
+      auto it = sreqs_.find(env.sreq);
+      assert(it != sreqs_.end() && "RecvDone for unknown send request");
+      SendReq* s = it->second;
+      sreqs_.erase(it);
+      node_.publish([this, s] {
+        if (s->bsend_slot >= 0) bsend_.release(s->bsend_slot);
+        s->bsend_released = true;
+        s->cond.notify_all(node_.sim);
+      });
+      return;
+    }
+  }
+}
+
+void PipesChannel::publish_recv_complete(RecvReq& req, const Envelope& env, bool truncated) {
+  node_.publish([this, &req, env, truncated] {
+    req.complete = true;
+    req.truncated = truncated;
+    req.status = Status{env.src, env.tag,
+                        std::min<std::size_t>(env.len, req.cap)};
+    req.cond.notify_all(node_.sim);
+  });
+}
+
+void PipesChannel::deliver_from_ea(RecvReq& req, EaEntry& e, bool app_context) {
+  const std::size_t n = std::min<std::size_t>(e.env.len, req.cap);
+  const sim::TimeNs cost = copy_cost(node_.cfg, n);
+  if (app_context) {
+    node_.app_charge(cost);
+  } else {
+    node_.cpu.charge(node_.sim, cost);
+  }
+  if (n > 0) std::memcpy(req.buf, e.data.data(), n);
+  const bool truncated = e.env.len > req.cap;
+  publish_recv_complete(req, e.env, truncated);
+  erase_ea(&e);
+}
+
+void PipesChannel::erase_ea(EaEntry* e) {
+  for (auto it = ea_.begin(); it != ea_.end(); ++it) {
+    if (it->get() == e) {
+      if (e->counted) ea_release(e->env.len);
+      ea_.erase(it);
+      return;
+    }
+  }
+  assert(false && "erase_ea: entry not found");
+}
+
+std::list<std::unique_ptr<PipesChannel::EaEntry>>::iterator PipesChannel::find_ea(
+    const RecvReq& req) {
+  for (auto it = ea_.begin(); it != ea_.end(); ++it) {
+    EaEntry& e = **it;
+    if (e.bound == nullptr && e.env.ctx == req.ctx &&
+        (req.src_sel == kAnySource || req.src_sel == e.env.src) &&
+        (req.tag_sel == kAnyTag || req.tag_sel == e.env.tag)) {
+      return it;
+    }
+  }
+  return ea_.end();
+}
+
+bool PipesChannel::iprobe(int ctx, int src_sel, int tag_sel, Status* st) {
+  charge_match_app(static_cast<int>(ea_.size()));
+  for (const auto& ep : ea_) {
+    const EaEntry& e = *ep;
+    if (e.bound != nullptr) continue;
+    if (e.env.ctx != ctx) continue;
+    if (src_sel != kAnySource && src_sel != e.env.src) continue;
+    if (tag_sel != kAnyTag && tag_sel != e.env.tag) continue;
+    if (st != nullptr) *st = Status{static_cast<int>(e.env.src), e.env.tag, e.env.len};
+    return true;
+  }
+  return false;
+}
+
+void PipesChannel::post_recv(RecvReq& req) {
+  charge_match_app(static_cast<int>(ea_.size()));
+  auto it = find_ea(req);
+  if (it == ea_.end()) {
+    posted_.push_back(&req);
+    return;
+  }
+  EaEntry& e = **it;
+  if (e.is_rts) {
+    // The sender is waiting for us: clear it to send (Fig. 9).
+    req.id = next_rreq_++;
+    rreqs_.emplace(req.id, &req);
+    req.status = Status{e.env.src, e.env.tag, e.env.len};
+    Envelope cts;
+    cts.kind = static_cast<std::uint8_t>(EnvKind::kCts);
+    cts.sreq = e.env.sreq;
+    cts.rreq = req.id;
+    send_control(e.src_task, cts);
+    ea_.erase(it);
+    return;
+  }
+  if (e.arrived) {
+    deliver_from_ea(req, e, /*app_context=*/true);
+  } else {
+    e.bound = &req;  // complete (and copy) when the payload finishes arriving
+  }
+}
+
+}  // namespace sp::mpci

@@ -1,0 +1,104 @@
+// MPCI request objects and the MPI-mode -> internal-protocol translation
+// (Table 2 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "lapi/counter.hpp"
+#include "sim/rank_thread.hpp"
+
+namespace sp::mpci {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// The four MPI communication modes (§4).
+enum class Mode : std::uint8_t { kStandard, kSync, kReady, kBuffered };
+
+/// The two internal protocols (§4).
+enum class Protocol : std::uint8_t { kEager, kRendezvous };
+
+/// Table 2: translation of MPI communication modes to internal protocols.
+[[nodiscard]] constexpr Protocol protocol_for(Mode mode, std::size_t len,
+                                              std::size_t eager_limit) noexcept {
+  switch (mode) {
+    case Mode::kReady:
+      return Protocol::kEager;
+    case Mode::kSync:
+      return Protocol::kRendezvous;
+    case Mode::kStandard:
+    case Mode::kBuffered:
+      return len <= eager_limit ? Protocol::kEager : Protocol::kRendezvous;
+  }
+  return Protocol::kEager;  // unreachable
+}
+
+struct Status {
+  int source = kAnySource;
+  int tag = kAnyTag;
+  std::size_t len = 0;
+};
+
+struct SendReq {
+  // Filled by the MPI layer before Channel::start_send().
+  int dst = 0;          ///< Destination *task* id (transport address).
+  int src_in_comm = 0;  ///< Sender's rank within the communicator (envelope).
+  int ctx = 0;
+  int tag = 0;
+  const std::byte* buf = nullptr;
+  std::size_t len = 0;
+  Mode mode = Mode::kStandard;
+  bool blocking = false;
+  int bsend_slot = -1;  ///< Buffered mode: attach-pool slot to release.
+
+  // Channel state.
+  Protocol proto = Protocol::kEager;
+  std::uint32_t id = 0;
+  std::uint32_t rreq_cache = 0;  ///< Remote receive id from the CTS.
+  bool reusable = false;      ///< User buffer safe to modify.
+  bool cts_received = false;  ///< Rendezvous: receive has been posted remotely.
+  bool data_sent = false;     ///< Rendezvous: data phase issued.
+  bool complete = false;      ///< MPI completion semantics satisfied.
+  bool bsend_released = false;///< Buffered mode: attach-pool slot returned.
+  sim::SimCondition cond;
+
+  SendReq() = default;
+  SendReq(const SendReq&) = delete;
+  SendReq& operator=(const SendReq&) = delete;
+};
+
+struct RecvReq {
+  // Filled by the MPI layer before Channel::post_recv().
+  int ctx = 0;
+  int src_sel = kAnySource;
+  int tag_sel = kAnyTag;
+  std::byte* buf = nullptr;
+  std::size_t cap = 0;
+
+  // Channel state.
+  std::uint32_t id = 0;
+  bool complete = false;
+  bool truncated = false;
+  Status status;
+  sim::SimCondition cond;
+
+  /// MPI-LAPI "Counters" version: arrival is signalled by a counter-ring
+  /// slot instead of a completion handler; the waiter polls this.
+  lapi::Cntr* watch = nullptr;
+  /// Deferred receiver-side work run from the waiting thread once `watch`
+  /// fires (e.g. the early-arrival -> user copy). Returns true when done.
+  std::function<bool()> poll;
+
+  /// The condition a waiter should block on.
+  [[nodiscard]] sim::SimCondition& wait_cond() noexcept {
+    return watch != nullptr ? watch->cond : cond;
+  }
+
+  RecvReq() = default;
+  RecvReq(const RecvReq&) = delete;
+  RecvReq& operator=(const RecvReq&) = delete;
+};
+
+}  // namespace sp::mpci

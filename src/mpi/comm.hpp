@@ -1,0 +1,32 @@
+// Communicators: a context id plus an ordered group of task ids.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sp::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+class Comm {
+ public:
+  Comm() = default;
+  Comm(int ctx, std::vector<int> tasks, int my_rank)
+      : ctx_(ctx), tasks_(std::move(tasks)), rank_(my_rank) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(tasks_.size()); }
+  [[nodiscard]] int ctx() const noexcept { return ctx_; }
+  /// Task id (transport address) of communicator rank `r`.
+  [[nodiscard]] int task_of(int r) const { return tasks_[static_cast<std::size_t>(r)]; }
+  [[nodiscard]] const std::vector<int>& tasks() const noexcept { return tasks_; }
+
+ private:
+  int ctx_ = 0;
+  std::vector<int> tasks_;
+  int rank_ = 0;
+};
+
+}  // namespace sp::mpi

@@ -1,0 +1,80 @@
+// MPI datatypes (contiguous element types) and reduction operators.
+//
+// The paper's implementation deferred derived datatypes ("We plan to
+// implement MPI data types"); like it, we support contiguous buffers of the
+// basic element types, which is what reductions need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+
+namespace sp::mpi {
+
+enum class Datatype : std::uint8_t { kByte, kInt, kLong, kFloat, kDouble };
+
+[[nodiscard]] constexpr std::size_t datatype_size(Datatype d) noexcept {
+  switch (d) {
+    case Datatype::kByte: return 1;
+    case Datatype::kInt: return 4;
+    case Datatype::kLong: return 8;
+    case Datatype::kFloat: return 4;
+    case Datatype::kDouble: return 8;
+  }
+  return 1;
+}
+
+enum class Op : std::uint8_t { kSum, kProd, kMax, kMin, kLand, kLor, kBor };
+
+namespace detail {
+
+template <typename T>
+void apply_typed(Op op, const T* in, T* inout, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    switch (op) {
+      case Op::kSum: inout[i] = inout[i] + in[i]; break;
+      case Op::kProd: inout[i] = inout[i] * in[i]; break;
+      case Op::kMax: inout[i] = inout[i] > in[i] ? inout[i] : in[i]; break;
+      case Op::kMin: inout[i] = inout[i] < in[i] ? inout[i] : in[i]; break;
+      case Op::kLand: inout[i] = static_cast<T>((inout[i] != T{}) && (in[i] != T{})); break;
+      case Op::kLor: inout[i] = static_cast<T>((inout[i] != T{}) || (in[i] != T{})); break;
+      case Op::kBor:
+        if constexpr (std::is_integral_v<T>) {
+          inout[i] = inout[i] | in[i];
+        } else {
+          throw std::invalid_argument("bitwise OR on floating-point datatype");
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// inout[i] = inout[i] op in[i] for `count` elements of type `d`.
+inline void reduce_apply(Op op, Datatype d, const void* in, void* inout, std::size_t count) {
+  switch (d) {
+    case Datatype::kByte:
+      detail::apply_typed(op, static_cast<const std::uint8_t*>(in),
+                          static_cast<std::uint8_t*>(inout), count);
+      break;
+    case Datatype::kInt:
+      detail::apply_typed(op, static_cast<const std::int32_t*>(in),
+                          static_cast<std::int32_t*>(inout), count);
+      break;
+    case Datatype::kLong:
+      detail::apply_typed(op, static_cast<const std::int64_t*>(in),
+                          static_cast<std::int64_t*>(inout), count);
+      break;
+    case Datatype::kFloat:
+      detail::apply_typed(op, static_cast<const float*>(in), static_cast<float*>(inout), count);
+      break;
+    case Datatype::kDouble:
+      detail::apply_typed(op, static_cast<const double*>(in), static_cast<double*>(inout),
+                          count);
+      break;
+  }
+}
+
+}  // namespace sp::mpi

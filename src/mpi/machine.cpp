@@ -1,0 +1,150 @@
+#include "mpi/machine.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <sstream>
+
+namespace sp::mpi {
+
+Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
+    : cfg_(cfg), num_tasks_(num_tasks), backend_(backend) {
+  if (cfg_.trace_enabled) trace_ = std::make_unique<sim::Trace>();
+  fabric_ = std::make_unique<net::SwitchFabric>(sim_, cfg_, num_tasks_);
+  lapi_group_ = std::make_unique<lapi::LapiGroup>(num_tasks_);
+
+  for (int t = 0; t < num_tasks_; ++t) {
+    auto n = std::make_unique<Node>();
+    n->runtime = std::make_unique<sim::NodeRuntime>(sim_, cfg_, t);
+    n->runtime->trace = trace_.get();
+    n->hal = std::make_unique<hal::Hal>(*n->runtime, *fabric_);
+    // Both transports always exist (the real SP ran them side by side); the
+    // backend selects which one MPCI uses, and only the native stack enables
+    // the interrupt-handler hysteresis the paper criticises.
+    n->pipes = std::make_unique<pipes::Pipes>(*n->runtime, *n->hal);
+    n->lapi = std::make_unique<lapi::Lapi>(*n->runtime, *n->hal, *lapi_group_, t);
+    n->hal->set_hysteresis_enabled(backend_ == Backend::kNativePipes);
+
+    switch (backend_) {
+      case Backend::kNativePipes:
+        n->channel = std::make_unique<mpci::PipesChannel>(*n->runtime, *n->pipes, t, num_tasks_);
+        break;
+      case Backend::kLapiBase:
+        n->channel = std::make_unique<mpci::LapiChannel>(*n->runtime, *n->lapi,
+                                                         mpci::LapiVariant::kBase, t, num_tasks_);
+        break;
+      case Backend::kLapiCounters:
+        n->channel = std::make_unique<mpci::LapiChannel>(
+            *n->runtime, *n->lapi, mpci::LapiVariant::kCounters, t, num_tasks_);
+        break;
+      case Backend::kLapiEnhanced:
+        n->channel = std::make_unique<mpci::LapiChannel>(
+            *n->runtime, *n->lapi, mpci::LapiVariant::kEnhanced, t, num_tasks_);
+        break;
+    }
+    n->mpi = std::make_unique<Mpi>(*n->runtime, *n->channel, t, num_tasks_);
+    hal::Hal* hal_ptr = n->hal.get();
+    n->mpi->set_interrupt_hook([hal_ptr](bool on) { hal_ptr->set_interrupt_mode(on); });
+    nodes_.push_back(std::move(n));
+  }
+}
+
+Machine::~Machine() = default;
+
+void Machine::run_threads(const std::function<void(int)>& body) {
+  std::vector<std::unique_ptr<sim::RankThread>> threads;
+  threads.reserve(static_cast<std::size_t>(num_tasks_));
+  for (int t = 0; t < num_tasks_; ++t) {
+    threads.push_back(std::make_unique<sim::RankThread>(sim_, t, [&body, t] { body(t); }));
+    nodes_[static_cast<std::size_t>(t)]->runtime->thread = threads.back().get();
+    sim::RankThread* rt = threads.back().get();
+    sim_.after(0, [rt] { rt->resume_from_sim(); });
+  }
+
+  std::exception_ptr fatal;
+  try {
+    sim_.run();
+  } catch (...) {
+    fatal = std::current_exception();
+  }
+  elapsed_ = sim_.now();
+
+  // Collect per-thread errors before tearing threads down.
+  std::exception_ptr thread_error;
+  bool all_finished = true;
+  for (auto& th : threads) {
+    if (!th->finished()) all_finished = false;
+    if (!thread_error && th->error()) thread_error = th->error();
+  }
+  for (auto& th : threads) {
+    nodes_[static_cast<std::size_t>(th->id())]->runtime->thread = nullptr;
+  }
+  threads.clear();  // aborts any still-blocked threads
+
+  if (fatal) std::rethrow_exception(fatal);
+  if (thread_error) std::rethrow_exception(thread_error);
+  if (!all_finished) {
+    std::ostringstream os;
+    os << "simulation deadlock: event queue drained with rank thread(s) still blocked at t="
+       << sim::to_us(elapsed_) << "us";
+    throw sim::DeadlockError(os.str());
+  }
+}
+
+Machine::Stats Machine::stats() const {
+  Stats s;
+  for (const auto& n : nodes_) {
+    s.packets_sent += n->hal->packets_sent();
+    s.packets_received += n->hal->packets_received();
+    s.interrupts += n->hal->interrupts_taken();
+    s.eager_sends += n->channel->eager_sends();
+    s.rendezvous_sends += n->channel->rendezvous_sends();
+    s.early_arrivals += n->channel->early_arrivals();
+    s.lapi_messages += n->lapi->messages_sent();
+    s.lapi_retransmits += n->lapi->retransmits();
+    s.pipes_retransmits += n->pipes->retransmits();
+    s.completion_thread_dispatches += n->lapi->completion_thread_dispatches();
+    s.completion_inline_runs += n->lapi->completion_inline_runs();
+  }
+  s.fabric_packets = fabric_->packets_delivered();
+  s.fabric_bytes = fabric_->bytes_carried();
+  s.fabric_dropped = fabric_->packets_dropped();
+  s.sim_events = sim_.events_processed();
+  return s;
+}
+
+void Machine::print_stats(std::FILE* out) const {
+  const Stats s = stats();
+  std::fprintf(out, "--- %s, %d tasks, t=%.1f us ---\n", backend_name(backend_), num_tasks_,
+               sim::to_us(elapsed_));
+  std::fprintf(out, "fabric: %lld packets, %lld bytes, %lld dropped\n",
+               static_cast<long long>(s.fabric_packets), static_cast<long long>(s.fabric_bytes),
+               static_cast<long long>(s.fabric_dropped));
+  std::fprintf(out, "hal:    %lld sent, %lld received, %lld interrupts\n",
+               static_cast<long long>(s.packets_sent),
+               static_cast<long long>(s.packets_received), static_cast<long long>(s.interrupts));
+  std::fprintf(out, "mpci:   %lld eager, %lld rendezvous, %lld early arrivals\n",
+               static_cast<long long>(s.eager_sends),
+               static_cast<long long>(s.rendezvous_sends),
+               static_cast<long long>(s.early_arrivals));
+  std::fprintf(out, "lapi:   %lld messages, %lld retx; completions: %lld thread, %lld inline\n",
+               static_cast<long long>(s.lapi_messages),
+               static_cast<long long>(s.lapi_retransmits),
+               static_cast<long long>(s.completion_thread_dispatches),
+               static_cast<long long>(s.completion_inline_runs));
+  std::fprintf(out, "pipes:  %lld retx; simulator: %llu events\n",
+               static_cast<long long>(s.pipes_retransmits),
+               static_cast<unsigned long long>(s.sim_events));
+}
+
+void Machine::run(const std::function<void(Mpi&)>& program) {
+  run_threads([this, &program](int t) {
+    nodes_[static_cast<std::size_t>(t)]->channel->on_thread_start();
+    program(*nodes_[static_cast<std::size_t>(t)]->mpi);
+  });
+}
+
+void Machine::run_lapi(const std::function<void(lapi::Lapi&)>& program) {
+  run_threads([this, &program](int t) { program(*nodes_[static_cast<std::size_t>(t)]->lapi); });
+}
+
+}  // namespace sp::mpi

@@ -1,0 +1,128 @@
+// Machine: one simulated RS/6000 SP system, fully wired.
+//
+// Owns the simulator, the switch fabric and, per node: the runtime, HAL,
+// Pipes, LAPI, the selected MPCI channel and the MPI layer. Rank programs run
+// as baton threads (see sim/rank_thread.hpp); Machine::run() drives the event
+// loop to completion, detecting deadlocks and propagating program errors.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hal/hal.hpp"
+#include "lapi/lapi.hpp"
+#include "mpci/lapi_channel.hpp"
+#include "mpci/pipes_channel.hpp"
+#include "mpi/mpi.hpp"
+#include "net/switch_fabric.hpp"
+#include "pipes/pipes.hpp"
+#include "sim/config.hpp"
+#include "sim/node_runtime.hpp"
+#include "sim/simulator.hpp"
+
+namespace sp::mpi {
+
+/// Which protocol stack the MPI layer runs on (Fig. 1 + §5 versions).
+enum class Backend {
+  kNativePipes,   ///< MPI -> MPCI -> Pipes -> HAL (Fig. 1a)
+  kLapiBase,      ///< MPI -> new MPCI -> LAPI (completion-handler thread, §4)
+  kLapiCounters,  ///< §5.2: eager completions through exchanged counters
+  kLapiEnhanced,  ///< §5.3: inline predefined completion handlers
+};
+
+[[nodiscard]] constexpr const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::kNativePipes: return "Native MPI (Pipes)";
+    case Backend::kLapiBase: return "MPI-LAPI Base";
+    case Backend::kLapiCounters: return "MPI-LAPI Counters";
+    case Backend::kLapiEnhanced: return "MPI-LAPI Enhanced";
+  }
+  return "?";
+}
+
+class Machine {
+ public:
+  Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Run an SPMD MPI program on every task to completion.
+  void run(const std::function<void(Mpi&)>& program);
+
+  /// Run an SPMD program against the raw LAPI interface.
+  void run_lapi(const std::function<void(lapi::Lapi&)>& program);
+
+  /// Simulated time when the last run() finished.
+  [[nodiscard]] sim::TimeNs elapsed() const noexcept { return elapsed_; }
+
+  /// Aggregate statistics over all nodes (diagnostics / the spsim tool).
+  struct Stats {
+    std::int64_t packets_sent = 0;
+    std::int64_t packets_received = 0;
+    std::int64_t interrupts = 0;
+    std::int64_t fabric_packets = 0;
+    std::int64_t fabric_bytes = 0;
+    std::int64_t fabric_dropped = 0;
+    std::int64_t eager_sends = 0;
+    std::int64_t rendezvous_sends = 0;
+    std::int64_t early_arrivals = 0;
+    std::int64_t lapi_messages = 0;
+    std::int64_t lapi_retransmits = 0;
+    std::int64_t pipes_retransmits = 0;
+    std::int64_t completion_thread_dispatches = 0;
+    std::int64_t completion_inline_runs = 0;
+    std::uint64_t sim_events = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  /// Print a human-readable stats block to `out`.
+  void print_stats(std::FILE* out) const;
+
+  /// The machine-wide event timeline (null unless cfg.trace_enabled).
+  [[nodiscard]] sim::Trace* trace() noexcept { return trace_.get(); }
+
+  // --- component access (tests, benches) ---
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] const sim::MachineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int num_tasks() const noexcept { return num_tasks_; }
+  [[nodiscard]] Backend backend() const noexcept { return backend_; }
+  [[nodiscard]] net::SwitchFabric& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] hal::Hal& hal(int t) { return *nodes_[static_cast<std::size_t>(t)]->hal; }
+  [[nodiscard]] pipes::Pipes& pipes(int t) { return *nodes_[static_cast<std::size_t>(t)]->pipes; }
+  [[nodiscard]] lapi::Lapi& lapi(int t) { return *nodes_[static_cast<std::size_t>(t)]->lapi; }
+  [[nodiscard]] mpci::Channel& channel(int t) {
+    return *nodes_[static_cast<std::size_t>(t)]->channel;
+  }
+  [[nodiscard]] Mpi& mpi(int t) { return *nodes_[static_cast<std::size_t>(t)]->mpi; }
+  [[nodiscard]] sim::NodeRuntime& node(int t) {
+    return *nodes_[static_cast<std::size_t>(t)]->runtime;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<sim::NodeRuntime> runtime;
+    std::unique_ptr<hal::Hal> hal;
+    std::unique_ptr<pipes::Pipes> pipes;
+    std::unique_ptr<lapi::Lapi> lapi;
+    std::unique_ptr<mpci::Channel> channel;
+    std::unique_ptr<Mpi> mpi;
+  };
+
+  void run_threads(const std::function<void(int)>& body);
+
+  sim::MachineConfig cfg_;
+  int num_tasks_;
+  Backend backend_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Trace> trace_;
+  std::unique_ptr<net::SwitchFabric> fabric_;
+  std::unique_ptr<lapi::LapiGroup> lapi_group_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::TimeNs elapsed_ = 0;
+};
+
+}  // namespace sp::mpi

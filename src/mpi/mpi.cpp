@@ -1,0 +1,765 @@
+#include "mpi/mpi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace sp::mpi {
+
+namespace {
+/// Reserved tag space for collectives (user tags must stay below this).
+constexpr int kCollTagBase = 1 << 20;
+
+[[nodiscard]] sim::TimeNs copy_cost(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return cfg.copy_call_ns +
+         static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+Mpi::Mpi(sim::NodeRuntime& node, mpci::Channel& channel, int task_id, int num_tasks)
+    : node_(node), channel_(channel), task_id_(task_id) {
+  std::vector<int> tasks(static_cast<std::size_t>(num_tasks));
+  std::iota(tasks.begin(), tasks.end(), 0);
+  world_ = Comm(0, std::move(tasks), task_id);
+}
+
+int Mpi::coll_tag() { return kCollTagBase + static_cast<int>(coll_seq_++ % 4096); }
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+void Mpi::start_send_common(mpci::SendReq& req, const void* buf, std::size_t bytes, int dst,
+                            int tag, const Comm& c, mpci::Mode mode, bool blocking) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns);
+  req.dst = c.task_of(dst);
+  req.src_in_comm = c.rank();
+  req.ctx = c.ctx();
+  req.tag = tag;
+  req.buf = static_cast<const std::byte*>(buf);
+  req.len = bytes;
+  req.mode = mode;
+  req.blocking = blocking;
+  channel_.start_send(req);
+}
+
+void Mpi::start_bsend(mpci::SendReq& req, const void* buf, std::size_t bytes, int dst, int tag,
+                      const Comm& c, bool blocking) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns);
+  std::byte* slot_buf = nullptr;
+  const int slot = channel_.bsend_pool().alloc(bytes, &slot_buf);
+  if (slot < 0) {
+    throw mpci::FatalMpiError("MPI_Bsend: attach buffer exhausted (MPI_ERR_BUFFER)");
+  }
+  // The buffered-mode copy into the attach buffer (Fig. 8).
+  node_.app_charge(copy_cost(node_.cfg, bytes));
+  if (bytes > 0) std::memcpy(slot_buf, buf, bytes);
+  req.bsend_slot = slot;
+  req.dst = c.task_of(dst);
+  req.src_in_comm = c.rank();
+  req.ctx = c.ctx();
+  req.tag = tag;
+  req.buf = slot_buf;
+  req.len = bytes;
+  req.mode = mpci::Mode::kBuffered;
+  req.blocking = blocking;
+  channel_.start_send(req);
+}
+
+void Mpi::wait_send(mpci::SendReq& req) {
+  assert(node_.thread != nullptr);
+  while (!req.complete) {
+    channel_.progress(req);
+    if (req.complete) break;
+    req.cond.wait(*node_.thread);
+  }
+}
+
+void Mpi::wait_recv(mpci::RecvReq& req, Status* st) {
+  assert(node_.thread != nullptr);
+  while (!req.complete) {
+    if (req.poll && req.poll()) break;
+    req.wait_cond().wait(*node_.thread);
+  }
+  if (st != nullptr) *st = req.status;
+}
+
+void Mpi::send(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+               const Comm& c) {
+  mpci::SendReq req;
+  start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kStandard,
+                    /*blocking=*/true);
+  wait_send(req);
+}
+
+void Mpi::ssend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                const Comm& c) {
+  mpci::SendReq req;
+  start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kSync,
+                    /*blocking=*/true);
+  wait_send(req);
+}
+
+void Mpi::rsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                const Comm& c) {
+  mpci::SendReq req;
+  start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kReady,
+                    /*blocking=*/true);
+  wait_send(req);
+}
+
+void Mpi::bsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                const Comm& c) {
+  gc_orphans();
+  auto req = std::make_unique<mpci::SendReq>();
+  start_bsend(*req, buf, count * datatype_size(d), dst, tag, c, /*blocking=*/false);
+  orphans_.push_back(std::move(req));
+}
+
+void Mpi::recv(void* buf, std::size_t count, Datatype d, int src, int tag, const Comm& c,
+               Status* st) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns);
+  mpci::RecvReq req;
+  req.ctx = c.ctx();
+  req.src_sel = src;
+  req.tag_sel = tag;
+  req.buf = static_cast<std::byte*>(buf);
+  req.cap = count * datatype_size(d);
+  channel_.post_recv(req);
+  wait_recv(req, st);
+}
+
+void Mpi::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag, void* rbuf,
+                   std::size_t rcount, int src, int rtag, Datatype d, const Comm& c,
+                   Status* st) {
+  Request r = irecv(rbuf, rcount, d, src, rtag, c);
+  send(sbuf, scount, d, dst, stag, c);
+  wait(r, st);
+}
+
+Request Mpi::isend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                   const Comm& c) {
+  Request r;
+  r.send_ = std::make_unique<mpci::SendReq>();
+  start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c,
+                    mpci::Mode::kStandard, /*blocking=*/false);
+  return r;
+}
+
+Request Mpi::issend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                    const Comm& c) {
+  Request r;
+  r.send_ = std::make_unique<mpci::SendReq>();
+  start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kSync,
+                    /*blocking=*/false);
+  return r;
+}
+
+Request Mpi::irsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                    const Comm& c) {
+  Request r;
+  r.send_ = std::make_unique<mpci::SendReq>();
+  start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kReady,
+                    /*blocking=*/false);
+  return r;
+}
+
+Request Mpi::ibsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                    const Comm& c) {
+  Request r;
+  r.send_ = std::make_unique<mpci::SendReq>();
+  start_bsend(*r.send_, buf, count * datatype_size(d), dst, tag, c, /*blocking=*/false);
+  return r;
+}
+
+Request Mpi::irecv(void* buf, std::size_t count, Datatype d, int src, int tag, const Comm& c) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns);
+  Request r;
+  r.recv_ = std::make_unique<mpci::RecvReq>();
+  r.recv_->ctx = c.ctx();
+  r.recv_->src_sel = src;
+  r.recv_->tag_sel = tag;
+  r.recv_->buf = static_cast<std::byte*>(buf);
+  r.recv_->cap = count * datatype_size(d);
+  channel_.post_recv(*r.recv_);
+  return r;
+}
+
+void Mpi::finish_request(Request& r, Status* st) {
+  if (r.send_) {
+    if (r.send_->bsend_slot >= 0 && !r.send_->bsend_released) {
+      // MPI_Wait on an ibsend completes once the message is buffered, but the
+      // request object must survive until the slot drains; orphan it.
+      orphans_.push_back(std::move(r.send_));
+    }
+    r.send_.reset();
+  } else if (r.recv_) {
+    if (st != nullptr) *st = r.recv_->status;
+    r.recv_.reset();
+  }
+  if (r.on_complete_) {
+    auto fn = std::move(r.on_complete_);
+    r.on_complete_ = nullptr;
+    fn();
+  }
+  r.staging_.reset();
+}
+
+void Mpi::wait(Request& r, Status* st) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  if (!r.send_ && !r.recv_) {
+    // Inactive persistent requests complete immediately (MPI semantics).
+    assert(r.persistent() && "wait on an inactive request");
+    return;
+  }
+  if (r.send_) {
+    wait_send(*r.send_);
+  } else {
+    wait_recv(*r.recv_, nullptr);
+  }
+  finish_request(r, st);
+}
+
+bool Mpi::check_complete(Request& r) {
+  if (r.send_) {
+    channel_.progress(*r.send_);
+    return r.send_->complete;
+  }
+  if (r.recv_) {
+    return r.recv_->complete || (r.recv_->poll && r.recv_->poll());
+  }
+  return true;  // inactive
+}
+
+bool Mpi::test(Request& r, Status* st) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  if (!r.send_ && !r.recv_) {
+    assert(r.persistent() && "test on an inactive request");
+    return true;
+  }
+  if (!check_complete(r)) return false;
+  finish_request(r, st);
+  return true;
+}
+
+void Mpi::waitall(Request* reqs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reqs[i].valid()) wait(reqs[i]);
+  }
+}
+
+std::size_t Mpi::waitany(Request* reqs, std::size_t n, Status* st) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  assert(node_.thread != nullptr);
+  for (;;) {
+    bool any_active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reqs[i].valid()) continue;
+      any_active = true;
+      if (check_complete(reqs[i])) {
+        finish_request(reqs[i], st);
+        return i;
+      }
+    }
+    if (!any_active) return n;  // MPI_UNDEFINED analogue
+    // Block until any of the active requests' conditions fires. Stale
+    // registrations only cause harmless spurious wakeups.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!reqs[i].valid()) continue;
+      if (reqs[i].send_) {
+        reqs[i].send_->cond.add_waiter(node_.thread);
+      } else {
+        reqs[i].recv_->wait_cond().add_waiter(node_.thread);
+      }
+    }
+    node_.thread->yield_to_sim();
+  }
+}
+
+bool Mpi::testall(Request* reqs, std::size_t n) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reqs[i].valid() && !check_complete(reqs[i])) return false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reqs[i].valid()) finish_request(reqs[i], nullptr);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+bool Mpi::iprobe(int src, int tag, const Comm& c, Status* st) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  return channel_.iprobe(c.ctx(), src, tag, st);
+}
+
+void Mpi::probe(int src, int tag, const Comm& c, Status* st) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  assert(node_.thread != nullptr);
+  while (!channel_.iprobe(c.ctx(), src, tag, st)) {
+    channel_.arrival_cond().wait(*node_.thread);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Derived datatypes (pack / unpack at the MPI layer — the paper's future work)
+// ---------------------------------------------------------------------------
+
+void Mpi::send(const void* buf, std::size_t count, const DerivedDatatype& t, int dst, int tag,
+               const Comm& c) {
+  const std::size_t packed = t.packed_bytes() * count;
+  std::vector<std::byte> stage(packed);
+  node_.app_charge(copy_cost(node_.cfg, packed));  // pack
+  t.pack(buf, stage.data(), count);
+  send(stage.data(), packed, Datatype::kByte, dst, tag, c);
+}
+
+void Mpi::recv(void* buf, std::size_t count, const DerivedDatatype& t, int src, int tag,
+               const Comm& c, Status* st) {
+  const std::size_t packed = t.packed_bytes() * count;
+  std::vector<std::byte> stage(packed);
+  recv(stage.data(), packed, Datatype::kByte, src, tag, c, st);
+  node_.app_charge(copy_cost(node_.cfg, packed));  // unpack
+  t.unpack(stage.data(), buf, count);
+}
+
+Request Mpi::isend(const void* buf, std::size_t count, const DerivedDatatype& t, int dst,
+                   int tag, const Comm& c) {
+  const std::size_t packed = t.packed_bytes() * count;
+  auto stage = std::make_unique<std::vector<std::byte>>(packed);
+  node_.app_charge(copy_cost(node_.cfg, packed));
+  t.pack(buf, stage->data(), count);
+  Request r = isend(stage->data(), packed, Datatype::kByte, dst, tag, c);
+  r.staging_ = std::move(stage);
+  return r;
+}
+
+Request Mpi::irecv(void* buf, std::size_t count, const DerivedDatatype& t, int src, int tag,
+                   const Comm& c) {
+  const std::size_t packed = t.packed_bytes() * count;
+  auto stage = std::make_unique<std::vector<std::byte>>(packed);
+  Request r = irecv(stage->data(), packed, Datatype::kByte, src, tag, c);
+  auto* stage_ptr = stage.get();
+  r.staging_ = std::move(stage);
+  r.on_complete_ = [this, stage_ptr, buf, count, t] {
+    node_.app_charge(copy_cost(node_.cfg, t.packed_bytes() * count));
+    t.unpack(stage_ptr->data(), buf, count);
+  };
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Persistent requests
+// ---------------------------------------------------------------------------
+
+Request Mpi::send_init(const void* buf, std::size_t count, Datatype d, int dst, int tag,
+                       const Comm& c) {
+  Request r;
+  r.persistent_ = std::make_unique<Request::PersistentSpec>();
+  r.persistent_->is_send = true;
+  r.persistent_->sbuf = buf;
+  r.persistent_->bytes = count * datatype_size(d);
+  r.persistent_->peer = dst;
+  r.persistent_->tag = tag;
+  r.persistent_->comm = c;
+  return r;
+}
+
+Request Mpi::recv_init(void* buf, std::size_t count, Datatype d, int src, int tag,
+                       const Comm& c) {
+  Request r;
+  r.persistent_ = std::make_unique<Request::PersistentSpec>();
+  r.persistent_->is_send = false;
+  r.persistent_->rbuf = buf;
+  r.persistent_->bytes = count * datatype_size(d);
+  r.persistent_->peer = src;
+  r.persistent_->tag = tag;
+  r.persistent_->comm = c;
+  return r;
+}
+
+void Mpi::start(Request& r) {
+  assert(r.persistent() && "start on a non-persistent request");
+  assert(!r.send_ && !r.recv_ && "start on an already-active request");
+  const auto& p = *r.persistent_;
+  if (p.is_send) {
+    r.send_ = std::make_unique<mpci::SendReq>();
+    start_send_common(*r.send_, p.sbuf, p.bytes, p.peer, p.tag, p.comm, p.mode,
+                      /*blocking=*/false);
+  } else {
+    node_.app_charge(node_.cfg.mpi_call_overhead_ns);
+    r.recv_ = std::make_unique<mpci::RecvReq>();
+    r.recv_->ctx = p.comm.ctx();
+    r.recv_->src_sel = p.peer;
+    r.recv_->tag_sel = p.tag;
+    r.recv_->buf = static_cast<std::byte*>(p.rbuf);
+    r.recv_->cap = p.bytes;
+    channel_.post_recv(*r.recv_);
+  }
+}
+
+void Mpi::startall(Request* reqs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) start(reqs[i]);
+}
+
+void Mpi::gc_orphans() {
+  for (auto it = orphans_.begin(); it != orphans_.end();) {
+    if ((*it)->complete && ((*it)->bsend_slot < 0 || (*it)->bsend_released)) {
+      it = orphans_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Buffered mode
+// ---------------------------------------------------------------------------
+
+void Mpi::buffer_attach(void* buf, std::size_t len) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  channel_.bsend_pool().drained.sim = &node_.sim;
+  channel_.bsend_pool().attach(static_cast<std::byte*>(buf), len);
+}
+
+void* Mpi::buffer_detach() {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  auto& pool = channel_.bsend_pool();
+  assert(node_.thread != nullptr);
+  pool.drained.cond.wait_until(*node_.thread, [&pool] { return pool.empty(); });
+  gc_orphans();
+  return pool.detach();
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (decomposed into point-to-point, as the paper's MPI layer does)
+// ---------------------------------------------------------------------------
+
+void Mpi::barrier(const Comm& c) {
+  const int n = c.size();
+  if (n <= 1) return;
+  const int tag = coll_tag();
+  const int me = c.rank();
+  // Dissemination barrier: log2(n) rounds of sendrecv.
+  for (int span = 1; span < n; span <<= 1) {
+    const int to = (me + span) % n;
+    const int from = (me - span % n + n) % n;
+    std::byte token{};
+    std::byte in{};
+    sendrecv(&token, 1, to, tag, &in, 1, from, tag, Datatype::kByte, c);
+  }
+}
+
+void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& c) {
+  const int n = c.size();
+  if (n <= 1) return;
+  const int tag = coll_tag();
+  // Binomial tree rooted at `root`; ranks are rotated so root becomes 0.
+  const int vrank = (c.rank() - root + n) % n;
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int vsrc = vrank - mask;
+      recv(buf, count, d, (vsrc + root) % n, tag, c);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n && (vrank & (mask - 1)) == 0 && (vrank & mask) == 0) {
+      const int vdst = vrank + mask;
+      send(buf, count, d, (vdst + root) % n, tag, c);
+    }
+    mask >>= 1;
+  }
+}
+
+void Mpi::reduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
+                 int root, const Comm& c) {
+  const int n = c.size();
+  const std::size_t bytes = count * datatype_size(d);
+  std::vector<std::byte> acc(bytes);
+  if (bytes > 0) std::memcpy(acc.data(), sendb, bytes);
+  if (n > 1) {
+    const int tag = coll_tag();
+    const int vrank = (c.rank() - root + n) % n;
+    std::vector<std::byte> incoming(bytes);
+    // Binomial reduction tree toward virtual rank 0.
+    int mask = 1;
+    while (mask < n) {
+      if ((vrank & mask) != 0) {
+        const int vdst = vrank - mask;
+        send(acc.data(), count, d, (vdst + root) % n, tag, c);
+        break;
+      }
+      const int vsrc = vrank + mask;
+      if (vsrc < n) {
+        recv(incoming.data(), count, d, (vsrc + root) % n, tag, c);
+        reduce_apply(op, d, incoming.data(), acc.data(), count);
+      }
+      mask <<= 1;
+    }
+  }
+  if (c.rank() == root && bytes > 0) std::memcpy(recvb, acc.data(), bytes);
+}
+
+void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
+                    const Comm& c) {
+  reduce(sendb, recvb, count, d, op, 0, c);
+  bcast(recvb, count, d, 0, c);
+}
+
+void Mpi::gather(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
+                 const Comm& c) {
+  const std::size_t bytes = count * datatype_size(d);
+  const int tag = coll_tag();
+  if (c.rank() == root) {
+    auto* out = static_cast<std::byte*>(recvb);
+    for (int r = 0; r < c.size(); ++r) {
+      if (r == root) {
+        if (bytes > 0) std::memcpy(out + static_cast<std::size_t>(r) * bytes, sendb, bytes);
+      } else {
+        recv(out + static_cast<std::size_t>(r) * bytes, count, d, r, tag, c);
+      }
+    }
+  } else {
+    send(sendb, count, d, root, tag, c);
+  }
+}
+
+void Mpi::scatter(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
+                  const Comm& c) {
+  const std::size_t bytes = count * datatype_size(d);
+  const int tag = coll_tag();
+  if (c.rank() == root) {
+    const auto* in = static_cast<const std::byte*>(sendb);
+    for (int r = 0; r < c.size(); ++r) {
+      if (r == root) {
+        if (bytes > 0) std::memcpy(recvb, in + static_cast<std::size_t>(r) * bytes, bytes);
+      } else {
+        send(in + static_cast<std::size_t>(r) * bytes, count, d, r, tag, c);
+      }
+    }
+  } else {
+    recv(recvb, count, d, root, tag, c);
+  }
+}
+
+void Mpi::allgather(const void* sendb, std::size_t count, void* recvb, Datatype d,
+                    const Comm& c) {
+  const int n = c.size();
+  const std::size_t bytes = count * datatype_size(d);
+  auto* out = static_cast<std::byte*>(recvb);
+  const int me = c.rank();
+  if (bytes > 0) std::memcpy(out + static_cast<std::size_t>(me) * bytes, sendb, bytes);
+  if (n <= 1) return;
+  const int tag = coll_tag();
+  // Ring: in step k, forward the block received in step k-1.
+  for (int k = 0; k < n - 1; ++k) {
+    const int to = (me + 1) % n;
+    const int from = (me - 1 + n) % n;
+    const int send_block = (me - k + n) % n;
+    const int recv_block = (me - k - 1 + n) % n;
+    sendrecv(out + static_cast<std::size_t>(send_block) * bytes, count, to, tag,
+             out + static_cast<std::size_t>(recv_block) * bytes, count, from, tag, d, c);
+  }
+}
+
+void Mpi::alltoall(const void* sendb, std::size_t count, void* recvb, Datatype d,
+                   const Comm& c) {
+  const int n = c.size();
+  const std::size_t bytes = count * datatype_size(d);
+  const auto* in = static_cast<const std::byte*>(sendb);
+  auto* out = static_cast<std::byte*>(recvb);
+  const int me = c.rank();
+  if (bytes > 0) {
+    std::memcpy(out + static_cast<std::size_t>(me) * bytes,
+                in + static_cast<std::size_t>(me) * bytes, bytes);
+  }
+  const int tag = coll_tag();
+  // Pairwise exchange with a rotating partner schedule.
+  for (int k = 1; k < n; ++k) {
+    const int to = (me + k) % n;
+    const int from = (me - k + n) % n;
+    sendrecv(in + static_cast<std::size_t>(to) * bytes, count, to, tag,
+             out + static_cast<std::size_t>(from) * bytes, count, from, tag, d, c);
+  }
+}
+
+void Mpi::alltoallv(const void* sendb, const std::size_t* scounts, const std::size_t* sdispls,
+                    void* recvb, const std::size_t* rcounts, const std::size_t* rdispls,
+                    Datatype d, const Comm& c) {
+  const int n = c.size();
+  const std::size_t esz = datatype_size(d);
+  const auto* in = static_cast<const std::byte*>(sendb);
+  auto* out = static_cast<std::byte*>(recvb);
+  const int me = c.rank();
+  if (scounts[me] > 0) {
+    std::memcpy(out + rdispls[me] * esz, in + sdispls[me] * esz, scounts[me] * esz);
+  }
+  const int tag = coll_tag();
+  for (int k = 1; k < n; ++k) {
+    const int to = (me + k) % n;
+    const int from = (me - k + n) % n;
+    Request r = irecv(out + rdispls[from] * esz, rcounts[from], d, from, tag, c);
+    send(in + sdispls[to] * esz, scounts[to], d, to, tag, c);
+    wait(r);
+  }
+}
+
+void Mpi::scan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
+               const Comm& c) {
+  const std::size_t bytes = count * datatype_size(d);
+  const int me = c.rank();
+  const int tag = coll_tag();
+  // Linear chain: result_r = v_0 op ... op v_r, accumulated left to right.
+  if (bytes > 0) std::memcpy(recvb, sendb, bytes);
+  if (me > 0) {
+    std::vector<std::byte> acc(bytes);
+    recv(acc.data(), count, d, me - 1, tag, c);
+    // recvb = acc op mine (operand order matters for non-commutative views).
+    std::vector<std::byte> mine(bytes);
+    std::memcpy(mine.data(), recvb, bytes);
+    std::memcpy(recvb, acc.data(), bytes);
+    reduce_apply(op, d, mine.data(), recvb, count);
+  }
+  if (me + 1 < c.size()) {
+    send(recvb, count, d, me + 1, tag, c);
+  }
+}
+
+void Mpi::exscan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
+                 const Comm& c) {
+  const std::size_t bytes = count * datatype_size(d);
+  const int me = c.rank();
+  const int tag = coll_tag();
+  std::vector<std::byte> carry(bytes);  // v_0 op ... op v_me (to forward)
+  if (bytes > 0) std::memcpy(carry.data(), sendb, bytes);
+  if (me > 0) {
+    std::vector<std::byte> acc(bytes);
+    recv(acc.data(), count, d, me - 1, tag, c);
+    if (bytes > 0) std::memcpy(recvb, acc.data(), bytes);  // exclusive prefix
+    reduce_apply(op, d, sendb, acc.data(), count);
+    carry = std::move(acc);
+  }
+  if (me + 1 < c.size()) {
+    send(carry.data(), count, d, me + 1, tag, c);
+  }
+}
+
+void Mpi::gatherv(const void* sendb, std::size_t scount, void* recvb,
+                  const std::size_t* rcounts, const std::size_t* displs, Datatype d, int root,
+                  const Comm& c) {
+  const std::size_t esz = datatype_size(d);
+  const int tag = coll_tag();
+  if (c.rank() == root) {
+    auto* out = static_cast<std::byte*>(recvb);
+    for (int r = 0; r < c.size(); ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (r == root) {
+        if (rcounts[ri] > 0) std::memcpy(out + displs[ri] * esz, sendb, rcounts[ri] * esz);
+      } else {
+        recv(out + displs[ri] * esz, rcounts[ri], d, r, tag, c);
+      }
+    }
+  } else {
+    send(sendb, scount, d, root, tag, c);
+  }
+}
+
+void Mpi::scatterv(const void* sendb, const std::size_t* scounts, const std::size_t* displs,
+                   void* recvb, std::size_t rcount, Datatype d, int root, const Comm& c) {
+  const std::size_t esz = datatype_size(d);
+  const int tag = coll_tag();
+  if (c.rank() == root) {
+    const auto* in = static_cast<const std::byte*>(sendb);
+    for (int r = 0; r < c.size(); ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (r == root) {
+        if (scounts[ri] > 0) std::memcpy(recvb, in + displs[ri] * esz, scounts[ri] * esz);
+      } else {
+        send(in + displs[ri] * esz, scounts[ri], d, r, tag, c);
+      }
+    }
+  } else {
+    recv(recvb, rcount, d, root, tag, c);
+  }
+}
+
+void Mpi::reduce_scatter_block(const void* sendb, void* recvb, std::size_t count, Datatype d,
+                               Op op, const Comm& c) {
+  const int n = c.size();
+  std::vector<std::byte> full(count * static_cast<std::size_t>(n) * datatype_size(d));
+  reduce(sendb, full.data(), count * static_cast<std::size_t>(n), d, op, 0, c);
+  scatter(full.data(), count, recvb, d, 0, c);
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+Comm Mpi::dup(const Comm& c) {
+  // Collective: every member allocates the same new context deterministically.
+  barrier(c);
+  const int ctx = next_ctx_++;
+  return Comm(ctx, c.tasks(), c.rank());
+}
+
+Comm Mpi::split(const Comm& c, int color, int key) {
+  const int n = c.size();
+  // Gather (color, key) from every member.
+  std::vector<std::int32_t> mine{color, key};
+  std::vector<std::int32_t> all(static_cast<std::size_t>(n) * 2);
+  allgather(mine.data(), 2, all.data(), Datatype::kInt, c);
+
+  // Distinct colors, sorted, determine context ids deterministically.
+  std::vector<int> colors;
+  for (int r = 0; r < n; ++r) colors.push_back(all[static_cast<std::size_t>(r) * 2]);
+  std::vector<int> uniq = colors;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+  const auto color_idx = static_cast<int>(
+      std::lower_bound(uniq.begin(), uniq.end(), color) - uniq.begin());
+  const int ctx = next_ctx_ + color_idx;
+  next_ctx_ += static_cast<int>(uniq.size());
+
+  // Members of my color, ordered by (key, rank).
+  std::vector<std::pair<int, int>> members;  // (key, rank)
+  for (int r = 0; r < n; ++r) {
+    if (colors[static_cast<std::size_t>(r)] == color) {
+      members.emplace_back(all[static_cast<std::size_t>(r) * 2 + 1], r);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<int> tasks;
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    tasks.push_back(c.task_of(members[i].second));
+    if (members[i].second == c.rank()) my_new_rank = static_cast<int>(i);
+  }
+  return Comm(ctx, std::move(tasks), my_new_rank);
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
+double Mpi::wtime() const { return sim::to_sec(node_.sim.now()); }
+
+void Mpi::compute(sim::TimeNs ns) { node_.app_charge(ns); }
+
+void Mpi::set_interrupt_mode(bool on) {
+  node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
+  // The interrupt switch lives in the HAL; reach it through the runtime.
+  assert(interrupt_hook_ && "interrupt hook not wired by the Machine");
+  interrupt_hook_(on);
+}
+
+}  // namespace sp::mpi

@@ -1,0 +1,116 @@
+// MPL compatibility facade.
+//
+// MPL was IBM's pre-MPI message-passing interface on the SP (§1-2 of the
+// paper: the native MPI was built by reusing MPL's infrastructure, and one of
+// the paper's motivations was "to provide better reuse by making LAPI the
+// common transport layer for other communication libraries"). This facade
+// demonstrates exactly that: the classic MPL call set runs over the same
+// MPCI channel — and therefore over either transport — with MPL's flavour of
+// the API: explicit (source, type) addressing, DONTCARE wildcards, integer
+// message ids for nonblocking operations, and mpc_* naming.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "mpi/mpi.hpp"
+
+namespace sp::mpl {
+
+/// MPL's wildcard value for source and type.
+inline constexpr int kDontCare = -1;
+
+class Mpl {
+ public:
+  /// MPL rides on the same per-task messaging stack as MPI.
+  explicit Mpl(mpi::Mpi& mpi) : mpi_(mpi) {}
+
+  Mpl(const Mpl&) = delete;
+  Mpl& operator=(const Mpl&) = delete;
+
+  // --- environment ---
+  /// mpc_environ: number of tasks and my task id.
+  void environ(int* numtask, int* taskid) {
+    *numtask = mpi_.world().size();
+    *taskid = mpi_.world().rank();
+  }
+
+  // --- blocking point-to-point ---
+  /// mpc_bsend: blocking send of `bytes` to `dest` with message `type`.
+  void bsend(const void* buf, std::size_t bytes, int dest, int type) {
+    mpi_.send(buf, bytes, mpi::Datatype::kByte, dest, type, mpi_.world());
+  }
+
+  /// mpc_brecv: blocking receive; source/type may be kDontCare; outputs the
+  /// actual source/type/byte count.
+  void brecv(void* buf, std::size_t cap, int* source, int* type, std::size_t* nbytes) {
+    mpi::Status st;
+    mpi_.recv(buf, cap, mpi::Datatype::kByte, source != nullptr ? *source : kDontCare,
+              type != nullptr ? *type : kDontCare, mpi_.world(), &st);
+    if (source != nullptr) *source = st.source;
+    if (type != nullptr) *type = st.tag;
+    if (nbytes != nullptr) *nbytes = st.len;
+  }
+
+  // --- nonblocking point-to-point (integer message ids) ---
+  /// mpc_send: returns a message id to wait on.
+  [[nodiscard]] int send(const void* buf, std::size_t bytes, int dest, int type) {
+    const int id = next_id_++;
+    pending_.emplace(id, mpi_.isend(buf, bytes, mpi::Datatype::kByte, dest, type,
+                                    mpi_.world()));
+    return id;
+  }
+
+  /// mpc_recv: returns a message id to wait on.
+  [[nodiscard]] int recv(void* buf, std::size_t cap, int source, int type) {
+    const int id = next_id_++;
+    pending_.emplace(id, mpi_.irecv(buf, cap, mpi::Datatype::kByte, source, type,
+                                    mpi_.world()));
+    return id;
+  }
+
+  /// mpc_wait: blocks until message id `msgid` completes; outputs byte count.
+  void wait(int msgid, std::size_t* nbytes) {
+    auto it = pending_.find(msgid);
+    if (it == pending_.end()) return;  // already completed via status()
+    mpi::Status st;
+    mpi_.wait(it->second, &st);
+    if (nbytes != nullptr) *nbytes = st.len;
+    pending_.erase(it);
+  }
+
+  /// mpc_status: nonblocking completion check (MPL returns <0 if incomplete).
+  [[nodiscard]] bool status(int msgid) {
+    auto it = pending_.find(msgid);
+    if (it == pending_.end()) return true;
+    if (!mpi_.test(it->second)) return false;
+    pending_.erase(it);
+    return true;
+  }
+
+  // --- collectives (MPL's task-group ops over the world group) ---
+  /// mpc_sync: barrier.
+  void sync() { mpi_.barrier(mpi_.world()); }
+
+  /// mpc_bcast.
+  void bcast(void* buf, std::size_t bytes, int root) {
+    mpi_.bcast(buf, bytes, mpi::Datatype::kByte, root, mpi_.world());
+  }
+
+  /// mpc_combine: element-wise reduction to all tasks (MPL combines in place).
+  void combine(const void* in, void* out, std::size_t count, mpi::Datatype d, mpi::Op op) {
+    mpi_.allreduce(in, out, count, d, op, mpi_.world());
+  }
+
+  /// mpc_index: all-to-all exchange of equal-size blocks.
+  void index(const void* in, void* out, std::size_t block_bytes) {
+    mpi_.alltoall(in, block_bytes, out, mpi::Datatype::kByte, mpi_.world());
+  }
+
+ private:
+  mpi::Mpi& mpi_;
+  std::map<int, mpi::Request> pending_;
+  int next_id_ = 1;
+};
+
+}  // namespace sp::mpl

@@ -1,0 +1,141 @@
+// FT (spectral / transpose) and LU (SSOR wavefront) mini-kernels.
+#include <cmath>
+#include <cstring>
+
+#include "nas/kernels.hpp"
+
+namespace sp::nas {
+
+using mpi::Comm;
+using mpi::Datatype;
+using mpi::Mpi;
+using mpi::Op;
+
+// ---------------------------------------------------------------------------
+// FT: iterated "evolve + global transpose" on a row-partitioned 2-D array —
+// the all-to-all transpose moves the entire dataset every iteration, making
+// this bandwidth-sensitive. Transpose correctness is verified exactly by a
+// round-trip before the timed loop.
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Global transpose of an N x N int64 array row-partitioned over n ranks
+/// (N divisible by n). rows_local = N/n.
+void transpose(Mpi& mpi, const Comm& w, std::vector<std::int64_t>& a, std::size_t N) {
+  const auto n = static_cast<std::size_t>(w.size());
+  const std::size_t rl = N / n;  // local rows
+  // Pack: block destined to rank r is the local rows x columns [r*rl, ...).
+  std::vector<std::int64_t> send(rl * N), recv(rl * N);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < rl; ++i) {
+      std::memcpy(&send[r * rl * rl + i * rl], &a[i * N + r * rl], rl * sizeof(std::int64_t));
+    }
+  }
+  mpi.compute(static_cast<sim::TimeNs>(rl * N) * 6);  // pack cost
+  mpi.alltoall(send.data(), rl * rl, recv.data(), Datatype::kLong, w);
+  // Unpack with local transposition of each block.
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < rl; ++i) {
+      for (std::size_t j = 0; j < rl; ++j) {
+        a[j * N + r * rl + i] = recv[r * rl * rl + i * rl + j];
+      }
+    }
+  }
+  mpi.compute(static_cast<sim::TimeNs>(rl * N) * 6);  // unpack cost
+}
+
+}  // namespace
+
+KernelResult run_ft(Mpi& mpi, int scale) {
+  Comm& w = mpi.world();
+  const auto n = static_cast<std::size_t>(w.size());
+  std::size_t N = 64u * static_cast<std::size_t>(scale);
+  while (N % n != 0) ++N;
+  const std::size_t rl = N / n;
+  const int iters = 6;
+
+  std::vector<std::int64_t> a(rl * N);
+  const std::size_t row0 = static_cast<std::size_t>(w.rank()) * rl;
+  for (std::size_t i = 0; i < rl; ++i) {
+    for (std::size_t j = 0; j < N; ++j) a[i * N + j] = static_cast<std::int64_t>((row0 + i) * N + j);
+  }
+
+  // Exact round-trip check: two transposes must restore the original layout.
+  const std::vector<std::int64_t> orig = a;
+  transpose(mpi, w, a, N);
+  transpose(mpi, w, a, N);
+  bool ok = a == orig;
+
+  for (int it = 0; it < iters; ++it) {
+    for (auto& v : a) v = v * 6364136223846793005LL + 1442695040888963407LL;  // "evolve"
+    mpi.compute(static_cast<sim::TimeNs>(rl * N) * 200);  // FFT butterflies
+    transpose(mpi, w, a, N);
+  }
+
+  std::uint64_t local = 0;
+  for (auto v : a) local += static_cast<std::uint64_t>(v);
+  std::uint64_t total = 0;
+  mpi.allreduce(&local, &total, 1, Datatype::kLong, Op::kSum, w);
+
+  KernelResult res;
+  res.name = "FT";
+  res.verified = ok;
+  res.checksum = total;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// LU: SSOR-style pipelined wavefront. The domain is 1-D partitioned along x;
+// each row of the sweep needs the boundary cells from the left neighbour
+// before it can proceed and forwards its own rightmost cells — a flood of
+// small messages whose cost is pure latency. The paper saw its largest NAS
+// gain here.
+// ---------------------------------------------------------------------------
+KernelResult run_lu(Mpi& mpi, int scale) {
+  Comm& w = mpi.world();
+  const int me = w.rank();
+  const int n = w.size();
+  const std::size_t ny = 48u * static_cast<std::size_t>(scale);  // pipelined rows
+  const std::size_t nx = 256;  // local columns
+  const int sweeps = 4;
+  constexpr std::size_t kB = 256;  // boundary cells exchanged per row (2 KiB)
+
+  std::vector<double> grid(ny * nx);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = static_cast<double>(((i + 1) * (static_cast<std::size_t>(me) + 3)) % 137) / 137.0;
+  }
+
+  for (int s = 0; s < sweeps; ++s) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      double bnd[kB] = {};
+      if (me > 0) {
+        mpi.recv(bnd, kB, Datatype::kDouble, me - 1, static_cast<int>(j), w);
+      }
+      double carry = bnd[0] + bnd[kB / 2] + bnd[kB - 1];
+      double* row = &grid[j * nx];
+      for (std::size_t i = 0; i < nx; ++i) {
+        row[i] = 0.6 * row[i] + 0.4 * carry;
+        carry = row[i];
+      }
+      mpi.compute(static_cast<sim::TimeNs>(nx) * 700);  // per-row relaxation
+      if (me + 1 < n) {
+        mpi.send(&row[nx - kB], kB, Datatype::kDouble, me + 1, static_cast<int>(j), w);
+      }
+    }
+  }
+
+  double local = 0.0;
+  for (auto v : grid) local += v;
+  double total = 0.0;
+  mpi.allreduce(&local, &total, 1, Datatype::kDouble, Op::kSum, w);
+
+  KernelResult res;
+  res.name = "LU";
+  res.verified = std::isfinite(total) && total != 0.0;
+  std::uint64_t bits;
+  std::memcpy(&bits, &total, sizeof(double));
+  res.checksum = bits;
+  return res;
+}
+
+}  // namespace sp::nas

@@ -1,0 +1,12 @@
+#include "nas/kernels.hpp"
+
+namespace sp::nas {
+
+std::vector<std::pair<std::string, KernelFn>> all_kernels() {
+  return {
+      {"LU", &run_lu}, {"IS", &run_is}, {"CG", &run_cg}, {"BT", &run_bt},
+      {"FT", &run_ft}, {"EP", &run_ep}, {"MG", &run_mg}, {"SP", &run_sp},
+  };
+}
+
+}  // namespace sp::nas

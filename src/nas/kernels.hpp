@@ -1,0 +1,52 @@
+// Mini-NAS Parallel Benchmarks (v2.3 subset), §6.2 of the paper.
+//
+// Each kernel reproduces the communication pattern of its NAS namesake on a
+// small, verifiable problem: real data moves through MPI and real (light)
+// arithmetic produces a checksum, while the dominant computation *time* is
+// charged through Mpi::compute() so the communication fraction — which
+// determines how much a faster MPI helps — is representative:
+//
+//   EP  embarrassingly parallel     one reduction at the end (~0% comm)
+//   IS  integer bucket sort         allreduce + all-to-all-v of keys
+//   CG  conjugate gradient          halo exchanges + many small allreduces
+//   MG  multigrid V-cycles          per-level halos, compute-dominated
+//   FT  spectral method             iterated global transposes (alltoall)
+//   LU  SSOR wavefront              pipelined many-small-message sweeps
+//   BT  block-tridiagonal ADI       directional sweeps with pencil exchanges
+//   SP  scalar-pentadiagonal ADI    like BT, heavier local compute
+//
+// All kernels run on any number of ranks >= 1 and verify an internal
+// invariant; checksums are exact (integer or order-fixed) so every backend
+// must produce bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+
+namespace sp::nas {
+
+struct KernelResult {
+  std::string name;
+  bool verified = false;
+  /// Exact checksum; identical across backends for the same (scale, ranks).
+  std::uint64_t checksum = 0;
+};
+
+using KernelFn = KernelResult (*)(mpi::Mpi&, int scale);
+
+KernelResult run_ep(mpi::Mpi& mpi, int scale);
+KernelResult run_is(mpi::Mpi& mpi, int scale);
+KernelResult run_cg(mpi::Mpi& mpi, int scale);
+KernelResult run_mg(mpi::Mpi& mpi, int scale);
+KernelResult run_ft(mpi::Mpi& mpi, int scale);
+KernelResult run_lu(mpi::Mpi& mpi, int scale);
+KernelResult run_bt(mpi::Mpi& mpi, int scale);
+KernelResult run_sp(mpi::Mpi& mpi, int scale);
+
+/// All eight kernels in the paper's reporting order.
+[[nodiscard]] std::vector<std::pair<std::string, KernelFn>> all_kernels();
+
+}  // namespace sp::nas

@@ -1,0 +1,29 @@
+// Wire packet exchanged through the simulated SP switch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sp::net {
+
+struct Packet {
+  int src = 0;  ///< Source node id.
+  int dst = 0;  ///< Destination node id.
+  /// Serialized frame: HAL header followed by upper-layer header + payload.
+  /// Real bytes travel so receivers can verify integrity and reassemble.
+  std::vector<std::byte> frame;
+  /// Route (spine index) the fabric chose; filled in by the fabric.
+  int route = -1;
+  /// Modeled size on the wire. The in-memory frame may differ slightly from
+  /// the modeled protocol header sizes (we serialize full structs for
+  /// fidelity of the *data*, while time is charged for the *modeled* bytes);
+  /// the fabric and adapters charge this value. 0 means "use frame.size()".
+  std::size_t modeled_bytes = 0;
+
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return modeled_bytes != 0 ? modeled_bytes : frame.size();
+  }
+};
+
+}  // namespace sp::net

@@ -1,0 +1,101 @@
+#include "net/switch_fabric.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace sp::net {
+
+namespace {
+/// Serialization time of `bytes` on one link.
+[[nodiscard]] sim::TimeNs wire_time(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return static_cast<sim::TimeNs>(std::llround(cfg.link_ns_per_byte * static_cast<double>(bytes)));
+}
+}  // namespace
+
+SwitchFabric::SwitchFabric(sim::Simulator& sim, const sim::MachineConfig& cfg, int num_nodes)
+    : sim_(sim),
+      cfg_(cfg),
+      num_nodes_(num_nodes),
+      num_leaves_((num_nodes + 3) / 4),
+      node_up_(static_cast<std::size_t>(num_nodes)),
+      node_down_(static_cast<std::size_t>(num_nodes)),
+      leaf_up_(static_cast<std::size_t>(num_leaves_) * static_cast<std::size_t>(cfg.num_routes)),
+      leaf_down_(static_cast<std::size_t>(num_leaves_) * static_cast<std::size_t>(cfg.num_routes)),
+      deliver_(static_cast<std::size_t>(num_nodes)),
+      rr_(static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes)),
+      rng_(cfg.fabric_seed) {
+  assert(num_nodes >= 1);
+  assert(cfg.num_routes >= 1);
+  // Stagger the initial round-robin position per pair so different pairs do
+  // not march in lock-step on the same spine.
+  for (int s = 0; s < num_nodes; ++s) {
+    for (int d = 0; d < num_nodes; ++d) {
+      rr_[static_cast<std::size_t>(s) * static_cast<std::size_t>(num_nodes) + static_cast<std::size_t>(d)] =
+          static_cast<std::uint32_t>((s * 7 + d * 13) % cfg.num_routes);
+    }
+  }
+}
+
+void SwitchFabric::attach(int node, DeliverFn deliver) {
+  assert(node >= 0 && node < num_nodes_);
+  deliver_[static_cast<std::size_t>(node)] = std::move(deliver);
+}
+
+int SwitchFabric::peek_route(int src, int dst) const {
+  const auto idx = static_cast<std::size_t>(src) * static_cast<std::size_t>(num_nodes_) +
+                   static_cast<std::size_t>(dst);
+  return static_cast<int>(rr_[idx] % static_cast<std::uint32_t>(cfg_.num_routes));
+}
+
+sim::TimeNs SwitchFabric::traverse(Link& link, sim::TimeNs at, std::size_t bytes) {
+  // Cut-through approximation: the packet header advances after hop latency;
+  // the link stays busy for the serialization time starting when the packet
+  // gets the link.
+  const sim::TimeNs start = at > link.free_at ? at : link.free_at;
+  link.free_at = start + wire_time(cfg_, bytes);
+  return start + cfg_.hop_latency_ns;
+}
+
+void SwitchFabric::inject(Packet&& pkt) {
+  assert(pkt.src >= 0 && pkt.src < num_nodes_);
+  assert(pkt.dst >= 0 && pkt.dst < num_nodes_);
+
+  const auto pair_idx = static_cast<std::size_t>(pkt.src) * static_cast<std::size_t>(num_nodes_) +
+                        static_cast<std::size_t>(pkt.dst);
+  const int route = static_cast<int>(rr_[pair_idx]++ % static_cast<std::uint32_t>(cfg_.num_routes));
+  pkt.route = route;
+
+  if (cfg_.packet_drop_rate > 0.0 && rng_.chance(cfg_.packet_drop_rate)) {
+    ++dropped_;
+    return;
+  }
+
+  const std::size_t bytes = pkt.wire_bytes();
+  const int lsrc = leaf_of(pkt.src);
+  const int ldst = leaf_of(pkt.dst);
+  const auto up_idx = static_cast<std::size_t>(lsrc) * static_cast<std::size_t>(cfg_.num_routes) +
+                      static_cast<std::size_t>(route);
+  const auto down_idx = static_cast<std::size_t>(ldst) * static_cast<std::size_t>(cfg_.num_routes) +
+                        static_cast<std::size_t>(route);
+
+  // Header propagation through the four hops, each queuing on its link.
+  sim::TimeNs t = sim_.now();
+  t = traverse(node_up_[static_cast<std::size_t>(pkt.src)], t, bytes);
+  t = traverse(leaf_up_[up_idx], t, bytes);
+  t = traverse(leaf_down_[down_idx], t, bytes);
+  t = traverse(node_down_[static_cast<std::size_t>(pkt.dst)], t, bytes);
+  // Tail arrival: one end-to-end serialization (cut-through), plus any
+  // configured per-route skew (test hook; 0 on the real machine).
+  t += wire_time(cfg_, bytes);
+  t += static_cast<sim::TimeNs>(route) * cfg_.route_skew_ns;
+
+  ++delivered_;
+  bytes_ += static_cast<std::int64_t>(bytes);
+
+  auto& sink = deliver_[static_cast<std::size_t>(pkt.dst)];
+  assert(sink && "no adapter attached to destination node");
+  sim_.at(t, [&sink, p = std::move(pkt)]() mutable { sink(std::move(p)); });
+}
+
+}  // namespace sp::net

@@ -1,0 +1,76 @@
+// The SP multistage packet-switched network.
+//
+// Topology: every node connects to a leaf switch element (4 nodes per leaf);
+// `num_routes` spine elements connect all leaves. A packet from s to d takes
+//     s -> leaf(s) -> spine(r) -> leaf(d) -> d
+// so each node pair has exactly `num_routes` distinct routes (4 on the real
+// SP). The fabric sprays consecutive packets of a pair across routes
+// round-robin, as the SP switch does. Each directed link serializes packets
+// (cut-through: one end-to-end serialization when uncongested, plus queuing
+// wait on busy links), so congested routes lag and packets of one message
+// genuinely arrive out of order — the phenomenon the Pipes layer must reorder
+// for and LAPI handles by reassembling at offsets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace sp::net {
+
+class SwitchFabric {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  SwitchFabric(sim::Simulator& sim, const sim::MachineConfig& cfg, int num_nodes);
+
+  /// Register the receive upcall for `node` (its adapter's DMA-in path).
+  void attach(int node, DeliverFn deliver);
+
+  /// Put a packet on the wire now. The fabric picks the route, models link
+  /// serialization/queuing, and schedules delivery at the destination.
+  void inject(Packet&& pkt);
+
+  [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] int num_routes() const noexcept { return cfg_.num_routes; }
+  [[nodiscard]] std::int64_t packets_delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::int64_t packets_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::int64_t bytes_carried() const noexcept { return bytes_; }
+
+  /// Next route index that inject() would use for the pair (diagnostics).
+  [[nodiscard]] int peek_route(int src, int dst) const;
+
+ private:
+  struct Link {
+    sim::TimeNs free_at = 0;
+  };
+
+  [[nodiscard]] int leaf_of(int node) const noexcept { return node / 4; }
+  [[nodiscard]] sim::TimeNs traverse(Link& link, sim::TimeNs at, std::size_t bytes);
+
+  sim::Simulator& sim_;
+  const sim::MachineConfig& cfg_;
+  int num_nodes_;
+  int num_leaves_;
+
+  // Directed links, indexed as described in the .cpp.
+  std::vector<Link> node_up_;     // node -> leaf
+  std::vector<Link> node_down_;   // leaf -> node
+  std::vector<Link> leaf_up_;     // leaf -> spine   [leaf * num_routes + r]
+  std::vector<Link> leaf_down_;   // spine -> leaf   [leaf * num_routes + r]
+
+  std::vector<DeliverFn> deliver_;
+  std::vector<std::uint32_t> rr_;  // per (src,dst) round-robin route counter
+  sim::Pcg32 rng_;
+
+  std::int64_t delivered_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+}  // namespace sp::net

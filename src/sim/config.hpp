@@ -1,0 +1,157 @@
+// MachineConfig: the calibrated cost model of the simulated RS/6000 SP.
+//
+// Every constant a protocol layer charges lives here so experiments can sweep
+// them (the ablation benches do). Defaults are calibrated to be plausible for
+// the paper's testbed — 332 MHz Power-PC 604e SMP nodes with the TBMX switch
+// adapter, August 1998 software levels — and to reproduce the *shapes* of the
+// paper's figures (see EXPERIMENTS.md for the calibration notes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace sp::sim {
+
+struct MachineConfig {
+  // --- Switch fabric -------------------------------------------------------
+  /// Per-link serialization cost. 150 MB/s links give the ~160 MB/s
+  /// bi-directional node-pair figure the paper quotes.
+  double link_ns_per_byte = 1e3 / 150.0;  // ~6.67 ns/B = 150 MB/s
+  /// Latency through one switch element / cable hop.
+  TimeNs hop_latency_ns = 150;
+  /// Number of spine switch elements = distinct routes per node pair.
+  int num_routes = 4;
+  /// Probability that the fabric drops a packet (fault injection; 0 = none).
+  double packet_drop_rate = 0.0;
+  /// RNG seed for the fabric (route perturbation, drops).
+  std::uint64_t fabric_seed = 0x5eed;
+  /// Extra latency added per route index (route r adds r * route_skew_ns).
+  /// 0 on the real machine; tests raise it to force out-of-order arrival
+  /// deterministically even without cross-traffic.
+  TimeNs route_skew_ns = 0;
+
+  // --- Adapter (TB3/TBMX) --------------------------------------------------
+  /// Fixed cost to DMA one packet descriptor between host and adapter.
+  TimeNs adapter_packet_setup_ns = 700;
+  /// Per-byte DMA cost host memory <-> adapter SRAM. The TBMX adapter, not
+  /// the 150 MB/s link, bounds achievable node-pair bandwidth (~90 MB/s).
+  double adapter_ns_per_byte = 10.0;
+  /// Wire-level packet payload capacity (the SP switch uses 1 KiB packets).
+  std::size_t packet_mtu = 1024;
+  /// HAL header prepended to every wire packet.
+  std::size_t hal_header_bytes = 16;
+  /// Number of pinned HAL send buffers (outstanding packets) per node.
+  int hal_send_buffers = 64;
+  /// Host CPU cost of the HAL <-> microcode handshake per packet.
+  TimeNs hal_per_packet_cpu_ns = 500;
+
+  // --- Host memory ---------------------------------------------------------
+  /// Per-byte cost of a protocol memcpy (~250 MB/s on a 604e).
+  double copy_ns_per_byte = 4.0;
+  /// Fixed cost per protocol memcpy call.
+  TimeNs copy_call_ns = 200;
+
+  // --- Interrupts ----------------------------------------------------------
+  /// Dispatch latency from packet arrival to interrupt handler entry.
+  TimeNs interrupt_latency_ns = 12'000;
+  /// CPU cost of taking + retiring one interrupt.
+  TimeNs interrupt_service_ns = 6'000;
+  /// Native-MPI hysteresis: after servicing packets the handler busy-waits
+  /// this long for more packets before returning (0 disables; LAPI uses 0).
+  TimeNs interrupt_hysteresis_ns = 60'000;
+  /// Hysteresis growth factor applied when more packets do arrive in-window.
+  double interrupt_hysteresis_growth = 2.0;
+  /// Cap on the grown hysteresis window.
+  TimeNs interrupt_hysteresis_max_ns = 240'000;
+
+  // --- Reliability (both Pipes and LAPI transports) -------------------------
+  TimeNs retransmit_timeout_ns = 2 * kMs;
+  int sliding_window_packets = 32;
+  /// CPU cost to generate or process an ack packet.
+  TimeNs ack_processing_ns = 400;
+  /// Acks are piggybacked/coalesced: send an explicit ack after this many
+  /// unacknowledged packets (or on timeout).
+  int ack_every_packets = 8;
+  /// Delayed-ack flush: send a pending ack at most this long after the first
+  /// unacknowledged packet.
+  TimeNs ack_delay_ns = 100'000;
+
+  // --- LAPI ----------------------------------------------------------------
+  /// Fixed software overhead of one LAPI API call (parameter checking of the
+  /// exposed interface — the paper blames this for the short-message gap).
+  TimeNs lapi_call_overhead_ns = 1'800;
+  /// Cost of running a header handler (dispatcher context).
+  TimeNs header_handler_ns = 900;
+  /// Cost of running a *predefined* completion handler inline in the
+  /// dispatcher (the paper's "Enhanced LAPI").
+  TimeNs completion_inline_ns = 350;
+  /// Cost of dispatching a completion handler to the separate completion
+  /// handler thread and switching back (two thread context switches plus
+  /// scheduler latency) — the dominant overhead of the Base MPI-LAPI.
+  TimeNs completion_thread_switch_ns = 26'000;
+  /// Dispatcher cost per received packet (reassembly bookkeeping).
+  TimeNs lapi_dispatch_packet_ns = 450;
+  /// LAPI message header (carried in the first packet of each message).
+  std::size_t lapi_header_bytes = 40;
+
+  // --- Pipes (native MPI byte-stream transport) ------------------------------
+  /// Fixed software overhead of one internal Pipes call (not an exposed
+  /// interface; cheaper than a LAPI call).
+  TimeNs pipe_call_overhead_ns = 900;
+  /// Pipe buffer size per destination.
+  std::size_t pipe_buffer_bytes = 64 * 1024;
+  /// The native stack copies only the first and last `pipe_copy_span_bytes`
+  /// of each message through the pipe buffers (Snir et al.; §2 of the paper);
+  /// the middle of large messages is fed to HAL directly.
+  std::size_t pipe_copy_span_bytes = 16 * 1024;
+  /// Per-packet CPU cost of pipe seq/ack bookkeeping.
+  TimeNs pipe_packet_ns = 350;
+  /// Pipe wire header per packet (smaller than LAPI's: internal interface).
+  std::size_t pipe_header_bytes = 24;
+
+  // --- MPCI / MPI ----------------------------------------------------------
+  /// Base cost of attempting to match one envelope against a queue.
+  TimeNs match_base_ns = 450;
+  /// Additional matching cost per queue entry scanned.
+  TimeNs match_per_entry_ns = 60;
+  /// Cost of one lock/unlock pair on MPI-level shared structures.
+  TimeNs lock_pair_ns = 250;
+  /// Fixed software overhead of one MPI call.
+  TimeNs mpi_call_overhead_ns = 1'200;
+  /// Eager/rendezvous switchover (MP_EAGER_LIMIT; paper default).
+  std::size_t eager_limit = 4096;
+  /// Counter-ring slots per (source, destination) pair for the MPI-LAPI
+  /// "Counters" version (§5.2). Must greatly exceed the transport window.
+  int counter_ring_slots = 1024;
+  /// Early-arrival buffer capacity per task.
+  std::size_t early_arrival_bytes = 1 * 1024 * 1024;
+
+  // --- Simulation ----------------------------------------------------------
+  /// Quantum a spinning rank thread advances between memory probes.
+  TimeNs spin_check_ns = 500;
+  /// Record a protocol-event timeline (Machine::trace()); off by default.
+  bool trace_enabled = false;
+
+  // --- Testbed presets (§1: the two SP node/adapter generations) -----------
+  /// 332 MHz Power-PC SMP nodes with the TBMX adapter — the paper's
+  /// evaluation testbed. This is the default configuration.
+  [[nodiscard]] static MachineConfig tbmx_332() { return MachineConfig{}; }
+
+  /// Power2-Super (P2SC) uniprocessor nodes with the TB3 adapter: slower
+  /// clock but a stronger memory system and a faster adapter, so copies cost
+  /// less and the adapter ceiling sits higher (~2x the TBMX path).
+  [[nodiscard]] static MachineConfig tb3_p2sc() {
+    MachineConfig cfg;
+    cfg.adapter_ns_per_byte = 6.0;    // TB3 DMA ~2x TBMX
+    cfg.adapter_packet_setup_ns = 550;
+    cfg.copy_ns_per_byte = 3.0;       // P2SC memory pipes
+    cfg.copy_call_ns = 180;
+    cfg.interrupt_latency_ns = 15'000;  // slower clock, pricier kernel entry
+    cfg.interrupt_service_ns = 8'000;
+    return cfg;
+  }
+};
+
+}  // namespace sp::sim

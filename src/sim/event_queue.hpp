@@ -1,0 +1,60 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Ties on timestamp are broken by insertion sequence number, which makes the
+// processing order a total order independent of heap implementation details —
+// a requirement for bit-reproducible simulations.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sp::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Enqueue an action to run at absolute time `at`.
+  void push(TimeNs at, Action action) {
+    heap_.push_back(Entry{at, next_seq_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] TimeNs next_time() const { return heap_.front().at; }
+
+  /// Remove and return the earliest pending event. Precondition: !empty().
+  [[nodiscard]] std::pair<TimeNs, Action> pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return {e.at, std::move(e.action)};
+  }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;
+    Action action;
+  };
+  // Max-heap comparator inverted so the *earliest* entry is on top.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sp::sim

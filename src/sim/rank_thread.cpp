@@ -1,0 +1,88 @@
+#include "sim/rank_thread.hpp"
+
+#include <utility>
+
+namespace sp::sim {
+
+RankThread::RankThread(Simulator& sim, int id, std::function<void()> body)
+    : sim_(sim), id_(id), body_(std::move(body)), thread_([this] {
+        {
+          std::unique_lock lk(mu_);
+          cv_.wait(lk, [this] { return turn_ == Turn::App || aborting_; });
+          if (aborting_) {
+            finished_ = true;
+            turn_ = Turn::Sim;
+            cv_.notify_all();
+            return;
+          }
+        }
+        try {
+          body_();
+        } catch (const AbortSimulation&) {
+          // Expected during early teardown.
+        } catch (...) {
+          std::lock_guard lk(mu_);
+          error_ = std::current_exception();
+        }
+        std::lock_guard lk(mu_);
+        finished_ = true;
+        turn_ = Turn::Sim;
+        cv_.notify_all();
+      }) {}
+
+RankThread::~RankThread() { abort_and_join(); }
+
+void RankThread::abort_and_join() {
+  {
+    std::lock_guard lk(mu_);
+    if (!finished_) {
+      aborting_ = true;
+      turn_ = Turn::App;  // let the body observe the abort at its yield point
+      cv_.notify_all();
+    }
+  }
+  if (thread_.joinable()) {
+    // Wait until the body unwinds (AbortSimulation) or finishes normally.
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return finished_; });
+    }
+    thread_.join();
+  }
+}
+
+void RankThread::resume_from_sim() {
+  std::unique_lock lk(mu_);
+  if (finished_) return;
+  turn_ = Turn::App;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return turn_ == Turn::Sim; });
+}
+
+void RankThread::yield_to_sim() {
+  std::unique_lock lk(mu_);
+  turn_ = Turn::Sim;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return turn_ == Turn::App || aborting_; });
+  if (aborting_) {
+    lk.unlock();
+    throw AbortSimulation{};
+  }
+}
+
+void RankThread::advance(TimeNs dt) {
+  sim_.after(dt, [this] { resume_from_sim(); });
+  yield_to_sim();
+}
+
+bool RankThread::finished() const {
+  std::lock_guard lk(mu_);
+  return finished_;
+}
+
+std::exception_ptr RankThread::error() const {
+  std::lock_guard lk(mu_);
+  return error_;
+}
+
+}  // namespace sp::sim

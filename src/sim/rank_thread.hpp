@@ -1,0 +1,112 @@
+// Process-oriented simulation: rank programs on baton-passing OS threads.
+//
+// Each simulated MPI task runs its program body on a dedicated std::thread,
+// but a strict baton handshake guarantees that at most one thread executes at
+// any instant: the simulator event loop resumes a rank thread, then blocks
+// until that thread yields back (by advancing time, waiting on a
+// SimCondition, or finishing). Rank code therefore needs no locking and the
+// simulation stays deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace sp::sim {
+
+class RankThread {
+ public:
+  /// Create the thread. The body does not start running until the first
+  /// resume_from_sim() call (typically scheduled as the machine's first event).
+  RankThread(Simulator& sim, int id, std::function<void()> body);
+
+  /// Tears the thread down; if the body has not finished, it is aborted
+  /// (AbortSimulation is thrown at its next yield point).
+  ~RankThread();
+
+  RankThread(const RankThread&) = delete;
+  RankThread& operator=(const RankThread&) = delete;
+
+  /// Hand the baton to the rank thread; returns when it yields or finishes.
+  /// Must be called from the simulator (event) context. No-op if finished.
+  void resume_from_sim();
+
+  /// Hand the baton back to the simulator and block until resumed again.
+  /// Must be called from the rank thread itself.
+  void yield_to_sim();
+
+  /// Block the rank thread until `dt` of simulated time has passed.
+  void advance(TimeNs dt);
+
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] Simulator& sim() noexcept { return sim_; }
+
+  /// Exception (other than AbortSimulation) that escaped the body, if any.
+  [[nodiscard]] std::exception_ptr error() const;
+
+ private:
+  enum class Turn { Sim, App };
+
+  void abort_and_join();
+
+  Simulator& sim_;
+  int id_;
+  std::function<void()> body_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::Sim;
+  bool finished_ = false;
+  bool aborting_ = false;
+  std::exception_ptr error_;
+
+  std::thread thread_;  // last member: starts after state is ready
+};
+
+/// A condition in simulated time. Rank threads wait on it; protocol events
+/// (or other rank threads) notify it, which schedules the waiters to resume
+/// at the current simulated time. Wakeups can be spurious — callers must
+/// re-check their predicate in a loop, exactly like std::condition_variable.
+class SimCondition {
+ public:
+  /// Called from a rank thread: register and yield until notified.
+  void wait(RankThread& self) {
+    waiters_.push_back(&self);
+    self.yield_to_sim();
+  }
+
+  /// Register a waiter without yielding — for waiting on *several*
+  /// conditions at once (register on each, then yield once). Stale
+  /// registrations cause only spurious wakeups.
+  void add_waiter(RankThread* t) { waiters_.push_back(t); }
+
+  /// Convenience: wait until `pred()` is true.
+  template <typename Pred>
+  void wait_until(RankThread& self, Pred&& pred) {
+    while (!pred()) wait(self);
+  }
+
+  /// Wake all current waiters (they resume at the current simulated time).
+  /// Callable from event context or from a rank thread.
+  void notify_all(Simulator& sim) {
+    if (waiters_.empty()) return;
+    auto woken = std::move(waiters_);
+    waiters_.clear();
+    for (RankThread* w : woken) {
+      sim.after(0, [w] { w->resume_from_sim(); });
+    }
+  }
+
+  [[nodiscard]] bool has_waiters() const noexcept { return !waiters_.empty(); }
+
+ private:
+  std::vector<RankThread*> waiters_;
+};
+
+}  // namespace sp::sim

@@ -1,0 +1,58 @@
+// Deterministic PCG32 random number generator.
+//
+// The simulator must be bit-reproducible across runs, so every stochastic
+// choice (route spraying perturbation, fault injection, workload generation)
+// draws from an explicitly seeded Pcg32 owned by the component that needs it.
+// <random> engines are avoided because their distributions are not guaranteed
+// identical across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace sp::sim {
+
+/// Minimal PCG-XSH-RR 32-bit generator (O'Neill, 2014).
+class Pcg32 {
+ public:
+  constexpr explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                           std::uint64_t stream = 0xda3e39cb94b95bdbULL) noexcept
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  /// Uniform 32-bit value.
+  constexpr std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform value in [0, bound). bound == 0 returns 0.
+  constexpr std::uint32_t next_below(std::uint32_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Debiased modulo (Lemire-style rejection kept simple).
+    const std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 32 bits of precision.
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next()) * (1.0 / 4294967296.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  constexpr bool chance(double p) noexcept { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace sp::sim

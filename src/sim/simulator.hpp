@@ -1,0 +1,118 @@
+// The discrete-event simulator core.
+//
+// One Simulator owns simulated time for one simulated SP machine. Events are
+// closures executed at their scheduled time; rank application threads are
+// interleaved with event processing by the RankThread baton mechanism (see
+// rank_thread.hpp) so that at every instant exactly one OS thread — the event
+// loop or one rank thread — is running. That makes whole-machine simulations
+// deterministic and data-race-free even though rank programs are written as
+// ordinary blocking code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace sp::sim {
+
+/// Thrown (by the driver) when the event queue drains while rank threads are
+/// still blocked — i.e. the simulated program deadlocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown inside rank threads when the simulation is being torn down early
+/// (e.g. another rank raised an error). Never escapes to user code.
+struct AbortSimulation {};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute simulated time `t` (clamped to now()).
+  void at(TimeNs t, EventQueue::Action action) {
+    queue_.push(t < now_ ? now_ : t, std::move(action));
+  }
+
+  /// Schedule `action` `dt` nanoseconds from now (dt clamped to >= 0).
+  void after(TimeNs dt, EventQueue::Action action) {
+    at(now_ + (dt < 0 ? 0 : dt), std::move(action));
+  }
+
+  /// Execute the earliest pending event. Returns false if none is pending.
+  bool step() {
+    if (queue_.empty()) return false;
+    auto [t, action] = queue_.pop();
+    now_ = t;
+    ++events_processed_;
+    action();
+    return true;
+  }
+
+  /// Run until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Run until no events remain or simulated time would exceed `deadline`.
+  /// Events scheduled beyond the deadline stay queued.
+  void run_until(TimeNs deadline) {
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+      (void)step();
+    }
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  std::uint64_t events_processed_ = 0;
+};
+
+/// Serializes protocol processing on one node's CPU: header handlers, packet
+/// dispatch, matching and interrupt service all compete for the same host
+/// processor, which is what bounds small-packet throughput on the real SP.
+class NodeCpu {
+ public:
+  /// Occupy the CPU for `cost` starting no earlier than now, then run `fn`
+  /// (in event context) at the completion time. Returns that time.
+  TimeNs run(Simulator& sim, TimeNs cost, EventQueue::Action fn) {
+    const TimeNs start = sim.now() > free_at_ ? sim.now() : free_at_;
+    const TimeNs done = start + (cost < 0 ? 0 : cost);
+    free_at_ = done;
+    sim.at(done, std::move(fn));
+    return done;
+  }
+
+  /// Occupy the CPU without a continuation (pure cost accounting).
+  TimeNs charge(Simulator& sim, TimeNs cost) {
+    const TimeNs start = sim.now() > free_at_ ? sim.now() : free_at_;
+    free_at_ = start + (cost < 0 ? 0 : cost);
+    return free_at_;
+  }
+
+  [[nodiscard]] TimeNs free_at() const noexcept { return free_at_; }
+
+  /// Mark the CPU busy until `t` (used when the *application thread* occupies
+  /// it: on a single-CPU SP node, protocol processing and user computation
+  /// contend for the same processor).
+  void occupy_until(TimeNs t) noexcept {
+    if (t > free_at_) free_at_ = t;
+  }
+
+ private:
+  TimeNs free_at_ = 0;
+};
+
+}  // namespace sp::sim

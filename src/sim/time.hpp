@@ -1,0 +1,39 @@
+// Simulated-time type and unit helpers.
+//
+// All simulated time in this project is kept as signed 64-bit integral
+// nanoseconds.  Integer time keeps the discrete-event simulation exactly
+// deterministic (no floating-point drift between runs or platforms), and
+// nanosecond granularity is fine enough for every cost the 1998-era SP cost
+// model charges (the smallest are ~tens of ns).
+#pragma once
+
+#include <cstdint>
+
+namespace sp::sim {
+
+/// Simulated time / duration in nanoseconds.
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNs = 1;
+inline constexpr TimeNs kUs = 1000;
+inline constexpr TimeNs kMs = 1000 * kUs;
+inline constexpr TimeNs kSec = 1000 * kMs;
+
+/// Convert a simulated duration to (double) microseconds, the unit the paper
+/// reports latencies in.
+[[nodiscard]] constexpr double to_us(TimeNs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kUs);
+}
+
+/// Convert a simulated duration to (double) seconds.
+[[nodiscard]] constexpr double to_sec(TimeNs t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/// Bytes over a duration -> MB/s (decimal MB, as the paper uses).
+[[nodiscard]] constexpr double to_mb_per_sec(std::int64_t bytes, TimeNs t) noexcept {
+  if (t <= 0) return 0.0;
+  return (static_cast<double>(bytes) / 1.0e6) / to_sec(t);
+}
+
+}  // namespace sp::sim

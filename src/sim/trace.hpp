@@ -1,0 +1,57 @@
+// Trace: an optional, per-machine event timeline.
+//
+// When enabled (MachineConfig::trace_enabled), every protocol layer emits
+// timestamped events at its interesting points (packet send/receive,
+// interrupts, header/completion handlers, matching decisions). The timeline
+// is invaluable for debugging protocol interleavings and doubles as teaching
+// output (`spsim` can dump it). Disabled tracing costs one pointer test per
+// call site.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sp::sim {
+
+class Trace {
+ public:
+  struct Event {
+    TimeNs t;
+    int node;
+    const char* category;  ///< Static string, e.g. "lapi.header_handler".
+    std::string detail;
+  };
+
+  void emit(TimeNs t, int node, const char* category, std::string detail) {
+    events_.push_back(Event{t, node, category, std::move(detail)});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+
+  [[nodiscard]] std::size_t count(std::string_view category) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (category == e.category) ++n;
+    }
+    return n;
+  }
+
+  void clear() { events_.clear(); }
+
+  /// One line per event: "<time_us> n<node> <category> <detail>".
+  void dump(std::FILE* out) const {
+    for (const auto& e : events_) {
+      std::fprintf(out, "%12.3f  n%-3d %-24s %s\n", to_us(e.t), e.node, e.category,
+                   e.detail.c_str());
+    }
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace sp::sim

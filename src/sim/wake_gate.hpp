@@ -1,0 +1,52 @@
+// WakeGate: defers completion *visibility* while an interrupt handler runs.
+//
+// On the real SP, the interrupt handler (including the native stack's
+// hysteresis busy-wait) occupies the node CPU, so a user thread spinning on a
+// receive flag — or blocked in a wait — cannot observe message completion
+// until the handler returns. Transports therefore publish completions
+// (marking requests complete, bumping counters, notifying SimConditions)
+// through their node's WakeGate: immediately when the gate is open (polling
+// mode, or no handler active), or at handler exit when it is closed.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace sp::sim {
+
+class WakeGate {
+ public:
+  /// Run `visible` now if the gate is open, otherwise defer it to open().
+  void apply(std::function<void()> visible) {
+    if (depth_ == 0) {
+      visible();
+    } else {
+      deferred_.push_back(std::move(visible));
+    }
+  }
+
+  /// Close the gate (nestable).
+  void close() noexcept { ++depth_; }
+
+  /// Open the gate; when the outermost close is released, all deferred
+  /// actions run in publication order.
+  void open() {
+    if (depth_ > 0) --depth_;
+    if (depth_ == 0 && !deferred_.empty()) {
+      // Deferred actions may publish further completions; those run
+      // immediately since the gate is now open.
+      auto run = std::move(deferred_);
+      deferred_.clear();
+      for (auto& fn : run) fn();
+    }
+  }
+
+  [[nodiscard]] bool is_open() const noexcept { return depth_ == 0; }
+
+ private:
+  int depth_ = 0;
+  std::vector<std::function<void()>> deferred_;
+};
+
+}  // namespace sp::sim

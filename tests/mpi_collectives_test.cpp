@@ -1,0 +1,262 @@
+// Collective operations: correctness over varying communicator sizes, roots,
+// counts and element types, plus communicator dup/split.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::mpi {
+namespace {
+
+using sim::MachineConfig;
+
+struct CollParam {
+  int nodes;
+  Backend backend;
+};
+
+class Collectives : public ::testing::TestWithParam<CollParam> {
+ protected:
+  void run(const std::function<void(Mpi&)>& body) {
+    MachineConfig cfg;
+    Machine m(cfg, GetParam().nodes, GetParam().backend);
+    m.run(body);
+  }
+  [[nodiscard]] int nodes() const { return GetParam().nodes; }
+};
+
+TEST_P(Collectives, BarrierSynchronises) {
+  const int n = nodes();
+  std::vector<double> exit_time(static_cast<std::size_t>(n));
+  MachineConfig cfg;
+  Machine m(cfg, n, GetParam().backend);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    mpi.compute((w.rank() + 1) * sim::kMs);  // staggered arrival
+    mpi.barrier(w);
+    exit_time[static_cast<std::size_t>(w.rank())] = mpi.wtime();
+  });
+  for (int r = 0; r < n; ++r) {
+    EXPECT_GE(exit_time[static_cast<std::size_t>(r)], n * 1e-3)
+        << "rank " << r << " left the barrier before the slowest arrival";
+  }
+}
+
+TEST_P(Collectives, BcastFromEveryRoot) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    for (int root = 0; root < w.size(); ++root) {
+      std::vector<int> data(97, w.rank() == root ? root * 1000 : -1);
+      mpi.bcast(data.data(), data.size(), Datatype::kInt, root, w);
+      for (int x : data) ASSERT_EQ(x, root * 1000);
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceSumToEveryRoot) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    for (int root = 0; root < n; ++root) {
+      std::vector<long> mine(5);
+      for (int k = 0; k < 5; ++k) mine[static_cast<std::size_t>(k)] = w.rank() + k;
+      std::vector<long> out(5, -1);
+      mpi.reduce(mine.data(), out.data(), 5, Datatype::kLong, Op::kSum, root, w);
+      if (w.rank() == root) {
+        for (int k = 0; k < 5; ++k) {
+          EXPECT_EQ(out[static_cast<std::size_t>(k)], static_cast<long>(n) * (n - 1) / 2 + k * n);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, AllreduceMaxMinProd) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    int mine = w.rank() + 1;
+    int mx = 0, mn = 0, pr = 0;
+    mpi.allreduce(&mine, &mx, 1, Datatype::kInt, Op::kMax, w);
+    mpi.allreduce(&mine, &mn, 1, Datatype::kInt, Op::kMin, w);
+    mpi.allreduce(&mine, &pr, 1, Datatype::kInt, Op::kProd, w);
+    EXPECT_EQ(mx, n);
+    EXPECT_EQ(mn, 1);
+    int fact = 1;
+    for (int i = 1; i <= n; ++i) fact *= i;
+    EXPECT_EQ(pr, fact);
+  });
+}
+
+TEST_P(Collectives, AllreduceDoubleIsDeterministic) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    double mine = 1.0 / (w.rank() + 1);
+    double a = 0, b = 0;
+    mpi.allreduce(&mine, &a, 1, Datatype::kDouble, Op::kSum, w);
+    mpi.allreduce(&mine, &b, 1, Datatype::kDouble, Op::kSum, w);
+    EXPECT_EQ(a, b) << "fixed reduction order must give bit-identical results";
+  });
+}
+
+TEST_P(Collectives, GatherScatterRoundTrip) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    std::vector<int> mine(3, w.rank() * 10);
+    std::vector<int> all(static_cast<std::size_t>(3 * n), -1);
+    mpi.gather(mine.data(), 3, all.data(), Datatype::kInt, 0, w);
+    if (w.rank() == 0) {
+      for (int r = 0; r < n; ++r) {
+        for (int k = 0; k < 3; ++k) {
+          ASSERT_EQ(all[static_cast<std::size_t>(r * 3 + k)], r * 10);
+        }
+      }
+      for (auto& x : all) x += 1;
+    }
+    std::vector<int> back(3, -1);
+    mpi.scatter(all.data(), 3, back.data(), Datatype::kInt, 0, w);
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(back[static_cast<std::size_t>(k)], w.rank() * 10 + 1);
+  });
+}
+
+TEST_P(Collectives, AllgatherMatchesGatherBcast) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    std::vector<long> mine(4);
+    for (int k = 0; k < 4; ++k) mine[static_cast<std::size_t>(k)] = w.rank() * 100 + k;
+    std::vector<long> all(static_cast<std::size_t>(4 * n), -1);
+    mpi.allgather(mine.data(), 4, all.data(), Datatype::kLong, w);
+    for (int r = 0; r < n; ++r) {
+      for (int k = 0; k < 4; ++k) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r * 4 + k)], r * 100 + k);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, AlltoallPermutesBlocks) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    std::vector<int> send(static_cast<std::size_t>(n) * 2), recv(static_cast<std::size_t>(n) * 2, -1);
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(d * 2)] = w.rank() * 1000 + d;
+      send[static_cast<std::size_t>(d * 2 + 1)] = -w.rank();
+    }
+    mpi.alltoall(send.data(), 2, recv.data(), Datatype::kInt, w);
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(s * 2)], s * 1000 + w.rank());
+      ASSERT_EQ(recv[static_cast<std::size_t>(s * 2 + 1)], -s);
+    }
+  });
+}
+
+TEST_P(Collectives, AlltoallvVariableBlocks) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    const int me = w.rank();
+    // Rank r sends (r + d + 1) ints to rank d.
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(n)), sdispls(static_cast<std::size_t>(n));
+    std::vector<std::size_t> rcounts(static_cast<std::size_t>(n)), rdispls(static_cast<std::size_t>(n));
+    std::size_t stotal = 0, rtotal = 0;
+    for (int d = 0; d < n; ++d) {
+      scounts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(me + d + 1);
+      sdispls[static_cast<std::size_t>(d)] = stotal;
+      stotal += scounts[static_cast<std::size_t>(d)];
+      rcounts[static_cast<std::size_t>(d)] = static_cast<std::size_t>(d + me + 1);
+      rdispls[static_cast<std::size_t>(d)] = rtotal;
+      rtotal += rcounts[static_cast<std::size_t>(d)];
+    }
+    std::vector<int> send(stotal), recv(rtotal, -1);
+    for (int d = 0; d < n; ++d) {
+      for (std::size_t k = 0; k < scounts[static_cast<std::size_t>(d)]; ++k) {
+        send[sdispls[static_cast<std::size_t>(d)] + k] = me * 100 + d;
+      }
+    }
+    mpi.alltoallv(send.data(), scounts.data(), sdispls.data(), recv.data(), rcounts.data(),
+                  rdispls.data(), Datatype::kInt, w);
+    for (int s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < rcounts[static_cast<std::size_t>(s)]; ++k) {
+        ASSERT_EQ(recv[rdispls[static_cast<std::size_t>(s)] + k], s * 100 + me);
+      }
+    }
+  });
+}
+
+TEST_P(Collectives, ReduceScatterBlock) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    std::vector<long> send(static_cast<std::size_t>(n) * 2);
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(d * 2)] = d;
+      send[static_cast<std::size_t>(d * 2 + 1)] = w.rank();
+    }
+    std::vector<long> out(2, -1);
+    mpi.reduce_scatter_block(send.data(), out.data(), 2, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(out[0], static_cast<long>(w.rank()) * n);
+    EXPECT_EQ(out[1], static_cast<long>(n) * (n - 1) / 2);
+  });
+}
+
+TEST_P(Collectives, SplitEvenOddAndCommunicateWithin) {
+  if (nodes() < 2) GTEST_SKIP();
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    Comm half = mpi.split(w, w.rank() % 2, w.rank());
+    // Within each half, allreduce over the members' world ranks.
+    long mine = w.rank();
+    long sum = 0;
+    mpi.allreduce(&mine, &sum, 1, Datatype::kLong, Op::kSum, half);
+    long expect = 0;
+    for (int r = w.rank() % 2; r < w.size(); r += 2) expect += r;
+    EXPECT_EQ(sum, expect);
+    // Messages in the split communicator must not leak into the world ctx.
+    EXPECT_NE(half.ctx(), w.ctx());
+  });
+}
+
+TEST_P(Collectives, DupIsolatesTraffic) {
+  if (nodes() < 2) GTEST_SKIP();
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    Comm d = mpi.dup(w);
+    // Same tag, same peer, two communicators: matching must respect ctx.
+    if (w.rank() == 0) {
+      int a = 1, b = 2;
+      mpi.send(&a, 1, Datatype::kInt, 1, 5, d);
+      mpi.send(&b, 1, Datatype::kInt, 1, 5, w);
+    } else if (w.rank() == 1) {
+      int from_world = 0, from_dup = 0;
+      mpi.recv(&from_world, 1, Datatype::kInt, 0, 5, w);
+      mpi.recv(&from_dup, 1, Datatype::kInt, 0, 5, d);
+      EXPECT_EQ(from_world, 2);
+      EXPECT_EQ(from_dup, 1);
+    }
+    mpi.barrier(w);
+  });
+}
+
+std::string coll_name(const ::testing::TestParamInfo<CollParam>& info) {
+  std::string b = info.param.backend == Backend::kNativePipes ? "Native" : "LapiEnh";
+  return b + "_n" + std::to_string(info.param.nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
+                         ::testing::Values(CollParam{1, Backend::kLapiEnhanced},
+                                           CollParam{2, Backend::kLapiEnhanced},
+                                           CollParam{3, Backend::kLapiEnhanced},
+                                           CollParam{4, Backend::kLapiEnhanced},
+                                           CollParam{7, Backend::kLapiEnhanced},
+                                           CollParam{8, Backend::kLapiEnhanced},
+                                           CollParam{4, Backend::kNativePipes},
+                                           CollParam{7, Backend::kNativePipes}),
+                         coll_name);
+
+}  // namespace
+}  // namespace sp::mpi

@@ -1,0 +1,262 @@
+// MPI communication-mode semantics across all four backends:
+// Table 2 (mode -> internal protocol), blocking/nonblocking behaviour of the
+// standard, synchronous, buffered and ready modes, buffer attach/detach and
+// the ready-mode fatal error.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::mpi {
+namespace {
+
+using mpci::Mode;
+using mpci::Protocol;
+using mpci::protocol_for;
+using sim::MachineConfig;
+
+// --- Table 2: translation of MPI communication modes to internal protocols --
+TEST(Table2, StandardUsesEagerUpToTheLimit) {
+  EXPECT_EQ(protocol_for(Mode::kStandard, 0, 4096), Protocol::kEager);
+  EXPECT_EQ(protocol_for(Mode::kStandard, 4096, 4096), Protocol::kEager);
+  EXPECT_EQ(protocol_for(Mode::kStandard, 4097, 4096), Protocol::kRendezvous);
+}
+
+TEST(Table2, ReadyIsAlwaysEager) {
+  EXPECT_EQ(protocol_for(Mode::kReady, 1, 4096), Protocol::kEager);
+  EXPECT_EQ(protocol_for(Mode::kReady, 1 << 20, 4096), Protocol::kEager);
+}
+
+TEST(Table2, SynchronousIsAlwaysRendezvous) {
+  EXPECT_EQ(protocol_for(Mode::kSync, 1, 4096), Protocol::kRendezvous);
+  EXPECT_EQ(protocol_for(Mode::kSync, 1 << 20, 4096), Protocol::kRendezvous);
+}
+
+TEST(Table2, BufferedFollowsTheEagerLimit) {
+  EXPECT_EQ(protocol_for(Mode::kBuffered, 128, 4096), Protocol::kEager);
+  EXPECT_EQ(protocol_for(Mode::kBuffered, 1 << 20, 4096), Protocol::kRendezvous);
+}
+
+// --- behavioural tests over every backend -----------------------------------
+class ModesAllBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ModesAllBackends, SsendCompletesOnlyAfterReceiverPosts) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  constexpr sim::TimeNs kDelay = 5 * sim::kMs;
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    int v = 7;
+    if (w.rank() == 0) {
+      mpi.ssend(&v, 1, Datatype::kInt, 1, 0, w);
+      // The receive is posted only after kDelay; a synchronous send cannot
+      // have returned before the rendezvous happened.
+      EXPECT_GE(mpi.wtime() * 1e9, static_cast<double>(kDelay));
+    } else {
+      mpi.compute(kDelay);
+      int got = 0;
+      mpi.recv(&got, 1, Datatype::kInt, 0, 0, w);
+      EXPECT_EQ(got, 7);
+    }
+  });
+}
+
+TEST_P(ModesAllBackends, StandardEagerReturnsBeforeReceiverPosts) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  constexpr sim::TimeNs kDelay = 5 * sim::kMs;
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    int v = 7;
+    if (w.rank() == 0) {
+      mpi.send(&v, 1, Datatype::kInt, 1, 0, w);
+      EXPECT_LT(mpi.wtime() * 1e9, static_cast<double>(kDelay))
+          << "small standard send must not rendezvous";
+    } else {
+      mpi.compute(kDelay);
+      int got = 0;
+      mpi.recv(&got, 1, Datatype::kInt, 0, 0, w);
+      EXPECT_EQ(got, 7);
+    }
+  });
+}
+
+TEST_P(ModesAllBackends, LargeStandardSendRendezvouses) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<int> v(8192, 3);  // 32 KiB > eager limit
+    if (w.rank() == 0) {
+      mpi.send(v.data(), v.size(), Datatype::kInt, 1, 0, w);
+    } else {
+      mpi.compute(2 * sim::kMs);
+      mpi.recv(v.data(), v.size(), Datatype::kInt, 0, 0, w);
+      for (int x : v) ASSERT_EQ(x, 3);
+    }
+  });
+  EXPECT_GE(m.channel(0).rendezvous_sends(), 1);
+}
+
+TEST_P(ModesAllBackends, RsendSucceedsWhenReceivePosted) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    int v = 11;
+    if (w.rank() == 0) {
+      mpi.compute(2 * sim::kMs);  // give the receiver time to post
+      mpi.rsend(&v, 1, Datatype::kInt, 1, 0, w);
+    } else {
+      Request r = mpi.irecv(&v, 1, Datatype::kInt, 0, 0, w);
+      mpi.wait(r);
+      EXPECT_EQ(v, 11);
+    }
+  });
+}
+
+TEST_P(ModesAllBackends, RsendWithoutPostedReceiveIsFatal) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  EXPECT_THROW(m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    int v = 11;
+    if (w.rank() == 0) {
+      mpi.rsend(&v, 1, Datatype::kInt, 1, 0, w);
+    } else {
+      mpi.compute(5 * sim::kMs);  // receive posted far too late
+      mpi.recv(&v, 1, Datatype::kInt, 0, 0, w);
+    }
+  }),
+               mpci::FatalMpiError);
+}
+
+TEST_P(ModesAllBackends, BsendReturnsImmediatelyAndDetachDrains) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      std::vector<char> pool(1 << 16);
+      mpi.buffer_attach(pool.data(), pool.size());
+      int v = 5;
+      const double t0 = mpi.wtime();
+      for (int i = 0; i < 4; ++i) {
+        mpi.bsend(&v, 1, Datatype::kInt, 1, i, w);
+        v = -1;  // buffer reusable the moment bsend returns
+        v = 5;
+      }
+      EXPECT_LT((mpi.wtime() - t0) * 1e9, 2e6) << "bsend must not block on the receiver";
+      void* back = mpi.buffer_detach();  // waits for all four to drain
+      EXPECT_EQ(back, pool.data());
+      EXPECT_TRUE(mpi.channel().bsend_pool().empty());
+    } else {
+      mpi.compute(3 * sim::kMs);
+      for (int i = 0; i < 4; ++i) {
+        int got = 0;
+        mpi.recv(&got, 1, Datatype::kInt, 0, i, w);
+        EXPECT_EQ(got, 5);
+      }
+    }
+  });
+}
+
+TEST_P(ModesAllBackends, BsendOverflowIsAnError) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  EXPECT_THROW(m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      std::vector<char> pool(256);
+      mpi.buffer_attach(pool.data(), pool.size());
+      std::vector<char> big(10'000, 'x');
+      mpi.bsend(big.data(), big.size(), Datatype::kByte, 1, 0, w);
+    } else {
+      char sink[10'000];
+      mpi.recv(sink, sizeof sink, Datatype::kByte, 0, 0, w);
+    }
+  }),
+               mpci::FatalMpiError);
+}
+
+TEST_P(ModesAllBackends, IbsendLargeGoesThroughRendezvousFromTheAttachBuffer) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      std::vector<char> pool(1 << 17);
+      mpi.buffer_attach(pool.data(), pool.size());
+      std::vector<int> data(8192);
+      for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<int>(i);
+      Request r = mpi.ibsend(data.data(), data.size(), Datatype::kInt, 1, 0, w);
+      // Clobber the user buffer immediately: the pool copy must be what ships.
+      std::fill(data.begin(), data.end(), -1);
+      mpi.wait(r);
+      mpi.buffer_detach();
+    } else {
+      mpi.compute(2 * sim::kMs);
+      std::vector<int> got(8192, 0);
+      mpi.recv(got.data(), got.size(), Datatype::kInt, 0, 0, w);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], static_cast<int>(i)) << "index " << i;
+      }
+    }
+  });
+}
+
+TEST_P(ModesAllBackends, IsendTestEventuallyCompletes) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<int> v(64, 9);
+    if (w.rank() == 0) {
+      Request r = mpi.isend(v.data(), v.size(), Datatype::kInt, 1, 0, w);
+      int spins = 0;
+      while (!mpi.test(r)) {
+        mpi.compute(10 * sim::kUs);
+        ++spins;
+        ASSERT_LT(spins, 100'000);
+      }
+    } else {
+      std::vector<int> got(64, 0);
+      mpi.recv(got.data(), got.size(), Datatype::kInt, 0, 0, w);
+      EXPECT_EQ(got, std::vector<int>(64, 9));
+    }
+  });
+}
+
+TEST_P(ModesAllBackends, TruncatedReceiveKeepsPrefixAndFlags) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      std::vector<int> v(100);
+      for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+      mpi.send(v.data(), v.size(), Datatype::kInt, 1, 0, w);
+    } else {
+      std::vector<int> got(10, -1);
+      Status st;
+      mpi.recv(got.data(), got.size(), Datatype::kInt, 0, 0, w, &st);
+      EXPECT_EQ(st.len, 40u);  // truncated to capacity
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ModesAllBackends,
+                         ::testing::Values(Backend::kNativePipes, Backend::kLapiBase,
+                                           Backend::kLapiCounters, Backend::kLapiEnhanced),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return std::string(backend_name(info.param)) == "Native MPI (Pipes)"
+                                      ? "NativePipes"
+                                  : info.param == Backend::kLapiBase     ? "LapiBase"
+                                  : info.param == Backend::kLapiCounters ? "LapiCounters"
+                                                                         : "LapiEnhanced";
+                         });
+
+}  // namespace
+}  // namespace sp::mpi

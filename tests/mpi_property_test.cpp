@@ -1,0 +1,348 @@
+// Property-style tests: randomized message soups, cross-backend result
+// equivalence, non-overtaking order, wildcard matching, eager-limit sweeps,
+// fault injection and interrupt-mode end-to-end runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "sim/rng.hpp"
+
+namespace sp::mpi {
+namespace {
+
+using sim::MachineConfig;
+using sim::Pcg32;
+
+constexpr Backend kAllBackends[] = {Backend::kNativePipes, Backend::kLapiBase,
+                                    Backend::kLapiCounters, Backend::kLapiEnhanced};
+
+/// A randomized all-pairs message soup: every rank sends a schedule of
+/// messages with random sizes/tags to random peers; every payload byte is a
+/// deterministic function of (src, dst, msg index, offset); receivers post
+/// matching receives in-order per source and verify every byte. Returns a
+/// checksum that must be identical for every backend and config variation.
+std::uint64_t message_soup(const MachineConfig& cfg, Backend backend, int nodes,
+                           std::uint64_t seed, int msgs_per_rank, bool interrupt_mode = false) {
+  // Build the global send schedule deterministically up front.
+  struct Msg {
+    int src, dst, tag;
+    std::size_t len;
+  };
+  Pcg32 rng(seed);
+  std::vector<Msg> schedule;
+  for (int s = 0; s < nodes; ++s) {
+    for (int k = 0; k < msgs_per_rank; ++k) {
+      Msg msg;
+      msg.src = s;
+      msg.dst = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(nodes)));
+      msg.tag = static_cast<int>(rng.next_below(5));
+      // Mix of eager and rendezvous sizes.
+      const std::uint32_t cls = rng.next_below(4);
+      msg.len = cls == 0 ? rng.next_below(64)
+                : cls == 1 ? 64 + rng.next_below(1024)
+                : cls == 2 ? 1024 + rng.next_below(8192)
+                           : 8192 + rng.next_below(32768);
+      schedule.push_back(msg);
+    }
+  }
+
+  auto fill = [](std::vector<std::uint8_t>& buf, const Msg& m, int idx) {
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      buf[i] = static_cast<std::uint8_t>(m.src * 7 + m.dst * 13 + idx * 31 + i);
+    }
+  };
+
+  std::uint64_t checksum = 0;
+  Machine machine(cfg, nodes, backend);
+  machine.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int me = w.rank();
+    if (interrupt_mode) mpi.set_interrupt_mode(true);
+    // Post receives for everything destined to me in global schedule order;
+    // per (src,tag) that is exactly send order, so any non-overtaking
+    // violation shows up as a payload mismatch below.
+    std::vector<Request> recvs;
+    std::vector<std::unique_ptr<std::vector<std::uint8_t>>> rbufs;
+    std::vector<int> ridx;
+    for (int i = 0; i < static_cast<int>(schedule.size()); ++i) {
+      const Msg& m = schedule[static_cast<std::size_t>(i)];
+      if (m.dst != me) continue;
+      rbufs.push_back(std::make_unique<std::vector<std::uint8_t>>(m.len + 1, 0));
+      recvs.push_back(mpi.irecv(rbufs.back()->data(), m.len, Datatype::kByte, m.src, m.tag, w));
+      ridx.push_back(i);
+    }
+    std::vector<std::unique_ptr<std::vector<std::uint8_t>>> sbufs;
+    std::vector<Request> sends;
+    for (int i = 0; i < static_cast<int>(schedule.size()); ++i) {
+      const Msg& m = schedule[static_cast<std::size_t>(i)];
+      if (m.src != me) continue;
+      sbufs.push_back(std::make_unique<std::vector<std::uint8_t>>(m.len));
+      fill(*sbufs.back(), m, i);
+      sends.push_back(mpi.isend(sbufs.back()->data(), m.len, Datatype::kByte, m.dst, m.tag, w));
+    }
+    mpi.waitall(sends.data(), sends.size());
+    mpi.waitall(recvs.data(), recvs.size());
+    // Verify payloads and fold into a checksum.
+    std::uint64_t local = 0;
+    for (std::size_t k = 0; k < ridx.size(); ++k) {
+      const Msg& m = schedule[static_cast<std::size_t>(ridx[k])];
+      std::vector<std::uint8_t> expect(m.len);
+      fill(expect, m, ridx[k]);
+      expect.push_back(0);
+      ASSERT_EQ(*rbufs[k], expect) << "message " << ridx[k] << " corrupted";
+      for (auto b : *rbufs[k]) local = local * 1099511628211ULL + b;
+    }
+    std::uint64_t total = 0;
+    mpi.allreduce(&local, &total, 1, Datatype::kLong, Op::kSum, w);
+    if (me == 0) checksum = total;
+    mpi.barrier(w);
+  });
+  return checksum;
+}
+
+TEST(PropertySoup, AllBackendsProduceIdenticalResults) {
+  MachineConfig cfg;
+  std::map<std::uint64_t, std::uint64_t> sums;
+  for (Backend b : kAllBackends) {
+    const std::uint64_t c = message_soup(cfg, b, 4, /*seed=*/1234, /*msgs=*/20);
+    sums[1234] = sums.count(1234) ? sums[1234] : c;
+    EXPECT_EQ(c, sums[1234]) << backend_name(b);
+  }
+}
+
+class SoupSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoupSeeds, EnhancedBackendSoup) {
+  MachineConfig cfg;
+  (void)message_soup(cfg, Backend::kLapiEnhanced, 5, GetParam(), 16);
+}
+
+TEST_P(SoupSeeds, NativeBackendSoup) {
+  MachineConfig cfg;
+  (void)message_soup(cfg, Backend::kNativePipes, 5, GetParam(), 16);
+}
+
+TEST_P(SoupSeeds, CountersBackendSoup) {
+  MachineConfig cfg;
+  (void)message_soup(cfg, Backend::kLapiCounters, 5, GetParam(), 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoupSeeds, ::testing::Values(1u, 7u, 42u, 1999u, 31337u));
+
+TEST(PropertySoup, SurvivesPacketLoss) {
+  MachineConfig cfg;
+  cfg.packet_drop_rate = 0.05;
+  cfg.retransmit_timeout_ns = 300'000;
+  for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+    (void)message_soup(cfg, b, 3, 99, 12);
+  }
+}
+
+TEST(PropertySoup, SurvivesSevereRouteSkew) {
+  MachineConfig cfg;
+  cfg.route_skew_ns = 350'000;
+  for (Backend b : kAllBackends) {
+    (void)message_soup(cfg, b, 3, 7, 12);
+  }
+}
+
+TEST(PropertySoup, ChecksumIndependentOfEagerLimit) {
+  // The eager/rendezvous switchover must never change results.
+  std::uint64_t ref = 0;
+  bool first = true;
+  for (std::size_t limit : {0ul, 64ul, 1024ul, 4096ul, 65536ul}) {
+    MachineConfig cfg;
+    cfg.eager_limit = limit;
+    const std::uint64_t c = message_soup(cfg, Backend::kLapiEnhanced, 4, 555, 14);
+    if (first) {
+      ref = c;
+      first = false;
+    }
+    EXPECT_EQ(c, ref) << "eager limit " << limit;
+  }
+}
+
+TEST(PropertySoup, ChecksumIndependentOfInterruptMode) {
+  MachineConfig cfg;
+  const std::uint64_t polling = message_soup(cfg, Backend::kLapiEnhanced, 3, 777, 10);
+  const std::uint64_t interrupt =
+      message_soup(cfg, Backend::kLapiEnhanced, 3, 777, 10, /*interrupt_mode=*/true);
+  EXPECT_EQ(polling, interrupt) << "delivery mode must not change results";
+  const std::uint64_t again = message_soup(cfg, Backend::kLapiEnhanced, 3, 777, 10);
+  EXPECT_EQ(polling, again) << "simulation must be bit-deterministic";
+}
+
+TEST(Ordering, NonOvertakingSameTag) {
+  // 50 same-(src,tag) messages must arrive in send order on every backend.
+  for (Backend b : kAllBackends) {
+    MachineConfig cfg;
+    Machine m(cfg, 2, b);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      if (w.rank() == 0) {
+        for (int i = 0; i < 50; ++i) {
+          mpi.send(&i, 1, Datatype::kInt, 1, 0, w);
+        }
+      } else {
+        for (int i = 0; i < 50; ++i) {
+          int got = -1;
+          mpi.recv(&got, 1, Datatype::kInt, 0, 0, w);
+          ASSERT_EQ(got, i) << backend_name(b);
+        }
+      }
+    });
+  }
+}
+
+TEST(Ordering, NonOvertakingUnderRouteSkew) {
+  for (Backend b : kAllBackends) {
+    MachineConfig cfg;
+    cfg.route_skew_ns = 300'000;
+    Machine m(cfg, 2, b);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      if (w.rank() == 0) {
+        for (int i = 0; i < 40; ++i) {
+          std::vector<int> v(100, i);
+          mpi.send(v.data(), v.size(), Datatype::kInt, 1, 3, w);
+        }
+      } else {
+        for (int i = 0; i < 40; ++i) {
+          std::vector<int> v(100, -1);
+          mpi.recv(v.data(), v.size(), Datatype::kInt, 0, 3, w);
+          for (int x : v) ASSERT_EQ(x, i) << backend_name(b);
+        }
+      }
+    });
+  }
+}
+
+TEST(Wildcards, AnySourceAnyTagCollectsEverything) {
+  for (Backend b : kAllBackends) {
+    MachineConfig cfg;
+    Machine m(cfg, 4, b);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      if (w.rank() == 0) {
+        long seen = 0;
+        for (int i = 0; i < 3 * 5; ++i) {
+          long v = 0;
+          Status st;
+          mpi.recv(&v, 1, Datatype::kLong, kAnySource, kAnyTag, w, &st);
+          EXPECT_EQ(v, st.source * 100 + st.tag);
+          seen += v;
+        }
+        long expect = 0;
+        for (int s = 1; s <= 3; ++s) {
+          for (int t = 0; t < 5; ++t) expect += s * 100 + t;
+        }
+        EXPECT_EQ(seen, expect) << backend_name(b);
+      } else {
+        for (int t = 0; t < 5; ++t) {
+          long v = w.rank() * 100 + t;
+          mpi.send(&v, 1, Datatype::kLong, 0, t, w);
+          mpi.compute(50 * sim::kUs);
+        }
+      }
+    });
+  }
+}
+
+TEST(Wildcards, AnySourceWithSpecificTagFilters) {
+  MachineConfig cfg;
+  Machine m(cfg, 3, Backend::kLapiEnhanced);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      // Two messages per peer: tag 1 then tag 2. Receive all tag-2 first.
+      for (int k = 0; k < 2; ++k) {
+        int v = 0;
+        Status st;
+        mpi.recv(&v, 1, Datatype::kInt, kAnySource, 2, w, &st);
+        EXPECT_EQ(v, st.source * 10 + 2);
+      }
+      for (int k = 0; k < 2; ++k) {
+        int v = 0;
+        Status st;
+        mpi.recv(&v, 1, Datatype::kInt, kAnySource, 1, w, &st);
+        EXPECT_EQ(v, st.source * 10 + 1);
+      }
+    } else {
+      int a = w.rank() * 10 + 1, b = w.rank() * 10 + 2;
+      mpi.send(&a, 1, Datatype::kInt, 0, 1, w);
+      mpi.send(&b, 1, Datatype::kInt, 0, 2, w);
+    }
+  });
+}
+
+TEST(FaultInjection, EarlyArrivalBufferOverflowIsFatal) {
+  MachineConfig cfg;
+  cfg.early_arrival_bytes = 16 * 1024;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  EXPECT_THROW(m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      std::vector<char> chunk(4096, 'x');  // at the eager limit
+      for (int i = 0; i < 16; ++i) {
+        mpi.send(chunk.data(), chunk.size(), Datatype::kByte, 1, i, w);
+      }
+    } else {
+      mpi.compute(50 * sim::kMs);  // never post: unexpected pile-up
+      char sink[4096];
+      for (int i = 0; i < 16; ++i) mpi.recv(sink, sizeof sink, Datatype::kByte, 0, i, w);
+    }
+  }),
+               mpci::FatalMpiError);
+}
+
+TEST(InterruptMode, PingPongWorksOnAllBackends) {
+  for (Backend b : kAllBackends) {
+    MachineConfig cfg;
+    Machine m(cfg, 2, b);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      mpi.set_interrupt_mode(true);
+      std::vector<int> v(200, 0);
+      if (w.rank() == 0) {
+        std::iota(v.begin(), v.end(), 5);
+        mpi.send(v.data(), v.size(), Datatype::kInt, 1, 0, w);
+        mpi.recv(v.data(), v.size(), Datatype::kInt, 1, 1, w);
+        EXPECT_EQ(v[0], 6);
+      } else {
+        mpi.recv(v.data(), v.size(), Datatype::kInt, 0, 0, w);
+        EXPECT_EQ(v[199], 204);
+        for (auto& x : v) x += 1;
+        mpi.send(v.data(), v.size(), Datatype::kInt, 0, 1, w);
+      }
+    });
+    EXPECT_GT(m.hal(0).interrupts_taken() + m.hal(1).interrupts_taken(), 0)
+        << backend_name(b);
+  }
+}
+
+TEST(Determinism, ElapsedTimeIsBitIdenticalAcrossRuns) {
+  auto run_once = [] {
+    MachineConfig cfg;
+    Machine m(cfg, 4, Backend::kLapiEnhanced);
+    m.run([](Mpi& mpi) {
+      Comm& w = mpi.world();
+      std::vector<double> v(512, w.rank());
+      std::vector<double> out(512);
+      for (int i = 0; i < 5; ++i) {
+        mpi.allreduce(v.data(), out.data(), 512, Datatype::kDouble, Op::kSum, w);
+        mpi.alltoall(v.data(), 128, out.data(), Datatype::kDouble, w);
+      }
+    });
+    return m.elapsed();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0);
+}
+
+}  // namespace
+}  // namespace sp::mpi

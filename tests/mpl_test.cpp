@@ -1,0 +1,116 @@
+// MPL compatibility facade tests — the classic mpc_* call set over both
+// transports (§1's "common transport layer" motivation).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpi/mpl.hpp"
+
+namespace sp::mpl {
+namespace {
+
+using mpi::Backend;
+using mpi::Machine;
+using sim::MachineConfig;
+
+class MplBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(MplBackends, EnvironReportsTaskLayout) {
+  MachineConfig cfg;
+  Machine m(cfg, 3, GetParam());
+  m.run([](mpi::Mpi& mpi) {
+    Mpl mpl(mpi);
+    int numtask = 0, taskid = -1;
+    mpl.environ(&numtask, &taskid);
+    EXPECT_EQ(numtask, 3);
+    EXPECT_EQ(taskid, mpi.world().rank());
+  });
+}
+
+TEST_P(MplBackends, BlockingSendRecvWithWildcards) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([](mpi::Mpi& mpi) {
+    Mpl mpl(mpi);
+    if (mpi.world().rank() == 0) {
+      const char msg[] = "mpl says hi";
+      mpl.bsend(msg, sizeof msg, 1, 42);
+    } else {
+      char buf[64] = {};
+      int source = kDontCare, type = kDontCare;
+      std::size_t nbytes = 0;
+      mpl.brecv(buf, sizeof buf, &source, &type, &nbytes);
+      EXPECT_EQ(source, 0);
+      EXPECT_EQ(type, 42);
+      EXPECT_EQ(nbytes, sizeof("mpl says hi"));
+      EXPECT_STREQ(buf, "mpl says hi");
+    }
+  });
+}
+
+TEST_P(MplBackends, NonblockingMessageIds) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, GetParam());
+  m.run([](mpi::Mpi& mpi) {
+    Mpl mpl(mpi);
+    if (mpi.world().rank() == 0) {
+      std::vector<int> a(100), b(50);
+      std::iota(a.begin(), a.end(), 0);
+      std::iota(b.begin(), b.end(), 1000);
+      const int id1 = mpl.send(a.data(), a.size() * 4, 1, 1);
+      const int id2 = mpl.send(b.data(), b.size() * 4, 1, 2);
+      std::size_t n1 = 0, n2 = 0;
+      mpl.wait(id2, &n2);
+      mpl.wait(id1, &n1);
+    } else {
+      std::vector<int> a(100, -1), b(50, -1);
+      const int r1 = mpl.recv(a.data(), a.size() * 4, 0, 1);
+      const int r2 = mpl.recv(b.data(), b.size() * 4, 0, 2);
+      // mpc_status polls without blocking.
+      int spins = 0;
+      while (!mpl.status(r1) || !mpl.status(r2)) {
+        mpi.compute(20 * sim::kUs);
+        ASSERT_LT(++spins, 100000);
+      }
+      for (int i = 0; i < 100; ++i) ASSERT_EQ(a[static_cast<std::size_t>(i)], i);
+      for (int i = 0; i < 50; ++i) ASSERT_EQ(b[static_cast<std::size_t>(i)], 1000 + i);
+    }
+  });
+}
+
+TEST_P(MplBackends, SyncBcastCombineIndex) {
+  MachineConfig cfg;
+  Machine m(cfg, 4, GetParam());
+  m.run([](mpi::Mpi& mpi) {
+    Mpl mpl(mpi);
+    const int me = mpi.world().rank();
+    mpl.sync();
+
+    long v = me == 1 ? 777 : 0;
+    mpl.bcast(&v, sizeof v, 1);
+    EXPECT_EQ(v, 777);
+
+    long mine = me + 1, sum = 0;
+    mpl.combine(&mine, &sum, 1, mpi::Datatype::kLong, mpi::Op::kSum);
+    EXPECT_EQ(sum, 10);
+
+    std::vector<std::int32_t> out_blocks(4), in_blocks(4);
+    for (int d = 0; d < 4; ++d) out_blocks[static_cast<std::size_t>(d)] = me * 10 + d;
+    mpl.index(out_blocks.data(), in_blocks.data(), 4);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(in_blocks[static_cast<std::size_t>(s)], s * 10 + me);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStacks, MplBackends,
+                         ::testing::Values(Backend::kNativePipes, Backend::kLapiEnhanced),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kNativePipes ? "NativePipes"
+                                                                      : "LapiEnhanced";
+                         });
+
+}  // namespace
+}  // namespace sp::mpl

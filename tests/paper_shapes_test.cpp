@@ -1,0 +1,95 @@
+// Shape regression tests: the qualitative claims of the paper's figures and
+// table, asserted as invariants on the calibrated default machine. If a
+// protocol or cost-model change breaks one of these, the reproduction itself
+// has regressed — these are the project's golden-master checks.
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+
+namespace sp {
+namespace {
+
+using bench::mpi_bandwidth_mbs;
+using bench::mpi_interrupt_pingpong_us;
+using bench::mpi_pingpong_us;
+using bench::raw_lapi_pingpong_us;
+using mpi::Backend;
+using sim::MachineConfig;
+
+TEST(Fig10Shape, BaseCarriesTheContextSwitchAtAllSizes) {
+  MachineConfig cfg;
+  for (std::size_t s : {4ul, 512ul, 16384ul}) {
+    const double raw = raw_lapi_pingpong_us(cfg, s, 8);
+    const double base = mpi_pingpong_us(cfg, Backend::kLapiBase, s, 8);
+    EXPECT_GT(base - raw, sim::to_us(cfg.completion_thread_switch_ns) * 0.7)
+        << "size " << s << ": Base must pay roughly the thread switch";
+  }
+}
+
+TEST(Fig10Shape, EnhancedTracksRawLapiClosely) {
+  MachineConfig cfg;
+  // Eager sizes: the residue is matching + locking, a few microseconds.
+  for (std::size_t s : {4ul, 512ul}) {
+    const double raw = raw_lapi_pingpong_us(cfg, s, 8);
+    const double enh = mpi_pingpong_us(cfg, Backend::kLapiEnhanced, s, 8);
+    EXPECT_LT(enh - raw, 8.0) << "size " << s
+                              << ": Enhanced residue is only matching+locking";
+    EXPECT_GT(enh, raw) << "MPI semantics cannot be free";
+  }
+  // Rendezvous sizes additionally carry the RTS/CTS round trip, but stay
+  // within ~15% of the one-sided put.
+  const double raw = raw_lapi_pingpong_us(cfg, 16384, 8);
+  const double enh = mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 16384, 8);
+  EXPECT_LT(enh / raw, 1.15) << "Enhanced must stay close to raw LAPI at 16 KiB";
+}
+
+TEST(Fig10Shape, CountersFixEagerButNotRendezvous) {
+  MachineConfig cfg;
+  const double cntr_small = mpi_pingpong_us(cfg, Backend::kLapiCounters, 256, 8);
+  const double enh_small = mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 256, 8);
+  EXPECT_NEAR(cntr_small, enh_small, 2.0) << "eager path: Counters ~ Enhanced";
+
+  const double cntr_big = mpi_pingpong_us(cfg, Backend::kLapiCounters, 8192, 8);
+  const double enh_big = mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 8192, 8);
+  EXPECT_GT(cntr_big - enh_big, sim::to_us(cfg.completion_thread_switch_ns) * 0.5)
+      << "rendezvous control still pays the handler thread in Counters";
+}
+
+TEST(Fig11Shape, NativeWinsTinyLapiWinsBig) {
+  MachineConfig cfg;
+  const double native_1 = mpi_pingpong_us(cfg, Backend::kNativePipes, 1, 16);
+  const double lapi_1 = mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 1, 16);
+  EXPECT_LT(native_1, lapi_1) << "paper: native slightly faster for very short messages";
+  EXPECT_LT(lapi_1 / native_1, 1.35) << "but only slightly";
+
+  const double native_4k = mpi_pingpong_us(cfg, Backend::kNativePipes, 4096, 16);
+  const double lapi_4k = mpi_pingpong_us(cfg, Backend::kLapiEnhanced, 4096, 16);
+  EXPECT_GT(native_4k / lapi_4k, 1.10) << "paper: clear MPI-LAPI win past the crossover";
+}
+
+TEST(Fig12Shape, LapiBandwidthHigherMidRange) {
+  MachineConfig cfg;
+  const double native = mpi_bandwidth_mbs(cfg, Backend::kNativePipes, 16384, 24);
+  const double lapi = mpi_bandwidth_mbs(cfg, Backend::kLapiEnhanced, 16384, 24);
+  EXPECT_GT(lapi / native, 1.10) << "the pipe staging copies must cost bandwidth";
+  EXPECT_LT(lapi, 150.0) << "nothing may beat the wire";
+}
+
+TEST(Fig13Shape, InterruptModeStronglyFavoursLapi) {
+  MachineConfig cfg;
+  const double native = mpi_interrupt_pingpong_us(cfg, Backend::kNativePipes, 64, 6);
+  const double lapi = mpi_interrupt_pingpong_us(cfg, Backend::kLapiEnhanced, 64, 6);
+  EXPECT_GT(native / lapi, 2.0) << "the hysteresis busy-wait dominates native";
+}
+
+TEST(PollingVsInterrupt, InterruptCostsLatencyOnBothStacks) {
+  MachineConfig cfg;
+  for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+    const double poll = mpi_pingpong_us(cfg, b, 256, 8);
+    const double intr = mpi_interrupt_pingpong_us(cfg, b, 256, 8);
+    EXPECT_GT(intr, poll) << mpi::backend_name(b);
+  }
+}
+
+}  // namespace
+}  // namespace sp

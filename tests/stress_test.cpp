@@ -1,0 +1,186 @@
+// Stress and corner-condition tests: transport window stalls under a tiny
+// pipe buffer, counter-ring wraparound in the Counters variant, combined
+// loss + interrupt operation, zero-byte messages and many-node fan-in.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::mpi {
+namespace {
+
+using sim::MachineConfig;
+
+TEST(Stress, TinyPipeBufferStillDeliversEverything) {
+  MachineConfig cfg;
+  cfg.pipe_buffer_bytes = 4096;     // severe flow-control pressure
+  cfg.sliding_window_packets = 4;   // and a tiny packet window
+  Machine m(cfg, 2, Backend::kNativePipes);
+  constexpr std::size_t kLen = 100 * 1024;
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<std::uint8_t> buf(kLen);
+    if (w.rank() == 0) {
+      for (std::size_t i = 0; i < kLen; ++i) buf[i] = static_cast<std::uint8_t>(i * 13);
+      mpi.send(buf.data(), kLen, Datatype::kByte, 1, 0, w);
+    } else {
+      mpi.recv(buf.data(), kLen, Datatype::kByte, 0, 0, w);
+      for (std::size_t i = 0; i < kLen; ++i) {
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 13));
+      }
+    }
+  });
+}
+
+TEST(Stress, TinyLapiWindowStillDeliversEverything) {
+  MachineConfig cfg;
+  cfg.sliding_window_packets = 2;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  constexpr std::size_t kLen = 64 * 1024;
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<std::uint8_t> buf(kLen);
+    if (w.rank() == 0) {
+      for (std::size_t i = 0; i < kLen; ++i) buf[i] = static_cast<std::uint8_t>(i * 29 + 1);
+      mpi.send(buf.data(), kLen, Datatype::kByte, 1, 0, w);
+    } else {
+      mpi.recv(buf.data(), kLen, Datatype::kByte, 0, 0, w);
+      for (std::size_t i = 0; i < kLen; ++i) {
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 29 + 1));
+      }
+    }
+  });
+}
+
+TEST(Stress, CounterRingWrapsAround) {
+  // More eager messages per pair than ring slots: slots are reused; the
+  // FIFO transport makes reuse safe (window << ring size).
+  MachineConfig cfg;
+  cfg.counter_ring_slots = 16;  // force many wraparounds
+  Machine m(cfg, 2, Backend::kLapiCounters);
+  constexpr int kMsgs = 200;
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        mpi.send(&i, 1, Datatype::kInt, 1, 0, w);
+      }
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        int v = -1;
+        mpi.recv(&v, 1, Datatype::kInt, 0, 0, w);
+        ASSERT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Stress, LossPlusInterruptMode) {
+  MachineConfig cfg;
+  cfg.packet_drop_rate = 0.04;
+  cfg.retransmit_timeout_ns = 300'000;
+  for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+    Machine m(cfg, 2, b);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      mpi.set_interrupt_mode(true);
+      std::vector<int> v(2048);
+      if (w.rank() == 0) {
+        std::iota(v.begin(), v.end(), 0);
+        mpi.send(v.data(), v.size(), Datatype::kInt, 1, 0, w);
+        mpi.recv(v.data(), v.size(), Datatype::kInt, 1, 1, w);
+        for (int i = 0; i < 2048; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i + 1);
+      } else {
+        mpi.recv(v.data(), v.size(), Datatype::kInt, 0, 0, w);
+        for (auto& x : v) x += 1;
+        mpi.send(v.data(), v.size(), Datatype::kInt, 0, 1, w);
+      }
+    });
+  }
+}
+
+TEST(Stress, ZeroByteMessagesCarrySemantics) {
+  for (Backend b : {Backend::kNativePipes, Backend::kLapiBase, Backend::kLapiCounters,
+                    Backend::kLapiEnhanced}) {
+    MachineConfig cfg;
+    Machine m(cfg, 2, b);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      if (w.rank() == 0) {
+        for (int i = 0; i < 10; ++i) {
+          mpi.send(nullptr, 0, Datatype::kByte, 1, i, w);
+        }
+        mpi.ssend(nullptr, 0, Datatype::kByte, 1, 99, w);
+      } else {
+        for (int i = 0; i < 10; ++i) {
+          Status st;
+          mpi.recv(nullptr, 0, Datatype::kByte, 0, i, w, &st);
+          EXPECT_EQ(st.tag, i);
+          EXPECT_EQ(st.len, 0u);
+        }
+        mpi.recv(nullptr, 0, Datatype::kByte, 0, 99, w);
+      }
+    });
+  }
+}
+
+TEST(Stress, SixteenToOneFanIn) {
+  MachineConfig cfg;
+  Machine m(cfg, 16, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    constexpr int kPer = 8;
+    if (w.rank() == 0) {
+      long sum = 0;
+      for (int i = 0; i < 15 * kPer; ++i) {
+        long v = 0;
+        mpi.recv(&v, 1, Datatype::kLong, kAnySource, 0, w);
+        sum += v;
+      }
+      long expect = 0;
+      for (int r = 1; r < 16; ++r) {
+        for (int k = 0; k < kPer; ++k) expect += r * 100 + k;
+      }
+      EXPECT_EQ(sum, expect);
+    } else {
+      for (int k = 0; k < kPer; ++k) {
+        long v = w.rank() * 100 + k;
+        mpi.send(&v, 1, Datatype::kLong, 0, 0, w);
+      }
+    }
+  });
+}
+
+TEST(Stress, BigMachineBigCollective) {
+  MachineConfig cfg;
+  Machine m(cfg, 32, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<long> v(64, w.rank());
+    std::vector<long> out(64, 0);
+    mpi.allreduce(v.data(), out.data(), 64, Datatype::kLong, Op::kSum, w);
+    for (long x : out) EXPECT_EQ(x, 32 * 31 / 2);
+    mpi.barrier(w);
+  });
+}
+
+TEST(Stress, ManySmallMachinesNoCrosstalk) {
+  // Machines are fully independent; constructing and running dozens back to
+  // back must never interfere (no global state).
+  for (int i = 0; i < 20; ++i) {
+    MachineConfig cfg;
+    cfg.fabric_seed = static_cast<std::uint64_t>(i);
+    Machine m(cfg, 3, static_cast<Backend>(i % 4));
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      long mine = w.rank() + i, sum = 0;
+      mpi.allreduce(&mine, &sum, 1, Datatype::kLong, Op::kSum, w);
+      EXPECT_EQ(sum, 3 + 3 * i);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace sp::mpi

@@ -1,0 +1,111 @@
+// Tests for the event-timeline tracer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::mpi {
+namespace {
+
+using sim::MachineConfig;
+
+TEST(Trace, DisabledByDefault) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  EXPECT_EQ(m.trace(), nullptr);
+}
+
+TEST(Trace, RecordsProtocolEventsInTimeOrder) {
+  MachineConfig cfg;
+  cfg.trace_enabled = true;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<char> buf(512);
+    if (w.rank() == 0) {
+      mpi.send(buf.data(), buf.size(), Datatype::kByte, 1, 0, w);
+    } else {
+      mpi.recv(buf.data(), buf.size(), Datatype::kByte, 0, 0, w);
+    }
+  });
+  auto* tr = m.trace();
+  ASSERT_NE(tr, nullptr);
+  EXPECT_GE(tr->count("hal.send"), 1u);
+  EXPECT_GE(tr->count("hal.deliver"), 1u);
+  EXPECT_GE(tr->count("lapi.amsend"), 1u);
+  EXPECT_GE(tr->count("lapi.header_handler"), 1u);
+  EXPECT_GE(tr->count("lapi.completion.inline"), 1u);
+  EXPECT_EQ(tr->count("hal.interrupt"), 0u) << "polling mode takes no interrupts";
+
+  sim::TimeNs last = -1;
+  for (const auto& e : tr->events()) {
+    EXPECT_GE(e.t, last) << "trace must be time-ordered";
+    last = e.t;
+  }
+}
+
+TEST(Trace, BaseVariantShowsThreadCompletions) {
+  MachineConfig cfg;
+  cfg.trace_enabled = true;
+  Machine m(cfg, 2, Backend::kLapiBase);
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    int v = 1;
+    if (w.rank() == 0) {
+      mpi.send(&v, 1, Datatype::kInt, 1, 0, w);
+    } else {
+      mpi.recv(&v, 1, Datatype::kInt, 0, 0, w);
+    }
+  });
+  EXPECT_GE(m.trace()->count("lapi.completion.thread"), 1u);
+  EXPECT_EQ(m.trace()->count("lapi.completion.inline"), 0u);
+}
+
+TEST(Trace, InterruptModeShowsInterrupts) {
+  MachineConfig cfg;
+  cfg.trace_enabled = true;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    mpi.set_interrupt_mode(true);
+    int v = 1;
+    if (w.rank() == 0) {
+      mpi.send(&v, 1, Datatype::kInt, 1, 0, w);
+    } else {
+      mpi.recv(&v, 1, Datatype::kInt, 0, 0, w);
+    }
+  });
+  EXPECT_GE(m.trace()->count("hal.interrupt"), 1u);
+}
+
+TEST(Trace, DumpIsWellFormed) {
+  MachineConfig cfg;
+  cfg.trace_enabled = true;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) { mpi.barrier(mpi.world()); });
+  // Dump into a memory stream and sanity-check the format.
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  ASSERT_NE(mem, nullptr);
+  m.trace()->dump(mem);
+  std::fclose(mem);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_GT(len, 0u);
+  EXPECT_NE(std::string(buf, len).find("hal.send"), std::string::npos);
+  free(buf);
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  sim::Trace tr;
+  tr.emit(1, 0, "x", "a");
+  tr.emit(2, 1, "y", "b");
+  EXPECT_EQ(tr.events().size(), 2u);
+  EXPECT_EQ(tr.count("x"), 1u);
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+}
+
+}  // namespace
+}  // namespace sp::mpi

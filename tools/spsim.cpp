@@ -1,0 +1,222 @@
+// spsim: command-line driver for the simulated SP machine.
+//
+// Runs the standard experiments with configurable machine parameters and
+// prints CSV-friendly output plus (optionally) the per-machine statistics.
+//
+//   spsim latency   [options]          ping-pong latency sweep
+//   spsim bandwidth [options]          streaming bandwidth sweep
+//   spsim interrupt [options]          interrupt-mode latency sweep
+//   spsim nas       [options]          NAS mini-kernel table
+//   spsim stats     [options]          one ping-pong with full statistics
+//   spsim trace     [options]          dump a protocol-event timeline
+//
+// Options:
+//   --backend native|base|counters|enhanced   (default enhanced)
+//   --nodes N          machine size (default 2; nas default 4)
+//   --size BYTES       single message size instead of the sweep
+//   --iters N          iterations per measurement (default 24)
+//   --eager BYTES      eager limit (default 4096)
+//   --drop P           packet drop probability (default 0)
+//   --scale N          NAS problem scale (default 2)
+//   --testbed tbmx|tb3 node/adapter generation (default tbmx)
+//   --csv              machine-readable output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "nas/kernels.hpp"
+
+namespace {
+
+using namespace sp;
+
+struct Options {
+  std::string cmd = "latency";
+  mpi::Backend backend = mpi::Backend::kLapiEnhanced;
+  int nodes = 0;  // 0 = command default
+  std::size_t size = 0;
+  int iters = 24;
+  std::size_t eager = 4096;
+  double drop = 0.0;
+  int scale = 2;
+  bool tb3 = false;
+  bool csv = false;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: spsim latency|bandwidth|interrupt|nas|stats [--backend "
+               "native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
+               "[--eager B] [--drop P] [--scale N] [--csv]\n");
+  std::exit(2);
+}
+
+mpi::Backend parse_backend(const std::string& s) {
+  if (s == "native") return mpi::Backend::kNativePipes;
+  if (s == "base") return mpi::Backend::kLapiBase;
+  if (s == "counters") return mpi::Backend::kLapiCounters;
+  if (s == "enhanced") return mpi::Backend::kLapiEnhanced;
+  usage();
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  if (argc < 2) usage();
+  o.cmd = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--backend") {
+      o.backend = parse_backend(next());
+    } else if (a == "--nodes") {
+      o.nodes = std::atoi(next());
+    } else if (a == "--size") {
+      o.size = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--iters") {
+      o.iters = std::atoi(next());
+    } else if (a == "--eager") {
+      o.eager = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--drop") {
+      o.drop = std::atof(next());
+    } else if (a == "--scale") {
+      o.scale = std::atoi(next());
+    } else if (a == "--testbed") {
+      const std::string t = next();
+      if (t == "tb3") o.tb3 = true;
+      else if (t != "tbmx") usage();
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else {
+      usage();
+    }
+  }
+  return o;
+}
+
+sim::MachineConfig make_config(const Options& o) {
+  sim::MachineConfig cfg = o.tb3 ? sim::MachineConfig::tb3_p2sc() : sim::MachineConfig::tbmx_332();
+  cfg.eager_limit = o.eager;
+  cfg.packet_drop_rate = o.drop;
+  if (o.drop > 0) cfg.retransmit_timeout_ns = 400'000;
+  return cfg;
+}
+
+std::vector<std::size_t> sizes_for(const Options& o, std::size_t sweep_max) {
+  if (o.size > 0) return {o.size};
+  return bench::size_sweep(sweep_max);
+}
+
+int cmd_latency(const Options& o) {
+  const auto cfg = make_config(o);
+  if (!o.csv) std::printf("# one-way latency (us), %s\n", mpi::backend_name(o.backend));
+  std::printf(o.csv ? "size,latency_us\n" : "%-10s %12s\n", "size", "latency_us");
+  for (std::size_t s : sizes_for(o, 1 << 16)) {
+    const double us = bench::mpi_pingpong_us(cfg, o.backend, s, o.iters);
+    std::printf(o.csv ? "%zu,%.3f\n" : "%-10zu %12.2f\n", s, us);
+  }
+  return 0;
+}
+
+int cmd_bandwidth(const Options& o) {
+  const auto cfg = make_config(o);
+  if (!o.csv) std::printf("# streaming bandwidth (MB/s), %s\n", mpi::backend_name(o.backend));
+  std::printf(o.csv ? "size,mb_per_s\n" : "%-10s %12s\n", "size", "MB/s");
+  for (std::size_t s : sizes_for(o, 1 << 20)) {
+    const double mbs = bench::mpi_bandwidth_mbs(cfg, o.backend, s, o.iters);
+    std::printf(o.csv ? "%zu,%.3f\n" : "%-10zu %12.2f\n", s, mbs);
+  }
+  return 0;
+}
+
+int cmd_interrupt(const Options& o) {
+  const auto cfg = make_config(o);
+  if (!o.csv) {
+    std::printf("# interrupt-mode one-way latency (us), %s\n", mpi::backend_name(o.backend));
+  }
+  std::printf(o.csv ? "size,latency_us\n" : "%-10s %12s\n", "size", "latency_us");
+  for (std::size_t s : sizes_for(o, 1 << 16)) {
+    const double us = bench::mpi_interrupt_pingpong_us(cfg, o.backend, s, o.iters / 2 + 1);
+    std::printf(o.csv ? "%zu,%.3f\n" : "%-10zu %12.2f\n", s, us);
+  }
+  return 0;
+}
+
+int cmd_nas(const Options& o) {
+  const auto cfg = make_config(o);
+  const int nodes = o.nodes > 0 ? o.nodes : 4;
+  std::printf(o.csv ? "kernel,ms,verified\n" : "%-8s %12s %10s\n", "kernel", "ms", "verified");
+  for (auto& [name, fn] : nas::all_kernels()) {
+    mpi::Machine m(cfg, nodes, o.backend);
+    bool ok = true;
+    m.run([&, f = fn](mpi::Mpi& mpi) {
+      const auto r = f(mpi, o.scale);
+      if (!r.verified) ok = false;
+    });
+    const double ms = sim::to_us(m.elapsed()) / 1000.0;
+    if (o.csv) {
+      std::printf("%s,%.3f,%d\n", name.c_str(), ms, ok ? 1 : 0);
+    } else {
+      std::printf("%-8s %12.2f %10s\n", name.c_str(), ms, ok ? "yes" : "NO");
+    }
+  }
+  return 0;
+}
+
+int cmd_trace(const Options& o) {
+  auto cfg = make_config(o);
+  cfg.trace_enabled = true;
+  const int nodes = o.nodes > 0 ? o.nodes : 2;
+  const std::size_t size = o.size > 0 ? o.size : 1024;
+  mpi::Machine m(cfg, nodes, o.backend);
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<std::byte> buf(size);
+    if (w.rank() == 0) {
+      mpi.send(buf.data(), size, mpi::Datatype::kByte, 1 % w.size(), 0, w);
+    } else if (w.rank() == 1) {
+      mpi.recv(buf.data(), size, mpi::Datatype::kByte, 0, 0, w);
+    }
+  });
+  m.trace()->dump(stdout);
+  return 0;
+}
+
+int cmd_stats(const Options& o) {
+  const auto cfg = make_config(o);
+  const int nodes = o.nodes > 0 ? o.nodes : 2;
+  const std::size_t size = o.size > 0 ? o.size : 4096;
+  mpi::Machine m(cfg, nodes, o.backend);
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<std::byte> buf(size);
+    const int peer = (w.rank() + 1) % w.size();
+    const int from = (w.rank() - 1 + w.size()) % w.size();
+    for (int i = 0; i < o.iters; ++i) {
+      mpi::Request r = mpi.irecv(buf.data(), size, mpi::Datatype::kByte, from, 0, w);
+      mpi.send(buf.data(), size, mpi::Datatype::kByte, peer, 0, w);
+      mpi.wait(r);
+    }
+    mpi.barrier(w);
+  });
+  m.print_stats(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.cmd == "latency") return cmd_latency(o);
+  if (o.cmd == "bandwidth") return cmd_bandwidth(o);
+  if (o.cmd == "interrupt") return cmd_interrupt(o);
+  if (o.cmd == "nas") return cmd_nas(o);
+  if (o.cmd == "stats") return cmd_stats(o);
+  if (o.cmd == "trace") return cmd_trace(o);
+  usage();
+}
