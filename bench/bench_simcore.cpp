@@ -1,0 +1,153 @@
+// bench_simcore: wall-clock macro-benchmark of the simulator hot path.
+//
+// Unlike the figure benches (which report *simulated* time), this one reports
+// how fast the simulator itself runs on the host: events per host-second and
+// simulated microseconds per host-millisecond, over three representative
+// workloads:
+//   fig12_bw   two-node 64 KiB streaming bandwidth (the Fig. 12 method)
+//   alltoall8  eight ranks exchanging 8 KiB blocks in repeated MPI_Alltoall
+//   nas_cg     the mini-NAS CG kernel on eight ranks
+// Each workload runs `reps` times; the best (minimum) wall time is reported.
+// With --json PATH the results are also written as BENCH_simcore.json so the
+// repo keeps a wall-clock perf trajectory across PRs.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "nas/kernels.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using sp::mpi::Backend;
+using sp::mpi::Machine;
+using sp::sim::MachineConfig;
+
+struct Result {
+  std::string name;
+  std::uint64_t events = 0;   ///< Simulator events processed in one run.
+  double sim_us = 0.0;        ///< Simulated time covered by one run.
+  double wall_ms = 0.0;       ///< Best host wall time over all reps.
+};
+
+/// One complete simulation; returns (events processed, simulated ns).
+template <typename RunFn>
+Result measure(const char* name, int reps, RunFn&& one_run) {
+  Result r;
+  r.name = name;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    const auto [events, sim_ns] = one_run();
+    const auto t1 = Clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < r.wall_ms) r.wall_ms = ms;
+    r.events = events;
+    r.sim_us = sp::sim::to_us(sim_ns);
+  }
+  return r;
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_fig12_bw(std::size_t bytes, int iters) {
+  MachineConfig cfg;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<std::byte> buf(bytes);
+    std::byte token{};
+    std::vector<sp::mpi::Request> reqs;
+    reqs.reserve(static_cast<std::size_t>(iters));
+    if (w.rank() == 0) {
+      for (int i = 0; i < iters; ++i) {
+        reqs.push_back(mpi.isend(buf.data(), bytes, sp::mpi::Datatype::kByte, 1, 0, w));
+      }
+      mpi.waitall(reqs.data(), reqs.size());
+      mpi.recv(&token, 0, sp::mpi::Datatype::kByte, 1, 1, w);
+    } else {
+      for (int i = 0; i < iters; ++i) {
+        reqs.push_back(mpi.irecv(buf.data(), bytes, sp::mpi::Datatype::kByte, 0, 0, w));
+      }
+      mpi.waitall(reqs.data(), reqs.size());
+      mpi.send(&token, 0, sp::mpi::Datatype::kByte, 0, 1, w);
+    }
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_alltoall8(std::size_t count, int rounds) {
+  MachineConfig cfg;
+  Machine m(cfg, 8, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    const auto n = static_cast<std::size_t>(w.size());
+    std::vector<double> src(count * n, 1.0), dst(count * n, 0.0);
+    for (int r = 0; r < rounds; ++r) {
+      mpi.alltoall(src.data(), count, dst.data(), sp::mpi::Datatype::kDouble, w);
+    }
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_nas_cg(int scale) {
+  MachineConfig cfg;
+  Machine m(cfg, 8, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto r = sp::nas::run_cg(mpi, scale);
+    if (!r.verified) std::fprintf(stderr, "nas_cg: verification FAILED\n");
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: bench_simcore [--reps N] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  std::vector<Result> results;
+  results.push_back(measure("fig12_bw", reps, [] { return run_fig12_bw(64 * 1024, 400); }));
+  results.push_back(measure("alltoall8", reps, [] { return run_alltoall8(1024, 48); }));
+  results.push_back(measure("nas_cg", reps, [] { return run_nas_cg(3); }));
+
+  std::printf("%-12s %12s %10s %14s %16s\n", "workload", "events", "wall_ms", "events/sec",
+              "sim_us/host_ms");
+  for (const auto& r : results) {
+    std::printf("%-12s %12llu %10.2f %14.0f %16.1f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.wall_ms,
+                static_cast<double>(r.events) / (r.wall_ms / 1e3), r.sim_us / r.wall_ms);
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_simcore\",\n  \"workloads\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"events\": %llu, \"wall_ms\": %.3f, "
+                   "\"events_per_sec\": %.0f, \"sim_us\": %.1f, \"sim_us_per_host_ms\": %.1f}%s\n",
+                   r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_ms,
+                   static_cast<double>(r.events) / (r.wall_ms / 1e3), r.sim_us,
+                   r.sim_us / r.wall_ms, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

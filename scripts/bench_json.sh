@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Run the simulator-core benchmark and refresh BENCH_simcore.json.
+#
+# Usage: scripts/bench_json.sh [build-dir] [reps]
+#   build-dir  CMake build tree containing bench/bench_simcore (default: build)
+#   reps       repetitions per workload; the minimum wall time is kept
+#              (default: 5)
+#
+# Build the tree in Release (the default CMAKE_BUILD_TYPE) first:
+#   cmake -B build -S . && cmake --build build -j
+set -eu
+
+repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+reps="${2:-5}"
+bench="$build_dir/bench/bench_simcore"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found or not executable; build the tree first" >&2
+  exit 1
+fi
+
+"$bench" --reps "$reps" --json "$repo_root/BENCH_simcore.json"
+echo "wrote $repo_root/BENCH_simcore.json"

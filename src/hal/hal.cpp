@@ -26,7 +26,7 @@ void Hal::register_protocol(ProtoId proto, RecvFn fn) {
   protocols_[proto] = std::move(fn);
 }
 
-bool Hal::send_packet(int dst, ProtoId proto, std::vector<std::byte> payload,
+bool Hal::send_packet(int dst, ProtoId proto, std::span<const std::byte> payload,
                       std::size_t modeled_payload_bytes) {
   assert(payload.size() <= node_.cfg.packet_mtu + 512 && "packet exceeds MTU allowance");
   if (send_buffers_in_use_ >= node_.cfg.hal_send_buffers) return false;
@@ -42,14 +42,16 @@ bool Hal::send_packet(int dst, ProtoId proto, std::vector<std::byte> payload,
   const sim::TimeNs cpu_done = node_.cpu.charge(node_.sim, node_.cfg.hal_per_packet_cpu_ns);
 
   // Build the wire frame: HAL header (modelled as cfg.hal_header_bytes on the
-  // wire; carries the protocol id) followed by the upper layer's bytes.
+  // wire; carries the protocol id) followed by the upper layer's bytes. The
+  // payload is borrowed, so it must be staged into the frame before return.
   net::Packet pkt;
   pkt.src = node_.node;
   pkt.dst = dst;
-  pkt.frame.resize(node_.cfg.hal_header_bytes + payload.size());
+  pkt.frame = fabric_.arena().acquire(node_.cfg.hal_header_bytes + payload.size());
   pkt.frame[0] = static_cast<std::byte>(proto);
   if (!payload.empty()) {
     std::memcpy(pkt.frame.data() + node_.cfg.hal_header_bytes, payload.data(), payload.size());
+    staged_bytes_ += static_cast<std::int64_t>(payload.size());
   }
   if (modeled_payload_bytes != 0) {
     pkt.modeled_bytes = node_.cfg.hal_header_bytes + modeled_payload_bytes;
@@ -64,9 +66,19 @@ bool Hal::send_packet(int dst, ProtoId proto, std::vector<std::byte> payload,
   node_.sim.at(injected_at, [this, p = std::move(pkt)]() mutable {
     fabric_.inject(std::move(p));
     --send_buffers_in_use_;
-    for (auto& fn : on_send_space_) fn();
+    notify_send_space();
   });
   return true;
+}
+
+void Hal::notify_send_space() {
+  if (send_space_waiters_.empty()) return;
+  // Swap-and-drain: waiters registered *during* the callbacks (still-blocked
+  // senders re-arming) land on the fresh list and wait for the next freed
+  // buffer instead of being swept again in this round.
+  auto waiters = std::move(send_space_waiters_);
+  send_space_waiters_.clear();
+  for (auto& fn : waiters) fn();
 }
 
 void Hal::on_frame_from_fabric(net::Packet&& pkt) {
@@ -102,9 +114,13 @@ void Hal::deliver_to_protocol(net::Packet&& pkt) {
     return std::string(b);
   });
   assert(proto < kMaxProto && protocols_[proto] && "frame for unregistered protocol");
-  std::vector<std::byte> upper(pkt.frame.begin() + static_cast<std::ptrdiff_t>(node_.cfg.hal_header_bytes),
-                               pkt.frame.end());
-  protocols_[proto](pkt.src, std::move(upper));
+  // Zero-copy dispatch: the protocol sees the bytes in place in the pinned
+  // receive buffer; the frame is recycled once the upcall returns.
+  const std::span<const std::byte> upper{
+      pkt.frame.data() + node_.cfg.hal_header_bytes,
+      pkt.frame.size() - node_.cfg.hal_header_bytes};
+  protocols_[proto](pkt.src, upper);
+  fabric_.arena().release(std::move(pkt.frame));
 }
 
 void Hal::enter_interrupt() {

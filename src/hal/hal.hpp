@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "net/switch_fabric.hpp"
@@ -28,8 +29,11 @@ inline constexpr int kMaxProto = 4;
 
 class Hal {
  public:
-  /// Upcall delivering one received packet's upper-layer bytes.
-  using RecvFn = std::function<void(int src, std::vector<std::byte>&&)>;
+  /// Upcall delivering one received packet's upper-layer bytes. The span
+  /// views the pinned HAL receive buffer and is valid only for the duration
+  /// of the call — protocols must copy what they keep (and charge that copy,
+  /// which is exactly the paper's per-stack copy accounting).
+  using RecvFn = std::function<void(int src, std::span<const std::byte>)>;
 
   Hal(sim::NodeRuntime& node, net::SwitchFabric& fabric);
 
@@ -45,13 +49,16 @@ class Hal {
   /// it must fit the MTU plus the upper layer's own header allowance.
   /// `modeled_payload_bytes` is the size time is charged for (0 = real size);
   /// see net::Packet::modeled_bytes.
-  [[nodiscard]] bool send_packet(int dst, ProtoId proto, std::vector<std::byte> payload,
+  [[nodiscard]] bool send_packet(int dst, ProtoId proto, std::span<const std::byte> payload,
                                  std::size_t modeled_payload_bytes = 0);
 
-  /// Register a callback invoked (in event context) whenever a send buffer
-  /// frees up. Multiple upper layers may register.
-  void add_on_send_space(std::function<void()> fn) {
-    on_send_space_.push_back(std::move(fn));
+  /// Register a ONE-SHOT callback invoked (in event context) the next time a
+  /// send buffer frees up. The waiter list is swapped and drained before the
+  /// callbacks run, so a waiter that is still blocked simply re-registers and
+  /// takes its turn at the *next* freed buffer — later registrants cannot be
+  /// starved by an earlier one re-grabbing every buffer.
+  void wait_send_space(std::function<void()> fn) {
+    send_space_waiters_.push_back(std::move(fn));
   }
 
   /// Switch between polling delivery and interrupt delivery.
@@ -64,11 +71,18 @@ class Hal {
   [[nodiscard]] int node() const noexcept { return node_.node; }
   [[nodiscard]] sim::NodeRuntime& runtime() noexcept { return node_; }
 
+  /// The machine-wide frame recycler (owned by the fabric). Upper layers may
+  /// use it for buffers with packet-like lifetimes (e.g. retransmit stores).
+  [[nodiscard]] net::FrameArena& arena() noexcept { return fabric_.arena(); }
+
   // --- statistics ---
   [[nodiscard]] std::int64_t packets_sent() const noexcept { return packets_sent_; }
   [[nodiscard]] std::int64_t packets_received() const noexcept { return packets_received_; }
   [[nodiscard]] std::int64_t interrupts_taken() const noexcept { return interrupts_taken_; }
   [[nodiscard]] int send_buffers_in_use() const noexcept { return send_buffers_in_use_; }
+  /// Host bytes memcpy'd staging payloads into send frames (an un-modeled
+  /// host-side copy; the modeled copies are charged by the upper layers).
+  [[nodiscard]] std::int64_t staged_bytes() const noexcept { return staged_bytes_; }
 
  private:
   void on_frame_from_fabric(net::Packet&& pkt);
@@ -79,8 +93,10 @@ class Hal {
   sim::NodeRuntime& node_;
   net::SwitchFabric& fabric_;
 
+  void notify_send_space();
+
   std::vector<RecvFn> protocols_;
-  std::vector<std::function<void()>> on_send_space_;
+  std::vector<std::function<void()>> send_space_waiters_;
 
   // Send side: adapter DMA engine availability and pinned-buffer pool.
   sim::TimeNs send_dma_free_at_ = 0;
@@ -96,6 +112,7 @@ class Hal {
   std::int64_t packets_sent_ = 0;
   std::int64_t packets_received_ = 0;
   std::int64_t interrupts_taken_ = 0;
+  std::int64_t staged_bytes_ = 0;
 };
 
 }  // namespace sp::hal

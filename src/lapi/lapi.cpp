@@ -21,12 +21,9 @@ Lapi::Lapi(sim::NodeRuntime& node, hal::Hal& hal, LapiGroup& group, int task_id)
       links_(static_cast<std::size_t>(group.size())) {
   group_.attach(task_id, this);
   hal_.register_protocol(hal::kProtoLapi,
-                         [this](int src, std::vector<std::byte>&& b) { on_hal_packet(src, std::move(b)); });
-  hal_.add_on_send_space([this] {
-    for (auto& l : links_) {
-      if (l) l->pump();
-    }
-  });
+                         [this](int src, std::span<const std::byte> b) { on_hal_packet(src, b); });
+  // No global send-space sweep: each ReliableLink arms a one-shot HAL waiter
+  // when (and only when) it actually stalls on send-buffer backpressure.
   // Handler id 0 is reserved for LAPI-internal control (gfence barrier).
   internal_barrier_handler_ = register_header_handler(
       [](int, const std::byte*, std::size_t, std::size_t) { return HeaderHandlerResult{}; });
@@ -426,7 +423,7 @@ std::int64_t Lapi::retransmits() const {
 // Target-side dispatch
 // --------------------------------------------------------------------------
 
-void Lapi::on_hal_packet(int src, std::vector<std::byte>&& bytes) {
+void Lapi::on_hal_packet(int src, std::span<const std::byte> bytes) {
   assert(bytes.size() >= sizeof(PktHdr));
   const PktHdr h = parse_hdr(bytes);
   const auto kind = static_cast<Kind>(h.kind);
@@ -444,7 +441,7 @@ void Lapi::on_hal_packet(int src, std::vector<std::byte>&& bytes) {
     case Kind::kAm:
     case Kind::kPut:
     case Kind::kGetRep:
-      on_data_packet(h, std::move(bytes));
+      on_data_packet(h, bytes);
       break;
     case Kind::kGetReq:
       handle_get_request(h);
@@ -508,7 +505,7 @@ void Lapi::handle_rmw_request(const PktHdr& h) {
   send_internal(static_cast<int>(h.origin), rep, {});
 }
 
-void Lapi::on_data_packet(const PktHdr& h, std::vector<std::byte>&& payload) {
+void Lapi::on_data_packet(const PktHdr& h, std::span<const std::byte> payload) {
   const auto key = std::make_pair(h.origin, h.msg_id);
   auto [it, created] = reass_.try_emplace(key);
   Reassembly& r = it->second;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -226,8 +227,8 @@ class Lapi {
   };
 
   ReliableLink& link(int peer);
-  void on_hal_packet(int src, std::vector<std::byte>&& bytes);
-  void on_data_packet(const PktHdr& h, std::vector<std::byte>&& payload);
+  void on_hal_packet(int src, std::span<const std::byte> bytes);
+  void on_data_packet(const PktHdr& h, std::span<const std::byte> payload);
   void handle_get_request(const PktHdr& h);
   void handle_getv_request(const PktHdr& h, const std::byte* body);
   void handle_rmw_request(const PktHdr& h);

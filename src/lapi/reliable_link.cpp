@@ -32,7 +32,18 @@ void ReliableLink::submit(Message&& msg) {
 void ReliableLink::pump() {
   const auto window = static_cast<std::uint32_t>(node_.cfg.sliding_window_packets);
   while (!queue_.empty() && (next_seq_ - 1) - acked_ < window) {
-    if (hal_.send_buffers_in_use() >= node_.cfg.hal_send_buffers) break;
+    if (hal_.send_buffers_in_use() >= node_.cfg.hal_send_buffers) {
+      // Blocked on HAL send buffers (not the window): arm a one-shot waiter
+      // so only links that actually stalled get woken when a buffer frees.
+      if (!waiting_for_space_) {
+        waiting_for_space_ = true;
+        hal_.wait_send_space([this] {
+          waiting_for_space_ = false;
+          pump();
+        });
+      }
+      break;
+    }
     materialize_one();
   }
 }
@@ -56,7 +67,7 @@ void ReliableLink::materialize_one() {
   h.flags = first ? kFlagFirst : 0;
   h.uhdr_len = static_cast<std::uint16_t>(uhdr_len);
 
-  std::vector<std::byte> payload;
+  std::vector<std::byte> payload = hal_.arena().acquire(0);
   payload.reserve(sizeof(PktHdr) + uhdr_len + chunk);
   append_hdr(payload, h);
   if (first && uhdr_len > 0) {
@@ -90,7 +101,11 @@ void ReliableLink::materialize_one() {
 void ReliableLink::on_ack(std::uint32_t cum) {
   node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
   if (cum > acked_) acked_ = cum;
-  store_.erase(store_.begin(), store_.upper_bound(cum));
+  const auto last = store_.upper_bound(cum);
+  for (auto it = store_.begin(); it != last; ++it) {
+    hal_.arena().release(std::move(it->second.payload));
+  }
+  store_.erase(store_.begin(), last);
   pump();
   if (drained()) drained_cond_.notify_all(node_.sim);
 }

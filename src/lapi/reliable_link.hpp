@@ -64,7 +64,8 @@ class ReliableLink {
 
  private:
   struct Stored {
-    std::vector<std::byte> payload;  ///< Serialized packet (hdr + uhdr + data).
+    /// Serialized packet (hdr + uhdr + data); arena-backed, released on ack.
+    std::vector<std::byte> payload;
     std::size_t modeled_bytes = 0;
     sim::TimeNs sent_at = 0;
   };
@@ -92,6 +93,7 @@ class ReliableLink {
   std::uint32_t next_seq_ = 1;
   std::uint32_t acked_ = 0;  ///< Highest cumulatively acked seq.
   bool retransmit_scheduled_ = false;
+  bool waiting_for_space_ = false;  ///< A one-shot HAL space waiter is armed.
   sim::SimCondition drained_cond_;
 
   // Target side.

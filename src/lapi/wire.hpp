@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <vector>
 
 namespace sp::lapi {
@@ -60,7 +61,7 @@ inline void append_hdr(std::vector<std::byte>& out, const PktHdr& h) {
   out.insert(out.end(), p, p + sizeof(PktHdr));
 }
 
-[[nodiscard]] inline PktHdr parse_hdr(const std::vector<std::byte>& in) {
+[[nodiscard]] inline PktHdr parse_hdr(std::span<const std::byte> in) {
   PktHdr h;
   std::memcpy(&h, in.data(), sizeof(PktHdr));
   return h;

@@ -105,10 +105,22 @@ Machine::Stats Machine::stats() const {
     s.completion_thread_dispatches += n->lapi->completion_thread_dispatches();
     s.completion_inline_runs += n->lapi->completion_inline_runs();
   }
+  for (const auto& n : nodes_) {
+    s.hal_staged_bytes += n->hal->staged_bytes();
+  }
   s.fabric_packets = fabric_->packets_delivered();
   s.fabric_bytes = fabric_->bytes_carried();
   s.fabric_dropped = fabric_->packets_dropped();
   s.sim_events = sim_.events_processed();
+  const sim::EventQueue& q = sim_.queue();
+  s.events_pushed = q.pushed();
+  s.events_popped = q.popped();
+  s.actions_inline = q.inline_actions();
+  s.action_pool_hits = q.pool().pool_hits();
+  s.action_pool_misses = q.pool().pool_misses();
+  s.action_fallback_allocs = q.pool().fallback_allocs();
+  s.frames_recycled = fabric_->arena().recycled();
+  s.frames_fresh = fabric_->arena().fresh();
   return s;
 }
 
@@ -134,6 +146,18 @@ void Machine::print_stats(std::FILE* out) const {
   std::fprintf(out, "pipes:  %lld retx; simulator: %llu events\n",
                static_cast<long long>(s.pipes_retransmits),
                static_cast<unsigned long long>(s.sim_events));
+  std::fprintf(out, "host:   %llu events pushed, %llu popped; actions: %llu inline, "
+               "%llu pooled, %llu pool-miss, %llu fallback\n",
+               static_cast<unsigned long long>(s.events_pushed),
+               static_cast<unsigned long long>(s.events_popped),
+               static_cast<unsigned long long>(s.actions_inline),
+               static_cast<unsigned long long>(s.action_pool_hits),
+               static_cast<unsigned long long>(s.action_pool_misses),
+               static_cast<unsigned long long>(s.action_fallback_allocs));
+  std::fprintf(out, "host:   frames: %llu recycled, %llu fresh; %lld bytes staged (un-modeled)\n",
+               static_cast<unsigned long long>(s.frames_recycled),
+               static_cast<unsigned long long>(s.frames_fresh),
+               static_cast<long long>(s.hal_staged_bytes));
 }
 
 void Machine::run(const std::function<void(Mpi&)>& program) {

@@ -2,8 +2,9 @@
 //
 // Owns the simulator, the switch fabric and, per node: the runtime, HAL,
 // Pipes, LAPI, the selected MPCI channel and the MPI layer. Rank programs run
-// as baton threads (see sim/rank_thread.hpp); Machine::run() drives the event
-// loop to completion, detecting deadlocks and propagating program errors.
+// on cooperative fibers (see sim/rank_thread.hpp); Machine::run() drives the
+// event loop to completion, detecting deadlocks and propagating program
+// errors.
 #pragma once
 
 #include <cstdio>
@@ -77,6 +78,17 @@ class Machine {
     std::int64_t completion_thread_dispatches = 0;
     std::int64_t completion_inline_runs = 0;
     std::uint64_t sim_events = 0;
+    // Host-side perf counters: how well the simulator's own hot paths avoid
+    // allocation. These measure the host implementation, not the SP model.
+    std::uint64_t events_pushed = 0;
+    std::uint64_t events_popped = 0;
+    std::uint64_t actions_inline = 0;       ///< Event closures with inline captures.
+    std::uint64_t action_pool_hits = 0;     ///< Oversize captures served from the pool.
+    std::uint64_t action_pool_misses = 0;   ///< Oversize captures that grew the pool.
+    std::uint64_t action_fallback_allocs = 0;  ///< Captures beyond the largest class.
+    std::uint64_t frames_recycled = 0;      ///< Packet frames served from the arena.
+    std::uint64_t frames_fresh = 0;         ///< Packet frames freshly allocated.
+    std::int64_t hal_staged_bytes = 0;      ///< Un-modeled host memcpy into send frames.
   };
   [[nodiscard]] Stats stats() const;
   /// Print a human-readable stats block to `out`.

@@ -3,15 +3,60 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace sp::net {
+
+/// Recycler for frame/payload buffers on the host-side hot path. A machine
+/// moves millions of packets whose frames would otherwise each be a heap
+/// allocation; the arena keeps released buffers (capacity intact) on a free
+/// list and hands them back zero-filled to `n` bytes. Purely a host-side
+/// optimization: simulated time is never charged here.
+class FrameArena {
+ public:
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  /// Get a buffer of `n` zero bytes (recycled capacity when available).
+  [[nodiscard]] std::vector<std::byte> acquire(std::size_t n) {
+    if (!free_.empty()) {
+      std::vector<std::byte> f = std::move(free_.back());
+      free_.pop_back();
+      f.resize(n);  // buffers are released cleared, so this zero-fills
+      ++recycled_;
+      return f;
+    }
+    ++fresh_;
+    return std::vector<std::byte>(n);
+  }
+
+  /// Return a buffer for reuse. Beyond the cache bound it is simply freed.
+  void release(std::vector<std::byte>&& f) {
+    if (free_.size() >= kMaxCached || f.capacity() == 0) return;
+    f.clear();
+    free_.push_back(std::move(f));
+  }
+
+  /// Buffers served from the free list (vs freshly allocated).
+  [[nodiscard]] std::uint64_t recycled() const noexcept { return recycled_; }
+  [[nodiscard]] std::uint64_t fresh() const noexcept { return fresh_; }
+
+ private:
+  static constexpr std::size_t kMaxCached = 4096;
+
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t recycled_ = 0;
+  std::uint64_t fresh_ = 0;
+};
 
 struct Packet {
   int src = 0;  ///< Source node id.
   int dst = 0;  ///< Destination node id.
   /// Serialized frame: HAL header followed by upper-layer header + payload.
   /// Real bytes travel so receivers can verify integrity and reassemble.
+  /// Acquired from the machine's FrameArena and released after delivery.
   std::vector<std::byte> frame;
   /// Route (spine index) the fabric chose; filled in by the fabric.
   int route = -1;

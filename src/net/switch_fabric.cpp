@@ -68,6 +68,7 @@ void SwitchFabric::inject(Packet&& pkt) {
 
   if (cfg_.packet_drop_rate > 0.0 && rng_.chance(cfg_.packet_drop_rate)) {
     ++dropped_;
+    arena_.release(std::move(pkt.frame));
     return;
   }
 

@@ -45,6 +45,11 @@ class SwitchFabric {
   /// Next route index that inject() would use for the pair (diagnostics).
   [[nodiscard]] int peek_route(int src, int dst) const;
 
+  /// The machine-wide frame recycler. Adapters acquire send frames from it
+  /// and release frames after delivering them upward.
+  [[nodiscard]] FrameArena& arena() noexcept { return arena_; }
+  [[nodiscard]] const FrameArena& arena() const noexcept { return arena_; }
+
  private:
   struct Link {
     sim::TimeNs free_at = 0;
@@ -67,6 +72,7 @@ class SwitchFabric {
   std::vector<DeliverFn> deliver_;
   std::vector<std::uint32_t> rr_;  // per (src,dst) round-robin route counter
   sim::Pcg32 rng_;
+  FrameArena arena_;
 
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;

@@ -11,12 +11,9 @@ namespace sp::pipes {
 Pipes::Pipes(sim::NodeRuntime& node, hal::Hal& hal)
     : node_(node), hal_(hal) {
   hal_.register_protocol(hal::kProtoPipes,
-                         [this](int src, std::vector<std::byte>&& b) { on_hal_packet(src, std::move(b)); });
-  hal_.add_on_send_space([this] {
-    for (std::size_t d = 0; d < out_.size(); ++d) {
-      if (out_[d]) pump(static_cast<int>(d));
-    }
-  });
+                         [this](int src, std::span<const std::byte> b) { on_hal_packet(src, b); });
+  // No global send-space sweep: each destination pipe arms a one-shot HAL
+  // waiter when (and only when) it actually stalls on send-buffer pressure.
 }
 
 sim::TimeNs Pipes::copy_cost(std::size_t bytes) const {
@@ -87,8 +84,18 @@ void Pipes::pump(int dst) {
   Out& o = *op;
   const auto window_pkts = static_cast<std::size_t>(node_.cfg.sliding_window_packets);
   while (!o.queue.empty() && o.store.size() < window_pkts &&
-         o.next_off - o.acked_off < node_.cfg.pipe_buffer_bytes &&
-         hal_.send_buffers_in_use() < node_.cfg.hal_send_buffers) {
+         o.next_off - o.acked_off < node_.cfg.pipe_buffer_bytes) {
+    if (hal_.send_buffers_in_use() >= node_.cfg.hal_send_buffers) {
+      // Stalled on HAL send buffers, not the window: arm a one-shot waiter.
+      if (!o.waiting_for_space) {
+        o.waiting_for_space = true;
+        hal_.wait_send_space([this, dst] {
+          out_[static_cast<std::size_t>(dst)]->waiting_for_space = false;
+          pump(dst);
+        });
+      }
+      return;
+    }
     materialize_one(dst, o);
   }
 }
@@ -101,7 +108,7 @@ void Pipes::materialize_one(int dst, Out& o) {
   h.pkt_seq = o.next_seq++;
   h.kind = 0;
 
-  std::vector<std::byte> payload(sizeof(WireHdr));
+  std::vector<std::byte> payload = hal_.arena().acquire(sizeof(WireHdr));
   std::size_t data_bytes = 0;
   while (!o.queue.empty() && data_bytes < node_.cfg.packet_mtu) {
     OutSpan& s = o.queue.front();
@@ -138,7 +145,7 @@ void Pipes::materialize_one(int dst, Out& o) {
   schedule_retransmit(dst);
 }
 
-void Pipes::on_hal_packet(int src, std::vector<std::byte>&& bytes) {
+void Pipes::on_hal_packet(int src, std::span<const std::byte> bytes) {
   assert(bytes.size() >= sizeof(WireHdr));
   WireHdr h;
   std::memcpy(&h, bytes.data(), sizeof(WireHdr));
@@ -150,6 +157,7 @@ void Pipes::on_hal_packet(int src, std::vector<std::byte>&& bytes) {
     Out& o = *out_[static_cast<std::size_t>(src)];
     if (h.ack_off > o.acked_off) o.acked_off = h.ack_off;
     while (!o.store.empty() && o.store.begin()->second.end_off <= o.acked_off) {
+      hal_.arena().release(std::move(o.store.begin()->second.payload));
       o.store.erase(o.store.begin());
     }
     pump(src);
@@ -171,13 +179,15 @@ void Pipes::on_hal_packet(int src, std::vector<std::byte>&& bytes) {
     return;
   }
 
-  // HAL buffer -> pipe buffer copy (always paid by the native stack).
+  // HAL buffer -> pipe buffer copy (always paid by the native stack). The
+  // modeled copy is the same either way; on the host side, in-order packets
+  // go straight from the receive frame into the stream buffer, and only
+  // out-of-order ones need their own parking allocation.
   node_.cpu.charge(node_.sim, copy_cost(len));
-  std::vector<std::byte> data(bytes.begin() + sizeof(WireHdr),
-                              bytes.begin() + sizeof(WireHdr) + static_cast<std::ptrdiff_t>(len));
+  const std::byte* body = bytes.data() + sizeof(WireHdr);
 
   if (off == i.delivered_off) {
-    i.rx.insert(i.rx.end(), data.begin(), data.end());
+    i.rx.insert(i.rx.end(), body, body + len);
     i.delivered_off += len;
     // Drain any reorder-buffer chunks that are now contiguous.
     auto it = i.reorder.begin();
@@ -188,7 +198,7 @@ void Pipes::on_hal_packet(int src, std::vector<std::byte>&& bytes) {
     }
   } else {
     // Out-of-order: park until the gap fills (ordering enforcement, §2).
-    i.reorder.emplace(off, std::move(data));
+    i.reorder.emplace(off, std::vector<std::byte>(body, body + len));
   }
 
   ++i.unacked_packets;

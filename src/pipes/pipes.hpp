@@ -22,6 +22,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "hal/hal.hpp"
@@ -91,6 +92,7 @@ class Pipes {
     std::uint32_t next_seq = 1;
     std::map<std::uint64_t, Stored> store;  ///< Unacked packets keyed by stream_off.
     bool retransmit_scheduled = false;
+    bool waiting_for_space = false;      ///< A one-shot HAL space waiter is armed.
   };
 
   struct In {
@@ -104,7 +106,7 @@ class Pipes {
 
   void pump(int dst);
   void materialize_one(int dst, Out& o);
-  void on_hal_packet(int src, std::vector<std::byte>&& bytes);
+  void on_hal_packet(int src, std::span<const std::byte> bytes);
   void send_ack(int src);
   void schedule_ack_flush(int src);
   void schedule_retransmit(int dst);

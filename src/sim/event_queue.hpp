@@ -2,12 +2,25 @@
 //
 // Ties on timestamp are broken by insertion sequence number, which makes the
 // processing order a total order independent of heap implementation details —
-// a requirement for bit-reproducible simulations.
+// a requirement for bit-reproducible simulations (guarded by
+// tests/determinism_test.cpp).
+//
+// Hot-path design: the simulator pushes and pops millions of closures per
+// host-second, so the steady state must be allocation-free.
+//   - Action is a move-only small-buffer callable: captures up to
+//     kInlineBytes live inline; larger captures go to a size-classed block
+//     pool (EventPool) that recycles freed blocks instead of returning them
+//     to the heap.
+//   - Entries live in recycled slots; the priority queue is a 4-ary min-heap
+//     over slot *indices*, so sift operations swap 4-byte ids and no Action
+//     ever moves through the heap.
 #pragma once
 
-#include <algorithm>
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -15,46 +28,290 @@
 
 namespace sp::sim {
 
+/// Size-classed recycling allocator for Action captures that exceed the
+/// inline buffer. Freed blocks are kept on intrusive free lists and reused;
+/// captures beyond the largest class fall back to plain new/delete (counted).
+class EventPool {
+ public:
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  ~EventPool() {
+    for (std::size_t c = 0; c < kClasses.size(); ++c) {
+      void* p = free_[c];
+      while (p != nullptr) {
+        void* next = *static_cast<void**>(p);
+        ::operator delete(p, std::align_val_t{kBlockAlign});
+        p = next;
+      }
+    }
+  }
+
+  [[nodiscard]] void* allocate(std::size_t n) {
+    const int c = class_of(n);
+    if (c < 0) {
+      ++fallback_allocs_;
+      return ::operator new(n, std::align_val_t{kBlockAlign});
+    }
+    if (free_[static_cast<std::size_t>(c)] != nullptr) {
+      ++pool_hits_;
+      void* p = free_[static_cast<std::size_t>(c)];
+      free_[static_cast<std::size_t>(c)] = *static_cast<void**>(p);
+      return p;
+    }
+    ++pool_misses_;
+    return ::operator new(kClasses[static_cast<std::size_t>(c)], std::align_val_t{kBlockAlign});
+  }
+
+  void deallocate(void* p, std::size_t n) noexcept {
+    const int c = class_of(n);
+    if (c < 0) {
+      ::operator delete(p, std::align_val_t{kBlockAlign});
+      return;
+    }
+    *static_cast<void**>(p) = free_[static_cast<std::size_t>(c)];
+    free_[static_cast<std::size_t>(c)] = p;
+  }
+
+  /// Oversize-capture allocations recycled from a free list.
+  [[nodiscard]] std::uint64_t pool_hits() const noexcept { return pool_hits_; }
+  /// Oversize-capture allocations that had to grow the pool.
+  [[nodiscard]] std::uint64_t pool_misses() const noexcept { return pool_misses_; }
+  /// Captures larger than the biggest size class (plain heap alloc).
+  [[nodiscard]] std::uint64_t fallback_allocs() const noexcept { return fallback_allocs_; }
+
+ private:
+  static constexpr std::array<std::size_t, 5> kClasses = {64, 128, 256, 512, 1024};
+  static constexpr std::size_t kBlockAlign = 16;
+
+  [[nodiscard]] static int class_of(std::size_t n) noexcept {
+    for (std::size_t c = 0; c < kClasses.size(); ++c) {
+      if (n <= kClasses[c]) return static_cast<int>(c);
+    }
+    return -1;
+  }
+
+  std::array<void*, kClasses.size()> free_ = {};
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t pool_misses_ = 0;
+  std::uint64_t fallback_allocs_ = 0;
+};
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Move-only callable with small-buffer optimization. Captures up to
+  /// kInlineBytes (and nothrow-movable) are stored inline; anything larger
+  /// lives in a pool-recycled block.
+  class Action {
+   public:
+    static constexpr std::size_t kInlineBytes = 48;
+    static constexpr std::size_t kInlineAlign = 16;
 
-  /// Enqueue an action to run at absolute time `at`.
-  void push(TimeNs at, Action action) {
-    heap_.push_back(Entry{at, next_seq_++, std::move(action)});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    Action() noexcept = default;
+
+    template <typename F, typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Action>>>
+    Action(F&& f, EventPool& pool) {
+      using T = std::decay_t<F>;
+      if constexpr (sizeof(T) <= kInlineBytes && alignof(T) <= kInlineAlign &&
+                    std::is_nothrow_move_constructible_v<T>) {
+        ::new (static_cast<void*>(inline_)) T(std::forward<F>(f));
+        ops_ = ops_for<T>();
+      } else {
+        heap_ = pool.allocate(sizeof(T));
+        ::new (heap_) T(std::forward<F>(f));
+        ops_ = ops_for<T>();
+        pool_ = &pool;
+      }
+    }
+
+    Action(Action&& o) noexcept : ops_(o.ops_), pool_(o.pool_) {
+      if (ops_ == nullptr) return;
+      if (pool_ != nullptr) {
+        heap_ = o.heap_;
+      } else {
+        ops_->relocate(inline_, o.inline_);
+      }
+      o.ops_ = nullptr;
+      o.pool_ = nullptr;
+    }
+
+    Action& operator=(Action&& o) noexcept {
+      if (this != &o) {
+        reset();
+        ops_ = o.ops_;
+        pool_ = o.pool_;
+        if (ops_ != nullptr) {
+          if (pool_ != nullptr) {
+            heap_ = o.heap_;
+          } else {
+            ops_->relocate(inline_, o.inline_);
+          }
+        }
+        o.ops_ = nullptr;
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    Action(const Action&) = delete;
+    Action& operator=(const Action&) = delete;
+
+    ~Action() { reset(); }
+
+    void operator()() {
+      assert(ops_ != nullptr && "invoking an empty Action");
+      ops_->invoke(pool_ != nullptr ? heap_ : static_cast<void*>(inline_));
+    }
+
+    [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+   private:
+    struct Ops {
+      void (*invoke)(void*);
+      void (*destroy)(void*);
+      /// Move-construct at dst from src, then destroy src (inline storage).
+      void (*relocate)(void* dst, void* src);
+      std::size_t size;
+    };
+
+    template <typename T>
+    [[nodiscard]] static const Ops* ops_for() noexcept {
+      static constexpr Ops ops{
+          [](void* p) { (*static_cast<T*>(p))(); },
+          [](void* p) { static_cast<T*>(p)->~T(); },
+          [](void* dst, void* src) {
+            T* s = static_cast<T*>(src);
+            ::new (dst) T(std::move(*s));
+            s->~T();
+          },
+          sizeof(T)};
+      return &ops;
+    }
+
+    void reset() noexcept {
+      if (ops_ == nullptr) return;
+      if (pool_ != nullptr) {
+        ops_->destroy(heap_);
+        pool_->deallocate(heap_, ops_->size);
+      } else {
+        ops_->destroy(inline_);
+      }
+      ops_ = nullptr;
+      pool_ = nullptr;
+    }
+
+    const Ops* ops_ = nullptr;
+    EventPool* pool_ = nullptr;  ///< Non-null iff the capture lives in heap_.
+    union {
+      alignas(kInlineAlign) std::byte inline_[kInlineBytes];
+      void* heap_;
+    };
+  };
+
+  /// Enqueue a callable to run at absolute time `at`.
+  template <typename F>
+  void push(TimeNs at, F&& f) {
+    std::uint32_t id;
+    if (free_head_ != kNone) {
+      id = free_head_;
+      Slot& s = slots_[id];
+      free_head_ = s.next_free;
+      s.at = at;
+      s.seq = next_seq_++;
+      s.action = Action(std::forward<F>(f), pool_);
+    } else {
+      id = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back(at, next_seq_++, Action(std::forward<F>(f), pool_));
+    }
+    heap_.push_back(id);
+    sift_up(heap_.size() - 1);
+    ++pushed_;
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
   /// Timestamp of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] TimeNs next_time() const { return heap_.front().at; }
+  [[nodiscard]] TimeNs next_time() const { return slots_[heap_.front()].at; }
 
   /// Remove and return the earliest pending event. Precondition: !empty().
   [[nodiscard]] std::pair<TimeNs, Action> pop() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry e = std::move(heap_.back());
+    const std::uint32_t id = heap_.front();
+    heap_.front() = heap_.back();
     heap_.pop_back();
-    return {e.at, std::move(e.action)};
+    if (!heap_.empty()) sift_down(0);
+    Slot& s = slots_[id];
+    std::pair<TimeNs, Action> out{s.at, std::move(s.action)};
+    s.next_free = free_head_;
+    free_head_ = id;
+    ++popped_;
+    return out;
+  }
+
+  // --- host-side perf counters ---
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
+  [[nodiscard]] std::uint64_t popped() const noexcept { return popped_; }
+  [[nodiscard]] const EventPool& pool() const noexcept { return pool_; }
+  /// Actions whose captures fit the inline buffer (no allocation at all).
+  [[nodiscard]] std::uint64_t inline_actions() const noexcept {
+    return pushed_ - pool_.pool_hits() - pool_.pool_misses() - pool_.fallback_allocs();
   }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct Slot {
+    Slot(TimeNs t, std::uint64_t s, Action a) : at(t), seq(s), action(std::move(a)) {}
     TimeNs at;
     std::uint64_t seq;
     Action action;
-  };
-  // Max-heap comparator inverted so the *earliest* entry is on top.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+    std::uint32_t next_free = kNone;
   };
 
-  std::vector<Entry> heap_;
+  /// Strict (time, seq) "earlier-than" over slot ids: a total order, since
+  /// sequence numbers are unique.
+  [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const noexcept {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.at != sb.at) return sa.at < sb.at;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(heap_[i], heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], heap_[i])) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  // pool_ must outlive slots_: Slot actions return their overflow blocks to
+  // the pool on destruction (members destroy in reverse declaration order).
+  EventPool pool_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> heap_;
+  std::uint32_t free_head_ = kNone;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
 };
 
 }  // namespace sp::sim

@@ -1,88 +1,115 @@
 #include "sim/rank_thread.hpp"
 
+#include <cstdint>
 #include <utility>
 
+// AddressSanitizer must be told about every stack switch, or it poisons the
+// fiber stacks and reports false positives. These hooks compile to nothing
+// when ASan is off.
+#if defined(__SANITIZE_ADDRESS__)
+#define SP_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SP_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef SP_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace sp::sim {
+namespace {
+
+inline void asan_start_switch(void** fake_stack_save, const void* bottom, std::size_t size) {
+#ifdef SP_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
+                               std::size_t* size_old) {
+#ifdef SP_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+  (void)fake_stack_save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
+
+}  // namespace
 
 RankThread::RankThread(Simulator& sim, int id, std::function<void()> body)
-    : sim_(sim), id_(id), body_(std::move(body)), thread_([this] {
-        {
-          std::unique_lock lk(mu_);
-          cv_.wait(lk, [this] { return turn_ == Turn::App || aborting_; });
-          if (aborting_) {
-            finished_ = true;
-            turn_ = Turn::Sim;
-            cv_.notify_all();
-            return;
-          }
-        }
-        try {
-          body_();
-        } catch (const AbortSimulation&) {
-          // Expected during early teardown.
-        } catch (...) {
-          std::lock_guard lk(mu_);
-          error_ = std::current_exception();
-        }
-        std::lock_guard lk(mu_);
-        finished_ = true;
-        turn_ = Turn::Sim;
-        cv_.notify_all();
-      }) {}
+    : sim_(sim), id_(id), body_(std::move(body)), stack_(new std::byte[kStackBytes]) {
+  getcontext(&app_ctx_);
+  app_ctx_.uc_stack.ss_sp = stack_.get();
+  app_ctx_.uc_stack.ss_size = kStackBytes;
+  // Returning from the trampoline resumes whoever last swapped us in.
+  app_ctx_.uc_link = &sim_ctx_;
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&app_ctx_, reinterpret_cast<void (*)()>(&RankThread::trampoline), 2,
+              static_cast<unsigned int>(self >> 32),
+              static_cast<unsigned int>(self & 0xffffffffu));
+}
 
-RankThread::~RankThread() { abort_and_join(); }
+RankThread::~RankThread() {
+  if (!finished_) {
+    // Swap in one last time; the body observes aborting_ at its yield point
+    // (or before it ever starts), unwinds via AbortSimulation, and the
+    // trampoline's return hands control straight back here through uc_link.
+    aborting_ = true;
+    resume_from_sim();
+  }
+}
 
-void RankThread::abort_and_join() {
-  {
-    std::lock_guard lk(mu_);
-    if (!finished_) {
-      aborting_ = true;
-      turn_ = Turn::App;  // let the body observe the abort at its yield point
-      cv_.notify_all();
+void RankThread::trampoline(unsigned int hi, unsigned int lo) {
+  const auto bits = (static_cast<std::uintptr_t>(hi) << 32) | lo;
+  reinterpret_cast<RankThread*>(bits)->fiber_main();
+}
+
+void RankThread::fiber_main() {
+  // First entry onto the fiber stack: complete the switch the resuming side
+  // started, learning the main stack's bounds for yields back.
+  asan_finish_switch(nullptr, &main_stack_bottom_, &main_stack_size_);
+  if (!aborting_) {
+    try {
+      body_();
+    } catch (const AbortSimulation&) {
+      // Expected during early teardown.
+    } catch (...) {
+      error_ = std::current_exception();
     }
   }
-  if (thread_.joinable()) {
-    // Wait until the body unwinds (AbortSimulation) or finishes normally.
-    {
-      std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return finished_; });
-    }
-    thread_.join();
-  }
+  finished_ = true;
+  // The fiber is done for good: a null save pointer tells ASan to free its
+  // fake stack. Control returns to sim_ctx_ via uc_link.
+  asan_start_switch(nullptr, main_stack_bottom_, main_stack_size_);
 }
 
 void RankThread::resume_from_sim() {
-  std::unique_lock lk(mu_);
   if (finished_) return;
-  turn_ = Turn::App;
-  cv_.notify_all();
-  cv_.wait(lk, [this] { return turn_ == Turn::Sim; });
+  asan_start_switch(&sim_fake_stack_, stack_.get(), kStackBytes);
+  swapcontext(&sim_ctx_, &app_ctx_);
+  // finish's out-params would report the stack we came *from* (the fiber);
+  // the main-stack bounds were captured once at first fiber entry.
+  asan_finish_switch(sim_fake_stack_, nullptr, nullptr);
 }
 
 void RankThread::yield_to_sim() {
-  std::unique_lock lk(mu_);
-  turn_ = Turn::Sim;
-  cv_.notify_all();
-  cv_.wait(lk, [this] { return turn_ == Turn::App || aborting_; });
-  if (aborting_) {
-    lk.unlock();
-    throw AbortSimulation{};
-  }
+  asan_start_switch(&app_fake_stack_, main_stack_bottom_, main_stack_size_);
+  swapcontext(&app_ctx_, &sim_ctx_);
+  asan_finish_switch(app_fake_stack_, nullptr, nullptr);
+  if (aborting_) throw AbortSimulation{};
 }
 
 void RankThread::advance(TimeNs dt) {
   sim_.after(dt, [this] { resume_from_sim(); });
   yield_to_sim();
-}
-
-bool RankThread::finished() const {
-  std::lock_guard lk(mu_);
-  return finished_;
-}
-
-std::exception_ptr RankThread::error() const {
-  std::lock_guard lk(mu_);
-  return error_;
 }
 
 }  // namespace sp::sim

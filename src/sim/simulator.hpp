@@ -1,10 +1,10 @@
 // The discrete-event simulator core.
 //
 // One Simulator owns simulated time for one simulated SP machine. Events are
-// closures executed at their scheduled time; rank application threads are
-// interleaved with event processing by the RankThread baton mechanism (see
-// rank_thread.hpp) so that at every instant exactly one OS thread — the event
-// loop or one rank thread — is running. That makes whole-machine simulations
+// closures executed at their scheduled time; rank application programs run on
+// cooperatively-scheduled fibers (see rank_thread.hpp) interleaved with event
+// processing, so at every instant exactly one flow of control — the event
+// loop or one rank fiber — is running. That makes whole-machine simulations
 // deterministic and data-race-free even though rank programs are written as
 // ordinary blocking code.
 #pragma once
@@ -38,13 +38,15 @@ class Simulator {
   [[nodiscard]] TimeNs now() const noexcept { return now_; }
 
   /// Schedule `action` at absolute simulated time `t` (clamped to now()).
-  void at(TimeNs t, EventQueue::Action action) {
-    queue_.push(t < now_ ? now_ : t, std::move(action));
+  template <typename F>
+  void at(TimeNs t, F&& action) {
+    queue_.push(t < now_ ? now_ : t, std::forward<F>(action));
   }
 
   /// Schedule `action` `dt` nanoseconds from now (dt clamped to >= 0).
-  void after(TimeNs dt, EventQueue::Action action) {
-    at(now_ + (dt < 0 ? 0 : dt), std::move(action));
+  template <typename F>
+  void after(TimeNs dt, F&& action) {
+    at(now_ + (dt < 0 ? 0 : dt), std::forward<F>(action));
   }
 
   /// Execute the earliest pending event. Returns false if none is pending.
@@ -74,6 +76,9 @@ class Simulator {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  /// Read-only view of the queue's host-side perf counters.
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
+
  private:
   EventQueue queue_;
   TimeNs now_ = 0;
@@ -87,11 +92,12 @@ class NodeCpu {
  public:
   /// Occupy the CPU for `cost` starting no earlier than now, then run `fn`
   /// (in event context) at the completion time. Returns that time.
-  TimeNs run(Simulator& sim, TimeNs cost, EventQueue::Action fn) {
+  template <typename F>
+  TimeNs run(Simulator& sim, TimeNs cost, F&& fn) {
     const TimeNs start = sim.now() > free_at_ ? sim.now() : free_at_;
     const TimeNs done = start + (cost < 0 ? 0 : cost);
     free_at_ = done;
-    sim.at(done, std::move(fn));
+    sim.at(done, std::forward<F>(fn));
     return done;
   }
 

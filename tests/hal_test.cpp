@@ -3,6 +3,7 @@
 // stack's hysteresis.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "hal/hal.hpp"
@@ -40,9 +41,9 @@ TEST(Hal, RoundTripsPayloadAndProtocol) {
   Rig rig;
   std::vector<std::byte> got;
   int got_src = -1;
-  rig.hals[1]->register_protocol(kProtoLapi, [&](int src, std::vector<std::byte>&& b) {
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int src, std::span<const std::byte> b) {
     got_src = src;
-    got = std::move(b);
+    got.assign(b.begin(), b.end());
   });
   rig.sim.at(0, [&] {
     ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1, 2, 3, 4})));
@@ -57,8 +58,8 @@ TEST(Hal, RoundTripsPayloadAndProtocol) {
 TEST(Hal, TwoProtocolsAreDemultiplexed) {
   Rig rig;
   int lapi_got = 0, pipes_got = 0;
-  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::vector<std::byte>&&) { ++lapi_got; });
-  rig.hals[1]->register_protocol(kProtoPipes, [&](int, std::vector<std::byte>&&) { ++pipes_got; });
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::span<const std::byte>) { ++lapi_got; });
+  rig.hals[1]->register_protocol(kProtoPipes, [&](int, std::span<const std::byte>) { ++pipes_got; });
   rig.sim.at(0, [&] {
     ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1})));
     ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoPipes, bytes({2})));
@@ -73,9 +74,9 @@ TEST(Hal, SendBufferPoolExhaustsAndRecovers) {
   MachineConfig cfg;
   cfg.hal_send_buffers = 4;
   Rig rig(cfg);
-  rig.hals[1]->register_protocol(kProtoLapi, [](int, std::vector<std::byte>&&) {});
+  rig.hals[1]->register_protocol(kProtoLapi, [](int, std::span<const std::byte>) {});
   int space_events = 0;
-  rig.hals[0]->add_on_send_space([&] { ++space_events; });
+  bool refused_sent = false;
   rig.sim.at(0, [&] {
     for (int i = 0; i < 4; ++i) {
       EXPECT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({i})));
@@ -83,10 +84,81 @@ TEST(Hal, SendBufferPoolExhaustsAndRecovers) {
     EXPECT_FALSE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({9})))
         << "fifth packet must be refused: pool exhausted";
     EXPECT_EQ(rig.hals[0]->send_buffers_in_use(), 4);
+    // One-shot waiter: fires once at the first freed buffer, at which point
+    // the refused packet must go through.
+    rig.hals[0]->wait_send_space([&] {
+      ++space_events;
+      refused_sent = rig.hals[0]->send_packet(1, kProtoLapi, bytes({9}));
+    });
   });
   rig.sim.run();
   EXPECT_EQ(rig.hals[0]->send_buffers_in_use(), 0);
-  EXPECT_EQ(space_events, 4);
+  EXPECT_EQ(space_events, 1) << "one-shot waiters fire exactly once";
+  EXPECT_TRUE(refused_sent);
+  EXPECT_EQ(rig.hals[0]->packets_sent(), 5);
+}
+
+TEST(Hal, SendSpaceWaitersAreNotStarvedUnderBackpressure) {
+  // Two upper layers compete for a tiny send-buffer pool. Each sends as much
+  // as it can, re-arming a one-shot waiter whenever it is refused — the exact
+  // pattern ReliableLink and Pipes use. Swap-and-drain semantics must let
+  // both complete: a re-armed waiter lands on the *next* round's list instead
+  // of being swept again (and possibly monopolizing the pool) in this one.
+  MachineConfig cfg;
+  cfg.hal_send_buffers = 2;
+  Rig rig(cfg);
+  int received = 0;
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::span<const std::byte>) { ++received; });
+  rig.hals[1]->register_protocol(kProtoPipes, [&](int, std::span<const std::byte>) { ++received; });
+
+  struct Sender {
+    Hal* hal;
+    ProtoId proto;
+    int remaining;
+    int sent = 0;
+    void drive() {
+      while (remaining > 0) {
+        std::byte b{static_cast<unsigned char>(sent)};
+        if (!hal->send_packet(1, proto, std::span<const std::byte>{&b, 1})) {
+          hal->wait_send_space([this] { drive(); });
+          return;
+        }
+        --remaining;
+        ++sent;
+      }
+    }
+  };
+  Sender a{rig.hals[0].get(), kProtoLapi, 16};
+  Sender b{rig.hals[0].get(), kProtoPipes, 16};
+  rig.sim.at(0, [&] {
+    a.drive();
+    b.drive();
+  });
+  rig.sim.run();
+  EXPECT_EQ(a.sent, 16) << "first sender must finish";
+  EXPECT_EQ(b.sent, 16) << "second sender must not be starved by the first";
+  EXPECT_EQ(received, 32);
+}
+
+TEST(Hal, WaiterRegisteredDuringDrainDefersToNextFreedBuffer) {
+  MachineConfig cfg;
+  cfg.hal_send_buffers = 1;
+  Rig rig(cfg);
+  rig.hals[1]->register_protocol(kProtoLapi, [](int, std::span<const std::byte>) {});
+  std::vector<int> fired;  // which wakeup each waiter saw
+  rig.sim.at(0, [&] {
+    ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1})));
+    rig.hals[0]->wait_send_space([&] {
+      fired.push_back(1);
+      // Keep the pool full and re-arm: must NOT run again in this drain.
+      ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({2})));
+      rig.hals[0]->wait_send_space([&] { fired.push_back(2); });
+    });
+  });
+  rig.sim.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 2) << "re-armed waiter fires on the next freed buffer, not recursively";
 }
 
 TEST(Hal, DmaSerializesInjections) {
@@ -99,7 +171,7 @@ TEST(Hal, DmaSerializesInjections) {
   Rig rig(cfg);
   std::vector<TimeNs> arrivals;
   rig.hals[1]->register_protocol(kProtoLapi,
-                                 [&](int, std::vector<std::byte>&&) { arrivals.push_back(rig.sim.now()); });
+                                 [&](int, std::span<const std::byte>) { arrivals.push_back(rig.sim.now()); });
   rig.sim.at(0, [&] {
     ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1})));
     ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({2})));
@@ -113,7 +185,7 @@ TEST(Hal, DmaSerializesInjections) {
 TEST(Hal, PollingModeDeliversWithoutInterrupts) {
   Rig rig;
   int got = 0;
-  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::vector<std::byte>&&) { ++got; });
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::span<const std::byte>) { ++got; });
   rig.sim.at(0, [&] { ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1}))); });
   rig.sim.run();
   EXPECT_EQ(got, 1);
@@ -125,7 +197,7 @@ TEST(Hal, InterruptModeTakesInterruptAndDefersVisibility) {
   Rig rig(cfg);
   rig.hals[1]->set_interrupt_mode(true);
   TimeNs delivered_at = -1, visible_at = -1;
-  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::vector<std::byte>&&) {
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::span<const std::byte>) {
     delivered_at = rig.sim.now();
     rig.rts[1]->publish([&] { visible_at = rig.sim.now(); });
   });
@@ -144,7 +216,7 @@ TEST(Hal, HysteresisDelaysVisibilityUntilHandlerExit) {
   rig.hals[1]->set_interrupt_mode(true);
   rig.hals[1]->set_hysteresis_enabled(true);
   TimeNs delivered_at = -1, visible_at = -1;
-  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::vector<std::byte>&&) {
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::span<const std::byte>) {
     delivered_at = rig.sim.now();
     rig.rts[1]->publish([&] { visible_at = rig.sim.now(); });
   });
@@ -162,7 +234,7 @@ TEST(Hal, HysteresisBatchesSubsequentPackets) {
   rig.hals[1]->set_interrupt_mode(true);
   rig.hals[1]->set_hysteresis_enabled(true);
   int got = 0;
-  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::vector<std::byte>&&) { ++got; });
+  rig.hals[1]->register_protocol(kProtoLapi, [&](int, std::span<const std::byte>) { ++got; });
   rig.sim.at(0, [&] { ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1}))); });
   // Arrives well inside the first hysteresis window.
   rig.sim.at(100'000, [&] { ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({2}))); });
@@ -182,7 +254,7 @@ TEST(Hal, ModeledBytesChargeTheWire) {
   Rig rig(cfg);
   std::vector<TimeNs> arrivals;
   rig.hals[1]->register_protocol(kProtoLapi,
-                                 [&](int, std::vector<std::byte>&&) { arrivals.push_back(rig.sim.now()); });
+                                 [&](int, std::span<const std::byte>) { arrivals.push_back(rig.sim.now()); });
   rig.sim.at(0, [&] {
     // Same real payload, but modeled as 100 bytes vs real (4 + header).
     ASSERT_TRUE(rig.hals[0]->send_packet(1, kProtoLapi, bytes({1, 2, 3, 4}), 100));

@@ -95,9 +95,11 @@ TEST(Pipes, MiddleOfLargeMessagesIsSentDirectFromUserBuffer) {
     std::vector<std::byte> sink(rig.pipes[1]->available(src));
     rig.pipes[1]->consume(src, sink.data(), sink.size());
   });
+  // `reusable` must outlive the at() event: on_reusable fires much later,
+  // once acks admit the borrowed middle into the window.
+  bool reusable = false;
   bool reusable_at_write = true;
   rig.sim.at(0, [&] {
-    bool reusable = false;
     rig.pipes[0]->write(1, {}, body.data(), body.size(), [&reusable] { reusable = true; });
     reusable_at_write = reusable;
   });
