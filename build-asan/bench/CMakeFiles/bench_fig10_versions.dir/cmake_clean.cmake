@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_versions.dir/bench_fig10_versions.cpp.o"
+  "CMakeFiles/bench_fig10_versions.dir/bench_fig10_versions.cpp.o.d"
+  "bench_fig10_versions"
+  "bench_fig10_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_interrupt.cpp" "bench/CMakeFiles/bench_fig13_interrupt.dir/bench_fig13_interrupt.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_interrupt.dir/bench_fig13_interrupt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/bench/CMakeFiles/sp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mpi/CMakeFiles/sp_mpi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mpci/CMakeFiles/sp_mpci.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pipes/CMakeFiles/sp_pipes.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lapi/CMakeFiles/sp_lapi.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hal/CMakeFiles/sp_hal.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/sp_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/sp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

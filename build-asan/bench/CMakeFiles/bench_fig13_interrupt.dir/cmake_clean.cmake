@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_interrupt.dir/bench_fig13_interrupt.cpp.o"
+  "CMakeFiles/bench_fig13_interrupt.dir/bench_fig13_interrupt.cpp.o.d"
+  "bench_fig13_interrupt"
+  "bench_fig13_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nas_table.dir/bench_nas_table.cpp.o"
+  "CMakeFiles/bench_nas_table.dir/bench_nas_table.cpp.o.d"
+  "bench_nas_table"
+  "bench_nas_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nas_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_modes.dir/bench_table2_modes.cpp.o"
+  "CMakeFiles/bench_table2_modes.dir/bench_table2_modes.cpp.o.d"
+  "bench_table2_modes"
+  "bench_table2_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_bench_common.dir/common.cpp.o"
+  "CMakeFiles/sp_bench_common.dir/common.cpp.o.d"
+  "libsp_bench_common.a"
+  "libsp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_messages.dir/active_messages.cpp.o"
+  "CMakeFiles/active_messages.dir/active_messages.cpp.o.d"
+  "active_messages"
+  "active_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

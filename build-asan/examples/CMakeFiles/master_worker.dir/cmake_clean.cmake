@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_worker.dir/master_worker.cpp.o"
+  "CMakeFiles/master_worker.dir/master_worker.cpp.o.d"
+  "master_worker"
+  "master_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_hal.dir/hal.cpp.o"
+  "CMakeFiles/sp_hal.dir/hal.cpp.o.d"
+  "libsp_hal.a"
+  "libsp_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_lapi.dir/lapi.cpp.o"
+  "CMakeFiles/sp_lapi.dir/lapi.cpp.o.d"
+  "CMakeFiles/sp_lapi.dir/reliable_link.cpp.o"
+  "CMakeFiles/sp_lapi.dir/reliable_link.cpp.o.d"
+  "libsp_lapi.a"
+  "libsp_lapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_lapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

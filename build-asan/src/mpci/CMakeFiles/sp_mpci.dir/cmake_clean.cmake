@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_mpci.dir/lapi_channel.cpp.o"
+  "CMakeFiles/sp_mpci.dir/lapi_channel.cpp.o.d"
+  "CMakeFiles/sp_mpci.dir/pipes_channel.cpp.o"
+  "CMakeFiles/sp_mpci.dir/pipes_channel.cpp.o.d"
+  "libsp_mpci.a"
+  "libsp_mpci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_mpci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_mpi.dir/machine.cpp.o"
+  "CMakeFiles/sp_mpi.dir/machine.cpp.o.d"
+  "CMakeFiles/sp_mpi.dir/mpi.cpp.o"
+  "CMakeFiles/sp_mpi.dir/mpi.cpp.o.d"
+  "libsp_mpi.a"
+  "libsp_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_nas.dir/bt_sp.cpp.o"
+  "CMakeFiles/sp_nas.dir/bt_sp.cpp.o.d"
+  "CMakeFiles/sp_nas.dir/cg_mg.cpp.o"
+  "CMakeFiles/sp_nas.dir/cg_mg.cpp.o.d"
+  "CMakeFiles/sp_nas.dir/ep_is.cpp.o"
+  "CMakeFiles/sp_nas.dir/ep_is.cpp.o.d"
+  "CMakeFiles/sp_nas.dir/ft_lu.cpp.o"
+  "CMakeFiles/sp_nas.dir/ft_lu.cpp.o.d"
+  "CMakeFiles/sp_nas.dir/kernels.cpp.o"
+  "CMakeFiles/sp_nas.dir/kernels.cpp.o.d"
+  "libsp_nas.a"
+  "libsp_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

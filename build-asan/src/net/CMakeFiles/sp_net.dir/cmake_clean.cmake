@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_net.dir/switch_fabric.cpp.o"
+  "CMakeFiles/sp_net.dir/switch_fabric.cpp.o.d"
+  "libsp_net.a"
+  "libsp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_pipes.dir/pipes.cpp.o"
+  "CMakeFiles/sp_pipes.dir/pipes.cpp.o.d"
+  "libsp_pipes.a"
+  "libsp_pipes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_pipes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_test.dir/hal_test.cpp.o"
+  "CMakeFiles/hal_test.dir/hal_test.cpp.o.d"
+  "hal_test"
+  "hal_test.pdb"
+  "hal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

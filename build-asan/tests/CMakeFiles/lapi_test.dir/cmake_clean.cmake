@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapi_test.dir/lapi_test.cpp.o"
+  "CMakeFiles/lapi_test.dir/lapi_test.cpp.o.d"
+  "lapi_test"
+  "lapi_test.pdb"
+  "lapi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

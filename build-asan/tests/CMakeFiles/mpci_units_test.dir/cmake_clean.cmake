@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpci_units_test.dir/mpci_units_test.cpp.o"
+  "CMakeFiles/mpci_units_test.dir/mpci_units_test.cpp.o.d"
+  "mpci_units_test"
+  "mpci_units_test.pdb"
+  "mpci_units_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpci_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_extensions_test.dir/mpi_extensions_test.cpp.o"
+  "CMakeFiles/mpi_extensions_test.dir/mpi_extensions_test.cpp.o.d"
+  "mpi_extensions_test"
+  "mpi_extensions_test.pdb"
+  "mpi_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

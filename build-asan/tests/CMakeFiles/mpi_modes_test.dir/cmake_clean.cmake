@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_modes_test.dir/mpi_modes_test.cpp.o"
+  "CMakeFiles/mpi_modes_test.dir/mpi_modes_test.cpp.o.d"
+  "mpi_modes_test"
+  "mpi_modes_test.pdb"
+  "mpi_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_pingpong_test.dir/mpi_pingpong_test.cpp.o"
+  "CMakeFiles/mpi_pingpong_test.dir/mpi_pingpong_test.cpp.o.d"
+  "mpi_pingpong_test"
+  "mpi_pingpong_test.pdb"
+  "mpi_pingpong_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_pingpong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_property_test.dir/mpi_property_test.cpp.o"
+  "CMakeFiles/mpi_property_test.dir/mpi_property_test.cpp.o.d"
+  "mpi_property_test"
+  "mpi_property_test.pdb"
+  "mpi_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpl_test.dir/mpl_test.cpp.o"
+  "CMakeFiles/mpl_test.dir/mpl_test.cpp.o.d"
+  "mpl_test"
+  "mpl_test.pdb"
+  "mpl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_test.dir/nas_test.cpp.o"
+  "CMakeFiles/nas_test.dir/nas_test.cpp.o.d"
+  "nas_test"
+  "nas_test.pdb"
+  "nas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipes_test.dir/pipes_test.cpp.o"
+  "CMakeFiles/pipes_test.dir/pipes_test.cpp.o.d"
+  "pipes_test"
+  "pipes_test.pdb"
+  "pipes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

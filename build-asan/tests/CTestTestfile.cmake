@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpi_pingpong_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hal_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pipes_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lapi_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpi_modes_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpi_property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/machine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpi_extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpci_units_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stress_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mpl_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/boundary_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/nas_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/torture_test[1]_include.cmake")

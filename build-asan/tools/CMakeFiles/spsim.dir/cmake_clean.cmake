@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsim.dir/spsim.cpp.o"
+  "CMakeFiles/spsim.dir/spsim.cpp.o.d"
+  "spsim"
+  "spsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
