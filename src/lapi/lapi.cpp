@@ -419,6 +419,30 @@ std::int64_t Lapi::retransmits() const {
   return sum;
 }
 
+std::int64_t Lapi::duplicate_deliveries() const {
+  std::int64_t sum = 0;
+  for (const auto& l : links_) {
+    if (l) sum += l->duplicates();
+  }
+  return sum;
+}
+
+std::int64_t Lapi::link_packets_sent() const {
+  std::int64_t sum = 0;
+  for (const auto& l : links_) {
+    if (l) sum += l->packets_sent();
+  }
+  return sum;
+}
+
+std::int64_t Lapi::acks_sent() const {
+  std::int64_t sum = 0;
+  for (const auto& l : links_) {
+    if (l) sum += l->acks_sent();
+  }
+  return sum;
+}
+
 // --------------------------------------------------------------------------
 // Target-side dispatch
 // --------------------------------------------------------------------------

@@ -187,6 +187,17 @@ class Lapi {
     return completion_inline_runs_;
   }
   [[nodiscard]] std::int64_t retransmits() const;
+  /// Duplicate packet deliveries filtered by this task's links (fabric dups
+  /// and go-back-N re-deliveries both land here).
+  [[nodiscard]] std::int64_t duplicate_deliveries() const;
+  /// Reliability data packets this task's links put on the wire (first sends;
+  /// retransmits are counted separately).
+  [[nodiscard]] std::int64_t link_packets_sent() const;
+  /// Transport acks this task's links put on the wire.
+  [[nodiscard]] std::int64_t acks_sent() const;
+
+  /// Test hook: the reliable link toward `peer` (sequence-wrap tests).
+  [[nodiscard]] ReliableLink& link_for_test(int peer) { return link(peer); }
 
   /// Convert a local pointer to a Token (for address_init).
   template <typename T>

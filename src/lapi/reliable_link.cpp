@@ -11,6 +11,10 @@ namespace {
   return cfg.copy_call_ns +
          static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
 }
+
+/// Floor when re-arming the retransmit timer: an already-expired deadline
+/// (e.g. a HAL-full retry) must not respin at the current instant.
+constexpr sim::TimeNs kMinRetryDelayNs = 1'000;
 }  // namespace
 
 ReliableLink::ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer)
@@ -60,7 +64,8 @@ void ReliableLink::materialize_one() {
   const std::size_t chunk = remaining < capacity ? remaining : capacity;
 
   PktHdr h = p.msg.meta;
-  h.pkt_seq = next_seq_++;
+  const std::uint64_t seq = next_seq_++;
+  h.pkt_seq = static_cast<std::uint32_t>(seq);
   h.offset = static_cast<std::uint32_t>(p.next_offset);
   h.data_len = static_cast<std::uint32_t>(chunk);
   h.total_len = static_cast<std::uint32_t>(total);
@@ -86,7 +91,7 @@ void ReliableLink::materialize_one() {
   (void)sent;
   ++data_packets_sent_;
 
-  store_.emplace(h.pkt_seq, Stored{std::move(payload), modeled, node_.sim.now()});
+  store_.emplace(seq, Stored{std::move(payload), modeled, node_.sim.now()});
   schedule_retransmit_check();
 
   p.first_sent = true;
@@ -98,8 +103,9 @@ void ReliableLink::materialize_one() {
   }
 }
 
-void ReliableLink::on_ack(std::uint32_t cum) {
+void ReliableLink::on_ack(std::uint32_t cum_wire) {
   node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
+  const std::uint64_t cum = unwrap_seq(acked_, cum_wire);
   if (cum > acked_) acked_ = cum;
   const auto last = store_.upper_bound(cum);
   for (auto it = store_.begin(); it != last; ++it) {
@@ -110,11 +116,22 @@ void ReliableLink::on_ack(std::uint32_t cum) {
   if (drained()) drained_cond_.notify_all(node_.sim);
 }
 
-bool ReliableLink::accept(std::uint32_t pkt_seq) {
+bool ReliableLink::accept(std::uint32_t seq_wire) {
+  const std::uint64_t pkt_seq = unwrap_seq(cum_in_, seq_wire);
   const bool dup = pkt_seq <= cum_in_ || ooo_in_.count(pkt_seq) != 0;
   if (dup) {
     ++duplicates_;
-    send_ack();  // re-advertise our cumulative position immediately
+    // Re-advertise our cumulative position so the origin's retransmit loop
+    // terminates, but coalesce: a go-back-N burst of N duplicates earns one
+    // immediate re-ack; the rest fold into the delayed flush.
+    if (node_.sim.now() - last_reack_at_ >= node_.cfg.ack_delay_ns) {
+      last_reack_at_ = node_.sim.now();
+      ack_pending_ = true;
+      send_ack();
+    } else {
+      ack_pending_ = true;
+      schedule_ack_flush();
+    }
     return false;
   }
   ooo_in_.insert(pkt_seq);
@@ -123,6 +140,7 @@ bool ReliableLink::accept(std::uint32_t pkt_seq) {
     ++cum_in_;
   }
   ++unacked_count_;
+  ack_pending_ = true;
   if (unacked_count_ >= node_.cfg.ack_every_packets) {
     send_ack();
   } else {
@@ -134,15 +152,21 @@ bool ReliableLink::accept(std::uint32_t pkt_seq) {
 void ReliableLink::send_ack() {
   PktHdr h;
   h.kind = static_cast<std::uint8_t>(Kind::kAck);
-  h.pkt_seq = cum_in_;
+  h.pkt_seq = static_cast<std::uint32_t>(cum_in_);
   h.origin = static_cast<std::uint32_t>(hal_.node());
   std::vector<std::byte> payload;
   append_hdr(payload, h);
   node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
   if (hal_.send_packet(peer_, hal::kProtoLapi, std::move(payload), node_.cfg.lapi_header_bytes)) {
     unacked_count_ = 0;
+    ack_pending_ = false;
+    ++acks_sent_;
   } else {
-    // HAL full: retry shortly (acks are not retransmitted, so keep trying).
+    // HAL full: the ack stays owed; retry from the flush timer. ack_pending_
+    // (not unacked_count_) records the debt so a duplicate re-ack — which
+    // arrives with unacked_count_ == 0 — is retried too, instead of leaving
+    // the origin stuck on its retransmit timer.
+    ack_pending_ = true;
     schedule_ack_flush();
   }
 }
@@ -152,14 +176,21 @@ void ReliableLink::schedule_ack_flush() {
   ack_flush_scheduled_ = true;
   node_.sim.after(node_.cfg.ack_delay_ns, [this] {
     ack_flush_scheduled_ = false;
-    if (unacked_count_ > 0) send_ack();
+    if (ack_pending_) send_ack();
   });
 }
 
 void ReliableLink::schedule_retransmit_check() {
-  if (retransmit_scheduled_) return;
+  if (retransmit_scheduled_ || store_.empty()) return;
   retransmit_scheduled_ = true;
-  node_.sim.after(node_.cfg.retransmit_timeout_ns, [this] {
+  // Fire when the *oldest* unacked packet reaches its timeout — re-arming a
+  // full timeout from now would let a loss linger for up to 2x the timeout.
+  // The floor keeps a HAL-full retry from spinning at the current instant.
+  const sim::TimeNs deadline =
+      store_.begin()->second.sent_at + node_.cfg.retransmit_timeout_ns;
+  sim::TimeNs delay = deadline - node_.sim.now();
+  if (delay < kMinRetryDelayNs) delay = kMinRetryDelayNs;
+  node_.sim.after(delay, [this] {
     retransmit_scheduled_ = false;
     if (store_.empty()) return;
     const sim::TimeNs age = node_.sim.now() - store_.begin()->second.sent_at;

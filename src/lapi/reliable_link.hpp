@@ -46,10 +46,12 @@ class ReliableLink {
   void pump();
 
   // --- target side ---
-  /// Record an incoming sequenced packet. Returns true if fresh (deliver it),
-  /// false for duplicates (an ack is re-sent).
+  /// Record an incoming sequenced packet (32-bit wire form, unwrapped against
+  /// the receive cursor). Returns true if fresh (deliver it), false for
+  /// duplicates (our cumulative position is re-advertised, coalesced to at
+  /// most one immediate re-ack per duplicate burst).
   [[nodiscard]] bool accept(std::uint32_t pkt_seq);
-  /// Process an acknowledgement for everything <= cum.
+  /// Process an acknowledgement for everything <= cum (32-bit wire form).
   void on_ack(std::uint32_t cum);
 
   /// True when nothing is queued or awaiting acknowledgement (fence support).
@@ -61,6 +63,16 @@ class ReliableLink {
   [[nodiscard]] std::int64_t retransmits() const noexcept { return retransmits_; }
   [[nodiscard]] std::int64_t packets_sent() const noexcept { return data_packets_sent_; }
   [[nodiscard]] std::int64_t duplicates() const noexcept { return duplicates_; }
+  [[nodiscard]] std::int64_t acks_sent() const noexcept { return acks_sent_; }
+
+  /// Test hook: start both reliability cursors at `base` as if `base` packets
+  /// had already been exchanged (exercises 32-bit wire wrap). Call on the
+  /// origin-side link and the matching target-side link before any traffic.
+  void fast_forward_seq(std::uint64_t base) noexcept {
+    next_seq_ = base + 1;
+    acked_ = base;
+    cum_in_ = base;
+  }
 
  private:
   struct Stored {
@@ -87,24 +99,33 @@ class ReliableLink {
   hal::Hal& hal_;
   int peer_;
 
-  // Origin side.
+  // Origin side. Sequence bookkeeping is 64-bit internally; the wire carries
+  // the low 32 bits and receivers unwrap (see wire.hpp unwrap_seq), so the
+  // protocol survives 32-bit wire wrap.
   std::deque<Pending> queue_;
-  std::map<std::uint32_t, Stored> store_;  ///< Unacked, keyed by pkt_seq.
-  std::uint32_t next_seq_ = 1;
-  std::uint32_t acked_ = 0;  ///< Highest cumulatively acked seq.
+  std::map<std::uint64_t, Stored> store_;  ///< Unacked, keyed by pkt_seq.
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t acked_ = 0;  ///< Highest cumulatively acked seq.
   bool retransmit_scheduled_ = false;
   bool waiting_for_space_ = false;  ///< A one-shot HAL space waiter is armed.
   sim::SimCondition drained_cond_;
 
   // Target side.
-  std::uint32_t cum_in_ = 0;  ///< Highest contiguous seq received.
-  std::set<std::uint32_t> ooo_in_;
-  int unacked_count_ = 0;
+  std::uint64_t cum_in_ = 0;  ///< Highest contiguous seq received.
+  std::set<std::uint64_t> ooo_in_;
+  int unacked_count_ = 0;       ///< Fresh packets since the last ack (coalescing).
+  bool ack_pending_ = false;    ///< An ack send is owed (fresh data or dup re-ack).
   bool ack_flush_scheduled_ = false;
+  /// When the last immediate duplicate re-ack went out; further duplicates
+  /// within ack_delay_ns coalesce into the delayed flush instead of each
+  /// triggering an ack (a go-back-N burst would otherwise ack-storm).
+  sim::TimeNs last_reack_at_ = kNeverReacked;
+  static constexpr sim::TimeNs kNeverReacked = -(1LL << 62);
 
   std::int64_t retransmits_ = 0;
   std::int64_t data_packets_sent_ = 0;
   std::int64_t duplicates_ = 0;
+  std::int64_t acks_sent_ = 0;
 };
 
 }  // namespace sp::lapi

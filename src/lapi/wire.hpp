@@ -34,6 +34,20 @@ enum Flags : std::uint8_t {
 /// machine (where they are virtual addresses in the peer task).
 using Token = std::uint64_t;
 
+/// Reconstruct a full 64-bit sequence number from its 32-bit wire form,
+/// choosing the value congruent to `wire` (mod 2^32) nearest to `ref`
+/// (RFC 1982-style serial-number arithmetic). The link window is tiny
+/// compared to the 2^31 ambiguity radius, so reliability bookkeeping keeps
+/// working when the 32-bit wire counter wraps.
+[[nodiscard]] constexpr std::uint64_t unwrap_seq(std::uint64_t ref, std::uint32_t wire) noexcept {
+  constexpr std::uint64_t kSpan = 1ULL << 32;
+  constexpr std::uint64_t kHalf = 1ULL << 31;
+  std::uint64_t candidate = (ref & ~(kSpan - 1)) | wire;
+  if (candidate + kHalf < ref) return candidate + kSpan;
+  if (candidate > ref + kHalf && candidate >= kSpan) return candidate - kSpan;
+  return candidate;
+}
+
 struct PktHdr {
   std::uint64_t msg_id = 0;    ///< Per-origin-task unique message id.
   std::uint32_t pkt_seq = 0;   ///< Per (origin->target) reliability sequence.

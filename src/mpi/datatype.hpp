@@ -33,8 +33,25 @@ template <typename T>
 void apply_typed(Op op, const T* in, T* inout, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     switch (op) {
-      case Op::kSum: inout[i] = inout[i] + in[i]; break;
-      case Op::kProd: inout[i] = inout[i] * in[i]; break;
+      // Sum/prod on signed integers compute in unsigned so overflow wraps
+      // (bit-identical to the naive form, but defined behaviour — kernels
+      // reduce deliberately-wrapping checksums).
+      case Op::kSum:
+        if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+          using U = std::make_unsigned_t<T>;
+          inout[i] = static_cast<T>(static_cast<U>(inout[i]) + static_cast<U>(in[i]));
+        } else {
+          inout[i] = inout[i] + in[i];
+        }
+        break;
+      case Op::kProd:
+        if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+          using U = std::make_unsigned_t<T>;
+          inout[i] = static_cast<T>(static_cast<U>(inout[i]) * static_cast<U>(in[i]));
+        } else {
+          inout[i] = inout[i] * in[i];
+        }
+        break;
       case Op::kMax: inout[i] = inout[i] > in[i] ? inout[i] : in[i]; break;
       case Op::kMin: inout[i] = inout[i] < in[i] ? inout[i] : in[i]; break;
       case Op::kLand: inout[i] = static_cast<T>((inout[i] != T{}) && (in[i] != T{})); break;

@@ -71,10 +71,17 @@ void Machine::run_threads(const std::function<void(int)>& body) {
   // Collect per-thread errors before tearing threads down.
   std::exception_ptr thread_error;
   bool all_finished = true;
+  sim::TimeNs last_finish = 0;
   for (auto& th : threads) {
     if (!th->finished()) all_finished = false;
+    if (th->finished() && th->finished_at() > last_finish) last_finish = th->finished_at();
     if (!thread_error && th->error()) thread_error = th->error();
   }
+  // Elapsed time is when the *program* ended, not when the queue drained:
+  // housekeeping timers (delayed-ack flushes, retransmit checks) keep firing
+  // as no-ops after the last rank returns and would otherwise quantize the
+  // measurement to timer-period multiples.
+  if (all_finished && !fatal) elapsed_ = last_finish;
   for (auto& th : threads) {
     nodes_[static_cast<std::size_t>(th->id())]->runtime->thread = nullptr;
   }
@@ -101,7 +108,11 @@ Machine::Stats Machine::stats() const {
     s.early_arrivals += n->channel->early_arrivals();
     s.lapi_messages += n->lapi->messages_sent();
     s.lapi_retransmits += n->lapi->retransmits();
+    s.lapi_duplicate_deliveries += n->lapi->duplicate_deliveries();
+    s.lapi_acks += n->lapi->acks_sent();
     s.pipes_retransmits += n->pipes->retransmits();
+    s.pipes_duplicate_deliveries += n->pipes->duplicate_deliveries();
+    s.pipes_acks += n->pipes->acks_sent();
     s.completion_thread_dispatches += n->lapi->completion_thread_dispatches();
     s.completion_inline_runs += n->lapi->completion_inline_runs();
   }
@@ -111,6 +122,7 @@ Machine::Stats Machine::stats() const {
   s.fabric_packets = fabric_->packets_delivered();
   s.fabric_bytes = fabric_->bytes_carried();
   s.fabric_dropped = fabric_->packets_dropped();
+  s.fabric_duplicated = fabric_->packets_duplicated();
   s.sim_events = sim_.events_processed();
   const sim::EventQueue& q = sim_.queue();
   s.events_pushed = q.pushed();
@@ -128,9 +140,10 @@ void Machine::print_stats(std::FILE* out) const {
   const Stats s = stats();
   std::fprintf(out, "--- %s, %d tasks, t=%.1f us ---\n", backend_name(backend_), num_tasks_,
                sim::to_us(elapsed_));
-  std::fprintf(out, "fabric: %lld packets, %lld bytes, %lld dropped\n",
+  std::fprintf(out, "fabric: %lld packets, %lld bytes, %lld dropped, %lld duplicated\n",
                static_cast<long long>(s.fabric_packets), static_cast<long long>(s.fabric_bytes),
-               static_cast<long long>(s.fabric_dropped));
+               static_cast<long long>(s.fabric_dropped),
+               static_cast<long long>(s.fabric_duplicated));
   std::fprintf(out, "hal:    %lld sent, %lld received, %lld interrupts\n",
                static_cast<long long>(s.packets_sent),
                static_cast<long long>(s.packets_received), static_cast<long long>(s.interrupts));
@@ -138,13 +151,18 @@ void Machine::print_stats(std::FILE* out) const {
                static_cast<long long>(s.eager_sends),
                static_cast<long long>(s.rendezvous_sends),
                static_cast<long long>(s.early_arrivals));
-  std::fprintf(out, "lapi:   %lld messages, %lld retx; completions: %lld thread, %lld inline\n",
+  std::fprintf(out, "lapi:   %lld messages, %lld retx, %lld dup-rcvd, %lld acks; "
+               "completions: %lld thread, %lld inline\n",
                static_cast<long long>(s.lapi_messages),
                static_cast<long long>(s.lapi_retransmits),
+               static_cast<long long>(s.lapi_duplicate_deliveries),
+               static_cast<long long>(s.lapi_acks),
                static_cast<long long>(s.completion_thread_dispatches),
                static_cast<long long>(s.completion_inline_runs));
-  std::fprintf(out, "pipes:  %lld retx; simulator: %llu events\n",
+  std::fprintf(out, "pipes:  %lld retx, %lld dup-rcvd, %lld acks; simulator: %llu events\n",
                static_cast<long long>(s.pipes_retransmits),
+               static_cast<long long>(s.pipes_duplicate_deliveries),
+               static_cast<long long>(s.pipes_acks),
                static_cast<unsigned long long>(s.sim_events));
   std::fprintf(out, "host:   %llu events pushed, %llu popped; actions: %llu inline, "
                "%llu pooled, %llu pool-miss, %llu fallback\n",

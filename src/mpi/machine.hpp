@@ -69,12 +69,17 @@ class Machine {
     std::int64_t fabric_packets = 0;
     std::int64_t fabric_bytes = 0;
     std::int64_t fabric_dropped = 0;
+    std::int64_t fabric_duplicated = 0;  ///< Extra copies injected by the fabric.
     std::int64_t eager_sends = 0;
     std::int64_t rendezvous_sends = 0;
     std::int64_t early_arrivals = 0;
     std::int64_t lapi_messages = 0;
     std::int64_t lapi_retransmits = 0;
+    std::int64_t lapi_duplicate_deliveries = 0;  ///< Dup packets filtered at LAPI targets.
+    std::int64_t lapi_acks = 0;
     std::int64_t pipes_retransmits = 0;
+    std::int64_t pipes_duplicate_deliveries = 0;  ///< Dup packets filtered by Pipes.
+    std::int64_t pipes_acks = 0;
     std::int64_t completion_thread_dispatches = 0;
     std::int64_t completion_inline_runs = 0;
     std::uint64_t sim_events = 0;

@@ -67,7 +67,10 @@ KernelResult run_ft(Mpi& mpi, int scale) {
   bool ok = a == orig;
 
   for (int it = 0; it < iters; ++it) {
-    for (auto& v : a) v = v * 6364136223846793005LL + 1442695040888963407LL;  // "evolve"
+    for (auto& v : a) {  // "evolve"; unsigned wrap-around, bit-identical to the old signed form
+      v = static_cast<std::int64_t>(static_cast<std::uint64_t>(v) * 6364136223846793005ULL +
+                                    1442695040888963407ULL);
+    }
     mpi.compute(static_cast<sim::TimeNs>(rl * N) * 200);  // FFT butterflies
     transpose(mpi, w, a, N);
   }

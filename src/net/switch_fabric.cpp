@@ -1,5 +1,6 @@
 #include "net/switch_fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
@@ -24,6 +25,7 @@ SwitchFabric::SwitchFabric(sim::Simulator& sim, const sim::MachineConfig& cfg, i
       leaf_down_(static_cast<std::size_t>(num_leaves_) * static_cast<std::size_t>(cfg.num_routes)),
       deliver_(static_cast<std::size_t>(num_nodes)),
       rr_(static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes)),
+      burst_left_(static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes), 0),
       rng_(cfg.fabric_seed) {
   assert(num_nodes >= 1);
   assert(cfg.num_routes >= 1);
@@ -66,7 +68,17 @@ void SwitchFabric::inject(Packet&& pkt) {
   const int route = static_cast<int>(rr_[pair_idx]++ % static_cast<std::uint32_t>(cfg_.num_routes));
   pkt.route = route;
 
+  // Fault injection. Draw order is fixed (burst, drop, jitter, dup, dup
+  // jitter) and each knob draws only when enabled, so a clean run consumes no
+  // randomness and faulty runs are reproducible per seed.
+  if (burst_left_[pair_idx] > 0) {
+    --burst_left_[pair_idx];
+    ++dropped_;
+    arena_.release(std::move(pkt.frame));
+    return;
+  }
   if (cfg_.packet_drop_rate > 0.0 && rng_.chance(cfg_.packet_drop_rate)) {
+    if (cfg_.burst_drop_len > 1) burst_left_[pair_idx] = cfg_.burst_drop_len - 1;
     ++dropped_;
     arena_.release(std::move(pkt.frame));
     return;
@@ -90,11 +102,40 @@ void SwitchFabric::inject(Packet&& pkt) {
   // configured per-route skew (test hook; 0 on the real machine).
   t += wire_time(cfg_, bytes);
   t += static_cast<sim::TimeNs>(route) * cfg_.route_skew_ns;
+  if (cfg_.packet_jitter_ns > 0) {
+    t += static_cast<sim::TimeNs>(
+        rng_.next_below(static_cast<std::uint32_t>(cfg_.packet_jitter_ns)));
+  }
+
+  if (cfg_.packet_dup_rate > 0.0 && rng_.chance(cfg_.packet_dup_rate)) {
+    // Duplicate delivery: a second copy of the frame arrives independently
+    // (modeled at the adapter, so it does not re-occupy the links). Its own
+    // jitter draw lets the copy overtake the original.
+    Packet copy;
+    copy.src = pkt.src;
+    copy.dst = pkt.dst;
+    copy.route = pkt.route;
+    copy.modeled_bytes = pkt.modeled_bytes;
+    copy.frame = arena_.acquire(pkt.frame.size());
+    std::copy(pkt.frame.begin(), pkt.frame.end(), copy.frame.begin());
+    sim::TimeNs td = t + wire_time(cfg_, bytes);
+    if (cfg_.packet_jitter_ns > 0) {
+      td += static_cast<sim::TimeNs>(
+          rng_.next_below(static_cast<std::uint32_t>(cfg_.packet_jitter_ns)));
+    }
+    ++duplicated_;
+    ++delivered_;
+    bytes_ += static_cast<std::int64_t>(bytes);
+    schedule_delivery(copy.dst, td, std::move(copy));
+  }
 
   ++delivered_;
   bytes_ += static_cast<std::int64_t>(bytes);
+  schedule_delivery(pkt.dst, t, std::move(pkt));
+}
 
-  auto& sink = deliver_[static_cast<std::size_t>(pkt.dst)];
+void SwitchFabric::schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt) {
+  auto& sink = deliver_[static_cast<std::size_t>(dst)];
   assert(sink && "no adapter attached to destination node");
   sim_.at(t, [&sink, p = std::move(pkt)]() mutable { sink(std::move(p)); });
 }

@@ -10,6 +10,14 @@
 // wait on busy links), so congested routes lag and packets of one message
 // genuinely arrive out of order — the phenomenon the Pipes layer must reorder
 // for and LAPI handles by reassembling at offsets.
+//
+// Fault injection: the fabric can additionally drop packets (independently or
+// in per-pair bursts), deliver duplicates, and add uniform delivery jitter.
+// All draws come from the seeded per-fabric Pcg32 in a fixed order, so a
+// given (seed, workload) pair yields a bit-identical fault schedule — lossy
+// runs are as reproducible as clean ones. Acks are never retransmitted by the
+// transports, so every injected fault must be survivable via data-packet
+// retransmission plus duplicate re-acknowledgement alone.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +48,7 @@ class SwitchFabric {
   [[nodiscard]] int num_routes() const noexcept { return cfg_.num_routes; }
   [[nodiscard]] std::int64_t packets_delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::int64_t packets_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::int64_t packets_duplicated() const noexcept { return duplicated_; }
   [[nodiscard]] std::int64_t bytes_carried() const noexcept { return bytes_; }
 
   /// Next route index that inject() would use for the pair (diagnostics).
@@ -69,13 +78,17 @@ class SwitchFabric {
   std::vector<Link> leaf_up_;     // leaf -> spine   [leaf * num_routes + r]
   std::vector<Link> leaf_down_;   // spine -> leaf   [leaf * num_routes + r]
 
+  void schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt);
+
   std::vector<DeliverFn> deliver_;
   std::vector<std::uint32_t> rr_;  // per (src,dst) round-robin route counter
+  std::vector<int> burst_left_;    // per (src,dst) remaining forced burst drops
   sim::Pcg32 rng_;
   FrameArena arena_;
 
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;
+  std::int64_t duplicated_ = 0;
   std::int64_t bytes_ = 0;
 };
 

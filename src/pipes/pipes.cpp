@@ -8,6 +8,12 @@
 
 namespace sp::pipes {
 
+namespace {
+/// Floor when re-arming the retransmit timer: an already-expired deadline
+/// (e.g. a HAL-full retry) must not respin at the current instant.
+constexpr sim::TimeNs kMinRetryDelayNs = 1'000;
+}  // namespace
+
 Pipes::Pipes(sim::NodeRuntime& node, hal::Hal& hal)
     : node_(node), hal_(hal) {
   hal_.register_protocol(hal::kProtoPipes,
@@ -174,8 +180,17 @@ void Pipes::on_hal_packet(int src, std::span<const std::byte> bytes) {
   const std::size_t len = h.data_len;
 
   if (off + len <= i.delivered_off || i.reorder.count(off) != 0) {
-    // Duplicate (retransmission raced the ack): re-advertise our position.
-    send_ack(src);
+    // Duplicate (retransmission raced the ack): re-advertise our position,
+    // coalesced to one immediate re-ack per burst (the rest fold into the
+    // delayed flush) so a go-back-N train does not trigger an ack storm.
+    ++duplicates_;
+    i.ack_pending = true;
+    if (node_.sim.now() - i.last_reack_at >= node_.cfg.ack_delay_ns) {
+      i.last_reack_at = node_.sim.now();
+      send_ack(src);
+    } else {
+      schedule_ack_flush(src);
+    }
     return;
   }
 
@@ -202,6 +217,7 @@ void Pipes::on_hal_packet(int src, std::span<const std::byte> bytes) {
   }
 
   ++i.unacked_packets;
+  i.ack_pending = true;
   if (i.unacked_packets >= node_.cfg.ack_every_packets) {
     send_ack(src);
   } else {
@@ -220,8 +236,14 @@ void Pipes::send_ack(int src) {
   node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
   if (hal_.send_packet(src, hal::kProtoPipes, std::move(payload), node_.cfg.pipe_header_bytes)) {
     i.unacked_packets = 0;
+    i.ack_pending = false;
     i.acked_off = i.delivered_off;
+    ++acks_sent_;
   } else {
+    // HAL full: the ack stays owed. ack_pending (not unacked_packets) records
+    // the debt so a duplicate re-ack is retried too, instead of leaving the
+    // sender stuck on its retransmit timer.
+    i.ack_pending = true;
     schedule_ack_flush(src);
   }
 }
@@ -233,15 +255,22 @@ void Pipes::schedule_ack_flush(int src) {
   node_.sim.after(node_.cfg.ack_delay_ns, [this, src] {
     In& in = *in_[static_cast<std::size_t>(src)];
     in.ack_flush_scheduled = false;
-    if (in.unacked_packets > 0) send_ack(src);
+    if (in.ack_pending) send_ack(src);
   });
 }
 
 void Pipes::schedule_retransmit(int dst) {
   Out& o = *out_[static_cast<std::size_t>(dst)];
-  if (o.retransmit_scheduled) return;
+  if (o.retransmit_scheduled || o.store.empty()) return;
   o.retransmit_scheduled = true;
-  node_.sim.after(node_.cfg.retransmit_timeout_ns, [this, dst] {
+  // Fire when the *oldest* unacked packet reaches its timeout rather than a
+  // full timeout from now (which could let a loss linger for up to 2x the
+  // timeout). The floor keeps a HAL-full retry from spinning at one instant.
+  const sim::TimeNs deadline =
+      o.store.begin()->second.sent_at + node_.cfg.retransmit_timeout_ns;
+  sim::TimeNs delay = deadline - node_.sim.now();
+  if (delay < kMinRetryDelayNs) delay = kMinRetryDelayNs;
+  node_.sim.after(delay, [this, dst] {
     Out& o2 = *out_[static_cast<std::size_t>(dst)];
     o2.retransmit_scheduled = false;
     if (o2.store.empty()) return;

@@ -57,6 +57,10 @@ class Pipes {
 
   [[nodiscard]] std::int64_t retransmits() const noexcept { return retransmits_; }
   [[nodiscard]] std::int64_t packets_sent() const noexcept { return packets_sent_; }
+  /// Duplicate packet deliveries filtered out (fabric dups + go-back-N
+  /// re-deliveries).
+  [[nodiscard]] std::int64_t duplicate_deliveries() const noexcept { return duplicates_; }
+  [[nodiscard]] std::int64_t acks_sent() const noexcept { return acks_sent_; }
 
  private:
   struct WireHdr {
@@ -100,8 +104,12 @@ class Pipes {
     std::map<std::uint64_t, std::vector<std::byte>> reorder;  // stream_off -> bytes
     std::deque<std::byte> rx;            ///< In-order readable bytes.
     std::uint64_t acked_off = 0;
-    int unacked_packets = 0;
+    int unacked_packets = 0;             ///< Fresh packets since the last ack.
+    bool ack_pending = false;            ///< An ack send is owed (data or dup re-ack).
     bool ack_flush_scheduled = false;
+    /// Last immediate duplicate re-ack; later duplicates within ack_delay_ns
+    /// coalesce into the flush (go-back-N bursts must not ack-storm).
+    sim::TimeNs last_reack_at = -(1LL << 62);
   };
 
   void pump(int dst);
@@ -120,6 +128,8 @@ class Pipes {
 
   std::int64_t retransmits_ = 0;
   std::int64_t packets_sent_ = 0;
+  std::int64_t duplicates_ = 0;
+  std::int64_t acks_sent_ = 0;
 };
 
 }  // namespace sp::pipes

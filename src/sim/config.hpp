@@ -25,7 +25,16 @@ struct MachineConfig {
   int num_routes = 4;
   /// Probability that the fabric drops a packet (fault injection; 0 = none).
   double packet_drop_rate = 0.0;
-  /// RNG seed for the fabric (route perturbation, drops).
+  /// Probability that the fabric delivers a second copy of a packet (fault
+  /// injection; models adapter-level re-delivery after a spurious CRC retry).
+  double packet_dup_rate = 0.0;
+  /// Maximum extra per-delivery delay drawn uniformly from [0, jitter)
+  /// (fault injection; widens cross-route reordering windows). 0 = none.
+  TimeNs packet_jitter_ns = 0;
+  /// When a random drop fires, drop this many *consecutive* packets of the
+  /// same (src, dst) pair (per-link burst loss). 1 = independent drops.
+  int burst_drop_len = 1;
+  /// RNG seed for the fabric (route perturbation, drops, dup, jitter).
   std::uint64_t fabric_seed = 0x5eed;
   /// Extra latency added per route index (route r adds r * route_skew_ns).
   /// 0 on the real machine; tests raise it to force out-of-order arrival

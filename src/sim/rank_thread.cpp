@@ -86,6 +86,7 @@ void RankThread::fiber_main() {
     }
   }
   finished_ = true;
+  finished_at_ = sim_.now();
   // The fiber is done for good: a null save pointer tells ASan to free its
   // fake stack. Control returns to sim_ctx_ via uc_link.
   asan_start_switch(nullptr, main_stack_bottom_, main_stack_size_);

@@ -50,6 +50,12 @@ class RankThread {
   void advance(TimeNs dt);
 
   [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+  /// Simulated time at which the body completed (meaningful once finished()).
+  /// Lets callers report when the *program* ended, independent of housekeeping
+  /// events (ack flushes, retransmit timers) still draining from the queue.
+  [[nodiscard]] TimeNs finished_at() const noexcept { return finished_at_; }
+
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] Simulator& sim() noexcept { return sim_; }
 
@@ -67,6 +73,7 @@ class RankThread {
   std::function<void()> body_;
 
   bool finished_ = false;
+  TimeNs finished_at_ = 0;
   bool aborting_ = false;
   std::exception_ptr error_;
 

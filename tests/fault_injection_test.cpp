@@ -1,0 +1,413 @@
+// Fault-injection soak tests: the reliability layers under fabric loss.
+//
+// The switch fabric can drop, duplicate, jitter and burst-drop packets
+// (MachineConfig fault knobs, all seeded and deterministic). These tests run
+// full MPI workloads — ping-pong, collectives, the NAS mini-kernels — to
+// completion under 1–5% loss on every backend, verify the delivered data,
+// bound the retransmit count against the injected loss, and pin the lossy
+// event timeline to be bit-identical for a fixed seed. A LinkRig section
+// unit-tests the transport fixes directly: duplicate re-ack coalescing, the
+// owed-ack retry after a HAL-full failure, deadline-based retransmit timing
+// and 32-bit wire sequence wrap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "lapi/reliable_link.hpp"
+#include "lapi/wire.hpp"
+#include "mpi/machine.hpp"
+#include "nas/kernels.hpp"
+
+namespace {
+
+using sp::mpi::Backend;
+using sp::mpi::Machine;
+using sp::mpi::Mpi;
+using sp::sim::MachineConfig;
+
+/// SP_FAULT_SOAK=1 (the lossy ctest variant / CI soak job) scales the
+/// workloads up; the default keeps the suite fast.
+bool soak_mode() {
+  static const bool on = std::getenv("SP_FAULT_SOAK") != nullptr;
+  return on;
+}
+
+/// A lossy-but-survivable fabric: random drops plus burst loss, duplicate
+/// deliveries and delivery jitter, with a tightened retransmit timeout so
+/// recovery doesn't dominate simulated (or host) time.
+MachineConfig lossy_config(double drop) {
+  MachineConfig cfg;
+  cfg.packet_drop_rate = drop;
+  cfg.packet_dup_rate = 0.01;
+  cfg.packet_jitter_ns = 2'000;
+  cfg.burst_drop_len = 2;
+  cfg.retransmit_timeout_ns = 400'000;
+  return cfg;
+}
+
+/// Retransmits are go-back-N: one timeout resends at most a window's worth of
+/// packets, and duplicated deliveries can trigger spurious-looking (but
+/// correct) re-acks, so bound the total against the injected faults rather
+/// than expecting a 1:1 ratio.
+void expect_bounded_recovery(const Machine& m) {
+  const auto s = m.stats();
+  const std::int64_t injected = s.fabric_dropped + s.fabric_duplicated;
+  const std::int64_t retx = s.lapi_retransmits + s.pipes_retransmits;
+  EXPECT_LE(retx, (injected + 1) * 64) << "retransmit storm: " << retx << " resends for "
+                                       << injected << " injected faults";
+}
+
+struct SoakParam {
+  Backend backend;
+  double drop;
+};
+
+std::string soak_name(const ::testing::TestParamInfo<SoakParam>& info) {
+  std::string b = info.param.backend == Backend::kNativePipes ? "Native"
+                  : info.param.backend == Backend::kLapiBase  ? "Base"
+                                                              : "Enhanced";
+  return b + (info.param.drop < 0.03 ? "_drop1pct" : "_drop5pct");
+}
+
+class FaultSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(FaultSoak, PingPongCompletesWithDataIntact) {
+  MachineConfig cfg = lossy_config(GetParam().drop);
+  Machine m(cfg, 2, GetParam().backend);
+  const int iters = soak_mode() ? 64 : 16;
+  static constexpr std::size_t kLen = 8 * 1024;
+  m.run([iters](Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<std::uint8_t> buf(kLen);
+    for (int i = 0; i < iters; ++i) {
+      if (w.rank() == 0) {
+        for (std::size_t k = 0; k < kLen; ++k) {
+          buf[k] = static_cast<std::uint8_t>(k + static_cast<std::size_t>(i));
+        }
+        mpi.send(buf.data(), kLen, sp::mpi::Datatype::kByte, 1, 0, w);
+        std::fill(buf.begin(), buf.end(), 0);
+        mpi.recv(buf.data(), kLen, sp::mpi::Datatype::kByte, 1, 0, w);
+      } else {
+        mpi.recv(buf.data(), kLen, sp::mpi::Datatype::kByte, 0, 0, w);
+        mpi.send(buf.data(), kLen, sp::mpi::Datatype::kByte, 0, 0, w);
+      }
+      // Both ranks hold the echoed buffer: verify every byte round-tripped.
+      for (std::size_t k = 0; k < kLen; ++k) {
+        ASSERT_EQ(buf[k], static_cast<std::uint8_t>(k + static_cast<std::size_t>(i)))
+            << "iter " << i << " offset " << k;
+      }
+    }
+  });
+  const auto s = m.stats();
+  EXPECT_GT(s.fabric_dropped, 0) << "fault injection never fired";
+  expect_bounded_recovery(m);
+}
+
+TEST_P(FaultSoak, AlltoallCompletesWithDataIntact) {
+  MachineConfig cfg = lossy_config(GetParam().drop);
+  const int nodes = soak_mode() ? 8 : 4;
+  const int rounds = soak_mode() ? 8 : 3;
+  Machine m(cfg, nodes, GetParam().backend);
+  m.run([rounds](Mpi& mpi) {
+    auto& w = mpi.world();
+    const auto n = static_cast<std::size_t>(w.size());
+    const auto me = static_cast<std::size_t>(w.rank());
+    std::vector<std::int64_t> src(512 * n), dst(512 * n);
+    for (int r = 0; r < rounds; ++r) {
+      for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t k = 0; k < 512; ++k) {
+          src[p * 512 + k] = static_cast<std::int64_t>(me * 1'000'000 + p * 1'000 + k + 7 *
+                                                       static_cast<std::size_t>(r));
+        }
+      }
+      std::fill(dst.begin(), dst.end(), -1);
+      mpi.alltoall(src.data(), 512 * 8, dst.data(), sp::mpi::Datatype::kByte, w);
+      for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t k = 0; k < 512; ++k) {
+          ASSERT_EQ(dst[p * 512 + k],
+                    static_cast<std::int64_t>(p * 1'000'000 + me * 1'000 + k + 7 *
+                                              static_cast<std::size_t>(r)))
+              << "round " << r << " from rank " << p << " word " << k;
+        }
+      }
+    }
+  });
+  expect_bounded_recovery(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(BackendsAndRates, FaultSoak,
+                         ::testing::Values(SoakParam{Backend::kNativePipes, 0.01},
+                                           SoakParam{Backend::kNativePipes, 0.05},
+                                           SoakParam{Backend::kLapiBase, 0.05},
+                                           SoakParam{Backend::kLapiEnhanced, 0.01},
+                                           SoakParam{Backend::kLapiEnhanced, 0.05}),
+                         soak_name);
+
+TEST(FaultSoakNas, KernelsVerifyUnderLoss) {
+  // The NAS mini-kernels self-verify, so a single lossy run checks both
+  // progress (no hang) and end-to-end data integrity through collectives.
+  for (double drop : {0.01, 0.05}) {
+    for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+      int ran = 0;
+      for (auto& [name, fn] : sp::nas::all_kernels()) {
+        if (!soak_mode() && ++ran > 2) break;  // soak runs every kernel
+        MachineConfig cfg = lossy_config(drop);
+        Machine m(cfg, 4, b);
+        sp::nas::KernelResult res;
+        m.run([&, f = fn](Mpi& mpi) {
+          auto r = f(mpi, 1);
+          if (mpi.world().rank() == 0) res = r;
+        });
+        EXPECT_TRUE(res.verified)
+            << name << " on " << sp::mpi::backend_name(b) << " at drop=" << drop;
+        expect_bounded_recovery(m);
+      }
+    }
+  }
+}
+
+TEST(FaultSoak, StatsAccountForInjectedFaults) {
+  // At 5% drop + 5% dup every counter in the chain must move: fabric-level
+  // drops and duplicates, transport retransmits, duplicate deliveries
+  // filtered at the receiver, and explicit acks.
+  MachineConfig cfg = lossy_config(0.05);
+  cfg.packet_dup_rate = 0.05;
+  Machine m(cfg, 2, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<std::byte> buf(64 * 1024);
+    for (int i = 0; i < 8; ++i) {
+      if (w.rank() == 0) {
+        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
+        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
+      } else {
+        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
+        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
+      }
+    }
+  });
+  const auto s = m.stats();
+  EXPECT_GT(s.fabric_dropped, 0);
+  EXPECT_GT(s.fabric_duplicated, 0);
+  EXPECT_GT(s.lapi_retransmits, 0);
+  EXPECT_GT(s.lapi_duplicate_deliveries, 0);
+  EXPECT_GT(s.lapi_acks, 0);
+}
+
+// --- lossy determinism ------------------------------------------------------
+
+/// FNV-1a over the full trace timeline (same digest as determinism_test.cpp).
+std::uint64_t trace_digest(const sp::sim::Trace& trace) {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& e : trace.events()) {
+    mix(&e.t, sizeof(e.t));
+    mix(&e.node, sizeof(e.node));
+    mix(e.category, std::char_traits<char>::length(e.category));
+    mix(e.detail.data(), e.detail.size());
+  }
+  return h;
+}
+
+std::uint64_t lossy_digest(std::uint64_t seed) {
+  MachineConfig cfg = lossy_config(0.03);
+  cfg.fabric_seed = seed;
+  cfg.trace_enabled = true;
+  Machine m(cfg, 4, Backend::kLapiEnhanced);
+  m.run([](Mpi& mpi) {
+    auto& w = mpi.world();
+    const auto n = static_cast<std::size_t>(w.size());
+    std::vector<double> src(256 * n, 0.25), dst(256 * n, 0.0);
+    for (int r = 0; r < 4; ++r) {
+      mpi.alltoall(src.data(), 256, dst.data(), sp::mpi::Datatype::kDouble, w);
+    }
+  });
+  return trace_digest(*m.trace());
+}
+
+TEST(FaultDeterminism, SameSeedSameLossyTimeline) {
+  const std::uint64_t first = lossy_digest(0x100);
+  const std::uint64_t second = lossy_digest(0x100);
+  EXPECT_EQ(first, second) << "lossy run is not reproducible for a fixed seed";
+}
+
+TEST(FaultDeterminism, DifferentSeedDifferentLossPattern) {
+  EXPECT_NE(lossy_digest(0x100), lossy_digest(0x101));
+}
+
+}  // namespace
+
+// --- transport unit tests (the reliability fixes) ---------------------------
+
+namespace sp::lapi {
+namespace {
+
+using sim::MachineConfig;
+using sim::NodeRuntime;
+using sim::Simulator;
+
+/// Two HAL-connected nodes with one ReliableLink pair and a hand-rolled
+/// kProtoLapi dispatch (mirroring Lapi::on_hal_packet): enough transport to
+/// drive accept()/on_ack() through real wire traffic, plus surgical per-seq
+/// drop control that random fabric loss can't provide.
+struct LinkRig {
+  explicit LinkRig(MachineConfig c = {}) : cfg(c) {
+    fabric = std::make_unique<net::SwitchFabric>(sim, cfg, 2);
+    for (int i = 0; i < 2; ++i) {
+      rts.push_back(std::make_unique<NodeRuntime>(sim, cfg, i));
+      hals.push_back(std::make_unique<hal::Hal>(*rts.back(), *fabric));
+    }
+    origin = std::make_unique<ReliableLink>(*rts[0], *hals[0], 1);
+    target = std::make_unique<ReliableLink>(*rts[1], *hals[1], 0);
+    hals[0]->register_protocol(hal::kProtoLapi, [this](int, std::span<const std::byte> b) {
+      const PktHdr h = parse_hdr(b);
+      if (h.kind == static_cast<std::uint8_t>(Kind::kAck)) origin->on_ack(h.pkt_seq);
+    });
+    hals[1]->register_protocol(hal::kProtoLapi, [this](int, std::span<const std::byte> b) {
+      const PktHdr h = parse_hdr(b);
+      if (h.kind == static_cast<std::uint8_t>(Kind::kAck)) return;
+      arrivals.emplace_back(sim.now(), h.pkt_seq);
+      auto it = drop_budget.find(h.pkt_seq);
+      if (it != drop_budget.end() && it->second > 0) {
+        --it->second;  // simulated loss of this specific delivery
+        return;
+      }
+      if (target->accept(h.pkt_seq)) fresh_bytes += h.data_len;
+    });
+  }
+
+  void submit_at(sim::TimeNs t, std::size_t len) {
+    sim.at(t, [this, len] {
+      ReliableLink::Message msg;
+      msg.meta.kind = static_cast<std::uint8_t>(Kind::kPut);
+      msg.meta.origin = 0;
+      msg.owned.assign(len, std::byte{0x5a});
+      origin->submit(std::move(msg));
+    });
+  }
+
+  MachineConfig cfg;
+  Simulator sim;
+  std::unique_ptr<net::SwitchFabric> fabric;
+  std::vector<std::unique_ptr<NodeRuntime>> rts;
+  std::vector<std::unique_ptr<hal::Hal>> hals;
+  std::unique_ptr<ReliableLink> origin;
+  std::unique_ptr<ReliableLink> target;
+  std::map<std::uint32_t, int> drop_budget;        ///< wire seq -> deliveries to swallow
+  std::vector<std::pair<sim::TimeNs, std::uint32_t>> arrivals;
+  std::uint64_t fresh_bytes = 0;
+};
+
+TEST(ReliableLinkFix, DuplicateBurstEarnsOneImmediateReack) {
+  // A go-back-N resend of a full window lands as a burst of duplicates at the
+  // target. Each must be rejected, but re-advertising the cumulative position
+  // once is enough — per-duplicate acks are the ack storm the coalescing
+  // window exists to prevent.
+  LinkRig rig;
+  for (std::uint32_t s = 1; s <= 8; ++s) (void)rig.target->accept(s);
+  const std::int64_t acks_after_fresh = rig.target->acks_sent();
+  for (std::uint32_t s = 1; s <= 8; ++s) EXPECT_FALSE(rig.target->accept(s));
+  EXPECT_EQ(rig.target->duplicates(), 8);
+  EXPECT_EQ(rig.target->acks_sent(), acks_after_fresh + 1)
+      << "a burst of 8 duplicates must trigger exactly one immediate re-ack";
+  rig.sim.run();  // the rest of the burst folds into one delayed flush
+  EXPECT_LE(rig.target->acks_sent(), acks_after_fresh + 2);
+}
+
+TEST(ReliableLinkFix, OwedReackRetriesAfterHalFull) {
+  // A duplicate arrives with no fresh packets outstanding and the immediate
+  // re-ack hits a full HAL send queue. The old code keyed the flush retry on
+  // unacked_count_ (zero here), so the ack was dropped on the floor and the
+  // origin spun on its retransmit timer; the pending-ack bit must survive.
+  LinkRig rig;
+  EXPECT_TRUE(rig.target->accept(1));
+  rig.sim.run();  // delayed flush acks seq 1
+  ASSERT_EQ(rig.target->acks_sent(), 1);
+
+  // Exhaust node 1's HAL send buffers with harmless self-made ack packets.
+  std::vector<std::byte> filler;
+  PktHdr h;
+  h.kind = static_cast<std::uint8_t>(Kind::kAck);
+  h.pkt_seq = 0;
+  append_hdr(filler, h);
+  while (rig.hals[1]->send_buffers_in_use() < rig.cfg.hal_send_buffers) {
+    ASSERT_TRUE(rig.hals[1]->send_packet(0, hal::kProtoLapi, filler));
+  }
+
+  EXPECT_FALSE(rig.target->accept(1));         // duplicate; re-ack owed
+  EXPECT_EQ(rig.target->acks_sent(), 1);       // HAL full: nothing went out yet
+  rig.sim.run();                               // buffers drain, flush retries
+  EXPECT_EQ(rig.target->acks_sent(), 2) << "owed re-ack was lost after a HAL-full failure";
+}
+
+TEST(ReliableLinkFix, RetransmitFiresOneTimeoutAfterTheLostSend) {
+  // Message A (seq 1) is delivered and acked; message B (seq 2), sent while
+  // A's retransmit timer is still armed, is lost. Re-arming a full timeout
+  // from the timer's fire time would delay B's resend to nearly 2x the
+  // timeout; arming against the oldest unacked send must recover within ~1x.
+  LinkRig rig;
+  const sim::TimeNs timeout = rig.cfg.retransmit_timeout_ns;
+  const sim::TimeNs sent_b = (timeout * 6) / 10;
+  rig.drop_budget[2] = 1;
+  rig.submit_at(0, 64);
+  rig.submit_at(sent_b, 64);
+  rig.sim.run();
+
+  ASSERT_EQ(rig.origin->retransmits(), 1);
+  EXPECT_TRUE(rig.origin->drained());
+  sim::TimeNs second_arrival = -1;
+  int seq2_seen = 0;
+  for (const auto& [t, s] : rig.arrivals) {
+    if (s == 2 && ++seq2_seen == 2) second_arrival = t;
+  }
+  ASSERT_GE(seq2_seen, 2) << "lost packet was never retransmitted";
+  EXPECT_GE(second_arrival - sent_b, timeout);
+  EXPECT_LE(second_arrival - sent_b, timeout + timeout / 10)
+      << "retransmit lagged the timeout: lost packet lingered "
+      << sim::to_us(second_arrival - sent_b) << "us";
+}
+
+TEST(ReliableLinkFix, SequenceNumbersSurviveWireWrap) {
+  // Both cursors start just below 2^32; an 80-packet message crosses the
+  // 32-bit wire wrap mid-stream. Every packet must be accepted exactly once
+  // and acked, with no retransmits and no duplicates flagged.
+  LinkRig rig;
+  const std::uint64_t base = (1ULL << 32) - 40;
+  rig.origin->fast_forward_seq(base);
+  rig.target->fast_forward_seq(base);
+  const std::size_t len = 80 * 1024;  // 80 MTU-sized packets
+  rig.submit_at(0, len);
+  rig.sim.run();
+  EXPECT_EQ(rig.fresh_bytes, len);
+  EXPECT_EQ(rig.target->duplicates(), 0);
+  EXPECT_EQ(rig.origin->retransmits(), 0);
+  EXPECT_TRUE(rig.origin->drained());
+}
+
+TEST(ReliableLinkFix, UnwrapSeqSerialArithmetic) {
+  constexpr std::uint64_t kSpan = 1ULL << 32;
+  // In-window forward references, including across the wrap.
+  EXPECT_EQ(unwrap_seq(0, 1), 1u);
+  EXPECT_EQ(unwrap_seq(100, 50), 50u);
+  EXPECT_EQ(unwrap_seq(kSpan - 1, 5), kSpan + 5);
+  EXPECT_EQ(unwrap_seq(kSpan - 1, 0xFFFFFFFEu), kSpan - 2);
+  // Just past the wrap, a duplicate of the last pre-wrap packet.
+  EXPECT_EQ(unwrap_seq(kSpan + 5, 0xFFFFFFFFu), kSpan - 1);
+  // Deep into the second epoch both directions resolve near the cursor.
+  EXPECT_EQ(unwrap_seq(3 * kSpan + 100, 90), 3 * kSpan + 90);
+  EXPECT_EQ(unwrap_seq(3 * kSpan + 100, 110), 3 * kSpan + 110);
+}
+
+}  // namespace
+}  // namespace sp::lapi

@@ -17,6 +17,10 @@
 //   --iters N          iterations per measurement (default 24)
 //   --eager BYTES      eager limit (default 4096)
 //   --drop P           packet drop probability (default 0)
+//   --dup P            packet duplication probability (default 0)
+//   --jitter NS        max extra per-delivery jitter in ns (default 0)
+//   --burst N          drop N consecutive packets per loss event (default 1)
+//   --seed S           fabric fault-injection seed
 //   --scale N          NAS problem scale (default 2)
 //   --testbed tbmx|tb3 node/adapter generation (default tbmx)
 //   --csv              machine-readable output
@@ -41,6 +45,10 @@ struct Options {
   int iters = 24;
   std::size_t eager = 4096;
   double drop = 0.0;
+  double dup = 0.0;
+  long long jitter = 0;
+  int burst = 1;
+  unsigned long long seed = 0x5eed;
   int scale = 2;
   bool tb3 = false;
   bool csv = false;
@@ -48,9 +56,10 @@ struct Options {
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: spsim latency|bandwidth|interrupt|nas|stats [--backend "
+               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace [--backend "
                "native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
-               "[--eager B] [--drop P] [--scale N] [--csv]\n");
+               "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
+               "[--seed S] [--scale N] [--csv]\n");
   std::exit(2);
 }
 
@@ -84,6 +93,14 @@ Options parse(int argc, char** argv) {
       o.eager = std::strtoull(next(), nullptr, 10);
     } else if (a == "--drop") {
       o.drop = std::atof(next());
+    } else if (a == "--dup") {
+      o.dup = std::atof(next());
+    } else if (a == "--jitter") {
+      o.jitter = std::atoll(next());
+    } else if (a == "--burst") {
+      o.burst = std::atoi(next());
+    } else if (a == "--seed") {
+      o.seed = std::strtoull(next(), nullptr, 0);
     } else if (a == "--scale") {
       o.scale = std::atoi(next());
     } else if (a == "--testbed") {
@@ -103,6 +120,10 @@ sim::MachineConfig make_config(const Options& o) {
   sim::MachineConfig cfg = o.tb3 ? sim::MachineConfig::tb3_p2sc() : sim::MachineConfig::tbmx_332();
   cfg.eager_limit = o.eager;
   cfg.packet_drop_rate = o.drop;
+  cfg.packet_dup_rate = o.dup;
+  cfg.packet_jitter_ns = o.jitter;
+  cfg.burst_drop_len = o.burst;
+  cfg.fabric_seed = o.seed;
   if (o.drop > 0) cfg.retransmit_timeout_ns = 400'000;
   return cfg;
 }
