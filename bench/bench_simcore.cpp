@@ -5,6 +5,8 @@
 // simulated microseconds per host-millisecond, over three representative
 // workloads:
 //   fig12_bw   two-node 64 KiB streaming bandwidth (the Fig. 12 method)
+//   fig12_bw_traced  the same workload with telemetry enabled, so the cost of
+//              enabled tracing shows up as a wall-clock delta against fig12_bw
 //   alltoall8  eight ranks exchanging 8 KiB blocks in repeated MPI_Alltoall
 //   nas_cg     the mini-NAS CG kernel on eight ranks
 // Each workload runs `reps` times; the best (minimum) wall time is reported.
@@ -31,6 +33,20 @@ struct Result {
   std::uint64_t events = 0;   ///< Simulator events processed in one run.
   double sim_us = 0.0;        ///< Simulated time covered by one run.
   double wall_ms = 0.0;       ///< Best host wall time over all reps.
+  // Telemetry counters (traced workloads only; all zero otherwise).
+  bool traced = false;
+  std::uint64_t telem_emitted = 0;
+  std::uint64_t telem_dropped = 0;
+  std::uint64_t telem_mpi_calls = 0;
+  std::uint64_t telem_eager_sends = 0;
+};
+
+/// Telemetry counters sampled from one traced run.
+struct TelemCounts {
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t mpi_calls = 0;
+  std::uint64_t eager_sends = 0;
 };
 
 /// One complete simulation; returns (events processed, simulated ns).
@@ -50,8 +66,10 @@ Result measure(const char* name, int reps, RunFn&& one_run) {
   return r;
 }
 
-std::pair<std::uint64_t, sp::sim::TimeNs> run_fig12_bw(std::size_t bytes, int iters) {
+std::pair<std::uint64_t, sp::sim::TimeNs> run_fig12_bw(std::size_t bytes, int iters,
+                                                       TelemCounts* telem = nullptr) {
   MachineConfig cfg;
+  cfg.telemetry_enabled = telem != nullptr;
   Machine m(cfg, 2, Backend::kLapiEnhanced);
   m.run([&](sp::mpi::Mpi& mpi) {
     auto& w = mpi.world();
@@ -73,6 +91,13 @@ std::pair<std::uint64_t, sp::sim::TimeNs> run_fig12_bw(std::size_t bytes, int it
       mpi.send(&token, 0, sp::mpi::Datatype::kByte, 0, 1, w);
     }
   });
+  if (telem != nullptr) {
+    const sp::sim::Telemetry& t = *m.telemetry();
+    telem->emitted = t.records_emitted();
+    telem->dropped = t.records_dropped();
+    telem->mpi_calls = t.counter_total(sp::sim::Ev::kMpiEnter);
+    telem->eager_sends = t.counter_total(sp::sim::Ev::kEagerSend);
+  }
   return {m.sim().events_processed(), m.elapsed()};
 }
 
@@ -119,6 +144,14 @@ int main(int argc, char** argv) {
 
   std::vector<Result> results;
   results.push_back(measure("fig12_bw", reps, [] { return run_fig12_bw(64 * 1024, 400); }));
+  TelemCounts telem;
+  results.push_back(measure("fig12_bw_traced", reps,
+                            [&telem] { return run_fig12_bw(64 * 1024, 400, &telem); }));
+  results.back().traced = true;
+  results.back().telem_emitted = telem.emitted;
+  results.back().telem_dropped = telem.dropped;
+  results.back().telem_mpi_calls = telem.mpi_calls;
+  results.back().telem_eager_sends = telem.eager_sends;
   results.push_back(measure("alltoall8", reps, [] { return run_alltoall8(1024, 48); }));
   results.push_back(measure("nas_cg", reps, [] { return run_nas_cg(3); }));
 
@@ -141,10 +174,20 @@ int main(int argc, char** argv) {
       const auto& r = results[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"events\": %llu, \"wall_ms\": %.3f, "
-                   "\"events_per_sec\": %.0f, \"sim_us\": %.1f, \"sim_us_per_host_ms\": %.1f}%s\n",
+                   "\"events_per_sec\": %.0f, \"sim_us\": %.1f, \"sim_us_per_host_ms\": %.1f",
                    r.name.c_str(), static_cast<unsigned long long>(r.events), r.wall_ms,
                    static_cast<double>(r.events) / (r.wall_ms / 1e3), r.sim_us,
-                   r.sim_us / r.wall_ms, i + 1 < results.size() ? "," : "");
+                   r.sim_us / r.wall_ms);
+      if (r.traced) {
+        std::fprintf(f,
+                     ", \"telemetry\": {\"records_emitted\": %llu, \"records_dropped\": %llu, "
+                     "\"mpi_calls\": %llu, \"eager_sends\": %llu}",
+                     static_cast<unsigned long long>(r.telem_emitted),
+                     static_cast<unsigned long long>(r.telem_dropped),
+                     static_cast<unsigned long long>(r.telem_mpi_calls),
+                     static_cast<unsigned long long>(r.telem_eager_sends));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

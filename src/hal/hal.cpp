@@ -63,7 +63,9 @@ bool Hal::send_packet(int dst, ProtoId proto, std::span<const std::byte> payload
   const sim::TimeNs injected_at = start + dma_time(node_.cfg, pkt.wire_bytes());
   send_dma_free_at_ = injected_at;
 
+  SP_TELEM(node_, sim::Ev::kDmaStart, static_cast<std::uint64_t>(dst), pkt.wire_bytes());
   node_.sim.at(injected_at, [this, p = std::move(pkt)]() mutable {
+    SP_TELEM(node_, sim::Ev::kDmaEnd, static_cast<std::uint64_t>(p.dst), p.wire_bytes());
     fabric_.inject(std::move(p));
     --send_buffers_in_use_;
     notify_send_space();
@@ -90,6 +92,7 @@ void Hal::on_frame_from_fabric(net::Packet&& pkt) {
 
   node_.sim.at(host_visible, [this, p = std::move(pkt)]() mutable {
     ++packets_received_;
+    SP_TELEM(node_, sim::Ev::kRecvDma, static_cast<std::uint64_t>(p.src), p.wire_bytes());
     if (!interrupt_mode_) {
       // Polling mode: the paper's experiments poll inside blocking calls, so
       // dispatch proceeds as soon as the host CPU is free.
@@ -114,6 +117,7 @@ void Hal::deliver_to_protocol(net::Packet&& pkt) {
     return std::string(b);
   });
   assert(proto < kMaxProto && protocols_[proto] && "frame for unregistered protocol");
+  SP_TELEM(node_, sim::Ev::kHalDeliver, static_cast<std::uint64_t>(pkt.src), proto);
   // Zero-copy dispatch: the protocol sees the bytes in place in the pinned
   // receive buffer; the frame is recycled once the upcall returns.
   const std::span<const std::byte> upper{
@@ -125,6 +129,8 @@ void Hal::deliver_to_protocol(net::Packet&& pkt) {
 
 void Hal::enter_interrupt() {
   ++interrupts_taken_;
+  irq_entered_at_ = node_.sim.now();
+  SP_TELEM(node_, sim::Ev::kIrqEnter, recv_pending_.size());
   node_.trace_event("hal.interrupt", [&] {
     char b[48];
     std::snprintf(b, sizeof b, "pending=%zu", recv_pending_.size());
@@ -160,11 +166,17 @@ void Hal::interrupt_drain_and_maybe_wait(sim::TimeNs window) {
       } else {
         (void)serviced_any;
         interrupt_active_ = false;
+        const auto service_ns = static_cast<std::uint64_t>(node_.sim.now() - irq_entered_at_);
+        SP_TELEM(node_, sim::Ev::kIrqExit, service_ns);
+        SP_TELEM_HIST(node_, sim::Hist::kIrqServiceNs, service_ns);
         node_.gate.open();  // handler returns; completions become visible
       }
     });
   } else {
     interrupt_active_ = false;
+    const auto service_ns = static_cast<std::uint64_t>(node_.sim.now() - irq_entered_at_);
+    SP_TELEM(node_, sim::Ev::kIrqExit, service_ns);
+    SP_TELEM_HIST(node_, sim::Hist::kIrqServiceNs, service_ns);
     node_.gate.open();
   }
 }

@@ -108,6 +108,7 @@ class Hal {
   bool interrupt_mode_ = false;
   bool hysteresis_enabled_ = false;
   bool interrupt_active_ = false;
+  sim::TimeNs irq_entered_at_ = 0;  // start of the current interrupt episode
 
   std::int64_t packets_sent_ = 0;
   std::int64_t packets_received_ = 0;

@@ -134,6 +134,7 @@ void Lapi::amsend(int tgt, int handler_id, const void* uhdr, std::size_t uhdr_le
     m.on_origin_done = [this, org_cntr] { bump_local(org_cntr); };
   }
   ++messages_sent_;
+  SP_TELEM(node_, sim::Ev::kAmSend, static_cast<std::uint64_t>(tgt), udata_len);
   node_.trace_event("lapi.amsend", [&] {
     char b[64];
     std::snprintf(b, sizeof b, "tgt=%d handler=%d len=%zu", tgt, handler_id, udata_len);
@@ -550,6 +551,7 @@ void Lapi::on_data_packet(const PktHdr& h, std::span<const std::byte> payload) {
     if ((h.flags & kFlagFirst) != 0) {
       // Run the header handler (Fig. 2 step 2) in dispatcher context.
       ++header_handlers_run_;
+      SP_TELEM(node_, sim::Ev::kHeaderHandler, h.origin, h.total_len);
       node_.trace_event("lapi.header_handler", [&] {
         char b[64];
         std::snprintf(b, sizeof b, "origin=%u msg=%llu len=%u", h.origin,
@@ -627,6 +629,7 @@ void Lapi::finish_message(std::uint64_t key_origin, std::uint64_t msg_id) {
       // Enhanced LAPI (§5.3): predefined completion handler in dispatcher
       // context — no thread switch on the critical path.
       ++completion_inline_runs_;
+      SP_TELEM(node_, sim::Ev::kCompletionInline);
       node_.trace_event("lapi.completion.inline", [] { return std::string(); });
       node_.cpu.charge(node_.sim, node_.cfg.completion_inline_ns);
       in_callback_ = true;
@@ -637,6 +640,7 @@ void Lapi::finish_message(std::uint64_t key_origin, std::uint64_t msg_id) {
       // Stock LAPI: completion handlers run on a separate thread; the two
       // context switches dominate the Base MPI-LAPI's overhead (§5.1).
       ++completion_thread_dispatches_;
+      SP_TELEM(node_, sim::Ev::kCompletionThread);
       node_.trace_event("lapi.completion.thread", [] { return std::string(); });
       node_.sim.after(node_.cfg.completion_thread_switch_ns,
                       [this, completion = std::move(r.completion), cookie = r.cookie,

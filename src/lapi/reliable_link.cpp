@@ -121,6 +121,7 @@ bool ReliableLink::accept(std::uint32_t seq_wire) {
   const bool dup = pkt_seq <= cum_in_ || ooo_in_.count(pkt_seq) != 0;
   if (dup) {
     ++duplicates_;
+    SP_TELEM(node_, sim::Ev::kLapiDupRecv, static_cast<std::uint64_t>(peer_), pkt_seq);
     // Re-advertise our cumulative position so the origin's retransmit loop
     // terminates, but coalesce: a go-back-N burst of N duplicates earns one
     // immediate re-ack; the rest fold into the delayed flush.
@@ -161,6 +162,7 @@ void ReliableLink::send_ack() {
     unacked_count_ = 0;
     ack_pending_ = false;
     ++acks_sent_;
+    SP_TELEM(node_, sim::Ev::kLapiAck, static_cast<std::uint64_t>(peer_), cum_in_);
   } else {
     // HAL full: the ack stays owed; retry from the flush timer. ack_pending_
     // (not unacked_count_) records the debt so a duplicate re-ack — which
@@ -200,6 +202,7 @@ void ReliableLink::schedule_retransmit_check() {
         if (hal_.send_packet(peer_, hal::kProtoLapi, s.payload, s.modeled_bytes)) {
           s.sent_at = node_.sim.now();
           ++retransmits_;
+          SP_TELEM(node_, sim::Ev::kLapiRetransmit, static_cast<std::uint64_t>(peer_), seq);
         } else {
           break;  // HAL full; the rescheduled check will retry
         }

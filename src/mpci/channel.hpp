@@ -74,13 +74,33 @@ class Channel {
  protected:
   /// Charge the cost of scanning `entries` queue entries plus locking.
   void charge_match_event(int entries) {
+    note_match(entries);
     node_.cpu.charge(node_.sim, node_.cfg.match_base_ns +
                                     node_.cfg.match_per_entry_ns * entries +
                                     node_.cfg.lock_pair_ns);
   }
   void charge_match_app(int entries) {
+    note_match(entries);
     node_.app_charge(node_.cfg.match_base_ns + node_.cfg.match_per_entry_ns * entries +
                      node_.cfg.lock_pair_ns);
+  }
+
+  /// Telemetry for one matching attempt over `entries` queue entries.
+  void note_match(int entries) {
+    SP_TELEM(node_, sim::Ev::kMatch, static_cast<std::uint64_t>(entries));
+    SP_TELEM_HIST(node_, sim::Hist::kMatchScanned, static_cast<std::uint64_t>(entries));
+  }
+
+  /// Count one eager/rendezvous send (statistics + telemetry).
+  void note_eager_send(int dst, std::size_t bytes) {
+    ++eager_sends_;
+    SP_TELEM(node_, sim::Ev::kEagerSend, static_cast<std::uint64_t>(dst), bytes);
+    SP_TELEM_HIST(node_, sim::Hist::kMsgBytes, bytes);
+  }
+  void note_rendezvous_send(int dst, std::size_t bytes) {
+    ++rendezvous_sends_;
+    SP_TELEM(node_, sim::Ev::kRendezvousSend, static_cast<std::uint64_t>(dst), bytes);
+    SP_TELEM_HIST(node_, sim::Hist::kMsgBytes, bytes);
   }
 
   /// Early-arrival buffer accounting; throws FatalMpiError on exhaustion.
@@ -90,6 +110,7 @@ class Channel {
     }
     ea_bytes_ += bytes;
     ++early_arrivals_;
+    SP_TELEM(node_, sim::Ev::kEarlyArrival, bytes);
   }
   void ea_release(std::size_t bytes) noexcept { ea_bytes_ -= bytes; }
 

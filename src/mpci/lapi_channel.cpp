@@ -119,7 +119,7 @@ void LapiChannel::start_send(SendReq& req) {
   }
 
   if (req.proto == Protocol::kEager) {
-    ++eager_sends_;
+    note_eager_send(req.dst, req.len);
     env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
     env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
     lapi::Token tgt = 0;
@@ -133,7 +133,7 @@ void LapiChannel::start_send(SendReq& req) {
     lapi_.amsend(req.dst, hh_eager_id_, uhdr.data(), uhdr.size(), req.buf, req.len, tgt,
                  &st.org, cmpl);
   } else {
-    ++rendezvous_sends_;
+    note_rendezvous_send(req.dst, req.len);
     sreqs_.emplace(req.id, &req);
     env.kind = static_cast<std::uint8_t>(EnvKind::kRts);
     env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;

@@ -43,7 +43,7 @@ void PipesChannel::start_send(SendReq& req) {
   if (req.bsend_slot >= 0) env.flags |= kFlagNotifyDone;
 
   if (req.proto == Protocol::kEager) {
-    ++eager_sends_;
+    note_eager_send(req.dst, req.len);
     env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
     const bool needs_done = req.bsend_slot >= 0;
     if (needs_done) sreqs_.emplace(req.id, &req);
@@ -54,7 +54,7 @@ void PipesChannel::start_send(SendReq& req) {
       });
     });
   } else {
-    ++rendezvous_sends_;
+    note_rendezvous_send(req.dst, req.len);
     sreqs_.emplace(req.id, &req);
     env.kind = static_cast<std::uint8_t>(EnvKind::kRts);
     pipes_.write(req.dst, pack(env), nullptr, 0, nullptr);

@@ -8,14 +8,19 @@ namespace sp::mpi {
 
 Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
     : cfg_(cfg), num_tasks_(num_tasks), backend_(backend) {
-  if (cfg_.trace_enabled) trace_ = std::make_unique<sim::Trace>();
+  if (cfg_.trace_enabled) trace_ = std::make_unique<sim::Trace>(cfg_.trace_max_events);
+  if (cfg_.telemetry_enabled) {
+    telemetry_ = std::make_unique<sim::Telemetry>(num_tasks_, cfg_.telemetry_ring_bytes);
+  }
   fabric_ = std::make_unique<net::SwitchFabric>(sim_, cfg_, num_tasks_);
+  fabric_->set_telemetry(telemetry_.get());
   lapi_group_ = std::make_unique<lapi::LapiGroup>(num_tasks_);
 
   for (int t = 0; t < num_tasks_; ++t) {
     auto n = std::make_unique<Node>();
     n->runtime = std::make_unique<sim::NodeRuntime>(sim_, cfg_, t);
     n->runtime->trace = trace_.get();
+    n->runtime->telemetry = telemetry_.get();
     n->hal = std::make_unique<hal::Hal>(*n->runtime, *fabric_);
     // Both transports always exist (the real SP ran them side by side); the
     // backend selects which one MPCI uses, and only the native stack enables
@@ -54,7 +59,12 @@ void Machine::run_threads(const std::function<void(int)>& body) {
   std::vector<std::unique_ptr<sim::RankThread>> threads;
   threads.reserve(static_cast<std::size_t>(num_tasks_));
   for (int t = 0; t < num_tasks_; ++t) {
-    threads.push_back(std::make_unique<sim::RankThread>(sim_, t, [&body, t] { body(t); }));
+    sim::NodeRuntime* nrt = nodes_[static_cast<std::size_t>(t)]->runtime.get();
+    threads.push_back(std::make_unique<sim::RankThread>(sim_, t, [&body, nrt, t] {
+      SP_TELEM(*nrt, sim::Ev::kRankStart, static_cast<std::uint64_t>(t));
+      body(t);
+      SP_TELEM(*nrt, sim::Ev::kRankFinish, static_cast<std::uint64_t>(t));
+    }));
     nodes_[static_cast<std::size_t>(t)]->runtime->thread = threads.back().get();
     sim::RankThread* rt = threads.back().get();
     sim_.after(0, [rt] { rt->resume_from_sim(); });
@@ -134,6 +144,43 @@ Machine::Stats Machine::stats() const {
   s.frames_recycled = fabric_->arena().recycled();
   s.frames_fresh = fabric_->arena().fresh();
   return s;
+}
+
+Machine::Stats Machine::stats_delta(const Stats& later, const Stats& earlier) noexcept {
+  Stats d;
+  d.packets_sent = later.packets_sent - earlier.packets_sent;
+  d.packets_received = later.packets_received - earlier.packets_received;
+  d.interrupts = later.interrupts - earlier.interrupts;
+  d.fabric_packets = later.fabric_packets - earlier.fabric_packets;
+  d.fabric_bytes = later.fabric_bytes - earlier.fabric_bytes;
+  d.fabric_dropped = later.fabric_dropped - earlier.fabric_dropped;
+  d.fabric_duplicated = later.fabric_duplicated - earlier.fabric_duplicated;
+  d.eager_sends = later.eager_sends - earlier.eager_sends;
+  d.rendezvous_sends = later.rendezvous_sends - earlier.rendezvous_sends;
+  d.early_arrivals = later.early_arrivals - earlier.early_arrivals;
+  d.lapi_messages = later.lapi_messages - earlier.lapi_messages;
+  d.lapi_retransmits = later.lapi_retransmits - earlier.lapi_retransmits;
+  d.lapi_duplicate_deliveries =
+      later.lapi_duplicate_deliveries - earlier.lapi_duplicate_deliveries;
+  d.lapi_acks = later.lapi_acks - earlier.lapi_acks;
+  d.pipes_retransmits = later.pipes_retransmits - earlier.pipes_retransmits;
+  d.pipes_duplicate_deliveries =
+      later.pipes_duplicate_deliveries - earlier.pipes_duplicate_deliveries;
+  d.pipes_acks = later.pipes_acks - earlier.pipes_acks;
+  d.completion_thread_dispatches =
+      later.completion_thread_dispatches - earlier.completion_thread_dispatches;
+  d.completion_inline_runs = later.completion_inline_runs - earlier.completion_inline_runs;
+  d.sim_events = later.sim_events - earlier.sim_events;
+  d.events_pushed = later.events_pushed - earlier.events_pushed;
+  d.events_popped = later.events_popped - earlier.events_popped;
+  d.actions_inline = later.actions_inline - earlier.actions_inline;
+  d.action_pool_hits = later.action_pool_hits - earlier.action_pool_hits;
+  d.action_pool_misses = later.action_pool_misses - earlier.action_pool_misses;
+  d.action_fallback_allocs = later.action_fallback_allocs - earlier.action_fallback_allocs;
+  d.frames_recycled = later.frames_recycled - earlier.frames_recycled;
+  d.frames_fresh = later.frames_fresh - earlier.frames_fresh;
+  d.hal_staged_bytes = later.hal_staged_bytes - earlier.hal_staged_bytes;
+  return d;
 }
 
 void Machine::print_stats(std::FILE* out) const {

@@ -96,11 +96,22 @@ class Machine {
     std::int64_t hal_staged_bytes = 0;      ///< Un-modeled host memcpy into send frames.
   };
   [[nodiscard]] Stats stats() const;
+  /// Field-wise `later - earlier`: attributes counter activity to the window
+  /// between two stats() samples (e.g. retransmits during one soak phase).
+  [[nodiscard]] static Stats stats_delta(const Stats& later, const Stats& earlier) noexcept;
+  /// stats() relative to a baseline sampled earlier in the same run.
+  [[nodiscard]] Stats stats_since(const Stats& baseline) const {
+    return stats_delta(stats(), baseline);
+  }
   /// Print a human-readable stats block to `out`.
   void print_stats(std::FILE* out) const;
 
   /// The machine-wide event timeline (null unless cfg.trace_enabled).
   [[nodiscard]] sim::Trace* trace() noexcept { return trace_.get(); }
+
+  /// Structured telemetry (null unless cfg.telemetry_enabled).
+  [[nodiscard]] sim::Telemetry* telemetry() noexcept { return telemetry_.get(); }
+  [[nodiscard]] const sim::Telemetry* telemetry() const noexcept { return telemetry_.get(); }
 
   // --- component access (tests, benches) ---
   [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
@@ -136,6 +147,7 @@ class Machine {
   Backend backend_;
   sim::Simulator sim_;
   std::unique_ptr<sim::Trace> trace_;
+  std::unique_ptr<sim::Telemetry> telemetry_;
   std::unique_ptr<net::SwitchFabric> fabric_;
   std::unique_ptr<lapi::LapiGroup> lapi_group_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -16,7 +16,41 @@ constexpr int kCollTagBase = 1 << 20;
   return cfg.copy_call_ns +
          static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
 }
+
+/// RAII scope turning one MPI public call into a kMpiEnter/kMpiExit telemetry
+/// span plus a Hist::kMpiCallNs sample. With telemetry disabled each end of
+/// the scope costs exactly one null test; nested calls (collectives issuing
+/// sends) nest correctly in the Chrome exporter.
+class MpiCallScope {
+ public:
+  MpiCallScope(sim::NodeRuntime& node, sim::MpiCall call) noexcept
+      : node_(node), call_(call) {
+    if (node_.telemetry != nullptr) {
+      start_ = node_.sim.now();
+      node_.telemetry->emit(start_, node_.node, sim::Ev::kMpiEnter,
+                            static_cast<std::uint64_t>(call_));
+    }
+  }
+  ~MpiCallScope() {
+    if (node_.telemetry != nullptr) {
+      const sim::TimeNs now = node_.sim.now();
+      const auto dur = static_cast<std::uint64_t>(now - start_);
+      node_.telemetry->emit(now, node_.node, sim::Ev::kMpiExit,
+                            static_cast<std::uint64_t>(call_), dur);
+      node_.telemetry->record_hist(sim::Hist::kMpiCallNs, node_.node, dur);
+    }
+  }
+  MpiCallScope(const MpiCallScope&) = delete;
+  MpiCallScope& operator=(const MpiCallScope&) = delete;
+
+ private:
+  sim::NodeRuntime& node_;
+  sim::MpiCall call_;
+  sim::TimeNs start_ = 0;
+};
 }  // namespace
+
+#define SP_MPI_CALL(name) MpiCallScope sp_mpi_call_scope_(node_, sim::MpiCall::name)
 
 Mpi::Mpi(sim::NodeRuntime& node, mpci::Channel& channel, int task_id, int num_tasks)
     : node_(node), channel_(channel), task_id_(task_id) {
@@ -88,6 +122,7 @@ void Mpi::wait_recv(mpci::RecvReq& req, Status* st) {
 
 void Mpi::send(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                const Comm& c) {
+  SP_MPI_CALL(kSend);
   mpci::SendReq req;
   start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kStandard,
                     /*blocking=*/true);
@@ -96,6 +131,7 @@ void Mpi::send(const void* buf, std::size_t count, Datatype d, int dst, int tag,
 
 void Mpi::ssend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                 const Comm& c) {
+  SP_MPI_CALL(kSsend);
   mpci::SendReq req;
   start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kSync,
                     /*blocking=*/true);
@@ -104,6 +140,7 @@ void Mpi::ssend(const void* buf, std::size_t count, Datatype d, int dst, int tag
 
 void Mpi::rsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                 const Comm& c) {
+  SP_MPI_CALL(kRsend);
   mpci::SendReq req;
   start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kReady,
                     /*blocking=*/true);
@@ -112,6 +149,7 @@ void Mpi::rsend(const void* buf, std::size_t count, Datatype d, int dst, int tag
 
 void Mpi::bsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                 const Comm& c) {
+  SP_MPI_CALL(kBsend);
   gc_orphans();
   auto req = std::make_unique<mpci::SendReq>();
   start_bsend(*req, buf, count * datatype_size(d), dst, tag, c, /*blocking=*/false);
@@ -120,6 +158,7 @@ void Mpi::bsend(const void* buf, std::size_t count, Datatype d, int dst, int tag
 
 void Mpi::recv(void* buf, std::size_t count, Datatype d, int src, int tag, const Comm& c,
                Status* st) {
+  SP_MPI_CALL(kRecv);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns);
   mpci::RecvReq req;
   req.ctx = c.ctx();
@@ -134,6 +173,7 @@ void Mpi::recv(void* buf, std::size_t count, Datatype d, int src, int tag, const
 void Mpi::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag, void* rbuf,
                    std::size_t rcount, int src, int rtag, Datatype d, const Comm& c,
                    Status* st) {
+  SP_MPI_CALL(kSendrecv);
   Request r = irecv(rbuf, rcount, d, src, rtag, c);
   send(sbuf, scount, d, dst, stag, c);
   wait(r, st);
@@ -141,6 +181,7 @@ void Mpi::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag, void
 
 Request Mpi::isend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                    const Comm& c) {
+  SP_MPI_CALL(kIsend);
   Request r;
   r.send_ = std::make_unique<mpci::SendReq>();
   start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c,
@@ -150,6 +191,7 @@ Request Mpi::isend(const void* buf, std::size_t count, Datatype d, int dst, int 
 
 Request Mpi::issend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                     const Comm& c) {
+  SP_MPI_CALL(kIssend);
   Request r;
   r.send_ = std::make_unique<mpci::SendReq>();
   start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kSync,
@@ -159,6 +201,7 @@ Request Mpi::issend(const void* buf, std::size_t count, Datatype d, int dst, int
 
 Request Mpi::irsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                     const Comm& c) {
+  SP_MPI_CALL(kIrsend);
   Request r;
   r.send_ = std::make_unique<mpci::SendReq>();
   start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kReady,
@@ -168,6 +211,7 @@ Request Mpi::irsend(const void* buf, std::size_t count, Datatype d, int dst, int
 
 Request Mpi::ibsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                     const Comm& c) {
+  SP_MPI_CALL(kIbsend);
   Request r;
   r.send_ = std::make_unique<mpci::SendReq>();
   start_bsend(*r.send_, buf, count * datatype_size(d), dst, tag, c, /*blocking=*/false);
@@ -175,6 +219,7 @@ Request Mpi::ibsend(const void* buf, std::size_t count, Datatype d, int dst, int
 }
 
 Request Mpi::irecv(void* buf, std::size_t count, Datatype d, int src, int tag, const Comm& c) {
+  SP_MPI_CALL(kIrecv);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns);
   Request r;
   r.recv_ = std::make_unique<mpci::RecvReq>();
@@ -208,6 +253,7 @@ void Mpi::finish_request(Request& r, Status* st) {
 }
 
 void Mpi::wait(Request& r, Status* st) {
+  SP_MPI_CALL(kWait);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   if (!r.send_ && !r.recv_) {
     // Inactive persistent requests complete immediately (MPI semantics).
@@ -234,6 +280,7 @@ bool Mpi::check_complete(Request& r) {
 }
 
 bool Mpi::test(Request& r, Status* st) {
+  SP_MPI_CALL(kTest);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   if (!r.send_ && !r.recv_) {
     assert(r.persistent() && "test on an inactive request");
@@ -245,12 +292,19 @@ bool Mpi::test(Request& r, Status* st) {
 }
 
 void Mpi::waitall(Request* reqs, std::size_t n) {
+  waitall(reqs, n, static_cast<Status*>(nullptr));
+}
+
+void Mpi::waitall(Request* reqs, std::size_t n, Status* sts) {
+  SP_MPI_CALL(kWaitall);
   for (std::size_t i = 0; i < n; ++i) {
-    if (reqs[i].valid()) wait(reqs[i]);
+    if (sts != nullptr) sts[i] = Status{};  // empty for sends / inactive
+    if (reqs[i].valid()) wait(reqs[i], sts != nullptr ? &sts[i] : nullptr);
   }
 }
 
 std::size_t Mpi::waitany(Request* reqs, std::size_t n, Status* st) {
+  SP_MPI_CALL(kWaitany);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   assert(node_.thread != nullptr);
   for (;;) {
@@ -279,12 +333,18 @@ std::size_t Mpi::waitany(Request* reqs, std::size_t n, Status* st) {
 }
 
 bool Mpi::testall(Request* reqs, std::size_t n) {
+  return testall(reqs, n, static_cast<Status*>(nullptr));
+}
+
+bool Mpi::testall(Request* reqs, std::size_t n, Status* sts) {
+  SP_MPI_CALL(kTestall);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   for (std::size_t i = 0; i < n; ++i) {
     if (reqs[i].valid() && !check_complete(reqs[i])) return false;
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (reqs[i].valid()) finish_request(reqs[i], nullptr);
+    if (sts != nullptr) sts[i] = Status{};  // empty for sends / inactive
+    if (reqs[i].valid()) finish_request(reqs[i], sts != nullptr ? &sts[i] : nullptr);
   }
   return true;
 }
@@ -294,11 +354,13 @@ bool Mpi::testall(Request* reqs, std::size_t n) {
 // ---------------------------------------------------------------------------
 
 bool Mpi::iprobe(int src, int tag, const Comm& c, Status* st) {
+  SP_MPI_CALL(kIprobe);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   return channel_.iprobe(c.ctx(), src, tag, st);
 }
 
 void Mpi::probe(int src, int tag, const Comm& c, Status* st) {
+  SP_MPI_CALL(kProbe);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   assert(node_.thread != nullptr);
   while (!channel_.iprobe(c.ctx(), src, tag, st)) {
@@ -384,6 +446,7 @@ Request Mpi::recv_init(void* buf, std::size_t count, Datatype d, int src, int ta
 }
 
 void Mpi::start(Request& r) {
+  SP_MPI_CALL(kStart);
   assert(r.persistent() && "start on a non-persistent request");
   assert(!r.send_ && !r.recv_ && "start on an already-active request");
   const auto& p = *r.persistent_;
@@ -441,6 +504,7 @@ void* Mpi::buffer_detach() {
 // ---------------------------------------------------------------------------
 
 void Mpi::barrier(const Comm& c) {
+  SP_MPI_CALL(kBarrier);
   const int n = c.size();
   if (n <= 1) return;
   const int tag = coll_tag();
@@ -456,6 +520,7 @@ void Mpi::barrier(const Comm& c) {
 }
 
 void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& c) {
+  SP_MPI_CALL(kBcast);
   const int n = c.size();
   if (n <= 1) return;
   const int tag = coll_tag();
@@ -482,6 +547,7 @@ void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& 
 
 void Mpi::reduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                  int root, const Comm& c) {
+  SP_MPI_CALL(kReduce);
   const int n = c.size();
   const std::size_t bytes = count * datatype_size(d);
   std::vector<std::byte> acc(bytes);
@@ -511,12 +577,14 @@ void Mpi::reduce(const void* sendb, void* recvb, std::size_t count, Datatype d, 
 
 void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                     const Comm& c) {
+  SP_MPI_CALL(kAllreduce);
   reduce(sendb, recvb, count, d, op, 0, c);
   bcast(recvb, count, d, 0, c);
 }
 
 void Mpi::gather(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
                  const Comm& c) {
+  SP_MPI_CALL(kGather);
   const std::size_t bytes = count * datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -535,6 +603,7 @@ void Mpi::gather(const void* sendb, std::size_t count, void* recvb, Datatype d, 
 
 void Mpi::scatter(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
                   const Comm& c) {
+  SP_MPI_CALL(kScatter);
   const std::size_t bytes = count * datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -553,6 +622,7 @@ void Mpi::scatter(const void* sendb, std::size_t count, void* recvb, Datatype d,
 
 void Mpi::allgather(const void* sendb, std::size_t count, void* recvb, Datatype d,
                     const Comm& c) {
+  SP_MPI_CALL(kAllgather);
   const int n = c.size();
   const std::size_t bytes = count * datatype_size(d);
   auto* out = static_cast<std::byte*>(recvb);
@@ -573,6 +643,7 @@ void Mpi::allgather(const void* sendb, std::size_t count, void* recvb, Datatype 
 
 void Mpi::alltoall(const void* sendb, std::size_t count, void* recvb, Datatype d,
                    const Comm& c) {
+  SP_MPI_CALL(kAlltoall);
   const int n = c.size();
   const std::size_t bytes = count * datatype_size(d);
   const auto* in = static_cast<const std::byte*>(sendb);
@@ -595,6 +666,7 @@ void Mpi::alltoall(const void* sendb, std::size_t count, void* recvb, Datatype d
 void Mpi::alltoallv(const void* sendb, const std::size_t* scounts, const std::size_t* sdispls,
                     void* recvb, const std::size_t* rcounts, const std::size_t* rdispls,
                     Datatype d, const Comm& c) {
+  SP_MPI_CALL(kAlltoallv);
   const int n = c.size();
   const std::size_t esz = datatype_size(d);
   const auto* in = static_cast<const std::byte*>(sendb);
@@ -615,6 +687,7 @@ void Mpi::alltoallv(const void* sendb, const std::size_t* scounts, const std::si
 
 void Mpi::scan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                const Comm& c) {
+  SP_MPI_CALL(kScan);
   const std::size_t bytes = count * datatype_size(d);
   const int me = c.rank();
   const int tag = coll_tag();
@@ -636,6 +709,7 @@ void Mpi::scan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op
 
 void Mpi::exscan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                  const Comm& c) {
+  SP_MPI_CALL(kExscan);
   const std::size_t bytes = count * datatype_size(d);
   const int me = c.rank();
   const int tag = coll_tag();
@@ -656,6 +730,7 @@ void Mpi::exscan(const void* sendb, void* recvb, std::size_t count, Datatype d, 
 void Mpi::gatherv(const void* sendb, std::size_t scount, void* recvb,
                   const std::size_t* rcounts, const std::size_t* displs, Datatype d, int root,
                   const Comm& c) {
+  SP_MPI_CALL(kGatherv);
   const std::size_t esz = datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -675,6 +750,7 @@ void Mpi::gatherv(const void* sendb, std::size_t scount, void* recvb,
 
 void Mpi::scatterv(const void* sendb, const std::size_t* scounts, const std::size_t* displs,
                    void* recvb, std::size_t rcount, Datatype d, int root, const Comm& c) {
+  SP_MPI_CALL(kScatterv);
   const std::size_t esz = datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -694,6 +770,7 @@ void Mpi::scatterv(const void* sendb, const std::size_t* scounts, const std::siz
 
 void Mpi::reduce_scatter_block(const void* sendb, void* recvb, std::size_t count, Datatype d,
                                Op op, const Comm& c) {
+  SP_MPI_CALL(kReduceScatter);
   const int n = c.size();
   std::vector<std::byte> full(count * static_cast<std::size_t>(n) * datatype_size(d));
   reduce(sendb, full.data(), count * static_cast<std::size_t>(n), d, op, 0, c);

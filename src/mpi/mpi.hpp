@@ -95,9 +95,16 @@ class Mpi {
   void wait(Request& r, Status* st = nullptr);
   [[nodiscard]] bool test(Request& r, Status* st = nullptr);
   void waitall(Request* reqs, std::size_t n);
+  /// Status-array overload: `sts[i]` receives the completion status of
+  /// `reqs[i]` (source/tag/count for receives, an empty status otherwise),
+  /// matching waitany's per-request behaviour.
+  void waitall(Request* reqs, std::size_t n, Status* sts);
   /// Blocks until one active request completes; returns its index.
   [[nodiscard]] std::size_t waitany(Request* reqs, std::size_t n, Status* st = nullptr);
   [[nodiscard]] bool testall(Request* reqs, std::size_t n);
+  /// Status-array overload: on a true return, `sts[i]` receives the
+  /// completion status of `reqs[i]`; on false nothing is consumed.
+  [[nodiscard]] bool testall(Request* reqs, std::size_t n, Status* sts);
 
   // --- probe ---
   void probe(int src, int tag, const Comm& c, Status* st);

@@ -1,11 +1,38 @@
 #include "nas/kernels.hpp"
 
+#include "sim/telemetry.hpp"
+
 namespace sp::nas {
 
+namespace {
+
+// Wraps a kernel in telemetry begin/end records (a0 = kernel id; a1 = scale
+// on begin, verified flag on end). Plain functions so KernelFn stays a raw
+// function pointer.
+template <KernelFn F, sim::NasKernel K>
+KernelResult traced(mpi::Mpi& mpi, int scale) {
+  sim::NodeRuntime& rt = mpi.node();
+  SP_TELEM(rt, sim::Ev::kKernelBegin, static_cast<std::uint64_t>(K),
+           static_cast<std::uint64_t>(scale));
+  KernelResult res = F(mpi, scale);
+  SP_TELEM(rt, sim::Ev::kKernelEnd, static_cast<std::uint64_t>(K),
+           res.verified ? 1u : 0u);
+  return res;
+}
+
+}  // namespace
+
 std::vector<std::pair<std::string, KernelFn>> all_kernels() {
+  using sim::NasKernel;
   return {
-      {"LU", &run_lu}, {"IS", &run_is}, {"CG", &run_cg}, {"BT", &run_bt},
-      {"FT", &run_ft}, {"EP", &run_ep}, {"MG", &run_mg}, {"SP", &run_sp},
+      {"LU", &traced<&run_lu, NasKernel::kLu>},
+      {"IS", &traced<&run_is, NasKernel::kIs>},
+      {"CG", &traced<&run_cg, NasKernel::kCg>},
+      {"BT", &traced<&run_bt, NasKernel::kBt>},
+      {"FT", &traced<&run_ft, NasKernel::kFt>},
+      {"EP", &traced<&run_ep, NasKernel::kEp>},
+      {"MG", &traced<&run_mg, NasKernel::kMg>},
+      {"SP", &traced<&run_sp, NasKernel::kSp>},
   };
 }
 

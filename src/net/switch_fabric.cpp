@@ -71,20 +71,28 @@ void SwitchFabric::inject(Packet&& pkt) {
   // Fault injection. Draw order is fixed (burst, drop, jitter, dup, dup
   // jitter) and each knob draws only when enabled, so a clean run consumes no
   // randomness and faulty runs are reproducible per seed.
+  const std::size_t bytes = pkt.wire_bytes();
   if (burst_left_[pair_idx] > 0) {
     --burst_left_[pair_idx];
     ++dropped_;
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(sim_.now(), pkt.src, sim::Ev::kPacketDrop,
+                       static_cast<std::uint64_t>(pkt.dst), bytes);
+    }
     arena_.release(std::move(pkt.frame));
     return;
   }
   if (cfg_.packet_drop_rate > 0.0 && rng_.chance(cfg_.packet_drop_rate)) {
     if (cfg_.burst_drop_len > 1) burst_left_[pair_idx] = cfg_.burst_drop_len - 1;
     ++dropped_;
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(sim_.now(), pkt.src, sim::Ev::kPacketDrop,
+                       static_cast<std::uint64_t>(pkt.dst), bytes);
+    }
     arena_.release(std::move(pkt.frame));
     return;
   }
 
-  const std::size_t bytes = pkt.wire_bytes();
   const int lsrc = leaf_of(pkt.src);
   const int ldst = leaf_of(pkt.dst);
   const auto up_idx = static_cast<std::size_t>(lsrc) * static_cast<std::size_t>(cfg_.num_routes) +
@@ -126,11 +134,19 @@ void SwitchFabric::inject(Packet&& pkt) {
     ++duplicated_;
     ++delivered_;
     bytes_ += static_cast<std::int64_t>(bytes);
+    if (telemetry_ != nullptr) {
+      telemetry_->emit(sim_.now(), copy.src, sim::Ev::kPacketDup,
+                       static_cast<std::uint64_t>(copy.dst), bytes);
+    }
     schedule_delivery(copy.dst, td, std::move(copy));
   }
 
   ++delivered_;
   bytes_ += static_cast<std::int64_t>(bytes);
+  if (telemetry_ != nullptr) {
+    telemetry_->emit(sim_.now(), pkt.src, sim::Ev::kPacketInject,
+                     static_cast<std::uint64_t>(pkt.dst), bytes);
+  }
   schedule_delivery(pkt.dst, t, std::move(pkt));
 }
 

@@ -28,6 +28,7 @@
 #include "sim/config.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 
 namespace sp::net {
 
@@ -53,6 +54,9 @@ class SwitchFabric {
 
   /// Next route index that inject() would use for the pair (diagnostics).
   [[nodiscard]] int peek_route(int src, int dst) const;
+
+  /// Wire structured telemetry (null disables; the fabric has no NodeRuntime).
+  void set_telemetry(sim::Telemetry* t) noexcept { telemetry_ = t; }
 
   /// The machine-wide frame recycler. Adapters acquire send frames from it
   /// and release frames after delivering them upward.
@@ -85,6 +89,7 @@ class SwitchFabric {
   std::vector<int> burst_left_;    // per (src,dst) remaining forced burst drops
   sim::Pcg32 rng_;
   FrameArena arena_;
+  sim::Telemetry* telemetry_ = nullptr;
 
   std::int64_t delivered_ = 0;
   std::int64_t dropped_ = 0;

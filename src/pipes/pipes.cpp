@@ -144,6 +144,7 @@ void Pipes::materialize_one(int dst, Out& o) {
   assert(sent && "pump() checked for HAL space");
   (void)sent;
   ++packets_sent_;
+  SP_TELEM(node_, sim::Ev::kPipeSend, static_cast<std::uint64_t>(dst), data_bytes);
 
   o.store.emplace(h.stream_off,
                   Stored{std::move(payload), modeled, h.stream_off + data_bytes, node_.sim.now()});
@@ -184,6 +185,7 @@ void Pipes::on_hal_packet(int src, std::span<const std::byte> bytes) {
     // coalesced to one immediate re-ack per burst (the rest fold into the
     // delayed flush) so a go-back-N train does not trigger an ack storm.
     ++duplicates_;
+    SP_TELEM(node_, sim::Ev::kPipeDupRecv, static_cast<std::uint64_t>(src), off);
     i.ack_pending = true;
     if (node_.sim.now() - i.last_reack_at >= node_.cfg.ack_delay_ns) {
       i.last_reack_at = node_.sim.now();
@@ -216,6 +218,7 @@ void Pipes::on_hal_packet(int src, std::span<const std::byte> bytes) {
     i.reorder.emplace(off, std::vector<std::byte>(body, body + len));
   }
 
+  SP_TELEM(node_, sim::Ev::kPipeDeliver, static_cast<std::uint64_t>(src), len);
   ++i.unacked_packets;
   i.ack_pending = true;
   if (i.unacked_packets >= node_.cfg.ack_every_packets) {
@@ -239,6 +242,7 @@ void Pipes::send_ack(int src) {
     i.ack_pending = false;
     i.acked_off = i.delivered_off;
     ++acks_sent_;
+    SP_TELEM(node_, sim::Ev::kPipeAck, static_cast<std::uint64_t>(src), i.delivered_off);
   } else {
     // HAL full: the ack stays owed. ack_pending (not unacked_packets) records
     // the debt so a duplicate re-ack is retried too, instead of leaving the
@@ -280,6 +284,7 @@ void Pipes::schedule_retransmit(int dst) {
         if (hal_.send_packet(dst, hal::kProtoPipes, s.payload, s.modeled)) {
           s.sent_at = node_.sim.now();
           ++retransmits_;
+          SP_TELEM(node_, sim::Ev::kPipeRetransmit, static_cast<std::uint64_t>(dst), off);
         } else {
           break;
         }

@@ -142,6 +142,16 @@ struct MachineConfig {
   TimeNs spin_check_ns = 500;
   /// Record a protocol-event timeline (Machine::trace()); off by default.
   bool trace_enabled = false;
+  /// Cap on retained legacy-trace events; the excess is counted as dropped
+  /// (Trace::dropped()) instead of growing the host heap without bound.
+  std::size_t trace_max_events = std::size_t{1} << 20;
+  /// Record structured telemetry (Machine::telemetry()); off by default.
+  /// Costs one branch per emission site when off and draws no randomness
+  /// either way, so simulated timelines are identical on or off.
+  bool telemetry_enabled = false;
+  /// Byte cap for the telemetry ring buffer (32-byte records; oldest records
+  /// are overwritten beyond the cap and counted as dropped).
+  std::size_t telemetry_ring_bytes = 4 * 1024 * 1024;
 
   // --- Testbed presets (§1: the two SP node/adapter generations) -----------
   /// 332 MHz Power-PC SMP nodes with the TBMX adapter — the paper's

@@ -6,6 +6,7 @@
 #include "sim/config.hpp"
 #include "sim/rank_thread.hpp"
 #include "sim/simulator.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/trace.hpp"
 #include "sim/wake_gate.hpp"
 
@@ -29,6 +30,9 @@ struct NodeRuntime {
   RankThread* thread = nullptr;
   /// Optional event timeline (shared across the machine); null = disabled.
   Trace* trace = nullptr;
+  /// Optional structured telemetry (shared across the machine); null =
+  /// disabled. Emit through SP_TELEM/SP_TELEM_HIST (telemetry.hpp).
+  Telemetry* telemetry = nullptr;
 
   /// Emit a trace event if tracing is enabled. `make_detail` is only invoked
   /// when it is, so call sites pay nothing otherwise.

@@ -1,0 +1,290 @@
+#include "sim/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+
+namespace sp::sim {
+namespace {
+
+struct EvInfo {
+  const char* name;
+  Layer layer;
+};
+
+constexpr std::array<EvInfo, kNumEvents> kEvInfo = {{
+    {"sim.rank_start", Layer::kSim},
+    {"sim.rank_finish", Layer::kSim},
+    {"net.inject", Layer::kNet},
+    {"net.drop", Layer::kNet},
+    {"net.dup", Layer::kNet},
+    {"hal.dma_start", Layer::kHal},
+    {"hal.dma_end", Layer::kHal},
+    {"hal.recv_dma", Layer::kHal},
+    {"hal.deliver", Layer::kHal},
+    {"hal.irq_enter", Layer::kHal},
+    {"hal.irq_exit", Layer::kHal},
+    {"pipes.send", Layer::kPipes},
+    {"pipes.deliver", Layer::kPipes},
+    {"pipes.retransmit", Layer::kPipes},
+    {"pipes.ack", Layer::kPipes},
+    {"pipes.dup_recv", Layer::kPipes},
+    {"lapi.amsend", Layer::kLapi},
+    {"lapi.header_handler", Layer::kLapi},
+    {"lapi.completion.inline", Layer::kLapi},
+    {"lapi.completion.thread", Layer::kLapi},
+    {"lapi.retransmit", Layer::kLapi},
+    {"lapi.ack", Layer::kLapi},
+    {"lapi.dup_recv", Layer::kLapi},
+    {"mpci.match", Layer::kMpci},
+    {"mpci.early_arrival", Layer::kMpci},
+    {"mpci.eager_send", Layer::kMpci},
+    {"mpci.rendezvous_send", Layer::kMpci},
+    {"mpi.enter", Layer::kMpi},
+    {"mpi.exit", Layer::kMpi},
+    {"nas.kernel_begin", Layer::kNas},
+    {"nas.kernel_end", Layer::kNas},
+}};
+
+constexpr std::array<const char*, kNumLayers> kLayerNames = {
+    "sim", "net", "hal", "pipes", "lapi", "mpci", "mpi", "nas"};
+
+constexpr std::array<const char*, kNumMpiCalls> kMpiCallNames = {
+    "MPI_Send",     "MPI_Ssend",    "MPI_Rsend",    "MPI_Bsend",   "MPI_Recv",
+    "MPI_Sendrecv", "MPI_Isend",    "MPI_Issend",   "MPI_Irsend",  "MPI_Ibsend",
+    "MPI_Irecv",    "MPI_Wait",     "MPI_Test",     "MPI_Waitall", "MPI_Waitany",
+    "MPI_Testall",  "MPI_Probe",    "MPI_Iprobe",   "MPI_Barrier", "MPI_Bcast",
+    "MPI_Reduce",   "MPI_Allreduce", "MPI_Gather",  "MPI_Scatter", "MPI_Allgather",
+    "MPI_Alltoall", "MPI_Alltoallv", "MPI_Scan",    "MPI_Exscan",  "MPI_Gatherv",
+    "MPI_Scatterv", "MPI_Reduce_scatter", "MPI_Start"};
+
+constexpr std::array<const char*, 8> kNasKernelNames = {"EP", "IS", "CG", "MG",
+                                                        "FT", "LU", "BT", "SP"};
+
+constexpr std::array<const char*, kNumHists> kHistNames = {
+    "mpi_call_ns", "irq_service_ns", "match_scanned", "msg_bytes"};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= v & 0xffU;
+    h *= kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+/// Span-style events become B/E pairs in the Chrome exporter; everything else
+/// is an instant event.
+bool is_begin(Ev e) noexcept { return e == Ev::kMpiEnter || e == Ev::kKernelBegin; }
+bool is_end(Ev e) noexcept { return e == Ev::kMpiExit || e == Ev::kKernelEnd; }
+
+/// Chrome span name for a B/E record: the MPI call or NAS kernel in a0.
+const char* span_name(const TraceRecord& r) noexcept {
+  const Ev e = static_cast<Ev>(r.event);
+  if (e == Ev::kMpiEnter || e == Ev::kMpiExit) {
+    return r.a0 < static_cast<std::uint64_t>(kNumMpiCalls)
+               ? kMpiCallNames[static_cast<std::size_t>(r.a0)]
+               : "MPI_?";
+  }
+  return r.a0 < kNasKernelNames.size() ? kNasKernelNames[static_cast<std::size_t>(r.a0)]
+                                       : "NAS_?";
+}
+
+}  // namespace
+
+const char* layer_name(Layer l) noexcept {
+  return kLayerNames[static_cast<std::size_t>(l)];
+}
+
+const char* event_name(Ev e) noexcept {
+  return kEvInfo[static_cast<std::size_t>(e)].name;
+}
+
+Layer event_layer(Ev e) noexcept {
+  return kEvInfo[static_cast<std::size_t>(e)].layer;
+}
+
+const char* mpi_call_name(MpiCall c) noexcept {
+  return kMpiCallNames[static_cast<std::size_t>(c)];
+}
+
+const char* nas_kernel_name(NasKernel k) noexcept {
+  return kNasKernelNames[static_cast<std::size_t>(k)];
+}
+
+const char* hist_name(Hist h) noexcept {
+  return kHistNames[static_cast<std::size_t>(h)];
+}
+
+Telemetry::Telemetry(int num_nodes, std::size_t ring_bytes)
+    : num_nodes_(num_nodes),
+      ring_(std::max<std::size_t>(1, ring_bytes / sizeof(TraceRecord))),
+      counters_(static_cast<std::size_t>(num_nodes) * kNumEvents, 0),
+      hist_(static_cast<std::size_t>(num_nodes) * kNumHists * kHistBuckets, 0) {}
+
+std::uint64_t Telemetry::counter_total(Ev e) const noexcept {
+  std::uint64_t total = 0;
+  for (int n = 0; n < num_nodes_; ++n) total += counters_[counter_index(n, e)];
+  return total;
+}
+
+std::vector<TraceRecord> Telemetry::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  const std::size_t start = full() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::size_t idx = start + i;
+    if (idx >= ring_.size()) idx -= ring_.size();
+    out.push_back(ring_[idx]);
+  }
+  return out;
+}
+
+std::uint64_t Telemetry::digest() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  const std::size_t start = full() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    std::size_t idx = start + i;
+    if (idx >= ring_.size()) idx -= ring_.size();
+    const TraceRecord& r = ring_[idx];
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.t));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(r.node));
+    h = fnv1a_u64(h, r.event);
+    h = fnv1a_u64(h, r.a0);
+    h = fnv1a_u64(h, r.a1);
+  }
+  return fnv1a_u64(h, dropped_);
+}
+
+Telemetry::Snapshot Telemetry::snapshot() const {
+  Snapshot s;
+  s.emitted = emitted_;
+  s.dropped = dropped_;
+  s.counters = counters_;
+  s.hist = hist_;
+  return s;
+}
+
+Telemetry::Snapshot Telemetry::delta(const Snapshot& later, const Snapshot& earlier) {
+  Snapshot d;
+  d.emitted = later.emitted - earlier.emitted;
+  d.dropped = later.dropped - earlier.dropped;
+  d.counters.resize(later.counters.size());
+  for (std::size_t i = 0; i < later.counters.size(); ++i) {
+    d.counters[i] = later.counters[i] - (i < earlier.counters.size() ? earlier.counters[i] : 0);
+  }
+  d.hist.resize(later.hist.size());
+  for (std::size_t i = 0; i < later.hist.size(); ++i) {
+    d.hist[i] = later.hist[i] - (i < earlier.hist.size() ? earlier.hist[i] : 0);
+  }
+  return d;
+}
+
+void Telemetry::export_chrome_json(std::FILE* out) const {
+  std::fprintf(out, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) std::fputc(',', out);
+    first = false;
+    std::fputc('\n', out);
+  };
+  // Metadata: name the processes (nodes) and threads (layers).
+  for (int n = 0; n < num_nodes_; ++n) {
+    sep();
+    std::fprintf(out,
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                 "\"args\":{\"name\":\"node%d\"}}",
+                 n, n);
+    for (int l = 0; l < kNumLayers; ++l) {
+      sep();
+      std::fprintf(out,
+                   "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                   "\"args\":{\"name\":\"%s\"}}",
+                   n, l, kLayerNames[static_cast<std::size_t>(l)]);
+    }
+  }
+  // Timestamps are microseconds (Chrome's unit); %.3f keeps ns resolution.
+  for (const TraceRecord& r : records()) {
+    const Ev e = static_cast<Ev>(r.event);
+    const double ts_us = static_cast<double>(r.t) / 1000.0;
+    sep();
+    if (is_begin(e) || is_end(e)) {
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
+                   "\"args\":{\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}}",
+                   span_name(r), is_begin(e) ? 'B' : 'E', ts_us, r.node, r.layer, r.a0,
+                   r.a1);
+    } else {
+      std::fprintf(out,
+                   "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":%d,"
+                   "\"tid\":%d,\"args\":{\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}}",
+                   event_name(e), ts_us, r.node, r.layer, r.a0, r.a1);
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+}
+
+void Telemetry::export_csv(std::FILE* out) const {
+  std::fprintf(out, "t_ns,node,layer,event,a0,a1\n");
+  for (const TraceRecord& r : records()) {
+    std::fprintf(out, "%" PRId64 ",%d,%s,%s,%" PRIu64 ",%" PRIu64 "\n",
+                 static_cast<std::int64_t>(r.t), r.node,
+                 kLayerNames[static_cast<std::size_t>(r.layer)],
+                 event_name(static_cast<Ev>(r.event)), r.a0, r.a1);
+  }
+}
+
+void Telemetry::export_text(std::FILE* out) const {
+  for (const TraceRecord& r : records()) {
+    std::fprintf(out, "%12.3f  n%-3d %-24s a0=%" PRIu64 " a1=%" PRIu64 "\n", to_us(r.t),
+                 r.node, event_name(static_cast<Ev>(r.event)), r.a0, r.a1);
+  }
+  if (dropped_ > 0) {
+    std::fprintf(out, "(%" PRIu64 " older records dropped by the ring buffer)\n",
+                 dropped_);
+  }
+}
+
+void Telemetry::print_metrics(std::FILE* out) const {
+  std::fprintf(out,
+               "telemetry: %" PRIu64 " records emitted, %" PRIu64
+               " dropped (ring %zu records / %zu bytes)\n",
+               emitted_, dropped_, ring_.size(), ring_.size() * sizeof(TraceRecord));
+  std::fprintf(out, "\n%-24s %12s", "counter", "total");
+  for (int n = 0; n < num_nodes_; ++n) std::fprintf(out, " %10s%d", "n", n);
+  std::fputc('\n', out);
+  for (int e = 0; e < kNumEvents; ++e) {
+    const Ev ev = static_cast<Ev>(e);
+    if (counter_total(ev) == 0) continue;
+    std::fprintf(out, "%-24s %12" PRIu64, event_name(ev), counter_total(ev));
+    for (int n = 0; n < num_nodes_; ++n) {
+      std::fprintf(out, " %11" PRIu64, counter(n, ev));
+    }
+    std::fputc('\n', out);
+  }
+  for (int h = 0; h < kNumHists; ++h) {
+    const Hist hist = static_cast<Hist>(h);
+    // Aggregate across nodes; print occupied buckets only.
+    std::array<std::uint64_t, kHistBuckets> agg{};
+    std::uint64_t total = 0;
+    for (int n = 0; n < num_nodes_; ++n) {
+      for (int b = 0; b < kHistBuckets; ++b) {
+        agg[static_cast<std::size_t>(b)] += hist_count(n, hist, b);
+        total += hist_count(n, hist, b);
+      }
+    }
+    if (total == 0) continue;
+    std::fprintf(out, "\nhist %s (%" PRIu64 " samples, bucket floor: count)\n",
+                 hist_name(hist), total);
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (agg[static_cast<std::size_t>(b)] == 0) continue;
+      std::fprintf(out, "  >=%-12" PRIu64 " %" PRIu64 "\n", hist_bucket_floor(b),
+                   agg[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+}  // namespace sp::sim

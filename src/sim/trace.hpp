@@ -8,6 +8,7 @@
 // call site.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -19,6 +20,11 @@ namespace sp::sim {
 
 class Trace {
  public:
+  /// Retained-event cap when none is given (MachineConfig::trace_max_events
+  /// overrides). A traced fault soak or long NAS run would otherwise grow the
+  /// timeline without bound and exhaust host memory.
+  static constexpr std::size_t kDefaultMaxEvents = std::size_t{1} << 20;
+
   struct Event {
     TimeNs t;
     int node;
@@ -26,11 +32,20 @@ class Trace {
     std::string detail;
   };
 
+  explicit Trace(std::size_t max_events = kDefaultMaxEvents) : max_events_(max_events) {}
+
   void emit(TimeNs t, int node, const char* category, std::string detail) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;  // Bounded: keep the run's prefix, count what we shed.
+      return;
+    }
     events_.push_back(Event{t, node, category, std::move(detail)});
   }
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }
+
+  [[nodiscard]] std::size_t max_events() const noexcept { return max_events_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   [[nodiscard]] std::size_t count(std::string_view category) const {
     std::size_t n = 0;
@@ -40,7 +55,10 @@ class Trace {
     return n;
   }
 
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// One line per event: "<time_us> n<node> <category> <detail>".
   void dump(std::FILE* out) const {
@@ -51,6 +69,8 @@ class Trace {
   }
 
  private:
+  std::size_t max_events_;
+  std::uint64_t dropped_ = 0;
   std::vector<Event> events_;
 };
 

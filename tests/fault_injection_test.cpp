@@ -157,6 +157,10 @@ TEST(FaultSoakNas, KernelsVerifyUnderLoss) {
       for (auto& [name, fn] : sp::nas::all_kernels()) {
         if (!soak_mode() && ++ran > 2) break;  // soak runs every kernel
         MachineConfig cfg = lossy_config(drop);
+        // Telemetry with a deliberately small ring: the byte cap must hold
+        // however much a lossy run emits, and must not perturb recovery.
+        cfg.telemetry_enabled = true;
+        cfg.telemetry_ring_bytes = 64 * 1024;
         Machine m(cfg, 4, b);
         sp::nas::KernelResult res;
         m.run([&, f = fn](Mpi& mpi) {
@@ -165,6 +169,7 @@ TEST(FaultSoakNas, KernelsVerifyUnderLoss) {
         });
         EXPECT_TRUE(res.verified)
             << name << " on " << sp::mpi::backend_name(b) << " at drop=" << drop;
+        EXPECT_LE(m.telemetry()->ring_bytes_in_use(), cfg.telemetry_ring_bytes);
         expect_bounded_recovery(m);
       }
     }

@@ -242,6 +242,89 @@ TEST_P(ExtBackends, TestallCompletesAllOrNothing) {
   });
 }
 
+TEST_P(ExtBackends, TestallStatusArrayOnOutOfOrderCompletions) {
+  MachineConfig cfg;
+  Machine m(cfg, 3, GetParam());
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      // Senders complete out of posting order (rank 1 delays), and the array
+      // mixes receives with a send: statuses must line up index-by-index.
+      int a[2] = {0, 0}, b = 0;
+      int out = 99;
+      Request rs[3];
+      rs[0] = mpi.irecv(a, 2, Datatype::kInt, 1, 5, w);
+      rs[1] = mpi.irecv(&b, 1, Datatype::kInt, 2, 7, w);
+      rs[2] = mpi.isend(&out, 1, Datatype::kInt, 2, 9, w);
+      Status sts[3];
+      int spins = 0;
+      while (!mpi.testall(rs, 3, sts)) {
+        mpi.compute(20 * sim::kUs);
+        ASSERT_LT(++spins, 100000);
+      }
+      EXPECT_EQ(sts[0].source, 1);
+      EXPECT_EQ(sts[0].tag, 5);
+      EXPECT_EQ(Mpi::get_count(sts[0], Datatype::kInt), 2u);
+      EXPECT_EQ(a[0] + a[1], 33);
+      EXPECT_EQ(sts[1].source, 2);
+      EXPECT_EQ(sts[1].tag, 7);
+      EXPECT_EQ(Mpi::get_count(sts[1], Datatype::kInt), 1u);
+      EXPECT_EQ(b, 44);
+      // The send slot gets an empty status, not a stale or garbage one.
+      EXPECT_EQ(sts[2].source, mpci::kAnySource);
+      EXPECT_EQ(sts[2].tag, mpci::kAnyTag);
+      EXPECT_EQ(sts[2].len, 0u);
+    } else if (w.rank() == 1) {
+      mpi.compute(5 * sim::kMs);  // rank 2's message arrives first
+      int v[2] = {11, 22};
+      mpi.send(v, 2, Datatype::kInt, 0, 5, w);
+    } else {
+      int v = 44;
+      mpi.send(&v, 1, Datatype::kInt, 0, 7, w);
+      int in = 0;
+      mpi.recv(&in, 1, Datatype::kInt, 0, 9, w);
+      EXPECT_EQ(in, 99);
+    }
+  });
+}
+
+TEST_P(ExtBackends, WaitallStatusArrayOnOutOfOrderCompletions) {
+  MachineConfig cfg;
+  Machine m(cfg, 3, GetParam());
+  m.run([](Mpi& mpi) {
+    Comm& w = mpi.world();
+    if (w.rank() == 0) {
+      int a = 0;
+      long b[3] = {0, 0, 0};
+      Request rs[3];
+      rs[0] = mpi.irecv(&a, 1, Datatype::kInt, 1, 3, w);
+      rs[1] = mpi.irecv(b, 3, Datatype::kLong, 2, 4, w);
+      rs[2] = Request{};  // inactive slot must yield an empty status
+      Status sts[3];
+      mpi.waitall(rs, 3, sts);
+      EXPECT_EQ(sts[0].source, 1);
+      EXPECT_EQ(sts[0].tag, 3);
+      EXPECT_EQ(Mpi::get_count(sts[0], Datatype::kInt), 1u);
+      EXPECT_EQ(a, 7);
+      EXPECT_EQ(sts[1].source, 2);
+      EXPECT_EQ(sts[1].tag, 4);
+      EXPECT_EQ(Mpi::get_count(sts[1], Datatype::kLong), 3u);
+      EXPECT_EQ(b[0] + b[1] + b[2], 60);
+      EXPECT_EQ(sts[2].source, mpci::kAnySource);
+      EXPECT_EQ(sts[2].len, 0u);
+      EXPECT_FALSE(rs[0].valid());
+      EXPECT_FALSE(rs[1].valid());
+    } else if (w.rank() == 1) {
+      mpi.compute(5 * sim::kMs);  // completes after rank 2
+      int v = 7;
+      mpi.send(&v, 1, Datatype::kInt, 0, 3, w);
+    } else {
+      long v[3] = {10, 20, 30};
+      mpi.send(v, 3, Datatype::kLong, 0, 4, w);
+    }
+  });
+}
+
 // --- scan / exscan / gatherv / scatterv ---------------------------------------
 
 TEST_P(ExtBackends, ScanComputesInclusivePrefix) {

@@ -9,6 +9,7 @@
 //   spsim nas       [options]          NAS mini-kernel table
 //   spsim stats     [options]          one ping-pong with full statistics
 //   spsim trace     [options]          dump a protocol-event timeline
+//   spsim metrics   [options]          telemetry counters + histograms
 //
 // Options:
 //   --backend native|base|counters|enhanced   (default enhanced)
@@ -24,9 +25,12 @@
 //   --scale N          NAS problem scale (default 2)
 //   --testbed tbmx|tb3 node/adapter generation (default tbmx)
 //   --csv              machine-readable output
+//   --format text|json|csv   trace export format (default text)
+//   --out FILE         write the trace there instead of stdout
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,14 +56,16 @@ struct Options {
   int scale = 2;
   bool tb3 = false;
   bool csv = false;
+  std::string format = "text";
+  std::string out;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace [--backend "
+               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics [--backend "
                "native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
                "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
-               "[--seed S] [--scale N] [--csv]\n");
+               "[--seed S] [--scale N] [--csv] [--format text|json|csv] [--out FILE]\n");
   std::exit(2);
 }
 
@@ -76,8 +82,17 @@ Options parse(int argc, char** argv) {
   if (argc < 2) usage();
   o.cmd = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inline_val;
+    bool has_inline = false;
+    if (const auto eq = a.find('='); eq != std::string::npos) {
+      inline_val = a.substr(eq + 1);
+      a.erase(eq);
+      has_inline = true;
+    }
     auto next = [&]() -> const char* {
+      if (has_inline) return inline_val.c_str();
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
@@ -109,6 +124,11 @@ Options parse(int argc, char** argv) {
       else if (t != "tbmx") usage();
     } else if (a == "--csv") {
       o.csv = true;
+    } else if (a == "--format") {
+      o.format = next();
+      if (o.format != "text" && o.format != "json" && o.format != "csv") usage();
+    } else if (a == "--out") {
+      o.out = next();
     } else {
       usage();
     }
@@ -189,13 +209,15 @@ int cmd_nas(const Options& o) {
   return 0;
 }
 
-int cmd_trace(const Options& o) {
+// Shared by trace/metrics: one message exchange with both trace systems on.
+std::unique_ptr<mpi::Machine> traced_run(const Options& o) {
   auto cfg = make_config(o);
   cfg.trace_enabled = true;
+  cfg.telemetry_enabled = true;
   const int nodes = o.nodes > 0 ? o.nodes : 2;
   const std::size_t size = o.size > 0 ? o.size : 1024;
-  mpi::Machine m(cfg, nodes, o.backend);
-  m.run([&](mpi::Mpi& mpi) {
+  auto m = std::make_unique<mpi::Machine>(cfg, nodes, o.backend);
+  m->run([&](mpi::Mpi& mpi) {
     auto& w = mpi.world();
     std::vector<std::byte> buf(size);
     if (w.rank() == 0) {
@@ -204,7 +226,34 @@ int cmd_trace(const Options& o) {
       mpi.recv(buf.data(), size, mpi::Datatype::kByte, 0, 0, w);
     }
   });
-  m.trace()->dump(stdout);
+  return m;
+}
+
+int cmd_trace(const Options& o) {
+  auto m = traced_run(o);
+  std::FILE* out = stdout;
+  if (!o.out.empty()) {
+    out = std::fopen(o.out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "spsim: cannot open %s\n", o.out.c_str());
+      return 1;
+    }
+  }
+  if (o.format == "json") {
+    m->telemetry()->export_chrome_json(out);
+  } else if (o.format == "csv") {
+    m->telemetry()->export_csv(out);
+  } else {
+    m->trace()->dump(out);
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int cmd_metrics(const Options& o) {
+  auto m = traced_run(o);
+  m->telemetry()->print_metrics(stdout);
+  m->print_stats(stdout);
   return 0;
 }
 
@@ -239,5 +288,6 @@ int main(int argc, char** argv) {
   if (o.cmd == "nas") return cmd_nas(o);
   if (o.cmd == "stats") return cmd_stats(o);
   if (o.cmd == "trace") return cmd_trace(o);
+  if (o.cmd == "metrics") return cmd_metrics(o);
   usage();
 }
