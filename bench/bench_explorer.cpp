@@ -1,0 +1,49 @@
+// bench_explorer: wall-clock throughput of the differential conformance
+// explorer (DESIGN.md §11).
+//
+// Reports host-side seeds/second for the standard 4-node sweep (each seed is
+// two full Machine runs, Pipes + enhanced LAPI) and for a perturbation-heavy
+// variant where every seed carries fault knobs. This bounds how wide the
+// nightly sweep can go inside its CI budget and tracks regressions in the
+// explorer's own overhead (workload build, digest folds, invariant checks)
+// on top of the simulator hot path that bench_simcore measures.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/explorer.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double sweep_rate(int seeds, int nodes, int msgs) {
+  sp::sim::Explorer::Options opts;
+  opts.nodes = nodes;
+  opts.msgs_per_rank = msgs;
+  opts.seeds = seeds;
+  sp::sim::Explorer ex(opts);
+  const auto t0 = Clock::now();
+  const auto rep = ex.explore();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!rep.mismatches.empty()) {
+    std::fprintf(stderr, "unexpected mismatch during benchmark: %s\n",
+                 rep.mismatches[0].token.c_str());
+    std::exit(1);
+  }
+  return static_cast<double>(rep.seeds_run) / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 128;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) seeds = std::atoi(argv[++i]);
+  }
+  std::printf("workload                seeds    seeds/sec\n");
+  std::printf("explore_4n_default      %5d    %9.1f\n", seeds, sweep_rate(seeds, 4, 12));
+  std::printf("explore_8n_default      %5d    %9.1f\n", seeds / 2, sweep_rate(seeds / 2, 8, 8));
+  return 0;
+}

@@ -444,6 +444,14 @@ std::int64_t Lapi::acks_sent() const {
   return sum;
 }
 
+std::int64_t Lapi::reacks_coalesced() const {
+  std::int64_t sum = 0;
+  for (const auto& l : links_) {
+    if (l) sum += l->reacks_coalesced();
+  }
+  return sum;
+}
+
 // --------------------------------------------------------------------------
 // Target-side dispatch
 // --------------------------------------------------------------------------

@@ -195,6 +195,8 @@ class Lapi {
   [[nodiscard]] std::int64_t link_packets_sent() const;
   /// Transport acks this task's links put on the wire.
   [[nodiscard]] std::int64_t acks_sent() const;
+  /// Duplicate deliveries folded into delayed ack flushes (re-ack coalescing).
+  [[nodiscard]] std::int64_t reacks_coalesced() const;
 
   /// Test hook: the reliable link toward `peer` (sequence-wrap tests).
   [[nodiscard]] ReliableLink& link_for_test(int peer) { return link(peer); }

@@ -125,11 +125,15 @@ bool ReliableLink::accept(std::uint32_t seq_wire) {
     // Re-advertise our cumulative position so the origin's retransmit loop
     // terminates, but coalesce: a go-back-N burst of N duplicates earns one
     // immediate re-ack; the rest fold into the delayed flush.
-    if (node_.sim.now() - last_reack_at_ >= node_.cfg.ack_delay_ns) {
+    // debug_disable_reack_coalescing re-introduces the PR 2 ack storm for the
+    // conformance explorer's self-test; it must never be set otherwise.
+    if (node_.cfg.debug_disable_reack_coalescing ||
+        node_.sim.now() - last_reack_at_ >= node_.cfg.ack_delay_ns) {
       last_reack_at_ = node_.sim.now();
       ack_pending_ = true;
       send_ack();
     } else {
+      ++reacks_coalesced_;
       ack_pending_ = true;
       schedule_ack_flush();
     }

@@ -64,6 +64,10 @@ class ReliableLink {
   [[nodiscard]] std::int64_t packets_sent() const noexcept { return data_packets_sent_; }
   [[nodiscard]] std::int64_t duplicates() const noexcept { return duplicates_; }
   [[nodiscard]] std::int64_t acks_sent() const noexcept { return acks_sent_; }
+  /// Duplicate deliveries folded into the delayed ack flush instead of each
+  /// earning an immediate re-ack (the PR 2 coalescing fix at work; the
+  /// conformance explorer asserts this stays proportional to duplicates).
+  [[nodiscard]] std::int64_t reacks_coalesced() const noexcept { return reacks_coalesced_; }
 
   /// Test hook: start both reliability cursors at `base` as if `base` packets
   /// had already been exchanged (exercises 32-bit wire wrap). Call on the
@@ -126,6 +130,7 @@ class ReliableLink {
   std::int64_t data_packets_sent_ = 0;
   std::int64_t duplicates_ = 0;
   std::int64_t acks_sent_ = 0;
+  std::int64_t reacks_coalesced_ = 0;
 };
 
 }  // namespace sp::lapi

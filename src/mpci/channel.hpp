@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "mpci/bsend_pool.hpp"
 #include "mpci/request.hpp"
@@ -53,6 +55,23 @@ class Channel {
   /// Notified (through the wake gate) whenever a new envelope becomes
   /// matchable — MPI_Probe blocks on this.
   [[nodiscard]] sim::SimCondition& arrival_cond() noexcept { return arrival_cond_; }
+
+  /// One completed receive, as observed by the conformance explorer. The
+  /// per-(ctx, src) envelope sequence identifies the message, so grouping
+  /// records by (ctx, src, tag) and sorting by seq recovers the match order
+  /// MPI non-overtaking mandates — a channel-invariant observable, unlike the
+  /// global cross-source completion interleaving.
+  struct MatchRecord {
+    std::uint16_t ctx = 0;
+    std::uint16_t src = 0;
+    std::int32_t tag = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t len = 0;
+  };
+
+  /// Record every receive completion into `log` (null disables; the default).
+  /// The log must outlive the channel's traffic.
+  void set_match_log(std::vector<MatchRecord>* log) noexcept { match_log_ = log; }
 
  protected:
   /// Channels call this when a new unexpected envelope becomes matchable.
@@ -103,6 +122,12 @@ class Channel {
     SP_TELEM_HIST(node_, sim::Hist::kMsgBytes, bytes);
   }
 
+  /// Channels call this as a receive completes (one call per completed recv).
+  void note_recv_complete(std::uint16_t ctx, std::uint16_t src, std::int32_t tag,
+                          std::uint32_t seq, std::uint32_t len) {
+    if (match_log_ != nullptr) match_log_->push_back(MatchRecord{ctx, src, tag, seq, len});
+  }
+
   /// Early-arrival buffer accounting; throws FatalMpiError on exhaustion.
   void ea_reserve(std::size_t bytes) {
     if (ea_bytes_ + bytes > node_.cfg.early_arrival_bytes) {
@@ -117,6 +142,7 @@ class Channel {
   sim::NodeRuntime& node_;
   BsendPool bsend_;
   sim::SimCondition arrival_cond_;
+  std::vector<MatchRecord>* match_log_ = nullptr;
   std::int64_t eager_sends_ = 0;
   std::int64_t rendezvous_sends_ = 0;
   std::int64_t early_arrivals_ = 0;

@@ -488,6 +488,7 @@ void LapiChannel::publish_recv_complete(RecvReq& req, const Envelope& env) {
     req.truncated = env.len > req.cap;
     req.status = Status{static_cast<int>(env.src), env.tag,
                         std::min<std::size_t>(env.len, req.cap)};
+    note_recv_complete(env.ctx, env.src, env.tag, env.seq, env.len);
     req.cond.notify_all(node_.sim);
   });
 }
@@ -505,6 +506,7 @@ void LapiChannel::setup_counters_recv(RecvReq& req, int origin, const Envelope& 
     req.truncated = env.len > req.cap;
     req.status = Status{static_cast<int>(env.src), env.tag,
                         std::min<std::size_t>(env.len, req.cap)};
+    note_recv_complete(env.ctx, env.src, env.tag, env.seq, env.len);
     return true;
   };
 }

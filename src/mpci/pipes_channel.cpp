@@ -334,6 +334,7 @@ void PipesChannel::publish_recv_complete(RecvReq& req, const Envelope& env, bool
     req.truncated = truncated;
     req.status = Status{env.src, env.tag,
                         std::min<std::size_t>(env.len, req.cap)};
+    note_recv_complete(env.ctx, env.src, env.tag, env.seq, env.len);
     req.cond.notify_all(node_.sim);
   });
 }

@@ -8,6 +8,8 @@ namespace sp::mpi {
 
 Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
     : cfg_(cfg), num_tasks_(num_tasks), backend_(backend) {
+  // Must precede any event scheduling: the salt participates in heap order.
+  sim_.set_tie_break_salt(cfg_.event_tie_break_salt);
   if (cfg_.trace_enabled) trace_ = std::make_unique<sim::Trace>(cfg_.trace_max_events);
   if (cfg_.telemetry_enabled) {
     telemetry_ = std::make_unique<sim::Telemetry>(num_tasks_, cfg_.telemetry_ring_bytes);
@@ -120,9 +122,11 @@ Machine::Stats Machine::stats() const {
     s.lapi_retransmits += n->lapi->retransmits();
     s.lapi_duplicate_deliveries += n->lapi->duplicate_deliveries();
     s.lapi_acks += n->lapi->acks_sent();
+    s.lapi_reacks_coalesced += n->lapi->reacks_coalesced();
     s.pipes_retransmits += n->pipes->retransmits();
     s.pipes_duplicate_deliveries += n->pipes->duplicate_deliveries();
     s.pipes_acks += n->pipes->acks_sent();
+    s.pipes_reacks_coalesced += n->pipes->reacks_coalesced();
     s.completion_thread_dispatches += n->lapi->completion_thread_dispatches();
     s.completion_inline_runs += n->lapi->completion_inline_runs();
   }
@@ -163,10 +167,12 @@ Machine::Stats Machine::stats_delta(const Stats& later, const Stats& earlier) no
   d.lapi_duplicate_deliveries =
       later.lapi_duplicate_deliveries - earlier.lapi_duplicate_deliveries;
   d.lapi_acks = later.lapi_acks - earlier.lapi_acks;
+  d.lapi_reacks_coalesced = later.lapi_reacks_coalesced - earlier.lapi_reacks_coalesced;
   d.pipes_retransmits = later.pipes_retransmits - earlier.pipes_retransmits;
   d.pipes_duplicate_deliveries =
       later.pipes_duplicate_deliveries - earlier.pipes_duplicate_deliveries;
   d.pipes_acks = later.pipes_acks - earlier.pipes_acks;
+  d.pipes_reacks_coalesced = later.pipes_reacks_coalesced - earlier.pipes_reacks_coalesced;
   d.completion_thread_dispatches =
       later.completion_thread_dispatches - earlier.completion_thread_dispatches;
   d.completion_inline_runs = later.completion_inline_runs - earlier.completion_inline_runs;
@@ -198,18 +204,21 @@ void Machine::print_stats(std::FILE* out) const {
                static_cast<long long>(s.eager_sends),
                static_cast<long long>(s.rendezvous_sends),
                static_cast<long long>(s.early_arrivals));
-  std::fprintf(out, "lapi:   %lld messages, %lld retx, %lld dup-rcvd, %lld acks; "
-               "completions: %lld thread, %lld inline\n",
+  std::fprintf(out, "lapi:   %lld messages, %lld retx, %lld dup-rcvd, %lld acks "
+               "(%lld re-acks coalesced); completions: %lld thread, %lld inline\n",
                static_cast<long long>(s.lapi_messages),
                static_cast<long long>(s.lapi_retransmits),
                static_cast<long long>(s.lapi_duplicate_deliveries),
                static_cast<long long>(s.lapi_acks),
+               static_cast<long long>(s.lapi_reacks_coalesced),
                static_cast<long long>(s.completion_thread_dispatches),
                static_cast<long long>(s.completion_inline_runs));
-  std::fprintf(out, "pipes:  %lld retx, %lld dup-rcvd, %lld acks; simulator: %llu events\n",
+  std::fprintf(out, "pipes:  %lld retx, %lld dup-rcvd, %lld acks (%lld re-acks coalesced); "
+               "simulator: %llu events\n",
                static_cast<long long>(s.pipes_retransmits),
                static_cast<long long>(s.pipes_duplicate_deliveries),
                static_cast<long long>(s.pipes_acks),
+               static_cast<long long>(s.pipes_reacks_coalesced),
                static_cast<unsigned long long>(s.sim_events));
   std::fprintf(out, "host:   %llu events pushed, %llu popped; actions: %llu inline, "
                "%llu pooled, %llu pool-miss, %llu fallback\n",

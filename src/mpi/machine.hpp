@@ -77,9 +77,11 @@ class Machine {
     std::int64_t lapi_retransmits = 0;
     std::int64_t lapi_duplicate_deliveries = 0;  ///< Dup packets filtered at LAPI targets.
     std::int64_t lapi_acks = 0;
+    std::int64_t lapi_reacks_coalesced = 0;  ///< Dup re-acks folded into delayed flushes.
     std::int64_t pipes_retransmits = 0;
     std::int64_t pipes_duplicate_deliveries = 0;  ///< Dup packets filtered by Pipes.
     std::int64_t pipes_acks = 0;
+    std::int64_t pipes_reacks_coalesced = 0;  ///< Dup re-acks folded into delayed flushes.
     std::int64_t completion_thread_dispatches = 0;
     std::int64_t completion_inline_runs = 0;
     std::uint64_t sim_events = 0;

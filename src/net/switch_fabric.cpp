@@ -65,12 +65,18 @@ void SwitchFabric::inject(Packet&& pkt) {
 
   const auto pair_idx = static_cast<std::size_t>(pkt.src) * static_cast<std::size_t>(num_nodes_) +
                         static_cast<std::size_t>(pkt.dst);
-  const int route = static_cast<int>(rr_[pair_idx]++ % static_cast<std::uint32_t>(cfg_.num_routes));
+  int route = static_cast<int>(rr_[pair_idx]++ % static_cast<std::uint32_t>(cfg_.num_routes));
+  // Route-choice bias (schedule-space exploration): with probability
+  // route_bias the packet ignores the round-robin position and sprays onto a
+  // seeded random route, unbalancing per-route load so some routes congest.
+  if (cfg_.route_bias > 0.0 && rng_.chance(cfg_.route_bias)) {
+    route = static_cast<int>(rng_.next_below(static_cast<std::uint32_t>(cfg_.num_routes)));
+  }
   pkt.route = route;
 
-  // Fault injection. Draw order is fixed (burst, drop, jitter, dup, dup
-  // jitter) and each knob draws only when enabled, so a clean run consumes no
-  // randomness and faulty runs are reproducible per seed.
+  // Fault injection. Draw order is fixed (route bias, burst, drop, jitter,
+  // dup, dup jitter) and each knob draws only when enabled, so a clean run
+  // consumes no randomness and faulty runs are reproducible per seed.
   const std::size_t bytes = pkt.wire_bytes();
   if (burst_left_[pair_idx] > 0) {
     --burst_left_[pair_idx];

@@ -187,10 +187,14 @@ void Pipes::on_hal_packet(int src, std::span<const std::byte> bytes) {
     ++duplicates_;
     SP_TELEM(node_, sim::Ev::kPipeDupRecv, static_cast<std::uint64_t>(src), off);
     i.ack_pending = true;
-    if (node_.sim.now() - i.last_reack_at >= node_.cfg.ack_delay_ns) {
+    // debug_disable_reack_coalescing re-introduces the PR 2 ack storm for the
+    // conformance explorer's self-test; it must never be set otherwise.
+    if (node_.cfg.debug_disable_reack_coalescing ||
+        node_.sim.now() - i.last_reack_at >= node_.cfg.ack_delay_ns) {
       i.last_reack_at = node_.sim.now();
       send_ack(src);
     } else {
+      ++reacks_coalesced_;
       schedule_ack_flush(src);
     }
     return;

@@ -61,6 +61,9 @@ class Pipes {
   /// re-deliveries).
   [[nodiscard]] std::int64_t duplicate_deliveries() const noexcept { return duplicates_; }
   [[nodiscard]] std::int64_t acks_sent() const noexcept { return acks_sent_; }
+  /// Duplicate deliveries folded into the delayed ack flush instead of each
+  /// earning an immediate re-ack (the PR 2 coalescing fix at work).
+  [[nodiscard]] std::int64_t reacks_coalesced() const noexcept { return reacks_coalesced_; }
 
  private:
   struct WireHdr {
@@ -130,6 +133,7 @@ class Pipes {
   std::int64_t packets_sent_ = 0;
   std::int64_t duplicates_ = 0;
   std::int64_t acks_sent_ = 0;
+  std::int64_t reacks_coalesced_ = 0;
 };
 
 }  // namespace sp::pipes

@@ -40,6 +40,17 @@ struct MachineConfig {
   /// 0 on the real machine; tests raise it to force out-of-order arrival
   /// deterministically even without cross-traffic.
   TimeNs route_skew_ns = 0;
+  /// Probability that a packet abandons the round-robin route choice and
+  /// takes a seeded random route instead (schedule-space exploration; skews
+  /// per-route load so some routes congest and reorder harder). 0 = pure
+  /// round-robin, and no randomness is drawn.
+  double route_bias = 0.0;
+  /// Salt for the event-queue tie-break among same-timestamp events. 0 keeps
+  /// strict insertion order (the default, pinned by the golden digests); any
+  /// other value applies a seeded bijective permutation to the insertion
+  /// sequence, exploring alternative handler-dispatch interleavings while
+  /// remaining a deterministic total order per salt.
+  std::uint64_t event_tie_break_salt = 0;
 
   // --- Adapter (TB3/TBMX) --------------------------------------------------
   /// Fixed cost to DMA one packet descriptor between host and adapter.
@@ -152,6 +163,13 @@ struct MachineConfig {
   /// Byte cap for the telemetry ring buffer (32-byte records; oldest records
   /// are overwritten beyond the cap and counted as dropped).
   std::size_t telemetry_ring_bytes = 4 * 1024 * 1024;
+
+  // --- Debug / fault re-introduction -----------------------------------------
+  /// Re-introduce the PR 2 ack-storm bug: every duplicate delivery answers
+  /// with an immediate re-ack instead of coalescing a burst into one. Exists
+  /// only so the conformance explorer can prove it catches the regression
+  /// (tests/explorer_test.cpp); never enable outside tests.
+  bool debug_disable_reack_coalescing = false;
 
   // --- Testbed presets (§1: the two SP node/adapter generations) -----------
   /// 332 MHz Power-PC SMP nodes with the TBMX adapter — the paper's

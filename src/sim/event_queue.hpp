@@ -249,6 +249,19 @@ class EventQueue {
     return out;
   }
 
+  /// Perturb the tie-break among same-timestamp events: with a non-zero salt,
+  /// ties are ordered by a seeded bijective mix of the insertion sequence
+  /// instead of the sequence itself. The mix is a permutation of the 64-bit
+  /// sequence space, so the order stays strict and total (deterministic per
+  /// salt); salt 0 restores exact insertion order, which the golden-digest
+  /// tests pin. Must be set while the queue is empty: changing the comparator
+  /// under a populated heap would break the heap invariant.
+  void set_tie_break_salt(std::uint64_t salt) noexcept {
+    assert(heap_.empty() && "tie-break salt must be set before events are queued");
+    tie_salt_ = salt;
+  }
+  [[nodiscard]] std::uint64_t tie_break_salt() const noexcept { return tie_salt_; }
+
   // --- host-side perf counters ---
   [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
   [[nodiscard]] std::uint64_t popped() const noexcept { return popped_; }
@@ -269,13 +282,27 @@ class EventQueue {
     std::uint32_t next_free = kNone;
   };
 
-  /// Strict (time, seq) "earlier-than" over slot ids: a total order, since
-  /// sequence numbers are unique.
+  /// Bijective tie key: identity when unperturbed, otherwise the SplitMix64
+  /// finalizer over seq ^ salt. Each step is invertible, so distinct
+  /// sequences map to distinct keys and the tie-break stays a total order.
+  [[nodiscard]] std::uint64_t tie_key(std::uint64_t seq) const noexcept {
+    if (tie_salt_ == 0) return seq;
+    std::uint64_t x = seq ^ tie_salt_;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// Strict (time, tie_key(seq)) "earlier-than" over slot ids: a total order,
+  /// since sequence numbers are unique and the tie key is bijective.
   [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const noexcept {
     const Slot& sa = slots_[a];
     const Slot& sb = slots_[b];
     if (sa.at != sb.at) return sa.at < sb.at;
-    return sa.seq < sb.seq;
+    return tie_key(sa.seq) < tie_key(sb.seq);
   }
 
   void sift_up(std::size_t i) noexcept {
@@ -309,6 +336,7 @@ class EventQueue {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> heap_;
   std::uint32_t free_head_ = kNone;
+  std::uint64_t tie_salt_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t pushed_ = 0;
   std::uint64_t popped_ = 0;

@@ -1,0 +1,618 @@
+#include "sim/explorer.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <tuple>
+
+#include "mpci/channel.hpp"
+#include "sim/rng.hpp"
+#include "sim/telemetry.hpp"
+
+namespace sp::sim {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv(std::uint64_t h, std::uint64_t v) noexcept {
+  // Word-at-a-time FNV-1a variant: enough mixing for equality digests.
+  return (h ^ v) * kFnvPrime;
+}
+
+/// One message of the conformance soup, derived identically on every rank.
+struct SoupMsg {
+  int src = 0, dst = 0, tag = 0;
+  std::uint32_t len = 0;
+};
+
+/// The deterministic mixed eager/rendezvous schedule for a perturbation.
+[[nodiscard]] std::vector<SoupMsg> build_schedule(const Perturbation& p) {
+  Pcg32 g(p.workload_seed, /*stream=*/0x5c4edc1eULL);
+  std::vector<SoupMsg> schedule;
+  schedule.reserve(static_cast<std::size_t>(p.nodes) *
+                   static_cast<std::size_t>(p.msgs_per_rank));
+  for (int s = 0; s < p.nodes; ++s) {
+    for (int k = 0; k < p.msgs_per_rank; ++k) {
+      SoupMsg m;
+      m.src = s;
+      m.dst = static_cast<int>(g.next_below(static_cast<std::uint32_t>(p.nodes)));
+      m.tag = static_cast<int>(g.next_below(3));
+      // Mix of eager (<= 4096) and rendezvous sizes.
+      const std::uint32_t cls = g.next_below(4);
+      m.len = cls == 0   ? 1 + g.next_below(64)
+              : cls == 1 ? 64 + g.next_below(2048)
+              : cls == 2 ? 2048 + g.next_below(6144)
+                         : 8192 + g.next_below(24576);
+      schedule.push_back(m);
+    }
+  }
+  return schedule;
+}
+
+/// Payload byte `i` of schedule entry `idx` — both sides compute it.
+[[nodiscard]] constexpr std::uint8_t payload_byte(const SoupMsg& m, int idx, std::size_t i) {
+  return static_cast<std::uint8_t>(m.src * 7 + m.dst * 13 + m.tag * 3 + idx * 31 +
+                                   static_cast<int>(i));
+}
+
+constexpr int kWildcardTag = 77;
+
+/// Per-rank observables collected on the rank fiber during the run.
+struct RankObs {
+  std::uint64_t payload = kFnvBasis;
+  std::uint64_t status = kFnvBasis;
+  std::uint64_t wildcard = 0;  ///< Commutative (summed) fold.
+  std::uint64_t checksum = 0;
+  bool payload_ok = true;
+};
+
+void conformance_workload(const Perturbation& p, const std::vector<SoupMsg>& schedule,
+                          mpi::Mpi& mpi, std::vector<RankObs>& obs) {
+  using mpi::Datatype;
+  using mpi::Request;
+  using mpi::Status;
+  auto& w = mpi.world();
+  const int me = w.rank();
+  RankObs& o = obs[static_cast<std::size_t>(me)];
+  if ((p.flags & Perturbation::kFlagInterruptMode) != 0) mpi.set_interrupt_mode(true);
+
+  // Phase A: message soup. Receives are posted in global schedule order,
+  // which per (src, tag) is exactly send order — the posted-recv sequence is
+  // therefore channel-invariant and so are the folds below.
+  std::vector<Request> recvs;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> rbufs;
+  std::vector<int> ridx;
+  for (int i = 0; i < static_cast<int>(schedule.size()); ++i) {
+    const SoupMsg& m = schedule[static_cast<std::size_t>(i)];
+    if (m.dst != me) continue;
+    rbufs.push_back(std::make_unique<std::vector<std::uint8_t>>(m.len, 0));
+    recvs.push_back(mpi.irecv(rbufs.back()->data(), m.len, Datatype::kByte, m.src, m.tag, w));
+    ridx.push_back(i);
+  }
+  std::vector<Request> sends;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> sbufs;
+  for (int i = 0; i < static_cast<int>(schedule.size()); ++i) {
+    const SoupMsg& m = schedule[static_cast<std::size_t>(i)];
+    if (m.src != me) continue;
+    auto buf = std::make_unique<std::vector<std::uint8_t>>(m.len);
+    for (std::size_t b = 0; b < buf->size(); ++b) (*buf)[b] = payload_byte(m, i, b);
+    sbufs.push_back(std::move(buf));
+    sends.push_back(mpi.isend(sbufs.back()->data(), m.len, Datatype::kByte, m.dst, m.tag, w));
+  }
+  std::vector<Status> rsts(recvs.size());
+  mpi.waitall(recvs.data(), recvs.size(), rsts.data());
+  mpi.waitall(sends.data(), sends.size());
+
+  for (std::size_t k = 0; k < ridx.size(); ++k) {
+    const SoupMsg& m = schedule[static_cast<std::size_t>(ridx[k])];
+    const Status& st = rsts[k];
+    o.status = fnv(o.status, static_cast<std::uint64_t>(st.source));
+    o.status = fnv(o.status, static_cast<std::uint64_t>(st.tag));
+    o.status = fnv(o.status, st.len);
+    for (std::size_t b = 0; b < rbufs[k]->size(); ++b) {
+      const std::uint8_t got = (*rbufs[k])[b];
+      if (got != payload_byte(m, ridx[k], b)) o.payload_ok = false;
+      o.payload = fnv(o.payload, got);
+    }
+  }
+
+  // Phase B: wildcard receives. Arrival order across sources is legitimately
+  // channel-dependent, so fold order-insensitively (commutative sum).
+  // A wildcard recv matches whichever tag-77 message arrives next, so every
+  // buffer must have capacity for the largest sender; verify Status::len bytes.
+  std::vector<Request> wrecvs;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> wbufs;
+  const std::size_t wcap = 32 + static_cast<std::size_t>(p.nodes);
+  for (int s = 0; s < p.nodes; ++s) {
+    if (s == me) continue;
+    wbufs.push_back(std::make_unique<std::vector<std::uint8_t>>(wcap, 0));
+    wrecvs.push_back(
+        mpi.irecv(wbufs.back()->data(), wcap, Datatype::kByte, mpi::kAnySource, kWildcardTag, w));
+  }
+  std::vector<Request> wsends;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> wsbufs;
+  for (int d = 0; d < p.nodes; ++d) {
+    if (d == me) continue;
+    const std::size_t len = 32 + static_cast<std::size_t>(me);
+    auto buf = std::make_unique<std::vector<std::uint8_t>>(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      (*buf)[b] = static_cast<std::uint8_t>(me * 29 + d * 11 + static_cast<int>(b));
+    }
+    wsbufs.push_back(std::move(buf));
+    wsends.push_back(
+        mpi.isend(wsbufs.back()->data(), len, Datatype::kByte, d, kWildcardTag, w));
+  }
+  std::vector<Status> wsts(wrecvs.size());
+  mpi.waitall(wrecvs.data(), wrecvs.size(), wsts.data());
+  mpi.waitall(wsends.data(), wsends.size());
+  for (std::size_t k = 0; k < wrecvs.size(); ++k) {
+    const int src = wsts[k].source;
+    const std::size_t got = wsts[k].len;
+    std::uint64_t h = kFnvBasis;
+    h = fnv(h, static_cast<std::uint64_t>(src));
+    h = fnv(h, got);
+    if (got != 32 + static_cast<std::size_t>(src) || got > wcap) o.payload_ok = false;
+    for (std::size_t b = 0; b < got && b < wcap; ++b) {
+      const std::uint8_t byte = (*wbufs[k])[b];
+      h = fnv(h, byte);
+      if (byte != static_cast<std::uint8_t>(src * 29 + me * 11 + static_cast<int>(b))) {
+        o.payload_ok = false;
+      }
+    }
+    o.wildcard += h;  // commutative
+  }
+
+  // Phase C: a reduction over the per-rank payload folds — every rank must
+  // agree on the total, and the total must match across channels.
+  std::uint64_t local = o.payload ^ o.wildcard;
+  std::uint64_t total = 0;
+  mpi.allreduce(&local, &total, 1, Datatype::kLong, mpi::Op::kSum, w);
+  o.checksum = total;
+  mpi.barrier(w);
+}
+
+/// Fold the per-node match logs into a channel-invariant digest: group by
+/// (ctx, src, tag), order each group by envelope seq (the matching order MPI
+/// non-overtaking mandates), and fold groups in sorted-key order.
+[[nodiscard]] std::uint64_t fold_match_logs(
+    const std::vector<std::vector<mpci::Channel::MatchRecord>>& logs) {
+  std::uint64_t total = kFnvBasis;
+  for (std::size_t r = 0; r < logs.size(); ++r) {
+    std::map<std::tuple<std::uint16_t, std::uint16_t, std::int32_t>,
+             std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        groups;
+    for (const auto& rec : logs[r]) {
+      groups[{rec.ctx, rec.src, rec.tag}].emplace_back(rec.seq, rec.len);
+    }
+    total = fnv(total, r);
+    for (auto& [key, v] : groups) {
+      std::sort(v.begin(), v.end());
+      total = fnv(total, std::get<0>(key));
+      total = fnv(total, std::get<1>(key));
+      total = fnv(total, static_cast<std::uint64_t>(static_cast<std::uint32_t>(std::get<2>(key))));
+      for (const auto& [seq, len] : v) {
+        total = fnv(total, seq);
+        total = fnv(total, len);
+      }
+    }
+  }
+  return total;
+}
+
+/// The transport the backend actually exercises; the other must stay silent.
+struct TransportCounters {
+  std::int64_t retransmits = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t acks = 0;
+  std::int64_t reacks_coalesced = 0;
+};
+
+[[nodiscard]] TransportCounters active_transport(mpi::Backend b, const mpi::Machine::Stats& s) {
+  if (b == mpi::Backend::kNativePipes) {
+    return {s.pipes_retransmits, s.pipes_duplicate_deliveries, s.pipes_acks,
+            s.pipes_reacks_coalesced};
+  }
+  return {s.lapi_retransmits, s.lapi_duplicate_deliveries, s.lapi_acks,
+          s.lapi_reacks_coalesced};
+}
+
+[[nodiscard]] TransportCounters idle_transport(mpi::Backend b, const mpi::Machine::Stats& s) {
+  if (b == mpi::Backend::kNativePipes) {
+    return {s.lapi_retransmits, s.lapi_duplicate_deliveries, s.lapi_acks,
+            s.lapi_reacks_coalesced};
+  }
+  return {s.pipes_retransmits, s.pipes_duplicate_deliveries, s.pipes_acks,
+          s.pipes_reacks_coalesced};
+}
+
+void check_invariants(mpi::Backend backend, const mpi::Machine& machine,
+                      Explorer::RunOutcome& out) {
+  auto violate = [&](const std::string& what) { out.invariant_violations.push_back(what); };
+  std::ostringstream os;
+  const mpi::Machine::Stats& s = out.stats;
+  const TransportCounters act = active_transport(backend, s);
+  const TransportCounters idle = idle_transport(backend, s);
+
+  // The transport the backend does not use must carry no traffic at all.
+  if (idle.retransmits != 0 || idle.duplicates != 0 || idle.acks != 0) {
+    os.str("");
+    os << "idle transport shows traffic: retx=" << idle.retransmits
+       << " dups=" << idle.duplicates << " acks=" << idle.acks;
+    violate(os.str());
+  }
+
+  // Retransmit runaway bound, derived from the protocol: per pair, a timeout
+  // expiry resends at most one window and expiries are >= one timeout apart,
+  // so legitimate timeout-driven retransmits (acks can stall behind bulk data
+  // for >2 ms while a receiver is CPU-busy copying) never exceed
+  // window * pairs * ceil(elapsed / timeout). Injected faults add go-back-N
+  // trains on top. Anything past the sum is a retransmit-timer bug.
+  const MachineConfig& cfg = machine.config();
+  const std::int64_t faults = s.fabric_dropped + s.fabric_duplicated;
+  const std::int64_t pairs =
+      static_cast<std::int64_t>(machine.num_tasks()) * machine.num_tasks();
+  const std::int64_t windows =
+      1 + static_cast<std::int64_t>(out.elapsed / cfg.retransmit_timeout_ns);
+  const std::int64_t timeout_bound = windows * cfg.sliding_window_packets * pairs;
+  if (act.retransmits > (faults + 1) * 64 + timeout_bound) {
+    os.str("");
+    os << "retransmit runaway: " << act.retransmits << " retx for " << faults
+       << " injected faults (timeout budget " << timeout_bound << ", elapsed_ns="
+       << out.elapsed << ")";
+    violate(os.str());
+  }
+
+  // The PR 2 re-ack coalescing invariant: duplicate deliveries arrive mostly
+  // in go-back-N bursts, so most of them must fold into delayed flushes (one
+  // immediate re-ack per ack_delay window; measured healthy ratio is ~25-30%
+  // immediate). An ack storm (the re-introduced bug) answers every duplicate
+  // immediately — immediate == dups — so a 50% threshold separates the two
+  // with margin on both sides.
+  if (act.duplicates >= 48) {
+    const std::int64_t immediate = act.duplicates - act.reacks_coalesced;
+    if (immediate > act.duplicates / 2 + 16) {
+      os.str("");
+      os << "re-ack storm: " << immediate << " immediate re-acks for " << act.duplicates
+         << " duplicate deliveries (" << act.reacks_coalesced << " coalesced)";
+      violate(os.str());
+    }
+  }
+
+  // Telemetry ring accounting: overwrite-oldest must retain exactly
+  // min(emitted, capacity) records and count the rest as dropped.
+  if (const Telemetry* t = machine.telemetry()) {
+    const std::uint64_t cap = t->ring_capacity();
+    const std::uint64_t retained = t->ring_bytes_in_use() / sizeof(TraceRecord);
+    const std::uint64_t expect_retained = std::min<std::uint64_t>(t->records_emitted(), cap);
+    if (retained != expect_retained ||
+        t->records_dropped() != t->records_emitted() - retained) {
+      os.str("");
+      os << "telemetry ring accounting broken: emitted=" << t->records_emitted()
+         << " retained=" << retained << " dropped=" << t->records_dropped()
+         << " cap=" << cap;
+      violate(os.str());
+    }
+  }
+}
+
+}  // namespace
+
+MachineConfig Perturbation::apply(MachineConfig cfg) const {
+  cfg.packet_drop_rate = static_cast<double>(drop_ppm) * 1e-6;
+  cfg.packet_dup_rate = static_cast<double>(dup_ppm) * 1e-6;
+  cfg.route_bias = static_cast<double>(route_bias_ppm) * 1e-6;
+  cfg.packet_jitter_ns = jitter_ns;
+  cfg.route_skew_ns = route_skew_ns;
+  cfg.burst_drop_len = burst;
+  cfg.fabric_seed = fabric_seed;
+  cfg.event_tie_break_salt = tie_break_salt;
+  cfg.debug_disable_reack_coalescing = (flags & kFlagReackStormBug) != 0;
+  // Lossy runs use the soak timeout so go-back-N recovery happens promptly.
+  if (drop_ppm > 0) cfg.retransmit_timeout_ns = 400'000;
+  // Telemetry feeds the determinism digest, the ring invariant and the
+  // failing-run trace export.
+  cfg.telemetry_enabled = true;
+  return cfg;
+}
+
+std::string Perturbation::token() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "x1-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
+                "-%x-%" PRIx64 "-%x",
+                seed, static_cast<unsigned>(nodes), static_cast<unsigned>(msgs_per_rank),
+                workload_seed, fabric_seed, drop_ppm, dup_ppm, route_bias_ppm,
+                static_cast<std::uint64_t>(jitter_ns), static_cast<std::uint64_t>(route_skew_ns),
+                static_cast<unsigned>(burst), tie_break_salt, flags);
+  return buf;
+}
+
+std::optional<Perturbation> Perturbation::parse(const std::string& token) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : token) {
+    if (c == '-') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  if (parts.size() != 14 || parts[0] != "x1") return std::nullopt;
+  auto u64 = [](const std::string& s, std::uint64_t& out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 16);
+    return end != nullptr && *end == '\0';
+  };
+  std::uint64_t v[13];
+  for (std::size_t i = 0; i < 13; ++i) {
+    if (!u64(parts[i + 1], v[i])) return std::nullopt;
+  }
+  Perturbation p;
+  p.seed = v[0];
+  p.nodes = static_cast<int>(v[1]);
+  p.msgs_per_rank = static_cast<int>(v[2]);
+  p.workload_seed = v[3];
+  p.fabric_seed = v[4];
+  p.drop_ppm = static_cast<std::uint32_t>(v[5]);
+  p.dup_ppm = static_cast<std::uint32_t>(v[6]);
+  p.route_bias_ppm = static_cast<std::uint32_t>(v[7]);
+  p.jitter_ns = static_cast<TimeNs>(v[8]);
+  p.route_skew_ns = static_cast<TimeNs>(v[9]);
+  p.burst = static_cast<int>(v[10]);
+  p.tie_break_salt = v[11];
+  p.flags = static_cast<std::uint32_t>(v[12]);
+  if (p.nodes < 2 || p.nodes > 64 || p.msgs_per_rank < 1 || p.msgs_per_rank > 4096 ||
+      p.burst < 1 || p.burst > 64 || p.drop_ppm > 500'000 || p.dup_ppm > 500'000 ||
+      p.route_bias_ppm > 1'000'000) {
+    return std::nullopt;
+  }
+  return p;
+}
+
+Perturbation Explorer::perturbation_for(std::uint64_t seed) const {
+  Pcg32 g(seed, /*stream=*/0xe17015ULL);
+  auto u64 = [&g] { return (static_cast<std::uint64_t>(g.next()) << 32) | g.next(); };
+
+  Perturbation p;
+  p.seed = seed;
+  p.nodes = opts_.nodes;
+  p.msgs_per_rank = opts_.msgs_per_rank;
+  p.workload_seed = u64();
+  p.fabric_seed = u64();
+
+  // Fault profile classes keep a quarter of the space clean-ish so schedule
+  // perturbations (salt/bias/jitter) are also explored without loss noise.
+  const std::uint32_t profile = g.next_below(4);
+  if (profile == 1 || profile == 3) {
+    p.drop_ppm = 2'000 + g.next_below(38'000);  // 0.2% .. 4%
+    p.burst = 1 + static_cast<int>(g.next_below(3));
+  }
+  if (profile == 2 || profile == 3) {
+    p.dup_ppm = 2'000 + g.next_below(28'000);  // 0.2% .. 3%
+  }
+  if (g.next_below(2) != 0) p.jitter_ns = static_cast<TimeNs>(g.next_below(120'000));
+  if (g.next_below(2) != 0) p.route_bias_ppm = 100'000 + g.next_below(700'000);
+  if (g.next_below(2) != 0) p.route_skew_ns = static_cast<TimeNs>(g.next_below(4'000));
+  if (g.next_below(2) != 0) p.tie_break_salt = u64() | 1;  // never 0 when on
+  if (g.next_below(4) == 0) p.flags |= Perturbation::kFlagInterruptMode;
+  if (opts_.inject_reack_bug) p.flags |= Perturbation::kFlagReackStormBug;
+  return p;
+}
+
+Explorer::RunOutcome Explorer::run_channel(const Perturbation& p, mpi::Backend backend) const {
+  RunOutcome out;
+  const MachineConfig cfg = p.apply(opts_.base_config);
+  const std::vector<SoupMsg> schedule = build_schedule(p);
+  std::vector<std::vector<mpci::Channel::MatchRecord>> logs(
+      static_cast<std::size_t>(p.nodes));
+  std::vector<RankObs> obs(static_cast<std::size_t>(p.nodes));
+  try {
+    mpi::Machine m(cfg, p.nodes, backend);
+    for (int t = 0; t < p.nodes; ++t) {
+      m.channel(t).set_match_log(&logs[static_cast<std::size_t>(t)]);
+    }
+    m.run([&](mpi::Mpi& mpi) { conformance_workload(p, schedule, mpi, obs); });
+    out.completed = true;
+    out.stats = m.stats();
+    out.elapsed = m.elapsed();
+    if (m.telemetry() != nullptr) out.telemetry_digest = m.telemetry()->digest();
+    check_invariants(backend, m, out);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+
+  out.payload_digest = kFnvBasis;
+  out.status_digest = kFnvBasis;
+  out.wildcard_digest = 0;
+  bool payload_ok = true;
+  for (const RankObs& o : obs) {
+    out.payload_digest = fnv(out.payload_digest, o.payload);
+    out.status_digest = fnv(out.status_digest, o.status);
+    out.wildcard_digest += o.wildcard;
+    payload_ok = payload_ok && o.payload_ok;
+  }
+  out.checksum = obs.empty() ? 0 : obs[0].checksum;
+  for (const RankObs& o : obs) {
+    if (o.checksum != out.checksum) {
+      out.invariant_violations.push_back("allreduce totals disagree across ranks");
+      break;
+    }
+  }
+  if (!payload_ok) out.invariant_violations.push_back("received payload bytes corrupted");
+  out.match_digest = fold_match_logs(logs);
+  std::uint64_t d = kFnvBasis;
+  d = fnv(d, out.payload_digest);
+  d = fnv(d, out.status_digest);
+  d = fnv(d, out.match_digest);
+  d = fnv(d, out.wildcard_digest);
+  d = fnv(d, out.checksum);
+  out.conformance_digest = d;
+  return out;
+}
+
+std::optional<std::string> Explorer::check(const Perturbation& p) {
+  const RunOutcome pipes = run_channel(p, mpi::Backend::kNativePipes);
+  const RunOutcome lapi = run_channel(p, opts_.lapi_backend);
+  runs_ += 2;
+
+  auto channel_fail = [](const char* name, const RunOutcome& o) -> std::optional<std::string> {
+    if (!o.completed) return std::string(name) + " channel run failed: " + o.error;
+    if (!o.invariant_violations.empty()) {
+      return std::string(name) + " channel invariant violated: " + o.invariant_violations[0];
+    }
+    return std::nullopt;
+  };
+  if (auto f = channel_fail("pipes", pipes)) return f;
+  if (auto f = channel_fail("lapi", lapi)) return f;
+
+  auto diff = [&](const char* what, std::uint64_t a, std::uint64_t b) -> std::optional<std::string> {
+    if (a == b) return std::nullopt;
+    std::ostringstream os;
+    os << "conformance mismatch in " << what << ": pipes=" << std::hex << a
+       << " lapi=" << b;
+    return os.str();
+  };
+  if (auto f = diff("payload digest", pipes.payload_digest, lapi.payload_digest)) return f;
+  if (auto f = diff("status fields", pipes.status_digest, lapi.status_digest)) return f;
+  if (auto f = diff("match order", pipes.match_digest, lapi.match_digest)) return f;
+  if (auto f = diff("wildcard fold", pipes.wildcard_digest, lapi.wildcard_digest)) return f;
+  if (auto f = diff("allreduce checksum", pipes.checksum, lapi.checksum)) return f;
+  return std::nullopt;
+}
+
+Perturbation Explorer::shrink(Perturbation p) {
+  auto fails = [this](const Perturbation& q) { return check(q).has_value(); };
+  auto budget_left = [this] { return runs_ + 2 <= max_runs(); };
+
+  // Phase 1: ablate knobs to neutral, iterating to a fixpoint — failures
+  // often depend on one or two knobs only.
+  bool changed = true;
+  while (changed && budget_left()) {
+    changed = false;
+    const auto ablations = [&]() {
+      std::vector<Perturbation> c;
+      auto with = [&](auto mut) {
+        Perturbation q = p;
+        mut(q);
+        if (!(q == p)) c.push_back(q);
+      };
+      with([](Perturbation& q) { q.drop_ppm = 0; q.burst = 1; });
+      with([](Perturbation& q) { q.dup_ppm = 0; });
+      with([](Perturbation& q) { q.jitter_ns = 0; });
+      with([](Perturbation& q) { q.route_bias_ppm = 0; });
+      with([](Perturbation& q) { q.route_skew_ns = 0; });
+      with([](Perturbation& q) { q.tie_break_salt = 0; });
+      with([](Perturbation& q) { q.flags &= ~Perturbation::kFlagInterruptMode; });
+      return c;
+    }();
+    for (const Perturbation& q : ablations) {
+      if (!budget_left()) break;
+      if (fails(q)) {
+        p = q;
+        changed = true;
+        break;  // re-derive the candidate list from the smaller vector
+      }
+    }
+  }
+
+  // Phase 2: halve surviving magnitudes while the failure persists.
+  auto halve = [&](auto get, auto set, std::uint64_t floor) {
+    while (budget_left()) {
+      const std::uint64_t cur = get(p);
+      if (cur <= floor) break;
+      Perturbation q = p;
+      set(q, std::max<std::uint64_t>(floor, cur / 2));
+      if (q == p || !fails(q)) break;
+      p = q;
+    }
+  };
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.drop_ppm); },
+        [](Perturbation& q, std::uint64_t v) { q.drop_ppm = static_cast<std::uint32_t>(v); }, 0);
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.dup_ppm); },
+        [](Perturbation& q, std::uint64_t v) { q.dup_ppm = static_cast<std::uint32_t>(v); }, 0);
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.route_bias_ppm); },
+        [](Perturbation& q, std::uint64_t v) { q.route_bias_ppm = static_cast<std::uint32_t>(v); },
+        0);
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.jitter_ns); },
+        [](Perturbation& q, std::uint64_t v) { q.jitter_ns = static_cast<TimeNs>(v); }, 0);
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.route_skew_ns); },
+        [](Perturbation& q, std::uint64_t v) { q.route_skew_ns = static_cast<TimeNs>(v); }, 0);
+
+  // Phase 3: shrink the workload itself (fewer messages, then fewer nodes).
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.msgs_per_rank); },
+        [](Perturbation& q, std::uint64_t v) { q.msgs_per_rank = static_cast<int>(v); }, 1);
+  halve([](const Perturbation& q) { return static_cast<std::uint64_t>(q.nodes); },
+        [](Perturbation& q, std::uint64_t v) { q.nodes = static_cast<int>(v); }, 2);
+  return p;
+}
+
+Explorer::Report Explorer::explore() {
+  Report rep;
+  for (int i = 0; i < opts_.seeds && runs_ + 2 <= max_runs(); ++i) {
+    const std::uint64_t seed = opts_.base_seed + static_cast<std::uint64_t>(i);
+    const Perturbation p = perturbation_for(seed);
+    const std::optional<std::string> failure = check(p);
+    ++rep.seeds_run;
+    if (opts_.log != nullptr && (rep.seeds_run % 32 == 0 || failure)) {
+      std::fprintf(opts_.log, "explore: seed %" PRIu64 " (%d/%d, %d runs)%s%s\n", seed,
+                   rep.seeds_run, opts_.seeds, runs_, failure ? " FAILED: " : " ok",
+                   failure ? failure->c_str() : "");
+    }
+    if (failure) {
+      Mismatch mm;
+      mm.original = p;
+      mm.reason = *failure;
+      mm.shrunk = shrink(p);
+      mm.token = mm.shrunk.token();
+      if (opts_.log != nullptr) {
+        std::fprintf(opts_.log, "explore: shrunk to %s after %d runs\n  repro: spsim explore --repro=%s\n",
+                     mm.token.c_str(), runs_, mm.token.c_str());
+      }
+      rep.mismatches.push_back(std::move(mm));
+      break;  // one shrunken repro is the deliverable; stop the sweep
+    }
+  }
+  rep.runs = runs_;
+  return rep;
+}
+
+bool Explorer::export_trace(const Perturbation& p, mpi::Backend backend,
+                            const std::string& path) const {
+  const MachineConfig cfg = p.apply(opts_.base_config);
+  const std::vector<SoupMsg> schedule = build_schedule(p);
+  std::vector<RankObs> obs(static_cast<std::size_t>(p.nodes));
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  bool ok = true;
+  try {
+    mpi::Machine m(cfg, p.nodes, backend);
+    try {
+      m.run([&](mpi::Mpi& mpi) { conformance_workload(p, schedule, mpi, obs); });
+    } catch (const std::exception&) {
+      // A failing run is exactly what we want a trace of; export what the
+      // ring retained up to the failure.
+    }
+    if (m.telemetry() != nullptr) {
+      m.telemetry()->export_chrome_json(out);
+    } else {
+      ok = false;
+    }
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  std::fclose(out);
+  return ok;
+}
+
+}  // namespace sp::sim

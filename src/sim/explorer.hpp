@@ -1,0 +1,175 @@
+// Schedule-space explorer: differential Pipes <-> LAPI conformance fuzzing.
+//
+// The paper's central claim is that MPI-LAPI preserves MPI two-sided
+// semantics while replacing every layer underneath. The explorer tests that
+// claim systematically: one master seed expands into a perturbation vector
+// (fault knobs, route bias, delivery jitter, event tie-break salt, interrupt
+// mode); the same deterministic mixed eager/rendezvous workload then runs on
+// BOTH the native Pipes channel and a LAPI channel under that vector, and the
+// channel-invariant observables — received payloads, match order per
+// (ctx, src, tag), MPI status fields, final rank buffers — must agree, while
+// channel-specific transport counters must satisfy declared invariants
+// (retransmit bounds, re-ack coalescing, telemetry ring accounting).
+//
+// On a failure the explorer shrinks: perturbation knobs are ablated to their
+// neutral values and the survivors halved, then the workload itself is
+// shrunk, yielding a minimal failing vector encoded as a repro token that
+// `spsim explore --repro=<token>` replays standalone.
+//
+// Everything is deterministic: the same seed always produces the same
+// perturbation, machine schedule, digests and shrink result (asserted by
+// tests/explorer_test.cpp), so a token found by the nightly sweep reproduces
+// anywhere.
+//
+// Lives in sp::sim but is compiled into the sp_mpi library: the explorer
+// drives whole Machines, which sit at the top of the layer stack.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "sim/config.hpp"
+
+namespace sp::sim {
+
+/// One point in schedule space: every knob the explorer varies, in exactly
+/// round-trippable integer form (rates are parts-per-million so tokens encode
+/// losslessly). Derived from a master seed by Explorer::perturbation_for and
+/// mutated only by shrinking.
+struct Perturbation {
+  std::uint64_t seed = 0;  ///< Master seed (identity; kept through shrinking).
+
+  // Workload shape.
+  int nodes = 4;
+  int msgs_per_rank = 12;
+  std::uint64_t workload_seed = 1;
+
+  // Fabric fault + schedule knobs (neutral values = a clean machine).
+  std::uint32_t drop_ppm = 0;        ///< packet_drop_rate * 1e6
+  std::uint32_t dup_ppm = 0;         ///< packet_dup_rate * 1e6
+  std::uint32_t route_bias_ppm = 0;  ///< route_bias * 1e6
+  TimeNs jitter_ns = 0;
+  TimeNs route_skew_ns = 0;
+  int burst = 1;
+  std::uint64_t fabric_seed = 0x5eed;
+  std::uint64_t tie_break_salt = 0;  ///< Event-queue tie-break permutation.
+
+  std::uint32_t flags = 0;
+  /// Re-introduce the PR 2 re-ack coalescing bug (explorer self-test only).
+  static constexpr std::uint32_t kFlagReackStormBug = 1u << 0;
+  /// Run the workload in interrupt (rather than polling) mode.
+  static constexpr std::uint32_t kFlagInterruptMode = 1u << 1;
+
+  bool operator==(const Perturbation&) const = default;
+
+  /// Overlay this vector on a base config (also enables telemetry: the
+  /// explorer uses its digest and ring accounting as observables).
+  [[nodiscard]] MachineConfig apply(MachineConfig base) const;
+
+  /// Compact repro token ("x1-..." hex fields); parse() round-trips it.
+  [[nodiscard]] std::string token() const;
+  [[nodiscard]] static std::optional<Perturbation> parse(const std::string& token);
+};
+
+class Explorer {
+ public:
+  struct Options {
+    int nodes = 4;
+    int msgs_per_rank = 12;
+    std::uint64_t base_seed = 1;  ///< Seeds run are base_seed .. base_seed+seeds-1.
+    int seeds = 256;
+    /// Machine-execution budget across exploration + shrinking (2 per seed
+    /// checked). 0 = seeds * 8, leaving room for the shrink loop.
+    int max_runs = 0;
+    /// LAPI side of the differential pair (the Pipes side is fixed).
+    mpi::Backend lapi_backend = mpi::Backend::kLapiEnhanced;
+    /// Force Perturbation::kFlagReackStormBug on every seed (self-test).
+    bool inject_reack_bug = false;
+    /// Progress/diagnostic log (null = silent).
+    std::FILE* log = nullptr;
+    /// Cost model the perturbations overlay.
+    MachineConfig base_config{};
+  };
+
+  /// Everything observed from one (perturbation, channel) execution.
+  struct RunOutcome {
+    bool completed = false;  ///< run() returned without throwing.
+    std::string error;       ///< Exception text when !completed.
+
+    // Channel-invariant observables (must match across channels).
+    std::uint64_t payload_digest = 0;   ///< Received bytes, posted-recv order.
+    std::uint64_t status_digest = 0;    ///< waitall Status fields, posted order.
+    std::uint64_t match_digest = 0;     ///< Per-(ctx,src,tag) match order.
+    std::uint64_t wildcard_digest = 0;  ///< Order-insensitive wildcard fold.
+    std::uint64_t checksum = 0;         ///< Allreduce total (same on all ranks).
+    std::uint64_t conformance_digest = 0;  ///< Fold of all of the above.
+
+    // Channel-specific observables (checked against invariants, not diffed).
+    mpi::Machine::Stats stats{};
+    std::uint64_t telemetry_digest = 0;
+    TimeNs elapsed = 0;
+    std::vector<std::string> invariant_violations;
+
+    [[nodiscard]] bool ok() const noexcept {
+      return completed && invariant_violations.empty();
+    }
+  };
+
+  struct Mismatch {
+    Perturbation original;  ///< As derived from the failing master seed.
+    Perturbation shrunk;    ///< Minimal failing vector.
+    std::string reason;     ///< First divergence / violation found.
+    std::string token;      ///< shrunk.token(), for `spsim explore --repro=`.
+  };
+
+  struct Report {
+    int seeds_run = 0;
+    int runs = 0;  ///< Machine executions, including shrinking.
+    std::vector<Mismatch> mismatches;
+  };
+
+  explicit Explorer(Options opts) : opts_(std::move(opts)) {}
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  /// Expand a master seed into its perturbation vector (pure function of the
+  /// seed and the workload-shape options).
+  [[nodiscard]] Perturbation perturbation_for(std::uint64_t seed) const;
+
+  /// Execute the conformance workload under `p` on one channel and collect
+  /// observables + invariant verdicts. Deterministic per (p, backend).
+  [[nodiscard]] RunOutcome run_channel(const Perturbation& p, mpi::Backend backend) const;
+
+  /// Differential check: run `p` on both channels; nullopt when conformant,
+  /// otherwise a human-readable failure reason. Counts 2 toward runs().
+  [[nodiscard]] std::optional<std::string> check(const Perturbation& p);
+
+  /// Shrink a failing vector to a minimal one that still fails (any failure
+  /// reason counts). Bounded by the remaining run budget.
+  [[nodiscard]] Perturbation shrink(Perturbation p);
+
+  /// Sweep seeds until the budget or seed count is exhausted; shrink the
+  /// first failure found and stop.
+  [[nodiscard]] Report explore();
+
+  /// Re-run `p` on `backend` with telemetry and write a Perfetto-loadable
+  /// Chrome-JSON trace of the (deterministically reproduced) run.
+  bool export_trace(const Perturbation& p, mpi::Backend backend, const std::string& path) const;
+
+  /// Machine executions so far (exploration + shrinking).
+  [[nodiscard]] int runs() const noexcept { return runs_; }
+
+ private:
+  [[nodiscard]] int max_runs() const noexcept {
+    return opts_.max_runs > 0 ? opts_.max_runs : opts_.seeds * 8;
+  }
+
+  Options opts_;
+  int runs_ = 0;
+};
+
+}  // namespace sp::sim

@@ -76,6 +76,10 @@ class Simulator {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  /// Perturb the same-timestamp event tie-break (see EventQueue); call before
+  /// any event is scheduled. 0 (the default) keeps strict insertion order.
+  void set_tie_break_salt(std::uint64_t salt) noexcept { queue_.set_tie_break_salt(salt); }
+
   /// Read-only view of the queue's host-side perf counters.
   [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mpi/machine.hpp"
+#include "test_harness.hpp"
 
 namespace {
 
@@ -21,45 +22,14 @@ using sp::mpi::Backend;
 using sp::mpi::Machine;
 using sp::mpi::Mpi;
 using sp::sim::MachineConfig;
-
-/// FNV-1a over the full trace timeline (time, node, category, detail).
-std::uint64_t trace_digest(const sp::sim::Trace& trace) {
-  std::uint64_t h = 14695981039346656037ULL;
-  auto mix = [&h](const void* data, std::size_t len) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const auto& e : trace.events()) {
-    mix(&e.t, sizeof(e.t));
-    mix(&e.node, sizeof(e.node));
-    mix(e.category, std::char_traits<char>::length(e.category));
-    mix(e.detail.data(), e.detail.size());
-  }
-  return h;
-}
+using sp::test::trace_digest;
 
 /// Fig. 11 ping-pong: 64 iterations of an 8 KiB bounce between two ranks.
 std::uint64_t pingpong_digest(Backend backend) {
   MachineConfig cfg;
   cfg.trace_enabled = true;
-  Machine m(cfg, 2, backend);
-  m.run([](Mpi& mpi) {
-    auto& w = mpi.world();
-    std::vector<std::byte> buf(8 * 1024);
-    for (int i = 0; i < 64; ++i) {
-      if (w.rank() == 0) {
-        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
-        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
-      } else {
-        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
-        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
-      }
-    }
-  });
-  return trace_digest(*m.trace());
+  const auto m = sp::test::run_pingpong(cfg, backend, 64, 8 * 1024);
+  return trace_digest(*m->trace());
 }
 
 /// Eight ranks, twelve rounds of MPI_Alltoall with 2 KiB blocks: a storm of

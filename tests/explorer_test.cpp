@@ -1,0 +1,230 @@
+// Schedule-space explorer tests (DESIGN.md §11): repro-token round-trips,
+// per-channel digest determinism, cross-run machine isolation, the clean
+// 256-seed differential sweep from the acceptance criteria, and the
+// self-test that re-introduces the PR 2 re-ack coalescing bug and requires
+// the explorer to catch it and shrink it to a replayable token.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/explorer.hpp"
+#include "test_harness.hpp"
+
+namespace sp::sim {
+namespace {
+
+using mpi::Backend;
+
+/// A hand-built vector with every knob away from its default, so a token
+/// round-trip exercises every field.
+Perturbation busy_vector() {
+  Perturbation p;
+  p.seed = 0xdeadbeefcafe1234ULL;
+  p.nodes = 6;
+  p.msgs_per_rank = 9;
+  p.workload_seed = 0x1122334455667788ULL;
+  p.fabric_seed = 0x99aabbccddeeff00ULL;
+  p.drop_ppm = 12'345;
+  p.dup_ppm = 6'789;
+  p.route_bias_ppm = 250'000;
+  p.jitter_ns = 54'321;
+  p.route_skew_ns = 2'222;
+  p.burst = 3;
+  p.tie_break_salt = 0xfeedf00d5eedULL;
+  p.flags = Perturbation::kFlagInterruptMode;
+  return p;
+}
+
+TEST(ExplorerToken, RoundTripsEveryField) {
+  const Perturbation p = busy_vector();
+  const std::optional<Perturbation> back = Perturbation::parse(p.token());
+  ASSERT_TRUE(back.has_value()) << p.token();
+  EXPECT_EQ(*back, p);
+
+  // Defaults round-trip too (the all-neutral vector).
+  const Perturbation neutral;
+  const auto back2 = Perturbation::parse(neutral.token());
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_EQ(*back2, neutral);
+}
+
+TEST(ExplorerToken, RejectsMalformed) {
+  const std::string good = busy_vector().token();
+  EXPECT_TRUE(Perturbation::parse(good).has_value());
+
+  EXPECT_FALSE(Perturbation::parse("").has_value());
+  EXPECT_FALSE(Perturbation::parse("x1").has_value());
+  EXPECT_FALSE(Perturbation::parse("x2" + good.substr(2)).has_value());  // wrong version
+  EXPECT_FALSE(Perturbation::parse(good.substr(0, good.rfind('-'))).has_value());  // field missing
+  EXPECT_FALSE(Perturbation::parse(good + "-0").has_value());                      // field extra
+  EXPECT_FALSE(Perturbation::parse(good + "zz").has_value());                      // trailing junk
+
+  // Out-of-bounds values parse as hex but fail validation.
+  auto reject = [](Perturbation p) {
+    EXPECT_FALSE(Perturbation::parse(p.token()).has_value()) << p.token();
+  };
+  Perturbation p = busy_vector();
+  p.nodes = 1;
+  reject(p);
+  p = busy_vector();
+  p.nodes = 65;
+  reject(p);
+  p = busy_vector();
+  p.msgs_per_rank = 0;
+  reject(p);
+  p = busy_vector();
+  p.burst = 0;
+  reject(p);
+  p = busy_vector();
+  p.drop_ppm = 600'000;  // > 50% loss is not survivable
+  reject(p);
+  p = busy_vector();
+  p.route_bias_ppm = 1'000'001;
+  reject(p);
+}
+
+TEST(ExplorerDeterminism, SeedExpandsToTheSameVectorEveryTime) {
+  Explorer::Options opts;
+  const Explorer ex(opts);
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xabcdefULL}) {
+    const Perturbation a = ex.perturbation_for(seed);
+    const Perturbation b = ex.perturbation_for(seed);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.seed, seed);
+  }
+  EXPECT_NE(ex.perturbation_for(1), ex.perturbation_for(2));
+}
+
+TEST(ExplorerDeterminism, RunChannelDigestIsReproducible) {
+  // Same seed + same perturbation vector => identical digest (acceptance
+  // criterion), on both channels, under active fault + schedule knobs.
+  Explorer::Options opts;
+  const Explorer ex(opts);
+  Perturbation p;
+  p.nodes = 4;
+  p.msgs_per_rank = 8;
+  p.drop_ppm = 20'000;
+  p.dup_ppm = 5'000;
+  p.jitter_ns = 50'000;
+  p.burst = 2;
+  p.tie_break_salt = 0x5a17;
+  for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+    const auto first = ex.run_channel(p, b);
+    const auto second = ex.run_channel(p, b);
+    ASSERT_TRUE(first.completed) << first.error;
+    EXPECT_TRUE(first.ok()) << (first.invariant_violations.empty()
+                                    ? ""
+                                    : first.invariant_violations[0]);
+    EXPECT_EQ(first.conformance_digest, second.conformance_digest);
+    EXPECT_EQ(first.telemetry_digest, second.telemetry_digest);
+    EXPECT_EQ(first.elapsed, second.elapsed);
+  }
+}
+
+TEST(ExplorerIsolation, BackToBackMachineRunsMatchFreshRuns) {
+  // The explorer re-runs many Machines inside one process; any residual
+  // static/global state (telemetry ring, stats baselines, fabric PRNG) would
+  // make a run's digest depend on what ran before it. Observe vector B
+  // first, then run two unrelated perturbed machines, then B again: every
+  // observable must be bit-identical.
+  Explorer::Options opts;
+  const Explorer ex(opts);
+  Perturbation b;
+  b.nodes = 4;
+  b.msgs_per_rank = 6;
+  b.drop_ppm = 15'000;
+  b.tie_break_salt = 7;
+  Perturbation a;
+  a.nodes = 3;
+  a.msgs_per_rank = 10;
+  a.workload_seed = 99;
+  a.fabric_seed = 0xf00d;
+  a.dup_ppm = 30'000;
+  a.jitter_ns = 80'000;
+
+  const auto fresh = ex.run_channel(b, Backend::kNativePipes);
+  (void)ex.run_channel(a, Backend::kNativePipes);
+  (void)ex.run_channel(a, Backend::kLapiEnhanced);
+  const auto again = ex.run_channel(b, Backend::kNativePipes);
+
+  ASSERT_TRUE(fresh.completed) << fresh.error;
+  EXPECT_EQ(fresh.conformance_digest, again.conformance_digest);
+  EXPECT_EQ(fresh.telemetry_digest, again.telemetry_digest);
+  EXPECT_EQ(fresh.elapsed, again.elapsed);
+  EXPECT_EQ(fresh.stats.packets_sent, again.stats.packets_sent);
+  EXPECT_EQ(fresh.stats.fabric_dropped, again.stats.fabric_dropped);
+}
+
+TEST(ExplorerConformance, TieBreakSaltPermutesTimelineNotResults) {
+  // The tie-break salt reorders same-timestamp event processing — a pure
+  // schedule perturbation. Conformance observables must not move.
+  Explorer::Options opts;
+  Explorer ex(opts);
+  Perturbation p;
+  p.nodes = 4;
+  p.msgs_per_rank = 8;
+  const auto base = ex.run_channel(p, Backend::kLapiEnhanced);
+  ASSERT_TRUE(base.ok());
+  for (std::uint64_t salt : {0x1111ULL, 0x222222ULL}) {
+    Perturbation q = p;
+    q.tie_break_salt = salt;
+    const auto salted = ex.run_channel(q, Backend::kLapiEnhanced);
+    ASSERT_TRUE(salted.completed) << salted.error;
+    EXPECT_EQ(salted.conformance_digest, base.conformance_digest) << "salt " << salt;
+    // And the full differential check passes under the salt.
+    EXPECT_EQ(ex.check(q), std::nullopt);
+  }
+}
+
+TEST(ExplorerConformance, CleanSweepFindsNoMismatches) {
+  // Acceptance criterion: 256 seeds on the 4-node mixed eager/rendezvous
+  // workload, Pipes vs enhanced LAPI, zero conformance mismatches. The soak
+  // tier widens the sweep.
+  Explorer::Options opts;
+  opts.nodes = 4;
+  opts.msgs_per_rank = 12;
+  opts.seeds = sp::test::soak_mode() ? 1024 : 256;
+  Explorer ex(opts);
+  const Explorer::Report rep = ex.explore();
+  EXPECT_EQ(rep.seeds_run, opts.seeds);
+  EXPECT_EQ(rep.runs, 2 * opts.seeds);
+  EXPECT_TRUE(rep.mismatches.empty())
+      << "first mismatch: " << rep.mismatches[0].reason
+      << " token=" << rep.mismatches[0].token;
+}
+
+TEST(ExplorerShrink, ReintroducedReackBugIsCaughtAndShrunk) {
+  // Acceptance criterion: with the PR 2 re-ack coalescing bug re-introduced
+  // via the hidden knob, the sweep must catch it in under 200 seeds and
+  // shrink to a replayable minimal token.
+  Explorer::Options opts;
+  opts.seeds = 200;
+  opts.inject_reack_bug = true;
+  Explorer ex(opts);
+  const Explorer::Report rep = ex.explore();
+  ASSERT_EQ(rep.mismatches.size(), 1u) << "bug not caught within 200 seeds";
+  const Explorer::Mismatch& mm = rep.mismatches[0];
+  EXPECT_LE(rep.seeds_run, 200);
+
+  // The shrunken vector kept the bug knob and still names a re-ack failure.
+  EXPECT_NE(mm.shrunk.flags & Perturbation::kFlagReackStormBug, 0u);
+  EXPECT_LE(mm.shrunk.nodes, mm.original.nodes);
+  EXPECT_LE(mm.shrunk.msgs_per_rank, mm.original.msgs_per_rank);
+
+  // The token replays standalone: parse it back, verify it still fails, and
+  // verify the same vector with the bug knob cleared is conformant (so the
+  // failure is attributable to the re-introduced bug, nothing else).
+  const auto parsed = Perturbation::parse(mm.token);
+  ASSERT_TRUE(parsed.has_value()) << mm.token;
+  EXPECT_EQ(*parsed, mm.shrunk);
+  Explorer replay{Explorer::Options{}};
+  EXPECT_TRUE(replay.check(*parsed).has_value()) << "shrunken token no longer fails";
+  Perturbation fixed = *parsed;
+  fixed.flags &= ~Perturbation::kFlagReackStormBug;
+  EXPECT_EQ(replay.check(fixed), std::nullopt) << "failure not attributable to the bug knob";
+}
+
+}  // namespace
+}  // namespace sp::sim

@@ -22,6 +22,7 @@
 #include "lapi/wire.hpp"
 #include "mpi/machine.hpp"
 #include "nas/kernels.hpp"
+#include "test_harness.hpp"
 
 namespace {
 
@@ -29,38 +30,10 @@ using sp::mpi::Backend;
 using sp::mpi::Machine;
 using sp::mpi::Mpi;
 using sp::sim::MachineConfig;
-
-/// SP_FAULT_SOAK=1 (the lossy ctest variant / CI soak job) scales the
-/// workloads up; the default keeps the suite fast.
-bool soak_mode() {
-  static const bool on = std::getenv("SP_FAULT_SOAK") != nullptr;
-  return on;
-}
-
-/// A lossy-but-survivable fabric: random drops plus burst loss, duplicate
-/// deliveries and delivery jitter, with a tightened retransmit timeout so
-/// recovery doesn't dominate simulated (or host) time.
-MachineConfig lossy_config(double drop) {
-  MachineConfig cfg;
-  cfg.packet_drop_rate = drop;
-  cfg.packet_dup_rate = 0.01;
-  cfg.packet_jitter_ns = 2'000;
-  cfg.burst_drop_len = 2;
-  cfg.retransmit_timeout_ns = 400'000;
-  return cfg;
-}
-
-/// Retransmits are go-back-N: one timeout resends at most a window's worth of
-/// packets, and duplicated deliveries can trigger spurious-looking (but
-/// correct) re-acks, so bound the total against the injected faults rather
-/// than expecting a 1:1 ratio.
-void expect_bounded_recovery(const Machine& m) {
-  const auto s = m.stats();
-  const std::int64_t injected = s.fabric_dropped + s.fabric_duplicated;
-  const std::int64_t retx = s.lapi_retransmits + s.pipes_retransmits;
-  EXPECT_LE(retx, (injected + 1) * 64) << "retransmit storm: " << retx << " resends for "
-                                       << injected << " injected faults";
-}
+using sp::test::expect_bounded_recovery;
+using sp::test::lossy_config;
+using sp::test::soak_mode;
+using sp::test::trace_digest;
 
 struct SoakParam {
   Backend backend;
@@ -183,19 +156,7 @@ TEST(FaultSoak, StatsAccountForInjectedFaults) {
   MachineConfig cfg = lossy_config(0.05);
   cfg.packet_dup_rate = 0.05;
   Machine m(cfg, 2, Backend::kLapiEnhanced);
-  m.run([](Mpi& mpi) {
-    auto& w = mpi.world();
-    std::vector<std::byte> buf(64 * 1024);
-    for (int i = 0; i < 8; ++i) {
-      if (w.rank() == 0) {
-        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
-        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
-      } else {
-        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
-        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
-      }
-    }
-  });
+  m.run([](Mpi& mpi) { sp::test::pingpong_workload(mpi, 8, 64 * 1024); });
   const auto s = m.stats();
   EXPECT_GT(s.fabric_dropped, 0);
   EXPECT_GT(s.fabric_duplicated, 0);
@@ -205,25 +166,6 @@ TEST(FaultSoak, StatsAccountForInjectedFaults) {
 }
 
 // --- lossy determinism ------------------------------------------------------
-
-/// FNV-1a over the full trace timeline (same digest as determinism_test.cpp).
-std::uint64_t trace_digest(const sp::sim::Trace& trace) {
-  std::uint64_t h = 14695981039346656037ULL;
-  auto mix = [&h](const void* data, std::size_t len) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const auto& e : trace.events()) {
-    mix(&e.t, sizeof(e.t));
-    mix(&e.node, sizeof(e.node));
-    mix(e.category, std::char_traits<char>::length(e.category));
-    mix(e.detail.data(), e.detail.size());
-  }
-  return h;
-}
 
 std::uint64_t lossy_digest(std::uint64_t seed) {
   MachineConfig cfg = lossy_config(0.03);
@@ -258,61 +200,7 @@ TEST(FaultDeterminism, DifferentSeedDifferentLossPattern) {
 namespace sp::lapi {
 namespace {
 
-using sim::MachineConfig;
-using sim::NodeRuntime;
-using sim::Simulator;
-
-/// Two HAL-connected nodes with one ReliableLink pair and a hand-rolled
-/// kProtoLapi dispatch (mirroring Lapi::on_hal_packet): enough transport to
-/// drive accept()/on_ack() through real wire traffic, plus surgical per-seq
-/// drop control that random fabric loss can't provide.
-struct LinkRig {
-  explicit LinkRig(MachineConfig c = {}) : cfg(c) {
-    fabric = std::make_unique<net::SwitchFabric>(sim, cfg, 2);
-    for (int i = 0; i < 2; ++i) {
-      rts.push_back(std::make_unique<NodeRuntime>(sim, cfg, i));
-      hals.push_back(std::make_unique<hal::Hal>(*rts.back(), *fabric));
-    }
-    origin = std::make_unique<ReliableLink>(*rts[0], *hals[0], 1);
-    target = std::make_unique<ReliableLink>(*rts[1], *hals[1], 0);
-    hals[0]->register_protocol(hal::kProtoLapi, [this](int, std::span<const std::byte> b) {
-      const PktHdr h = parse_hdr(b);
-      if (h.kind == static_cast<std::uint8_t>(Kind::kAck)) origin->on_ack(h.pkt_seq);
-    });
-    hals[1]->register_protocol(hal::kProtoLapi, [this](int, std::span<const std::byte> b) {
-      const PktHdr h = parse_hdr(b);
-      if (h.kind == static_cast<std::uint8_t>(Kind::kAck)) return;
-      arrivals.emplace_back(sim.now(), h.pkt_seq);
-      auto it = drop_budget.find(h.pkt_seq);
-      if (it != drop_budget.end() && it->second > 0) {
-        --it->second;  // simulated loss of this specific delivery
-        return;
-      }
-      if (target->accept(h.pkt_seq)) fresh_bytes += h.data_len;
-    });
-  }
-
-  void submit_at(sim::TimeNs t, std::size_t len) {
-    sim.at(t, [this, len] {
-      ReliableLink::Message msg;
-      msg.meta.kind = static_cast<std::uint8_t>(Kind::kPut);
-      msg.meta.origin = 0;
-      msg.owned.assign(len, std::byte{0x5a});
-      origin->submit(std::move(msg));
-    });
-  }
-
-  MachineConfig cfg;
-  Simulator sim;
-  std::unique_ptr<net::SwitchFabric> fabric;
-  std::vector<std::unique_ptr<NodeRuntime>> rts;
-  std::vector<std::unique_ptr<hal::Hal>> hals;
-  std::unique_ptr<ReliableLink> origin;
-  std::unique_ptr<ReliableLink> target;
-  std::map<std::uint32_t, int> drop_budget;        ///< wire seq -> deliveries to swallow
-  std::vector<std::pair<sim::TimeNs, std::uint32_t>> arrivals;
-  std::uint64_t fresh_bytes = 0;
-};
+// LinkRig (the two-node ReliableLink fixture) now lives in test_harness.hpp.
 
 TEST(ReliableLinkFix, DuplicateBurstEarnsOneImmediateReack) {
   // A go-back-N resend of a full window lands as a burst of duplicates at the

@@ -7,7 +7,9 @@
 #include <numeric>
 #include <vector>
 
+#include "mpi/derived_datatype.hpp"
 #include "mpi/machine.hpp"
+#include "sim/explorer.hpp"
 #include "sim/rng.hpp"
 
 namespace sp::mpi {
@@ -320,6 +322,226 @@ TEST(InterruptMode, PingPongWorksOnAllBackends) {
     });
     EXPECT_GT(m.hal(0).interrupts_taken() + m.hal(1).interrupts_taken(), 0)
         << backend_name(b);
+  }
+}
+
+// --- derived datatypes + Status arrays under explorer perturbation ----------
+
+/// Machine configs drawn from real explorer perturbation vectors (fault +
+/// schedule knobs), so the orderings below run under the same schedule space
+/// the fuzzer sweeps — not just the clean default timeline.
+struct PerturbedCase {
+  MachineConfig cfg;
+  bool interrupt_mode = false;
+};
+
+std::vector<PerturbedCase> perturbed_cases() {
+  std::vector<PerturbedCase> cases;
+  cases.push_back({MachineConfig{}, false});  // clean baseline
+  const sim::Explorer ex{sim::Explorer::Options{}};
+  for (std::uint64_t seed : {3ULL, 11ULL, 29ULL}) {
+    const sim::Perturbation p = ex.perturbation_for(seed);
+    cases.push_back({p.apply(MachineConfig{}),
+                     (p.flags & sim::Perturbation::kFlagInterruptMode) != 0});
+  }
+  return cases;
+}
+
+constexpr std::size_t status_len(int src, int tag) {
+  return static_cast<std::size_t>(64 * src + 256 * tag + 8);
+}
+
+constexpr std::uint8_t status_byte(int src, int tag, std::size_t k) {
+  return static_cast<std::uint8_t>(src * 11 + tag * 3 + k);
+}
+
+TEST(StatusArrays, WaitallFillsPerRequestStatusOutOfOrder) {
+  // Rank 0 posts nine receives in (src, tag) order; the senders emit their
+  // tags in reverse with staggered start times, so completions land out of
+  // posting order. sts[i] must still describe reqs[i] — per-request, not
+  // per-completion — under every perturbation vector.
+  for (const auto& [cfg, irq] : perturbed_cases()) {
+    for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+      Machine m(cfg, 4, b);
+      m.run([&](Mpi& mpi) {
+        Comm& w = mpi.world();
+        if (irq) mpi.set_interrupt_mode(true);
+        if (w.rank() == 0) {
+          struct Slot {
+            int src, tag;
+          };
+          std::vector<Slot> slots;
+          for (int src = 1; src <= 3; ++src) {
+            for (int tag = 0; tag < 3; ++tag) slots.push_back({src, tag});
+          }
+          std::vector<std::vector<std::uint8_t>> bufs;
+          std::vector<Request> reqs;
+          for (const Slot& s : slots) {
+            bufs.emplace_back(status_len(s.src, s.tag), 0);
+            reqs.push_back(mpi.irecv(bufs.back().data(), bufs.back().size(), Datatype::kByte,
+                                     s.src, s.tag, w));
+          }
+          std::vector<Status> sts(reqs.size());
+          mpi.waitall(reqs.data(), reqs.size(), sts.data());
+          for (std::size_t i = 0; i < slots.size(); ++i) {
+            EXPECT_EQ(sts[i].source, slots[i].src) << backend_name(b) << " req " << i;
+            EXPECT_EQ(sts[i].tag, slots[i].tag);
+            EXPECT_EQ(sts[i].len, status_len(slots[i].src, slots[i].tag));
+            for (std::size_t k = 0; k < bufs[i].size(); ++k) {
+              ASSERT_EQ(bufs[i][k], status_byte(slots[i].src, slots[i].tag, k))
+                  << "req " << i << " byte " << k;
+            }
+          }
+        } else {
+          mpi.compute((4 - w.rank()) * 30 * sim::kUs);
+          for (int tag = 2; tag >= 0; --tag) {
+            std::vector<std::uint8_t> v(status_len(w.rank(), tag));
+            for (std::size_t k = 0; k < v.size(); ++k) v[k] = status_byte(w.rank(), tag, k);
+            mpi.send(v.data(), v.size(), Datatype::kByte, 0, tag, w);
+            mpi.compute(25 * sim::kUs);
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(StatusArrays, TestallFillsStatusesOnlyOnCompletion) {
+  for (const auto& [cfg, irq] : perturbed_cases()) {
+    Machine m(cfg, 2, Backend::kLapiEnhanced);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      if (irq) mpi.set_interrupt_mode(true);
+      if (w.rank() == 0) {
+        std::vector<std::vector<std::uint8_t>> bufs;
+        std::vector<Request> reqs;
+        for (int tag = 0; tag < 6; ++tag) {
+          bufs.emplace_back(status_len(1, tag), 0);
+          reqs.push_back(
+              mpi.irecv(bufs.back().data(), bufs.back().size(), Datatype::kByte, 1, tag, w));
+        }
+        std::vector<Status> sts(reqs.size());
+        while (!mpi.testall(reqs.data(), reqs.size(), sts.data())) {
+          mpi.compute(10 * sim::kUs);
+        }
+        for (int tag = 0; tag < 6; ++tag) {
+          const auto i = static_cast<std::size_t>(tag);
+          EXPECT_EQ(sts[i].source, 1);
+          EXPECT_EQ(sts[i].tag, tag);
+          EXPECT_EQ(sts[i].len, status_len(1, tag));
+          for (std::size_t k = 0; k < bufs[i].size(); ++k) {
+            ASSERT_EQ(bufs[i][k], status_byte(1, tag, k));
+          }
+        }
+      } else {
+        // Reverse tag order + pauses: completions cross the poll loop.
+        for (int tag = 5; tag >= 0; --tag) {
+          std::vector<std::uint8_t> v(status_len(1, tag));
+          for (std::size_t k = 0; k < v.size(); ++k) v[k] = status_byte(1, tag, k);
+          mpi.send(v.data(), v.size(), Datatype::kByte, 0, tag, w);
+          mpi.compute(40 * sim::kUs);
+        }
+      }
+    });
+  }
+}
+
+TEST(DerivedTypes, StridedColumnsSurviveEveryBackendUnderPerturbation) {
+  // A matrix-column exchange (MPI_Type_vector shape): rank 0 sends column j
+  // of an 8x8 int matrix; rank 1 scatters it into a zeroed matrix through
+  // the same layout. Byte-exact on all four backends under each vector.
+  constexpr int kDim = 8;
+  const DerivedDatatype column =
+      DerivedDatatype::vector(kDim, 1, kDim, Datatype::kInt);
+  for (const auto& [cfg, irq] : perturbed_cases()) {
+    for (Backend b : kAllBackends) {
+      Machine m(cfg, 2, b);
+      m.run([&](Mpi& mpi) {
+        Comm& w = mpi.world();
+        if (irq) mpi.set_interrupt_mode(true);
+        constexpr int kCol = 3;
+        if (w.rank() == 0) {
+          std::vector<int> mat(kDim * kDim);
+          for (int i = 0; i < kDim * kDim; ++i) mat[static_cast<std::size_t>(i)] = i * 17 + 1;
+          mpi.send(&mat[kCol], 1, column, 1, 0, w);
+        } else {
+          std::vector<int> mat(kDim * kDim, 0);
+          Status st;
+          mpi.recv(&mat[kCol], 1, column, 0, 0, w, &st);
+          EXPECT_EQ(st.source, 0);
+          EXPECT_EQ(st.len, column.packed_bytes());
+          for (int r = 0; r < kDim; ++r) {
+            for (int c = 0; c < kDim; ++c) {
+              const int got = mat[static_cast<std::size_t>(r * kDim + c)];
+              if (c == kCol) {
+                EXPECT_EQ(got, (r * kDim + c) * 17 + 1)
+                    << backend_name(b) << " r" << r << " c" << c;
+              } else {
+                EXPECT_EQ(got, 0) << "stride gap written: r" << r << " c" << c;
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(DerivedTypes, IndexedNonblockingCompletesOutOfOrderWithStatuses) {
+  // Derived-datatype isend/irecv mixed with a plain eager message, completed
+  // through the Status-array waitall: the indexed gather/scatter must land in
+  // the right holes and sts[i] must describe reqs[i] even when the plain
+  // message (sent first, tiny) completes before the big indexed one.
+  constexpr std::pair<std::size_t, std::size_t> kHoles[] = {{0, 2}, {5, 1}, {9, 4}, {20, 3}};
+  const DerivedDatatype holes = DerivedDatatype::indexed(
+      {std::begin(kHoles), std::end(kHoles)}, Datatype::kInt);
+  const std::size_t extent = holes.extent_bytes() / sizeof(int);
+  for (const auto& [cfg, irq] : perturbed_cases()) {
+    Machine m(cfg, 2, Backend::kLapiEnhanced);
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      if (irq) mpi.set_interrupt_mode(true);
+      if (w.rank() == 0) {
+        std::vector<int> layout(4 * extent, -1);
+        int small = 0;
+        Request reqs[2];
+        reqs[0] = mpi.irecv(layout.data(), 4, holes, 1, 1, w);  // 4 instances
+        reqs[1] = mpi.irecv(&small, 1, Datatype::kInt, 1, 2, w);
+        Status sts[2];
+        mpi.waitall(reqs, 2, sts);
+        EXPECT_EQ(sts[0].tag, 1);
+        EXPECT_EQ(sts[0].len, 4 * holes.packed_bytes());
+        EXPECT_EQ(sts[1].tag, 2);
+        EXPECT_EQ(sts[1].len, sizeof(int));
+        EXPECT_EQ(small, 424242);
+        int expect = 1000;
+        std::vector<bool> hole(extent, false);
+        for (auto [d, l] : kHoles) {
+          for (std::size_t k = 0; k < l; ++k) hole[d + k] = true;
+        }
+        for (std::size_t inst = 0; inst < 4; ++inst) {
+          for (std::size_t e = 0; e < extent; ++e) {
+            const int got = layout[inst * extent + e];
+            if (hole[e]) {
+              EXPECT_EQ(got, expect++) << "instance " << inst << " elem " << e;
+            } else {
+              EXPECT_EQ(got, -1) << "gap overwritten at instance " << inst << " elem " << e;
+            }
+          }
+        }
+      } else {
+        const int small = 424242;
+        mpi.send(&small, 1, Datatype::kInt, 0, 2, w);  // tiny, eager, lands first
+        std::vector<int> layout(4 * extent, -7);
+        int v = 1000;
+        for (std::size_t inst = 0; inst < 4; ++inst) {
+          for (auto [d, l] : kHoles) {
+            for (std::size_t k = 0; k < l; ++k) layout[inst * extent + d + k] = v++;
+          }
+        }
+        mpi.send(layout.data(), 4, holes, 0, 1, w);
+      }
+    });
   }
 }
 

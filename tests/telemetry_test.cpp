@@ -11,6 +11,7 @@
 
 #include "mpi/machine.hpp"
 #include "sim/telemetry.hpp"
+#include "test_harness.hpp"
 
 namespace {
 
@@ -100,41 +101,11 @@ std::unique_ptr<Machine> traced_pingpong(bool telemetry) {
   MachineConfig cfg;
   cfg.trace_enabled = true;
   cfg.telemetry_enabled = telemetry;
-  auto m = std::make_unique<Machine>(cfg, 2, Backend::kLapiEnhanced);
-  m->run([](Mpi& mpi) {
-    auto& w = mpi.world();
-    std::vector<std::byte> buf(8 * 1024);
-    for (int i = 0; i < 16; ++i) {
-      if (w.rank() == 0) {
-        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
-        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
-      } else {
-        mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
-        mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
-      }
-    }
-  });
-  return m;
+  return sp::test::run_pingpong(cfg, Backend::kLapiEnhanced, 16, 8 * 1024);
 }
 
-/// FNV-1a over the legacy trace, mirroring determinism_test.cpp.
-std::uint64_t legacy_digest(const sp::sim::Trace& trace) {
-  std::uint64_t h = 14695981039346656037ULL;
-  auto mix = [&h](const void* data, std::size_t len) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < len; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-  };
-  for (const auto& e : trace.events()) {
-    mix(&e.t, sizeof(e.t));
-    mix(&e.node, sizeof(e.node));
-    mix(e.category, std::char_traits<char>::length(e.category));
-    mix(e.detail.data(), e.detail.size());
-  }
-  return h;
-}
+/// FNV-1a over the legacy trace (shared with determinism_test.cpp).
+using sp::test::trace_digest;
 
 // Golden digest of the enabled-telemetry ping-pong timeline. Re-capture via
 // --gtest_filter=TelemetryDeterminism.* if a cost-model change legitimately
@@ -158,7 +129,7 @@ TEST(TelemetryDeterminism, EnablingTelemetryDoesNotPerturbLegacyTrace) {
   auto traced = traced_pingpong(true);
   auto untraced = traced_pingpong(false);
   EXPECT_EQ(untraced->telemetry(), nullptr);
-  EXPECT_EQ(legacy_digest(*traced->trace()), legacy_digest(*untraced->trace()));
+  EXPECT_EQ(trace_digest(*traced->trace()), trace_digest(*untraced->trace()));
   EXPECT_EQ(traced->elapsed(), untraced->elapsed());
 }
 

@@ -1,0 +1,162 @@
+// Shared test fixtures (deduplicated from the individual suites).
+//
+// Everything here was copy-pasted across two or more of determinism_test,
+// telemetry_test, fault_injection_test and the mpi_*_test files before being
+// hoisted: the FNV-1a trace digest, the lossy-fabric config builder, the
+// bounded-recovery assertion, the Fig. 11 ping-pong workload, and the
+// two-node LinkRig that unit-tests ReliableLink through real wire traffic.
+// Keep additions header-only (inline) — every test target includes this.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lapi/reliable_link.hpp"
+#include "lapi/wire.hpp"
+#include "mpi/machine.hpp"
+
+namespace sp::test {
+
+/// FNV-1a over the full legacy-trace timeline (time, node, category, detail).
+/// The golden determinism digests are computed with exactly this fold.
+inline std::uint64_t trace_digest(const sim::Trace& trace) {
+  std::uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& e : trace.events()) {
+    mix(&e.t, sizeof(e.t));
+    mix(&e.node, sizeof(e.node));
+    mix(e.category, std::char_traits<char>::length(e.category));
+    mix(e.detail.data(), e.detail.size());
+  }
+  return h;
+}
+
+/// SP_FAULT_SOAK=1 (the `ctest -L soak` variant / CI nightly) scales the
+/// lossy workloads up; the default keeps the tier-1 suite fast.
+inline bool soak_mode() {
+  static const bool on = std::getenv("SP_FAULT_SOAK") != nullptr;
+  return on;
+}
+
+/// A lossy-but-survivable fabric: random drops plus burst loss, duplicate
+/// deliveries and delivery jitter, with a tightened retransmit timeout so
+/// recovery doesn't dominate simulated (or host) time.
+inline sim::MachineConfig lossy_config(double drop) {
+  sim::MachineConfig cfg;
+  cfg.packet_drop_rate = drop;
+  cfg.packet_dup_rate = 0.01;
+  cfg.packet_jitter_ns = 2'000;
+  cfg.burst_drop_len = 2;
+  cfg.retransmit_timeout_ns = 400'000;
+  return cfg;
+}
+
+/// Retransmits are go-back-N: one timeout resends at most a window's worth of
+/// packets, and duplicated deliveries can trigger spurious-looking (but
+/// correct) re-acks, so bound the total against the injected faults rather
+/// than expecting a 1:1 ratio.
+inline void expect_bounded_recovery(const mpi::Machine& m) {
+  const auto s = m.stats();
+  const std::int64_t injected = s.fabric_dropped + s.fabric_duplicated;
+  const std::int64_t retx = s.lapi_retransmits + s.pipes_retransmits;
+  EXPECT_LE(retx, (injected + 1) * 64) << "retransmit storm: " << retx << " resends for "
+                                       << injected << " injected faults";
+}
+
+/// Fig. 11 ping-pong body: `iters` bounces of a `bytes`-sized buffer between
+/// ranks 0 and 1. Run it inside Machine::run on a two-rank machine.
+inline void pingpong_workload(mpi::Mpi& mpi, int iters, std::size_t bytes) {
+  auto& w = mpi.world();
+  std::vector<std::byte> buf(bytes);
+  for (int i = 0; i < iters; ++i) {
+    if (w.rank() == 0) {
+      mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
+      mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 1, 0, w);
+    } else {
+      mpi.recv(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
+      mpi.send(buf.data(), buf.size(), sp::mpi::Datatype::kByte, 0, 0, w);
+    }
+  }
+}
+
+/// Build a two-rank machine, run the ping-pong to completion and hand the
+/// machine back for stats / trace / telemetry inspection.
+inline std::unique_ptr<mpi::Machine> run_pingpong(const sim::MachineConfig& cfg,
+                                                  mpi::Backend backend, int iters,
+                                                  std::size_t bytes) {
+  auto m = std::make_unique<mpi::Machine>(cfg, 2, backend);
+  m->run([iters, bytes](mpi::Mpi& mpi) { pingpong_workload(mpi, iters, bytes); });
+  return m;
+}
+
+}  // namespace sp::test
+
+namespace sp::lapi {
+
+/// Two HAL-connected nodes with one ReliableLink pair and a hand-rolled
+/// kProtoLapi dispatch (mirroring Lapi::on_hal_packet): enough transport to
+/// drive accept()/on_ack() through real wire traffic, plus surgical per-seq
+/// drop control that random fabric loss can't provide.
+struct LinkRig {
+  explicit LinkRig(sim::MachineConfig c = {}) : cfg(c) {
+    fabric = std::make_unique<net::SwitchFabric>(sim, cfg, 2);
+    for (int i = 0; i < 2; ++i) {
+      rts.push_back(std::make_unique<sim::NodeRuntime>(sim, cfg, i));
+      hals.push_back(std::make_unique<hal::Hal>(*rts.back(), *fabric));
+    }
+    origin = std::make_unique<ReliableLink>(*rts[0], *hals[0], 1);
+    target = std::make_unique<ReliableLink>(*rts[1], *hals[1], 0);
+    hals[0]->register_protocol(hal::kProtoLapi, [this](int, std::span<const std::byte> b) {
+      const PktHdr h = parse_hdr(b);
+      if (h.kind == static_cast<std::uint8_t>(Kind::kAck)) origin->on_ack(h.pkt_seq);
+    });
+    hals[1]->register_protocol(hal::kProtoLapi, [this](int, std::span<const std::byte> b) {
+      const PktHdr h = parse_hdr(b);
+      if (h.kind == static_cast<std::uint8_t>(Kind::kAck)) return;
+      arrivals.emplace_back(sim.now(), h.pkt_seq);
+      auto it = drop_budget.find(h.pkt_seq);
+      if (it != drop_budget.end() && it->second > 0) {
+        --it->second;  // simulated loss of this specific delivery
+        return;
+      }
+      if (target->accept(h.pkt_seq)) fresh_bytes += h.data_len;
+    });
+  }
+
+  void submit_at(sim::TimeNs t, std::size_t len) {
+    sim.at(t, [this, len] {
+      ReliableLink::Message msg;
+      msg.meta.kind = static_cast<std::uint8_t>(Kind::kPut);
+      msg.meta.origin = 0;
+      msg.owned.assign(len, std::byte{0x5a});
+      origin->submit(std::move(msg));
+    });
+  }
+
+  sim::MachineConfig cfg;
+  sim::Simulator sim;
+  std::unique_ptr<net::SwitchFabric> fabric;
+  std::vector<std::unique_ptr<sim::NodeRuntime>> rts;
+  std::vector<std::unique_ptr<hal::Hal>> hals;
+  std::unique_ptr<ReliableLink> origin;
+  std::unique_ptr<ReliableLink> target;
+  std::map<std::uint32_t, int> drop_budget;  ///< wire seq -> deliveries to swallow
+  std::vector<std::pair<sim::TimeNs, std::uint32_t>> arrivals;
+  std::uint64_t fresh_bytes = 0;
+};
+
+}  // namespace sp::lapi

@@ -10,6 +10,7 @@
 //   spsim stats     [options]          one ping-pong with full statistics
 //   spsim trace     [options]          dump a protocol-event timeline
 //   spsim metrics   [options]          telemetry counters + histograms
+//   spsim explore   [options]          differential Pipes<->LAPI conformance fuzzing
 //
 // Options:
 //   --backend native|base|counters|enhanced   (default enhanced)
@@ -27,6 +28,14 @@
 //   --csv              machine-readable output
 //   --format text|json|csv   trace export format (default text)
 //   --out FILE         write the trace there instead of stdout
+//
+// Explore options:
+//   --seeds N          master seeds to sweep (default 256)
+//   --budget N         machine-execution budget incl. shrinking (default seeds*8)
+//   --msgs N           soup messages per rank (default 12)
+//   --seed-base S      first master seed (default 1)
+//   --repro TOKEN      replay one shrunken vector instead of sweeping
+//   --trace-out FILE   Perfetto/Chrome-JSON trace of the failing (or repro) run
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +45,7 @@
 
 #include "common.hpp"
 #include "nas/kernels.hpp"
+#include "sim/explorer.hpp"
 
 namespace {
 
@@ -58,14 +68,24 @@ struct Options {
   bool csv = false;
   std::string format = "text";
   std::string out;
+  // explore
+  int explore_seeds = 256;
+  int budget = 0;  // 0 = seeds * 8
+  int msgs = 12;
+  unsigned long long seed_base = 1;
+  std::string repro;
+  std::string trace_out;
+  bool inject_reack_bug = false;  // hidden: re-introduce the PR 2 ack storm
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics [--backend "
-               "native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
+               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics|explore "
+               "[--backend native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
                "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
-               "[--seed S] [--scale N] [--csv] [--format text|json|csv] [--out FILE]\n");
+               "[--seed S] [--scale N] [--csv] [--format text|json|csv] [--out FILE] "
+               "[--seeds N] [--budget N] [--msgs N] [--seed-base S] [--repro TOKEN] "
+               "[--trace-out FILE]\n");
   std::exit(2);
 }
 
@@ -129,6 +149,20 @@ Options parse(int argc, char** argv) {
       if (o.format != "text" && o.format != "json" && o.format != "csv") usage();
     } else if (a == "--out") {
       o.out = next();
+    } else if (a == "--seeds") {
+      o.explore_seeds = std::atoi(next());
+    } else if (a == "--budget") {
+      o.budget = std::atoi(next());
+    } else if (a == "--msgs") {
+      o.msgs = std::atoi(next());
+    } else if (a == "--seed-base") {
+      o.seed_base = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--repro") {
+      o.repro = next();
+    } else if (a == "--trace-out") {
+      o.trace_out = next();
+    } else if (a == "--inject-reack-bug") {
+      o.inject_reack_bug = true;
     } else {
       usage();
     }
@@ -278,6 +312,60 @@ int cmd_stats(const Options& o) {
   return 0;
 }
 
+int cmd_explore(const Options& o) {
+  sim::Explorer::Options eo;
+  eo.nodes = o.nodes > 0 ? o.nodes : 4;
+  eo.msgs_per_rank = o.msgs;
+  eo.base_seed = o.seed_base;
+  eo.seeds = o.explore_seeds;
+  eo.max_runs = o.budget;
+  eo.lapi_backend = o.backend == mpi::Backend::kNativePipes ? mpi::Backend::kLapiEnhanced
+                                                            : o.backend;
+  eo.inject_reack_bug = o.inject_reack_bug;
+  eo.log = stdout;
+  eo.base_config = o.tb3 ? sim::MachineConfig::tb3_p2sc() : sim::MachineConfig::tbmx_332();
+  eo.base_config.eager_limit = o.eager;
+  sim::Explorer ex(eo);
+
+  if (!o.repro.empty()) {
+    // Replay a single shrunken vector found by an earlier sweep.
+    const auto p = sim::Perturbation::parse(o.repro);
+    if (!p) {
+      std::fprintf(stderr, "spsim: malformed repro token '%s'\n", o.repro.c_str());
+      return 2;
+    }
+    const auto failure = ex.check(*p);
+    std::printf("repro %s: %s\n", o.repro.c_str(),
+                failure ? failure->c_str() : "conformant (no divergence)");
+    if (!o.trace_out.empty() &&
+        !ex.export_trace(*p, eo.lapi_backend, o.trace_out)) {
+      std::fprintf(stderr, "spsim: trace export to %s failed\n", o.trace_out.c_str());
+    }
+    return failure ? 1 : 0;
+  }
+
+  std::printf("# explore: %d seeds from %llu, %d nodes, %d msgs/rank, pipes vs %s\n",
+              eo.seeds, o.seed_base, eo.nodes, eo.msgs_per_rank,
+              mpi::backend_name(eo.lapi_backend));
+  const sim::Explorer::Report rep = ex.explore();
+  std::printf("# %d seeds checked, %d machine runs\n", rep.seeds_run, rep.runs);
+  if (rep.mismatches.empty()) {
+    std::printf("conformant: no divergence between channels\n");
+    return 0;
+  }
+  for (const auto& mm : rep.mismatches) {
+    std::printf("MISMATCH (seed %llu): %s\n",
+                static_cast<unsigned long long>(mm.original.seed), mm.reason.c_str());
+    std::printf("  shrunk token: %s\n  repro: spsim explore --repro=%s\n", mm.token.c_str(),
+                mm.token.c_str());
+    if (!o.trace_out.empty() &&
+        !ex.export_trace(mm.shrunk, eo.lapi_backend, o.trace_out)) {
+      std::fprintf(stderr, "spsim: trace export to %s failed\n", o.trace_out.c_str());
+    }
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,5 +377,6 @@ int main(int argc, char** argv) {
   if (o.cmd == "stats") return cmd_stats(o);
   if (o.cmd == "trace") return cmd_trace(o);
   if (o.cmd == "metrics") return cmd_metrics(o);
+  if (o.cmd == "explore") return cmd_explore(o);
   usage();
 }
