@@ -1,59 +1,220 @@
-// Beyond-paper bench: collective operation scaling with machine size, native
-// MPI vs MPI-LAPI Enhanced. The paper's MPI layer decomposes collectives into
-// point-to-point calls, so per-message savings compound with log(n) (trees)
-// or n (exchanges) message counts.
+// Collective-engine cutover sweep: every algorithm of every primitive, pinned
+// via the MachineConfig knobs, across message sizes straddling the auto
+// cutovers, on a 16-node enhanced-LAPI machine. Simulated time per operation
+// is the metric (the cost model is deterministic, so one rep suffices); the
+// per-primitive speedup rows compare the best non-seed algorithm against the
+// seed algorithm at each size.
+//
+//   bench_collectives [--nodes N] [--iters N] [--quick] [--json FILE]
+//
+// --quick keeps only the largest (acceptance) size per primitive, for the
+// per-PR CI smoke. --json writes BENCH_collectives.json (see
+// scripts/bench_json.sh), validated by CI with jq: at >= 256 KiB at least two
+// primitives must show >= 1.3x over their seed algorithm.
+#include <algorithm>
 #include <cstdio>
-#include <numeric>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "mpi/coll.hpp"
 
 namespace {
 
 using namespace sp;
 
-double coll_us(mpi::Backend b, int nodes, const char* which, std::size_t count) {
+struct Case {
+  const char* primitive;                     ///< apply_algo_spec key.
+  std::vector<const char*> algorithms;       ///< First entry is the seed algorithm.
+  std::vector<std::size_t> bytes;            ///< Last entry is the acceptance size.
+};
+
+struct Sample {
+  const char* primitive;
+  const char* algorithm;
+  std::size_t bytes;
+  double sim_us;
+};
+
+/// Simulated microseconds per operation with one algorithm pinned.
+double run_case(const std::string& primitive, const std::string& algorithm, std::size_t bytes,
+                int nodes, int iters) {
   sim::MachineConfig cfg;
-  mpi::Machine m(cfg, nodes, b);
-  const int iters = 10;
+  std::string err;
+  if (!mpi::coll::apply_algo_spec(cfg, primitive + "=" + algorithm, &err)) {
+    std::fprintf(stderr, "bench_collectives: %s\n", err.c_str());
+    std::exit(2);
+  }
+  mpi::Machine m(cfg, nodes, mpi::Backend::kLapiEnhanced);
   double out = 0.0;
-  std::string sel(which);
   m.run([&](mpi::Mpi& mpi) {
     auto& w = mpi.world();
-    std::vector<double> buf(count, w.rank());
-    std::vector<double> res(count * static_cast<std::size_t>(w.size()), 0.0);
+    const auto n = static_cast<std::size_t>(w.size());
+    const std::size_t count = bytes / sizeof(double);
+    std::vector<double> a(std::max<std::size_t>(count, 1), w.rank() + 1.0);
+    std::vector<double> b(std::max<std::size_t>(count, 1), 0.0);
+    std::vector<double> av(std::max<std::size_t>(count, 1) * n, w.rank() + 1.0);
+    std::vector<double> bv(std::max<std::size_t>(count, 1) * n, 0.0);
     mpi.barrier(w);
     const double t0 = mpi.wtime();
     for (int i = 0; i < iters; ++i) {
-      if (sel == "barrier") {
-        mpi.barrier(w);
-      } else if (sel == "bcast") {
-        mpi.bcast(buf.data(), count, mpi::Datatype::kDouble, 0, w);
-      } else if (sel == "allreduce") {
-        mpi.allreduce(buf.data(), res.data(), count, mpi::Datatype::kDouble, mpi::Op::kSum, w);
-      } else if (sel == "alltoall") {
-        std::vector<double> src(count * static_cast<std::size_t>(w.size()), w.rank());
-        mpi.alltoall(src.data(), count, res.data(), mpi::Datatype::kDouble, w);
+      if (primitive == "bcast") {
+        mpi.bcast(a.data(), count, mpi::Datatype::kDouble, 0, w);
+      } else if (primitive == "allreduce") {
+        mpi.allreduce(a.data(), b.data(), count, mpi::Datatype::kDouble, mpi::Op::kSum, w);
+      } else if (primitive == "alltoall") {
+        // `bytes` is the per-destination block here.
+        mpi.alltoall(av.data(), count, bv.data(), mpi::Datatype::kDouble, w);
+      } else if (primitive == "reduce_scatter") {
+        // `bytes` is the total vector; each rank keeps bytes/n.
+        mpi.reduce_scatter_block(av.data(), bv.data(), count / n, mpi::Datatype::kDouble,
+                                 mpi::Op::kSum, w);
+      } else if (primitive == "scan") {
+        mpi.scan(a.data(), b.data(), count, mpi::Datatype::kDouble, mpi::Op::kSum, w);
       }
     }
-    if (w.rank() == 0) out = (mpi.wtime() - t0) * 1e6 / iters;
+    // Makespan, not rank 0's view: a rooted or chain algorithm lets early
+    // ranks run ahead, so fold the slowest rank's elapsed time.
+    double mine = mpi.wtime() - t0;
+    double slowest = 0.0;
+    mpi.allreduce(&mine, &slowest, 1, mpi::Datatype::kDouble, mpi::Op::kMax, w);
+    if (w.rank() == 0) out = slowest * 1e6 / iters;
   });
   return out;
 }
 
+void write_json(const char* path, int nodes, const std::vector<Sample>& samples,
+                const std::vector<Case>& cases) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_collectives: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"collectives\",\n  \"nodes\": %d,\n", nodes);
+  std::fprintf(f, "  \"backend\": \"enhanced\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(f,
+                 "    {\"primitive\": \"%s\", \"algorithm\": \"%s\", \"bytes\": %zu, "
+                 "\"sim_us\": %.3f}%s\n",
+                 s.primitive, s.algorithm, s.bytes, s.sim_us,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedups\": [\n");
+  // One row per (primitive, size): seed algorithm vs the best alternative.
+  std::string rows;
+  for (const Case& c : cases) {
+    for (std::size_t bytes : c.bytes) {
+      const Sample* seed = nullptr;
+      const Sample* best = nullptr;
+      for (const Sample& s : samples) {
+        if (std::strcmp(s.primitive, c.primitive) != 0 || s.bytes != bytes) continue;
+        if (std::strcmp(s.algorithm, c.algorithms[0]) == 0) {
+          seed = &s;
+        } else if (best == nullptr || s.sim_us < best->sim_us) {
+          best = &s;
+        }
+      }
+      if (seed == nullptr || best == nullptr) continue;
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "    {\"primitive\": \"%s\", \"bytes\": %zu, \"baseline\": \"%s\", "
+                    "\"best\": \"%s\", \"speedup\": %.3f},\n",
+                    c.primitive, bytes, seed->algorithm, best->algorithm,
+                    seed->sim_us / best->sim_us);
+      rows += row;
+    }
+  }
+  if (!rows.empty()) rows.erase(rows.size() - 2, 1);  // drop the trailing comma
+  std::fputs(rows.c_str(), f);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
-int main() {
-  using namespace sp;
-  const std::size_t count = 256;  // 2 KiB payloads
-  std::printf("Collective scaling (us per op, %zu doubles), native vs MPI-LAPI\n", count);
-  for (const char* which : {"barrier", "bcast", "allreduce", "alltoall"}) {
-    std::printf("\n%s:\n%-8s %12s %12s %10s\n", which, "nodes", "Native", "MPI-LAPI", "gain");
-    for (int nodes : {2, 4, 8, 16}) {
-      const double n = coll_us(mpi::Backend::kNativePipes, nodes, which, count);
-      const double l = coll_us(mpi::Backend::kLapiEnhanced, nodes, which, count);
-      std::printf("%-8d %12.1f %12.1f %9.2fx\n", nodes, n, l, n / l);
+int main(int argc, char** argv) {
+  int nodes = 16;
+  int iters = 8;
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_collectives [--nodes N] [--iters N] [--quick] [--json FILE]\n");
+      return 2;
     }
+  }
+  if (quick) iters = std::min(iters, 2);
+
+  std::vector<Case> cases = {
+      // Sizes straddle the cutovers (bcast pipeline >= 32 KiB, Rabenseifner
+      // >= 16 KiB, Bruck <= 1 KiB blocks, halving >= 8 KiB total); the last
+      // size is the acceptance point.
+      {"bcast", {"binomial", "pipelined", "scatter_allgather"},
+       {8 * 1024, 32 * 1024, 64 * 1024, 256 * 1024}},
+      {"allreduce", {"reduce_bcast", "recursive_doubling", "rabenseifner"},
+       {2 * 1024, 16 * 1024, 64 * 1024, 256 * 1024}},
+      {"alltoall", {"pairwise", "bruck"}, {128, 512, 2 * 1024}},
+      {"reduce_scatter", {"reduce_scatter", "recursive_halving"},
+       {8 * 1024, 64 * 1024, 256 * 1024}},
+      {"scan", {"linear", "binomial"}, {1 * 1024, 16 * 1024}},
+  };
+  if (quick) {
+    for (Case& c : cases) c.bytes = {c.bytes.back()};
+  }
+
+  std::vector<Sample> samples;
+  std::printf("Collective cutover sweep: %d nodes, enhanced LAPI, simulated us/op\n", nodes);
+  for (const Case& c : cases) {
+    std::printf("\n%s (bytes%s):\n%-12s", c.primitive,
+                std::strcmp(c.primitive, "alltoall") == 0      ? " per block"
+                : std::strcmp(c.primitive, "reduce_scatter") == 0 ? " total"
+                                                                  : "",
+                "bytes");
+    for (const char* algo : c.algorithms) std::printf(" %20s", algo);
+    std::printf("\n");
+    for (std::size_t bytes : c.bytes) {
+      std::printf("%-12zu", bytes);
+      for (const char* algo : c.algorithms) {
+        const double us = run_case(c.primitive, algo, bytes, nodes, iters);
+        samples.push_back({c.primitive, algo, bytes, us});
+        std::printf(" %20.1f", us);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nSpeedup at the acceptance size (seed algorithm / best alternative):\n");
+  for (const Case& c : cases) {
+    const std::size_t bytes = c.bytes.back();
+    double seed_us = 0.0, best_us = 0.0;
+    const char* best_name = "";
+    for (const Sample& s : samples) {
+      if (std::strcmp(s.primitive, c.primitive) != 0 || s.bytes != bytes) continue;
+      if (std::strcmp(s.algorithm, c.algorithms[0]) == 0) {
+        seed_us = s.sim_us;
+      } else if (best_us == 0.0 || s.sim_us < best_us) {
+        best_us = s.sim_us;
+        best_name = s.algorithm;
+      }
+    }
+    std::printf("%-16s %8zu B  %-20s %6.2fx\n", c.primitive, bytes, best_name,
+                best_us > 0 ? seed_us / best_us : 0.0);
+  }
+
+  if (json_path != nullptr) {
+    write_json(json_path, nodes, samples, cases);
+    std::printf("\nwrote %s\n", json_path);
   }
   return 0;
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
-# Run the simulator-core benchmark and refresh BENCH_simcore.json.
+# Run the JSON-emitting benchmarks and refresh the committed BENCH_*.json
+# artifacts: BENCH_simcore.json (simulator-core host throughput) and
+# BENCH_collectives.json (collective-engine cutover sweep, simulated time).
 #
 # Usage: scripts/bench_json.sh [build-dir] [reps]
-#   build-dir  CMake build tree containing bench/bench_simcore (default: build)
-#   reps       repetitions per workload; the minimum wall time is kept
-#              (default: 5)
+#   build-dir  CMake build tree containing bench/ binaries (default: build)
+#   reps       repetitions per simcore workload; the minimum wall time is
+#              kept (default: 5). The collectives sweep is simulated-time and
+#              deterministic, so it has no reps knob.
 #
 # Build the tree in Release (the default CMAKE_BUILD_TYPE) first:
 #   cmake -B build -S . && cmake --build build -j
@@ -13,12 +16,16 @@ set -eu
 repo_root="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 reps="${2:-5}"
-bench="$build_dir/bench/bench_simcore"
 
-if [ ! -x "$bench" ]; then
-  echo "error: $bench not found or not executable; build the tree first" >&2
-  exit 1
-fi
+for bench in bench_simcore bench_collectives; do
+  if [ ! -x "$build_dir/bench/$bench" ]; then
+    echo "error: $build_dir/bench/$bench not found or not executable; build the tree first" >&2
+    exit 1
+  fi
+done
 
-"$bench" --reps "$reps" --json "$repo_root/BENCH_simcore.json"
+"$build_dir/bench/bench_simcore" --reps "$reps" --json "$repo_root/BENCH_simcore.json"
 echo "wrote $repo_root/BENCH_simcore.json"
+
+"$build_dir/bench/bench_collectives" --json "$repo_root/BENCH_collectives.json"
+echo "wrote $repo_root/BENCH_collectives.json"

@@ -25,12 +25,50 @@ enum class Datatype : std::uint8_t { kByte, kInt, kLong, kFloat, kDouble };
   return 1;
 }
 
-enum class Op : std::uint8_t { kSum, kProd, kMax, kMin, kLand, kLor, kBor };
+/// kMat2x2 treats each consecutive group of 4 elements as a row-major 2x2
+/// matrix and combines groups by matrix multiplication (left operand times
+/// right operand, wrapping unsigned arithmetic on integral types). It is
+/// associative but NOT commutative, which makes it the canonical probe for
+/// reduction operand ordering: every collective algorithm must combine ranks
+/// in communicator order or the product comes out different. Requires
+/// count % 4 == 0.
+enum class Op : std::uint8_t { kSum, kProd, kMax, kMin, kLand, kLor, kBor, kMat2x2 };
 
 namespace detail {
 
+/// inout = inout * in as row-major 2x2 matrices. Integral types multiply and
+/// accumulate in unsigned so overflow wraps with defined behaviour (and
+/// bit-identically across algorithms).
+template <typename T>
+void matmul2x2(const T* in, T* inout) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    const U a = static_cast<U>(inout[0]), b = static_cast<U>(inout[1]);
+    const U c = static_cast<U>(inout[2]), d = static_cast<U>(inout[3]);
+    const U e = static_cast<U>(in[0]), f = static_cast<U>(in[1]);
+    const U g = static_cast<U>(in[2]), h = static_cast<U>(in[3]);
+    inout[0] = static_cast<T>(a * e + b * g);
+    inout[1] = static_cast<T>(a * f + b * h);
+    inout[2] = static_cast<T>(c * e + d * g);
+    inout[3] = static_cast<T>(c * f + d * h);
+  } else {
+    const T a = inout[0], b = inout[1], c = inout[2], d = inout[3];
+    inout[0] = a * in[0] + b * in[2];
+    inout[1] = a * in[1] + b * in[3];
+    inout[2] = c * in[0] + d * in[2];
+    inout[3] = c * in[1] + d * in[3];
+  }
+}
+
 template <typename T>
 void apply_typed(Op op, const T* in, T* inout, std::size_t count) {
+  if (op == Op::kMat2x2) {
+    if (count % 4 != 0) {
+      throw std::invalid_argument("Op::kMat2x2 requires count % 4 == 0");
+    }
+    for (std::size_t g = 0; g < count; g += 4) matmul2x2(in + g, inout + g);
+    return;
+  }
   for (std::size_t i = 0; i < count; ++i) {
     switch (op) {
       // Sum/prod on signed integers compute in unsigned so overflow wraps
@@ -63,6 +101,7 @@ void apply_typed(Op op, const T* in, T* inout, std::size_t count) {
           throw std::invalid_argument("bitwise OR on floating-point datatype");
         }
         break;
+      case Op::kMat2x2: break;  // handled group-wise above
     }
   }
 }

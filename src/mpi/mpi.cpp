@@ -6,6 +6,8 @@
 #include <cstring>
 #include <numeric>
 
+#include "mpi/coll.hpp"
+
 namespace sp::mpi {
 
 namespace {
@@ -46,6 +48,37 @@ class MpiCallScope {
  private:
   sim::NodeRuntime& node_;
   sim::MpiCall call_;
+  sim::TimeNs start_ = 0;
+};
+
+/// RAII span for one resolved collective algorithm: a kCollBegin/kCollEnd
+/// telemetry span (nested inside the MpiCallScope of the public call) plus
+/// the per-algorithm invocation counter. Free with telemetry disabled.
+class CollScope {
+ public:
+  CollScope(sim::NodeRuntime& node, sim::CollAlgo algo, std::uint64_t payload_bytes) noexcept
+      : node_(node), algo_(algo) {
+    if (node_.telemetry != nullptr) {
+      start_ = node_.sim.now();
+      node_.telemetry->record_coll(node_.node, algo_);
+      node_.telemetry->emit(start_, node_.node, sim::Ev::kCollBegin,
+                            static_cast<std::uint64_t>(algo_), payload_bytes);
+    }
+  }
+  ~CollScope() {
+    if (node_.telemetry != nullptr) {
+      const sim::TimeNs now = node_.sim.now();
+      node_.telemetry->emit(now, node_.node, sim::Ev::kCollEnd,
+                            static_cast<std::uint64_t>(algo_),
+                            static_cast<std::uint64_t>(now - start_));
+    }
+  }
+  CollScope(const CollScope&) = delete;
+  CollScope& operator=(const CollScope&) = delete;
+
+ private:
+  sim::NodeRuntime& node_;
+  sim::CollAlgo algo_;
   sim::TimeNs start_ = 0;
 };
 }  // namespace
@@ -503,11 +536,16 @@ void* Mpi::buffer_detach() {
 // Collectives (decomposed into point-to-point, as the paper's MPI layer does)
 // ---------------------------------------------------------------------------
 
+// Tag discipline (see coll.hpp): every collective allocates exactly ONE
+// sequence tag per call, before any early return, so ranks that live in
+// different-sized split() sub-communicators — where n <= 1 holds for some
+// members and not others — keep their coll_seq_ counters in lockstep.
+
 void Mpi::barrier(const Comm& c) {
   SP_MPI_CALL(kBarrier);
   const int n = c.size();
-  if (n <= 1) return;
   const int tag = coll_tag();
+  if (n <= 1) return;
   const int me = c.rank();
   // Dissemination barrier: log2(n) rounds of sendrecv.
   for (int span = 1; span < n; span <<= 1) {
@@ -522,64 +560,58 @@ void Mpi::barrier(const Comm& c) {
 void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& c) {
   SP_MPI_CALL(kBcast);
   const int n = c.size();
-  if (n <= 1) return;
   const int tag = coll_tag();
-  // Binomial tree rooted at `root`; ranks are rotated so root becomes 0.
-  const int vrank = (c.rank() - root + n) % n;
-  int mask = 1;
-  while (mask < n) {
-    if ((vrank & mask) != 0) {
-      const int vsrc = vrank - mask;
-      recv(buf, count, d, (vsrc + root) % n, tag, c);
+  if (n <= 1) return;
+  const std::size_t bytes = count * datatype_size(d);
+  const coll::BcastAlgo algo = coll::select_bcast(node_.cfg, bytes, n);
+  CollScope span(node_, coll::telem_id(algo), bytes);
+  switch (algo) {
+    case coll::BcastAlgo::kPipelined:
+      coll::bcast_pipelined(*this, buf, count, d, root, c, tag, node_.cfg.coll_segment_bytes);
       break;
-    }
-    mask <<= 1;
+    case coll::BcastAlgo::kScatterAllgather:
+      coll::bcast_scatter_allgather(*this, buf, count, d, root, c, tag);
+      break;
+    default: coll::bcast_binomial(*this, buf, count, d, root, c, tag); break;
   }
-  mask >>= 1;
-  while (mask > 0) {
-    if (vrank + mask < n && (vrank & (mask - 1)) == 0 && (vrank & mask) == 0) {
-      const int vdst = vrank + mask;
-      send(buf, count, d, (vdst + root) % n, tag, c);
-    }
-    mask >>= 1;
-  }
+}
+
+void Mpi::bcast(void* buf, std::size_t count, const DerivedDatatype& t, int root,
+                const Comm& c) {
+  // Pack at the root, broadcast the packed bytes (the nested call runs the
+  // algorithm engine and owns the tag), unpack into the user layout.
+  const std::size_t bytes = t.packed_bytes() * count;
+  node_.app_charge(copy_cost(node_.cfg, bytes));
+  std::vector<std::byte> staging(bytes);
+  if (c.rank() == root) t.pack(buf, staging.data(), count);
+  bcast(staging.data(), bytes, Datatype::kByte, root, c);
+  if (c.rank() != root) t.unpack(staging.data(), buf, count);
 }
 
 void Mpi::reduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                  int root, const Comm& c) {
   SP_MPI_CALL(kReduce);
-  const int n = c.size();
-  const std::size_t bytes = count * datatype_size(d);
-  std::vector<std::byte> acc(bytes);
-  if (bytes > 0) std::memcpy(acc.data(), sendb, bytes);
-  if (n > 1) {
-    const int tag = coll_tag();
-    const int vrank = (c.rank() - root + n) % n;
-    std::vector<std::byte> incoming(bytes);
-    // Binomial reduction tree toward virtual rank 0.
-    int mask = 1;
-    while (mask < n) {
-      if ((vrank & mask) != 0) {
-        const int vdst = vrank - mask;
-        send(acc.data(), count, d, (vdst + root) % n, tag, c);
-        break;
-      }
-      const int vsrc = vrank + mask;
-      if (vsrc < n) {
-        recv(incoming.data(), count, d, (vsrc + root) % n, tag, c);
-        reduce_apply(op, d, incoming.data(), acc.data(), count);
-      }
-      mask <<= 1;
-    }
-  }
-  if (c.rank() == root && bytes > 0) std::memcpy(recvb, acc.data(), bytes);
+  const int tag = coll_tag();
+  coll::reduce_binomial(*this, sendb, recvb, count, d, op, root, c, tag);
 }
 
 void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                     const Comm& c) {
   SP_MPI_CALL(kAllreduce);
-  reduce(sendb, recvb, count, d, op, 0, c);
-  bcast(recvb, count, d, 0, c);
+  const int n = c.size();
+  const int tag = coll_tag();
+  const std::size_t bytes = count * datatype_size(d);
+  const coll::AllreduceAlgo algo = coll::select_allreduce(node_.cfg, bytes, n);
+  CollScope span(node_, coll::telem_id(algo), bytes);
+  switch (algo) {
+    case coll::AllreduceAlgo::kRecursiveDoubling:
+      coll::allreduce_recursive_doubling(*this, sendb, recvb, count, d, op, c, tag);
+      break;
+    case coll::AllreduceAlgo::kRabenseifner:
+      coll::allreduce_rabenseifner(*this, sendb, recvb, count, d, op, c, tag);
+      break;
+    default: coll::allreduce_reduce_bcast(*this, sendb, recvb, count, d, op, c, tag); break;
+  }
 }
 
 void Mpi::gather(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
@@ -627,9 +659,9 @@ void Mpi::allgather(const void* sendb, std::size_t count, void* recvb, Datatype 
   const std::size_t bytes = count * datatype_size(d);
   auto* out = static_cast<std::byte*>(recvb);
   const int me = c.rank();
+  const int tag = coll_tag();
   if (bytes > 0) std::memcpy(out + static_cast<std::size_t>(me) * bytes, sendb, bytes);
   if (n <= 1) return;
-  const int tag = coll_tag();
   // Ring: in step k, forward the block received in step k-1.
   for (int k = 0; k < n - 1; ++k) {
     const int to = (me + 1) % n;
@@ -645,21 +677,14 @@ void Mpi::alltoall(const void* sendb, std::size_t count, void* recvb, Datatype d
                    const Comm& c) {
   SP_MPI_CALL(kAlltoall);
   const int n = c.size();
-  const std::size_t bytes = count * datatype_size(d);
-  const auto* in = static_cast<const std::byte*>(sendb);
-  auto* out = static_cast<std::byte*>(recvb);
-  const int me = c.rank();
-  if (bytes > 0) {
-    std::memcpy(out + static_cast<std::size_t>(me) * bytes,
-                in + static_cast<std::size_t>(me) * bytes, bytes);
-  }
   const int tag = coll_tag();
-  // Pairwise exchange with a rotating partner schedule.
-  for (int k = 1; k < n; ++k) {
-    const int to = (me + k) % n;
-    const int from = (me - k + n) % n;
-    sendrecv(in + static_cast<std::size_t>(to) * bytes, count, to, tag,
-             out + static_cast<std::size_t>(from) * bytes, count, from, tag, d, c);
+  const std::size_t bytes = count * datatype_size(d);
+  const coll::AlltoallAlgo algo = coll::select_alltoall(node_.cfg, bytes, n);
+  CollScope span(node_, coll::telem_id(algo), bytes * static_cast<std::uint64_t>(n));
+  if (algo == coll::AlltoallAlgo::kBruck) {
+    coll::alltoall_bruck(*this, sendb, count, recvb, d, c, tag);
+  } else {
+    coll::alltoall_pairwise(*this, sendb, count, recvb, d, c, tag);
   }
 }
 
@@ -688,42 +713,30 @@ void Mpi::alltoallv(const void* sendb, const std::size_t* scounts, const std::si
 void Mpi::scan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                const Comm& c) {
   SP_MPI_CALL(kScan);
-  const std::size_t bytes = count * datatype_size(d);
-  const int me = c.rank();
+  const int n = c.size();
   const int tag = coll_tag();
-  // Linear chain: result_r = v_0 op ... op v_r, accumulated left to right.
-  if (bytes > 0) std::memcpy(recvb, sendb, bytes);
-  if (me > 0) {
-    std::vector<std::byte> acc(bytes);
-    recv(acc.data(), count, d, me - 1, tag, c);
-    // recvb = acc op mine (operand order matters for non-commutative views).
-    std::vector<std::byte> mine(bytes);
-    std::memcpy(mine.data(), recvb, bytes);
-    std::memcpy(recvb, acc.data(), bytes);
-    reduce_apply(op, d, mine.data(), recvb, count);
-  }
-  if (me + 1 < c.size()) {
-    send(recvb, count, d, me + 1, tag, c);
+  const std::size_t bytes = count * datatype_size(d);
+  const coll::ScanAlgo algo = coll::select_scan(node_.cfg, bytes, n);
+  CollScope span(node_, coll::telem_id(algo, /*exclusive=*/false), bytes);
+  if (algo == coll::ScanAlgo::kBinomial) {
+    coll::scan_binomial(*this, sendb, recvb, count, d, op, c, tag);
+  } else {
+    coll::scan_linear(*this, sendb, recvb, count, d, op, c, tag);
   }
 }
 
 void Mpi::exscan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                  const Comm& c) {
   SP_MPI_CALL(kExscan);
-  const std::size_t bytes = count * datatype_size(d);
-  const int me = c.rank();
+  const int n = c.size();
   const int tag = coll_tag();
-  std::vector<std::byte> carry(bytes);  // v_0 op ... op v_me (to forward)
-  if (bytes > 0) std::memcpy(carry.data(), sendb, bytes);
-  if (me > 0) {
-    std::vector<std::byte> acc(bytes);
-    recv(acc.data(), count, d, me - 1, tag, c);
-    if (bytes > 0) std::memcpy(recvb, acc.data(), bytes);  // exclusive prefix
-    reduce_apply(op, d, sendb, acc.data(), count);
-    carry = std::move(acc);
-  }
-  if (me + 1 < c.size()) {
-    send(carry.data(), count, d, me + 1, tag, c);
+  const std::size_t bytes = count * datatype_size(d);
+  const coll::ScanAlgo algo = coll::select_scan(node_.cfg, bytes, n);
+  CollScope span(node_, coll::telem_id(algo, /*exclusive=*/true), bytes);
+  if (algo == coll::ScanAlgo::kBinomial) {
+    coll::exscan_binomial(*this, sendb, recvb, count, d, op, c, tag);
+  } else {
+    coll::exscan_linear(*this, sendb, recvb, count, d, op, c, tag);
   }
 }
 
@@ -772,9 +785,15 @@ void Mpi::reduce_scatter_block(const void* sendb, void* recvb, std::size_t count
                                Op op, const Comm& c) {
   SP_MPI_CALL(kReduceScatter);
   const int n = c.size();
-  std::vector<std::byte> full(count * static_cast<std::size_t>(n) * datatype_size(d));
-  reduce(sendb, full.data(), count * static_cast<std::size_t>(n), d, op, 0, c);
-  scatter(full.data(), count, recvb, d, 0, c);
+  const int tag = coll_tag();
+  const std::size_t total_bytes = count * static_cast<std::size_t>(n) * datatype_size(d);
+  const coll::ReduceScatterAlgo algo = coll::select_reduce_scatter(node_.cfg, total_bytes, n);
+  CollScope span(node_, coll::telem_id(algo), total_bytes);
+  if (algo == coll::ReduceScatterAlgo::kRecursiveHalving) {
+    coll::reduce_scatter_recursive_halving(*this, sendb, recvb, count, d, op, c, tag);
+  } else {
+    coll::reduce_scatter_via_reduce(*this, sendb, recvb, count, d, op, c, tag);
+  }
 }
 
 // ---------------------------------------------------------------------------

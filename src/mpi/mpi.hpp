@@ -123,6 +123,9 @@ class Mpi {
                               int dst, int tag, const Comm& c);
   [[nodiscard]] Request irecv(void* buf, std::size_t count, const DerivedDatatype& t, int src,
                               int tag, const Comm& c);
+  /// Collective over a derived layout: packs at the root, broadcasts the
+  /// packed bytes through the algorithm engine, unpacks everywhere else.
+  void bcast(void* buf, std::size_t count, const DerivedDatatype& t, int root, const Comm& c);
 
   // --- persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start) ---
   [[nodiscard]] Request send_init(const void* buf, std::size_t count, Datatype d, int dst,

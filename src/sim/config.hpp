@@ -148,6 +148,37 @@ struct MachineConfig {
   /// Early-arrival buffer capacity per task.
   std::size_t early_arrival_bytes = 1 * 1024 * 1024;
 
+  // --- Collective algorithm engine (sp::mpi::coll, DESIGN.md §12) -----------
+  // Per-primitive algorithm pins. 0 = auto (size/topology selection below);
+  // nonzero values index the primitive's algorithm enum in src/mpi/coll.hpp
+  // (e.g. bcast: 1=binomial, 2=pipelined, 3=scatter_allgather). Benchmarks
+  // and the conformance matrix pin concrete algorithms through these.
+  int coll_bcast_algo = 0;
+  int coll_allreduce_algo = 0;
+  int coll_alltoall_algo = 0;
+  int coll_reduce_scatter_algo = 0;
+  int coll_scan_algo = 0;
+  /// Auto-selection cutovers. A bcast at least this large uses the pipelined
+  /// segmented binomial tree (latency ~ T + (log2 n - 1) * T_seg instead of
+  /// log2 n * T).
+  std::size_t coll_bcast_pipeline_min_bytes = 32 * 1024;
+  /// Segment size for pipelined collectives; a few packets per segment keeps
+  /// per-segment overhead amortized while segments still overlap tree hops.
+  std::size_t coll_segment_bytes = 16 * 1024;
+  /// An allreduce at least this large uses Rabenseifner (reduce-scatter +
+  /// allgather, ~2 * (n-1)/n vector volume per node instead of the reduce +
+  /// bcast tree's log2 n full-vector hops); below it, recursive doubling
+  /// (log2 n rounds, one message each) beats the two-phase tree.
+  std::size_t coll_allreduce_rabenseifner_min_bytes = 16 * 1024;
+  /// An alltoall with per-block payload at most this uses Bruck (log2 n
+  /// rounds of aggregated blocks instead of n-1 pairwise exchanges). The
+  /// default stays below the 2 KiB blocks of the pinned determinism workload
+  /// so seed schedules keep the pairwise exchange.
+  std::size_t coll_alltoall_bruck_max_bytes = 1024;
+  /// A reduce_scatter_block whose full input vector is at least this large
+  /// uses recursive halving instead of reduce + scatter through rank 0.
+  std::size_t coll_reduce_scatter_halving_min_bytes = 8 * 1024;
+
   // --- Simulation ----------------------------------------------------------
   /// Quantum a spinning rank thread advances between memory probes.
   TimeNs spin_check_ns = 500;

@@ -69,8 +69,10 @@ struct RankObs {
   std::uint64_t payload = kFnvBasis;
   std::uint64_t status = kFnvBasis;
   std::uint64_t wildcard = 0;  ///< Commutative (summed) fold.
+  std::uint64_t coll = kFnvBasis;
   std::uint64_t checksum = 0;
   bool payload_ok = true;
+  bool coll_ok = true;
 };
 
 void conformance_workload(const Perturbation& p, const std::vector<SoupMsg>& schedule,
@@ -169,9 +171,112 @@ void conformance_workload(const Perturbation& p, const std::vector<SoupMsg>& sch
     o.wildcard += h;  // commutative
   }
 
-  // Phase C: a reduction over the per-rank payload folds — every rank must
-  // agree on the total, and the total must match across channels.
-  std::uint64_t local = o.payload ^ o.wildcard;
+  // Phase C: collectives under the vector's algorithm pins. Every input is a
+  // pure function of (rank, workload_seed), so each rank also computes the
+  // exact wrapping-integer sequential reference locally and verifies against
+  // it in place — no extra machine runs. The folded results feed the
+  // conformance digest: algorithm choice must never change what the user
+  // sees, and Pipes and LAPI must agree bit-for-bit.
+  {
+    using mpi::Op;
+    const int n = p.nodes;
+    Pcg32 cg(p.workload_seed, /*stream=*/0xc0117ULL);
+    // Sizes straddle the engine's cutovers (small stays on the latency
+    // algorithms; large crosses the 16 KiB Rabenseifner threshold) and are
+    // granule-4 so Op::kMat2x2 is always legal.
+    const std::size_t small = 4 * (1 + cg.next_below(4));
+    const std::size_t large = 4 * (256 + cg.next_below(512));
+    const int root = static_cast<int>(cg.next_below(static_cast<std::uint32_t>(n)));
+    const auto val = [&](int r, std::size_t i) {
+      return (static_cast<std::uint64_t>(r) + 1) * 0x9e3779b97f4a7c15ULL + i * 1000003 +
+             p.workload_seed;
+    };
+    const auto fold = [&](const std::uint64_t* v, std::size_t cnt) {
+      for (std::size_t i = 0; i < cnt; ++i) o.coll = fnv(o.coll, v[i]);
+    };
+    std::vector<std::uint64_t> in(large), out(large), ref(large);
+
+    // Wrapping-sum allreduce at the large size.
+    for (std::size_t i = 0; i < large; ++i) {
+      in[i] = val(me, i);
+      ref[i] = 0;
+      for (int r = 0; r < n; ++r) ref[i] += val(r, i);
+    }
+    mpi.allreduce(in.data(), out.data(), large, Datatype::kLong, Op::kSum, w);
+    if (std::memcmp(out.data(), ref.data(), large * 8) != 0) o.coll_ok = false;
+    fold(out.data(), large);
+
+    // Non-commutative 2x2 matrix product: whichever allreduce algorithm the
+    // vector pinned must preserve rank order exactly.
+    std::vector<std::uint64_t> mat(small), mref(small), tmp(small);
+    for (std::size_t i = 0; i < small; ++i) mat[i] = val(me, i) | 1;
+    for (std::size_t i = 0; i < small; ++i) mref[i] = val(0, i) | 1;
+    for (int r = 1; r < n; ++r) {
+      for (std::size_t i = 0; i < small; ++i) tmp[i] = val(r, i) | 1;
+      mpi::reduce_apply(Op::kMat2x2, Datatype::kLong, tmp.data(), mref.data(), small);
+    }
+    mpi.allreduce(mat.data(), out.data(), small, Datatype::kLong, Op::kMat2x2, w);
+    if (std::memcmp(out.data(), mref.data(), small * 8) != 0) o.coll_ok = false;
+    fold(out.data(), small);
+
+    // Inclusive prefix sum; each rank checks its own prefix.
+    for (std::size_t i = 0; i < small; ++i) in[i] = val(me, i);
+    mpi.scan(in.data(), out.data(), small, Datatype::kLong, Op::kSum, w);
+    for (std::size_t i = 0; i < small; ++i) {
+      std::uint64_t want = 0;
+      for (int r = 0; r <= me; ++r) want += val(r, i);
+      if (out[i] != want) o.coll_ok = false;
+    }
+    fold(out.data(), small);
+
+    // Large bcast from a seed-chosen root.
+    if (me == root) {
+      for (std::size_t i = 0; i < large; ++i) out[i] = val(root, i) * 3 + 1;
+    } else {
+      std::fill(out.begin(), out.end(), 0);
+    }
+    mpi.bcast(out.data(), large, Datatype::kLong, root, w);
+    for (std::size_t i = 0; i < large; ++i) {
+      if (out[i] != val(root, i) * 3 + 1) o.coll_ok = false;
+    }
+    fold(out.data(), large);
+
+    // Alltoall with per-(src,dst) payloads.
+    std::vector<std::uint64_t> a2a_in(small * static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> a2a_out(small * static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      for (std::size_t i = 0; i < small; ++i) {
+        a2a_in[static_cast<std::size_t>(d) * small + i] =
+            val(me, i + static_cast<std::size_t>(d) * 131);
+      }
+    }
+    mpi.alltoall(a2a_in.data(), small * 8, a2a_out.data(), Datatype::kByte, w);
+    for (int s = 0; s < n; ++s) {
+      for (std::size_t i = 0; i < small; ++i) {
+        if (a2a_out[static_cast<std::size_t>(s) * small + i] !=
+            val(s, i + static_cast<std::size_t>(me) * 131)) {
+          o.coll_ok = false;
+        }
+      }
+    }
+    fold(a2a_out.data(), a2a_out.size());
+
+    // Reduce-scatter-block: each rank checks its own sum block.
+    std::vector<std::uint64_t> rs_in(small * static_cast<std::size_t>(n));
+    std::vector<std::uint64_t> rs_out(small);
+    for (std::size_t i = 0; i < rs_in.size(); ++i) rs_in[i] = val(me, i);
+    mpi.reduce_scatter_block(rs_in.data(), rs_out.data(), small, Datatype::kLong, Op::kSum, w);
+    for (std::size_t i = 0; i < small; ++i) {
+      std::uint64_t want = 0;
+      for (int r = 0; r < n; ++r) want += val(r, static_cast<std::size_t>(me) * small + i);
+      if (rs_out[i] != want) o.coll_ok = false;
+    }
+    fold(rs_out.data(), small);
+  }
+
+  // Phase D: a reduction over the per-rank folds — every rank must agree on
+  // the total, and the total must match across channels.
+  std::uint64_t local = o.payload ^ o.wildcard ^ o.coll;
   std::uint64_t total = 0;
   mpi.allreduce(&local, &total, 1, Datatype::kLong, mpi::Op::kSum, w);
   o.checksum = total;
@@ -314,6 +419,12 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
   cfg.fabric_seed = fabric_seed;
   cfg.event_tie_break_salt = tie_break_salt;
   cfg.debug_disable_reack_coalescing = (flags & kFlagReackStormBug) != 0;
+  // Collective algorithm pins, one nibble per primitive (0 keeps auto).
+  cfg.coll_bcast_algo = static_cast<int>(coll_algos & 0xF);
+  cfg.coll_allreduce_algo = static_cast<int>((coll_algos >> 4) & 0xF);
+  cfg.coll_alltoall_algo = static_cast<int>((coll_algos >> 8) & 0xF);
+  cfg.coll_reduce_scatter_algo = static_cast<int>((coll_algos >> 12) & 0xF);
+  cfg.coll_scan_algo = static_cast<int>((coll_algos >> 16) & 0xF);
   // Lossy runs use the soak timeout so go-back-N recovery happens promptly.
   if (drop_ppm > 0) cfg.retransmit_timeout_ns = 400'000;
   // Telemetry feeds the determinism digest, the ring invariant and the
@@ -325,12 +436,12 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
 std::string Perturbation::token() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "x1-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
-                "-%x-%" PRIx64 "-%x",
+                "x2-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
+                "-%x-%" PRIx64 "-%x-%x",
                 seed, static_cast<unsigned>(nodes), static_cast<unsigned>(msgs_per_rank),
                 workload_seed, fabric_seed, drop_ppm, dup_ppm, route_bias_ppm,
                 static_cast<std::uint64_t>(jitter_ns), static_cast<std::uint64_t>(route_skew_ns),
-                static_cast<unsigned>(burst), tie_break_salt, flags);
+                static_cast<unsigned>(burst), tie_break_salt, flags, coll_algos);
   return buf;
 }
 
@@ -346,15 +457,15 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
     }
   }
   parts.push_back(cur);
-  if (parts.size() != 14 || parts[0] != "x1") return std::nullopt;
+  if (parts.size() != 15 || parts[0] != "x2") return std::nullopt;
   auto u64 = [](const std::string& s, std::uint64_t& out) {
     if (s.empty()) return false;
     char* end = nullptr;
     out = std::strtoull(s.c_str(), &end, 16);
     return end != nullptr && *end == '\0';
   };
-  std::uint64_t v[13];
-  for (std::size_t i = 0; i < 13; ++i) {
+  std::uint64_t v[14];
+  for (std::size_t i = 0; i < 14; ++i) {
     if (!u64(parts[i + 1], v[i])) return std::nullopt;
   }
   Perturbation p;
@@ -371,9 +482,17 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   p.burst = static_cast<int>(v[10]);
   p.tie_break_salt = v[11];
   p.flags = static_cast<std::uint32_t>(v[12]);
+  p.coll_algos = static_cast<std::uint32_t>(v[13]);
   if (p.nodes < 2 || p.nodes > 64 || p.msgs_per_rank < 1 || p.msgs_per_rank > 4096 ||
       p.burst < 1 || p.burst > 64 || p.drop_ppm > 500'000 || p.dup_ppm > 500'000 ||
       p.route_bias_ppm > 1'000'000) {
+    return std::nullopt;
+  }
+  // Per-primitive pin bounds: bcast/allreduce have 3 algorithms + auto,
+  // alltoall/reduce_scatter/scan have 2 + auto; nothing above the scan nibble.
+  const std::uint32_t a = p.coll_algos;
+  if ((a >> 20) != 0 || (a & 0xF) > 3 || ((a >> 4) & 0xF) > 3 || ((a >> 8) & 0xF) > 2 ||
+      ((a >> 12) & 0xF) > 2 || ((a >> 16) & 0xF) > 2) {
     return std::nullopt;
   }
   return p;
@@ -405,6 +524,13 @@ Perturbation Explorer::perturbation_for(std::uint64_t seed) const {
   if (g.next_below(2) != 0) p.route_skew_ns = static_cast<TimeNs>(g.next_below(4'000));
   if (g.next_below(2) != 0) p.tie_break_salt = u64() | 1;  // never 0 when on
   if (g.next_below(4) == 0) p.flags |= Perturbation::kFlagInterruptMode;
+  // Half the space pins collective algorithms (one nibble per primitive,
+  // 0 = auto within each draw too) so the sweep differentials every
+  // algorithm pairing against both channels and the sequential references.
+  if (g.next_below(2) != 0) {
+    p.coll_algos = g.next_below(4) | (g.next_below(4) << 4) | (g.next_below(3) << 8) |
+                   (g.next_below(3) << 12) | (g.next_below(3) << 16);
+  }
   if (opts_.inject_reack_bug) p.flags |= Perturbation::kFlagReackStormBug;
   return p;
 }
@@ -435,12 +561,16 @@ Explorer::RunOutcome Explorer::run_channel(const Perturbation& p, mpi::Backend b
   out.payload_digest = kFnvBasis;
   out.status_digest = kFnvBasis;
   out.wildcard_digest = 0;
+  out.coll_digest = kFnvBasis;
   bool payload_ok = true;
+  bool coll_ok = true;
   for (const RankObs& o : obs) {
     out.payload_digest = fnv(out.payload_digest, o.payload);
     out.status_digest = fnv(out.status_digest, o.status);
     out.wildcard_digest += o.wildcard;
+    out.coll_digest = fnv(out.coll_digest, o.coll);
     payload_ok = payload_ok && o.payload_ok;
+    coll_ok = coll_ok && o.coll_ok;
   }
   out.checksum = obs.empty() ? 0 : obs[0].checksum;
   for (const RankObs& o : obs) {
@@ -450,12 +580,17 @@ Explorer::RunOutcome Explorer::run_channel(const Perturbation& p, mpi::Backend b
     }
   }
   if (!payload_ok) out.invariant_violations.push_back("received payload bytes corrupted");
+  if (!coll_ok) {
+    out.invariant_violations.push_back(
+        "collective results diverge from the sequential reference");
+  }
   out.match_digest = fold_match_logs(logs);
   std::uint64_t d = kFnvBasis;
   d = fnv(d, out.payload_digest);
   d = fnv(d, out.status_digest);
   d = fnv(d, out.match_digest);
   d = fnv(d, out.wildcard_digest);
+  d = fnv(d, out.coll_digest);
   d = fnv(d, out.checksum);
   out.conformance_digest = d;
   return out;
@@ -487,6 +622,7 @@ std::optional<std::string> Explorer::check(const Perturbation& p) {
   if (auto f = diff("status fields", pipes.status_digest, lapi.status_digest)) return f;
   if (auto f = diff("match order", pipes.match_digest, lapi.match_digest)) return f;
   if (auto f = diff("wildcard fold", pipes.wildcard_digest, lapi.wildcard_digest)) return f;
+  if (auto f = diff("collective results", pipes.coll_digest, lapi.coll_digest)) return f;
   if (auto f = diff("allreduce checksum", pipes.checksum, lapi.checksum)) return f;
   return std::nullopt;
 }
@@ -514,6 +650,7 @@ Perturbation Explorer::shrink(Perturbation p) {
       with([](Perturbation& q) { q.route_skew_ns = 0; });
       with([](Perturbation& q) { q.tie_break_salt = 0; });
       with([](Perturbation& q) { q.flags &= ~Perturbation::kFlagInterruptMode; });
+      with([](Perturbation& q) { q.coll_algos = 0; });
       return c;
     }();
     for (const Perturbation& q : ablations) {

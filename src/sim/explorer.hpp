@@ -7,7 +7,8 @@
 // mode); the same deterministic mixed eager/rendezvous workload then runs on
 // BOTH the native Pipes channel and a LAPI channel under that vector, and the
 // channel-invariant observables — received payloads, match order per
-// (ctx, src, tag), MPI status fields, final rank buffers — must agree, while
+// (ctx, src, tag), MPI status fields, collective results under the vector's
+// pinned algorithms, final rank buffers — must agree, while
 // channel-specific transport counters must satisfy declared invariants
 // (retransmit bounds, re-ack coalescing, telemetry ring accounting).
 //
@@ -64,13 +65,21 @@ struct Perturbation {
   /// Run the workload in interrupt (rather than polling) mode.
   static constexpr std::uint32_t kFlagInterruptMode = 1u << 1;
 
+  /// Collective algorithm pins, one nibble per primitive (0 = auto): bits
+  /// [0,4) bcast, [4,8) allreduce, [8,12) alltoall, [12,16) reduce_scatter,
+  /// [16,20) scan. Values are the MachineConfig coll_*_algo enums; parse()
+  /// rejects out-of-range nibbles. Algorithm choice must never change the
+  /// user-visible results, so the pins perturb schedules, not digests of
+  /// collective outputs.
+  std::uint32_t coll_algos = 0;
+
   bool operator==(const Perturbation&) const = default;
 
   /// Overlay this vector on a base config (also enables telemetry: the
   /// explorer uses its digest and ring accounting as observables).
   [[nodiscard]] MachineConfig apply(MachineConfig base) const;
 
-  /// Compact repro token ("x1-..." hex fields); parse() round-trips it.
+  /// Compact repro token ("x2-..." hex fields); parse() round-trips it.
   [[nodiscard]] std::string token() const;
   [[nodiscard]] static std::optional<Perturbation> parse(const std::string& token);
 };
@@ -105,6 +114,7 @@ class Explorer {
     std::uint64_t status_digest = 0;    ///< waitall Status fields, posted order.
     std::uint64_t match_digest = 0;     ///< Per-(ctx,src,tag) match order.
     std::uint64_t wildcard_digest = 0;  ///< Order-insensitive wildcard fold.
+    std::uint64_t coll_digest = 0;      ///< Collective results, folded in rank order.
     std::uint64_t checksum = 0;         ///< Allreduce total (same on all ranks).
     std::uint64_t conformance_digest = 0;  ///< Fold of all of the above.
 

@@ -44,6 +44,8 @@ constexpr std::array<EvInfo, kNumEvents> kEvInfo = {{
     {"mpi.exit", Layer::kMpi},
     {"nas.kernel_begin", Layer::kNas},
     {"nas.kernel_end", Layer::kNas},
+    {"mpi.coll_begin", Layer::kMpi},
+    {"mpi.coll_end", Layer::kMpi},
 }};
 
 constexpr std::array<const char*, kNumLayers> kLayerNames = {
@@ -60,6 +62,14 @@ constexpr std::array<const char*, kNumMpiCalls> kMpiCallNames = {
 
 constexpr std::array<const char*, 8> kNasKernelNames = {"EP", "IS", "CG", "MG",
                                                         "FT", "LU", "BT", "SP"};
+
+constexpr std::array<const char*, kNumCollAlgos> kCollAlgoNames = {
+    "bcast/binomial",          "bcast/pipelined",         "bcast/scatter_allgather",
+    "allreduce/reduce_bcast",  "allreduce/recursive_doubling", "allreduce/rabenseifner",
+    "alltoall/pairwise",       "alltoall/bruck",
+    "reduce_scatter/reduce_scatter", "reduce_scatter/recursive_halving",
+    "scan/linear",             "scan/binomial",
+    "exscan/linear",           "exscan/binomial"};
 
 constexpr std::array<const char*, kNumHists> kHistNames = {
     "mpi_call_ns", "irq_service_ns", "match_scanned", "msg_bytes"};
@@ -78,16 +88,25 @@ constexpr std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) noexcept {
 
 /// Span-style events become B/E pairs in the Chrome exporter; everything else
 /// is an instant event.
-bool is_begin(Ev e) noexcept { return e == Ev::kMpiEnter || e == Ev::kKernelBegin; }
-bool is_end(Ev e) noexcept { return e == Ev::kMpiExit || e == Ev::kKernelEnd; }
+bool is_begin(Ev e) noexcept {
+  return e == Ev::kMpiEnter || e == Ev::kKernelBegin || e == Ev::kCollBegin;
+}
+bool is_end(Ev e) noexcept {
+  return e == Ev::kMpiExit || e == Ev::kKernelEnd || e == Ev::kCollEnd;
+}
 
-/// Chrome span name for a B/E record: the MPI call or NAS kernel in a0.
+/// Chrome span name for a B/E record: the MPI call, NAS kernel or collective
+/// algorithm in a0.
 const char* span_name(const TraceRecord& r) noexcept {
   const Ev e = static_cast<Ev>(r.event);
   if (e == Ev::kMpiEnter || e == Ev::kMpiExit) {
     return r.a0 < static_cast<std::uint64_t>(kNumMpiCalls)
                ? kMpiCallNames[static_cast<std::size_t>(r.a0)]
                : "MPI_?";
+  }
+  if (e == Ev::kCollBegin || e == Ev::kCollEnd) {
+    return r.a0 < kCollAlgoNames.size() ? kCollAlgoNames[static_cast<std::size_t>(r.a0)]
+                                        : "coll/?";
   }
   return r.a0 < kNasKernelNames.size() ? kNasKernelNames[static_cast<std::size_t>(r.a0)]
                                        : "NAS_?";
@@ -115,6 +134,10 @@ const char* nas_kernel_name(NasKernel k) noexcept {
   return kNasKernelNames[static_cast<std::size_t>(k)];
 }
 
+const char* coll_algo_name(CollAlgo a) noexcept {
+  return kCollAlgoNames[static_cast<std::size_t>(a)];
+}
+
 const char* hist_name(Hist h) noexcept {
   return kHistNames[static_cast<std::size_t>(h)];
 }
@@ -123,11 +146,18 @@ Telemetry::Telemetry(int num_nodes, std::size_t ring_bytes)
     : num_nodes_(num_nodes),
       ring_(std::max<std::size_t>(1, ring_bytes / sizeof(TraceRecord))),
       counters_(static_cast<std::size_t>(num_nodes) * kNumEvents, 0),
-      hist_(static_cast<std::size_t>(num_nodes) * kNumHists * kHistBuckets, 0) {}
+      hist_(static_cast<std::size_t>(num_nodes) * kNumHists * kHistBuckets, 0),
+      coll_counters_(static_cast<std::size_t>(num_nodes) * kNumCollAlgos, 0) {}
 
 std::uint64_t Telemetry::counter_total(Ev e) const noexcept {
   std::uint64_t total = 0;
   for (int n = 0; n < num_nodes_; ++n) total += counters_[counter_index(n, e)];
+  return total;
+}
+
+std::uint64_t Telemetry::coll_count_total(CollAlgo a) const noexcept {
+  std::uint64_t total = 0;
+  for (int n = 0; n < num_nodes_; ++n) total += coll_counters_[coll_index(n, a)];
   return total;
 }
 
@@ -262,6 +292,22 @@ void Telemetry::print_metrics(std::FILE* out) const {
     std::fprintf(out, "%-24s %12" PRIu64, event_name(ev), counter_total(ev));
     for (int n = 0; n < num_nodes_; ++n) {
       std::fprintf(out, " %11" PRIu64, counter(n, ev));
+    }
+    std::fputc('\n', out);
+  }
+  bool coll_header = false;
+  for (int a = 0; a < kNumCollAlgos; ++a) {
+    const CollAlgo algo = static_cast<CollAlgo>(a);
+    if (coll_count_total(algo) == 0) continue;
+    if (!coll_header) {
+      std::fprintf(out, "\n%-34s %12s", "collective algorithm", "calls");
+      for (int n = 0; n < num_nodes_; ++n) std::fprintf(out, " %10s%d", "n", n);
+      std::fputc('\n', out);
+      coll_header = true;
+    }
+    std::fprintf(out, "%-34s %12" PRIu64, coll_algo_name(algo), coll_count_total(algo));
+    for (int n = 0; n < num_nodes_; ++n) {
+      std::fprintf(out, " %11" PRIu64, coll_count(n, algo));
     }
     std::fputc('\n', out);
   }

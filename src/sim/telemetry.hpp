@@ -71,8 +71,12 @@ enum class Ev : std::uint16_t {
   // nas (workloads)
   kKernelBegin,      ///< a0 = NasKernel, a1 = scale
   kKernelEnd,        ///< a0 = NasKernel, a1 = 1 if verified
+  // mpi collective algorithm engine (appended so earlier event ids — and the
+  // pinned telemetry digests of runs that emit none of these — stay stable)
+  kCollBegin,        ///< a0 = CollAlgo, a1 = payload bytes
+  kCollEnd,          ///< a0 = CollAlgo, a1 = span duration ns
 };
-inline constexpr int kNumEvents = static_cast<int>(Ev::kKernelEnd) + 1;
+inline constexpr int kNumEvents = static_cast<int>(Ev::kCollEnd) + 1;
 
 [[nodiscard]] const char* event_name(Ev e) noexcept;
 [[nodiscard]] Layer event_layer(Ev e) noexcept;
@@ -93,6 +97,20 @@ inline constexpr int kNumMpiCalls = static_cast<int>(MpiCall::kStart) + 1;
 /// NAS mini-kernels, carried in a0 of kKernelBegin/kKernelEnd.
 enum class NasKernel : std::uint8_t { kEp, kIs, kCg, kMg, kFt, kLu, kBt, kSp };
 [[nodiscard]] const char* nas_kernel_name(NasKernel k) noexcept;
+
+/// Every (collective, algorithm) pair of the sp::mpi::coll engine, carried in
+/// a0 of kCollBegin/kCollEnd and counted per node by Telemetry::record_coll.
+/// Lives in the sim layer (like MpiCall) so exporters can name the spans.
+enum class CollAlgo : std::uint8_t {
+  kBcastBinomial, kBcastPipelined, kBcastScatterAllgather,
+  kAllreduceReduceBcast, kAllreduceRecursiveDoubling, kAllreduceRabenseifner,
+  kAlltoallPairwise, kAlltoallBruck,
+  kReduceScatterReduceScatter, kReduceScatterRecursiveHalving,
+  kScanLinear, kScanBinomial,
+  kExscanLinear, kExscanBinomial,
+};
+inline constexpr int kNumCollAlgos = static_cast<int>(CollAlgo::kExscanBinomial) + 1;
+[[nodiscard]] const char* coll_algo_name(CollAlgo a) noexcept;
 
 /// Live latency/size distributions, log2-bucketed (HDR style).
 enum class Hist : std::uint8_t {
@@ -153,6 +171,12 @@ class Telemetry {
     ++hist_[hist_index(node, h, hist_bucket(value))];
   }
 
+  /// Bump the per-(node, collective-algorithm) counter. Allocation-free;
+  /// emitted by the collective engine alongside its kCollBegin span.
+  void record_coll(int node, CollAlgo a) noexcept {
+    ++coll_counters_[coll_index(node, a)];
+  }
+
   // --- queries -------------------------------------------------------------
   [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
   [[nodiscard]] std::size_t ring_capacity() const noexcept { return ring_.size(); }
@@ -168,6 +192,10 @@ class Telemetry {
   [[nodiscard]] std::uint64_t hist_count(int node, Hist h, int bucket) const noexcept {
     return hist_[hist_index(node, h, bucket)];
   }
+  [[nodiscard]] std::uint64_t coll_count(int node, CollAlgo a) const noexcept {
+    return coll_counters_[coll_index(node, a)];
+  }
+  [[nodiscard]] std::uint64_t coll_count_total(CollAlgo a) const noexcept;
 
   /// The retained timeline, oldest record first.
   [[nodiscard]] std::vector<TraceRecord> records() const;
@@ -211,6 +239,9 @@ class Telemetry {
                kHistBuckets +
            static_cast<std::size_t>(bucket);
   }
+  [[nodiscard]] std::size_t coll_index(int node, CollAlgo a) const noexcept {
+    return static_cast<std::size_t>(node) * kNumCollAlgos + static_cast<std::size_t>(a);
+  }
 
   int num_nodes_;
   std::vector<TraceRecord> ring_;
@@ -220,6 +251,7 @@ class Telemetry {
   std::uint64_t dropped_ = 0;
   std::vector<std::uint64_t> counters_;
   std::vector<std::uint64_t> hist_;
+  std::vector<std::uint64_t> coll_counters_;
 };
 
 }  // namespace sp::sim

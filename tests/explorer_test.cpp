@@ -34,6 +34,9 @@ Perturbation busy_vector() {
   p.burst = 3;
   p.tie_break_salt = 0xfeedf00d5eedULL;
   p.flags = Perturbation::kFlagInterruptMode;
+  // Pin every primitive: scan=2, reduce_scatter=1, alltoall=2, allreduce=3,
+  // bcast=2 — all in range for their nibbles.
+  p.coll_algos = 0x21232;
   return p;
 }
 
@@ -55,8 +58,8 @@ TEST(ExplorerToken, RejectsMalformed) {
   EXPECT_TRUE(Perturbation::parse(good).has_value());
 
   EXPECT_FALSE(Perturbation::parse("").has_value());
-  EXPECT_FALSE(Perturbation::parse("x1").has_value());
-  EXPECT_FALSE(Perturbation::parse("x2" + good.substr(2)).has_value());  // wrong version
+  EXPECT_FALSE(Perturbation::parse("x2").has_value());
+  EXPECT_FALSE(Perturbation::parse("x1" + good.substr(2)).has_value());  // old version
   EXPECT_FALSE(Perturbation::parse(good.substr(0, good.rfind('-'))).has_value());  // field missing
   EXPECT_FALSE(Perturbation::parse(good + "-0").has_value());                      // field extra
   EXPECT_FALSE(Perturbation::parse(good + "zz").has_value());                      // trailing junk
@@ -82,6 +85,15 @@ TEST(ExplorerToken, RejectsMalformed) {
   reject(p);
   p = busy_vector();
   p.route_bias_ppm = 1'000'001;
+  reject(p);
+  p = busy_vector();
+  p.coll_algos = 0x4;  // bcast nibble past its last algorithm
+  reject(p);
+  p = busy_vector();
+  p.coll_algos = 0x30000;  // scan nibble past its last algorithm
+  reject(p);
+  p = busy_vector();
+  p.coll_algos = 0x100000;  // bits above the scan nibble
   reject(p);
 }
 
@@ -175,6 +187,38 @@ TEST(ExplorerConformance, TieBreakSaltPermutesTimelineNotResults) {
     EXPECT_EQ(salted.conformance_digest, base.conformance_digest) << "salt " << salt;
     // And the full differential check passes under the salt.
     EXPECT_EQ(ex.check(q), std::nullopt);
+  }
+}
+
+TEST(ExplorerConformance, AlgorithmChoiceNeverChangesCollectiveResults) {
+  // The collective-engine observable: pinning any algorithm combination
+  // reroutes the wire traffic (so the match digest legitimately moves) but
+  // must leave the user-visible collective results — and therefore the
+  // cross-rank checksum — bit-identical to auto selection, and each pinned
+  // vector must still pass the full Pipes/LAPI differential check.
+  Explorer::Options opts;
+  Explorer ex(opts);
+  Perturbation p;
+  p.nodes = 5;  // non-power-of-two: exercises the pre-fold paths
+  p.msgs_per_rank = 6;
+  const auto base = ex.run_channel(p, Backend::kLapiEnhanced);
+  ASSERT_TRUE(base.ok()) << (base.invariant_violations.empty()
+                                 ? base.error
+                                 : base.invariant_violations[0]);
+  for (std::uint32_t pins : {0x11111u,   // binomial/reduce_bcast/pairwise/via-reduce/linear
+                             0x21232u,   // the "new" algorithms for every primitive
+                             0x02222u,   // pipelined/rec-doubling/bruck/halving, auto scan
+                             0x00030u}) {  // only allreduce pinned (Rabenseifner)
+    Perturbation q = p;
+    q.coll_algos = pins;
+    const auto pinned = ex.run_channel(q, Backend::kLapiEnhanced);
+    ASSERT_TRUE(pinned.ok()) << "pins=0x" << std::hex << pins << ": "
+                             << (pinned.invariant_violations.empty()
+                                     ? pinned.error
+                                     : pinned.invariant_violations[0]);
+    EXPECT_EQ(pinned.coll_digest, base.coll_digest) << "pins=0x" << std::hex << pins;
+    EXPECT_EQ(pinned.checksum, base.checksum) << "pins=0x" << std::hex << pins;
+    EXPECT_EQ(ex.check(q), std::nullopt) << "pins=0x" << std::hex << pins;
   }
 }
 

@@ -1,10 +1,15 @@
 // Collective operations: correctness over varying communicator sizes, roots,
-// counts and element types, plus communicator dup/split.
+// counts and element types, plus communicator dup/split — and the golden-model
+// conformance matrix for the collective algorithm engine (DESIGN.md §12).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <functional>
 #include <numeric>
+#include <string>
 #include <vector>
 
+#include "mpi/coll.hpp"
 #include "mpi/machine.hpp"
 
 namespace sp::mpi {
@@ -242,6 +247,50 @@ TEST_P(Collectives, DupIsolatesTraffic) {
   });
 }
 
+TEST_P(Collectives, SplitUnevenKeepsCollectiveTagsAligned) {
+  if (nodes() < 2) GTEST_SKIP();
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    // Rank 0 sits alone in its colour. Its collectives in the size-1
+    // sub-communicator must consume exactly as many collective sequence tags
+    // as everyone else's in the size-(n-1) one; the seed returned early from
+    // barrier/bcast/allgather before allocating a tag for n <= 1, so the
+    // world allreduce afterwards deadlocked on mismatched tags.
+    Comm sub = mpi.split(w, w.rank() == 0 ? 0 : 1, w.rank());
+    mpi.barrier(sub);
+    std::vector<int> b(3, sub.rank() == 0 ? 7 : -1);
+    mpi.bcast(b.data(), 3, Datatype::kInt, 0, sub);
+    for (int x : b) EXPECT_EQ(x, 7);
+    std::vector<long> mine{w.rank()};
+    std::vector<long> all(static_cast<std::size_t>(sub.size()), -1);
+    mpi.allgather(mine.data(), 1, all.data(), Datatype::kLong, sub);
+    long me = w.rank(), total = -1;
+    mpi.allreduce(&me, &total, 1, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(total, static_cast<long>(w.size()) * (w.size() - 1) / 2);
+  });
+}
+
+TEST_P(Collectives, ZeroCountCollectivesAreWellDefined) {
+  run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    // count == 0 (null buffers) must neither crash nor desync any rank.
+    mpi.bcast(nullptr, 0, Datatype::kInt, 0, w);
+    mpi.reduce(nullptr, nullptr, 0, Datatype::kLong, Op::kSum, 0, w);
+    mpi.allreduce(nullptr, nullptr, 0, Datatype::kLong, Op::kSum, w);
+    mpi.scan(nullptr, nullptr, 0, Datatype::kLong, Op::kSum, w);
+    mpi.exscan(nullptr, nullptr, 0, Datatype::kLong, Op::kSum, w);
+    mpi.alltoall(nullptr, 0, nullptr, Datatype::kInt, w);
+    mpi.reduce_scatter_block(nullptr, nullptr, 0, Datatype::kLong, Op::kSum, w);
+    mpi.allgather(nullptr, 0, nullptr, Datatype::kLong, w);
+    mpi.gather(nullptr, 0, nullptr, Datatype::kInt, 0, w);
+    mpi.scatter(nullptr, 0, nullptr, Datatype::kInt, 0, w);
+    // The machine is still healthy: a real allreduce works right after.
+    long mine = w.rank() + 1, sum = 0;
+    mpi.allreduce(&mine, &sum, 1, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(sum, static_cast<long>(w.size()) * (w.size() + 1) / 2);
+  });
+}
+
 std::string coll_name(const ::testing::TestParamInfo<CollParam>& info) {
   std::string b = info.param.backend == Backend::kNativePipes ? "Native" : "LapiEnh";
   return b + "_n" + std::to_string(info.param.nodes);
@@ -257,6 +306,371 @@ INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
                                            CollParam{4, Backend::kNativePipes},
                                            CollParam{7, Backend::kNativePipes}),
                          coll_name);
+
+// ---------------------------------------------------------------------------
+// Golden-model conformance matrix (DESIGN.md §12)
+//
+// Every collective x every algorithm (pinned via --coll-algo specs) x comm
+// sizes {1,2,3,5,8,13,16} x message sizes straddling each cutover, checked
+// in-fiber against a single-rank sequential reference, on BOTH channels
+// (Pipes and LAPI). Workloads use exact arithmetic (integers, wrapping
+// products, 2x2 matrix products), so on top of the per-buffer value checks
+// every (algorithm, channel) cell must produce the identical result digest —
+// algorithm and channel choice must never change user-visible results.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) h = (h ^ b[i]) * kFnvPrime;
+  return h;
+}
+
+/// Deterministic per-(rank, slot) inputs, rank-asymmetric so any operand
+/// reordering or misrouted block changes the result.
+long gen_long(int rank, std::size_t i) {
+  return static_cast<long>((static_cast<unsigned long>(rank) + 1) * 1000003UL +
+                           i * 97UL + i % 7UL);
+}
+double gen_double(int rank, std::size_t i) {
+  return static_cast<double>(gen_long(rank, i) % 8191) / 64.0;
+}
+
+/// Single-rank sequential reference: fold the per-rank vectors of `ranks` (in
+/// the given order) with reduce_apply, exactly as MPI defines the reduction.
+std::vector<long> ref_reduce(Op op, const std::vector<int>& ranks, std::size_t count) {
+  std::vector<long> acc(count), in(count);
+  for (std::size_t i = 0; i < count; ++i) acc[i] = gen_long(ranks[0], i);
+  for (std::size_t r = 1; r < ranks.size(); ++r) {
+    for (std::size_t i = 0; i < count; ++i) in[i] = gen_long(ranks[r], i);
+    if (count > 0) reduce_apply(op, Datatype::kLong, in.data(), acc.data(), count);
+  }
+  return acc;
+}
+
+/// One matrix cell: run `body` on `nodes` ranks with the algorithm pins in
+/// `spec` applied, and combine the per-rank result digests in rank order.
+std::uint64_t run_cell(int nodes, Backend be, const std::string& spec,
+                       const std::function<void(Mpi&, std::uint64_t&)>& body) {
+  sim::MachineConfig cfg;
+  std::string err;
+  EXPECT_TRUE(coll::apply_algo_spec(cfg, spec, &err)) << err;
+  Machine m(cfg, nodes, be);
+  std::vector<std::uint64_t> per_rank(static_cast<std::size_t>(nodes), kFnvOffset);
+  m.run([&](Mpi& mpi) {
+    std::uint64_t h = kFnvOffset;
+    body(mpi, h);
+    per_rank[static_cast<std::size_t>(mpi.world().rank())] = h;
+  });
+  std::uint64_t all = kFnvOffset;
+  for (std::uint64_t h : per_rank) all = (all ^ h) * kFnvPrime;
+  return all;
+}
+
+class CollMatrix : public ::testing::TestWithParam<int> {
+ protected:
+  /// Run the workload for every algorithm spec on both channels; every cell
+  /// must match the first cell's digest bit-for-bit (the workload itself
+  /// checks values against the sequential reference in-fiber).
+  void check(const std::vector<std::string>& specs,
+             const std::function<void(Mpi&, std::uint64_t&)>& body) {
+    const int n = GetParam();
+    std::uint64_t first = 0;
+    bool have = false;
+    for (const auto& spec : specs) {
+      for (const Backend be : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+        const std::uint64_t dig = run_cell(n, be, spec, body);
+        if (!have) {
+          first = dig;
+          have = true;
+        } else {
+          EXPECT_EQ(dig, first) << "matrix cell diverges: spec='" << spec << "' channel="
+                                << backend_name(be) << " n=" << n;
+        }
+      }
+    }
+  }
+};
+
+void bcast_workload(Mpi& mpi, std::uint64_t& h) {
+  Comm& w = mpi.world();
+  const int n = w.size();
+  // 8 B / ~8 KiB / 48 KiB of doubles: straddles coll_bcast_pipeline_min_bytes
+  // (32 KiB) and leaves scatter chunks uneven for every non-divisor size.
+  for (const std::size_t count : {std::size_t{1}, std::size_t{1031}, std::size_t{6144}}) {
+    for (const int root : {0, n / 2, n - 1}) {
+      std::vector<double> buf(count, -1.0);
+      if (w.rank() == root) {
+        for (std::size_t i = 0; i < count; ++i) buf[i] = gen_double(root, i);
+      }
+      mpi.bcast(buf.data(), count, Datatype::kDouble, root, w);
+      std::size_t bad = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (buf[i] != gen_double(root, i)) ++bad;
+      }
+      EXPECT_EQ(bad, 0u) << "bcast count=" << count << " root=" << root << " rank="
+                         << w.rank();
+      h = fnv_bytes(h, buf.data(), count * sizeof(double));
+    }
+  }
+  // Derived layout: broadcast the even elements of a strided vector.
+  const DerivedDatatype t = DerivedDatatype::vector(9, 1, 2, Datatype::kLong);
+  std::vector<long> mat(18, -1);
+  if (w.rank() == 0) {
+    for (std::size_t i = 0; i < 18; i += 2) mat[i] = gen_long(0, i);
+  }
+  mpi.bcast(mat.data(), 1, t, 0, w);
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < 18; ++i) {
+    const long expect = i % 2 == 0 ? gen_long(0, i) : -1;
+    if (mat[i] != expect) ++bad;
+  }
+  EXPECT_EQ(bad, 0u) << "derived-datatype bcast, rank " << w.rank();
+  h = fnv_bytes(h, mat.data(), mat.size() * sizeof(long));
+}
+
+void allreduce_workload(Mpi& mpi, std::uint64_t& h) {
+  Comm& w = mpi.world();
+  const int n = w.size();
+  std::vector<int> everyone(static_cast<std::size_t>(n));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  // 32 B / ~1.8 KiB / ~16 KiB of longs: straddles the 16 KiB Rabenseifner
+  // cutover; counts are multiples of 4 so Op::kMat2x2 (non-commutative)
+  // applies, which catches any operand-order violation bit-exactly.
+  for (const std::size_t count : {std::size_t{4}, std::size_t{236}, std::size_t{2052}}) {
+    for (const Op op : {Op::kSum, Op::kMat2x2}) {
+      const std::vector<long> expect = ref_reduce(op, everyone, count);
+      std::vector<long> in(count), out(count, -1);
+      for (std::size_t i = 0; i < count; ++i) in[i] = gen_long(w.rank(), i);
+      mpi.allreduce(in.data(), out.data(), count, Datatype::kLong, op, w);
+      EXPECT_EQ(std::memcmp(out.data(), expect.data(), count * sizeof(long)), 0)
+          << "allreduce count=" << count << " op=" << static_cast<int>(op) << " rank="
+          << w.rank();
+      h = fnv_bytes(h, out.data(), count * sizeof(long));
+      // reduce to the last root: the seed's rotated tree reordered operands
+      // for root != 0; the rank-ordered tree must agree with the reference.
+      std::vector<long> rout(count, -1);
+      mpi.reduce(in.data(), rout.data(), count, Datatype::kLong, op, n - 1, w);
+      if (w.rank() == n - 1) {
+        EXPECT_EQ(std::memcmp(rout.data(), expect.data(), count * sizeof(long)), 0)
+            << "reduce-to-root count=" << count << " op=" << static_cast<int>(op);
+        h = fnv_bytes(h, rout.data(), count * sizeof(long));
+      }
+    }
+  }
+}
+
+void alltoall_workload(Mpi& mpi, std::uint64_t& h) {
+  Comm& w = mpi.world();
+  const int n = w.size();
+  // 24 B / 768 B / 1.5 KiB blocks: straddles coll_alltoall_bruck_max_bytes.
+  for (const std::size_t count : {std::size_t{3}, std::size_t{96}, std::size_t{192}}) {
+    std::vector<long> send(static_cast<std::size_t>(n) * count);
+    std::vector<long> recv(static_cast<std::size_t>(n) * count, -1);
+    for (int d = 0; d < n; ++d) {
+      for (std::size_t k = 0; k < count; ++k) {
+        send[static_cast<std::size_t>(d) * count + k] =
+            gen_long(w.rank(), static_cast<std::size_t>(d) * count + k);
+      }
+    }
+    mpi.alltoall(send.data(), count, recv.data(), Datatype::kLong, w);
+    std::size_t bad = 0;
+    for (int s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < count; ++k) {
+        const long expect =
+            gen_long(s, static_cast<std::size_t>(w.rank()) * count + k);
+        if (recv[static_cast<std::size_t>(s) * count + k] != expect) ++bad;
+      }
+    }
+    EXPECT_EQ(bad, 0u) << "alltoall count=" << count << " rank=" << w.rank();
+    h = fnv_bytes(h, recv.data(), recv.size() * sizeof(long));
+  }
+}
+
+void reduce_scatter_workload(Mpi& mpi, std::uint64_t& h) {
+  Comm& w = mpi.world();
+  const int n = w.size();
+  std::vector<int> everyone(static_cast<std::size_t>(n));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  // Per-block counts whose n-rank totals straddle the 8 KiB halving cutover;
+  // multiples of 4 so Op::kMat2x2 exercises granule-aligned block splits.
+  for (const std::size_t count : {std::size_t{4}, std::size_t{96}, std::size_t{640}}) {
+    for (const Op op : {Op::kSum, Op::kMat2x2}) {
+      const std::size_t total = count * static_cast<std::size_t>(n);
+      const std::vector<long> expect = ref_reduce(op, everyone, total);
+      std::vector<long> in(total), out(count, -1);
+      for (std::size_t i = 0; i < total; ++i) in[i] = gen_long(w.rank(), i);
+      mpi.reduce_scatter_block(in.data(), out.data(), count, Datatype::kLong, op, w);
+      EXPECT_EQ(std::memcmp(out.data(),
+                            expect.data() + static_cast<std::size_t>(w.rank()) * count,
+                            count * sizeof(long)),
+                0)
+          << "reduce_scatter count=" << count << " op=" << static_cast<int>(op) << " rank="
+          << w.rank();
+      h = fnv_bytes(h, out.data(), count * sizeof(long));
+    }
+  }
+}
+
+void scan_workload(Mpi& mpi, std::uint64_t& h) {
+  Comm& w = mpi.world();
+  const int me = w.rank();
+  std::vector<int> prefix(static_cast<std::size_t>(me) + 1);
+  std::iota(prefix.begin(), prefix.end(), 0);
+  for (const std::size_t count : {std::size_t{4}, std::size_t{1024}}) {
+    for (const Op op : {Op::kSum, Op::kMat2x2}) {
+      std::vector<long> in(count), out(count, -1);
+      for (std::size_t i = 0; i < count; ++i) in[i] = gen_long(me, i);
+      mpi.scan(in.data(), out.data(), count, Datatype::kLong, op, w);
+      const std::vector<long> expect = ref_reduce(op, prefix, count);
+      EXPECT_EQ(std::memcmp(out.data(), expect.data(), count * sizeof(long)), 0)
+          << "scan count=" << count << " op=" << static_cast<int>(op) << " rank=" << me;
+      h = fnv_bytes(h, out.data(), count * sizeof(long));
+
+      std::vector<long> eout(count, -1);
+      mpi.exscan(in.data(), eout.data(), count, Datatype::kLong, op, w);
+      if (me > 0) {
+        std::vector<int> excl(prefix.begin(), prefix.end() - 1);
+        const std::vector<long> eexpect = ref_reduce(op, excl, count);
+        EXPECT_EQ(std::memcmp(eout.data(), eexpect.data(), count * sizeof(long)), 0)
+            << "exscan count=" << count << " op=" << static_cast<int>(op) << " rank=" << me;
+        h = fnv_bytes(h, eout.data(), count * sizeof(long));
+      }
+    }
+  }
+}
+
+void split_workload(Mpi& mpi, std::uint64_t& h) {
+  Comm& w = mpi.world();
+  const int n = w.size();
+  const int color = w.rank() % 3;
+  Comm sub = mpi.split(w, color, w.rank());
+  std::vector<int> members;
+  for (int r = 0; r < n; ++r) {
+    if (r % 3 == color) members.push_back(r);
+  }
+  const std::size_t count = 8;
+  std::vector<long> in(count), out(count, -1);
+  for (std::size_t i = 0; i < count; ++i) in[i] = gen_long(w.rank(), i);
+  // Non-commutative allreduce inside the (differently sized) sub-comms.
+  mpi.allreduce(in.data(), out.data(), count, Datatype::kLong, Op::kMat2x2, sub);
+  const std::vector<long> expect = ref_reduce(Op::kMat2x2, members, count);
+  EXPECT_EQ(std::memcmp(out.data(), expect.data(), count * sizeof(long)), 0)
+      << "sub-comm allreduce, world rank " << w.rank();
+  h = fnv_bytes(h, out.data(), count * sizeof(long));
+  // Scan within the sub-comm (prefix over members in sub-rank order).
+  mpi.scan(in.data(), out.data(), count, Datatype::kLong, Op::kSum, sub);
+  std::vector<int> prefix(members.begin(),
+                          members.begin() + sub.rank() + 1);
+  const std::vector<long> sexpect = ref_reduce(Op::kSum, prefix, count);
+  EXPECT_EQ(std::memcmp(out.data(), sexpect.data(), count * sizeof(long)), 0)
+      << "sub-comm scan, world rank " << w.rank();
+  h = fnv_bytes(h, out.data(), count * sizeof(long));
+  // The sub-comms consumed different tag sequences; a world collective still
+  // matches up (the one-tag-per-call audit).
+  std::vector<int> all_world(static_cast<std::size_t>(n));
+  std::iota(all_world.begin(), all_world.end(), 0);
+  mpi.allreduce(in.data(), out.data(), count, Datatype::kLong, Op::kMat2x2, w);
+  const std::vector<long> wexpect = ref_reduce(Op::kMat2x2, all_world, count);
+  EXPECT_EQ(std::memcmp(out.data(), wexpect.data(), count * sizeof(long)), 0)
+      << "world allreduce after split, world rank " << w.rank();
+  h = fnv_bytes(h, out.data(), count * sizeof(long));
+}
+
+TEST_P(CollMatrix, Bcast) {
+  check({"bcast=binomial", "bcast=pipelined", "bcast=scatter_allgather", "all=auto"},
+        bcast_workload);
+}
+
+TEST_P(CollMatrix, AllreduceAndReduce) {
+  check({"allreduce=reduce_bcast", "allreduce=recursive_doubling", "allreduce=rabenseifner",
+         "all=auto"},
+        allreduce_workload);
+}
+
+TEST_P(CollMatrix, Alltoall) {
+  check({"alltoall=pairwise", "alltoall=bruck", "all=auto"}, alltoall_workload);
+}
+
+TEST_P(CollMatrix, ReduceScatter) {
+  check({"reduce_scatter=reduce_scatter", "reduce_scatter=recursive_halving", "all=auto"},
+        reduce_scatter_workload);
+}
+
+TEST_P(CollMatrix, ScanAndExscan) {
+  check({"scan=linear", "scan=binomial", "all=auto"}, scan_workload);
+}
+
+TEST_P(CollMatrix, SplitSubCommunicators) {
+  check({"all=auto", "allreduce=rabenseifner,scan=binomial",
+         "allreduce=recursive_doubling,scan=linear"},
+        split_workload);
+}
+
+INSTANTIATE_TEST_SUITE_P(CommSizes, CollMatrix, ::testing::Values(1, 2, 3, 5, 8, 13, 16),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+// The auto selection table resolves by message and communicator size; the
+// per-algorithm telemetry counters record what actually ran.
+TEST(CollSelection, AutoPicksBySizeAndTelemetryCounts) {
+  sim::MachineConfig cfg;
+  cfg.telemetry_enabled = true;
+  constexpr int kNodes = 16;
+  Machine m(cfg, kNodes, Backend::kLapiEnhanced);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<double> big(6144);  // 48 KiB >= pipeline cutover, n >= 8
+    mpi.bcast(big.data(), big.size(), Datatype::kDouble, 0, w);
+    std::vector<double> small(16, 1.0);  // 128 B < cutover
+    mpi.bcast(small.data(), small.size(), Datatype::kDouble, 0, w);
+    std::vector<long> v(4096, 1), o(4096);  // 32 KiB >= Rabenseifner cutover
+    mpi.allreduce(v.data(), o.data(), v.size(), Datatype::kLong, Op::kSum, w);
+    long a = 1, b = 0;  // 8 B < cutover
+    mpi.allreduce(&a, &b, 1, Datatype::kLong, Op::kSum, w);
+    std::vector<int> s(kNodes * 8, 1), r(kNodes * 8);  // 32 B blocks <= Bruck max
+    mpi.alltoall(s.data(), 8, r.data(), Datatype::kInt, w);
+    std::vector<int> sbig(kNodes * 512, 1), rbig(kNodes * 512);  // 2 KiB blocks
+    mpi.alltoall(sbig.data(), 512, rbig.data(), Datatype::kInt, w);
+    std::vector<long> rs(kNodes * 256, 1), rout(256);  // 32 KiB total >= cutover
+    mpi.reduce_scatter_block(rs.data(), rout.data(), 256, Datatype::kLong, Op::kSum, w);
+    mpi.scan(&a, &b, 1, Datatype::kLong, Op::kSum, w);  // n > 2 -> binomial
+  });
+  const sim::Telemetry* t = m.telemetry();
+  ASSERT_NE(t, nullptr);
+  constexpr std::uint64_t kEach = kNodes;  // one invocation per rank
+  const auto total = [&](sim::CollAlgo a) { return t->coll_count_total(a); };
+  EXPECT_EQ(total(sim::CollAlgo::kBcastScatterAllgather), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kBcastBinomial), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kBcastPipelined), 0u);
+  EXPECT_EQ(total(sim::CollAlgo::kAllreduceRabenseifner), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kAllreduceRecursiveDoubling), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kAlltoallBruck), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kAlltoallPairwise), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kReduceScatterRecursiveHalving), kEach);
+  EXPECT_EQ(total(sim::CollAlgo::kScanBinomial), kEach);
+}
+
+TEST(CollSelection, AlgoSpecParsing) {
+  sim::MachineConfig cfg;
+  std::string err;
+  EXPECT_TRUE(coll::apply_algo_spec(
+      cfg, "bcast=pipelined,allreduce=rabenseifner,alltoall=bruck,scan=binomial", &err))
+      << err;
+  EXPECT_EQ(cfg.coll_bcast_algo, static_cast<int>(coll::BcastAlgo::kPipelined));
+  EXPECT_EQ(cfg.coll_allreduce_algo, static_cast<int>(coll::AllreduceAlgo::kRabenseifner));
+  EXPECT_EQ(cfg.coll_alltoall_algo, static_cast<int>(coll::AlltoallAlgo::kBruck));
+  EXPECT_EQ(cfg.coll_scan_algo, static_cast<int>(coll::ScanAlgo::kBinomial));
+  EXPECT_TRUE(coll::apply_algo_spec(cfg, "all=auto", &err)) << err;
+  EXPECT_EQ(cfg.coll_bcast_algo, 0);
+  EXPECT_EQ(cfg.coll_allreduce_algo, 0);
+  EXPECT_FALSE(coll::apply_algo_spec(cfg, "bcast=unknown", &err));
+  EXPECT_FALSE(coll::apply_algo_spec(cfg, "nonsense", &err));
+  EXPECT_FALSE(coll::apply_algo_spec(cfg, "frobnicate=auto", &err));
+}
 
 }  // namespace
 }  // namespace sp::mpi

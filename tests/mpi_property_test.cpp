@@ -3,10 +3,12 @@
 // fault injection and interrupt-mode end-to-end runs.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <numeric>
 #include <vector>
 
+#include "mpi/coll.hpp"
 #include "mpi/derived_datatype.hpp"
 #include "mpi/machine.hpp"
 #include "sim/explorer.hpp"
@@ -542,6 +544,119 @@ TEST(DerivedTypes, IndexedNonblockingCompletesOutOfOrderWithStatuses) {
         mpi.send(layout.data(), 4, holes, 0, 1, w);
       }
     });
+  }
+}
+
+// --- collective algorithm engine properties (DESIGN.md §12) -----------------
+
+/// Run one allreduce with the algorithm pins in `spec`; every rank's result
+/// must agree bit-for-bit, and the returned vector is that shared result.
+std::vector<long> pinned_allreduce(const std::string& spec, Op op,
+                                   const std::vector<std::vector<long>>& in) {
+  const int nodes = static_cast<int>(in.size());
+  const std::size_t count = in[0].size();
+  MachineConfig cfg;
+  std::string err;
+  EXPECT_TRUE(coll::apply_algo_spec(cfg, spec, &err)) << err;
+  Machine m(cfg, nodes, Backend::kLapiEnhanced);
+  std::vector<std::vector<long>> out(in.size(), std::vector<long>(count, -1));
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const auto me = static_cast<std::size_t>(w.rank());
+    mpi.allreduce(in[me].data(), out[me].data(), count, Datatype::kLong, op, w);
+  });
+  for (std::size_t r = 1; r < out.size(); ++r) {
+    EXPECT_EQ(out[r], out[0]) << spec << ": rank " << r << " disagrees with rank 0";
+  }
+  return out[0];
+}
+
+/// Same for scan: returns each rank's inclusive prefix.
+std::vector<std::vector<long>> pinned_scan(const std::string& spec, Op op,
+                                           const std::vector<std::vector<long>>& in) {
+  const int nodes = static_cast<int>(in.size());
+  const std::size_t count = in[0].size();
+  MachineConfig cfg;
+  std::string err;
+  EXPECT_TRUE(coll::apply_algo_spec(cfg, spec, &err)) << err;
+  Machine m(cfg, nodes, Backend::kLapiEnhanced);
+  std::vector<std::vector<long>> out(in.size(), std::vector<long>(count, -1));
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const auto me = static_cast<std::size_t>(w.rank());
+    mpi.scan(in[me].data(), out[me].data(), count, Datatype::kLong, op, w);
+  });
+  return out;
+}
+
+/// Sequential single-rank reference over ranks [0, upto].
+std::vector<long> seq_fold(Op op, const std::vector<std::vector<long>>& in, std::size_t upto) {
+  std::vector<long> acc = in[0];
+  for (std::size_t r = 1; r <= upto; ++r) {
+    reduce_apply(op, Datatype::kLong, in[r].data(), acc.data(), acc.size());
+  }
+  return acc;
+}
+
+TEST(CollAlgoProperties, NonCommutativeOrderPreservedByEveryAlgorithm) {
+  // Random chains of wrapping 2x2 matrix products: any algorithm that merges
+  // operands out of communicator rank order produces different bits. Checked
+  // for every allreduce and scan algorithm over several sizes and seeds.
+  for (const std::uint64_t seed : {5ULL, 17ULL, 123ULL}) {
+    for (const int nodes : {3, 6, 8}) {
+      Pcg32 rng(seed + static_cast<std::uint64_t>(nodes));
+      const std::size_t count = 4 * (1 + rng.next_below(24));  // 4..96, % 4 == 0
+      std::vector<std::vector<long>> in(static_cast<std::size_t>(nodes),
+                                        std::vector<long>(count));
+      for (auto& v : in) {
+        for (auto& x : v) {
+          x = static_cast<long>(rng.next_below(0x7fffffffu)) * 2654435761L + 1;
+        }
+      }
+      const std::vector<long> ref =
+          seq_fold(Op::kMat2x2, in, static_cast<std::size_t>(nodes) - 1);
+      for (const char* spec : {"allreduce=reduce_bcast", "allreduce=recursive_doubling",
+                               "allreduce=rabenseifner"}) {
+        EXPECT_EQ(pinned_allreduce(spec, Op::kMat2x2, in), ref)
+            << spec << " seed=" << seed << " n=" << nodes << " count=" << count;
+      }
+      for (const char* spec : {"scan=linear", "scan=binomial"}) {
+        const auto prefixes = pinned_scan(spec, Op::kMat2x2, in);
+        for (std::size_t r = 0; r < prefixes.size(); ++r) {
+          EXPECT_EQ(prefixes[r], seq_fold(Op::kMat2x2, in, r))
+              << spec << " seed=" << seed << " n=" << nodes << " rank=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(CollAlgoProperties, IntegerWrapIsBitIdenticalAcrossAlgorithms) {
+  // kSum/kProd near the int64 overflow boundary: every algorithm must wrap
+  // identically (unsigned arithmetic), so all pins agree bit-for-bit with the
+  // sequential reference no matter how the tree regroups the operands.
+  for (const std::uint64_t seed : {2ULL, 71ULL}) {
+    for (const int nodes : {5, 8, 13}) {
+      Pcg32 rng(seed * 1000003ULL + static_cast<std::uint64_t>(nodes));
+      const std::size_t count = 1 + rng.next_below(64);
+      std::vector<std::vector<long>> in(static_cast<std::size_t>(nodes),
+                                        std::vector<long>(count));
+      for (auto& v : in) {
+        for (auto& x : v) {
+          // Large odd magnitudes: sums and products overflow immediately.
+          x = (static_cast<long>(rng.next_below(0xffffffffu)) << 31) | 0x5aa51L;
+        }
+      }
+      for (const Op op : {Op::kSum, Op::kProd}) {
+        const std::vector<long> ref =
+            seq_fold(op, in, static_cast<std::size_t>(nodes) - 1);
+        for (const char* spec : {"allreduce=reduce_bcast", "allreduce=recursive_doubling",
+                                 "allreduce=rabenseifner"}) {
+          EXPECT_EQ(pinned_allreduce(spec, op, in), ref)
+              << spec << " op=" << static_cast<int>(op) << " seed=" << seed << " n=" << nodes;
+        }
+      }
+    }
   }
 }
 

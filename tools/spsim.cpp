@@ -25,6 +25,10 @@
 //   --seed S           fabric fault-injection seed
 //   --scale N          NAS problem scale (default 2)
 //   --testbed tbmx|tb3 node/adapter generation (default tbmx)
+//   --coll-algo SPEC   pin collective algorithms, e.g.
+//                      "allreduce=rabenseifner,bcast=pipelined" ("all=auto"
+//                      clears every pin; explore ignores this — its
+//                      perturbation vectors carry their own pins)
 //   --csv              machine-readable output
 //   --format text|json|csv   trace export format (default text)
 //   --out FILE         write the trace there instead of stdout
@@ -44,6 +48,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "mpi/coll.hpp"
 #include "nas/kernels.hpp"
 #include "sim/explorer.hpp"
 
@@ -66,6 +71,7 @@ struct Options {
   int scale = 2;
   bool tb3 = false;
   bool csv = false;
+  std::string coll_algo;
   std::string format = "text";
   std::string out;
   // explore
@@ -83,7 +89,8 @@ struct Options {
                "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics|explore "
                "[--backend native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
                "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
-               "[--seed S] [--scale N] [--csv] [--format text|json|csv] [--out FILE] "
+               "[--seed S] [--scale N] [--coll-algo SPEC] [--csv] "
+               "[--format text|json|csv] [--out FILE] "
                "[--seeds N] [--budget N] [--msgs N] [--seed-base S] [--repro TOKEN] "
                "[--trace-out FILE]\n");
   std::exit(2);
@@ -142,6 +149,8 @@ Options parse(int argc, char** argv) {
       const std::string t = next();
       if (t == "tb3") o.tb3 = true;
       else if (t != "tbmx") usage();
+    } else if (a == "--coll-algo") {
+      o.coll_algo = next();
     } else if (a == "--csv") {
       o.csv = true;
     } else if (a == "--format") {
@@ -179,6 +188,13 @@ sim::MachineConfig make_config(const Options& o) {
   cfg.burst_drop_len = o.burst;
   cfg.fabric_seed = o.seed;
   if (o.drop > 0) cfg.retransmit_timeout_ns = 400'000;
+  if (!o.coll_algo.empty()) {
+    std::string err;
+    if (!mpi::coll::apply_algo_spec(cfg, o.coll_algo, &err)) {
+      std::fprintf(stderr, "spsim: bad --coll-algo: %s\n", err.c_str());
+      std::exit(2);
+    }
+  }
   return cfg;
 }
 
