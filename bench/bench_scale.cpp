@@ -1,0 +1,212 @@
+// bench_scale: wall-clock scaling sweep of the simulator across the topology
+// zoo. Where bench_simcore pins the 2–8 node hot path, this one answers "how
+// fast does the simulator run at 128–1024 nodes?" for each topology:
+//
+//   grid     nodes ∈ {16, 64, 128, 256, 512, 1024} × {sp, fattree, torus3d,
+//            dragonfly}
+//   workloads  bcast (64 KiB), allreduce (1024 doubles), alltoall (64 B
+//            blocks, capped at 256 nodes to bound the O(N^2) message count)
+//            and the mini-NAS CG kernel (capped at 256 nodes).
+//
+// `--quick` shrinks the grid to {16, 64} nodes × {fattree, torus3d} for the
+// per-PR CI gate; the full sweep feeds BENCH_scale.json so the repo keeps a
+// scaling trajectory across PRs. Events/s at 16 nodes is comparable to the
+// BENCH_simcore baseline (same hot path, different fan-out).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "nas/kernels.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using sp::mpi::Backend;
+using sp::mpi::Machine;
+using sp::sim::MachineConfig;
+using sp::sim::TopologyKind;
+
+struct Result {
+  std::string topology;
+  int nodes = 0;
+  std::string workload;
+  std::uint64_t events = 0;  ///< Simulator events processed in one run.
+  double sim_us = 0.0;       ///< Simulated time covered by one run.
+  double wall_ms = 0.0;      ///< Best host wall time over all reps.
+};
+
+/// A machine config for `kind` at `nodes`, leaving shape parameters on their
+/// auto defaults (fat-tree picks 2 or 3 levels from N; torus factorizes N).
+MachineConfig config_for(TopologyKind kind, int nodes) {
+  MachineConfig cfg;
+  cfg.topology = kind;
+  if (kind == TopologyKind::kFatTree && nodes > 64) {
+    cfg.fattree_levels = 3;
+  }
+  (void)nodes;
+  return cfg;
+}
+
+template <typename RunFn>
+Result measure(TopologyKind kind, int nodes, const char* workload, int reps, RunFn&& one_run) {
+  Result r;
+  r.topology = sp::net::topology_name(kind);
+  r.nodes = nodes;
+  r.workload = workload;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    const auto [events, sim_ns] = one_run();
+    const auto t1 = Clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < r.wall_ms) r.wall_ms = ms;
+    r.events = events;
+    r.sim_us = sp::sim::to_us(sim_ns);
+  }
+  return r;
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_bcast(TopologyKind kind, int nodes,
+                                                    std::size_t bytes, int rounds) {
+  Machine m(config_for(kind, nodes), nodes, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<std::byte> buf(bytes);
+    for (int r = 0; r < rounds; ++r) {
+      mpi.bcast(buf.data(), bytes, sp::mpi::Datatype::kByte, 0, w);
+    }
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_allreduce(TopologyKind kind, int nodes,
+                                                        std::size_t count, int rounds) {
+  Machine m(config_for(kind, nodes), nodes, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<double> src(count, 1.0), dst(count, 0.0);
+    for (int r = 0; r < rounds; ++r) {
+      mpi.allreduce(src.data(), dst.data(), count, sp::mpi::Datatype::kDouble,
+                    sp::mpi::Op::kSum, w);
+    }
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_alltoall(TopologyKind kind, int nodes,
+                                                       std::size_t count, int rounds) {
+  Machine m(config_for(kind, nodes), nodes, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    const auto n = static_cast<std::size_t>(w.size());
+    std::vector<double> src(count * n, 1.0), dst(count * n, 0.0);
+    for (int r = 0; r < rounds; ++r) {
+      mpi.alltoall(src.data(), count, dst.data(), sp::mpi::Datatype::kDouble, w);
+    }
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+std::pair<std::uint64_t, sp::sim::TimeNs> run_nas_cg(TopologyKind kind, int nodes, int scale) {
+  Machine m(config_for(kind, nodes), nodes, Backend::kLapiEnhanced);
+  m.run([&](sp::mpi::Mpi& mpi) {
+    auto r = sp::nas::run_cg(mpi, scale);
+    if (!r.verified) std::fprintf(stderr, "nas_cg: verification FAILED\n");
+  });
+  return {m.sim().events_processed(), m.elapsed()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  int reps = 1;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_scale [--quick] [--reps N] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  std::vector<TopologyKind> kinds;
+  std::vector<int> node_counts;
+  if (quick) {
+    kinds = {TopologyKind::kFatTree, TopologyKind::kTorus3d};
+    node_counts = {16, 64};
+  } else {
+    kinds = {TopologyKind::kSpMultistage, TopologyKind::kFatTree, TopologyKind::kTorus3d,
+             TopologyKind::kDragonfly};
+    node_counts = {16, 64, 128, 256, 512, 1024};
+  }
+
+  // One discarded run absorbs cold-start effects (page cache, frequency
+  // ramp) that would otherwise land entirely on the grid's first cell.
+  (void)run_bcast(TopologyKind::kSpMultistage, 16, 64 * 1024, 2);
+
+  std::vector<Result> results;
+  for (TopologyKind kind : kinds) {
+    for (int nodes : node_counts) {
+      const int rounds = nodes >= 512 ? 1 : 2;
+      results.push_back(measure(kind, nodes, "bcast", reps, [&] {
+        return run_bcast(kind, nodes, 64 * 1024, rounds);
+      }));
+      results.push_back(measure(kind, nodes, "allreduce", reps, [&] {
+        return run_allreduce(kind, nodes, 1024, rounds);
+      }));
+      // Alltoall traffic is O(N^2) point messages; beyond 256 nodes it would
+      // dominate the sweep's wall time without adding scaling signal.
+      if (nodes <= 256) {
+        results.push_back(measure(kind, nodes, "alltoall", reps, [&] {
+          return run_alltoall(kind, nodes, 8, 1);
+        }));
+        results.push_back(measure(kind, nodes, "nas_cg", reps, [&] {
+          return run_nas_cg(kind, nodes, 2);
+        }));
+      }
+      std::fprintf(stderr, "done: %s %d nodes\n", sp::net::topology_name(kind), nodes);
+    }
+  }
+
+  std::printf("%-10s %6s %-10s %12s %10s %14s\n", "topology", "nodes", "workload", "events",
+              "wall_ms", "events/sec");
+  for (const auto& r : results) {
+    std::printf("%-10s %6d %-10s %12llu %10.2f %14.0f\n", r.topology.c_str(), r.nodes,
+                r.workload.c_str(), static_cast<unsigned long long>(r.events), r.wall_ms,
+                static_cast<double>(r.events) / (r.wall_ms / 1e3));
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_scale\",\n  \"quick\": %s,\n  \"results\": [\n",
+                 quick ? "true" : "false");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "    {\"topology\": \"%s\", \"nodes\": %d, \"workload\": \"%s\", "
+                   "\"events\": %llu, \"wall_ms\": %.3f, \"events_per_sec\": %.0f, "
+                   "\"sim_us\": %.1f}%s\n",
+                   r.topology.c_str(), r.nodes, r.workload.c_str(),
+                   static_cast<unsigned long long>(r.events), r.wall_ms,
+                   static_cast<double>(r.events) / (r.wall_ms / 1e3), r.sim_us,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -70,6 +70,10 @@ std::pair<std::uint64_t, sp::sim::TimeNs> run_fig12_bw(std::size_t bytes, int it
                                                        TelemCounts* telem = nullptr) {
   MachineConfig cfg;
   cfg.telemetry_enabled = telem != nullptr;
+  // The traced run emits ~177k records (~5.7 MiB); the legacy 4 MiB ring
+  // dropped a quarter of them. Size it to hold the whole stream — the CI
+  // smoke asserts records_dropped == 0.
+  cfg.telemetry_ring_bytes = 8 * 1024 * 1024;
   Machine m(cfg, 2, Backend::kLapiEnhanced);
   m.run([&](sp::mpi::Mpi& mpi) {
     auto& w = mpi.world();

@@ -195,11 +195,35 @@ void chunk_allgather_pow2(Mpi& mpi, std::byte* acc, Datatype d, const Comm& c, i
 
 // ---------------------------------------------------------------------------
 // Selection table
+//
+// Keyed by message size, communicator size, AND topology (DESIGN.md §13):
+// cutovers derived on the SP multistage crossbar shift on fabrics with a
+// different diameter/bisection profile. Explicit algorithm pins always win —
+// the conformance explorer relies on pins overriding every auto rule.
+//  * torus: neighbor links are the only cheap links, so the chain pipeline
+//    (rank r -> r+1 maps onto torus neighbors under the default row-major
+//    node ids) earns its keep at half the usual size, and the
+//    scatter-allgather butterfly (mostly non-neighbor pairs) is skipped.
+//  * fat-tree: full-ish bisection makes the bandwidth-optimal Rabenseifner
+//    reduce-scatter/allgather pay off at half the usual vector size.
+//  * dragonfly: every non-minimal packet crosses a scarce global link, so
+//    Bruck's log2(n) aggregated rounds beat n-1 pairwise exchanges up to 4x
+//    the usual block size.
 // ---------------------------------------------------------------------------
+
+namespace {
+[[nodiscard]] bool is_torus(const sim::MachineConfig& cfg) noexcept {
+  return cfg.topology == sim::TopologyKind::kTorus2d ||
+         cfg.topology == sim::TopologyKind::kTorus3d;
+}
+}  // namespace
 
 BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   if (cfg.coll_bcast_algo != 0) return static_cast<BcastAlgo>(cfg.coll_bcast_algo);
-  if (n <= 2 || bytes < cfg.coll_bcast_pipeline_min_bytes) return BcastAlgo::kBinomial;
+  std::size_t pipeline_min = cfg.coll_bcast_pipeline_min_bytes;
+  if (is_torus(cfg)) pipeline_min /= 2;
+  if (n <= 2 || bytes < pipeline_min) return BcastAlgo::kBinomial;
+  if (is_torus(cfg)) return BcastAlgo::kPipelined;
   // Large messages: the root's injected volume dominates. Scatter-allgather
   // injects ~bytes at the root; the chain pipeline streams S = bytes/segment
   // segments through n-1 hops in ~(n - 2 + S) segment times, so it overtakes
@@ -212,7 +236,9 @@ BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n) 
 
 AllreduceAlgo select_allreduce(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   if (cfg.coll_allreduce_algo != 0) return static_cast<AllreduceAlgo>(cfg.coll_allreduce_algo);
-  if (n <= 2 || bytes < cfg.coll_allreduce_rabenseifner_min_bytes) {
+  std::size_t rab_min = cfg.coll_allreduce_rabenseifner_min_bytes;
+  if (cfg.topology == sim::TopologyKind::kFatTree) rab_min /= 2;
+  if (n <= 2 || bytes < rab_min) {
     return AllreduceAlgo::kRecursiveDoubling;
   }
   return AllreduceAlgo::kRabenseifner;
@@ -220,7 +246,9 @@ AllreduceAlgo select_allreduce(const sim::MachineConfig& cfg, std::size_t bytes,
 
 AlltoallAlgo select_alltoall(const sim::MachineConfig& cfg, std::size_t block_bytes, int n) {
   if (cfg.coll_alltoall_algo != 0) return static_cast<AlltoallAlgo>(cfg.coll_alltoall_algo);
-  if (n <= 2 || block_bytes > cfg.coll_alltoall_bruck_max_bytes) return AlltoallAlgo::kPairwise;
+  std::size_t bruck_max = cfg.coll_alltoall_bruck_max_bytes;
+  if (cfg.topology == sim::TopologyKind::kDragonfly) bruck_max *= 4;
+  if (n <= 2 || block_bytes > bruck_max) return AlltoallAlgo::kPairwise;
   return AlltoallAlgo::kBruck;
 }
 

@@ -12,7 +12,18 @@ Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
   sim_.set_tie_break_salt(cfg_.event_tie_break_salt);
   if (cfg_.trace_enabled) trace_ = std::make_unique<sim::Trace>(cfg_.trace_max_events);
   if (cfg_.telemetry_enabled) {
-    telemetry_ = std::make_unique<sim::Telemetry>(num_tasks_, cfg_.telemetry_ring_bytes);
+    // Auto-size the ring from the node count so traced runs at scale keep
+    // zero drops: per-node floor, explicit knob as the minimum, hard cap so a
+    // 1024-node machine doesn't silently pin gigabytes of host memory. The
+    // default per-node floor leaves 2-node machines at the legacy 4 MiB (the
+    // pinned traced digests depend on ring capacity).
+    constexpr std::size_t kRingCapBytes = std::size_t{128} * 1024 * 1024;
+    std::size_t ring = cfg_.telemetry_ring_bytes;
+    const std::size_t scaled =
+        static_cast<std::size_t>(num_tasks_) * cfg_.telemetry_ring_bytes_per_node;
+    if (scaled > ring) ring = scaled;
+    if (ring > kRingCapBytes) ring = kRingCapBytes;
+    telemetry_ = std::make_unique<sim::Telemetry>(num_tasks_, ring);
   }
   fabric_ = std::make_unique<net::SwitchFabric>(sim_, cfg_, num_tasks_);
   fabric_->set_telemetry(telemetry_.get());

@@ -8,69 +8,105 @@
 namespace sp::net {
 
 namespace {
-/// Serialization time of `bytes` on one link.
-[[nodiscard]] sim::TimeNs wire_time(const sim::MachineConfig& cfg, std::size_t bytes) {
-  return static_cast<sim::TimeNs>(std::llround(cfg.link_ns_per_byte * static_cast<double>(bytes)));
-}
+/// Heap order for pending deliveries: earliest (time, injection seq) first.
+/// Comparator is "greater" so std::push/pop_heap yield a min-heap.
+struct PendingLater {
+  bool operator()(const auto& a, const auto& b) const noexcept {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  }
+};
 }  // namespace
 
 SwitchFabric::SwitchFabric(sim::Simulator& sim, const sim::MachineConfig& cfg, int num_nodes)
     : sim_(sim),
       cfg_(cfg),
       num_nodes_(num_nodes),
-      num_leaves_((num_nodes + 3) / 4),
-      node_up_(static_cast<std::size_t>(num_nodes)),
-      node_down_(static_cast<std::size_t>(num_nodes)),
-      leaf_up_(static_cast<std::size_t>(num_leaves_) * static_cast<std::size_t>(cfg.num_routes)),
-      leaf_down_(static_cast<std::size_t>(num_leaves_) * static_cast<std::size_t>(cfg.num_routes)),
+      topo_(make_topology(cfg, num_nodes)),
+      links_(static_cast<std::size_t>(topo_->num_links())),
       deliver_(static_cast<std::size_t>(num_nodes)),
-      rr_(static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes)),
-      burst_left_(static_cast<std::size_t>(num_nodes) * static_cast<std::size_t>(num_nodes), 0),
+      rows_(static_cast<std::size_t>(num_nodes)),
       rng_(cfg.fabric_seed) {
   assert(num_nodes >= 1);
   assert(cfg.num_routes >= 1);
-  // Stagger the initial round-robin position per pair so different pairs do
-  // not march in lock-step on the same spine.
-  for (int s = 0; s < num_nodes; ++s) {
-    for (int d = 0; d < num_nodes; ++d) {
-      rr_[static_cast<std::size_t>(s) * static_cast<std::size_t>(num_nodes) + static_cast<std::size_t>(d)] =
-          static_cast<std::uint32_t>((s * 7 + d * 13) % cfg.num_routes);
-    }
-  }
+  batching_ = cfg.fabric_delivery_batching == 1 ||
+              (cfg.fabric_delivery_batching < 0 &&
+               cfg.topology != sim::TopologyKind::kSpMultistage);
+  if (batching_) queues_.resize(static_cast<std::size_t>(num_nodes));
 }
+
+SwitchFabric::~SwitchFabric() = default;
 
 void SwitchFabric::attach(int node, DeliverFn deliver) {
   assert(node >= 0 && node < num_nodes_);
   deliver_[static_cast<std::size_t>(node)] = std::move(deliver);
 }
 
-int SwitchFabric::peek_route(int src, int dst) const {
-  const auto idx = static_cast<std::size_t>(src) * static_cast<std::size_t>(num_nodes_) +
-                   static_cast<std::size_t>(dst);
-  return static_cast<int>(rr_[idx] % static_cast<std::uint32_t>(cfg_.num_routes));
+int SwitchFabric::route_count(int src, int dst) const {
+  return topo_->route_count(src, dst);
 }
 
-sim::TimeNs SwitchFabric::traverse(Link& link, sim::TimeNs at, std::size_t bytes) {
+SwitchFabric::PairState& SwitchFabric::pair_state(int src, int dst) {
+  auto& row = rows_[static_cast<std::size_t>(src)];
+  if (row == nullptr) {
+    // Materialize the whole source row, each pair's round-robin position
+    // staggered by (s*7 + d*13) so different pairs do not march in lock-step
+    // on the same spine. The eager table stored this modulo num_routes; the
+    // raw value is congruent under the modulo inject() applies, so SP
+    // multistage route choices are bit-identical.
+    row = std::make_unique<PairState[]>(static_cast<std::size_t>(num_nodes_));
+    for (int d = 0; d < num_nodes_; ++d) {
+      row[static_cast<std::size_t>(d)].rr = static_cast<std::uint32_t>(src * 7 + d * 13);
+    }
+    ++rows_allocated_;
+  }
+  PairState& ps = row[static_cast<std::size_t>(dst)];
+  if (ps.count == 0) {
+    ps.count = static_cast<std::uint16_t>(topo_->route_count(src, dst));
+  }
+  return ps;
+}
+
+int SwitchFabric::peek_route(int src, int dst) const {
+  const auto& row = rows_[static_cast<std::size_t>(src)];
+  const auto count = static_cast<std::uint32_t>(topo_->route_count(src, dst));
+  const std::uint32_t rr = row != nullptr ? row[static_cast<std::size_t>(dst)].rr
+                                          : static_cast<std::uint32_t>(src * 7 + dst * 13);
+  return static_cast<int>(rr % count);
+}
+
+sim::TimeNs SwitchFabric::wire_time(std::size_t bytes, std::uint8_t cls) const {
+  // Host links serialize at the baseline rate; the multiply-by-1.0 keeps the
+  // result bit-identical to the pre-topology fabric's single-rate formula.
+  const double scale = cls == kLinkLocal    ? cfg_.topo_local_bw_scale
+                       : cls == kLinkGlobal ? cfg_.topo_global_bw_scale
+                                            : 1.0;
+  return static_cast<sim::TimeNs>(
+      std::llround(cfg_.link_ns_per_byte * scale * static_cast<double>(bytes)));
+}
+
+sim::TimeNs SwitchFabric::traverse(Link& link, sim::TimeNs at, std::size_t bytes,
+                                   std::uint8_t cls) {
   // Cut-through approximation: the packet header advances after hop latency;
   // the link stays busy for the serialization time starting when the packet
   // gets the link.
   const sim::TimeNs start = at > link.free_at ? at : link.free_at;
-  link.free_at = start + wire_time(cfg_, bytes);
-  return start + cfg_.hop_latency_ns;
+  link.free_at = start + wire_time(bytes, cls);
+  sim::TimeNs lat = cfg_.hop_latency_ns;
+  if (cls == kLinkGlobal) lat += cfg_.topo_global_extra_latency_ns;
+  return start + lat;
 }
 
 void SwitchFabric::inject(Packet&& pkt) {
   assert(pkt.src >= 0 && pkt.src < num_nodes_);
   assert(pkt.dst >= 0 && pkt.dst < num_nodes_);
 
-  const auto pair_idx = static_cast<std::size_t>(pkt.src) * static_cast<std::size_t>(num_nodes_) +
-                        static_cast<std::size_t>(pkt.dst);
-  int route = static_cast<int>(rr_[pair_idx]++ % static_cast<std::uint32_t>(cfg_.num_routes));
+  PairState& ps = pair_state(pkt.src, pkt.dst);
+  int route = static_cast<int>(ps.rr++ % ps.count);
   // Route-choice bias (schedule-space exploration): with probability
   // route_bias the packet ignores the round-robin position and sprays onto a
   // seeded random route, unbalancing per-route load so some routes congest.
   if (cfg_.route_bias > 0.0 && rng_.chance(cfg_.route_bias)) {
-    route = static_cast<int>(rng_.next_below(static_cast<std::uint32_t>(cfg_.num_routes)));
+    route = static_cast<int>(rng_.next_below(ps.count));
   }
   pkt.route = route;
 
@@ -78,8 +114,8 @@ void SwitchFabric::inject(Packet&& pkt) {
   // dup, dup jitter) and each knob draws only when enabled, so a clean run
   // consumes no randomness and faulty runs are reproducible per seed.
   const std::size_t bytes = pkt.wire_bytes();
-  if (burst_left_[pair_idx] > 0) {
-    --burst_left_[pair_idx];
+  if (ps.burst_left > 0) {
+    --ps.burst_left;
     ++dropped_;
     if (telemetry_ != nullptr) {
       telemetry_->emit(sim_.now(), pkt.src, sim::Ev::kPacketDrop,
@@ -89,7 +125,9 @@ void SwitchFabric::inject(Packet&& pkt) {
     return;
   }
   if (cfg_.packet_drop_rate > 0.0 && rng_.chance(cfg_.packet_drop_rate)) {
-    if (cfg_.burst_drop_len > 1) burst_left_[pair_idx] = cfg_.burst_drop_len - 1;
+    if (cfg_.burst_drop_len > 1) {
+      ps.burst_left = static_cast<std::int16_t>(cfg_.burst_drop_len - 1);
+    }
     ++dropped_;
     if (telemetry_ != nullptr) {
       telemetry_->emit(sim_.now(), pkt.src, sim::Ev::kPacketDrop,
@@ -99,22 +137,22 @@ void SwitchFabric::inject(Packet&& pkt) {
     return;
   }
 
-  const int lsrc = leaf_of(pkt.src);
-  const int ldst = leaf_of(pkt.dst);
-  const auto up_idx = static_cast<std::size_t>(lsrc) * static_cast<std::size_t>(cfg_.num_routes) +
-                      static_cast<std::size_t>(route);
-  const auto down_idx = static_cast<std::size_t>(ldst) * static_cast<std::size_t>(cfg_.num_routes) +
-                        static_cast<std::size_t>(route);
-
-  // Header propagation through the four hops, each queuing on its link.
+  // One virtual call expands the route into link ids; the header then
+  // propagates hop by hop, each hop queuing on its link's busy-until slot.
+  // The SP multistage expansion is the same node-up, leaf-up, leaf-down,
+  // node-down walk (same link identities, same order) as the pre-topology
+  // fabric, so its schedules are bit-identical.
+  RouteBuf rb;
+  topo_->route(pkt.src, pkt.dst, route, rb);
   sim::TimeNs t = sim_.now();
-  t = traverse(node_up_[static_cast<std::size_t>(pkt.src)], t, bytes);
-  t = traverse(leaf_up_[up_idx], t, bytes);
-  t = traverse(leaf_down_[down_idx], t, bytes);
-  t = traverse(node_down_[static_cast<std::size_t>(pkt.dst)], t, bytes);
-  // Tail arrival: one end-to-end serialization (cut-through), plus any
-  // configured per-route skew (test hook; 0 on the real machine).
-  t += wire_time(cfg_, bytes);
+  for (int i = 0; i < rb.n; ++i) {
+    t = traverse(links_[rb.hops[i].link], t, bytes, rb.hops[i].cls);
+  }
+  // Tail arrival: one end-to-end serialization (cut-through) at the final
+  // (host) link's rate, plus any configured per-route skew (test hook; 0 on
+  // the real machine).
+  t += wire_time(bytes, rb.n > 0 ? rb.hops[rb.n - 1].cls
+                                 : static_cast<std::uint8_t>(kLinkHost));
   t += static_cast<sim::TimeNs>(route) * cfg_.route_skew_ns;
   if (cfg_.packet_jitter_ns > 0) {
     t += static_cast<sim::TimeNs>(
@@ -132,7 +170,7 @@ void SwitchFabric::inject(Packet&& pkt) {
     copy.modeled_bytes = pkt.modeled_bytes;
     copy.frame = arena_.acquire(pkt.frame.size());
     std::copy(pkt.frame.begin(), pkt.frame.end(), copy.frame.begin());
-    sim::TimeNs td = t + wire_time(cfg_, bytes);
+    sim::TimeNs td = t + wire_time(bytes, kLinkHost);
     if (cfg_.packet_jitter_ns > 0) {
       td += static_cast<sim::TimeNs>(
           rng_.next_below(static_cast<std::uint32_t>(cfg_.packet_jitter_ns)));
@@ -157,9 +195,46 @@ void SwitchFabric::inject(Packet&& pkt) {
 }
 
 void SwitchFabric::schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt) {
+  if (!batching_) {
+    // Direct mode: one event-queue entry per in-flight packet, exactly the
+    // pre-topology fabric's scheduling (golden digests pin this event order
+    // for the SP multistage path).
+    auto& sink = deliver_[static_cast<std::size_t>(dst)];
+    assert(sink && "no adapter attached to destination node");
+    sim_.at(t, [&sink, p = std::move(pkt)]() mutable { sink(std::move(p)); });
+    return;
+  }
+  // Batched mode: park the packet in the destination's (time, seq) min-heap
+  // and keep at most one wake event armed per destination — the event queue
+  // holds O(nodes) fabric entries regardless of how many packets are in
+  // flight, and back-to-back arrivals on a busy node drain in one event.
+  DstQueue& q = queues_[static_cast<std::size_t>(dst)];
+  q.heap.push_back(Pending{t, next_seq_++, std::move(pkt)});
+  std::push_heap(q.heap.begin(), q.heap.end(), PendingLater{});
+  if (!q.draining && (q.wake_at < 0 || t < q.wake_at)) arm_wake(dst, q);
+}
+
+void SwitchFabric::arm_wake(int dst, DstQueue& q) {
+  q.wake_at = q.heap.front().t;
+  const std::uint64_t gen = ++q.gen;  // invalidates any earlier-armed wake
+  sim_.at(q.wake_at, [this, dst, gen] { drain(dst, gen); });
+}
+
+void SwitchFabric::drain(int dst, std::uint64_t gen) {
+  DstQueue& q = queues_[static_cast<std::size_t>(dst)];
+  if (gen != q.gen) return;  // superseded by an earlier re-arm
+  q.wake_at = -1;
+  q.draining = true;  // deliveries may inject follow-on packets; don't re-arm
   auto& sink = deliver_[static_cast<std::size_t>(dst)];
   assert(sink && "no adapter attached to destination node");
-  sim_.at(t, [&sink, p = std::move(pkt)]() mutable { sink(std::move(p)); });
+  while (!q.heap.empty() && q.heap.front().t <= sim_.now()) {
+    std::pop_heap(q.heap.begin(), q.heap.end(), PendingLater{});
+    Packet p = std::move(q.heap.back().pkt);
+    q.heap.pop_back();
+    sink(std::move(p));
+  }
+  q.draining = false;
+  if (!q.heap.empty()) arm_wake(dst, q);
 }
 
 }  // namespace sp::net

@@ -1,15 +1,32 @@
-// The SP multistage packet-switched network.
+// The simulated packet-switched interconnect.
 //
-// Topology: every node connects to a leaf switch element (4 nodes per leaf);
-// `num_routes` spine elements connect all leaves. A packet from s to d takes
-//     s -> leaf(s) -> spine(r) -> leaf(d) -> d
-// so each node pair has exactly `num_routes` distinct routes (4 on the real
-// SP). The fabric sprays consecutive packets of a pair across routes
-// round-robin, as the SP switch does. Each directed link serializes packets
-// (cut-through: one end-to-end serialization when uncongested, plus queuing
-// wait on busy links), so congested routes lag and packets of one message
-// genuinely arrive out of order — the phenomenon the Pipes layer must reorder
-// for and LAPI handles by reassembling at offsets.
+// Geometry lives in a pluggable Topology (net/topology.hpp): the fabric asks
+// it how many routes a (src, dst) pair has and which directed link ids route
+// r traverses, and owns exactly one busy-until slot per link id. The default
+// SP multistage topology models the paper's switch — every node pair sprayed
+// round-robin over `num_routes` spine elements — and is bit-exact with the
+// pre-topology-layer fabric (the determinism golden digests pin it). Fat-tree,
+// 2-D/3-D torus, and dragonfly plug in behind the same inject() API.
+//
+// Each directed link serializes packets (cut-through: one end-to-end
+// serialization when uncongested, plus queuing wait on busy links), so
+// congested routes lag and packets of one message genuinely arrive out of
+// order — the phenomenon the Pipes layer must reorder for and LAPI handles by
+// reassembling at offsets.
+//
+// Hot path at scale (DESIGN.md §13):
+//  * Per-(src,dst) round-robin/burst state is allocated lazily one *row* (one
+//    source) at a time, so a 1024-node fabric costs O(links) at construction,
+//    not O(N^2); the first packet of a pair finds its route counter already
+//    staggered by the same (s*7 + d*13) formula the eager table used.
+//  * The pair row caches the pair's route count, so spraying is a single
+//    indexed increment + modulo — topology virtual calls are one route()
+//    expansion per packet, into a fixed stack buffer.
+//  * With delivery batching (default on for every topology except SP
+//    multistage, whose event order the digests pin), in-flight packets wait
+//    in a per-destination (time, seq) min-heap with a single armed wake event
+//    per destination, shrinking the global event queue from O(in-flight
+//    packets) to O(nodes).
 //
 // Fault injection: the fabric can additionally drop packets (independently or
 // in per-pair bursts), deliver duplicates, and add uniform delivery jitter.
@@ -22,9 +39,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/topology.hpp"
 #include "sim/config.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -37,6 +56,7 @@ class SwitchFabric {
   using DeliverFn = std::function<void(Packet&&)>;
 
   SwitchFabric(sim::Simulator& sim, const sim::MachineConfig& cfg, int num_nodes);
+  ~SwitchFabric();
 
   /// Register the receive upcall for `node` (its adapter's DMA-in path).
   void attach(int node, DeliverFn deliver);
@@ -46,7 +66,11 @@ class SwitchFabric {
   void inject(Packet&& pkt);
 
   [[nodiscard]] int num_nodes() const noexcept { return num_nodes_; }
+  /// Route count of the SP multistage pair spray (legacy accessor; pairs of
+  /// other topologies vary — see route_count()).
   [[nodiscard]] int num_routes() const noexcept { return cfg_.num_routes; }
+  /// Alternative routes of this pair under the active topology.
+  [[nodiscard]] int route_count(int src, int dst) const;
   [[nodiscard]] std::int64_t packets_delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::int64_t packets_dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::int64_t packets_duplicated() const noexcept { return duplicated_; }
@@ -54,6 +78,14 @@ class SwitchFabric {
 
   /// Next route index that inject() would use for the pair (diagnostics).
   [[nodiscard]] int peek_route(int src, int dst) const;
+
+  /// The active topology (geometry queries; never null).
+  [[nodiscard]] const Topology& topology() const noexcept { return *topo_; }
+  /// How many per-source pair-state rows have been materialized so far
+  /// (construction-cost tests: 0 right after construction).
+  [[nodiscard]] int pair_rows_allocated() const noexcept { return rows_allocated_; }
+  /// Whether per-destination delivery batching is active.
+  [[nodiscard]] bool delivery_batching() const noexcept { return batching_; }
 
   /// Wire structured telemetry (null disables; the fabric has no NodeRuntime).
   void set_telemetry(sim::Telemetry* t) noexcept { telemetry_ = t; }
@@ -68,25 +100,47 @@ class SwitchFabric {
     sim::TimeNs free_at = 0;
   };
 
-  [[nodiscard]] int leaf_of(int node) const noexcept { return node / 4; }
-  [[nodiscard]] sim::TimeNs traverse(Link& link, sim::TimeNs at, std::size_t bytes);
+  /// Cached per-(src,dst) spray state, materialized one source row at a time.
+  struct PairState {
+    std::uint32_t rr = 0;          ///< round-robin position (monotonic)
+    std::int16_t burst_left = 0;   ///< remaining forced burst drops
+    std::uint16_t count = 0;       ///< cached route_count (0 = not yet cached)
+  };
+
+  /// A packet parked in a destination's pending heap (batched delivery).
+  struct Pending {
+    sim::TimeNs t;
+    std::uint64_t seq;
+    Packet pkt;
+  };
+  struct DstQueue {
+    std::vector<Pending> heap;  ///< min-heap on (t, seq)
+    std::uint64_t gen = 0;      ///< arm generation; stale wakes no-op
+    sim::TimeNs wake_at = -1;   ///< time of the armed wake (-1 = none)
+    bool draining = false;
+  };
+
+  [[nodiscard]] PairState& pair_state(int src, int dst);
+  [[nodiscard]] sim::TimeNs traverse(Link& link, sim::TimeNs at, std::size_t bytes,
+                                     std::uint8_t cls);
+  [[nodiscard]] sim::TimeNs wire_time(std::size_t bytes, std::uint8_t cls) const;
+
+  void schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt);
+  void arm_wake(int dst, DstQueue& q);
+  void drain(int dst, std::uint64_t gen);
 
   sim::Simulator& sim_;
   const sim::MachineConfig& cfg_;
   int num_nodes_;
-  int num_leaves_;
-
-  // Directed links, indexed as described in the .cpp.
-  std::vector<Link> node_up_;     // node -> leaf
-  std::vector<Link> node_down_;   // leaf -> node
-  std::vector<Link> leaf_up_;     // leaf -> spine   [leaf * num_routes + r]
-  std::vector<Link> leaf_down_;   // spine -> leaf   [leaf * num_routes + r]
-
-  void schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt);
+  std::unique_ptr<Topology> topo_;
+  std::vector<Link> links_;  ///< one busy-until slot per directed link id
 
   std::vector<DeliverFn> deliver_;
-  std::vector<std::uint32_t> rr_;  // per (src,dst) round-robin route counter
-  std::vector<int> burst_left_;    // per (src,dst) remaining forced burst drops
+  std::vector<std::unique_ptr<PairState[]>> rows_;  ///< lazy, indexed by src
+  int rows_allocated_ = 0;
+  bool batching_ = false;
+  std::vector<DstQueue> queues_;  ///< sized only when batching
+  std::uint64_t next_seq_ = 0;
   sim::Pcg32 rng_;
   FrameArena arena_;
   sim::Telemetry* telemetry_ = nullptr;

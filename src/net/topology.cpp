@@ -1,0 +1,528 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sp::net {
+namespace {
+
+using sim::TopologyKind;
+
+// ---------------------------------------------------------------------------
+// SP multistage crossbar — the paper's switch, kept bit-exact with the
+// pre-topology fabric: every pair (same-leaf included) takes exactly
+//   node -> leaf(src) -> spine(r) -> leaf(dst) -> node
+// and has `num_routes` routes. Link id layout mirrors the old per-array
+// indexing so the busy-until schedule (and therefore every golden digest)
+// is unchanged:
+//   [0, N)                node -> leaf            (node_up)
+//   [N, N+L*R)            leaf l -> spine r       (leaf_up,  l*R + r)
+//   [N+L*R, N+2*L*R)      spine r -> leaf l       (leaf_down, l*R + r)
+//   [N+2*L*R, 2*N+2*L*R)  leaf -> node            (node_down)
+// ---------------------------------------------------------------------------
+class SpMultistage final : public Topology {
+ public:
+  SpMultistage(int num_nodes, int num_routes)
+      : n_(num_nodes), leaves_((num_nodes + 3) / 4), routes_(num_routes) {}
+
+  [[nodiscard]] const char* name() const noexcept override { return "sp"; }
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kSpMultistage;
+  }
+  [[nodiscard]] int num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] int num_links() const noexcept override {
+    return 2 * n_ + 2 * leaves_ * routes_;
+  }
+  [[nodiscard]] int num_vertices() const noexcept override { return n_ + leaves_ + routes_; }
+
+  [[nodiscard]] LinkEnds link_ends(std::uint32_t id) const override {
+    const int lr = leaves_ * routes_;
+    const int i = static_cast<int>(id);
+    if (i < n_) return {i, n_ + i / 4};                             // node_up
+    if (i < n_ + lr) {                                             // leaf_up
+      const int k = i - n_;
+      return {n_ + k / routes_, n_ + leaves_ + k % routes_};
+    }
+    if (i < n_ + 2 * lr) {                                         // leaf_down
+      const int k = i - n_ - lr;
+      return {n_ + leaves_ + k % routes_, n_ + k / routes_};
+    }
+    const int node = i - n_ - 2 * lr;                              // node_down
+    return {n_ + node / 4, node};
+  }
+
+  [[nodiscard]] int route_count(int, int) const override { return routes_; }
+
+  void route(int src, int dst, int r, RouteBuf& out) const override {
+    const int lr = leaves_ * routes_;
+    out.n = 4;
+    out.hops[0] = {static_cast<std::uint32_t>(src), kLinkHost};
+    out.hops[1] = {static_cast<std::uint32_t>(n_ + (src / 4) * routes_ + r), kLinkLocal};
+    out.hops[2] = {static_cast<std::uint32_t>(n_ + lr + (dst / 4) * routes_ + r), kLinkLocal};
+    out.hops[3] = {static_cast<std::uint32_t>(n_ + 2 * lr + dst), kLinkHost};
+  }
+
+ private:
+  int n_;
+  int leaves_;
+  int routes_;
+};
+
+// ---------------------------------------------------------------------------
+// Fat-tree (folded Clos), 2 or 3 levels, after SimGrid's FatTreeZone
+// parameterization: down[l] children and up[l] parent ports per level, with
+// up-link multiplicity mult[l].
+//
+// 2-level: leaves hold down0 nodes; every leaf connects to each of the
+//   up0 spine switches with mult0 parallel links. Inter-leaf routes =
+//   up0 * mult0 (choice of spine and parallel link); same-leaf pairs turn
+//   around at the leaf (1 route, 2 hops).
+// 3-level: a pod is down1 leaves + up0 aggregation switches (leaf connects to
+//   every agg in its pod, mult0 links each); agg j of every pod connects to
+//   cores [j*up1, (j+1)*up1) with mult1 links each, so cores = up0 * up1.
+//   Cross-pod routes = up0*mult0 * up1*mult1; same-pod = up0*mult0.
+// ---------------------------------------------------------------------------
+class FatTree final : public Topology {
+ public:
+  FatTree(int num_nodes, int levels, const std::array<int, 2>& down,
+          const std::array<int, 2>& up, const std::array<int, 2>& mult)
+      : n_(num_nodes), levels_(levels), d0_(down[0]), d1_(down[1]), u0_(up[0]), u1_(up[1]),
+        m0_(mult[0]), m1_(mult[1]) {
+    assert(levels_ == 2 || levels_ == 3);
+    leaves_ = (n_ + d0_ - 1) / d0_;
+    if (levels_ == 2) {
+      pods_ = 1;
+      aggs_ = 0;
+      cores_ = u0_;  // the "spine" row
+    } else {
+      pods_ = (leaves_ + d1_ - 1) / d1_;
+      aggs_ = pods_ * u0_;
+      cores_ = u0_ * u1_;
+    }
+    // Directed link id layout (each block one direction):
+    //   node_up    [0, n)
+    //   node_down  [n, 2n)
+    //   leaf_up    leaf l, parent p in [0,P), copy m: 2n + (l*P + p)*m0 + m
+    //   leaf_down  same shape, offset by leaves*P*m0
+    //   agg_up     (3-level only) agg a, k in [0,u1), copy m
+    //   agg_down   same shape
+    leaf_parents_ = levels_ == 2 ? cores_ : u0_;
+    leaf_up0_ = 2 * n_;
+    leaf_down0_ = leaf_up0_ + leaves_ * leaf_parents_ * m0_;
+    agg_up0_ = leaf_down0_ + leaves_ * leaf_parents_ * m0_;
+    agg_down0_ = agg_up0_ + aggs_ * u1_ * m1_;
+    total_links_ = agg_down0_ + aggs_ * u1_ * m1_;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "fattree"; }
+  [[nodiscard]] TopologyKind kind() const noexcept override { return TopologyKind::kFatTree; }
+  [[nodiscard]] int num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] int num_links() const noexcept override { return total_links_; }
+  [[nodiscard]] int num_vertices() const noexcept override {
+    return n_ + leaves_ + aggs_ + cores_;
+  }
+
+  [[nodiscard]] LinkEnds link_ends(std::uint32_t id) const override {
+    const int i = static_cast<int>(id);
+    const int leaf_v = n_;          // leaf vertex base
+    const int agg_v = n_ + leaves_;
+    const int core_v = agg_v + aggs_;
+    if (i < n_) return {i, leaf_v + i / d0_};
+    if (i < 2 * n_) return {leaf_v + (i - n_) / d0_, i - n_};
+    if (i < leaf_down0_) {
+      const int k = (i - leaf_up0_) / m0_;
+      const int l = k / leaf_parents_;
+      const int p = k % leaf_parents_;
+      // 2-level: parent p is core p. 3-level: parent p is agg p of l's pod.
+      const int parent = levels_ == 2 ? core_v + p : agg_v + (l / d1_) * u0_ + p;
+      return {leaf_v + l, parent};
+    }
+    if (i < agg_up0_) {
+      const int k = (i - leaf_down0_) / m0_;
+      const int l = k / leaf_parents_;
+      const int p = k % leaf_parents_;
+      const int parent = levels_ == 2 ? core_v + p : agg_v + (l / d1_) * u0_ + p;
+      return {parent, leaf_v + l};
+    }
+    if (i < agg_down0_) {
+      const int k = (i - agg_up0_) / m1_;
+      const int a = k / u1_;
+      const int c = (a % u0_) * u1_ + k % u1_;
+      return {agg_v + a, core_v + c};
+    }
+    const int k = (i - agg_down0_) / m1_;
+    const int a = k / u1_;
+    const int c = (a % u0_) * u1_ + k % u1_;
+    return {core_v + c, agg_v + a};
+  }
+
+  [[nodiscard]] int route_count(int src, int dst) const override {
+    const int ls = src / d0_;
+    const int ld = dst / d0_;
+    if (ls == ld) return 1;
+    if (levels_ == 2 || ls / d1_ == ld / d1_) return leaf_parents_ == 0 ? 1 : u0_ * m0_;
+    return u0_ * m0_ * u1_ * m1_;
+  }
+
+  void route(int src, int dst, int r, RouteBuf& out) const override {
+    const int ls = src / d0_;
+    const int ld = dst / d0_;
+    int n = 0;
+    out.hops[n++] = {static_cast<std::uint32_t>(src), kLinkHost};
+    if (ls != ld) {
+      // Up-choice at the leaf level: (parent p0, copy c0).
+      const int up0 = r % (u0_ * m0_);
+      const int p0 = up0 / m0_;
+      const int c0 = up0 % m0_;
+      if (levels_ == 2 || ls / d1_ == ld / d1_) {
+        // Turn around at the spine (2-level) / pod agg (3-level, same pod).
+        const int pa = levels_ == 2 ? p0 : p0;  // parent index within leaf_parents_
+        out.hops[n++] = {link_leaf_up(ls, pa, c0), kLinkLocal};
+        out.hops[n++] = {link_leaf_down(ld, pa, c0), kLinkLocal};
+      } else {
+        // Cross-pod: leaf -> agg p0 -> core (p0's k-th) -> agg p0 of dst pod.
+        const int up1 = (r / (u0_ * m0_)) % (u1_ * m1_);
+        const int k1 = up1 / m1_;
+        const int c1 = up1 % m1_;
+        const int agg_s = (ls / d1_) * u0_ + p0;
+        const int agg_d = (ld / d1_) * u0_ + p0;  // same column reaches the same cores
+        out.hops[n++] = {link_leaf_up(ls, p0, c0), kLinkLocal};
+        out.hops[n++] = {link_agg_up(agg_s, k1, c1), kLinkGlobal};
+        out.hops[n++] = {link_agg_down(agg_d, k1, c1), kLinkGlobal};
+        out.hops[n++] = {link_leaf_down(ld, p0, c0), kLinkLocal};
+      }
+    }
+    out.hops[n++] = {static_cast<std::uint32_t>(n_ + dst), kLinkHost};
+    out.n = n;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t link_leaf_up(int leaf, int p, int copy) const {
+    return static_cast<std::uint32_t>(leaf_up0_ + (leaf * leaf_parents_ + p) * m0_ + copy);
+  }
+  [[nodiscard]] std::uint32_t link_leaf_down(int leaf, int p, int copy) const {
+    return static_cast<std::uint32_t>(leaf_down0_ + (leaf * leaf_parents_ + p) * m0_ + copy);
+  }
+  [[nodiscard]] std::uint32_t link_agg_up(int agg, int k, int copy) const {
+    return static_cast<std::uint32_t>(agg_up0_ + (agg * u1_ + k) * m1_ + copy);
+  }
+  [[nodiscard]] std::uint32_t link_agg_down(int agg, int k, int copy) const {
+    return static_cast<std::uint32_t>(agg_down0_ + (agg * u1_ + k) * m1_ + copy);
+  }
+
+  int n_, levels_, d0_, d1_, u0_, u1_, m0_, m1_;
+  int leaves_ = 0, pods_ = 0, aggs_ = 0, cores_ = 0;
+  int leaf_parents_ = 0;
+  int leaf_up0_ = 0, leaf_down0_ = 0, agg_up0_ = 0, agg_down0_ = 0, total_links_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// 2-D / 3-D torus. Every node is its own router; directed neighbor links are
+// laid out as link id = (node * kDirs + dir), dir in {+x,-x,+y,-y,+z,-z}.
+// Minimal dimension-order routing; the route index selects one of the
+// distinct dimension traversal orders (2 in 2-D, 6 in 3-D), so the spray
+// spreads a pair's packets over edge-disjoint intermediate paths. Each hop
+// takes the shorter wrap direction (ties go positive, deterministically).
+// ---------------------------------------------------------------------------
+class Torus final : public Topology {
+ public:
+  Torus(int num_nodes, int dx, int dy, int dz, bool three_d)
+      : n_(num_nodes), dx_(dx), dy_(dy), dz_(dz), three_d_(three_d) {
+    assert(dx_ * dy_ * dz_ == n_);
+    dims_[0] = dx_;
+    dims_[1] = dy_;
+    dims_[2] = dz_;
+    ndims_ = three_d_ ? 3 : 2;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return three_d_ ? "torus3d" : "torus2d";
+  }
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return three_d_ ? TopologyKind::kTorus3d : TopologyKind::kTorus2d;
+  }
+  [[nodiscard]] int num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] int num_links() const noexcept override { return n_ * kDirs; }
+  [[nodiscard]] int num_vertices() const noexcept override { return n_; }
+
+  [[nodiscard]] LinkEnds link_ends(std::uint32_t id) const override {
+    const int node = static_cast<int>(id) / kDirs;
+    const int dir = static_cast<int>(id) % kDirs;
+    return {node, neighbor(node, dir)};
+  }
+
+  [[nodiscard]] int route_count(int, int) const override { return three_d_ ? 6 : 2; }
+
+  void route(int src, int dst, int r, RouteBuf& out) const override {
+    // The r-th permutation of dimension order.
+    static constexpr int kPerm2[2][2] = {{0, 1}, {1, 0}};
+    static constexpr int kPerm3[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                         {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+    int cs[3], cd[3];
+    coords(src, cs);
+    coords(dst, cd);
+    int n = 0;
+    int cur = src;
+    for (int pi = 0; pi < ndims_; ++pi) {
+      const int d = three_d_ ? kPerm3[r][pi] : kPerm2[r][pi];
+      const int size = dims_[d];
+      int delta = cd[d] - cs[d];
+      if (delta == 0) continue;
+      // Shorter wrap direction; ties (delta == size/2) go positive.
+      int step;  // +1 or -1 in dimension d
+      int hops = delta;
+      if (delta > 0) {
+        step = delta <= size / 2 ? 1 : -1;
+        hops = step == 1 ? delta : size - delta;
+      } else {
+        step = -delta < (size + 1) / 2 ? -1 : 1;
+        hops = step == -1 ? -delta : size + delta;
+      }
+      const int dir = 2 * d + (step == 1 ? 0 : 1);
+      for (int h = 0; h < hops; ++h) {
+        assert(n < RouteBuf::kMaxHops);
+        out.hops[n++] = {static_cast<std::uint32_t>(cur * kDirs + dir), kLinkLocal};
+        cur = neighbor(cur, dir);
+      }
+    }
+    assert(cur == dst);
+    out.n = n;
+  }
+
+ private:
+  static constexpr int kDirs = 6;  // +x,-x,+y,-y,+z,-z (unused dirs self-loop free)
+
+  void coords(int node, int c[3]) const {
+    c[0] = node % dx_;
+    c[1] = (node / dx_) % dy_;
+    c[2] = node / (dx_ * dy_);
+  }
+
+  [[nodiscard]] int neighbor(int node, int dir) const {
+    int c[3];
+    coords(node, c);
+    const int d = dir / 2;
+    const int step = dir % 2 == 0 ? 1 : -1;
+    c[d] = (c[d] + step + dims_[d]) % dims_[d];
+    return c[0] + dx_ * (c[1] + dy_ * c[2]);
+  }
+
+  int n_, dx_, dy_, dz_;
+  bool three_d_;
+  int dims_[3];
+  int ndims_;
+};
+
+// ---------------------------------------------------------------------------
+// Dragonfly: g groups x a routers/group x h hosts/router. Local links are
+// all-to-all within a group; one directed global link per ordered group pair,
+// attached round-robin over the source group's routers (the router of the
+// G -> G' link is ((G' - G - 1) mod a), its reverse end ((G - G' - 1) mod a)
+// of G'). Route 0 is minimal; routes 1..valiant are Valiant detours through
+// deterministic intermediate groups, giving allowed non-minimal spray paths
+// that relieve a hot direct global link.
+// ---------------------------------------------------------------------------
+class Dragonfly final : public Topology {
+ public:
+  Dragonfly(int num_nodes, int routers_per_group, int hosts_per_router, int valiant)
+      : n_(num_nodes), a_(routers_per_group), h_(hosts_per_router), valiant_(valiant) {
+    const int per_group = a_ * h_;
+    g_ = (n_ + per_group - 1) / per_group;
+    routers_ = g_ * a_;
+    // Directed link id layout:
+    //   host_up    [0, n)
+    //   host_down  [n, 2n)
+    //   local      router ra -> rb (a*(a-1) per group):
+    //              2n + (group*a + ra)*(a-1) + local_index(rb)
+    //   global     ordered group pair (G, G'):
+    //              2n + routers*(a-1) + G*(g-1) + idx(G')
+    local0_ = 2 * n_;
+    global0_ = local0_ + routers_ * (a_ - 1);
+    total_links_ = global0_ + g_ * (g_ - 1);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "dragonfly"; }
+  [[nodiscard]] TopologyKind kind() const noexcept override {
+    return TopologyKind::kDragonfly;
+  }
+  [[nodiscard]] int num_nodes() const noexcept override { return n_; }
+  [[nodiscard]] int num_links() const noexcept override { return total_links_; }
+  [[nodiscard]] int num_vertices() const noexcept override { return n_ + routers_; }
+
+  [[nodiscard]] LinkEnds link_ends(std::uint32_t id) const override {
+    const int i = static_cast<int>(id);
+    if (i < n_) return {i, n_ + router_of(i)};
+    if (i < 2 * n_) return {n_ + router_of(i - n_), i - n_};
+    if (i < global0_) {
+      const int k = i - local0_;
+      const int ra = k / (a_ - 1);
+      const int off = k % (a_ - 1);
+      const int in_group = ra % a_;
+      const int rb = (ra / a_) * a_ + (off >= in_group ? off + 1 : off);
+      return {n_ + ra, n_ + rb};
+    }
+    const int k = i - global0_;
+    const int gs = k / (g_ - 1);
+    const int off = k % (g_ - 1);
+    const int gd = off >= gs ? off + 1 : off;
+    return {n_ + gateway_out(gs, gd), n_ + gateway_in(gd, gs)};
+  }
+
+  [[nodiscard]] int route_count(int src, int dst) const override {
+    if (group_of(src) == group_of(dst)) return 1;
+    return 1 + std::min(valiant_, g_ - 2);
+  }
+
+  void route(int src, int dst, int r, RouteBuf& out) const override {
+    int n = 0;
+    out.hops[n++] = {static_cast<std::uint32_t>(src), kLinkHost};
+    const int gs = group_of(src);
+    const int gd = group_of(dst);
+    int cur = router_of(src);  // global router index
+    if (gs != gd) {
+      if (r == 0) {
+        cur = hop_to_group(cur, gd, out, n);
+      } else {
+        // Valiant detour: intermediate group (gs + 1 + (r - 1 + gd)) spread
+        // deterministically, skipping gs and gd.
+        int gi = (gs + 1 + ((r - 1) + (gd % std::max(1, g_ - 2)))) % g_;
+        while (gi == gs || gi == gd) gi = (gi + 1) % g_;
+        cur = hop_to_group(cur, gi, out, n);
+        cur = hop_to_group(cur, gd, out, n);
+      }
+    }
+    const int rd = router_of(dst);
+    if (cur != rd) {
+      out.hops[n++] = {link_local(cur, rd), kLinkLocal};
+    }
+    out.hops[n++] = {static_cast<std::uint32_t>(n_ + dst), kLinkHost};
+    out.n = n;
+  }
+
+ private:
+  [[nodiscard]] int group_of(int node) const { return node / (a_ * h_); }
+  [[nodiscard]] int router_of(int node) const {
+    return group_of(node) * a_ + (node / h_) % a_;
+  }
+  /// Router (global index) of group gs that owns the gs -> gd global link.
+  [[nodiscard]] int gateway_out(int gs, int gd) const {
+    return gs * a_ + ((gd - gs - 1) % a_ + a_) % a_;
+  }
+  [[nodiscard]] int gateway_in(int gd, int gs) const {
+    return gd * a_ + ((gs - gd - 1) % a_ + a_) % a_;
+  }
+  [[nodiscard]] std::uint32_t link_local(int ra, int rb) const {
+    const int in_group = rb % a_;
+    const int ra_in = ra % a_;
+    const int off = in_group > ra_in ? in_group - 1 : in_group;
+    return static_cast<std::uint32_t>(local0_ + ra * (a_ - 1) + off);
+  }
+  [[nodiscard]] std::uint32_t link_global(int gs, int gd) const {
+    const int off = gd > gs ? gd - 1 : gd;
+    return static_cast<std::uint32_t>(global0_ + gs * (g_ - 1) + off);
+  }
+
+  /// Walk from router `cur` to group `gd`'s entry router: local hop to the
+  /// gateway (if needed) then the global link. Returns the arrival router.
+  int hop_to_group(int cur, int gd, RouteBuf& out, int& n) const {
+    const int gs = cur / a_;
+    const int gw = gateway_out(gs, gd);
+    if (cur != gw) {
+      out.hops[n++] = {link_local(cur, gw), kLinkLocal};
+    }
+    out.hops[n++] = {link_global(gs, gd), kLinkGlobal};
+    return gateway_in(gd, gs);
+  }
+
+  int n_, a_, h_, valiant_;
+  int g_ = 0, routers_ = 0;
+  int local0_ = 0, global0_ = 0, total_links_ = 0;
+};
+
+/// Near-balanced exact factorization of n into `dims` factors (descending
+/// greedy by largest divisor <= the remaining geometric mean). Primes
+/// degenerate to rings, which is still a valid torus.
+void factorize(int n, int dims, int out[3]) {
+  out[0] = out[1] = out[2] = 1;
+  int rem = n;
+  for (int d = 0; d < dims - 1; ++d) {
+    const int want = static_cast<int>(
+        std::round(std::pow(static_cast<double>(rem), 1.0 / (dims - d))));
+    int best = 1;
+    for (int f = 1; f * f <= rem; ++f) {
+      if (rem % f != 0) continue;
+      const int g = rem / f;
+      if (f <= want && f > best) best = f;
+      if (g <= want && g > best) best = g;
+    }
+    // `want` may undershoot every divisor; fall back to the smallest divisor
+    // above it so the product stays exact.
+    if (best == 1 && rem > 1) {
+      for (int f = 2; f <= rem; ++f) {
+        if (rem % f == 0) {
+          best = f;
+          break;
+        }
+      }
+    }
+    out[d] = best;
+    rem /= best;
+  }
+  out[dims - 1] = rem;
+  std::sort(out, out + dims);  // ascending: z the smallest, x the largest
+  std::swap(out[0], out[dims - 1]);
+}
+
+}  // namespace
+
+std::unique_ptr<Topology> make_topology(const sim::MachineConfig& cfg, int num_nodes) {
+  switch (cfg.topology) {
+    case TopologyKind::kSpMultistage:
+      return std::make_unique<SpMultistage>(num_nodes, cfg.num_routes);
+    case TopologyKind::kFatTree: {
+      int levels = cfg.fattree_levels;
+      if (levels == 0) levels = num_nodes <= 64 ? 2 : 3;
+      return std::make_unique<FatTree>(num_nodes, levels, cfg.fattree_down, cfg.fattree_up,
+                                       cfg.fattree_mult);
+    }
+    case TopologyKind::kTorus2d:
+    case TopologyKind::kTorus3d: {
+      const bool three_d = cfg.topology == TopologyKind::kTorus3d;
+      int d[3] = {cfg.torus_x, cfg.torus_y, three_d ? cfg.torus_z : 1};
+      if (d[0] == 0 || d[1] == 0 || (three_d && d[2] == 0)) {
+        factorize(num_nodes, three_d ? 3 : 2, d);
+        if (!three_d) d[2] = 1;
+      }
+      assert(d[0] * d[1] * d[2] == num_nodes && "torus dims must multiply to the node count");
+      return std::make_unique<Torus>(num_nodes, d[0], d[1], d[2], three_d);
+    }
+    case TopologyKind::kDragonfly:
+      return std::make_unique<Dragonfly>(num_nodes, cfg.df_routers_per_group,
+                                         cfg.df_hosts_per_router, cfg.df_valiant_routes);
+  }
+  return std::make_unique<SpMultistage>(num_nodes, cfg.num_routes);
+}
+
+const char* topology_name(sim::TopologyKind k) noexcept {
+  switch (k) {
+    case TopologyKind::kSpMultistage: return "sp";
+    case TopologyKind::kFatTree: return "fattree";
+    case TopologyKind::kTorus2d: return "torus2d";
+    case TopologyKind::kTorus3d: return "torus3d";
+    case TopologyKind::kDragonfly: return "dragonfly";
+  }
+  return "?";
+}
+
+bool topology_from_name(const std::string& s, sim::TopologyKind* out) {
+  if (s == "sp" || s == "multistage") *out = TopologyKind::kSpMultistage;
+  else if (s == "fattree" || s == "fat-tree") *out = TopologyKind::kFatTree;
+  else if (s == "torus2d") *out = TopologyKind::kTorus2d;
+  else if (s == "torus3d" || s == "torus") *out = TopologyKind::kTorus3d;
+  else if (s == "dragonfly") *out = TopologyKind::kDragonfly;
+  else return false;
+  return true;
+}
+
+}  // namespace sp::net

@@ -1,0 +1,105 @@
+// Pluggable interconnect topologies for the switch fabric (DESIGN.md §13).
+//
+// A Topology describes the link graph of one interconnect and enumerates the
+// alternative routes of every (src, dst) node pair. The fabric owns one link
+// state (busy-until time) per directed link id and drives the per-packet hop
+// walk; the topology only does the *geometry*: how many routes a pair has and
+// which link ids route r traverses. Four fabrics are modeled:
+//
+//   kSpMultistage  the paper's SP switch: 4-node leaf elements, `num_routes`
+//                  spine elements, every pair sprayed round-robin over all
+//                  spines. Bit-exact with the pre-topology-layer fabric (the
+//                  determinism golden digests pin its schedules).
+//   kFatTree       parameterized folded-Clos (after SimGrid's FatTreeZone):
+//                  2 or 3 levels, per-level down/up port counts and link
+//                  multiplicity. Routes = one choice of up-port per level to
+//                  the nearest common ancestor; the down path is forced.
+//   kTorus2d/3d    wrap-around mesh, node id = x + dx*(y + dy*z). Minimal
+//                  dimension-order routing; the spray walks the distinct
+//                  dimension *orders* (XY/YX, 6 permutations in 3-D), each a
+//                  valid minimal path, so parallel streams split across
+//                  disjoint intermediate links.
+//   kDragonfly     groups of routers with all-to-all global links; route 0 is
+//                  minimal (up to 5 hops: host-local-global-local-host),
+//                  further routes are Valiant detours through deterministic
+//                  intermediate groups (allowed non-minimal paths).
+//
+// Hot-path contract: route() is called once per injected packet and must not
+// allocate or touch per-pair O(N^2) state — everything derives from O(N)
+// coordinate tables built at construction plus integer arithmetic. Link
+// classes (host / local / global) let the fabric charge per-class latency
+// and bandwidth without the topology appearing on the per-hop path at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/config.hpp"
+
+namespace sp::net {
+
+/// Cost class of a link; indexes the fabric's per-class cost table.
+enum LinkClass : std::uint8_t {
+  kLinkHost = 0,    ///< node <-> first switch/router
+  kLinkLocal = 1,   ///< intra-pod / leaf-spine / torus neighbor / intra-group
+  kLinkGlobal = 2,  ///< core level / dragonfly inter-group (long cables)
+};
+inline constexpr int kLinkClasses = 3;
+
+/// One hop of an expanded route: directed link id + its cost class.
+struct Hop {
+  std::uint32_t link;
+  std::uint8_t cls;
+};
+
+/// Fixed-capacity hop buffer filled by Topology::route(). 64 covers the
+/// longest minimal path of any supported config (a 1024-node 2-D torus ring
+/// dimension is 32 wide -> up to 34 hops with the host links).
+struct RouteBuf {
+  static constexpr int kMaxHops = 72;
+  Hop hops[kMaxHops];
+  int n = 0;
+};
+
+/// Directed-link endpoints in the topology's vertex space (for validation:
+/// vertices 0..num_nodes-1 are compute nodes, higher ids are switch/router
+/// elements). Routes must chain: route[i].to == route[i+1].from.
+struct LinkEnds {
+  int from = -1;
+  int to = -1;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual sim::TopologyKind kind() const noexcept = 0;
+  [[nodiscard]] virtual int num_nodes() const noexcept = 0;
+  /// Total directed links; the fabric allocates one busy-until slot per id.
+  [[nodiscard]] virtual int num_links() const noexcept = 0;
+  /// Total vertices (nodes + switch elements), for route validation.
+  [[nodiscard]] virtual int num_vertices() const noexcept = 0;
+  /// Endpoints of directed link `id` (diagnostics / invariant tests).
+  [[nodiscard]] virtual LinkEnds link_ends(std::uint32_t id) const = 0;
+
+  /// Number of alternative routes of the pair (>= 1; src != dst).
+  [[nodiscard]] virtual int route_count(int src, int dst) const = 0;
+
+  /// Expand route `r` (in [0, route_count)) of the pair into `out`.
+  virtual void route(int src, int dst, int r, RouteBuf& out) const = 0;
+};
+
+/// Build the topology selected by cfg.topology for `num_nodes` nodes.
+/// Shape knobs at their 0/auto defaults are derived from the node count.
+[[nodiscard]] std::unique_ptr<Topology> make_topology(const sim::MachineConfig& cfg,
+                                                      int num_nodes);
+
+[[nodiscard]] const char* topology_name(sim::TopologyKind k) noexcept;
+
+/// Parse a CLI topology name ("sp", "fattree", "torus2d", "torus3d",
+/// "dragonfly"); returns false on an unknown name.
+bool topology_from_name(const std::string& s, sim::TopologyKind* out);
+
+}  // namespace sp::net

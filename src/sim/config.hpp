@@ -7,12 +7,24 @@
 // paper's figures (see EXPERIMENTS.md for the calibration notes).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 #include "sim/time.hpp"
 
 namespace sp::sim {
+
+/// Interconnect selector (DESIGN.md §13). kSpMultistage is the paper's switch
+/// and the default; the others are the scale-study topology zoo.
+enum class TopologyKind : int {
+  kSpMultistage = 0,
+  kFatTree = 1,
+  kTorus2d = 2,
+  kTorus3d = 3,
+  kDragonfly = 4,
+};
+inline constexpr int kTopologyKinds = 5;
 
 struct MachineConfig {
   // --- Switch fabric -------------------------------------------------------
@@ -51,6 +63,41 @@ struct MachineConfig {
   /// sequence, exploring alternative handler-dispatch interleavings while
   /// remaining a deterministic total order per salt.
   std::uint64_t event_tie_break_salt = 0;
+
+  // --- Topology zoo (DESIGN.md §13) ----------------------------------------
+  /// Which interconnect the fabric models. The SP multistage default is
+  /// bit-exact with the pre-topology fabric (golden digests pin it).
+  TopologyKind topology = TopologyKind::kSpMultistage;
+  /// Fat-tree shape: levels (0 = auto: 2 up to 64 nodes, else 3), and
+  /// per-level {down children, up parents, up-link multiplicity}. Index 0 is
+  /// the leaf level, index 1 the aggregation level (3-level only).
+  int fattree_levels = 0;
+  std::array<int, 2> fattree_down = {8, 4};
+  std::array<int, 2> fattree_up = {4, 4};
+  std::array<int, 2> fattree_mult = {1, 1};
+  /// Torus shape; 0 = auto (near-cubic factorization of the node count).
+  int torus_x = 0;
+  int torus_y = 0;
+  int torus_z = 0;
+  /// Dragonfly shape: a routers per group, h hosts per router (groups =
+  /// ceil(N / (a*h))), and how many Valiant detour routes augment the
+  /// minimal route for inter-group spray.
+  int df_routers_per_group = 4;
+  int df_hosts_per_router = 4;
+  int df_valiant_routes = 3;
+  /// Per-link-class cost scaling: local (leaf/agg/torus/intra-group) and
+  /// global (core/inter-group) links relative to the host-link baseline
+  /// (link_ns_per_byte / hop_latency_ns). Global cables also add a fixed
+  /// latency (long optical runs). 1.0 / 0 keep all classes identical — the
+  /// SP multistage path requires that for digest stability.
+  double topo_local_bw_scale = 1.0;
+  double topo_global_bw_scale = 1.0;
+  TimeNs topo_global_extra_latency_ns = 0;
+  /// Per-destination delivery batching (one outstanding wake event per dst
+  /// draining a pending min-heap, instead of one queue entry per in-flight
+  /// packet): -1 = auto (on for every topology except SP multistage, whose
+  /// event order the golden digests pin), 0 = off, 1 = on.
+  int fabric_delivery_batching = -1;
 
   // --- Adapter (TB3/TBMX) --------------------------------------------------
   /// Fixed cost to DMA one packet descriptor between host and adapter.
@@ -194,6 +241,12 @@ struct MachineConfig {
   /// Byte cap for the telemetry ring buffer (32-byte records; oldest records
   /// are overwritten beyond the cap and counted as dropped).
   std::size_t telemetry_ring_bytes = 4 * 1024 * 1024;
+  /// Per-node floor for the telemetry ring: the effective ring is
+  /// max(telemetry_ring_bytes, num_tasks * telemetry_ring_bytes_per_node),
+  /// capped at 128 MiB, so traced runs at scale keep zero drops without
+  /// hand-tuning. The default leaves 2-node runs at the 4 MiB legacy size
+  /// (pinned traced digests depend on the ring capacity).
+  std::size_t telemetry_ring_bytes_per_node = 2 * 1024 * 1024;
 
   // --- Debug / fault re-introduction -----------------------------------------
   /// Re-introduce the PR 2 ack-storm bug: every duplicate delivery answers

@@ -425,6 +425,7 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
   cfg.coll_alltoall_algo = static_cast<int>((coll_algos >> 8) & 0xF);
   cfg.coll_reduce_scatter_algo = static_cast<int>((coll_algos >> 12) & 0xF);
   cfg.coll_scan_algo = static_cast<int>((coll_algos >> 16) & 0xF);
+  cfg.topology = static_cast<TopologyKind>(topology);
   // Lossy runs use the soak timeout so go-back-N recovery happens promptly.
   if (drop_ppm > 0) cfg.retransmit_timeout_ns = 400'000;
   // Telemetry feeds the determinism digest, the ring invariant and the
@@ -436,12 +437,12 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
 std::string Perturbation::token() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "x2-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
-                "-%x-%" PRIx64 "-%x-%x",
+                "x3-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
+                "-%x-%" PRIx64 "-%x-%x-%x",
                 seed, static_cast<unsigned>(nodes), static_cast<unsigned>(msgs_per_rank),
                 workload_seed, fabric_seed, drop_ppm, dup_ppm, route_bias_ppm,
                 static_cast<std::uint64_t>(jitter_ns), static_cast<std::uint64_t>(route_skew_ns),
-                static_cast<unsigned>(burst), tie_break_salt, flags, coll_algos);
+                static_cast<unsigned>(burst), tie_break_salt, flags, coll_algos, topology);
   return buf;
 }
 
@@ -457,15 +458,20 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
     }
   }
   parts.push_back(cur);
-  if (parts.size() != 15 || parts[0] != "x2") return std::nullopt;
+  // "x2" is the pre-topology token (14 fields); "x3" appends topology. Old
+  // tokens stay replayable: a missing topology field means SP multistage.
+  const bool v3 = parts[0] == "x3";
+  if (!(v3 && parts.size() == 16) && !(parts[0] == "x2" && parts.size() == 15)) {
+    return std::nullopt;
+  }
   auto u64 = [](const std::string& s, std::uint64_t& out) {
     if (s.empty()) return false;
     char* end = nullptr;
     out = std::strtoull(s.c_str(), &end, 16);
     return end != nullptr && *end == '\0';
   };
-  std::uint64_t v[14];
-  for (std::size_t i = 0; i < 14; ++i) {
+  std::uint64_t v[15] = {};
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
     if (!u64(parts[i + 1], v[i])) return std::nullopt;
   }
   Perturbation p;
@@ -483,9 +489,10 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   p.tie_break_salt = v[11];
   p.flags = static_cast<std::uint32_t>(v[12]);
   p.coll_algos = static_cast<std::uint32_t>(v[13]);
+  p.topology = static_cast<std::uint32_t>(v[14]);
   if (p.nodes < 2 || p.nodes > 64 || p.msgs_per_rank < 1 || p.msgs_per_rank > 4096 ||
       p.burst < 1 || p.burst > 64 || p.drop_ppm > 500'000 || p.dup_ppm > 500'000 ||
-      p.route_bias_ppm > 1'000'000) {
+      p.route_bias_ppm > 1'000'000 || p.topology >= static_cast<std::uint32_t>(kTopologyKinds)) {
     return std::nullopt;
   }
   // Per-primitive pin bounds: bcast/allreduce have 3 algorithms + auto,
@@ -530,6 +537,14 @@ Perturbation Explorer::perturbation_for(std::uint64_t seed) const {
   if (g.next_below(2) != 0) {
     p.coll_algos = g.next_below(4) | (g.next_below(4) << 4) | (g.next_below(3) << 8) |
                    (g.next_below(3) << 12) | (g.next_below(3) << 16);
+  }
+  // Half the space runs on a non-SP fabric (drawn last so older fields stay
+  // seed-stable); topology must never change MPI results, only schedules.
+  // A non-default base-config topology (spsim explore --topology) becomes the
+  // other half's default, so nightly sweeps can soak one fabric directly.
+  p.topology = static_cast<std::uint32_t>(opts_.base_config.topology);
+  if (g.next_below(2) != 0) {
+    p.topology = 1 + g.next_below(static_cast<std::uint32_t>(kTopologyKinds - 1));
   }
   if (opts_.inject_reack_bug) p.flags |= Perturbation::kFlagReackStormBug;
   return p;
@@ -643,6 +658,7 @@ Perturbation Explorer::shrink(Perturbation p) {
         mut(q);
         if (!(q == p)) c.push_back(q);
       };
+      with([](Perturbation& q) { q.topology = 0; });
       with([](Perturbation& q) { q.drop_ppm = 0; q.burst = 1; });
       with([](Perturbation& q) { q.dup_ppm = 0; });
       with([](Perturbation& q) { q.jitter_ns = 0; });

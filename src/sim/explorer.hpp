@@ -73,6 +73,13 @@ struct Perturbation {
   /// collective outputs.
   std::uint32_t coll_algos = 0;
 
+  /// Interconnect topology (TopologyKind as an integer; 0 = SP multistage).
+  /// Topology choice perturbs packet schedules only — MPI results and
+  /// collective output digests must be identical on every fabric, which the
+  /// differential check enforces as an observable. Encoded as the final
+  /// token field ("x3-" tokens); "x2-" tokens parse with topology 0.
+  std::uint32_t topology = 0;
+
   bool operator==(const Perturbation&) const = default;
 
   /// Overlay this vector on a base config (also enables telemetry: the

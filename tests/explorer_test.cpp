@@ -37,6 +37,7 @@ Perturbation busy_vector() {
   // Pin every primitive: scan=2, reduce_scatter=1, alltoall=2, allreduce=3,
   // bcast=2 — all in range for their nibbles.
   p.coll_algos = 0x21232;
+  p.topology = 3;  // torus3d
   return p;
 }
 
@@ -95,6 +96,45 @@ TEST(ExplorerToken, RejectsMalformed) {
   p = busy_vector();
   p.coll_algos = 0x100000;  // bits above the scan nibble
   reject(p);
+  p = busy_vector();
+  p.topology = 5;  // past kDragonfly
+  reject(p);
+}
+
+TEST(ExplorerToken, LegacyX2TokensParseWithDefaultTopology) {
+  // Tokens minted before the topology field (version "x2", 14 data fields)
+  // must keep replaying, defaulting to the SP multistage fabric.
+  Perturbation p = busy_vector();
+  p.topology = 0;
+  std::string tok = p.token();
+  ASSERT_EQ(tok.substr(0, 3), "x3-");
+  const std::string legacy = "x2-" + tok.substr(3, tok.rfind('-') - 3);
+  const auto back = Perturbation::parse(legacy);
+  ASSERT_TRUE(back.has_value()) << legacy;
+  EXPECT_EQ(*back, p);
+  // An x2 token with the extra field (or an x3 token missing it) is malformed.
+  EXPECT_FALSE(Perturbation::parse(legacy + "-0").has_value());
+  EXPECT_FALSE(Perturbation::parse(tok.substr(0, tok.rfind('-'))).has_value());
+}
+
+TEST(ExplorerConformance, TopologyChoiceNeverChangesMpiResults) {
+  // The topology field perturbs packet schedules only: the differential
+  // check (Pipes vs LAPI, plus sequential references) must stay conformant
+  // on every fabric with an otherwise-clean vector.
+  Explorer::Options eo;
+  eo.nodes = 6;
+  eo.msgs_per_rank = 6;
+  Explorer ex(eo);
+  for (std::uint32_t topo = 0; topo < static_cast<std::uint32_t>(kTopologyKinds); ++topo) {
+    Perturbation p;
+    p.seed = 77;
+    p.nodes = 6;
+    p.msgs_per_rank = 6;
+    p.topology = topo;
+    const auto failure = ex.check(p);
+    EXPECT_FALSE(failure.has_value())
+        << "topology " << topo << " diverged: " << failure.value_or("");
+  }
 }
 
 TEST(ExplorerDeterminism, SeedExpandsToTheSameVectorEveryTime) {

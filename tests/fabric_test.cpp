@@ -174,5 +174,42 @@ TEST(SwitchFabric, PeekRouteAdvancesRoundRobin) {
   EXPECT_EQ(fab.peek_route(0, 1), (first + 1) % fab.num_routes());
 }
 
+TEST(SwitchFabric, ConstructionAllocatesNoPairState) {
+  // The per-(src,dst) round-robin/burst table used to be an eager O(N^2)
+  // allocation — 4 MiB of counters at 1024 nodes before the first packet.
+  // Rows must now materialize lazily, and only for sources that transmit.
+  Simulator sim;
+  MachineConfig cfg;
+  SwitchFabric fab(sim, cfg, 1024);
+  EXPECT_EQ(fab.pair_rows_allocated(), 0);
+  EXPECT_EQ(fab.peek_route(3, 997), (3 * 7 + 997 * 13) % cfg.num_routes);
+  EXPECT_EQ(fab.pair_rows_allocated(), 0) << "peek_route must not materialize a row";
+
+  for (int i = 0; i < 1024; ++i) {
+    fab.attach(i, [](Packet&&) {});
+  }
+  sim.at(0, [&] {
+    fab.inject(make_packet(0, 1, 64));
+    fab.inject(make_packet(0, 2, 64));
+    fab.inject(make_packet(7, 3, 64));
+  });
+  sim.run();
+  EXPECT_EQ(fab.pair_rows_allocated(), 2) << "one row per transmitting source";
+}
+
+TEST(SwitchFabric, LazyRowsKeepRoundRobinStagger) {
+  // The lazily-built row must stagger each pair exactly like the old eager
+  // table: first route of (s, d) is (s*7 + d*13) % num_routes.
+  Simulator sim;
+  MachineConfig cfg;
+  SwitchFabric fab(sim, cfg, 8);
+  std::vector<int> routes;
+  fab.attach(6, [&](Packet&& p) { routes.push_back(p.route); });
+  sim.at(0, [&] { fab.inject(make_packet(3, 6, 64)); });
+  sim.run();
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0], (3 * 7 + 6 * 13) % cfg.num_routes);
+}
+
 }  // namespace
 }  // namespace sp::net

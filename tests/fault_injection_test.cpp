@@ -137,6 +137,7 @@ TEST(FaultSoakNas, KernelsVerifyUnderLoss) {
         // however much a lossy run emits, and must not perturb recovery.
         cfg.telemetry_enabled = true;
         cfg.telemetry_ring_bytes = 64 * 1024;
+        cfg.telemetry_ring_bytes_per_node = 0;  // exact cap: no node floor
         Machine m(cfg, 4, b);
         sp::nas::KernelResult res;
         m.run([&, f = fn](Mpi& mpi) {

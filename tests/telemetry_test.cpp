@@ -297,6 +297,7 @@ TEST(TelemetryRing, ByteCapHoldsUnderMachineTraffic) {
   MachineConfig cfg;
   cfg.telemetry_enabled = true;
   cfg.telemetry_ring_bytes = 4096;  // 128 records — far fewer than emitted
+  cfg.telemetry_ring_bytes_per_node = 0;  // exact cap: no node-count floor
   Machine m(cfg, 4, Backend::kLapiEnhanced);
   m.run([](Mpi& mpi) {
     auto& w = mpi.world();

@@ -29,6 +29,9 @@
 //                      "allreduce=rabenseifner,bcast=pipelined" ("all=auto"
 //                      clears every pin; explore ignores this — its
 //                      perturbation vectors carry their own pins)
+//   --topology T       interconnect: sp (default), fattree, torus2d, torus3d,
+//                      dragonfly (DESIGN.md §13)
+//   --trace-ring BYTES telemetry ring size; overrides the per-node auto-scaling
 //   --csv              machine-readable output
 //   --format text|json|csv   trace export format (default text)
 //   --out FILE         write the trace there instead of stdout
@@ -49,6 +52,7 @@
 
 #include "common.hpp"
 #include "mpi/coll.hpp"
+#include "net/topology.hpp"
 #include "nas/kernels.hpp"
 #include "sim/explorer.hpp"
 
@@ -72,6 +76,8 @@ struct Options {
   bool tb3 = false;
   bool csv = false;
   std::string coll_algo;
+  std::string topology;
+  long long trace_ring = 0;  // bytes; 0 = config default / node-count auto
   std::string format = "text";
   std::string out;
   // explore
@@ -89,7 +95,8 @@ struct Options {
                "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics|explore "
                "[--backend native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
                "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
-               "[--seed S] [--scale N] [--coll-algo SPEC] [--csv] "
+               "[--seed S] [--scale N] [--coll-algo SPEC] "
+               "[--topology sp|fattree|torus2d|torus3d|dragonfly] [--trace-ring BYTES] [--csv] "
                "[--format text|json|csv] [--out FILE] "
                "[--seeds N] [--budget N] [--msgs N] [--seed-base S] [--repro TOKEN] "
                "[--trace-out FILE]\n");
@@ -151,6 +158,10 @@ Options parse(int argc, char** argv) {
       else if (t != "tbmx") usage();
     } else if (a == "--coll-algo") {
       o.coll_algo = next();
+    } else if (a == "--topology") {
+      o.topology = next();
+    } else if (a == "--trace-ring") {
+      o.trace_ring = std::atoll(next());
     } else if (a == "--csv") {
       o.csv = true;
     } else if (a == "--format") {
@@ -188,6 +199,17 @@ sim::MachineConfig make_config(const Options& o) {
   cfg.burst_drop_len = o.burst;
   cfg.fabric_seed = o.seed;
   if (o.drop > 0) cfg.retransmit_timeout_ns = 400'000;
+  if (!o.topology.empty()) {
+    if (!net::topology_from_name(o.topology, &cfg.topology)) {
+      std::fprintf(stderr, "spsim: bad --topology: %s\n", o.topology.c_str());
+      std::exit(2);
+    }
+  }
+  if (o.trace_ring > 0) {
+    // An explicit ring size wins over the per-node auto-scaling.
+    cfg.telemetry_ring_bytes = static_cast<std::size_t>(o.trace_ring);
+    cfg.telemetry_ring_bytes_per_node = 0;
+  }
   if (!o.coll_algo.empty()) {
     std::string err;
     if (!mpi::coll::apply_algo_spec(cfg, o.coll_algo, &err)) {
@@ -341,6 +363,11 @@ int cmd_explore(const Options& o) {
   eo.log = stdout;
   eo.base_config = o.tb3 ? sim::MachineConfig::tb3_p2sc() : sim::MachineConfig::tbmx_332();
   eo.base_config.eager_limit = o.eager;
+  if (!o.topology.empty() &&
+      !net::topology_from_name(o.topology, &eo.base_config.topology)) {
+    std::fprintf(stderr, "spsim: bad --topology: %s\n", o.topology.c_str());
+    return 2;
+  }
   sim::Explorer ex(eo);
 
   if (!o.repro.empty()) {
