@@ -7,10 +7,18 @@
 //
 //   bench_collectives [--nodes N] [--iters N] [--quick] [--json FILE]
 //
+// Two RDMA-channel sections ride along (DESIGN.md §14): a barrier sweep
+// comparing the NIC-resident barrier against the host dissemination barrier
+// on the Pipes and LAPI channels across node counts, and a rendezvous
+// crossover sweep comparing large-message ping-pong on the RDMA-read
+// rendezvous against the LAPI-enhanced channel.
+//
 // --quick keeps only the largest (acceptance) size per primitive, for the
 // per-PR CI smoke. --json writes BENCH_collectives.json (see
 // scripts/bench_json.sh), validated by CI with jq: at >= 256 KiB at least two
-// primitives must show >= 1.3x over their seed algorithm.
+// primitives must show >= 1.3x over their seed algorithm, the NIC barrier
+// must beat every host barrier at every node count, and the RDMA rendezvous
+// must beat LAPI-enhanced at >= 256 KiB.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +42,21 @@ struct Sample {
   const char* primitive;
   const char* algorithm;
   std::size_t bytes;
+  double sim_us;
+};
+
+/// One barrier measurement: a (channel, algorithm) pair at one node count.
+struct BarrierSample {
+  int nodes;
+  const char* channel;    ///< "pipes" | "enhanced" | "rdma".
+  const char* algorithm;  ///< "dissemination" (host) or "nic" (adapter).
+  double sim_us;
+};
+
+/// One large-message ping-pong measurement: rendezvous on one channel.
+struct RdvSample {
+  std::size_t bytes;
+  const char* backend;  ///< "enhanced" | "rdma".
   double sim_us;
 };
 
@@ -84,8 +107,60 @@ double run_case(const std::string& primitive, const std::string& algorithm, std:
   return out;
 }
 
+/// Simulated microseconds per barrier with one algorithm pinned on one
+/// channel. The trailing max-allreduce folds the slowest rank's elapsed time
+/// so a skewed release order cannot flatter the result.
+double run_barrier(mpi::Backend backend, const std::string& algorithm, int nodes, int iters) {
+  sim::MachineConfig cfg;
+  std::string err;
+  if (!mpi::coll::apply_algo_spec(cfg, "barrier=" + algorithm, &err)) {
+    std::fprintf(stderr, "bench_collectives: %s\n", err.c_str());
+    std::exit(2);
+  }
+  mpi::Machine m(cfg, nodes, backend);
+  double out = 0.0;
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    mpi.barrier(w);
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < iters; ++i) mpi.barrier(w);
+    double mine = mpi.wtime() - t0;
+    double slowest = 0.0;
+    mpi.allreduce(&mine, &slowest, 1, mpi::Datatype::kDouble, mpi::Op::kMax, w);
+    if (w.rank() == 0) out = slowest * 1e6 / iters;
+  });
+  return out;
+}
+
+/// Simulated microseconds per one-way message in a two-node ping-pong. Above
+/// the eager limit this is a pure rendezvous measurement: LAPI-enhanced pays
+/// the host RTS/CTS/data phases, the RDMA channel pulls with an RDMA read.
+double run_pingpong(mpi::Backend backend, std::size_t bytes, int iters) {
+  sim::MachineConfig cfg;
+  mpi::Machine m(cfg, 2, backend);
+  double out = 0.0;
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    std::vector<char> buf(bytes, static_cast<char>(w.rank()));
+    mpi.barrier(w);
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < iters; ++i) {
+      if (w.rank() == 0) {
+        mpi.send(buf.data(), buf.size(), mpi::Datatype::kByte, 1, i, w);
+        mpi.recv(buf.data(), buf.size(), mpi::Datatype::kByte, 1, i, w);
+      } else {
+        mpi.recv(buf.data(), buf.size(), mpi::Datatype::kByte, 0, i, w);
+        mpi.send(buf.data(), buf.size(), mpi::Datatype::kByte, 0, i, w);
+      }
+    }
+    if (w.rank() == 0) out = (mpi.wtime() - t0) * 1e6 / (2.0 * iters);
+  });
+  return out;
+}
+
 void write_json(const char* path, int nodes, const std::vector<Sample>& samples,
-                const std::vector<Case>& cases) {
+                const std::vector<Case>& cases, const std::vector<BarrierSample>& barriers,
+                const std::vector<RdvSample>& rendezvous) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_collectives: cannot open %s\n", path);
@@ -128,6 +203,21 @@ void write_json(const char* path, int nodes, const std::vector<Sample>& samples,
   }
   if (!rows.empty()) rows.erase(rows.size() - 2, 1);  // drop the trailing comma
   std::fputs(rows.c_str(), f);
+  std::fprintf(f, "  ],\n  \"barrier\": [\n");
+  for (std::size_t i = 0; i < barriers.size(); ++i) {
+    const BarrierSample& s = barriers[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"channel\": \"%s\", \"algorithm\": \"%s\", "
+                 "\"sim_us\": %.3f}%s\n",
+                 s.nodes, s.channel, s.algorithm, s.sim_us,
+                 i + 1 < barriers.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"rendezvous\": [\n");
+  for (std::size_t i = 0; i < rendezvous.size(); ++i) {
+    const RdvSample& s = rendezvous[i];
+    std::fprintf(f, "    {\"bytes\": %zu, \"backend\": \"%s\", \"sim_us\": %.3f}%s\n",
+                 s.bytes, s.backend, s.sim_us, i + 1 < rendezvous.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
@@ -212,8 +302,57 @@ int main(int argc, char** argv) {
                 best_us > 0 ? seed_us / best_us : 0.0);
   }
 
+  // Barrier: the NIC-resident barrier against host dissemination on every
+  // channel, across node counts straddling powers of two. The CI gate asserts
+  // the adapter wins at every size.
+  struct BarrierCfg {
+    const char* channel;
+    mpi::Backend backend;
+    const char* algorithm;
+  };
+  const std::vector<BarrierCfg> barrier_cfgs = {
+      {"pipes", mpi::Backend::kNativePipes, "dissemination"},
+      {"enhanced", mpi::Backend::kLapiEnhanced, "dissemination"},
+      {"rdma", mpi::Backend::kRdma, "dissemination"},
+      {"rdma", mpi::Backend::kRdma, "nic"},
+  };
+  std::vector<int> barrier_nodes = {4, 8, 16, 32};
+  if (quick) barrier_nodes = {8, 16};
+  std::vector<BarrierSample> barriers;
+  std::printf("\nbarrier (us/op by channel/algorithm):\n%-12s", "nodes");
+  for (const BarrierCfg& bc : barrier_cfgs) {
+    std::printf(" %14s/%-4s", bc.channel, bc.algorithm[0] == 'n' ? "nic" : "diss");
+  }
+  std::printf("\n");
+  for (int bn : barrier_nodes) {
+    std::printf("%-12d", bn);
+    for (const BarrierCfg& bc : barrier_cfgs) {
+      const double us = run_barrier(bc.backend, bc.algorithm, bn, iters);
+      barriers.push_back({bn, bc.channel, bc.algorithm, us});
+      std::printf(" %19.1f", us);
+    }
+    std::printf("\n");
+  }
+
+  // Rendezvous crossover: one-way large-message latency, LAPI-enhanced host
+  // rendezvous vs the RDMA-read pull. The CI gate asserts the RDMA channel
+  // wins at >= 256 KiB (the paper's host-copy elimination payoff).
+  std::vector<std::size_t> rdv_bytes = {64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024,
+                                        1024 * 1024};
+  if (quick) rdv_bytes = {256 * 1024, 1024 * 1024};
+  std::vector<RdvSample> rendezvous;
+  std::printf("\nrendezvous ping-pong (one-way us):\n%-12s %14s %14s\n", "bytes", "enhanced",
+              "rdma");
+  for (std::size_t bytes : rdv_bytes) {
+    const double enh = run_pingpong(mpi::Backend::kLapiEnhanced, bytes, iters);
+    const double rdm = run_pingpong(mpi::Backend::kRdma, bytes, iters);
+    rendezvous.push_back({bytes, "enhanced", enh});
+    rendezvous.push_back({bytes, "rdma", rdm});
+    std::printf("%-12zu %14.1f %14.1f\n", bytes, enh, rdm);
+  }
+
   if (json_path != nullptr) {
-    write_json(json_path, nodes, samples, cases);
+    write_json(json_path, nodes, samples, cases, barriers, rendezvous);
     std::printf("\nwrote %s\n", json_path);
   }
   return 0;

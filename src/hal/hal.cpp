@@ -10,8 +10,12 @@
 namespace sp::hal {
 
 namespace {
-[[nodiscard]] sim::TimeNs dma_time(const sim::MachineConfig& cfg, std::size_t bytes) {
-  return cfg.adapter_packet_setup_ns +
+[[nodiscard]] sim::TimeNs dma_time(const sim::MachineConfig& cfg, std::size_t bytes,
+                                   bool nic_context = false) {
+  // NIC-resident protocols run on pre-posted descriptors: the per-packet
+  // setup collapses to the cut-through cost; the per-byte engine is shared.
+  const sim::TimeNs setup = nic_context ? cfg.rdma_nic_pkt_ns : cfg.adapter_packet_setup_ns;
+  return setup +
          static_cast<sim::TimeNs>(std::llround(cfg.adapter_ns_per_byte * static_cast<double>(bytes)));
 }
 }  // namespace
@@ -26,8 +30,24 @@ void Hal::register_protocol(ProtoId proto, RecvFn fn) {
   protocols_[proto] = std::move(fn);
 }
 
+void Hal::register_nic_protocol(ProtoId proto, RecvFn fn) {
+  assert(proto < kMaxProto);
+  protocols_[proto] = std::move(fn);
+  nic_proto_[proto] = true;
+}
+
 bool Hal::send_packet(int dst, ProtoId proto, std::span<const std::byte> payload,
                       std::size_t modeled_payload_bytes) {
+  return send_packet_impl(dst, proto, payload, modeled_payload_bytes, /*nic_context=*/false);
+}
+
+bool Hal::send_packet_nic(int dst, ProtoId proto, std::span<const std::byte> payload,
+                          std::size_t modeled_payload_bytes) {
+  return send_packet_impl(dst, proto, payload, modeled_payload_bytes, /*nic_context=*/true);
+}
+
+bool Hal::send_packet_impl(int dst, ProtoId proto, std::span<const std::byte> payload,
+                           std::size_t modeled_payload_bytes, bool nic_context) {
   assert(payload.size() <= node_.cfg.packet_mtu + 512 && "packet exceeds MTU allowance");
   if (send_buffers_in_use_ >= node_.cfg.hal_send_buffers) return false;
   ++send_buffers_in_use_;
@@ -38,8 +58,10 @@ bool Hal::send_packet(int dst, ProtoId proto, std::span<const std::byte> payload
     return std::string(b);
   });
 
-  // Host-side handshake with the adapter microcode.
-  const sim::TimeNs cpu_done = node_.cpu.charge(node_.sim, node_.cfg.hal_per_packet_cpu_ns);
+  // Host-side handshake with the adapter microcode. NIC-originated packets
+  // skip it: the adapter engine works from pre-posted descriptors.
+  const sim::TimeNs cpu_done =
+      nic_context ? node_.sim.now() : node_.cpu.charge(node_.sim, node_.cfg.hal_per_packet_cpu_ns);
 
   // Build the wire frame: HAL header (modelled as cfg.hal_header_bytes on the
   // wire; carries the protocol id) followed by the upper layer's bytes. The
@@ -60,7 +82,7 @@ bool Hal::send_packet(int dst, ProtoId proto, std::span<const std::byte> payload
   // Adapter DMA: one packet at a time, starting when both the descriptor is
   // posted (cpu_done) and the engine is free.
   const sim::TimeNs start = cpu_done > send_dma_free_at_ ? cpu_done : send_dma_free_at_;
-  const sim::TimeNs injected_at = start + dma_time(node_.cfg, pkt.wire_bytes());
+  const sim::TimeNs injected_at = start + dma_time(node_.cfg, pkt.wire_bytes(), nic_context);
   send_dma_free_at_ = injected_at;
 
   SP_TELEM(node_, sim::Ev::kDmaStart, static_cast<std::uint64_t>(dst), pkt.wire_bytes());
@@ -84,16 +106,23 @@ void Hal::notify_send_space() {
 }
 
 void Hal::on_frame_from_fabric(net::Packet&& pkt) {
-  // DMA from adapter SRAM into a pinned HAL receive buffer.
+  // DMA from adapter SRAM into a pinned HAL receive buffer. NIC-resident
+  // protocols land in adapter SRAM rings on pre-posted descriptors (cheaper
+  // setup) and are consumed by the adapter engine the moment the DMA ends —
+  // no host handshake, no interrupt.
+  assert(!pkt.frame.empty());
+  const bool nic = nic_proto_[static_cast<ProtoId>(pkt.frame[0]) % kMaxProto];
   const sim::TimeNs now = node_.sim.now();
   const sim::TimeNs start = now > recv_dma_free_at_ ? now : recv_dma_free_at_;
-  const sim::TimeNs host_visible = start + dma_time(node_.cfg, pkt.wire_bytes());
+  const sim::TimeNs host_visible = start + dma_time(node_.cfg, pkt.wire_bytes(), nic);
   recv_dma_free_at_ = host_visible;
 
-  node_.sim.at(host_visible, [this, p = std::move(pkt)]() mutable {
+  node_.sim.at(host_visible, [this, nic, p = std::move(pkt)]() mutable {
     ++packets_received_;
     SP_TELEM(node_, sim::Ev::kRecvDma, static_cast<std::uint64_t>(p.src), p.wire_bytes());
-    if (!interrupt_mode_) {
+    if (nic) {
+      deliver_to_protocol(std::move(p));
+    } else if (!interrupt_mode_) {
       // Polling mode: the paper's experiments poll inside blocking calls, so
       // dispatch proceeds as soon as the host CPU is free.
       node_.cpu.run(node_.sim, node_.cfg.hal_per_packet_cpu_ns,

@@ -11,6 +11,7 @@
 // hysteresis scheme.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -25,6 +26,7 @@ namespace sp::hal {
 using ProtoId = std::uint8_t;
 inline constexpr ProtoId kProtoPipes = 1;
 inline constexpr ProtoId kProtoLapi = 2;
+inline constexpr ProtoId kProtoRdma = 3;
 inline constexpr int kMaxProto = 4;
 
 class Hal {
@@ -42,6 +44,21 @@ class Hal {
 
   /// Register the receive upcall for protocol `proto`.
   void register_protocol(ProtoId proto, RecvFn fn);
+
+  /// Register a NIC-resident protocol (DESIGN.md §14). Inbound frames for a
+  /// NIC protocol never touch the host: the adapter DMA uses the pre-posted
+  /// descriptor cost (rdma_nic_pkt_ns) instead of the host-driven setup, the
+  /// per-packet host handshake and the interrupt path are both skipped, and
+  /// the upcall runs in adapter context at the moment the DMA lands.
+  void register_nic_protocol(ProtoId proto, RecvFn fn);
+
+  /// NIC-originated variant of send_packet: descriptors are pre-posted by the
+  /// adapter engine, so no host CPU is charged and the per-packet DMA setup
+  /// is rdma_nic_pkt_ns instead of adapter_packet_setup_ns. Shares the send
+  /// DMA engine, the pinned-buffer pool, and wait_send_space with the host
+  /// path.
+  [[nodiscard]] bool send_packet_nic(int dst, ProtoId proto, std::span<const std::byte> payload,
+                                     std::size_t modeled_payload_bytes = 0);
 
   /// Queue one packet for transmission. Returns false if all pinned HAL send
   /// buffers are in use (caller must retry from its on_send_space callback).
@@ -95,7 +112,11 @@ class Hal {
 
   void notify_send_space();
 
+  [[nodiscard]] bool send_packet_impl(int dst, ProtoId proto, std::span<const std::byte> payload,
+                                      std::size_t modeled_payload_bytes, bool nic_context);
+
   std::vector<RecvFn> protocols_;
+  std::array<bool, kMaxProto> nic_proto_{};
   std::vector<std::function<void()>> send_space_waiters_;
 
   // Send side: adapter DMA engine availability and pinned-buffer pool.

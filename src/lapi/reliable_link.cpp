@@ -17,8 +17,13 @@ namespace {
 constexpr sim::TimeNs kMinRetryDelayNs = 1'000;
 }  // namespace
 
-ReliableLink::ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer)
-    : node_(node), hal_(hal), peer_(peer) {}
+ReliableLink::ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer, Profile profile)
+    : node_(node), hal_(hal), peer_(peer), profile_(profile) {}
+
+bool ReliableLink::hal_send(std::span<const std::byte> payload, std::size_t modeled) {
+  return profile_.nic_context ? hal_.send_packet_nic(peer_, profile_.proto, payload, modeled)
+                              : hal_.send_packet(peer_, profile_.proto, payload, modeled);
+}
 
 const std::byte* ReliableLink::data_ptr(const Pending& p) const noexcept {
   return p.msg.owned.empty() ? p.msg.data : p.msg.owned.data();
@@ -82,11 +87,14 @@ void ReliableLink::materialize_one() {
     const std::byte* src = data_ptr(p) + p.next_offset;
     payload.insert(payload.end(), src, src + chunk);
   }
-  // The single LAPI origin-side copy: user buffer -> HAL staging.
-  node_.cpu.charge(node_.sim, copy_cost(node_.cfg, chunk + uhdr_len));
+  // The single LAPI origin-side copy: user buffer -> HAL staging. The NIC
+  // profile gathers straight from registered memory (zero host copies).
+  if (!profile_.nic_context) {
+    node_.cpu.charge(node_.sim, copy_cost(node_.cfg, chunk + uhdr_len));
+  }
 
-  const std::size_t modeled = node_.cfg.lapi_header_bytes + uhdr_len + chunk;
-  const bool sent = hal_.send_packet(peer_, hal::kProtoLapi, payload, modeled);
+  const std::size_t modeled = header_bytes() + uhdr_len + chunk;
+  const bool sent = hal_send(payload, modeled);
   assert(sent && "pump() checked for HAL space");
   (void)sent;
   ++data_packets_sent_;
@@ -104,7 +112,7 @@ void ReliableLink::materialize_one() {
 }
 
 void ReliableLink::on_ack(std::uint32_t cum_wire) {
-  node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
+  if (!profile_.nic_context) node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
   const std::uint64_t cum = unwrap_seq(acked_, cum_wire);
   if (cum > acked_) acked_ = cum;
   const auto last = store_.upper_bound(cum);
@@ -161,8 +169,8 @@ void ReliableLink::send_ack() {
   h.origin = static_cast<std::uint32_t>(hal_.node());
   std::vector<std::byte> payload;
   append_hdr(payload, h);
-  node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
-  if (hal_.send_packet(peer_, hal::kProtoLapi, std::move(payload), node_.cfg.lapi_header_bytes)) {
+  if (!profile_.nic_context) node_.cpu.charge(node_.sim, node_.cfg.ack_processing_ns);
+  if (hal_send(payload, header_bytes())) {
     unacked_count_ = 0;
     ack_pending_ = false;
     ++acks_sent_;
@@ -203,7 +211,7 @@ void ReliableLink::schedule_retransmit_check() {
     if (age >= node_.cfg.retransmit_timeout_ns) {
       // Go-back-N: resend everything unacknowledged.
       for (auto& [seq, s] : store_) {
-        if (hal_.send_packet(peer_, hal::kProtoLapi, s.payload, s.modeled_bytes)) {
+        if (hal_send(s.payload, s.modeled_bytes)) {
           s.sent_at = node_.sim.now();
           ++retransmits_;
           SP_TELEM(node_, sim::Ev::kLapiRetransmit, static_cast<std::uint64_t>(peer_), seq);

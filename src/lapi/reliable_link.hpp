@@ -28,7 +28,20 @@ namespace sp::lapi {
 
 class ReliableLink {
  public:
-  ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer);
+  /// Transport personality. The default reproduces the LAPI link bit-exactly;
+  /// the RDMA adapter (DESIGN.md §14) runs the same go-back-N machinery on
+  /// its own HAL protocol with `nic_context = true`, which drops every host
+  /// CPU charge (the origin-side staging copy and ack processing): the NIC
+  /// engine gathers straight from registered memory and sinks acks itself.
+  struct Profile {
+    hal::ProtoId proto = hal::kProtoLapi;
+    std::size_t header_bytes = 0;  ///< Modeled wire header; 0 = cfg.lapi_header_bytes.
+    bool nic_context = false;
+  };
+
+  ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer)
+      : ReliableLink(node, hal, peer, Profile{}) {}
+  ReliableLink(sim::NodeRuntime& node, hal::Hal& hal, int peer, Profile profile);
 
   struct Message {
     PktHdr meta;                   ///< Template: kind/msg_id/total_len/tokens set by caller.
@@ -99,9 +112,15 @@ class ReliableLink {
   [[nodiscard]] const std::byte* data_ptr(const Pending& p) const noexcept;
   [[nodiscard]] std::size_t data_len(const Pending& p) const noexcept;
 
+  [[nodiscard]] std::size_t header_bytes() const noexcept {
+    return profile_.header_bytes != 0 ? profile_.header_bytes : node_.cfg.lapi_header_bytes;
+  }
+  [[nodiscard]] bool hal_send(std::span<const std::byte> payload, std::size_t modeled);
+
   sim::NodeRuntime& node_;
   hal::Hal& hal_;
   int peer_;
+  Profile profile_;
 
   // Origin side. Sequence bookkeeping is 64-bit internally; the wire carries
   // the low 32 bits and receivers unwrap (see wire.hpp unwrap_seq), so the

@@ -4,14 +4,17 @@
 // thin MPCI over LAPI, Fig. 1c, in its Base / Counters / Enhanced versions).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "mpci/bsend_pool.hpp"
+#include "mpci/envelope.hpp"
 #include "mpci/request.hpp"
 #include "sim/node_runtime.hpp"
 
@@ -26,7 +29,7 @@ class FatalMpiError : public std::runtime_error {
 
 class Channel {
  public:
-  explicit Channel(sim::NodeRuntime& node) : node_(node) {}
+  Channel(sim::NodeRuntime& node, int num_tasks) : node_(node), num_tasks_(num_tasks) {}
   virtual ~Channel() = default;
 
   Channel(const Channel&) = delete;
@@ -51,6 +54,34 @@ class Channel {
   /// Nonblocking probe: is a matchable unexpected message pending? Fills
   /// `st` (source, tag, length) without consuming the message.
   [[nodiscard]] virtual bool iprobe(int ctx, int src_sel, int tag_sel, Status* st) = 0;
+
+  /// Rank-order combine for the NIC-resident allreduce: fold `from` (the
+  /// higher-rank operand) into `into` (the lower-rank accumulator).
+  using NicCombine = std::function<void(std::byte* into, const std::byte* from, std::size_t len)>;
+
+  // Adapter-resident collectives (DESIGN.md §14.4). A channel backed by a
+  // NIC with an offload engine runs the operation entirely on the adapter
+  // and blocks the rank fiber until it completes, returning true; the
+  // defaults return false and the caller falls back to a host algorithm.
+  // All members of ctx must use the same per-context `seq` posting order.
+  /// Capability probe: true when the nic_* hooks can succeed at all. The Mpi
+  /// layer checks this before opening a NIC telemetry span so host-only
+  /// channels never emit offload spans (pinned digests stay quiet).
+  [[nodiscard]] virtual bool nic_offload() const noexcept { return false; }
+  virtual bool nic_barrier(int /*ctx*/, std::uint32_t /*seq*/, int /*rank*/,
+                           const std::vector<int>& /*tasks*/) {
+    return false;
+  }
+  virtual bool nic_bcast(int /*ctx*/, std::uint32_t /*seq*/, int /*rank*/, int /*root*/,
+                         const std::vector<int>& /*tasks*/, std::byte* /*buf*/,
+                         std::size_t /*len*/) {
+    return false;
+  }
+  virtual bool nic_allreduce(int /*ctx*/, std::uint32_t /*seq*/, int /*rank*/,
+                             const std::vector<int>& /*tasks*/, std::byte* /*buf*/,
+                             std::size_t /*len*/, NicCombine /*combine*/) {
+    return false;
+  }
 
   /// Notified (through the wake gate) whenever a new envelope becomes
   /// matchable — MPI_Probe blocks on this.
@@ -89,6 +120,11 @@ class Channel {
   [[nodiscard]] std::int64_t rendezvous_sends() const noexcept { return rendezvous_sends_; }
   [[nodiscard]] std::int64_t early_arrivals() const noexcept { return early_arrivals_; }
   [[nodiscard]] std::size_t early_arrival_bytes_in_use() const noexcept { return ea_bytes_; }
+  /// Eager sends demoted to rendezvous by the sender-side EA credit check.
+  [[nodiscard]] std::int64_t ea_fallbacks() const noexcept { return ea_fallbacks_; }
+  /// Eagers refused by the receiver (EA pool full) and failed over to
+  /// sender-served rendezvous; counted at the sender when the NACK arrives.
+  [[nodiscard]] std::int64_t ea_nacks() const noexcept { return ea_nacks_; }
 
  protected:
   /// Charge the cost of scanning `entries` queue entries plus locking.
@@ -128,18 +164,133 @@ class Channel {
     if (match_log_ != nullptr) match_log_->push_back(MatchRecord{ctx, src, tag, seq, len});
   }
 
-  /// Early-arrival buffer accounting; throws FatalMpiError on exhaustion.
-  void ea_reserve(std::size_t bytes) {
-    if (ea_bytes_ + bytes > node_.cfg.early_arrival_bytes) {
-      throw FatalMpiError("early-arrival buffer exhausted (raise eager limit / EA size)");
-    }
+  /// Early-arrival buffer accounting. Returns false when the pool cannot
+  /// admit `bytes`; the caller NACKs the eager back into a sender-served
+  /// rendezvous (ea_issue_nack) instead of dying — the seed treated this as
+  /// fatal, which a lossy soak could trigger at will.
+  [[nodiscard]] bool try_ea_reserve(std::size_t bytes) {
+    if (ea_bytes_ + bytes > node_.cfg.early_arrival_bytes) return false;
     ea_bytes_ += bytes;
     ++early_arrivals_;
     SP_TELEM(node_, sim::Ev::kEarlyArrival, bytes);
+    return true;
   }
   void ea_release(std::size_t bytes) noexcept { ea_bytes_ -= bytes; }
 
+  /// Send a control-only envelope (EA credit / NACK) to a peer task over
+  /// whatever control path the transport has.
+  virtual void send_control_env(int dst_task, const Envelope& env) = 0;
+
+  // --- Early-arrival flow control -----------------------------------------
+  //
+  // Senders bound the eager bytes they may have uncredited toward each
+  // destination (`ea_sender_limit`; the auto default is a fair share of the
+  // peer's EA pool, under which try_ea_reserve provably cannot fail) and
+  // demote further eagers to rendezvous. Receivers NACK eagers that lose the
+  // admission race anyway — reachable only when ea_sender_limit_bytes
+  // overrides the fair share — converting them to a pseudo-RTS served from a
+  // sender-side retained copy.
+  //
+  // Uncredited bytes are decremented ONLY by returned credits: every
+  // non-ready, non-empty eager eventually earns exactly one credit covering
+  // its length. Credits are per-message (carrying the sreq, which also
+  // garbage-collects the retained copy) in override mode, and batched deltas
+  // gated on the kFlagWantCredit pressure signal in auto mode — a quiet run
+  // exchanges no credit traffic at all, keeping digests stable.
+
+  [[nodiscard]] std::size_t ea_sender_limit() const noexcept {
+    if (node_.cfg.ea_sender_limit_bytes != 0) return node_.cfg.ea_sender_limit_bytes;
+    return node_.cfg.early_arrival_bytes /
+           static_cast<std::size_t>(std::max(1, num_tasks_ - 1));
+  }
+  /// Retained sender-side copies (for NACK service) exist only under the
+  /// override; the auto fair share cannot NACK, so nothing is retained.
+  [[nodiscard]] bool retention_active() const noexcept {
+    return node_.cfg.ea_sender_limit_bytes != 0;
+  }
+
+  /// protocol_for plus the sender-side credit check: an eager that would push
+  /// this destination's uncredited bytes past the limit falls back to
+  /// rendezvous (counted in ea_fallbacks).
+  [[nodiscard]] Protocol choose_protocol(Mode mode, std::size_t len, int dst) {
+    Protocol p = protocol_for(mode, len, node_.cfg.eager_limit);
+    if (p == Protocol::kEager && mode != Mode::kReady && len > 0 &&
+        ea_inflight_[dst] + len > ea_sender_limit()) {
+      ++ea_fallbacks_;
+      p = Protocol::kRendezvous;
+    }
+    return p;
+  }
+
+  /// Sender-side accounting at eager departure. Must run after `env` is
+  /// fully built and before it is packed: it raises kFlagWantCredit past
+  /// half the share and, in override mode, retains a service copy.
+  void ea_note_eager_departure(int dst, Envelope& env, const std::byte* buf) {
+    if (env.len == 0 || (env.flags & kFlagReady) != 0) return;
+    auto& inflight = ea_inflight_[dst];
+    inflight += env.len;
+    if (inflight * 2 >= ea_sender_limit()) env.flags |= kFlagWantCredit;
+    if (retention_active()) {
+      retained_.emplace(env.sreq,
+                        RetainedEager{env, std::vector<std::byte>(buf, buf + env.len)});
+    }
+  }
+
+  /// Receiver-side: one eager from `src_task` (or the rendezvous data
+  /// serving its NACK) is fully consumed; return credit per the mode.
+  void ea_note_retired(int src_task, const Envelope& env) {
+    if (env.len == 0 || (env.flags & kFlagReady) != 0) return;
+    Envelope c;
+    c.kind = static_cast<std::uint8_t>(EnvKind::kEaCredit);
+    if (retention_active()) {
+      c.sreq = env.sreq;
+      c.len = env.len;
+      send_control_env(src_task, c);
+      return;
+    }
+    auto& peer = ea_credit_owed_[src_task];
+    peer.owed += env.len;
+    if ((env.flags & kFlagWantCredit) != 0) peer.flagged = true;
+    if (peer.flagged) {
+      c.sreq = 0;
+      c.len = static_cast<std::uint32_t>(peer.owed);
+      send_control_env(src_task, c);
+      peer.owed = 0;
+      peer.flagged = false;
+    }
+  }
+
+  /// Receiver-side: EA admission failed — tell the sender its eager was
+  /// dropped and will be pulled as rendezvous data via the pseudo-RTS.
+  void ea_issue_nack(int src_task, const Envelope& env) {
+    Envelope n;
+    n.kind = static_cast<std::uint8_t>(EnvKind::kEaNack);
+    n.sreq = env.sreq;
+    n.len = env.len;
+    send_control_env(src_task, n);
+  }
+
+  // Sender-side handlers for the two control kinds.
+  void ea_on_credit(int peer_task, const Envelope& env) {
+    auto& inflight = ea_inflight_[peer_task];
+    inflight -= std::min<std::size_t>(inflight, env.len);
+    if (env.sreq != 0) retained_.erase(env.sreq);
+  }
+  void ea_on_nack(const Envelope&) { ++ea_nacks_; }
+
+  /// The retained copy for a NACKed eager (null if unknown — a protocol
+  /// error unless retention is off, which cannot NACK).
+  struct RetainedEager {
+    Envelope env;
+    std::vector<std::byte> data;
+  };
+  [[nodiscard]] const RetainedEager* ea_retained(std::uint32_t sreq) const {
+    auto it = retained_.find(sreq);
+    return it == retained_.end() ? nullptr : &it->second;
+  }
+
   sim::NodeRuntime& node_;
+  int num_tasks_;
   BsendPool bsend_;
   sim::SimCondition arrival_cond_;
   std::vector<MatchRecord>* match_log_ = nullptr;
@@ -147,6 +298,17 @@ class Channel {
   std::int64_t rendezvous_sends_ = 0;
   std::int64_t early_arrivals_ = 0;
   std::size_t ea_bytes_ = 0;
+
+  // Early-arrival flow control state.
+  std::map<int, std::size_t> ea_inflight_;  ///< dst task -> uncredited eager bytes.
+  struct CreditPeer {
+    std::size_t owed = 0;  ///< Bytes retired but not yet credited back.
+    bool flagged = false;  ///< A kFlagWantCredit was seen since the last credit.
+  };
+  std::map<int, CreditPeer> ea_credit_owed_;          ///< Keyed by src task.
+  std::map<std::uint32_t, RetainedEager> retained_;   ///< Keyed by sreq (override mode).
+  std::int64_t ea_fallbacks_ = 0;
+  std::int64_t ea_nacks_ = 0;
 };
 
 }  // namespace sp::mpci

@@ -20,11 +20,16 @@ enum class EnvKind : std::uint8_t {
   kCts = 3,      ///< Rendezvous clear-to-send (receive got posted).
   kRtsData = 4,  ///< Rendezvous data (routed by rreq, no matching).
   kRecvDone = 5, ///< Receiver-side completion notification (buffered mode).
+  kEaCredit = 6, ///< EA flow control: receiver returns early-arrival credit.
+  kEaNack = 7,   ///< EA flow control: eager refused (EA full); fail over to RTS.
+  kRingCredit = 8, ///< RDMA: receiver returns `len` freed eager-ring slots.
 };
 
 enum EnvFlags : std::uint8_t {
   kFlagReady = 1,       ///< Ready-mode: fatal if no receive is posted.
   kFlagNotifyDone = 2,  ///< Sender wants a kRecvDone when fully received.
+  kFlagWantCredit = 4,  ///< Sender is above half its EA share; credit it back.
+  kFlagNackServed = 8,  ///< kRtsData serving a NACKed eager (credit on arrival).
 };
 
 struct Envelope {

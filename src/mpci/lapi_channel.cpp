@@ -18,11 +18,10 @@ constexpr std::uint64_t kRingExchangeBase = 0xC0DE0000ULL;
 
 LapiChannel::LapiChannel(sim::NodeRuntime& node, lapi::Lapi& lapi, LapiVariant variant,
                          int my_task, int num_tasks)
-    : Channel(node),
+    : Channel(node, num_tasks),
       lapi_(lapi),
       variant_(variant),
       my_task_(my_task),
-      num_tasks_(num_tasks),
       send_seq_(static_cast<std::size_t>(num_tasks), 0),
       expected_(static_cast<std::size_t>(num_tasks), 0),
       parked_(static_cast<std::size_t>(num_tasks)),
@@ -88,7 +87,7 @@ void LapiChannel::gc_sstate(std::uint32_t id) { sstates_.erase(id); }
 // ---------------------------------------------------------------------------
 
 void LapiChannel::start_send(SendReq& req) {
-  req.proto = protocol_for(req.mode, req.len, node_.cfg.eager_limit);
+  req.proto = choose_protocol(req.mode, req.len, req.dst);
   req.id = next_sreq_++;
 
   Envelope env;
@@ -121,7 +120,8 @@ void LapiChannel::start_send(SendReq& req) {
   if (req.proto == Protocol::kEager) {
     note_eager_send(req.dst, req.len);
     env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
-    env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+    req.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+    env.seq = req.seq;
     lapi::Token tgt = 0;
     if (variant_ == LapiVariant::kCounters) {
       env.cntr_slot = static_cast<std::uint16_t>(
@@ -129,6 +129,7 @@ void LapiChannel::start_send(SendReq& req) {
           static_cast<std::uint32_t>(node_.cfg.counter_ring_slots));
       tgt = ring_token(req.dst, env.cntr_slot);
     }
+    ea_note_eager_departure(req.dst, env, req.buf);
     auto uhdr = pack(env);
     lapi_.amsend(req.dst, hh_eager_id_, uhdr.data(), uhdr.size(), req.buf, req.len, tgt,
                  &st.org, cmpl);
@@ -136,7 +137,8 @@ void LapiChannel::start_send(SendReq& req) {
     note_rendezvous_send(req.dst, req.len);
     sreqs_.emplace(req.id, &req);
     env.kind = static_cast<std::uint8_t>(EnvKind::kRts);
-    env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+    req.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+    env.seq = req.seq;
     auto uhdr = pack(env);
     // Fig. 4a: the request-to-send carries no data.
     lapi_.amsend(req.dst, hh_eager_id_, uhdr.data(), uhdr.size(), nullptr, 0, 0, nullptr,
@@ -162,6 +164,7 @@ void LapiChannel::send_data_phase(SendReq& req) {
   env.ctx = static_cast<std::uint16_t>(req.ctx);
   env.src = static_cast<std::uint16_t>(req.src_in_comm);
   env.tag = req.tag;
+  env.seq = req.seq;
   env.len = static_cast<std::uint32_t>(req.len);
   env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
   env.sreq = req.id;
@@ -261,7 +264,17 @@ lapi::Lapi::HeaderHandlerResult LapiChannel::hh_eager(int origin, const std::byt
   e->is_rts = env.kind == static_cast<std::uint8_t>(EnvKind::kRts);
   EaEntry* ep = e.get();
   if (!e->is_rts) {
-    ea_reserve(env.len);
+    if (!try_ea_reserve(env.len)) {
+      // EA pool exhausted: refuse the eager. It parks as a pseudo-RTS (the
+      // sequence gate still applies); the payload reassembles into scratch
+      // that is dropped, and the sender re-sends from its retained copy once
+      // the pseudo-RTS matches (previously this was fatal).
+      e->is_rts = true;
+      e->arrived = true;
+      parked_[static_cast<std::size_t>(origin)].emplace(env.seq, ep);
+      ea_.push_back(std::move(e));
+      return nack_result(origin, env, total);
+    }
     e->counted = true;
     e->data.resize(env.len);
   } else {
@@ -322,12 +335,27 @@ lapi::Lapi::HeaderHandlerResult LapiChannel::process_in_order(const Envelope& en
       setup_counters_recv(*r, origin, env);
     } else {
       res.inline_completion = variant_ == LapiVariant::kEnhanced;
-      res.completion = [this, r, env](void*) { publish_recv_complete(*r, env); };
+      res.completion = [this, r, env, origin](void*) {
+        publish_recv_complete(*r, env);
+        maybe_retire(origin, env);
+      };
     }
     return res;
   }
   if (r == nullptr && (env.flags & kFlagReady) != 0) {
     throw FatalMpiError("ready-mode message arrived before its receive was posted");
+  }
+  if (r == nullptr && !try_ea_reserve(env.len)) {
+    // EA pool exhausted: refuse the eager — it stays behind as a matchable
+    // pseudo-RTS served from the sender's retained copy (previously fatal).
+    auto e = std::make_unique<EaEntry>();
+    e->env = env;
+    e->src_task = origin;
+    e->is_rts = true;
+    e->arrived = true;
+    ea_.push_back(std::move(e));
+    publish_arrival();
+    return nack_result(origin, env, total);
   }
 
   // Early arrival (or truncation detour).
@@ -335,10 +363,7 @@ lapi::Lapi::HeaderHandlerResult LapiChannel::process_in_order(const Envelope& en
   e->env = env;
   e->src_task = origin;
   e->bound = r;  // non-null on truncation
-  if (r == nullptr) {
-    ea_reserve(env.len);
-    e->counted = true;
-  }
+  if (r == nullptr) e->counted = true;  // the try_ea_reserve above succeeded
   e->data.resize(total);
   EaEntry* ep = e.get();
   ea_.push_back(std::move(e));
@@ -407,15 +432,32 @@ lapi::Lapi::HeaderHandlerResult LapiChannel::hh_cts(int origin, const std::byte*
                                                     std::size_t uhdr_len, std::size_t) {
   assert(uhdr != nullptr && uhdr_len >= sizeof(Envelope));
   (void)uhdr_len;
-  (void)origin;
   const Envelope env = unpack(uhdr);
+  lapi::Lapi::HeaderHandlerResult res;
+
+  // EA flow-control traffic rides this handler too (header-only, no reply).
+  if (env.kind == static_cast<std::uint8_t>(EnvKind::kEaCredit)) {
+    ea_on_credit(origin, env);
+    return res;
+  }
+  if (env.kind == static_cast<std::uint8_t>(EnvKind::kEaNack)) {
+    ea_on_nack(env);
+    return res;
+  }
+
   auto it = sreqs_.find(env.sreq);
-  assert(it != sreqs_.end() && "CTS for unknown send request");
+  if (it == sreqs_.end() || it->second->proto == Protocol::kEager) {
+    // A CTS for an eager send: the receiver NACKed it into a pseudo-RTS and
+    // is clearing us to re-send from the retained copy. (A plain eager isn't
+    // in sreqs_; a buffered one still is, awaiting its kRecvDone.)
+    res.inline_completion = variant_ == LapiVariant::kEnhanced;
+    res.completion = [this, origin, env](void*) { serve_nacked(origin, env.sreq, env.rreq); };
+    return res;
+  }
   SendReq* s = it->second;
   s->cts_received = true;
   s->rreq_cache = env.rreq;
 
-  lapi::Lapi::HeaderHandlerResult res;
   if (s->blocking) {
     // Fig. 6: wake the blocked sender; it pushes the data from app context.
     node_.publish([this, s] { s->cond.notify_all(node_.sim); });
@@ -450,7 +492,10 @@ lapi::Lapi::HeaderHandlerResult LapiChannel::hh_rtsdata(int origin, const std::b
       setup_counters_recv(*r, origin, env);
     } else {
       res.inline_completion = variant_ == LapiVariant::kEnhanced;
-      res.completion = [this, r, env](void*) { publish_recv_complete(*r, env); };
+      res.completion = [this, r, env, origin](void*) {
+        publish_recv_complete(*r, env);
+        maybe_retire(origin, env);
+      };
     }
     return res;
   }
@@ -499,7 +544,7 @@ void LapiChannel::setup_counters_recv(RecvReq& req, int origin, const Envelope& 
   // A waiter may already be blocked on req.cond; wake it so it re-evaluates
   // and switches to waiting on the counter.
   node_.publish([this, &req] { req.cond.notify_all(node_.sim); });
-  req.poll = [this, &req, env]() {
+  req.poll = [this, &req, env, origin]() {
     if (req.watch->value <= 0) return false;
     --req.watch->value;
     req.complete = true;
@@ -507,6 +552,7 @@ void LapiChannel::setup_counters_recv(RecvReq& req, int origin, const Envelope& 
     req.status = Status{static_cast<int>(env.src), env.tag,
                         std::min<std::size_t>(env.len, req.cap)};
     note_recv_complete(env.ctx, env.src, env.tag, env.seq, env.len);
+    maybe_retire(origin, env);
     return true;
   };
 }
@@ -541,11 +587,88 @@ void LapiChannel::erase_ea(EaEntry* e) {
   for (auto it = ea_.begin(); it != ea_.end(); ++it) {
     if (it->get() == e) {
       if (e->counted) ea_release(e->env.len);
+      // Credit the sender for a consumed eager (a pseudo-RTS — kind kEager
+      // but is_rts — is credited later, when its rendezvous data lands).
+      const bool eager = e->env.kind == static_cast<std::uint8_t>(EnvKind::kEager) && !e->is_rts;
+      const bool nack_served = e->env.kind == static_cast<std::uint8_t>(EnvKind::kRtsData) &&
+                               (e->env.flags & kFlagNackServed) != 0;
+      if (eager || nack_served) ea_note_retired(e->src_task, e->env);
       ea_.erase(it);
       return;
     }
   }
   assert(false && "erase_ea: entry not found");
+}
+
+void LapiChannel::maybe_retire(int origin, const Envelope& env) {
+  const bool eager = env.kind == static_cast<std::uint8_t>(EnvKind::kEager);
+  const bool nack_served = (env.flags & kFlagNackServed) != 0;
+  if (eager || nack_served) ea_note_retired(origin, env);
+}
+
+void LapiChannel::send_control_env(int dst_task, const Envelope& env) {
+  // Credits and NACKs are dispatcher-context control traffic: no app-side
+  // LAPI call charge regardless of which context retired the message.
+  lapi::Lapi::CallbackScope scope(lapi_);
+  auto uhdr = pack(env);
+  lapi_.amsend(dst_task, hh_cts_id_, uhdr.data(), uhdr.size(), nullptr, 0, 0, nullptr,
+               nullptr);
+}
+
+void LapiChannel::serve_nacked(int dst_task, std::uint32_t sreq, std::uint32_t rreq) {
+  const RetainedEager* ret = ea_retained(sreq);
+  assert(ret != nullptr && "CTS for unknown send request (no retained NACK copy)");
+  Envelope env = ret->env;
+  env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
+  env.rreq = rreq;
+  env.flags |= kFlagNackServed;
+  lapi::Token tgt = 0;
+  if (variant_ == LapiVariant::kCounters) {
+    env.cntr_slot = static_cast<std::uint16_t>(
+        slot_next_[static_cast<std::size_t>(dst_task)]++ %
+        static_cast<std::uint32_t>(node_.cfg.counter_ring_slots));
+    tgt = ring_token(dst_task, env.cntr_slot);
+  }
+  // The retained vector stays alive until the receiver's credit retires it,
+  // strictly after this data lands — safe to borrow.
+  auto uhdr = pack(env);
+  lapi_.amsend(dst_task, hh_rtsdata_id_, uhdr.data(), uhdr.size(), ret->data.data(),
+               ret->data.size(), tgt, nullptr, nullptr);
+}
+
+lapi::Lapi::HeaderHandlerResult LapiChannel::nack_result(int origin, const Envelope& env,
+                                                         std::size_t total) {
+  // The refused payload still reassembles — into scratch owned by the
+  // completion closure, which then issues the NACK (completion context may
+  // make LAPI calls) and drops the bytes.
+  auto scratch = std::make_shared<std::vector<std::byte>>(std::max<std::size_t>(total, 1));
+  lapi::Lapi::HeaderHandlerResult res;
+  res.buffer = scratch->data();
+  res.inline_completion = variant_ == LapiVariant::kEnhanced;
+  res.completion = [this, origin, env, scratch](void*) {
+    if (variant_ == LapiVariant::kCounters) absorb_ring_bump(origin, env.cntr_slot);
+    ea_issue_nack(origin, env);
+  };
+  return res;
+}
+
+void LapiChannel::absorb_ring_bump(int origin, std::uint16_t slot_idx) {
+  lapi::Cntr* slot = ring_slot(origin, slot_idx);
+  // The refused eager's target-counter bump is still in flight (completion
+  // handlers run before the bump publishes). Chain a one-shot hook that
+  // swallows exactly one bump so a later receive reusing this ring slot
+  // doesn't complete before its own data. Counter values are fungible: if
+  // the hook fires on a different message's bump first, the stale bump
+  // repays that debt when it lands.
+  auto done = std::make_shared<bool>(false);
+  slot->on_bump = [slot, done, prev = std::move(slot->on_bump)] {
+    if (*done) {
+      if (prev) prev();
+      return;
+    }
+    *done = true;
+    --slot->value;
+  };
 }
 
 // ---------------------------------------------------------------------------

@@ -88,6 +88,17 @@ class LapiChannel : public Channel {
 
   void send_data_phase(SendReq& req);
   void send_cts(int dst_task, std::uint32_t sreq, RecvReq& r);
+  /// Serve a NACKed eager's retained copy as rendezvous data (EA failover).
+  void serve_nacked(int dst_task, std::uint32_t sreq, std::uint32_t rreq);
+  /// Control envelopes (EA credits / NACKs) ride the CTS header handler.
+  void send_control_env(int dst_task, const Envelope& env) override;
+  /// Credit the sender back when an eager (or NACK-served data) retires.
+  void maybe_retire(int origin, const Envelope& env);
+  /// Counters variant: absorb the stale ring-slot bump of a refused eager.
+  void absorb_ring_bump(int origin, std::uint16_t slot_idx);
+  /// Header-handler result for a refused eager: scratch reassembly + NACK.
+  [[nodiscard]] lapi::Lapi::HeaderHandlerResult nack_result(int origin, const Envelope& env,
+                                                            std::size_t total);
   void maybe_complete_send(SendReq& req);
   void publish_recv_complete(RecvReq& req, const Envelope& env);
   void deliver_from_ea(RecvReq& req, EaEntry& e, bool app_context);
@@ -104,7 +115,6 @@ class LapiChannel : public Channel {
   lapi::Lapi& lapi_;
   LapiVariant variant_;
   int my_task_;
-  int num_tasks_;
 
   int hh_eager_id_ = -1;
   int hh_cts_id_ = -1;

@@ -16,7 +16,7 @@ namespace {
 
 PipesChannel::PipesChannel(sim::NodeRuntime& node, pipes::Pipes& pipes, int my_task,
                            int num_tasks)
-    : Channel(node),
+    : Channel(node, num_tasks),
       pipes_(pipes),
       my_task_(my_task),
       parsers_(static_cast<std::size_t>(num_tasks)),
@@ -29,14 +29,15 @@ PipesChannel::PipesChannel(sim::NodeRuntime& node, pipes::Pipes& pipes, int my_t
 // ---------------------------------------------------------------------------
 
 void PipesChannel::start_send(SendReq& req) {
-  req.proto = protocol_for(req.mode, req.len, node_.cfg.eager_limit);
+  req.proto = choose_protocol(req.mode, req.len, req.dst);
   req.id = next_sreq_++;
 
   Envelope env;
   env.ctx = static_cast<std::uint16_t>(req.ctx);
   env.src = static_cast<std::uint16_t>(req.src_in_comm);
   env.tag = req.tag;
-  env.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+  req.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+  env.seq = req.seq;
   env.len = static_cast<std::uint32_t>(req.len);
   env.sreq = req.id;
   if (req.mode == Mode::kReady) env.flags |= kFlagReady;
@@ -45,6 +46,7 @@ void PipesChannel::start_send(SendReq& req) {
   if (req.proto == Protocol::kEager) {
     note_eager_send(req.dst, req.len);
     env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
+    ea_note_eager_departure(req.dst, env, req.buf);
     const bool needs_done = req.bsend_slot >= 0;
     if (needs_done) sreqs_.emplace(req.id, &req);
     pipes_.write(req.dst, pack(env), req.buf, req.len, [this, &req] {
@@ -83,6 +85,7 @@ void PipesChannel::send_data_phase(SendReq& req, std::uint32_t rreq) {
   env.ctx = static_cast<std::uint16_t>(req.ctx);
   env.src = static_cast<std::uint16_t>(req.src_in_comm);
   env.tag = req.tag;
+  env.seq = req.seq;
   env.len = static_cast<std::uint32_t>(req.len);
   env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
   env.sreq = req.id;
@@ -177,6 +180,7 @@ void PipesChannel::dispatch_envelope(int src, const Envelope& env, Parser& p) {
         p.sink = r->buf;
         p.on_complete = [this, r, env, src] {
           publish_recv_complete(*r, env, false);
+          ea_note_retired(src, env);
           if ((env.flags & kFlagNotifyDone) != 0) {
             Envelope d;
             d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
@@ -189,15 +193,34 @@ void PipesChannel::dispatch_envelope(int src, const Envelope& env, Parser& p) {
       if (r == nullptr && (env.flags & kFlagReady) != 0) {
         throw FatalMpiError("ready-mode message arrived before its receive was posted");
       }
+      if (r == nullptr && !try_ea_reserve(env.len)) {
+        // EA pool exhausted: refuse the eager and fail it over to rendezvous.
+        // The in-flight payload drains to scratch; the envelope stays behind
+        // as a pseudo-RTS that, once matched, clears the *sender* to re-send
+        // the data from its retained copy (previously this was fatal).
+        ea_issue_nack(src, env);
+        auto e = std::make_unique<EaEntry>();
+        e->env = env;
+        e->src_task = src;
+        e->is_rts = true;
+        e->arrived = true;
+        ea_.push_back(std::move(e));
+        publish_arrival();
+        if (env.len > 0) {
+          auto scratch = std::make_shared<std::vector<std::byte>>(env.len);
+          p.in_payload = true;
+          p.remaining = env.len;
+          p.sink = scratch->data();
+          p.on_complete = [scratch] {};  // scratch outlives the drain, then drops
+        }
+        return;
+      }
       // Early arrival (or truncation detour): stream into an EA buffer.
       auto e = std::make_unique<EaEntry>();
       e->env = env;
       e->src_task = src;
-      e->bound = r;  // non-null on the truncation detour
-      if (r == nullptr) {
-        ea_reserve(env.len);
-        e->counted = true;
-      }
+      e->bound = r;     // non-null on the truncation detour
+      if (r == nullptr) e->counted = true;  // the try_ea_reserve above succeeded
       e->data.resize(env.len);
       EaEntry* ep = e.get();
       ea_.push_back(std::move(e));
@@ -250,7 +273,14 @@ void PipesChannel::dispatch_envelope(int src, const Envelope& env, Parser& p) {
 
     case EnvKind::kCts: {
       auto it = sreqs_.find(env.sreq);
-      assert(it != sreqs_.end() && "CTS for unknown send request");
+      if (it == sreqs_.end() || it->second->proto == Protocol::kEager) {
+        // A CTS for an eager send: the receiver NACKed it into a pseudo-RTS
+        // and is now clearing us to re-send from the retained copy. (A plain
+        // eager isn't in sreqs_ at all; a buffered one still is, waiting for
+        // its kRecvDone, which the rendezvous completion will trigger.)
+        serve_nacked(src, env.sreq, env.rreq);
+        return;
+      }
       SendReq* s = it->second;
       s->cts_received = true;
       s->rreq_cache = env.rreq;
@@ -279,6 +309,7 @@ void PipesChannel::dispatch_envelope(int src, const Envelope& env, Parser& p) {
         p.sink = r->buf;
         p.on_complete = [this, r, env, src] {
           publish_recv_complete(*r, env, false);
+          if ((env.flags & kFlagNackServed) != 0) ea_note_retired(src, env);
           if ((env.flags & kFlagNotifyDone) != 0) {
             Envelope d;
             d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
@@ -325,7 +356,31 @@ void PipesChannel::dispatch_envelope(int src, const Envelope& env, Parser& p) {
       });
       return;
     }
+
+    case EnvKind::kEaCredit:
+      ea_on_credit(src, env);
+      return;
+
+    case EnvKind::kEaNack:
+      ea_on_nack(env);
+      return;
+
+    case EnvKind::kRingCredit:
+      assert(false && "ring credits are RDMA-channel traffic");
+      return;
   }
+}
+
+void PipesChannel::serve_nacked(int dst_task, std::uint32_t sreq, std::uint32_t rreq) {
+  const RetainedEager* ret = ea_retained(sreq);
+  assert(ret != nullptr && "CTS for unknown send request (no retained NACK copy)");
+  Envelope env = ret->env;
+  env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
+  env.rreq = rreq;
+  env.flags |= kFlagNackServed;
+  // The retained vector stays alive until the receiver's credit retires it,
+  // which is strictly after this data lands — safe to borrow.
+  pipes_.write(dst_task, pack(env), ret->data.data(), ret->data.size(), nullptr);
 }
 
 void PipesChannel::publish_recv_complete(RecvReq& req, const Envelope& env, bool truncated) {
@@ -357,6 +412,12 @@ void PipesChannel::erase_ea(EaEntry* e) {
   for (auto it = ea_.begin(); it != ea_.end(); ++it) {
     if (it->get() == e) {
       if (e->counted) ea_release(e->env.len);
+      // Credit the sender for a consumed eager (a pseudo-RTS — kind kEager
+      // but is_rts — is credited later, when its rendezvous data lands).
+      const bool eager = e->env.kind == static_cast<std::uint8_t>(EnvKind::kEager) && !e->is_rts;
+      const bool nack_served = e->env.kind == static_cast<std::uint8_t>(EnvKind::kRtsData) &&
+                               (e->env.flags & kFlagNackServed) != 0;
+      if (eager || nack_served) ea_note_retired(e->src_task, e->env);
       ea_.erase(it);
       return;
     }

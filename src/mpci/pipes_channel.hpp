@@ -49,10 +49,13 @@ class PipesChannel : public Channel {
   void on_data(int src);
   void dispatch_envelope(int src, const Envelope& env, Parser& p);
   void send_data_phase(SendReq& req, std::uint32_t rreq);
+  /// Serve a NACKed eager's retained copy as rendezvous data (EA failover).
+  void serve_nacked(int dst_task, std::uint32_t sreq, std::uint32_t rreq);
   void maybe_complete_send(SendReq& req);
   void publish_recv_complete(RecvReq& req, const Envelope& env, bool truncated);
   void deliver_from_ea(RecvReq& req, EaEntry& e, bool app_context);
   void send_control(int dst_task, const Envelope& env);
+  void send_control_env(int dst_task, const Envelope& env) override { send_control(dst_task, env); }
   [[nodiscard]] RecvReq* match_posted(const Envelope& env);
   [[nodiscard]] std::list<std::unique_ptr<EaEntry>>::iterator find_ea(const RecvReq& req);
   void erase_ea(EaEntry* e);

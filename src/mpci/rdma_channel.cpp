@@ -1,0 +1,512 @@
+#include "mpci/rdma_channel.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace sp::mpci {
+
+namespace {
+[[nodiscard]] sim::TimeNs copy_cost(const sim::MachineConfig& cfg, std::size_t bytes) {
+  return cfg.copy_call_ns +
+         static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
+}
+
+/// RTS immediate: envelope + the sender's 8-byte region token.
+[[nodiscard]] std::vector<std::byte> pack_rts(const Envelope& env, lapi::Token token) {
+  std::vector<std::byte> imm(sizeof(Envelope) + sizeof(token));
+  std::memcpy(imm.data(), &env, sizeof(Envelope));
+  std::memcpy(imm.data() + sizeof(Envelope), &token, sizeof(token));
+  return imm;
+}
+}  // namespace
+
+RdmaChannel::RdmaChannel(sim::NodeRuntime& node, hal::RdmaNic& nic, int my_task, int num_tasks)
+    : Channel(node, num_tasks),
+      nic_(nic),
+      my_task_(my_task),
+      send_seq_(static_cast<std::size_t>(num_tasks), 0) {
+  nic_.set_write_handler(
+      [this](int src, std::span<const std::byte> imm, std::vector<std::byte>&& data) {
+        on_write(src, imm, std::move(data));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Send side
+// ---------------------------------------------------------------------------
+
+void RdmaChannel::start_send(SendReq& req) {
+  node_.app_charge(node_.cfg.rdma_doorbell_ns);  // ring the doorbell
+  req.proto = choose_protocol(req.mode, req.len, req.dst);
+  if (req.proto == Protocol::kEager && req.mode != Mode::kReady && req.len > 0) {
+    // Eager ring admission: one pre-posted slot per non-ready eager. Out of
+    // slots -> the message travels as rendezvous instead (the receiver will
+    // pull it; no retry traffic). Ready-mode bypasses the ring: its payload
+    // lands straight in the posted receive buffer.
+    auto [it, fresh] = ring_credits_.try_emplace(req.dst, node_.cfg.rdma_ring_slots);
+    if (it->second == 0) {
+      ++ea_fallbacks_;
+      req.proto = Protocol::kRendezvous;
+    } else {
+      --it->second;
+    }
+  }
+  req.id = next_sreq_++;
+
+  Envelope env;
+  env.ctx = static_cast<std::uint16_t>(req.ctx);
+  env.src = static_cast<std::uint16_t>(req.src_in_comm);
+  env.tag = req.tag;
+  req.seq = send_seq_[static_cast<std::size_t>(req.dst)]++;
+  env.seq = req.seq;
+  env.len = static_cast<std::uint32_t>(req.len);
+  env.sreq = req.id;
+  if (req.mode == Mode::kReady) env.flags |= kFlagReady;
+  if (req.bsend_slot >= 0) env.flags |= kFlagNotifyDone;
+
+  if (req.proto == Protocol::kEager) {
+    note_eager_send(req.dst, req.len);
+    env.kind = static_cast<std::uint8_t>(EnvKind::kEager);
+    ea_note_eager_departure(req.dst, env, req.buf);
+    if (req.bsend_slot >= 0) sreqs_.emplace(req.id, &req);
+    nic_.post_write(req.dst, pack(env), req.buf, req.len, [this, &req] {
+      node_.publish([this, &req] {
+        req.reusable = true;
+        maybe_complete_send(req);
+      });
+    });
+  } else {
+    note_rendezvous_send(req.dst, req.len);
+    sreqs_.emplace(req.id, &req);
+    env.kind = static_cast<std::uint8_t>(EnvKind::kRts);
+    lapi::Token token = 0;
+    if (req.len > 0) {
+      token = nic_.register_region(req.buf, req.len);
+      send_regions_.emplace(req.id, token);
+    }
+    nic_.post_write(req.dst, pack_rts(env, token), nullptr, 0, nullptr);
+  }
+
+  if (req.bsend_slot >= 0) {
+    // Buffered sends complete immediately: the payload lives in the attach
+    // buffer (which RDMA reads can pull from); the slot is reclaimed when
+    // the FIN / kRecvDone arrives.
+    req.reusable = true;
+    req.complete = true;
+  }
+}
+
+void RdmaChannel::progress(SendReq&) {
+  // Nothing for the application thread to push: the rendezvous data phase is
+  // the *receiver's* RDMA read, and completion arrives with the FIN.
+}
+
+void RdmaChannel::maybe_complete_send(SendReq& req) {
+  if (req.complete) {
+    req.cond.notify_all(node_.sim);
+    return;
+  }
+  const bool done = (req.proto == Protocol::kEager) ? req.reusable
+                                                    : (req.data_sent && req.reusable);
+  if (done) {
+    req.complete = true;
+    req.cond.notify_all(node_.sim);
+  }
+}
+
+void RdmaChannel::send_control_env(int dst_task, const Envelope& env) {
+  // Control envelopes are immediate-only RDMA writes: NIC context end to
+  // end, no host charge (safe from both rank-fiber and event context).
+  nic_.post_write(dst_task, pack(env), nullptr, 0, nullptr);
+}
+
+void RdmaChannel::serve_nacked(int dst_task, std::uint32_t sreq, std::uint32_t rreq) {
+  const RetainedEager* ret = ea_retained(sreq);
+  assert(ret != nullptr && "CTS for unknown send request (no retained NACK copy)");
+  Envelope env = ret->env;
+  env.kind = static_cast<std::uint8_t>(EnvKind::kRtsData);
+  env.rreq = rreq;
+  env.flags |= kFlagNackServed;
+  // The retained vector lives until the receiver's credit retires it, which
+  // is strictly after this data lands — safe to borrow.
+  nic_.post_write(dst_task, pack(env), ret->data.data(), ret->data.size(), nullptr);
+}
+
+void RdmaChannel::ring_slot_freed(int src) {
+  auto& freed = ring_freed_[src];
+  ++freed;
+  const std::size_t batch = std::max<std::size_t>(1, node_.cfg.rdma_ring_slots / 4);
+  if (freed >= batch) {
+    Envelope c;
+    c.kind = static_cast<std::uint8_t>(EnvKind::kRingCredit);
+    c.len = static_cast<std::uint32_t>(freed);
+    send_control_env(src, c);
+    freed = 0;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive side
+// ---------------------------------------------------------------------------
+
+RecvReq* RdmaChannel::match_posted(const Envelope& env) {
+  int scanned = 0;
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    ++scanned;
+    RecvReq* r = *it;
+    if (r->ctx == env.ctx && (r->src_sel == kAnySource || r->src_sel == env.src) &&
+        (r->tag_sel == kAnyTag || r->tag_sel == env.tag)) {
+      posted_.erase(it);
+      charge_match_event(scanned);
+      return r;
+    }
+  }
+  charge_match_event(scanned);
+  return nullptr;
+}
+
+void RdmaChannel::on_write(int src, std::span<const std::byte> imm,
+                           std::vector<std::byte>&& data) {
+  assert(imm.size() >= sizeof(Envelope) && "RDMA write without an envelope immediate");
+  const Envelope env = unpack(imm.data());
+  // Reap one completion-queue entry per delivered message.
+  node_.cpu.charge(node_.sim, node_.cfg.rdma_cq_ns);
+
+  switch (static_cast<EnvKind>(env.kind)) {
+    case EnvKind::kEager:
+      handle_eager(src, env, std::move(data));
+      return;
+
+    case EnvKind::kRts: {
+      lapi::Token token = 0;
+      assert(imm.size() >= sizeof(Envelope) + sizeof(token));
+      std::memcpy(&token, imm.data() + sizeof(Envelope), sizeof(token));
+      RecvReq* r = match_posted(env);
+      if (r != nullptr) {
+        start_read(*r, env, src, token, /*app_context=*/false);
+      } else {
+        auto e = std::make_unique<EaEntry>();
+        e->env = env;
+        e->src_task = src;
+        e->token = token;
+        e->is_rts = true;
+        ea_.push_back(std::move(e));
+        publish_arrival();
+      }
+      return;
+    }
+
+    case EnvKind::kRtsData: {
+      // Only NACK-served data travels this way (normal rendezvous is a read).
+      auto it = rreqs_.find(env.rreq);
+      assert(it != rreqs_.end() && "rendezvous data for unknown receive");
+      RecvReq* r = it->second;
+      rreqs_.erase(it);
+      const std::size_t n = std::min<std::size_t>(env.len, r->cap);
+      node_.cpu.charge(node_.sim, copy_cost(node_.cfg, n));
+      if (n > 0) std::memcpy(r->buf, data.data(), n);
+      publish_recv_complete(*r, env, env.len > r->cap);
+      if ((env.flags & kFlagNackServed) != 0) ea_note_retired(src, env);
+      if ((env.flags & kFlagNotifyDone) != 0) {
+        Envelope d;
+        d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+        d.sreq = env.sreq;
+        send_control_env(src, d);
+      }
+      return;
+    }
+
+    case EnvKind::kCts: {
+      // Normal rendezvous never sends a CTS here; this is the receiver
+      // clearing a NACKed eager to be re-sent from the retained copy.
+      serve_nacked(src, env.sreq, env.rreq);
+      return;
+    }
+
+    case EnvKind::kRecvDone: {
+      auto it = sreqs_.find(env.sreq);
+      assert(it != sreqs_.end() && "RecvDone for unknown send request");
+      SendReq* s = it->second;
+      sreqs_.erase(it);
+      if (s->proto == Protocol::kRendezvous) {
+        auto rt = send_regions_.find(s->id);
+        if (rt != send_regions_.end()) {
+          nic_.deregister_region(rt->second);
+          send_regions_.erase(rt);
+        }
+        s->data_sent = true;
+      }
+      node_.publish([this, s] {
+        if (s->bsend_slot >= 0) bsend_.release(s->bsend_slot);
+        s->bsend_released = true;
+        s->reusable = true;
+        maybe_complete_send(*s);
+        s->cond.notify_all(node_.sim);
+      });
+      return;
+    }
+
+    case EnvKind::kEaCredit:
+      ea_on_credit(src, env);
+      return;
+
+    case EnvKind::kEaNack:
+      ea_on_nack(env);
+      return;
+
+    case EnvKind::kRingCredit: {
+      auto [it, fresh] = ring_credits_.try_emplace(src, node_.cfg.rdma_ring_slots);
+      if (!fresh) it->second += env.len;
+      return;
+    }
+  }
+  assert(false && "unknown envelope kind on the RDMA channel");
+}
+
+void RdmaChannel::handle_eager(int src, const Envelope& env, std::vector<std::byte>&& data) {
+  // The payload just left the ring (moved to us): recycle the slot now,
+  // regardless of what happens to the message.
+  if ((env.flags & kFlagReady) == 0 && env.len > 0) ring_slot_freed(src);
+
+  RecvReq* r = match_posted(env);
+  if (r != nullptr) {
+    const std::size_t n = std::min<std::size_t>(env.len, r->cap);
+    node_.cpu.charge(node_.sim, copy_cost(node_.cfg, n));
+    if (n > 0) std::memcpy(r->buf, data.data(), n);
+    publish_recv_complete(*r, env, env.len > r->cap);
+    ea_note_retired(src, env);
+    if ((env.flags & kFlagNotifyDone) != 0) {
+      Envelope d;
+      d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+      d.sreq = env.sreq;
+      send_control_env(src, d);
+    }
+    return;
+  }
+
+  if ((env.flags & kFlagReady) != 0) {
+    throw FatalMpiError("ready-mode message arrived before its receive was posted");
+  }
+
+  if (!try_ea_reserve(env.len)) {
+    // EA pool exhausted: drop the payload, NACK the sender, and leave the
+    // envelope behind as a pseudo-RTS — once matched, a CTS clears the
+    // sender to re-send from its retained copy (previously this was fatal).
+    ea_issue_nack(src, env);
+    auto e = std::make_unique<EaEntry>();
+    e->env = env;
+    e->src_task = src;
+    e->is_rts = true;
+    ea_.push_back(std::move(e));
+    publish_arrival();
+    return;
+  }
+
+  auto e = std::make_unique<EaEntry>();
+  e->env = env;
+  e->src_task = src;
+  e->data = std::move(data);
+  e->counted = true;
+  ea_.push_back(std::move(e));
+  publish_arrival();
+  if ((env.flags & kFlagNotifyDone) != 0) {
+    // The payload is safely buffered: the sender's attach slot can go.
+    Envelope d;
+    d.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+    d.sreq = env.sreq;
+    send_control_env(src, d);
+  }
+}
+
+void RdmaChannel::start_read(RecvReq& req, const Envelope& env, int src, lapi::Token token,
+                             bool app_context) {
+  req.id = next_rreq_++;
+  req.status = Status{env.src, env.tag, env.len};  // provisional
+  const std::size_t n = std::min<std::size_t>(env.len, req.cap);
+  const bool truncated = env.len > req.cap;
+  if (n == 0) {
+    publish_recv_complete(req, env, truncated);
+    Envelope fin;
+    fin.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+    fin.sreq = env.sreq;
+    send_control_env(src, fin);
+    return;
+  }
+  // Post the read descriptor (a host doorbell), then the NIC pulls the
+  // payload straight into the user buffer — zero host copies on both sides.
+  if (app_context) {
+    node_.app_charge(node_.cfg.rdma_doorbell_ns);
+  } else {
+    node_.cpu.charge(node_.sim, node_.cfg.rdma_doorbell_ns);
+  }
+  nic_.post_read(src, token, req.buf, n, [this, &req, env, src, truncated] {
+    node_.cpu.charge(node_.sim, node_.cfg.rdma_cq_ns);  // reap the read CQE
+    publish_recv_complete(req, env, truncated);
+    Envelope fin;
+    fin.kind = static_cast<std::uint8_t>(EnvKind::kRecvDone);
+    fin.sreq = env.sreq;
+    send_control_env(src, fin);
+  });
+}
+
+void RdmaChannel::publish_recv_complete(RecvReq& req, const Envelope& env, bool truncated) {
+  node_.publish([this, &req, env, truncated] {
+    req.complete = true;
+    req.truncated = truncated;
+    req.status = Status{env.src, env.tag, std::min<std::size_t>(env.len, req.cap)};
+    note_recv_complete(env.ctx, env.src, env.tag, env.seq, env.len);
+    req.cond.notify_all(node_.sim);
+  });
+}
+
+void RdmaChannel::deliver_from_ea(RecvReq& req, EaEntry& e, bool app_context) {
+  const std::size_t n = std::min<std::size_t>(e.env.len, req.cap);
+  const sim::TimeNs cost = copy_cost(node_.cfg, n);
+  if (app_context) {
+    node_.app_charge(cost);
+  } else {
+    node_.cpu.charge(node_.sim, cost);
+  }
+  if (n > 0) std::memcpy(req.buf, e.data.data(), n);
+  const bool truncated = e.env.len > req.cap;
+  publish_recv_complete(req, e.env, truncated);
+  erase_ea(&e);
+}
+
+void RdmaChannel::erase_ea(EaEntry* e) {
+  for (auto it = ea_.begin(); it != ea_.end(); ++it) {
+    if (it->get() == e) {
+      if (e->counted) ea_release(e->env.len);
+      const bool eager = e->env.kind == static_cast<std::uint8_t>(EnvKind::kEager) && !e->is_rts;
+      if (eager) ea_note_retired(e->src_task, e->env);
+      ea_.erase(it);
+      return;
+    }
+  }
+  assert(false && "erase_ea: entry not found");
+}
+
+std::list<std::unique_ptr<RdmaChannel::EaEntry>>::iterator RdmaChannel::find_ea(
+    const RecvReq& req) {
+  for (auto it = ea_.begin(); it != ea_.end(); ++it) {
+    EaEntry& e = **it;
+    if (e.env.ctx == req.ctx && (req.src_sel == kAnySource || req.src_sel == e.env.src) &&
+        (req.tag_sel == kAnyTag || req.tag_sel == e.env.tag)) {
+      return it;
+    }
+  }
+  return ea_.end();
+}
+
+bool RdmaChannel::iprobe(int ctx, int src_sel, int tag_sel, Status* st) {
+  charge_match_app(static_cast<int>(ea_.size()));
+  for (const auto& ep : ea_) {
+    const EaEntry& e = *ep;
+    if (e.env.ctx != ctx) continue;
+    if (src_sel != kAnySource && src_sel != e.env.src) continue;
+    if (tag_sel != kAnyTag && tag_sel != e.env.tag) continue;
+    if (st != nullptr) *st = Status{static_cast<int>(e.env.src), e.env.tag, e.env.len};
+    return true;
+  }
+  return false;
+}
+
+void RdmaChannel::post_recv(RecvReq& req) {
+  charge_match_app(static_cast<int>(ea_.size()));
+  auto it = find_ea(req);
+  if (it == ea_.end()) {
+    posted_.push_back(&req);
+    return;
+  }
+  EaEntry& e = **it;
+  if (e.is_rts) {
+    if (e.env.kind == static_cast<std::uint8_t>(EnvKind::kRts)) {
+      // Real RTS: pull the payload ourselves.
+      const Envelope env = e.env;
+      const int src = e.src_task;
+      const lapi::Token token = e.token;
+      ea_.erase(it);
+      start_read(req, env, src, token, /*app_context=*/true);
+    } else {
+      // NACKed eager turned pseudo-RTS: clear the sender to re-send.
+      req.id = next_rreq_++;
+      rreqs_.emplace(req.id, &req);
+      req.status = Status{e.env.src, e.env.tag, e.env.len};
+      Envelope cts;
+      cts.kind = static_cast<std::uint8_t>(EnvKind::kCts);
+      cts.sreq = e.env.sreq;
+      cts.rreq = req.id;
+      const int src = e.src_task;
+      ea_.erase(it);
+      send_control_env(src, cts);
+    }
+    return;
+  }
+  deliver_from_ea(req, e, /*app_context=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Adapter-resident collectives
+// ---------------------------------------------------------------------------
+
+bool RdmaChannel::run_nic_coll(hal::RdmaNic::CollOp&& op) {
+  node_.app_charge(node_.cfg.rdma_doorbell_ns);  // post the descriptor
+  bool done = false;
+  sim::SimCondition cond;
+  op.on_done = [this, &done, &cond] {
+    node_.publish([this, &done, &cond] {
+      done = true;
+      cond.notify_all(node_.sim);
+    });
+  };
+  nic_.coll_start(std::move(op));
+  while (!done) cond.wait(*node_.thread);
+  node_.app_charge(node_.cfg.rdma_cq_ns);  // reap the completion CQE
+  return true;
+}
+
+bool RdmaChannel::nic_barrier(int ctx, std::uint32_t seq, int rank,
+                              const std::vector<int>& tasks) {
+  hal::RdmaNic::CollOp op;
+  op.ctx = static_cast<std::uint32_t>(ctx);
+  op.seq = seq;
+  op.rank = rank;
+  op.tasks = tasks;
+  op.reduce_phase = true;
+  return run_nic_coll(std::move(op));
+}
+
+bool RdmaChannel::nic_bcast(int ctx, std::uint32_t seq, int rank, int root,
+                            const std::vector<int>& tasks, std::byte* buf, std::size_t len) {
+  if (len > node_.cfg.rdma_nic_coll_max_bytes) return false;
+  hal::RdmaNic::CollOp op;
+  op.ctx = static_cast<std::uint32_t>(ctx);
+  op.seq = seq;
+  op.rank = rank;
+  op.root = root;
+  op.tasks = tasks;
+  op.buf = buf;
+  op.len = len;
+  op.reduce_phase = false;
+  return run_nic_coll(std::move(op));
+}
+
+bool RdmaChannel::nic_allreduce(int ctx, std::uint32_t seq, int rank,
+                                const std::vector<int>& tasks, std::byte* buf, std::size_t len,
+                                NicCombine combine) {
+  if (len > node_.cfg.rdma_nic_coll_max_bytes) return false;
+  hal::RdmaNic::CollOp op;
+  op.ctx = static_cast<std::uint32_t>(ctx);
+  op.seq = seq;
+  op.rank = rank;
+  op.tasks = tasks;
+  op.buf = buf;
+  op.len = len;
+  op.reduce_phase = true;
+  op.combine = std::move(combine);
+  return run_nic_coll(std::move(op));
+}
+
+}  // namespace sp::mpci

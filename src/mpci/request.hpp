@@ -57,6 +57,10 @@ struct SendReq {
   Protocol proto = Protocol::kEager;
   std::uint32_t id = 0;
   std::uint32_t rreq_cache = 0;  ///< Remote receive id from the CTS.
+  /// Envelope seq stamped at start_send; the rendezvous data phase re-stamps
+  /// it so receive-completion logging sees the true matching order (the
+  /// kRtsData envelope is rebuilt from scratch and would otherwise carry 0).
+  std::uint32_t seq = 0;
   bool reusable = false;      ///< User buffer safe to modify.
   bool cts_received = false;  ///< Rendezvous: receive has been posted remotely.
   bool data_sent = false;     ///< Rendezvous: data phase issued.

@@ -220,6 +220,10 @@ namespace {
 
 BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   if (cfg.coll_bcast_algo != 0) return static_cast<BcastAlgo>(cfg.coll_bcast_algo);
+  return select_bcast_host(cfg, bytes, n);
+}
+
+BcastAlgo select_bcast_host(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   std::size_t pipeline_min = cfg.coll_bcast_pipeline_min_bytes;
   if (is_torus(cfg)) pipeline_min /= 2;
   if (n <= 2 || bytes < pipeline_min) return BcastAlgo::kBinomial;
@@ -236,6 +240,10 @@ BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n) 
 
 AllreduceAlgo select_allreduce(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   if (cfg.coll_allreduce_algo != 0) return static_cast<AllreduceAlgo>(cfg.coll_allreduce_algo);
+  return select_allreduce_host(cfg, bytes, n);
+}
+
+AllreduceAlgo select_allreduce_host(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   std::size_t rab_min = cfg.coll_allreduce_rabenseifner_min_bytes;
   if (cfg.topology == sim::TopologyKind::kFatTree) rab_min /= 2;
   if (n <= 2 || bytes < rab_min) {
@@ -272,6 +280,7 @@ sim::CollAlgo telem_id(BcastAlgo a) noexcept {
   switch (a) {
     case BcastAlgo::kPipelined: return sim::CollAlgo::kBcastPipelined;
     case BcastAlgo::kScatterAllgather: return sim::CollAlgo::kBcastScatterAllgather;
+    case BcastAlgo::kNicOffload: return sim::CollAlgo::kBcastNicOffload;
     default: return sim::CollAlgo::kBcastBinomial;
   }
 }
@@ -279,6 +288,7 @@ sim::CollAlgo telem_id(AllreduceAlgo a) noexcept {
   switch (a) {
     case AllreduceAlgo::kRecursiveDoubling: return sim::CollAlgo::kAllreduceRecursiveDoubling;
     case AllreduceAlgo::kRabenseifner: return sim::CollAlgo::kAllreduceRabenseifner;
+    case AllreduceAlgo::kNicOffload: return sim::CollAlgo::kAllreduceNicOffload;
     default: return sim::CollAlgo::kAllreduceReduceBcast;
   }
 }
@@ -329,13 +339,21 @@ bool apply_algo_spec(sim::MachineConfig& cfg, const std::string& spec, std::stri
     if (prim == "all") {
       if (algo != "auto") return fail("all= accepts only 'auto'");
       cfg.coll_bcast_algo = cfg.coll_allreduce_algo = cfg.coll_alltoall_algo =
-          cfg.coll_reduce_scatter_algo = cfg.coll_scan_algo = 0;
+          cfg.coll_reduce_scatter_algo = cfg.coll_scan_algo = cfg.coll_barrier_algo = 0;
       ok = true;
     } else if (prim == "bcast") {
-      ok = pick({"auto", "binomial", "pipelined", "scatter_allgather"}, &cfg.coll_bcast_algo);
+      ok = pick({"auto", "binomial", "pipelined", "scatter_allgather", "nic"},
+                &cfg.coll_bcast_algo);
     } else if (prim == "allreduce") {
-      ok = pick({"auto", "reduce_bcast", "recursive_doubling", "rabenseifner"},
+      ok = pick({"auto", "reduce_bcast", "recursive_doubling", "rabenseifner", "nic"},
                 &cfg.coll_allreduce_algo);
+    } else if (prim == "barrier") {
+      // "nic" is id 4 on every primitive; barrier has no ids 2-3.
+      ok = pick({"auto", "dissemination"}, &cfg.coll_barrier_algo);
+      if (!ok && algo == "nic") {
+        cfg.coll_barrier_algo = static_cast<int>(BarrierAlgo::kNicOffload);
+        ok = true;
+      }
     } else if (prim == "alltoall") {
       ok = pick({"auto", "pairwise", "bruck"}, &cfg.coll_alltoall_algo);
     } else if (prim == "reduce_scatter") {

@@ -36,11 +36,19 @@ namespace sp::mpi::coll {
 
 // Per-primitive algorithm ids. Value 0 is always "auto" (resolve from the
 // MachineConfig cutover table); the MachineConfig pins store these as ints.
-enum class BcastAlgo : int { kAuto = 0, kBinomial, kPipelined, kScatterAllgather };
-enum class AllreduceAlgo : int { kAuto = 0, kReduceBcast, kRecursiveDoubling, kRabenseifner };
+// kNicOffload = 4 across primitives: run the operation on the adapter via
+// the channel's nic_* hook; the Mpi layer falls back to the host auto table
+// (select_*_host) when the channel declines (no NIC, or message too large).
+enum class BcastAlgo : int { kAuto = 0, kBinomial, kPipelined, kScatterAllgather, kNicOffload };
+enum class AllreduceAlgo : int {
+  kAuto = 0, kReduceBcast, kRecursiveDoubling, kRabenseifner, kNicOffload
+};
 enum class AlltoallAlgo : int { kAuto = 0, kPairwise, kBruck };
 enum class ReduceScatterAlgo : int { kAuto = 0, kReduceScatter, kRecursiveHalving };
 enum class ScanAlgo : int { kAuto = 0, kLinear, kBinomial };
+/// Barrier pins (cfg.coll_barrier_algo): host dissemination is the only host
+/// algorithm, so the enum exists mainly to name the NIC pin.
+enum class BarrierAlgo : int { kAuto = 0, kDissemination = 1, kNicOffload = 4 };
 
 // --- selection table (resolves kAuto; pins pass through) -------------------
 [[nodiscard]] BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n);
@@ -51,6 +59,13 @@ enum class ScanAlgo : int { kAuto = 0, kLinear, kBinomial };
 [[nodiscard]] ReduceScatterAlgo select_reduce_scatter(const sim::MachineConfig& cfg,
                                                       std::size_t total_bytes, int n);
 [[nodiscard]] ScanAlgo select_scan(const sim::MachineConfig& cfg, std::size_t bytes, int n);
+
+// Host-only auto resolution, ignoring pins. The Mpi layer uses these as the
+// fallback when a pinned kNicOffload is declined by the channel.
+[[nodiscard]] BcastAlgo select_bcast_host(const sim::MachineConfig& cfg, std::size_t bytes,
+                                          int n);
+[[nodiscard]] AllreduceAlgo select_allreduce_host(const sim::MachineConfig& cfg,
+                                                  std::size_t bytes, int n);
 
 // Telemetry ids (sim::CollAlgo) for the resolved choices.
 [[nodiscard]] sim::CollAlgo telem_id(BcastAlgo a) noexcept;

@@ -58,6 +58,10 @@ Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
         n->channel = std::make_unique<mpci::LapiChannel>(
             *n->runtime, *n->lapi, mpci::LapiVariant::kEnhanced, t, num_tasks_);
         break;
+      case Backend::kRdma:
+        n->rdma = std::make_unique<hal::RdmaNic>(*n->runtime, *n->hal);
+        n->channel = std::make_unique<mpci::RdmaChannel>(*n->runtime, *n->rdma, t, num_tasks_);
+        break;
     }
     n->mpi = std::make_unique<Mpi>(*n->runtime, *n->channel, t, num_tasks_);
     hal::Hal* hal_ptr = n->hal.get();
@@ -129,6 +133,17 @@ Machine::Stats Machine::stats() const {
     s.eager_sends += n->channel->eager_sends();
     s.rendezvous_sends += n->channel->rendezvous_sends();
     s.early_arrivals += n->channel->early_arrivals();
+    s.ea_fallbacks += n->channel->ea_fallbacks();
+    s.ea_nacks += n->channel->ea_nacks();
+    if (n->rdma) {
+      s.rdma_writes += n->rdma->writes();
+      s.rdma_reads += n->rdma->reads();
+      s.nic_collectives += n->rdma->nic_colls();
+      s.rdma_retransmits += n->rdma->retransmits();
+      s.rdma_acks += n->rdma->acks_sent();
+      s.rdma_duplicate_deliveries += n->rdma->duplicate_deliveries();
+      s.rdma_reacks_coalesced += n->rdma->reacks_coalesced();
+    }
     s.lapi_messages += n->lapi->messages_sent();
     s.lapi_retransmits += n->lapi->retransmits();
     s.lapi_duplicate_deliveries += n->lapi->duplicate_deliveries();
@@ -173,6 +188,16 @@ Machine::Stats Machine::stats_delta(const Stats& later, const Stats& earlier) no
   d.eager_sends = later.eager_sends - earlier.eager_sends;
   d.rendezvous_sends = later.rendezvous_sends - earlier.rendezvous_sends;
   d.early_arrivals = later.early_arrivals - earlier.early_arrivals;
+  d.ea_fallbacks = later.ea_fallbacks - earlier.ea_fallbacks;
+  d.ea_nacks = later.ea_nacks - earlier.ea_nacks;
+  d.rdma_writes = later.rdma_writes - earlier.rdma_writes;
+  d.rdma_reads = later.rdma_reads - earlier.rdma_reads;
+  d.nic_collectives = later.nic_collectives - earlier.nic_collectives;
+  d.rdma_retransmits = later.rdma_retransmits - earlier.rdma_retransmits;
+  d.rdma_acks = later.rdma_acks - earlier.rdma_acks;
+  d.rdma_duplicate_deliveries =
+      later.rdma_duplicate_deliveries - earlier.rdma_duplicate_deliveries;
+  d.rdma_reacks_coalesced = later.rdma_reacks_coalesced - earlier.rdma_reacks_coalesced;
   d.lapi_messages = later.lapi_messages - earlier.lapi_messages;
   d.lapi_retransmits = later.lapi_retransmits - earlier.lapi_retransmits;
   d.lapi_duplicate_deliveries =
@@ -211,10 +236,21 @@ void Machine::print_stats(std::FILE* out) const {
   std::fprintf(out, "hal:    %lld sent, %lld received, %lld interrupts\n",
                static_cast<long long>(s.packets_sent),
                static_cast<long long>(s.packets_received), static_cast<long long>(s.interrupts));
-  std::fprintf(out, "mpci:   %lld eager, %lld rendezvous, %lld early arrivals\n",
+  std::fprintf(out, "mpci:   %lld eager, %lld rendezvous, %lld early arrivals, "
+               "%lld ea-fallbacks, %lld ea-nacks\n",
                static_cast<long long>(s.eager_sends),
                static_cast<long long>(s.rendezvous_sends),
-               static_cast<long long>(s.early_arrivals));
+               static_cast<long long>(s.early_arrivals),
+               static_cast<long long>(s.ea_fallbacks), static_cast<long long>(s.ea_nacks));
+  if (backend_ == Backend::kRdma) {
+    std::fprintf(out, "rdma:   %lld writes, %lld reads, %lld nic-colls, %lld retx, "
+                 "%lld acks, %lld dup-rcvd\n",
+                 static_cast<long long>(s.rdma_writes), static_cast<long long>(s.rdma_reads),
+                 static_cast<long long>(s.nic_collectives),
+                 static_cast<long long>(s.rdma_retransmits),
+                 static_cast<long long>(s.rdma_acks),
+                 static_cast<long long>(s.rdma_duplicate_deliveries));
+  }
   std::fprintf(out, "lapi:   %lld messages, %lld retx, %lld dup-rcvd, %lld acks "
                "(%lld re-acks coalesced); completions: %lld thread, %lld inline\n",
                static_cast<long long>(s.lapi_messages),

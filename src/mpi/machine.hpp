@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "hal/hal.hpp"
+#include "hal/rdma_nic.hpp"
 #include "lapi/lapi.hpp"
 #include "mpci/lapi_channel.hpp"
 #include "mpci/pipes_channel.hpp"
+#include "mpci/rdma_channel.hpp"
 #include "mpi/mpi.hpp"
 #include "net/switch_fabric.hpp"
 #include "pipes/pipes.hpp"
@@ -32,6 +34,7 @@ enum class Backend {
   kLapiBase,      ///< MPI -> new MPCI -> LAPI (completion-handler thread, §4)
   kLapiCounters,  ///< §5.2: eager completions through exchanged counters
   kLapiEnhanced,  ///< §5.3: inline predefined completion handlers
+  kRdma,          ///< RDMA/NIC-offload adapter (DESIGN.md §14)
 };
 
 [[nodiscard]] constexpr const char* backend_name(Backend b) noexcept {
@@ -40,6 +43,7 @@ enum class Backend {
     case Backend::kLapiBase: return "MPI-LAPI Base";
     case Backend::kLapiCounters: return "MPI-LAPI Counters";
     case Backend::kLapiEnhanced: return "MPI-LAPI Enhanced";
+    case Backend::kRdma: return "MPI-RDMA Offload";
   }
   return "?";
 }
@@ -73,6 +77,15 @@ class Machine {
     std::int64_t eager_sends = 0;
     std::int64_t rendezvous_sends = 0;
     std::int64_t early_arrivals = 0;
+    std::int64_t ea_fallbacks = 0;  ///< Eagers demoted to rendezvous (credits/ring).
+    std::int64_t ea_nacks = 0;      ///< Eagers refused at the receiver (EA full).
+    std::int64_t rdma_writes = 0;
+    std::int64_t rdma_reads = 0;
+    std::int64_t nic_collectives = 0;  ///< Collectives completed on the adapter.
+    std::int64_t rdma_retransmits = 0;
+    std::int64_t rdma_acks = 0;
+    std::int64_t rdma_duplicate_deliveries = 0;
+    std::int64_t rdma_reacks_coalesced = 0;  ///< Dup re-acks folded into delayed flushes.
     std::int64_t lapi_messages = 0;
     std::int64_t lapi_retransmits = 0;
     std::int64_t lapi_duplicate_deliveries = 0;  ///< Dup packets filtered at LAPI targets.
@@ -127,6 +140,8 @@ class Machine {
   [[nodiscard]] mpci::Channel& channel(int t) {
     return *nodes_[static_cast<std::size_t>(t)]->channel;
   }
+  /// The RDMA adapter (only wired on Backend::kRdma).
+  [[nodiscard]] hal::RdmaNic& rdma(int t) { return *nodes_[static_cast<std::size_t>(t)]->rdma; }
   [[nodiscard]] Mpi& mpi(int t) { return *nodes_[static_cast<std::size_t>(t)]->mpi; }
   [[nodiscard]] sim::NodeRuntime& node(int t) {
     return *nodes_[static_cast<std::size_t>(t)]->runtime;
@@ -138,6 +153,7 @@ class Machine {
     std::unique_ptr<hal::Hal> hal;
     std::unique_ptr<pipes::Pipes> pipes;
     std::unique_ptr<lapi::Lapi> lapi;
+    std::unique_ptr<hal::RdmaNic> rdma;  ///< Only on Backend::kRdma.
     std::unique_ptr<mpci::Channel> channel;
     std::unique_ptr<Mpi> mpi;
   };

@@ -11,9 +11,6 @@
 namespace sp::mpi {
 
 namespace {
-/// Reserved tag space for collectives (user tags must stay below this).
-constexpr int kCollTagBase = 1 << 20;
-
 [[nodiscard]] sim::TimeNs copy_cost(const sim::MachineConfig& cfg, std::size_t bytes) {
   return cfg.copy_call_ns +
          static_cast<sim::TimeNs>(std::llround(cfg.copy_ns_per_byte * static_cast<double>(bytes)));
@@ -547,6 +544,17 @@ void Mpi::barrier(const Comm& c) {
   const int tag = coll_tag();
   if (n <= 1) return;
   const int me = c.rank();
+  // Adapter-resident barrier (DESIGN.md §14.4): auto prefers the NIC when
+  // the channel has one; pin kNicOffload requests it explicitly. A declined
+  // offload — or a host-only channel — falls back to dissemination, so the
+  // pin is safe on every backend.
+  const auto pin = static_cast<coll::BarrierAlgo>(node_.cfg.coll_barrier_algo);
+  if (pin != coll::BarrierAlgo::kDissemination && channel_.nic_offload()) {
+    CollScope span(node_, sim::CollAlgo::kBarrierNicOffload, 0);
+    if (channel_.nic_barrier(c.ctx(), static_cast<std::uint32_t>(tag), me, c.tasks())) {
+      return;
+    }
+  }
   // Dissemination barrier: log2(n) rounds of sendrecv.
   for (int span = 1; span < n; span <<= 1) {
     const int to = (me + span) % n;
@@ -563,7 +571,24 @@ void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& 
   const int tag = coll_tag();
   if (n <= 1) return;
   const std::size_t bytes = count * datatype_size(d);
-  const coll::BcastAlgo algo = coll::select_bcast(node_.cfg, bytes, n);
+  coll::BcastAlgo algo = coll::select_bcast(node_.cfg, bytes, n);
+  // NIC offload: auto tries the adapter for small payloads (pure data
+  // movement — bitwise identical to any host tree); a pinned kNicOffload is
+  // attempted regardless of size and falls back to the host auto table when
+  // the channel declines.
+  const bool nic_capable =
+      channel_.nic_offload() && bytes <= node_.cfg.rdma_nic_coll_max_bytes;
+  if (algo == coll::BcastAlgo::kNicOffload ||
+      (node_.cfg.coll_bcast_algo == 0 && nic_capable)) {
+    if (nic_capable) {
+      CollScope nic_span(node_, sim::CollAlgo::kBcastNicOffload, bytes);
+      if (channel_.nic_bcast(c.ctx(), static_cast<std::uint32_t>(tag), c.rank(), root,
+                             c.tasks(), static_cast<std::byte*>(buf), bytes)) {
+        return;
+      }
+    }
+    algo = coll::select_bcast_host(node_.cfg, bytes, n);
+  }
   CollScope span(node_, coll::telem_id(algo), bytes);
   switch (algo) {
     case coll::BcastAlgo::kPipelined:
@@ -601,7 +626,34 @@ void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype 
   const int n = c.size();
   const int tag = coll_tag();
   const std::size_t bytes = count * datatype_size(d);
-  const coll::AllreduceAlgo algo = coll::select_allreduce(node_.cfg, bytes, n);
+  coll::AllreduceAlgo algo = coll::select_allreduce(node_.cfg, bytes, n);
+  // NIC offload. Auto only offloads bitwise-exact element types: the
+  // adapter's binomial combine shape differs from the host trees', and
+  // float/double addition is not associative, so offloading those would
+  // break cross-backend numeric equality. A pin attempts any type (the
+  // NIC combine still folds in communicator rank order).
+  const bool exact = d == Datatype::kByte || d == Datatype::kInt || d == Datatype::kLong;
+  const bool nic_capable = channel_.nic_offload() && n > 1 &&
+                           bytes <= node_.cfg.rdma_nic_coll_max_bytes;
+  if (algo == coll::AllreduceAlgo::kNicOffload ||
+      (node_.cfg.coll_allreduce_algo == 0 && nic_capable && exact)) {
+    if (nic_capable) {
+      CollScope nic_span(node_, sim::CollAlgo::kAllreduceNicOffload, bytes);
+      if (bytes > 0) {
+        node_.app_charge(copy_cost(node_.cfg, bytes));
+        std::memcpy(recvb, sendb, bytes);
+      }
+      auto combine = [op, d](std::byte* into, const std::byte* from, std::size_t len) {
+        reduce_apply(op, d, from, into, len / datatype_size(d));
+      };
+      if (channel_.nic_allreduce(c.ctx(), static_cast<std::uint32_t>(tag), c.rank(),
+                                 c.tasks(), static_cast<std::byte*>(recvb), bytes,
+                                 std::move(combine))) {
+        return;
+      }
+    }
+    algo = coll::select_allreduce_host(node_.cfg, bytes, n);
+  }
   CollScope span(node_, coll::telem_id(algo), bytes);
   switch (algo) {
     case coll::AllreduceAlgo::kRecursiveDoubling:

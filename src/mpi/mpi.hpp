@@ -24,6 +24,12 @@ namespace sp::mpi {
 
 using Status = mpci::Status;
 
+/// Reserved tag space for collective-internal traffic (user tags must stay
+/// below this). Public so observers (the explorer's match-log digest) can
+/// tell user point-to-point matches from collective plumbing, which NIC
+/// offload legitimately elides from the channel.
+constexpr int kCollTagBase = 1 << 20;
+
 /// A nonblocking-operation handle. Move-only; must be waited/tested to
 /// completion before destruction (as in MPI).
 class Request {

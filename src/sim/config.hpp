@@ -163,6 +163,39 @@ struct MachineConfig {
   /// LAPI message header (carried in the first packet of each message).
   std::size_t lapi_header_bytes = 40;
 
+  // --- RDMA adapter (NIC-offload third channel, DESIGN.md §14) --------------
+  /// Host CPU cost of ringing the adapter doorbell (posting one work request
+  /// from the rank fiber). The only host charge on the RDMA fast path.
+  TimeNs rdma_doorbell_ns = 600;
+  /// NIC-side per-packet descriptor cost. Replaces adapter_packet_setup_ns on
+  /// NIC-originated sends: descriptors are pre-posted and the engine cuts
+  /// through, so the per-packet setup is a fraction of the host-driven path.
+  TimeNs rdma_nic_pkt_ns = 150;
+  /// Host CPU cost of reaping one completion-queue entry (polled; the RDMA
+  /// channel has no header-handler dispatch and no interrupt path).
+  TimeNs rdma_cq_ns = 300;
+  /// NIC processor cost per offloaded-collective message (Elan/Quadrics-style
+  /// thread on the adapter; charged as event latency, never host CPU).
+  TimeNs rdma_nic_msg_ns = 200;
+  /// Pre-posted eager ring-buffer slots per (source, destination) pair.
+  /// Senders consume one slot per eager write and fall back to rendezvous
+  /// when the ring is exhausted (credit-based flow control).
+  int rdma_ring_slots = 64;
+  /// RDMA message header (smaller than LAPI's: no AM dispatch block).
+  std::size_t rdma_header_bytes = 28;
+  /// Largest payload the NIC-resident collectives accept; bigger vectors fall
+  /// back to the host-side algorithm engine.
+  std::size_t rdma_nic_coll_max_bytes = 2048;
+
+  // --- Early-arrival flow control (all channels) ----------------------------
+  /// Sender-side cap on eager bytes in flight per destination before the
+  /// sender falls back to rendezvous (counted in Machine::stats.ea_fallbacks).
+  /// 0 = auto: early_arrival_bytes / max(1, num_tasks - 1), which provably
+  /// cannot overflow the receiver's early-arrival buffer. A nonzero override
+  /// can oversubscribe it; in-flight eagers that find the buffer full are
+  /// then NACKed back into the rendezvous path instead of dying.
+  std::size_t ea_sender_limit_bytes = 0;
+
   // --- Pipes (native MPI byte-stream transport) ------------------------------
   /// Fixed software overhead of one internal Pipes call (not an exposed
   /// interface; cheaper than a LAPI call).
@@ -202,6 +235,10 @@ struct MachineConfig {
   // and the conformance matrix pin concrete algorithms through these.
   int coll_bcast_algo = 0;
   int coll_allreduce_algo = 0;
+  /// Barrier: 0 = auto (NIC-offloaded when the channel has an adapter-
+  /// resident barrier, else host dissemination), 1 = host dissemination,
+  /// 4 = NIC offload (falls back to dissemination off the RDMA channel).
+  int coll_barrier_algo = 0;
   int coll_alltoall_algo = 0;
   int coll_reduce_scatter_algo = 0;
   int coll_scan_algo = 0;

@@ -286,6 +286,16 @@ void conformance_workload(const Perturbation& p, const std::vector<SoupMsg>& sch
 /// Fold the per-node match logs into a channel-invariant digest: group by
 /// (ctx, src, tag), order each group by envelope seq (the matching order MPI
 /// non-overtaking mandates), and fold groups in sorted-key order.
+///
+/// Two channel-specific details are deliberately excluded. Collective-internal
+/// matches (tags >= mpi::kCollTagBase) are dropped: NIC offload completes
+/// collectives without any channel messages, so their envelopes are a
+/// scheduling artifact of the host algorithms, not an MPI observable
+/// (collective *results* are covered by coll_digest / checksum). And raw seq
+/// values are folded as within-group positions, not values: offloaded
+/// collectives no longer advance the per-peer seq counters, shifting the
+/// absolute seqs of later user messages while leaving their relative order —
+/// the thing non-overtaking constrains — intact.
 [[nodiscard]] std::uint64_t fold_match_logs(
     const std::vector<std::vector<mpci::Channel::MatchRecord>>& logs) {
   std::uint64_t total = kFnvBasis;
@@ -294,6 +304,7 @@ void conformance_workload(const Perturbation& p, const std::vector<SoupMsg>& sch
              std::vector<std::pair<std::uint32_t, std::uint32_t>>>
         groups;
     for (const auto& rec : logs[r]) {
+      if (rec.tag >= mpi::kCollTagBase) continue;
       groups[{rec.ctx, rec.src, rec.tag}].emplace_back(rec.seq, rec.len);
     }
     total = fnv(total, r);
@@ -302,9 +313,9 @@ void conformance_workload(const Perturbation& p, const std::vector<SoupMsg>& sch
       total = fnv(total, std::get<0>(key));
       total = fnv(total, std::get<1>(key));
       total = fnv(total, static_cast<std::uint64_t>(static_cast<std::uint32_t>(std::get<2>(key))));
-      for (const auto& [seq, len] : v) {
-        total = fnv(total, seq);
-        total = fnv(total, len);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        total = fnv(total, i);
+        total = fnv(total, v[i].second);
       }
     }
   }
@@ -319,22 +330,38 @@ struct TransportCounters {
   std::int64_t reacks_coalesced = 0;
 };
 
-[[nodiscard]] TransportCounters active_transport(mpi::Backend b, const mpi::Machine::Stats& s) {
-  if (b == mpi::Backend::kNativePipes) {
-    return {s.pipes_retransmits, s.pipes_duplicate_deliveries, s.pipes_acks,
-            s.pipes_reacks_coalesced};
-  }
+[[nodiscard]] TransportCounters pipes_transport(const mpi::Machine::Stats& s) {
+  return {s.pipes_retransmits, s.pipes_duplicate_deliveries, s.pipes_acks,
+          s.pipes_reacks_coalesced};
+}
+[[nodiscard]] TransportCounters lapi_transport(const mpi::Machine::Stats& s) {
   return {s.lapi_retransmits, s.lapi_duplicate_deliveries, s.lapi_acks,
           s.lapi_reacks_coalesced};
 }
+[[nodiscard]] TransportCounters rdma_transport(const mpi::Machine::Stats& s) {
+  return {s.rdma_retransmits, s.rdma_duplicate_deliveries, s.rdma_acks,
+          s.rdma_reacks_coalesced};
+}
 
+[[nodiscard]] TransportCounters active_transport(mpi::Backend b, const mpi::Machine::Stats& s) {
+  if (b == mpi::Backend::kNativePipes) return pipes_transport(s);
+  if (b == mpi::Backend::kRdma) return rdma_transport(s);
+  return lapi_transport(s);
+}
+
+/// Sum of the transports the backend does NOT use (all must stay silent).
 [[nodiscard]] TransportCounters idle_transport(mpi::Backend b, const mpi::Machine::Stats& s) {
-  if (b == mpi::Backend::kNativePipes) {
-    return {s.lapi_retransmits, s.lapi_duplicate_deliveries, s.lapi_acks,
-            s.lapi_reacks_coalesced};
-  }
-  return {s.pipes_retransmits, s.pipes_duplicate_deliveries, s.pipes_acks,
-          s.pipes_reacks_coalesced};
+  TransportCounters t;
+  auto add = [&t](const TransportCounters& o) {
+    t.retransmits += o.retransmits;
+    t.duplicates += o.duplicates;
+    t.acks += o.acks;
+    t.reacks_coalesced += o.reacks_coalesced;
+  };
+  if (b != mpi::Backend::kNativePipes) add(pipes_transport(s));
+  if (b == mpi::Backend::kNativePipes || b == mpi::Backend::kRdma) add(lapi_transport(s));
+  if (b != mpi::Backend::kRdma) add(rdma_transport(s));
+  return t;
 }
 
 void check_invariants(mpi::Backend backend, const mpi::Machine& machine,
@@ -437,12 +464,13 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
 std::string Perturbation::token() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "x3-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
-                "-%x-%" PRIx64 "-%x-%x-%x",
+                "x4-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
+                "-%x-%" PRIx64 "-%x-%x-%x-%x",
                 seed, static_cast<unsigned>(nodes), static_cast<unsigned>(msgs_per_rank),
                 workload_seed, fabric_seed, drop_ppm, dup_ppm, route_bias_ppm,
                 static_cast<std::uint64_t>(jitter_ns), static_cast<std::uint64_t>(route_skew_ns),
-                static_cast<unsigned>(burst), tie_break_salt, flags, coll_algos, topology);
+                static_cast<unsigned>(burst), tie_break_salt, flags, coll_algos, topology,
+                channels);
   return buf;
 }
 
@@ -458,10 +486,12 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
     }
   }
   parts.push_back(cur);
-  // "x2" is the pre-topology token (14 fields); "x3" appends topology. Old
-  // tokens stay replayable: a missing topology field means SP multistage.
-  const bool v3 = parts[0] == "x3";
-  if (!(v3 && parts.size() == 16) && !(parts[0] == "x2" && parts.size() == 15)) {
+  // Version history, append-only so old tokens stay replayable: "x2" is the
+  // pre-topology token (14 fields), "x3" appends topology (default 0 = SP
+  // multistage), "x4" appends the channel-pairing field (default 0 = the
+  // legacy Pipes <-> LAPI pair).
+  if (!(parts[0] == "x4" && parts.size() == 17) && !(parts[0] == "x3" && parts.size() == 16) &&
+      !(parts[0] == "x2" && parts.size() == 15)) {
     return std::nullopt;
   }
   auto u64 = [](const std::string& s, std::uint64_t& out) {
@@ -470,7 +500,7 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
     out = std::strtoull(s.c_str(), &end, 16);
     return end != nullptr && *end == '\0';
   };
-  std::uint64_t v[15] = {};
+  std::uint64_t v[16] = {};
   for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
     if (!u64(parts[i + 1], v[i])) return std::nullopt;
   }
@@ -490,15 +520,18 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   p.flags = static_cast<std::uint32_t>(v[12]);
   p.coll_algos = static_cast<std::uint32_t>(v[13]);
   p.topology = static_cast<std::uint32_t>(v[14]);
+  p.channels = static_cast<std::uint32_t>(v[15]);
   if (p.nodes < 2 || p.nodes > 64 || p.msgs_per_rank < 1 || p.msgs_per_rank > 4096 ||
       p.burst < 1 || p.burst > 64 || p.drop_ppm > 500'000 || p.dup_ppm > 500'000 ||
-      p.route_bias_ppm > 1'000'000 || p.topology >= static_cast<std::uint32_t>(kTopologyKinds)) {
+      p.route_bias_ppm > 1'000'000 || p.topology >= static_cast<std::uint32_t>(kTopologyKinds) ||
+      p.channels > 3) {
     return std::nullopt;
   }
-  // Per-primitive pin bounds: bcast/allreduce have 3 algorithms + auto,
-  // alltoall/reduce_scatter/scan have 2 + auto; nothing above the scan nibble.
+  // Per-primitive pin bounds: bcast/allreduce have 3 host algorithms + the
+  // NIC offload (4) + auto, alltoall/reduce_scatter/scan have 2 + auto;
+  // nothing above the scan nibble.
   const std::uint32_t a = p.coll_algos;
-  if ((a >> 20) != 0 || (a & 0xF) > 3 || ((a >> 4) & 0xF) > 3 || ((a >> 8) & 0xF) > 2 ||
+  if ((a >> 20) != 0 || (a & 0xF) > 4 || ((a >> 4) & 0xF) > 4 || ((a >> 8) & 0xF) > 2 ||
       ((a >> 12) & 0xF) > 2 || ((a >> 16) & 0xF) > 2) {
     return std::nullopt;
   }
@@ -534,8 +567,11 @@ Perturbation Explorer::perturbation_for(std::uint64_t seed) const {
   // Half the space pins collective algorithms (one nibble per primitive,
   // 0 = auto within each draw too) so the sweep differentials every
   // algorithm pairing against both channels and the sequential references.
+  // Bcast/allreduce draw from 5 values: 4 = NIC offload, which host-only
+  // channels resolve to the host auto table (the pin must stay conformant
+  // on every channel either way).
   if (g.next_below(2) != 0) {
-    p.coll_algos = g.next_below(4) | (g.next_below(4) << 4) | (g.next_below(3) << 8) |
+    p.coll_algos = g.next_below(5) | (g.next_below(5) << 4) | (g.next_below(3) << 8) |
                    (g.next_below(3) << 12) | (g.next_below(3) << 16);
   }
   // Half the space runs on a non-SP fabric (drawn last so older fields stay
@@ -546,6 +582,10 @@ Perturbation Explorer::perturbation_for(std::uint64_t seed) const {
   if (g.next_below(2) != 0) {
     p.topology = 1 + g.next_below(static_cast<std::uint32_t>(kTopologyKinds - 1));
   }
+  // Half the space brings the RDMA channel into the differential set (drawn
+  // after topology so earlier fields stay seed-stable): evenly split between
+  // pipes<->rdma, lapi<->rdma and the full trio.
+  if (g.next_below(2) != 0) p.channels = 1 + g.next_below(3);
   if (opts_.inject_reack_bug) p.flags |= Perturbation::kFlagReackStormBug;
   return p;
 }
@@ -612,39 +652,69 @@ Explorer::RunOutcome Explorer::run_channel(const Perturbation& p, mpi::Backend b
 }
 
 std::optional<std::string> Explorer::check(const Perturbation& p) {
-  const RunOutcome pipes = run_channel(p, mpi::Backend::kNativePipes);
-  const RunOutcome lapi = run_channel(p, opts_.lapi_backend);
-  runs_ += 2;
+  // The channels field picks the differential set; every member must agree
+  // with the first on every channel-invariant observable.
+  struct Side {
+    const char* name;
+    mpi::Backend backend;
+  };
+  std::vector<Side> sides;
+  const Side pipes_side{"pipes", mpi::Backend::kNativePipes};
+  const Side rdma_side{"rdma", mpi::Backend::kRdma};
+  // `spsim explore --backend rdma` points the configured side at the RDMA
+  // channel; pairings that need a genuine LAPI side then use Enhanced so no
+  // seed degenerates into comparing the RDMA channel with itself.
+  const bool lapi_is_rdma = opts_.lapi_backend == mpi::Backend::kRdma;
+  const Side cfg_side{lapi_is_rdma ? "rdma" : "lapi", opts_.lapi_backend};
+  const Side lapi_side{"lapi",
+                       lapi_is_rdma ? mpi::Backend::kLapiEnhanced : opts_.lapi_backend};
+  switch (p.channels) {
+    case 1: sides = {pipes_side, rdma_side}; break;
+    case 2: sides = {lapi_side, rdma_side}; break;
+    case 3: sides = {pipes_side, lapi_side, rdma_side}; break;
+    default: sides = {pipes_side, cfg_side}; break;
+  }
 
-  auto channel_fail = [](const char* name, const RunOutcome& o) -> std::optional<std::string> {
-    if (!o.completed) return std::string(name) + " channel run failed: " + o.error;
+  std::vector<RunOutcome> outs;
+  outs.reserve(sides.size());
+  for (const Side& s : sides) {
+    outs.push_back(run_channel(p, s.backend));
+    ++runs_;
+  }
+
+  for (std::size_t i = 0; i < sides.size(); ++i) {
+    const RunOutcome& o = outs[i];
+    if (!o.completed) return std::string(sides[i].name) + " channel run failed: " + o.error;
     if (!o.invariant_violations.empty()) {
-      return std::string(name) + " channel invariant violated: " + o.invariant_violations[0];
+      return std::string(sides[i].name) +
+             " channel invariant violated: " + o.invariant_violations[0];
     }
-    return std::nullopt;
-  };
-  if (auto f = channel_fail("pipes", pipes)) return f;
-  if (auto f = channel_fail("lapi", lapi)) return f;
+  }
 
-  auto diff = [&](const char* what, std::uint64_t a, std::uint64_t b) -> std::optional<std::string> {
-    if (a == b) return std::nullopt;
-    std::ostringstream os;
-    os << "conformance mismatch in " << what << ": pipes=" << std::hex << a
-       << " lapi=" << b;
-    return os.str();
-  };
-  if (auto f = diff("payload digest", pipes.payload_digest, lapi.payload_digest)) return f;
-  if (auto f = diff("status fields", pipes.status_digest, lapi.status_digest)) return f;
-  if (auto f = diff("match order", pipes.match_digest, lapi.match_digest)) return f;
-  if (auto f = diff("wildcard fold", pipes.wildcard_digest, lapi.wildcard_digest)) return f;
-  if (auto f = diff("collective results", pipes.coll_digest, lapi.coll_digest)) return f;
-  if (auto f = diff("allreduce checksum", pipes.checksum, lapi.checksum)) return f;
+  for (std::size_t i = 1; i < sides.size(); ++i) {
+    auto diff = [&](const char* what, std::uint64_t a,
+                    std::uint64_t b) -> std::optional<std::string> {
+      if (a == b) return std::nullopt;
+      std::ostringstream os;
+      os << "conformance mismatch in " << what << ": " << sides[0].name << "=" << std::hex << a
+         << " " << sides[i].name << "=" << b;
+      return os.str();
+    };
+    const RunOutcome& a = outs[0];
+    const RunOutcome& b = outs[i];
+    if (auto f = diff("payload digest", a.payload_digest, b.payload_digest)) return f;
+    if (auto f = diff("status fields", a.status_digest, b.status_digest)) return f;
+    if (auto f = diff("match order", a.match_digest, b.match_digest)) return f;
+    if (auto f = diff("wildcard fold", a.wildcard_digest, b.wildcard_digest)) return f;
+    if (auto f = diff("collective results", a.coll_digest, b.coll_digest)) return f;
+    if (auto f = diff("allreduce checksum", a.checksum, b.checksum)) return f;
+  }
   return std::nullopt;
 }
 
 Perturbation Explorer::shrink(Perturbation p) {
   auto fails = [this](const Perturbation& q) { return check(q).has_value(); };
-  auto budget_left = [this] { return runs_ + 2 <= max_runs(); };
+  auto budget_left = [this] { return runs_ + 3 <= max_runs(); };  // trio check = 3 runs
 
   // Phase 1: ablate knobs to neutral, iterating to a fixpoint — failures
   // often depend on one or two knobs only.
@@ -659,6 +729,10 @@ Perturbation Explorer::shrink(Perturbation p) {
         if (!(q == p)) c.push_back(q);
       };
       with([](Perturbation& q) { q.topology = 0; });
+      // A trio failure that survives on a pair is a smaller repro; one that
+      // survives on the legacy pair doesn't involve the RDMA channel at all.
+      with([](Perturbation& q) { q.channels = 0; });
+      with([](Perturbation& q) { if (q.channels == 3) q.channels = 1; });
       with([](Perturbation& q) { q.drop_ppm = 0; q.burst = 1; });
       with([](Perturbation& q) { q.dup_ppm = 0; });
       with([](Perturbation& q) { q.jitter_ns = 0; });

@@ -1,11 +1,13 @@
-// Schedule-space explorer: differential Pipes <-> LAPI conformance fuzzing.
+// Schedule-space explorer: differential Pipes <-> LAPI <-> RDMA conformance
+// fuzzing.
 //
 // The paper's central claim is that MPI-LAPI preserves MPI two-sided
 // semantics while replacing every layer underneath. The explorer tests that
 // claim systematically: one master seed expands into a perturbation vector
 // (fault knobs, route bias, delivery jitter, event tie-break salt, interrupt
 // mode); the same deterministic mixed eager/rendezvous workload then runs on
-// BOTH the native Pipes channel and a LAPI channel under that vector, and the
+// two or three of the channels (native Pipes, a LAPI channel, the RDMA
+// channel — the vector's `channels` field picks the pairing) and the
 // channel-invariant observables — received payloads, match order per
 // (ctx, src, tag), MPI status fields, collective results under the vector's
 // pinned algorithms, final rank buffers — must agree, while
@@ -76,9 +78,16 @@ struct Perturbation {
   /// Interconnect topology (TopologyKind as an integer; 0 = SP multistage).
   /// Topology choice perturbs packet schedules only — MPI results and
   /// collective output digests must be identical on every fabric, which the
-  /// differential check enforces as an observable. Encoded as the final
-  /// token field ("x3-" tokens); "x2-" tokens parse with topology 0.
+  /// differential check enforces as an observable. Encoded as the
+  /// second-to-last token field ("x3-" tokens); "x2-" tokens parse with
+  /// topology 0.
   std::uint32_t topology = 0;
+
+  /// Which channels the differential check runs: 0 = the legacy pair (Pipes
+  /// vs the configured LAPI backend), 1 = Pipes vs RDMA, 2 = LAPI vs RDMA,
+  /// 3 = the full trio. Every pairing must produce identical conformance
+  /// digests. Final field of "x4-" tokens; "x2-"/"x3-" tokens parse as 0.
+  std::uint32_t channels = 0;
 
   bool operator==(const Perturbation&) const = default;
 
@@ -86,7 +95,7 @@ struct Perturbation {
   /// explorer uses its digest and ring accounting as observables).
   [[nodiscard]] MachineConfig apply(MachineConfig base) const;
 
-  /// Compact repro token ("x2-..." hex fields); parse() round-trips it.
+  /// Compact repro token ("x4-..." hex fields); parse() round-trips it.
   [[nodiscard]] std::string token() const;
   [[nodiscard]] static std::optional<Perturbation> parse(const std::string& token);
 };
@@ -161,8 +170,9 @@ class Explorer {
   /// observables + invariant verdicts. Deterministic per (p, backend).
   [[nodiscard]] RunOutcome run_channel(const Perturbation& p, mpi::Backend backend) const;
 
-  /// Differential check: run `p` on both channels; nullopt when conformant,
-  /// otherwise a human-readable failure reason. Counts 2 toward runs().
+  /// Differential check: run `p` on the channel set its `channels` field
+  /// selects; nullopt when conformant, otherwise a human-readable failure
+  /// reason. Counts one run per channel toward runs().
   [[nodiscard]] std::optional<std::string> check(const Perturbation& p);
 
   /// Shrink a failing vector to a minimal one that still fails (any failure

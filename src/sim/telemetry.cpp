@@ -69,7 +69,8 @@ constexpr std::array<const char*, kNumCollAlgos> kCollAlgoNames = {
     "alltoall/pairwise",       "alltoall/bruck",
     "reduce_scatter/reduce_scatter", "reduce_scatter/recursive_halving",
     "scan/linear",             "scan/binomial",
-    "exscan/linear",           "exscan/binomial"};
+    "exscan/linear",           "exscan/binomial",
+    "bcast/nic_offload",       "allreduce/nic_offload",   "barrier/nic_offload"};
 
 constexpr std::array<const char*, kNumHists> kHistNames = {
     "mpi_call_ns", "irq_service_ns", "match_scanned", "msg_bytes"};

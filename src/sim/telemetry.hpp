@@ -108,8 +108,11 @@ enum class CollAlgo : std::uint8_t {
   kReduceScatterReduceScatter, kReduceScatterRecursiveHalving,
   kScanLinear, kScanBinomial,
   kExscanLinear, kExscanBinomial,
+  // NIC-offloaded variants (appended so runs that emit none of these keep
+  // their pinned digests — same append-only rule as Ev).
+  kBcastNicOffload, kAllreduceNicOffload, kBarrierNicOffload,
 };
-inline constexpr int kNumCollAlgos = static_cast<int>(CollAlgo::kExscanBinomial) + 1;
+inline constexpr int kNumCollAlgos = static_cast<int>(CollAlgo::kBarrierNicOffload) + 1;
 [[nodiscard]] const char* coll_algo_name(CollAlgo a) noexcept;
 
 /// Live latency/size distributions, log2-bucketed (HDR style).

@@ -1,7 +1,7 @@
 // Boundary-value sweep: message sizes at the edges of every protocol
 // threshold (zero bytes, one byte, the packet MTU, the first-packet capacity
-// after the envelope, the eager limit, multi-packet sizes) across all four
-// backends — the classic home of off-by-one reassembly bugs.
+// after the envelope, the eager limit, multi-packet sizes) across every
+// backend — the classic home of off-by-one reassembly bugs.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -59,7 +59,7 @@ std::vector<BoundaryParam> boundary_params() {
       eager - 1, eager,      eager + 1,  3 * mtu + 7,   8 * mtu + 1};
   std::vector<BoundaryParam> out;
   for (Backend b : {Backend::kNativePipes, Backend::kLapiBase, Backend::kLapiCounters,
-                    Backend::kLapiEnhanced}) {
+                    Backend::kLapiEnhanced, Backend::kRdma}) {
     for (std::size_t s : sizes) out.push_back({s, b});
   }
   return out;
@@ -69,6 +69,7 @@ std::string boundary_name(const ::testing::TestParamInfo<BoundaryParam>& info) {
   const char* b = info.param.backend == Backend::kNativePipes   ? "Native"
                   : info.param.backend == Backend::kLapiBase    ? "Base"
                   : info.param.backend == Backend::kLapiCounters ? "Counters"
+                  : info.param.backend == Backend::kRdma         ? "Rdma"
                                                                  : "Enhanced";
   return std::string(b) + "_" + std::to_string(info.param.size) + "B";
 }

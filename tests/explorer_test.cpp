@@ -34,10 +34,11 @@ Perturbation busy_vector() {
   p.burst = 3;
   p.tie_break_salt = 0xfeedf00d5eedULL;
   p.flags = Perturbation::kFlagInterruptMode;
-  // Pin every primitive: scan=2, reduce_scatter=1, alltoall=2, allreduce=3,
-  // bcast=2 — all in range for their nibbles.
-  p.coll_algos = 0x21232;
+  // Pin every primitive: scan=2, reduce_scatter=1, alltoall=2, allreduce=4
+  // (NIC offload), bcast=2 — all in range for their nibbles.
+  p.coll_algos = 0x21242;
   p.topology = 3;  // torus3d
+  p.channels = 3;  // full pipes/lapi/rdma trio
   return p;
 }
 
@@ -88,7 +89,7 @@ TEST(ExplorerToken, RejectsMalformed) {
   p.route_bias_ppm = 1'000'001;
   reject(p);
   p = busy_vector();
-  p.coll_algos = 0x4;  // bcast nibble past its last algorithm
+  p.coll_algos = 0x5;  // bcast nibble past the NIC offload
   reject(p);
   p = busy_vector();
   p.coll_algos = 0x30000;  // scan nibble past its last algorithm
@@ -99,21 +100,33 @@ TEST(ExplorerToken, RejectsMalformed) {
   p = busy_vector();
   p.topology = 5;  // past kDragonfly
   reject(p);
+  p = busy_vector();
+  p.channels = 4;  // past the trio
+  reject(p);
 }
 
-TEST(ExplorerToken, LegacyX2TokensParseWithDefaultTopology) {
-  // Tokens minted before the topology field (version "x2", 14 data fields)
-  // must keep replaying, defaulting to the SP multistage fabric.
+TEST(ExplorerToken, LegacyTokenVersionsParseWithDefaults) {
+  // Tokens minted before the topology field ("x2", 14 data fields) and
+  // before the channel-pairing field ("x3", 15 fields) must keep replaying
+  // with those fields at their defaults (SP multistage, legacy pipes<->lapi
+  // differential pair).
   Perturbation p = busy_vector();
   p.topology = 0;
+  p.channels = 0;
   std::string tok = p.token();
-  ASSERT_EQ(tok.substr(0, 3), "x3-");
-  const std::string legacy = "x2-" + tok.substr(3, tok.rfind('-') - 3);
-  const auto back = Perturbation::parse(legacy);
-  ASSERT_TRUE(back.has_value()) << legacy;
-  EXPECT_EQ(*back, p);
-  // An x2 token with the extra field (or an x3 token missing it) is malformed.
-  EXPECT_FALSE(Perturbation::parse(legacy + "-0").has_value());
+  ASSERT_EQ(tok.substr(0, 3), "x4-");
+  const std::string x3 = "x3-" + tok.substr(3, tok.rfind('-') - 3);
+  const auto back3 = Perturbation::parse(x3);
+  ASSERT_TRUE(back3.has_value()) << x3;
+  EXPECT_EQ(*back3, p);
+  const std::string x2 = "x2-" + x3.substr(3, x3.rfind('-') - 3);
+  const auto back2 = Perturbation::parse(x2);
+  ASSERT_TRUE(back2.has_value()) << x2;
+  EXPECT_EQ(*back2, p);
+  // A token with an extra field for its version (or one missing a field) is
+  // malformed.
+  EXPECT_FALSE(Perturbation::parse(x2 + "-0").has_value());
+  EXPECT_FALSE(Perturbation::parse(x3 + "-0").has_value());
   EXPECT_FALSE(Perturbation::parse(tok.substr(0, tok.rfind('-'))).has_value());
 }
 
@@ -264,8 +277,8 @@ TEST(ExplorerConformance, AlgorithmChoiceNeverChangesCollectiveResults) {
 
 TEST(ExplorerConformance, CleanSweepFindsNoMismatches) {
   // Acceptance criterion: 256 seeds on the 4-node mixed eager/rendezvous
-  // workload, Pipes vs enhanced LAPI, zero conformance mismatches. The soak
-  // tier widens the sweep.
+  // workload across the channel pairings each vector selects, zero
+  // conformance mismatches. The soak tier widens the sweep.
   Explorer::Options opts;
   opts.nodes = 4;
   opts.msgs_per_rank = 12;
@@ -273,7 +286,13 @@ TEST(ExplorerConformance, CleanSweepFindsNoMismatches) {
   Explorer ex(opts);
   const Explorer::Report rep = ex.explore();
   EXPECT_EQ(rep.seeds_run, opts.seeds);
-  EXPECT_EQ(rep.runs, 2 * opts.seeds);
+  // Each seed costs one run per channel in its differential set (2 or 3).
+  int expected_runs = 0;
+  for (int s = 0; s < opts.seeds; ++s) {
+    const Perturbation p = ex.perturbation_for(opts.base_seed + static_cast<std::uint64_t>(s));
+    expected_runs += p.channels == 3 ? 3 : 2;
+  }
+  EXPECT_EQ(rep.runs, expected_runs);
   EXPECT_TRUE(rep.mismatches.empty())
       << "first mismatch: " << rep.mismatches[0].reason
       << " token=" << rep.mismatches[0].token;

@@ -46,6 +46,7 @@ struct SoakParam {
 std::string soak_name(const ::testing::TestParamInfo<SoakParam>& info) {
   std::string b = info.param.backend == Backend::kNativePipes ? "Native"
                   : info.param.backend == Backend::kLapiBase  ? "Base"
+                  : info.param.backend == Backend::kRdma      ? "Rdma"
                                                               : "Enhanced";
   return b + (info.param.drop < 0.03 ? "_drop1pct" : "_drop5pct");
 }
@@ -121,14 +122,16 @@ INSTANTIATE_TEST_SUITE_P(BackendsAndRates, FaultSoak,
                                            SoakParam{Backend::kNativePipes, 0.05},
                                            SoakParam{Backend::kLapiBase, 0.05},
                                            SoakParam{Backend::kLapiEnhanced, 0.01},
-                                           SoakParam{Backend::kLapiEnhanced, 0.05}),
+                                           SoakParam{Backend::kLapiEnhanced, 0.05},
+                                           SoakParam{Backend::kRdma, 0.01},
+                                           SoakParam{Backend::kRdma, 0.05}),
                          soak_name);
 
 TEST(FaultSoakNas, KernelsVerifyUnderLoss) {
   // The NAS mini-kernels self-verify, so a single lossy run checks both
   // progress (no hang) and end-to-end data integrity through collectives.
   for (double drop : {0.01, 0.05}) {
-    for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+    for (Backend b : {Backend::kNativePipes, Backend::kLapiEnhanced, Backend::kRdma}) {
       int ran = 0;
       for (auto& [name, fn] : sp::nas::all_kernels()) {
         if (!soak_mode() && ++ran > 2) break;  // soak runs every kernel
@@ -159,16 +162,20 @@ TEST(FaultSoak, PinnedCollectiveAlgorithmsSurviveLoss) {
   // bit-exact results under fabric loss and stay within the retransmit
   // budget. The quick tier samples one loss rate on the enhanced backend;
   // soak crosses every spec with both rates and both transports.
+  // The NIC specs pin the adapter-resident algorithms: on the RDMA channel
+  // they offload (size permitting), on host channels they resolve to the host
+  // auto choice — either way the results must be bit-exact under loss.
   static const char* const kSpecs[] = {
       "bcast=pipelined",       "bcast=scatter_allgather",
       "allreduce=recursive_doubling", "allreduce=rabenseifner",
       "alltoall=bruck",        "reduce_scatter=recursive_halving",
-      "scan=binomial"};
+      "scan=binomial",         "bcast=nic,allreduce=nic,barrier=nic"};
   const std::vector<double> drops =
       soak_mode() ? std::vector<double>{0.01, 0.05} : std::vector<double>{0.03};
   const std::vector<Backend> backends =
-      soak_mode() ? std::vector<Backend>{Backend::kNativePipes, Backend::kLapiEnhanced}
-                  : std::vector<Backend>{Backend::kLapiEnhanced};
+      soak_mode() ? std::vector<Backend>{Backend::kNativePipes, Backend::kLapiEnhanced,
+                                         Backend::kRdma}
+                  : std::vector<Backend>{Backend::kLapiEnhanced, Backend::kRdma};
   const int nodes = soak_mode() ? 8 : 5;  // 5 is non-power-of-two: pre-fold under loss
   for (const char* spec : kSpecs) {
     for (double drop : drops) {
@@ -198,6 +205,7 @@ TEST(FaultSoak, PinnedCollectiveAlgorithmsSurviveLoss) {
           mpi.allreduce(in.data(), out.data(), kBig, sp::mpi::Datatype::kLong,
                         sp::mpi::Op::kSum, w);
           if (std::memcmp(out.data(), ref.data(), kBig * 8) != 0) ++bad;
+          mpi.barrier(w);  // exercises barrier=nic pins under loss
 
           if (me == n - 1) {
             for (std::size_t i = 0; i < kBig; ++i) out[i] = val(n - 1, i) * 5 + 3;
@@ -271,6 +279,23 @@ TEST(FaultSoak, StatsAccountForInjectedFaults) {
   EXPECT_GT(s.lapi_retransmits, 0);
   EXPECT_GT(s.lapi_duplicate_deliveries, 0);
   EXPECT_GT(s.lapi_acks, 0);
+}
+
+TEST(FaultSoak, RdmaStatsAccountForInjectedFaults) {
+  // Same chain on the RDMA channel: its RC-QP transport must retransmit,
+  // filter duplicates and ack, and the 64 KiB bounces must go through the
+  // RDMA-read rendezvous path.
+  MachineConfig cfg = lossy_config(0.05);
+  cfg.packet_dup_rate = 0.05;
+  Machine m(cfg, 2, Backend::kRdma);
+  m.run([](Mpi& mpi) { sp::test::pingpong_workload(mpi, 8, 64 * 1024); });
+  const auto s = m.stats();
+  EXPECT_GT(s.fabric_dropped, 0);
+  EXPECT_GT(s.fabric_duplicated, 0);
+  EXPECT_GT(s.rdma_retransmits, 0);
+  EXPECT_GT(s.rdma_duplicate_deliveries, 0);
+  EXPECT_GT(s.rdma_acks, 0);
+  EXPECT_GT(s.rdma_reads, 0);
 }
 
 // --- lossy determinism ------------------------------------------------------

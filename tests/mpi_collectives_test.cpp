@@ -292,7 +292,9 @@ TEST_P(Collectives, ZeroCountCollectivesAreWellDefined) {
 }
 
 std::string coll_name(const ::testing::TestParamInfo<CollParam>& info) {
-  std::string b = info.param.backend == Backend::kNativePipes ? "Native" : "LapiEnh";
+  std::string b = info.param.backend == Backend::kNativePipes ? "Native"
+                  : info.param.backend == Backend::kRdma      ? "Rdma"
+                                                              : "LapiEnh";
   return b + "_n" + std::to_string(info.param.nodes);
 }
 
@@ -304,7 +306,9 @@ INSTANTIATE_TEST_SUITE_P(Sizes, Collectives,
                                            CollParam{7, Backend::kLapiEnhanced},
                                            CollParam{8, Backend::kLapiEnhanced},
                                            CollParam{4, Backend::kNativePipes},
-                                           CollParam{7, Backend::kNativePipes}),
+                                           CollParam{7, Backend::kNativePipes},
+                                           CollParam{4, Backend::kRdma},
+                                           CollParam{7, Backend::kRdma}),
                          coll_name);
 
 // ---------------------------------------------------------------------------
@@ -371,16 +375,19 @@ std::uint64_t run_cell(int nodes, Backend be, const std::string& spec,
 
 class CollMatrix : public ::testing::TestWithParam<int> {
  protected:
-  /// Run the workload for every algorithm spec on both channels; every cell
-  /// must match the first cell's digest bit-for-bit (the workload itself
-  /// checks values against the sequential reference in-fiber).
+  /// Run the workload for every algorithm spec on all three channels; every
+  /// cell must match the first cell's digest bit-for-bit (the workload itself
+  /// checks values against the sequential reference in-fiber). The RDMA cells
+  /// route small integer collectives through the NIC-resident algorithms, so
+  /// the adapter combine/release trees are held to the same golden model.
   void check(const std::vector<std::string>& specs,
              const std::function<void(Mpi&, std::uint64_t&)>& body) {
     const int n = GetParam();
     std::uint64_t first = 0;
     bool have = false;
     for (const auto& spec : specs) {
-      for (const Backend be : {Backend::kNativePipes, Backend::kLapiEnhanced}) {
+      for (const Backend be :
+           {Backend::kNativePipes, Backend::kLapiEnhanced, Backend::kRdma}) {
         const std::uint64_t dig = run_cell(n, be, spec, body);
         if (!have) {
           first = dig;
@@ -580,13 +587,14 @@ void split_workload(Mpi& mpi, std::uint64_t& h) {
 }
 
 TEST_P(CollMatrix, Bcast) {
-  check({"bcast=binomial", "bcast=pipelined", "bcast=scatter_allgather", "all=auto"},
+  check({"bcast=binomial", "bcast=pipelined", "bcast=scatter_allgather", "bcast=nic",
+         "all=auto"},
         bcast_workload);
 }
 
 TEST_P(CollMatrix, AllreduceAndReduce) {
   check({"allreduce=reduce_bcast", "allreduce=recursive_doubling", "allreduce=rabenseifner",
-         "all=auto"},
+         "allreduce=nic", "all=auto"},
         allreduce_workload);
 }
 

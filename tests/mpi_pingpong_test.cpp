@@ -83,13 +83,15 @@ TEST_P(PingPongAllBackends, UnexpectedMessageGoesThroughEarlyArrival) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, PingPongAllBackends,
                          ::testing::Values(Backend::kNativePipes, Backend::kLapiBase,
-                                           Backend::kLapiCounters, Backend::kLapiEnhanced),
+                                           Backend::kLapiCounters, Backend::kLapiEnhanced,
+                                           Backend::kRdma),
                          [](const ::testing::TestParamInfo<Backend>& info) {
                            switch (info.param) {
                              case Backend::kNativePipes: return "NativePipes";
                              case Backend::kLapiBase: return "LapiBase";
                              case Backend::kLapiCounters: return "LapiCounters";
                              case Backend::kLapiEnhanced: return "LapiEnhanced";
+                             case Backend::kRdma: return "Rdma";
                            }
                            return "unknown";
                          });

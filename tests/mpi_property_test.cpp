@@ -21,7 +21,8 @@ using sim::MachineConfig;
 using sim::Pcg32;
 
 constexpr Backend kAllBackends[] = {Backend::kNativePipes, Backend::kLapiBase,
-                                    Backend::kLapiCounters, Backend::kLapiEnhanced};
+                                    Backend::kLapiCounters, Backend::kLapiEnhanced,
+                                    Backend::kRdma};
 
 /// A randomized all-pairs message soup: every rank sends a schedule of
 /// messages with random sizes/tags to random peers; every payload byte is a
@@ -132,6 +133,11 @@ TEST_P(SoupSeeds, NativeBackendSoup) {
 TEST_P(SoupSeeds, CountersBackendSoup) {
   MachineConfig cfg;
   (void)message_soup(cfg, Backend::kLapiCounters, 5, GetParam(), 16);
+}
+
+TEST_P(SoupSeeds, RdmaBackendSoup) {
+  MachineConfig cfg;
+  (void)message_soup(cfg, Backend::kRdma, 5, GetParam(), 16);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SoupSeeds, ::testing::Values(1u, 7u, 42u, 1999u, 31337u));
@@ -282,11 +288,84 @@ TEST(Wildcards, AnySourceWithSpecificTagFilters) {
   });
 }
 
-TEST(FaultInjection, EarlyArrivalBufferOverflowIsFatal) {
+// The seed treated this unexpected pile-up as fatal (EA buffer overflow).
+// Now the sender's fair-share credit check demotes the overflow to
+// rendezvous and every byte still arrives intact.
+TEST(Wildcards, ProbeThenRecvMatchesTheProbedMessageOnEveryChannel) {
+  // Satellite of the RDMA PR: a wildcard probe pins a message; the recv
+  // issued from the returned Status must deliver *that* message, not a
+  // different one that arrived in between — per channel, the iprobe
+  // front-runner selection must agree with post_recv matching. Mixed eager
+  // and rendezvous sizes exercise both protocol paths, and draining by
+  // probed (src, tag) ensures per-source non-overtaking survives the
+  // indirection.
+  for (Backend b : kAllBackends) {
+    MachineConfig cfg;
+    Machine m(cfg, 4, b);
+    long errors = 0;
+    m.run([&errors](Mpi& mpi) {
+      Comm& w = mpi.world();
+      const int me = w.rank();
+      constexpr int kPerSender = 6;
+      // Sizes alternate across the eager limit; payload encodes (src, k).
+      auto len_of = [](int src, int k) {
+        return static_cast<std::size_t>(k % 2 == 0 ? 256 + src * 16 + k
+                                                   : 6000 + src * 128 + k);
+      };
+      if (me != 0) {
+        std::vector<std::uint8_t> buf;
+        for (int k = 0; k < kPerSender; ++k) {
+          buf.assign(len_of(me, k), static_cast<std::uint8_t>(me * 31 + k));
+          mpi.send(buf.data(), buf.size(), Datatype::kByte, 0, /*tag=*/k % 3, w);
+        }
+      } else {
+        const int total = (w.size() - 1) * kPerSender;
+        std::map<int, std::vector<bool>> seen;  // src -> message k consumed
+        for (int i = 0; i < total; ++i) {
+          Status probed;
+          mpi.probe(kAnySource, kAnyTag, w, &probed);
+          std::vector<std::uint8_t> buf(probed.len + 1, 0xEE);
+          Status got;
+          mpi.recv(buf.data(), probed.len, Datatype::kByte, probed.source, probed.tag, w,
+                   &got);
+          if (got.source != probed.source || got.tag != probed.tag ||
+              got.len != probed.len) {
+            ++errors;
+            continue;
+          }
+          // Lengths are unique per (src, k): identify which message this is.
+          int k = -1;
+          for (int c = 0; c < kPerSender; ++c) {
+            if (len_of(probed.source, c) == probed.len) k = c;
+          }
+          auto& used = seen[probed.source];
+          used.resize(kPerSender, false);
+          if (k < 0 || used[static_cast<std::size_t>(k)] || probed.tag != k % 3) {
+            ++errors;  // unknown length, delivered twice, or wrong tag
+            continue;
+          }
+          used[static_cast<std::size_t>(k)] = true;
+          const auto want = static_cast<std::uint8_t>(probed.source * 31 + k);
+          for (std::size_t off = 0; off < probed.len; ++off) {
+            if (buf[off] != want) {
+              ++errors;
+              break;
+            }
+          }
+          if (buf[probed.len] != 0xEE) ++errors;  // wrote past probed len
+        }
+      }
+    });
+    EXPECT_EQ(errors, 0) << backend_name(b);
+  }
+}
+
+TEST(FaultInjection, EarlyArrivalOverflowFailsOverToRendezvous) {
   MachineConfig cfg;
   cfg.early_arrival_bytes = 16 * 1024;
   Machine m(cfg, 2, Backend::kLapiEnhanced);
-  EXPECT_THROW(m.run([&](Mpi& mpi) {
+  long mismatches = 0;
+  m.run([&](Mpi& mpi) {
     Comm& w = mpi.world();
     if (w.rank() == 0) {
       std::vector<char> chunk(4096, 'x');  // at the eager limit
@@ -296,10 +375,61 @@ TEST(FaultInjection, EarlyArrivalBufferOverflowIsFatal) {
     } else {
       mpi.compute(50 * sim::kMs);  // never post: unexpected pile-up
       char sink[4096];
-      for (int i = 0; i < 16; ++i) mpi.recv(sink, sizeof sink, Datatype::kByte, 0, i, w);
+      for (int i = 0; i < 16; ++i) {
+        for (char& c : sink) c = '\0';
+        mpi.recv(sink, sizeof sink, Datatype::kByte, 0, i, w);
+        for (char c : sink) {
+          if (c != 'x') ++mismatches;
+        }
+      }
     }
-  }),
-               mpci::FatalMpiError);
+  });
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_GT(m.stats().ea_fallbacks, 0);
+  // The auto fair share provably cannot lose the receiver-side admission
+  // race, so no eager is ever NACKed in this mode.
+  EXPECT_EQ(m.stats().ea_nacks, 0);
+}
+
+TEST(Protocol, ZeroByteAndEagerLimitChooseTheSameProtocolOnEveryChannel) {
+  // Satellite of the RDMA PR: the eager/rendezvous decision at the boundary
+  // sizes (0 bytes, exactly eager_limit, one past) must be identical across
+  // all channels, so a program tuned against one channel's protocol split
+  // sees the same split — and the same completion semantics — on the others.
+  // protocol_for is the single source of truth; the counters verify each
+  // channel actually honors it rather than special-casing empty messages.
+  using mpci::Protocol;
+  using mpci::protocol_for;
+  const MachineConfig base;
+  static_assert(protocol_for(mpci::Mode::kStandard, 0, 4096) == Protocol::kEager);
+  EXPECT_EQ(protocol_for(mpci::Mode::kStandard, base.eager_limit, base.eager_limit),
+            Protocol::kEager);
+  EXPECT_EQ(protocol_for(mpci::Mode::kStandard, base.eager_limit + 1, base.eager_limit),
+            Protocol::kRendezvous);
+
+  for (Backend b : kAllBackends) {
+    for (std::size_t len : {std::size_t{0}, base.eager_limit, base.eager_limit + 1}) {
+      MachineConfig cfg;
+      Machine m(cfg, 2, b);
+      m.run([len](Mpi& mpi) {
+        Comm& w = mpi.world();
+        std::vector<std::uint8_t> buf(len + 1, 0x5A);
+        if (w.rank() == 0) {
+          mpi.send(buf.data(), len, Datatype::kByte, 1, 0, w);
+        } else {
+          Status st;
+          mpi.recv(buf.data(), len, Datatype::kByte, 0, 0, w, &st);
+          ASSERT_EQ(st.len, len);
+        }
+      });
+      const auto s = m.stats();
+      const bool expect_eager = len <= cfg.eager_limit;
+      EXPECT_EQ(s.eager_sends, expect_eager ? 1 : 0)
+          << backend_name(b) << " len=" << len;
+      EXPECT_EQ(s.rendezvous_sends, expect_eager ? 0 : 1)
+          << backend_name(b) << " len=" << len;
+    }
+  }
 }
 
 TEST(InterruptMode, PingPongWorksOnAllBackends) {
@@ -322,8 +452,14 @@ TEST(InterruptMode, PingPongWorksOnAllBackends) {
         mpi.send(v.data(), v.size(), Datatype::kInt, 0, 1, w);
       }
     });
-    EXPECT_GT(m.hal(0).interrupts_taken() + m.hal(1).interrupts_taken(), 0)
-        << backend_name(b);
+    const std::int64_t taken = m.hal(0).interrupts_taken() + m.hal(1).interrupts_taken();
+    if (b == Backend::kRdma) {
+      // NIC-resident protocols complete without host interrupt delivery;
+      // MP_CSS_INTERRUPT must be a harmless no-op on this channel.
+      EXPECT_EQ(taken, 0) << backend_name(b);
+    } else {
+      EXPECT_GT(taken, 0) << backend_name(b);
+    }
   }
 }
 

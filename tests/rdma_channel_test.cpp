@@ -1,0 +1,220 @@
+// RDMA/NIC-offload channel tests (DESIGN.md §14): the eager-ring credit
+// protocol, the RDMA-read rendezvous, receiver-NACK failover, and the
+// adapter-resident collectives — including a regression for the binomial
+// release-tree parent formula the NIC bcast/allreduce share.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/coll.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/machine.hpp"
+#include "test_harness.hpp"
+
+namespace sp::mpi {
+namespace {
+
+using sim::MachineConfig;
+using sp::test::expect_bounded_recovery;
+using sp::test::lossy_config;
+
+TEST(RdmaChannel, RendezvousGoesThroughRdmaRead) {
+  // Above the eager limit the channel must pull the payload with an RDMA
+  // read — no sender data phase, no host copies — and FIN with kRecvDone.
+  MachineConfig cfg;
+  Machine m(cfg, 2, Backend::kRdma);
+  m.run([](Mpi& mpi) { sp::test::pingpong_workload(mpi, 4, 256 * 1024); });
+  const auto s = m.stats();
+  EXPECT_EQ(s.rendezvous_sends, 8);
+  EXPECT_GT(s.rdma_reads, 0);
+  EXPECT_EQ(s.ea_nacks, 0);
+  // NIC-resident protocols bypass host interrupt delivery entirely.
+  EXPECT_EQ(s.interrupts, 0);
+}
+
+TEST(RdmaChannel, RingCreditExhaustionDemotesEagersToRendezvous) {
+  // With a tiny eager ring and a receiver that refuses to post, the sender
+  // must run out of slot credits and demote further eagers to rendezvous
+  // (counted in ea_fallbacks) rather than overrunning the ring. Every byte
+  // still has to land intact once the receiver finally drains.
+  MachineConfig cfg;
+  cfg.rdma_ring_slots = 4;
+  Machine m(cfg, 2, Backend::kRdma);
+  long mismatches = 0;
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    constexpr int kMsgs = 24;
+    if (w.rank() == 0) {
+      std::vector<char> chunk(2048, 'r');
+      for (int i = 0; i < kMsgs; ++i) {
+        mpi.send(chunk.data(), chunk.size(), Datatype::kByte, 1, i, w);
+      }
+    } else {
+      mpi.compute(50 * sim::kMs);  // let the unexpected pile-up happen first
+      char sink[2048];
+      for (int i = 0; i < kMsgs; ++i) {
+        std::memset(sink, 0, sizeof sink);
+        mpi.recv(sink, sizeof sink, Datatype::kByte, 0, i, w);
+        for (char c : sink) {
+          if (c != 'r') ++mismatches;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches, 0);
+  const auto s = m.stats();
+  EXPECT_GT(s.ea_fallbacks, 0) << "credit exhaustion never demoted a send";
+  EXPECT_GT(s.rdma_reads, 0) << "demoted sends must complete as rendezvous reads";
+}
+
+TEST(RdmaChannel, ReceiverNackFailsOverToSenderServedRendezvous) {
+  // Overriding the sender-side fair share lets eagers race into a receiver
+  // whose early-arrival pool cannot admit them; the receiver must NACK and
+  // the sender serve the retained copy as rendezvous data, losing nothing.
+  MachineConfig cfg;
+  cfg.early_arrival_bytes = 8 * 1024;
+  cfg.ea_sender_limit_bytes = 1024 * 1024;  // defeat the provably-safe share
+  Machine m(cfg, 2, Backend::kRdma);
+  long mismatches = 0;
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    constexpr int kMsgs = 16;
+    if (w.rank() == 0) {
+      std::vector<char> chunk(4096, 'n');  // at the eager limit
+      for (int i = 0; i < kMsgs; ++i) {
+        mpi.send(chunk.data(), chunk.size(), Datatype::kByte, 1, i, w);
+      }
+    } else {
+      mpi.compute(50 * sim::kMs);
+      char sink[4096];
+      for (int i = 0; i < kMsgs; ++i) {
+        std::memset(sink, 0, sizeof sink);
+        mpi.recv(sink, sizeof sink, Datatype::kByte, 0, i, w);
+        for (char c : sink) {
+          if (c != 'n') ++mismatches;
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches, 0);
+  EXPECT_GT(m.stats().ea_nacks, 0) << "the EA pool never refused an eager";
+}
+
+TEST(RdmaChannel, NicCollectivesMatchTheSequentialReference) {
+  // Barrier, bcast and integer allreduce pinned to the adapter, across node
+  // counts straddling powers of two. n=4 is the regression for the release
+  // tree: the parent of vrank v is v with its LOWEST set bit cleared, and
+  // the first formula divergence (vrank 3) deadlocked exactly at four nodes.
+  for (int nodes : {2, 3, 4, 5, 8}) {
+    MachineConfig cfg;
+    std::string err;
+    ASSERT_TRUE(coll::apply_algo_spec(cfg, "barrier=nic,bcast=nic,allreduce=nic", &err))
+        << err;
+    Machine m(cfg, nodes, Backend::kRdma);
+    long bad = 0;
+    m.run([&](Mpi& mpi) {
+      Comm& w = mpi.world();
+      const int n = w.size();
+      const int me = w.rank();
+      mpi.barrier(w);
+      constexpr std::size_t kCount = 128;  // 1 KiB of longs: inside the NIC cap
+      std::vector<long> buf(kCount);
+      if (me == n - 1) {
+        for (std::size_t i = 0; i < kCount; ++i) {
+          buf[i] = static_cast<long>(i) * 13 + 5;
+        }
+      }
+      mpi.bcast(buf.data(), kCount, Datatype::kLong, n - 1, w);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        if (buf[i] != static_cast<long>(i) * 13 + 5) ++bad;
+      }
+      std::vector<long> in(kCount), out(kCount);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        in[i] = static_cast<long>(me + 1) * 1000003L + static_cast<long>(i) * 97;
+      }
+      mpi.allreduce(in.data(), out.data(), kCount, Datatype::kLong, Op::kSum, w);
+      for (std::size_t i = 0; i < kCount; ++i) {
+        long want = 0;
+        for (int r = 0; r < n; ++r) {
+          want += static_cast<long>(r + 1) * 1000003L + static_cast<long>(i) * 97;
+        }
+        if (out[i] != want) ++bad;
+      }
+      mpi.barrier(w);
+    });
+    EXPECT_EQ(bad, 0) << "n=" << nodes;
+    EXPECT_GT(m.stats().nic_collectives, 0) << "n=" << nodes << ": nothing offloaded";
+  }
+}
+
+TEST(RdmaChannel, NicAllreducePreservesNonCommutativeOrder) {
+  // kMat2x2 is associative but NOT commutative: the NIC's reduce tree must
+  // fold contributions in communicator rank order, exactly like the host
+  // algorithms and the sequential reference.
+  constexpr int kNodes = 7;
+  constexpr std::size_t kCount = 64;  // 16 mat2x2 ops of 4 longs each
+  auto gen = [](int r, std::size_t i) {
+    return static_cast<long>((r + 2) * 7 + static_cast<int>(i % 5) - 2);
+  };
+  std::vector<long> ref(kCount), in(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) ref[i] = gen(0, i);
+  for (int r = 1; r < kNodes; ++r) {
+    for (std::size_t i = 0; i < kCount; ++i) in[i] = gen(r, i);
+    reduce_apply(Op::kMat2x2, Datatype::kLong, in.data(), ref.data(), kCount);
+  }
+  MachineConfig cfg;
+  std::string err;
+  ASSERT_TRUE(coll::apply_algo_spec(cfg, "allreduce=nic", &err)) << err;
+  Machine m(cfg, kNodes, Backend::kRdma);
+  long bad = 0;
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    std::vector<long> mine(kCount), out(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) mine[i] = gen(w.rank(), i);
+    mpi.allreduce(mine.data(), out.data(), kCount, Datatype::kLong, Op::kMat2x2, w);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      if (out[i] != ref[i]) ++bad;
+    }
+  });
+  EXPECT_EQ(bad, 0);
+  EXPECT_GT(m.stats().nic_collectives, 0);
+}
+
+TEST(RdmaChannel, NicCollectivesSurviveFabricLoss) {
+  // The adapter's collective packets ride the same reliable RC-QP links as
+  // point-to-point traffic: under 3% loss the offloaded collectives must
+  // still complete with exact results and bounded retransmits.
+  MachineConfig cfg = lossy_config(0.03);
+  Machine m(cfg, 4, Backend::kRdma);
+  long bad = 0;
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    std::vector<long> blk(128);
+    for (int round = 0; round < 48; ++round) {
+      long mine = (w.rank() + 1) * (round + 1), sum = 0;
+      mpi.allreduce(&mine, &sum, 1, Datatype::kLong, Op::kSum, w);
+      if (sum != static_cast<long>(n) * (n + 1) / 2 * (round + 1)) ++bad;
+      if (w.rank() == round % n) {
+        for (std::size_t i = 0; i < blk.size(); ++i) {
+          blk[i] = static_cast<long>(i) + round;
+        }
+      }
+      mpi.bcast(blk.data(), blk.size(), Datatype::kLong, round % n, w);
+      for (std::size_t i = 0; i < blk.size(); ++i) {
+        if (blk[i] != static_cast<long>(i) + round) ++bad;
+      }
+      mpi.barrier(w);
+    }
+  });
+  EXPECT_EQ(bad, 0);
+  const auto s = m.stats();
+  EXPECT_GT(s.nic_collectives, 0);
+  EXPECT_GT(s.fabric_dropped, 0) << "fault injection never fired";
+  EXPECT_GT(s.rdma_retransmits, 0) << "loss never hit the RDMA links";
+  expect_bounded_recovery(m);
+}
+
+}  // namespace
+}  // namespace sp::mpi

@@ -72,7 +72,7 @@ inline sim::MachineConfig lossy_config(double drop) {
 inline void expect_bounded_recovery(const mpi::Machine& m) {
   const auto s = m.stats();
   const std::int64_t injected = s.fabric_dropped + s.fabric_duplicated;
-  const std::int64_t retx = s.lapi_retransmits + s.pipes_retransmits;
+  const std::int64_t retx = s.lapi_retransmits + s.pipes_retransmits + s.rdma_retransmits;
   EXPECT_LE(retx, (injected + 1) * 64) << "retransmit storm: " << retx << " resends for "
                                        << injected << " injected faults";
 }

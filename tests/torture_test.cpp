@@ -73,9 +73,17 @@ TEST_P(Torture, EverythingAtOnce) {
       }
     }
   });
-  EXPECT_GT(m.stats().lapi_retransmits + m.stats().pipes_retransmits, 0)
+  EXPECT_GT(m.stats().lapi_retransmits + m.stats().pipes_retransmits +
+                m.stats().rdma_retransmits,
+            0)
       << "the loss injection must actually have exercised recovery";
-  EXPECT_GT(m.stats().interrupts, 0);
+  if (GetParam() == Backend::kRdma) {
+    // The RDMA adapter bypasses host interrupts entirely (frames are
+    // consumed in NIC context); interrupt mode is a no-op there.
+    EXPECT_EQ(m.stats().interrupts, 0);
+  } else {
+    EXPECT_GT(m.stats().interrupts, 0);
+  }
 }
 
 TEST_P(Torture, NasKernelsAtScaleTwoStayExact) {
@@ -101,13 +109,15 @@ TEST_P(Torture, NasKernelsAtScaleTwoStayExact) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, Torture,
                          ::testing::Values(Backend::kNativePipes, Backend::kLapiBase,
-                                           Backend::kLapiCounters, Backend::kLapiEnhanced),
+                                           Backend::kLapiCounters, Backend::kLapiEnhanced,
+                                           Backend::kRdma),
                          [](const ::testing::TestParamInfo<Backend>& info) {
                            switch (info.param) {
                              case Backend::kNativePipes: return "NativePipes";
                              case Backend::kLapiBase: return "LapiBase";
                              case Backend::kLapiCounters: return "LapiCounters";
                              case Backend::kLapiEnhanced: return "LapiEnhanced";
+                             case Backend::kRdma: return "Rdma";
                            }
                            return "unknown";
                          });

@@ -13,7 +13,8 @@
 //   spsim explore   [options]          differential Pipes<->LAPI conformance fuzzing
 //
 // Options:
-//   --backend native|base|counters|enhanced   (default enhanced)
+//   --backend native|base|counters|enhanced|rdma   (default enhanced;
+//                                              --channel is an alias)
 //   --nodes N          machine size (default 2; nas default 4)
 //   --size BYTES       single message size instead of the sweep
 //   --iters N          iterations per measurement (default 24)
@@ -93,7 +94,7 @@ struct Options {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics|explore "
-               "[--backend native|base|counters|enhanced] [--nodes N] [--size B] [--iters N] "
+               "[--backend native|base|counters|enhanced|rdma] [--nodes N] [--size B] [--iters N] "
                "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
                "[--seed S] [--scale N] [--coll-algo SPEC] "
                "[--topology sp|fattree|torus2d|torus3d|dragonfly] [--trace-ring BYTES] [--csv] "
@@ -108,6 +109,7 @@ mpi::Backend parse_backend(const std::string& s) {
   if (s == "base") return mpi::Backend::kLapiBase;
   if (s == "counters") return mpi::Backend::kLapiCounters;
   if (s == "enhanced") return mpi::Backend::kLapiEnhanced;
+  if (s == "rdma") return mpi::Backend::kRdma;
   usage();
 }
 
@@ -130,7 +132,7 @@ Options parse(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
-    if (a == "--backend") {
+    if (a == "--backend" || a == "--channel") {
       o.backend = parse_backend(next());
     } else if (a == "--nodes") {
       o.nodes = std::atoi(next());
