@@ -117,7 +117,8 @@ void Hal::on_frame_from_fabric(net::Packet&& pkt) {
   const sim::TimeNs host_visible = start + dma_time(node_.cfg, pkt.wire_bytes(), nic);
   recv_dma_free_at_ = host_visible;
 
-  node_.sim.at(host_visible, [this, nic, p = std::move(pkt)]() mutable {
+  node_.sim.at(host_visible, sim::sched_node_key(node_.node),
+               [this, nic, p = std::move(pkt)]() mutable {
     ++packets_received_;
     SP_TELEM(node_, sim::Ev::kRecvDma, static_cast<std::uint64_t>(p.src), p.wire_bytes());
     if (nic) {
@@ -131,7 +132,8 @@ void Hal::on_frame_from_fabric(net::Packet&& pkt) {
       recv_pending_.push_back(std::move(p));
       if (!interrupt_active_) {
         interrupt_active_ = true;
-        node_.sim.after(node_.cfg.interrupt_latency_ns, [this] { enter_interrupt(); });
+        node_.sim.after(node_.cfg.interrupt_latency_ns, sim::sched_node_key(node_.node),
+                        [this] { enter_interrupt(); });
       }
     }
   });
@@ -186,7 +188,7 @@ void Hal::interrupt_drain_and_maybe_wait(sim::TimeNs window) {
   if (window > 0) {
     // Hysteresis: busy-wait `window` for more packets before returning. If
     // packets did arrive, service them and wait a grown window again.
-    node_.sim.after(window, [this, window, serviced_any] {
+    node_.sim.after(window, sim::sched_node_key(node_.node), [this, window, serviced_any] {
       if (!recv_pending_.empty()) {
         sim::TimeNs grown = static_cast<sim::TimeNs>(
             static_cast<double>(window) * node_.cfg.interrupt_hysteresis_growth);

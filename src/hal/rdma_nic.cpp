@@ -82,7 +82,7 @@ void RdmaNic::post_read(int src, lapi::Token token, std::byte* local, std::size_
                         std::function<void()> on_done) {
   ++reads_;
   if (len == 0) {
-    if (on_done) node_.sim.after(0, std::move(on_done));
+    if (on_done) node_.sim.after(0, sim::sched_node_key(node_.node), std::move(on_done));
     return;
   }
   const std::uint32_t req_id = next_read_id_++;
@@ -168,7 +168,7 @@ void RdmaNic::dispatch_message(int src, Reassembly&& m) {
     return;
   }
   // Collective messages cost one NIC-processor dispatch before they act.
-  node_.sim.after(node_.cfg.rdma_nic_msg_ns,
+  node_.sim.after(node_.cfg.rdma_nic_msg_ns, sim::sched_node_key(node_.node),
                   [this, uhdr = std::move(m.uhdr), data = std::move(m.data)]() mutable {
                     handle_coll(uhdr, std::move(data));
                   });
@@ -198,8 +198,8 @@ void RdmaNic::dispatch_write_in_order(int src, Reassembly&& m) {
 void RdmaNic::handle_read_req(int src, const lapi::PktHdr& h) {
   // Served entirely by the target adapter: fetch the pre-registered region
   // descriptor and stream it back. The target host never runs.
-  node_.sim.after(node_.cfg.rdma_nic_msg_ns, [this, src, token = h.aux,
-                                              req_id = h.org_cntr, len = h.aux2] {
+  node_.sim.after(node_.cfg.rdma_nic_msg_ns, sim::sched_node_key(node_.node),
+                  [this, src, token = h.aux, req_id = h.org_cntr, len = h.aux2] {
     auto it = regions_.find(token);
     assert(it != regions_.end() && "RDMA read of an unregistered region");
     const Region& region = it->second;

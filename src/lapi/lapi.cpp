@@ -650,7 +650,7 @@ void Lapi::finish_message(std::uint64_t key_origin, std::uint64_t msg_id) {
       ++completion_thread_dispatches_;
       SP_TELEM(node_, sim::Ev::kCompletionThread);
       node_.trace_event("lapi.completion.thread", [] { return std::string(); });
-      node_.sim.after(node_.cfg.completion_thread_switch_ns,
+      node_.sim.after(node_.cfg.completion_thread_switch_ns, sim::sched_node_key(node_.node),
                       [this, completion = std::move(r.completion), cookie = r.cookie,
                        post_steps]() mutable {
                         in_callback_ = true;

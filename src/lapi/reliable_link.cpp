@@ -188,7 +188,7 @@ void ReliableLink::send_ack() {
 void ReliableLink::schedule_ack_flush() {
   if (ack_flush_scheduled_) return;
   ack_flush_scheduled_ = true;
-  node_.sim.after(node_.cfg.ack_delay_ns, [this] {
+  node_.sim.after(node_.cfg.ack_delay_ns, sim::sched_node_key(node_.node), [this] {
     ack_flush_scheduled_ = false;
     if (ack_pending_) send_ack();
   });
@@ -204,7 +204,7 @@ void ReliableLink::schedule_retransmit_check() {
       store_.begin()->second.sent_at + node_.cfg.retransmit_timeout_ns;
   sim::TimeNs delay = deadline - node_.sim.now();
   if (delay < kMinRetryDelayNs) delay = kMinRetryDelayNs;
-  node_.sim.after(delay, [this] {
+  node_.sim.after(delay, sim::sched_node_key(node_.node), [this] {
     retransmit_scheduled_ = false;
     if (store_.empty()) return;
     const sim::TimeNs age = node_.sim.now() - store_.begin()->second.sent_at;

@@ -112,7 +112,8 @@ void LapiChannel::start_send(SendReq& req) {
       req.cond.notify_all(node_.sim);
       if (req.complete) {
         // Deferred: the counter whose hook is running lives in this state.
-        node_.sim.after(0, [this, id = req.id] { gc_sstate(id); });
+        node_.sim.after(0, sim::sched_node_key(node_.node),
+                        [this, id = req.id] { gc_sstate(id); });
       }
     };
   }
@@ -197,7 +198,8 @@ void LapiChannel::maybe_complete_send(SendReq& req) {
     req.cond.notify_all(node_.sim);
     if (req.bsend_slot < 0 || req.bsend_released) {
       // Deferred: this is called from the org counter's own bump hook.
-      node_.sim.after(0, [this, id = req.id] { gc_sstate(id); });
+      node_.sim.after(0, sim::sched_node_key(node_.node),
+                      [this, id = req.id] { gc_sstate(id); });
     }
   }
 }
@@ -250,7 +252,8 @@ lapi::Lapi::HeaderHandlerResult LapiChannel::hh_eager(int origin, const std::byt
     if (!parked_[static_cast<std::size_t>(origin)].empty() &&
         !drain_scheduled_[static_cast<std::size_t>(origin)]) {
       drain_scheduled_[static_cast<std::size_t>(origin)] = true;
-      node_.sim.after(0, [this, origin] { drain_parked(origin); });
+      node_.sim.after(0, sim::sched_node_key(node_.node),
+                      [this, origin] { drain_parked(origin); });
     }
     return res;
   }

@@ -8,8 +8,12 @@ namespace sp::mpi {
 
 Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
     : cfg_(cfg), num_tasks_(num_tasks), backend_(backend) {
-  // Must precede any event scheduling: the salt participates in heap order.
+  // Must precede any event scheduling: the salt participates in heap order,
+  // and a schedule controller asserts it is installed on an empty queue.
   sim_.set_tie_break_salt(cfg_.event_tie_break_salt);
+  if (cfg_.sched_controller != nullptr) {
+    sim_.set_schedule_controller(cfg_.sched_controller, cfg_.sched_window_ns);
+  }
   if (cfg_.trace_enabled) trace_ = std::make_unique<sim::Trace>(cfg_.trace_max_events);
   if (cfg_.telemetry_enabled) {
     // Auto-size the ring from the node count so traced runs at scale keep
@@ -84,7 +88,7 @@ void Machine::run_threads(const std::function<void(int)>& body) {
     }));
     nodes_[static_cast<std::size_t>(t)]->runtime->thread = threads.back().get();
     sim::RankThread* rt = threads.back().get();
-    sim_.after(0, [rt] { rt->resume_from_sim(); });
+    sim_.after(0, sim::sched_node_key(t), [rt] { rt->resume_from_sim(); });
   }
 
   std::exception_ptr fatal;

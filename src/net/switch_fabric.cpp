@@ -201,7 +201,8 @@ void SwitchFabric::schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt) {
     // for the SP multistage path).
     auto& sink = deliver_[static_cast<std::size_t>(dst)];
     assert(sink && "no adapter attached to destination node");
-    sim_.at(t, [&sink, p = std::move(pkt)]() mutable { sink(std::move(p)); });
+    const sim::SchedKey key = sim::sched_deliver_key(pkt.src, dst);
+    sim_.at(t, key, [&sink, p = std::move(pkt)]() mutable { sink(std::move(p)); });
     return;
   }
   // Batched mode: park the packet in the destination's (time, seq) min-heap
@@ -217,7 +218,7 @@ void SwitchFabric::schedule_delivery(int dst, sim::TimeNs t, Packet&& pkt) {
 void SwitchFabric::arm_wake(int dst, DstQueue& q) {
   q.wake_at = q.heap.front().t;
   const std::uint64_t gen = ++q.gen;  // invalidates any earlier-armed wake
-  sim_.at(q.wake_at, [this, dst, gen] { drain(dst, gen); });
+  sim_.at(q.wake_at, sim::sched_node_key(dst), [this, dst, gen] { drain(dst, gen); });
 }
 
 void SwitchFabric::drain(int dst, std::uint64_t gen) {

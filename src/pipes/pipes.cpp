@@ -260,7 +260,7 @@ void Pipes::schedule_ack_flush(int src) {
   In& i = *in_[static_cast<std::size_t>(src)];
   if (i.ack_flush_scheduled) return;
   i.ack_flush_scheduled = true;
-  node_.sim.after(node_.cfg.ack_delay_ns, [this, src] {
+  node_.sim.after(node_.cfg.ack_delay_ns, sim::sched_node_key(node_.node), [this, src] {
     In& in = *in_[static_cast<std::size_t>(src)];
     in.ack_flush_scheduled = false;
     if (in.ack_pending) send_ack(src);
@@ -278,7 +278,7 @@ void Pipes::schedule_retransmit(int dst) {
       o.store.begin()->second.sent_at + node_.cfg.retransmit_timeout_ns;
   sim::TimeNs delay = deadline - node_.sim.now();
   if (delay < kMinRetryDelayNs) delay = kMinRetryDelayNs;
-  node_.sim.after(delay, [this, dst] {
+  node_.sim.after(delay, sim::sched_node_key(node_.node), [this, dst] {
     Out& o2 = *out_[static_cast<std::size_t>(dst)];
     o2.retransmit_scheduled = false;
     if (o2.store.empty()) return;

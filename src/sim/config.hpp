@@ -15,6 +15,8 @@
 
 namespace sp::sim {
 
+class ScheduleController;  // sim/sched.hpp
+
 /// Interconnect selector (DESIGN.md §13). kSpMultistage is the paper's switch
 /// and the default; the others are the scale-study topology zoo.
 enum class TopologyKind : int {
@@ -63,6 +65,13 @@ struct MachineConfig {
   /// sequence, exploring alternative handler-dispatch interleavings while
   /// remaining a deterministic total order per salt.
   std::uint64_t event_tie_break_salt = 0;
+  /// Systematic-exploration hook (DESIGN.md §15): when non-null, installed on
+  /// the event queue so this controller picks among same-window ready events.
+  /// Not owned; must outlive the Machine. Normal runs leave it null.
+  ScheduleController* sched_controller = nullptr;
+  /// Candidate-window width for the controller (events with
+  /// at <= min_at + window form one choice point). 0 = same-timestamp only.
+  TimeNs sched_window_ns = 0;
 
   // --- Topology zoo (DESIGN.md §13) ----------------------------------------
   /// Which interconnect the fabric models. The SP multistage default is

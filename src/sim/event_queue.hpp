@@ -16,6 +16,7 @@
 //     ever moves through the heap.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
@@ -24,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/sched.hpp"
 #include "sim/time.hpp"
 
 namespace sp::sim {
@@ -209,9 +211,17 @@ class EventQueue {
     };
   };
 
-  /// Enqueue a callable to run at absolute time `at`.
+  /// Enqueue a callable to run at absolute time `at` (opaque schedule class).
   template <typename F>
   void push(TimeNs at, F&& f) {
+    push(at, kSchedOpaque, std::forward<F>(f));
+  }
+
+  /// Enqueue a callable with an explicit schedule-class key (see sched.hpp).
+  /// The key never changes *when* the event runs under normal operation; it
+  /// only informs an installed ScheduleController's independence relation.
+  template <typename F>
+  void push(TimeNs at, SchedKey key, F&& f) {
     std::uint32_t id;
     if (free_head_ != kNone) {
       id = free_head_;
@@ -219,10 +229,11 @@ class EventQueue {
       free_head_ = s.next_free;
       s.at = at;
       s.seq = next_seq_++;
+      s.key = key;
       s.action = Action(std::forward<F>(f), pool_);
     } else {
       id = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back(at, next_seq_++, Action(std::forward<F>(f), pool_));
+      slots_.emplace_back(at, next_seq_++, key, Action(std::forward<F>(f), pool_));
     }
     heap_.push_back(id);
     sift_up(heap_.size() - 1);
@@ -236,17 +247,15 @@ class EventQueue {
   [[nodiscard]] TimeNs next_time() const { return slots_[heap_.front()].at; }
 
   /// Remove and return the earliest pending event. Precondition: !empty().
+  /// With a ScheduleController installed, the controller picks among all
+  /// events ready within the candidate window instead (see set_controller).
   [[nodiscard]] std::pair<TimeNs, Action> pop() {
+    if (controller_ != nullptr) return pop_controlled();
     const std::uint32_t id = heap_.front();
     heap_.front() = heap_.back();
     heap_.pop_back();
     if (!heap_.empty()) sift_down(0);
-    Slot& s = slots_[id];
-    std::pair<TimeNs, Action> out{s.at, std::move(s.action)};
-    s.next_free = free_head_;
-    free_head_ = id;
-    ++popped_;
-    return out;
+    return take(id);
   }
 
   /// Perturb the tie-break among same-timestamp events: with a non-zero salt,
@@ -262,6 +271,20 @@ class EventQueue {
   }
   [[nodiscard]] std::uint64_t tie_break_salt() const noexcept { return tie_salt_; }
 
+  /// Install a ScheduleController: every pop gathers the events ready within
+  /// `window_ns` of the minimum pending timestamp (in canonical (at, seq)
+  /// order, unaffected by the tie-break salt) and, when there are two or
+  /// more, asks the controller which to run. Must be installed while the
+  /// queue is empty. Null restores normal heap-order pops. The controlled pop
+  /// is O(pending) per event — systematic exploration only, never the
+  /// simulation hot path (which keeps the branch-free controller==null test).
+  void set_controller(ScheduleController* c, TimeNs window_ns) noexcept {
+    assert(heap_.empty() && "controller must be installed before events are queued");
+    controller_ = c;
+    window_ = window_ns < 0 ? 0 : window_ns;
+  }
+  [[nodiscard]] ScheduleController* controller() const noexcept { return controller_; }
+
   // --- host-side perf counters ---
   [[nodiscard]] std::uint64_t pushed() const noexcept { return pushed_; }
   [[nodiscard]] std::uint64_t popped() const noexcept { return popped_; }
@@ -275,12 +298,68 @@ class EventQueue {
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
   struct Slot {
-    Slot(TimeNs t, std::uint64_t s, Action a) : at(t), seq(s), action(std::move(a)) {}
+    Slot(TimeNs t, std::uint64_t s, SchedKey k, Action a)
+        : at(t), seq(s), key(k), action(std::move(a)) {}
     TimeNs at;
     std::uint64_t seq;
+    SchedKey key;
     Action action;
     std::uint32_t next_free = kNone;
   };
+
+  /// Recycle slot `id` and hand its payload out; notifies the controller.
+  [[nodiscard]] std::pair<TimeNs, Action> take(std::uint32_t id) {
+    Slot& s = slots_[id];
+    std::pair<TimeNs, Action> out{s.at, std::move(s.action)};
+    if (controller_ != nullptr) {
+      controller_->on_execute(ScheduleController::Choice{s.at, s.seq, s.key});
+    }
+    s.next_free = free_head_;
+    free_head_ = id;
+    ++popped_;
+    return out;
+  }
+
+  [[nodiscard]] std::pair<TimeNs, Action> pop_controlled() {
+    // Candidates: everything ready within the window of the minimum pending
+    // timestamp, in canonical (at, seq) order. The heap front holds the
+    // minimum time regardless of the tie-break salt (time dominates the
+    // comparator), so min_at is exact.
+    const TimeNs min_at = slots_[heap_.front()].at;
+    const TimeNs limit = min_at + window_;
+    cand_ids_.clear();
+    for (std::uint32_t id : heap_) {
+      if (slots_[id].at <= limit) cand_ids_.push_back(id);
+    }
+    std::sort(cand_ids_.begin(), cand_ids_.end(), [this](std::uint32_t a, std::uint32_t b) {
+      const Slot& sa = slots_[a];
+      const Slot& sb = slots_[b];
+      if (sa.at != sb.at) return sa.at < sb.at;
+      return sa.seq < sb.seq;
+    });
+    std::uint32_t chosen = cand_ids_.front();
+    if (cand_ids_.size() >= 2) {
+      cands_.clear();
+      for (std::uint32_t id : cand_ids_) {
+        const Slot& s = slots_[id];
+        cands_.push_back(ScheduleController::Choice{s.at, s.seq, s.key});
+      }
+      const std::size_t idx = controller_->choose(cands_);
+      assert(idx < cand_ids_.size() && "controller chose past the candidate list");
+      chosen = cand_ids_[idx < cand_ids_.size() ? idx : 0];
+    }
+    // Remove `chosen` from an arbitrary heap position.
+    std::size_t pos = 0;
+    while (heap_[pos] != chosen) ++pos;
+    heap_[pos] = heap_.back();
+    heap_.pop_back();
+    if (pos < heap_.size()) {
+      const std::uint32_t moved = heap_[pos];
+      sift_up(pos);
+      if (pos < heap_.size() && heap_[pos] == moved) sift_down(pos);
+    }
+    return take(chosen);
+  }
 
   /// Bijective tie key: identity when unperturbed, otherwise the SplitMix64
   /// finalizer over seq ^ salt. Each step is invertible, so distinct
@@ -335,6 +414,11 @@ class EventQueue {
   EventPool pool_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> heap_;
+  ScheduleController* controller_ = nullptr;
+  TimeNs window_ = 0;
+  /// Scratch for pop_controlled (avoids per-pop allocation).
+  std::vector<std::uint32_t> cand_ids_;
+  std::vector<ScheduleController::Choice> cands_;
   std::uint32_t free_head_ = kNone;
   std::uint64_t tie_salt_ = 0;
   std::uint64_t next_seq_ = 0;

@@ -462,16 +462,26 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
 }
 
 std::string Perturbation::token() const {
+  // Systematic vectors append three fields ("x5"); everything else keeps the
+  // "x4" form so pre-existing pinned tokens stay byte-identical.
+  const bool sys = (flags & kFlagSystematic) != 0;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "x4-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
+                "%s-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
                 "-%x-%" PRIx64 "-%x-%x-%x-%x",
-                seed, static_cast<unsigned>(nodes), static_cast<unsigned>(msgs_per_rank),
-                workload_seed, fabric_seed, drop_ppm, dup_ppm, route_bias_ppm,
-                static_cast<std::uint64_t>(jitter_ns), static_cast<std::uint64_t>(route_skew_ns),
-                static_cast<unsigned>(burst), tie_break_salt, flags, coll_algos, topology,
-                channels);
-  return buf;
+                sys ? "x5" : "x4", seed, static_cast<unsigned>(nodes),
+                static_cast<unsigned>(msgs_per_rank), workload_seed, fabric_seed, drop_ppm,
+                dup_ppm, route_bias_ppm, static_cast<std::uint64_t>(jitter_ns),
+                static_cast<std::uint64_t>(route_skew_ns), static_cast<unsigned>(burst),
+                tie_break_salt, flags, coll_algos, topology, channels);
+  std::string t = buf;
+  if (sys) {
+    std::snprintf(buf, sizeof(buf), "-%" PRIx64 "-%x-s",
+                  static_cast<std::uint64_t>(sched_window_ns), sys_msg_bytes);
+    t += buf;
+    t += sched;  // lowercase hex decision digits (possibly empty)
+  }
+  return t;
 }
 
 std::optional<Perturbation> Perturbation::parse(const std::string& token) {
@@ -489,19 +499,39 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   // Version history, append-only so old tokens stay replayable: "x2" is the
   // pre-topology token (14 fields), "x3" appends topology (default 0 = SP
   // multistage), "x4" appends the channel-pairing field (default 0 = the
-  // legacy Pipes <-> LAPI pair).
-  if (!(parts[0] == "x4" && parts.size() == 17) && !(parts[0] == "x3" && parts.size() == 16) &&
-      !(parts[0] == "x2" && parts.size() == 15)) {
+  // legacy Pipes <-> LAPI pair), "x5" appends the systematic-mode fields
+  // (candidate window, payload length, "s"-prefixed decision digits).
+  const bool sys = parts[0] == "x5";
+  if (!(sys && parts.size() == 20) && !(parts[0] == "x4" && parts.size() == 17) &&
+      !(parts[0] == "x3" && parts.size() == 16) && !(parts[0] == "x2" && parts.size() == 15)) {
     return std::nullopt;
   }
+  // Strict lowercase-hex fields only. strtoull would silently accept leading
+  // whitespace, '+'/'-', "0x" prefixes and wrap values past 16 digits — all
+  // of which turn a corrupted token into a plausible-looking different
+  // vector instead of a parse error.
   auto u64 = [](const std::string& s, std::uint64_t& out) {
-    if (s.empty()) return false;
-    char* end = nullptr;
-    out = std::strtoull(s.c_str(), &end, 16);
-    return end != nullptr && *end == '\0';
+    if (s.empty() || s.size() > 16) return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+      std::uint64_t d;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else {
+        return false;
+      }
+      v = (v << 4) | d;
+    }
+    out = v;
+    return true;
   };
-  std::uint64_t v[16] = {};
-  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+  std::uint64_t v[18] = {};
+  // Numeric fields are parts[1..numeric]; x5 tokens end with the "s..."
+  // decision part, everything before it (after the version) is numeric.
+  const std::size_t numeric = sys ? parts.size() - 2 : parts.size() - 1;
+  for (std::size_t i = 0; i < numeric; ++i) {
     if (!u64(parts[i + 1], v[i])) return std::nullopt;
   }
   Perturbation p;
@@ -521,6 +551,25 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   p.coll_algos = static_cast<std::uint32_t>(v[13]);
   p.topology = static_cast<std::uint32_t>(v[14]);
   p.channels = static_cast<std::uint32_t>(v[15]);
+  if (sys) {
+    p.sched_window_ns = static_cast<TimeNs>(v[16]);
+    p.sys_msg_bytes = static_cast<std::uint32_t>(v[17]);
+    const std::string& s = parts.back();
+    if (s.empty() || s[0] != 's') return std::nullopt;
+    p.sched = s.substr(1);
+    for (char c : p.sched) {
+      if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return std::nullopt;
+    }
+    // The flag and the version must agree; the backend nibble must name a
+    // real backend; systematic workloads are bounded (k rides in one byte).
+    const std::uint32_t backend = (p.flags & kBackendMask) >> kBackendShift;
+    if ((p.flags & kFlagSystematic) == 0 || backend > 4 || p.msgs_per_rank > 255 ||
+        p.sys_msg_bytes < 1 || p.sys_msg_bytes > 65536 || p.sched.size() > 4096) {
+      return std::nullopt;
+    }
+  } else if ((p.flags & kFlagSystematic) != 0) {
+    return std::nullopt;  // pre-x5 tokens cannot carry the systematic flag
+  }
   if (p.nodes < 2 || p.nodes > 64 || p.msgs_per_rank < 1 || p.msgs_per_rank > 4096 ||
       p.burst < 1 || p.burst > 64 || p.drop_ppm > 500'000 || p.dup_ppm > 500'000 ||
       p.route_bias_ppm > 1'000'000 || p.topology >= static_cast<std::uint32_t>(kTopologyKinds) ||
@@ -652,6 +701,39 @@ Explorer::RunOutcome Explorer::run_channel(const Perturbation& p, mpi::Backend b
 }
 
 std::optional<std::string> Explorer::check(const Perturbation& p) {
+  // Systematic vectors replay one enumerated interleaving: conformance is
+  // absolute (MPI invariants + the analytic schedule-invariant digest), not
+  // differential, so the check costs exactly one machine execution.
+  if ((p.flags & Perturbation::kFlagSystematic) != 0) {
+    SystematicOptions sopts;
+    sopts.ranks = p.nodes;
+    sopts.msgs_per_rank = p.msgs_per_rank;
+    sopts.msg_bytes = p.sys_msg_bytes;
+    sopts.window_ns = p.sched_window_ns;
+    sopts.backend = static_cast<mpi::Backend>((p.flags & Perturbation::kBackendMask) >>
+                                              Perturbation::kBackendShift);
+    sopts.base_config = opts_.base_config;
+    std::vector<std::uint8_t> decisions;
+    decisions.reserve(p.sched.size());
+    for (char c : p.sched) {
+      decisions.push_back(
+          static_cast<std::uint8_t>(c <= '9' ? c - '0' : c - 'a' + 10));
+    }
+    const SystematicRunResult r = systematic_replay(sopts, decisions);
+    ++runs_;
+    if (!r.completed) return "systematic replay failed: " + r.error;
+    if (!r.violations.empty()) return "MPI invariant violated: " + r.violations[0];
+    const std::uint64_t expect =
+        systematic_expected_invariant(sopts.ranks, sopts.msgs_per_rank, sopts.msg_bytes);
+    if (r.invariant_digest != expect) {
+      std::ostringstream os;
+      os << "schedule-invariant digest diverged: got " << std::hex << r.invariant_digest
+         << " want " << expect;
+      return os.str();
+    }
+    return std::nullopt;
+  }
+
   // The channels field picks the differential set; every member must agree
   // with the first on every channel-invariant observable.
   struct Side {
@@ -714,12 +796,30 @@ std::optional<std::string> Explorer::check(const Perturbation& p) {
 
 Perturbation Explorer::shrink(Perturbation p) {
   auto fails = [this](const Perturbation& q) { return check(q).has_value(); };
-  auto budget_left = [this] { return runs_ + 3 <= max_runs(); };  // trio check = 3 runs
+  // Exact per-candidate cost (1 systematic / 2 pair / 3 trio) so shrinking a
+  // trio cannot overspend the budget and shrinking a pair doesn't stop a run
+  // early.
+  auto budget_left = [this](const Perturbation& q) {
+    return runs_ + runs_for(q) <= max_runs();
+  };
+
+  // Systematic vectors shrink along one axis only: drop trailing schedule
+  // decisions while the replay still fails (the remaining prefix plus the
+  // canonical continuation reproduces the divergence).
+  if ((p.flags & Perturbation::kFlagSystematic) != 0) {
+    while (!p.sched.empty()) {
+      Perturbation q = p;
+      q.sched.pop_back();
+      if (!budget_left(q) || !fails(q)) break;
+      p = q;
+    }
+    return p;
+  }
 
   // Phase 1: ablate knobs to neutral, iterating to a fixpoint — failures
   // often depend on one or two knobs only.
   bool changed = true;
-  while (changed && budget_left()) {
+  while (changed) {
     changed = false;
     const auto ablations = [&]() {
       std::vector<Perturbation> c;
@@ -744,7 +844,7 @@ Perturbation Explorer::shrink(Perturbation p) {
       return c;
     }();
     for (const Perturbation& q : ablations) {
-      if (!budget_left()) break;
+      if (!budget_left(q)) continue;
       if (fails(q)) {
         p = q;
         changed = true;
@@ -755,12 +855,12 @@ Perturbation Explorer::shrink(Perturbation p) {
 
   // Phase 2: halve surviving magnitudes while the failure persists.
   auto halve = [&](auto get, auto set, std::uint64_t floor) {
-    while (budget_left()) {
+    while (true) {
       const std::uint64_t cur = get(p);
       if (cur <= floor) break;
       Perturbation q = p;
       set(q, std::max<std::uint64_t>(floor, cur / 2));
-      if (q == p || !fails(q)) break;
+      if (q == p || !budget_left(q) || !fails(q)) break;
       p = q;
     }
   };
@@ -786,9 +886,12 @@ Perturbation Explorer::shrink(Perturbation p) {
 
 Explorer::Report Explorer::explore() {
   Report rep;
-  for (int i = 0; i < opts_.seeds && runs_ + 2 <= max_runs(); ++i) {
+  for (int i = 0; i < opts_.seeds; ++i) {
     const std::uint64_t seed = opts_.base_seed + static_cast<std::uint64_t>(i);
     const Perturbation p = perturbation_for(seed);
+    // Exact admission: a trio vector needs 3 executions, not the historic
+    // flat 2, so the budget can no longer be overspent by one run.
+    if (runs_ + runs_for(p) > max_runs()) break;
     const std::optional<std::string> failure = check(p);
     ++rep.seeds_run;
     if (opts_.log != nullptr && (rep.seeds_run % 32 == 0 || failure)) {
@@ -811,6 +914,19 @@ Explorer::Report Explorer::explore() {
     }
   }
   rep.runs = runs_;
+  return rep;
+}
+
+SystematicReport Explorer::explore_systematic(SystematicOptions sopts) {
+  if (sopts.log == nullptr) sopts.log = opts_.log;
+  sopts.base_config = opts_.base_config;
+  // The explorer's budget is authoritative unless the caller set a tighter
+  // one; runs() stays exact across both exploration modes.
+  const long remaining = static_cast<long>(max_runs()) - runs_;
+  if (remaining <= 0) return SystematicReport{};  // budget already spent
+  if (sopts.max_runs == 0 || sopts.max_runs > remaining) sopts.max_runs = remaining;
+  SystematicReport rep = systematic_explore(sopts);
+  runs_ += static_cast<int>(rep.runs);
   return rep;
 }
 

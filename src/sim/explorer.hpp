@@ -36,6 +36,7 @@
 
 #include "mpi/machine.hpp"
 #include "sim/config.hpp"
+#include "sim/systematic.hpp"
 
 namespace sp::sim {
 
@@ -66,6 +67,12 @@ struct Perturbation {
   static constexpr std::uint32_t kFlagReackStormBug = 1u << 0;
   /// Run the workload in interrupt (rather than polling) mode.
   static constexpr std::uint32_t kFlagInterruptMode = 1u << 1;
+  /// Systematic-mode vector (DESIGN.md §15): `sched` replays one enumerated
+  /// interleaving of the wildcard workload on the backend encoded in bits
+  /// [kBackendShift, kBackendShift+4); fabric knobs must stay neutral.
+  static constexpr std::uint32_t kFlagSystematic = 1u << 2;
+  static constexpr std::uint32_t kBackendShift = 4;
+  static constexpr std::uint32_t kBackendMask = 0xFu << kBackendShift;
 
   /// Collective algorithm pins, one nibble per primitive (0 = auto): bits
   /// [0,4) bcast, [4,8) allreduce, [8,12) alltoall, [12,16) reduce_scatter,
@@ -88,6 +95,15 @@ struct Perturbation {
   /// 3 = the full trio. Every pairing must produce identical conformance
   /// digests. Final field of "x4-" tokens; "x2-"/"x3-" tokens parse as 0.
   std::uint32_t channels = 0;
+
+  // Systematic-mode fields (kFlagSystematic vectors only; encoded by "x5-"
+  // tokens, which append them after the x4 fields — versions stay
+  // append-only). Non-systematic vectors keep emitting "x4-" tokens.
+  TimeNs sched_window_ns = 0;       ///< Candidate-window width for choice points.
+  std::uint32_t sys_msg_bytes = 24; ///< Wildcard payload length (> eager limit = rendezvous).
+  /// Decision sequence, one lowercase hex digit per choice point (candidate
+  /// index in canonical (at, seq) order); "" replays the canonical schedule.
+  std::string sched;
 
   bool operator==(const Perturbation&) const = default;
 
@@ -183,12 +199,26 @@ class Explorer {
   /// first failure found and stop.
   [[nodiscard]] Report explore();
 
+  /// Systematic mode (DESIGN.md §15): enumerate all non-equivalent
+  /// interleavings of the wildcard workload by DFS with sleep sets. The
+  /// explorer's run budget (max_runs) caps the enumeration unless `sopts`
+  /// sets a tighter one; every machine execution counts toward runs().
+  [[nodiscard]] SystematicReport explore_systematic(SystematicOptions sopts);
+
   /// Re-run `p` on `backend` with telemetry and write a Perfetto-loadable
   /// Chrome-JSON trace of the (deterministically reproduced) run.
   bool export_trace(const Perturbation& p, mpi::Backend backend, const std::string& path) const;
 
   /// Machine executions so far (exploration + shrinking).
   [[nodiscard]] int runs() const noexcept { return runs_; }
+
+  /// Exact machine-execution cost of check(p): 1 for a systematic replay,
+  /// 3 for a trio differential, otherwise 2. The explore/shrink loops admit
+  /// a candidate only when this fits the remaining budget.
+  [[nodiscard]] static int runs_for(const Perturbation& p) noexcept {
+    if ((p.flags & Perturbation::kFlagSystematic) != 0) return 1;
+    return p.channels == 3 ? 3 : 2;
+  }
 
  private:
   [[nodiscard]] int max_runs() const noexcept {

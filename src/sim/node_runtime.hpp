@@ -14,7 +14,9 @@ namespace sp::sim {
 
 struct NodeRuntime {
   NodeRuntime(Simulator& s, const MachineConfig& c, int node_id)
-      : sim(s), cfg(c), node(node_id) {}
+      : sim(s), cfg(c), node(node_id) {
+    cpu.set_sched_key(sched_node_key(node_id));
+  }
 
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;

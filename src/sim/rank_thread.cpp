@@ -109,7 +109,7 @@ void RankThread::yield_to_sim() {
 }
 
 void RankThread::advance(TimeNs dt) {
-  sim_.after(dt, [this] { resume_from_sim(); });
+  sim_.after(dt, sched_node_key(id_), [this] { resume_from_sim(); });
   yield_to_sim();
 }
 

@@ -120,7 +120,7 @@ class SimCondition {
     auto woken = std::move(waiters_);
     waiters_.clear();
     for (RankThread* w : woken) {
-      sim.after(0, [w] { w->resume_from_sim(); });
+      sim.after(0, sched_node_key(w->id()), [w] { w->resume_from_sim(); });
     }
   }
 

@@ -1,0 +1,97 @@
+// Schedule-class keys and the ScheduleController hook (DESIGN.md §15).
+//
+// The systematic explorer needs two things from the event core: a way to
+// *classify* events so an independence relation can be computed, and a way to
+// *choose* which of several ready events runs next. Both live here.
+//
+// Every queued event carries a SchedKey describing the protocol state it
+// touches:
+//   - kOpaque (0): unknown footprint — conservatively dependent on everything.
+//     This is the default for every push that does not pass a key, so an
+//     untagged call site can never make the exploration unsound, only larger.
+//   - node(n): runs protocol/handler/application code of node n only
+//     (handler dispatch, interrupt service, rank-fiber resume, ack timers).
+//   - deliver(src, dst): a fabric delivery into node dst's adapter.
+//
+// Two events are *independent* (they commute, and exploring both orders is
+// redundant) iff they are scheduled at the same timestamp and their touched
+// node sets are disjoint and known. Same-timestamp is required because the
+// controller may only reorder events inside a candidate window; events at
+// different times never form a choice point, so treating them as dependent is
+// free and keeps the relation sound under the clamped-time execution model.
+//
+// The relation is computed at the *protocol* level: events on disjoint nodes
+// may still contend for shared fabric links when both inject packets, so two
+// "independent" orders can differ in packet timing. MPI-visible observables
+// must not depend on such timing — which is exactly the conformance property
+// the explorer checks — and the seeded-vs-systematic subset test plus the
+// pruning-on/off outcome-set cross-check validate the approximation
+// empirically (tests/systematic_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sp::sim {
+
+/// Packed schedule-class key: kind in bits [56,64), operands below. 0 = opaque.
+using SchedKey = std::uint64_t;
+
+inline constexpr SchedKey kSchedOpaque = 0;
+
+/// Event that touches only node `node`'s protocol state.
+[[nodiscard]] constexpr SchedKey sched_node_key(int node) noexcept {
+  return (SchedKey{1} << 56) | (static_cast<SchedKey>(node) & 0xfffffffULL);
+}
+
+/// Fabric delivery from `src` into node `dst` (touches dst's receive state).
+[[nodiscard]] constexpr SchedKey sched_deliver_key(int src, int dst) noexcept {
+  return (SchedKey{2} << 56) | ((static_cast<SchedKey>(src) & 0xfffffffULL) << 28) |
+         (static_cast<SchedKey>(dst) & 0xfffffffULL);
+}
+
+/// The one node whose state the event mutates; -1 for opaque keys.
+[[nodiscard]] constexpr int sched_touched_node(SchedKey k) noexcept {
+  if ((k >> 56) == 0) return -1;
+  return static_cast<int>(k & 0xfffffffULL);  // node for node-keys, dst for delivers
+}
+
+/// True iff executing the two events in either order reaches the same
+/// protocol state (see the header comment for the exact approximation).
+[[nodiscard]] constexpr bool sched_independent(TimeNs at_a, SchedKey a, TimeNs at_b,
+                                               SchedKey b) noexcept {
+  if (at_a != at_b) return false;
+  const int na = sched_touched_node(a);
+  const int nb = sched_touched_node(b);
+  return na >= 0 && nb >= 0 && na != nb;
+}
+
+/// Installed on an EventQueue to decide which of several ready events runs
+/// next. `choose` is invoked whenever two or more events are pending within
+/// the candidate window (all events with `at <= min_at + window`); candidates
+/// arrive in canonical (at, insertion-seq) order — independent of any
+/// tie-break salt — and the returned index picks the one to execute.
+/// `on_execute` fires for *every* executed event (choice point or not), in
+/// execution order, which sleep-set pruning needs to track dependence wakeups
+/// between choice points.
+class ScheduleController {
+ public:
+  struct Choice {
+    TimeNs at = 0;
+    std::uint64_t seq = 0;  ///< Insertion sequence (stable across identical replays).
+    SchedKey key = kSchedOpaque;
+  };
+
+  virtual ~ScheduleController() = default;
+
+  /// Pick the next event among >= 2 candidates. Must return < candidates.size().
+  [[nodiscard]] virtual std::size_t choose(const std::vector<Choice>& candidates) = 0;
+
+  /// Observe every executed event (including sole candidates).
+  virtual void on_execute(const Choice& executed) = 0;
+};
+
+}  // namespace sp::sim

@@ -43,17 +43,31 @@ class Simulator {
     queue_.push(t < now_ ? now_ : t, std::forward<F>(action));
   }
 
+  /// Same, carrying a schedule-class key for the systematic explorer's
+  /// independence relation (sched.hpp; ignored outside controlled runs).
+  template <typename F>
+  void at(TimeNs t, SchedKey key, F&& action) {
+    queue_.push(t < now_ ? now_ : t, key, std::forward<F>(action));
+  }
+
   /// Schedule `action` `dt` nanoseconds from now (dt clamped to >= 0).
   template <typename F>
   void after(TimeNs dt, F&& action) {
     at(now_ + (dt < 0 ? 0 : dt), std::forward<F>(action));
   }
 
+  template <typename F>
+  void after(TimeNs dt, SchedKey key, F&& action) {
+    at(now_ + (dt < 0 ? 0 : dt), key, std::forward<F>(action));
+  }
+
   /// Execute the earliest pending event. Returns false if none is pending.
   bool step() {
     if (queue_.empty()) return false;
     auto [t, action] = queue_.pop();
-    now_ = t;
+    // max(): a ScheduleController with a nonzero window may run an event
+    // whose timestamp precedes an already-executed one; time never rewinds.
+    if (t > now_) now_ = t;
     ++events_processed_;
     action();
     return true;
@@ -80,6 +94,12 @@ class Simulator {
   /// any event is scheduled. 0 (the default) keeps strict insertion order.
   void set_tie_break_salt(std::uint64_t salt) noexcept { queue_.set_tie_break_salt(salt); }
 
+  /// Install a ScheduleController (systematic exploration; see sched.hpp).
+  /// Call before any event is scheduled. nullptr restores normal pops.
+  void set_schedule_controller(ScheduleController* c, TimeNs window_ns) {
+    queue_.set_controller(c, window_ns);
+  }
+
   /// Read-only view of the queue's host-side perf counters.
   [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 
@@ -101,9 +121,14 @@ class NodeCpu {
     const TimeNs start = sim.now() > free_at_ ? sim.now() : free_at_;
     const TimeNs done = start + (cost < 0 ? 0 : cost);
     free_at_ = done;
-    sim.at(done, std::forward<F>(fn));
+    sim.at(done, sched_key_, std::forward<F>(fn));
     return done;
   }
+
+  /// Schedule class for this CPU's completions (sched_node_key of the owning
+  /// node; set once by NodeRuntime). Everything a NodeCpu runs touches only
+  /// that node's protocol state.
+  void set_sched_key(SchedKey key) noexcept { sched_key_ = key; }
 
   /// Occupy the CPU without a continuation (pure cost accounting).
   TimeNs charge(Simulator& sim, TimeNs cost) {
@@ -123,6 +148,7 @@ class NodeCpu {
 
  private:
   TimeNs free_at_ = 0;
+  SchedKey sched_key_ = kSchedOpaque;
 };
 
 }  // namespace sp::sim

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/explorer.hpp"
 #include "test_harness.hpp"
@@ -327,6 +328,290 @@ TEST(ExplorerShrink, ReintroducedReackBugIsCaughtAndShrunk) {
   Perturbation fixed = *parsed;
   fixed.flags &= ~Perturbation::kFlagReackStormBug;
   EXPECT_EQ(replay.check(fixed), std::nullopt) << "failure not attributable to the bug knob";
+}
+
+/// A systematic vector exercising every x5 field away from its default.
+Perturbation systematic_vector() {
+  Perturbation p;
+  p.seed = 0x5c4ed;
+  p.nodes = 3;
+  p.msgs_per_rank = 2;
+  p.flags = Perturbation::kFlagSystematic |
+            (static_cast<std::uint32_t>(mpi::Backend::kLapiEnhanced)
+             << Perturbation::kBackendShift);
+  p.sched_window_ns = 150;
+  p.sys_msg_bytes = 512;
+  p.sched = "10213";
+  return p;
+}
+
+TEST(ExplorerToken, SystematicTokensRoundTrip) {
+  const Perturbation p = systematic_vector();
+  const std::string tok = p.token();
+  ASSERT_EQ(tok.substr(0, 3), "x5-") << tok;
+  const auto back = Perturbation::parse(tok);
+  ASSERT_TRUE(back.has_value()) << tok;
+  EXPECT_EQ(*back, p);
+
+  // The canonical-schedule vector (empty decision string) round-trips too.
+  Perturbation canon = p;
+  canon.sched.clear();
+  canon.sched_window_ns = 0;
+  const auto back2 = Perturbation::parse(canon.token());
+  ASSERT_TRUE(back2.has_value()) << canon.token();
+  EXPECT_EQ(*back2, canon);
+
+  // Non-systematic vectors keep emitting byte-identical x4 tokens: the flag
+  // alone gates the extended fields.
+  EXPECT_EQ(busy_vector().token().substr(0, 3), "x4-");
+}
+
+TEST(ExplorerToken, RejectsMalformedSystematic) {
+  const Perturbation p = systematic_vector();
+  const std::string good = p.token();
+  ASSERT_TRUE(Perturbation::parse(good).has_value());
+
+  // Version/flag coherence: the x5 tail requires the systematic flag. A
+  // token carrying x5 fields but flagged non-systematic is incoherent —
+  // splice the x5 tail onto the flag-stripped vector's x4 token.
+  {
+    Perturbation noflag = p;
+    noflag.flags &= ~Perturbation::kFlagSystematic;
+    std::string x4_tok = noflag.token();
+    ASSERT_EQ(x4_tok.substr(0, 3), "x4-");
+    std::size_t tail = good.size();
+    for (int cut = 0; cut < 3; ++cut) tail = good.rfind('-', tail - 1);
+    const std::string spliced = "x5" + x4_tok.substr(2) + good.substr(tail);
+    EXPECT_FALSE(Perturbation::parse(spliced).has_value()) << spliced;
+    // And an x5 token truncated down to the x4 field count must fail: no
+    // prefix of a token is a token.
+    EXPECT_FALSE(Perturbation::parse(good.substr(0, tail)).has_value());
+  }
+
+  // Decision-string shape: missing 's' sentinel, uppercase, non-hex.
+  auto with_tail = [&](const std::string& tail) {
+    std::string tok = good;
+    tok = tok.substr(0, tok.rfind('-') + 1) + tail;
+    return tok;
+  };
+  EXPECT_FALSE(Perturbation::parse(with_tail("10213")).has_value());   // no 's'
+  EXPECT_FALSE(Perturbation::parse(with_tail("S10213")).has_value());  // wrong case
+  EXPECT_FALSE(Perturbation::parse(with_tail("s102G3")).has_value());  // non-hex
+  EXPECT_FALSE(Perturbation::parse(with_tail("s10 13")).has_value());  // whitespace
+  EXPECT_TRUE(Perturbation::parse(with_tail("s")).has_value());        // empty sched ok
+
+  // Field validation on the extended fields.
+  auto reject = [](Perturbation q) {
+    EXPECT_FALSE(Perturbation::parse(q.token()).has_value()) << q.token();
+  };
+  Perturbation q = p;
+  q.flags = (q.flags & ~Perturbation::kBackendMask) |
+            (5u << Perturbation::kBackendShift);  // past kRdma
+  reject(q);
+  q = p;
+  q.sys_msg_bytes = 0;
+  reject(q);
+  q = p;
+  q.sys_msg_bytes = 70'000;
+  reject(q);
+  q = p;
+  q.msgs_per_rank = 300;  // decision indices assume small workloads
+  reject(q);
+  q = p;
+  q.sched.assign(5000, '0');  // unshrunk runaway schedule
+  reject(q);
+}
+
+TEST(ExplorerToken, RejectsGarbageHexFields) {
+  // Perturbation::parse used to lean on strtoull, which silently accepted
+  // leading whitespace, sign characters, "0x" prefixes, and values that wrap
+  // past 64 bits — so corrupted tokens could replay as a *different* vector
+  // instead of failing. Strict lowercase-hex parsing rejects them all.
+  const std::string good = busy_vector().token();
+  auto corrupt_field = [&](int field, const std::string& repl) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t dash = good.find('-'); dash != std::string::npos;
+         dash = good.find('-', start)) {
+      parts.push_back(good.substr(start, dash - start));
+      start = dash + 1;
+    }
+    parts.push_back(good.substr(start));
+    parts[static_cast<std::size_t>(field)] = repl;
+    std::string out = parts[0];
+    for (std::size_t i = 1; i < parts.size(); ++i) out += "-" + parts[i];
+    return out;
+  };
+  for (int field = 1; field <= 16; ++field) {
+    EXPECT_FALSE(Perturbation::parse(corrupt_field(field, "")).has_value())
+        << "empty field " << field;
+    EXPECT_FALSE(Perturbation::parse(corrupt_field(field, " 1")).has_value())
+        << "whitespace field " << field;
+    EXPECT_FALSE(Perturbation::parse(corrupt_field(field, "0x1")).has_value())
+        << "0x prefix field " << field;
+    EXPECT_FALSE(Perturbation::parse(corrupt_field(field, "12345678901234567"))
+                     .has_value())
+        << "overlong field " << field;
+  }
+  // '+' and '-' signs can't survive the dash-split as part of a field, but a
+  // 'g' (just past the hex alphabet) can.
+  EXPECT_FALSE(Perturbation::parse(corrupt_field(3, "1g")).has_value());
+}
+
+TEST(ExplorerToken, FuzzParseTokenRoundTrip) {
+  // Deterministic fuzz: random vectors must round-trip token() <-> parse()
+  // exactly, and every truncation of a valid token must be rejected (no
+  // prefix of a token is itself a token).
+  std::uint64_t lcg = 0xabcdef1234567890ULL;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 16;
+  };
+  for (int trial = 0; trial < 64; ++trial) {
+    Perturbation p;
+    p.seed = next();
+    p.nodes = 2 + static_cast<int>(next() % 7);
+    p.msgs_per_rank = 1 + static_cast<int>(next() % 16);
+    p.workload_seed = next();
+    p.fabric_seed = next();
+    p.drop_ppm = static_cast<std::uint32_t>(next() % 500'000);
+    p.dup_ppm = static_cast<std::uint32_t>(next() % 500'000);
+    p.route_bias_ppm = static_cast<std::uint32_t>(next() % 1'000'000);
+    p.jitter_ns = static_cast<TimeNs>(next() % 100'000);
+    p.route_skew_ns = static_cast<TimeNs>(next() % 10'000);
+    p.burst = 1 + static_cast<int>(next() % 4);
+    p.tie_break_salt = next();
+    p.flags = Perturbation::kFlagInterruptMode * static_cast<std::uint32_t>(next() & 1);
+    p.topology = static_cast<std::uint32_t>(next() % 5);
+    p.channels = static_cast<std::uint32_t>(next() % 4);
+    if (next() & 1) {
+      p.flags |= Perturbation::kFlagSystematic |
+                 (static_cast<std::uint32_t>(next() % 5) << Perturbation::kBackendShift);
+      p.nodes = 2 + static_cast<int>(next() % 3);
+      p.msgs_per_rank = 1 + static_cast<int>(next() % 4);
+      p.sched_window_ns = static_cast<TimeNs>(next() % 1000);
+      p.sys_msg_bytes = 1 + static_cast<std::uint32_t>(next() % 10'000);
+      const int len = static_cast<int>(next() % 12);
+      p.sched.clear();
+      for (int i = 0; i < len; ++i)
+        p.sched.push_back("0123456789abcdef"[next() % 16]);
+    }
+    const std::string tok = p.token();
+    const auto back = Perturbation::parse(tok);
+    ASSERT_TRUE(back.has_value()) << tok;
+    EXPECT_EQ(*back, p) << tok;
+    EXPECT_EQ(back->token(), tok);
+
+    // Truncations: a strict prefix must fail to parse — except an x5 prefix
+    // cut inside the trailing decision digits, which is a structurally valid
+    // shorter schedule (the shrinker relies on exactly that).
+    const std::size_t sched_start =
+        (p.flags & Perturbation::kFlagSystematic) != 0 ? tok.rfind('s') + 1 : tok.size();
+    for (std::size_t cut = 0; cut < tok.size(); cut += 1 + tok.size() / 23) {
+      const std::string prefix = tok.substr(0, cut);
+      const auto parsed = Perturbation::parse(prefix);
+      if (cut >= sched_start) {
+        ASSERT_TRUE(parsed.has_value()) << "prefix " << prefix;
+        EXPECT_EQ(parsed->sched, p.sched.substr(0, cut - sched_start));
+      } else {
+        EXPECT_FALSE(parsed.has_value()) << "prefix " << prefix;
+      }
+    }
+    // Suffix garbage must fail too.
+    EXPECT_FALSE(Perturbation::parse(tok + "-ff").has_value());
+    EXPECT_FALSE(Perturbation::parse(tok + "q").has_value());
+  }
+}
+
+TEST(ExplorerBudget, TrioSeedBudgetIsExact) {
+  // A channels==3 seed costs exactly three machine runs. The explorer used
+  // to admit a seed whenever two runs fit, so a trio seed at the budget edge
+  // overshot max_runs by one; admission now charges the true cost up front.
+  Explorer::Options probe_opts;
+  Explorer probe(probe_opts);
+  std::uint64_t trio_seed = 0;
+  for (std::uint64_t s = 1; s < 64; ++s) {
+    if (probe.perturbation_for(s).channels == 3) {
+      trio_seed = s;
+      break;
+    }
+  }
+  ASSERT_NE(trio_seed, 0u) << "no trio seed in the first 64";
+
+  Explorer::Options opts;
+  opts.base_seed = trio_seed;
+  opts.seeds = 1;
+  opts.max_runs = 2;  // can't afford the trio
+  Explorer ex(opts);
+  const Explorer::Report rep = ex.explore();
+  EXPECT_EQ(rep.seeds_run, 0);
+  EXPECT_EQ(rep.runs, 0);
+
+  Explorer::Options opts3 = opts;
+  opts3.max_runs = 3;  // exactly affordable
+  Explorer ex3(opts3);
+  const Explorer::Report rep3 = ex3.explore();
+  EXPECT_EQ(rep3.seeds_run, 1);
+  EXPECT_EQ(rep3.runs, 3);
+}
+
+TEST(ExplorerSystematic, ReplayTokensPassCheck) {
+  // Pinned regression coverage for the sweep's hot spots: the RDMA
+  // early-arrival wildcard re-match path (2 ranks, 6 messages of eager
+  // pressure) and the eager->rendezvous demote path (payload above the 4096
+  // eager limit), each replayed through Explorer::check as a real x5 vector.
+  Explorer ex{Explorer::Options{}};
+
+  Perturbation rdma;
+  rdma.nodes = 2;
+  rdma.msgs_per_rank = 6;
+  rdma.flags = Perturbation::kFlagSystematic |
+               (static_cast<std::uint32_t>(Backend::kRdma) << Perturbation::kBackendShift);
+  rdma.sched = "1";  // diverge from the canonical schedule at the first point
+  const auto rdma_tok = Perturbation::parse(rdma.token());
+  ASSERT_TRUE(rdma_tok.has_value());
+  EXPECT_EQ(ex.check(*rdma_tok), std::nullopt) << rdma.token();
+
+  Perturbation demote;
+  demote.nodes = 2;
+  demote.msgs_per_rank = 1;
+  demote.sys_msg_bytes = 8192;  // forces the rendezvous protocol
+  demote.flags = Perturbation::kFlagSystematic |
+                 (static_cast<std::uint32_t>(Backend::kLapiEnhanced)
+                  << Perturbation::kBackendShift);
+  demote.sched = "11";
+  const auto demote_tok = Perturbation::parse(demote.token());
+  ASSERT_TRUE(demote_tok.has_value());
+  EXPECT_EQ(ex.check(*demote_tok), std::nullopt) << demote.token();
+
+  // Each systematic check costs exactly one machine run.
+  EXPECT_EQ(ex.runs(), 2);
+}
+
+TEST(ExplorerSystematic, ExplorerBudgetGatesSystematicRuns) {
+  // explore_systematic draws from the same machine-run budget as the seeded
+  // sweep; an exhausted budget yields an empty (incomplete) report rather
+  // than unlimited enumeration.
+  Explorer::Options opts;
+  opts.max_runs = 10;
+  Explorer ex(opts);
+  SystematicOptions sopts;
+  sopts.ranks = 3;  // needs ~1800 runs to complete
+  const SystematicReport rep = ex.explore_systematic(sopts);
+  EXPECT_FALSE(rep.complete);
+  EXPECT_LE(rep.runs, 10);
+  EXPECT_EQ(ex.runs(), rep.runs);
+
+  // A second call with the budget spent runs nothing.
+  Explorer::Options spent_opts;
+  spent_opts.max_runs = 10;
+  Explorer spent(spent_opts);
+  SystematicOptions tiny;
+  tiny.ranks = 2;
+  (void)spent.explore_systematic(tiny);  // burns 10 runs (needs 39)
+  const SystematicReport empty = spent.explore_systematic(tiny);
+  EXPECT_EQ(empty.runs, 0);
+  EXPECT_FALSE(empty.complete);
 }
 
 }  // namespace

@@ -44,6 +44,17 @@
 //   --seed-base S      first master seed (default 1)
 //   --repro TOKEN      replay one shrunken vector instead of sweeping
 //   --trace-out FILE   Perfetto/Chrome-JSON trace of the failing (or repro) run
+//
+// Explore --systematic options (DESIGN.md §15):
+//   --systematic       enumerate ALL non-equivalent interleavings (DFS with
+//                      sleep sets) of a wildcard workload instead of sampling
+//   --ranks N          machine size (default 2; --nodes wins when given)
+//   --depth D          max recorded choice points per run (default 64)
+//   --window NS        candidate-window width in ns (default 0 = same-time)
+//   --interleavings N  stop after N interleavings (default 0 = exhaustive)
+//   --msg-bytes B      payload length (default 24; > eager limit = rendezvous)
+//   --msgs N           messages per rank per peer (default 1 in this mode)
+//   --cert-out FILE    write the certificate JSON there (jq-gated in CI)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,10 +96,19 @@ struct Options {
   int explore_seeds = 256;
   int budget = 0;  // 0 = seeds * 8
   int msgs = 12;
+  bool msgs_set = false;  // --systematic defaults to 1 msg/rank unless --msgs given
   unsigned long long seed_base = 1;
   std::string repro;
   std::string trace_out;
   bool inject_reack_bug = false;  // hidden: re-introduce the PR 2 ack storm
+  // explore --systematic
+  bool systematic = false;
+  int ranks = 2;
+  int depth = 64;
+  long long window = 0;
+  long long interleavings = 0;  // 0 = unlimited
+  long long msg_bytes = 24;
+  std::string cert_out;
 };
 
 [[noreturn]] void usage() {
@@ -100,7 +120,8 @@ struct Options {
                "[--topology sp|fattree|torus2d|torus3d|dragonfly] [--trace-ring BYTES] [--csv] "
                "[--format text|json|csv] [--out FILE] "
                "[--seeds N] [--budget N] [--msgs N] [--seed-base S] [--repro TOKEN] "
-               "[--trace-out FILE]\n");
+               "[--trace-out FILE] [--systematic] [--ranks N] [--depth D] [--window NS] "
+               "[--interleavings N] [--msg-bytes B] [--cert-out FILE]\n");
   std::exit(2);
 }
 
@@ -177,6 +198,7 @@ Options parse(int argc, char** argv) {
       o.budget = std::atoi(next());
     } else if (a == "--msgs") {
       o.msgs = std::atoi(next());
+      o.msgs_set = true;
     } else if (a == "--seed-base") {
       o.seed_base = std::strtoull(next(), nullptr, 0);
     } else if (a == "--repro") {
@@ -185,6 +207,20 @@ Options parse(int argc, char** argv) {
       o.trace_out = next();
     } else if (a == "--inject-reack-bug") {
       o.inject_reack_bug = true;
+    } else if (a == "--systematic") {
+      o.systematic = true;
+    } else if (a == "--ranks") {
+      o.ranks = std::atoi(next());
+    } else if (a == "--depth") {
+      o.depth = std::atoi(next());
+    } else if (a == "--window") {
+      o.window = std::atoll(next());
+    } else if (a == "--interleavings") {
+      o.interleavings = std::atoll(next());
+    } else if (a == "--msg-bytes") {
+      o.msg_bytes = std::atoll(next());
+    } else if (a == "--cert-out") {
+      o.cert_out = next();
     } else {
       usage();
     }
@@ -352,6 +388,45 @@ int cmd_stats(const Options& o) {
   return 0;
 }
 
+/// Certificate JSON for the systematic mode: machine-readable enough for the
+/// nightly jq gate (interleavings > 0, mismatches == 0), human-readable
+/// enough to paste into a bug report. Empty path = stdout only (skipped).
+bool write_certificate(const sim::SystematicReport& rep, const sim::SystematicOptions& so,
+                       const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"mode\": \"systematic\",\n");
+  std::fprintf(f, "  \"backend\": \"%s\",\n", mpi::backend_name(so.backend));
+  std::fprintf(f, "  \"ranks\": %d,\n", so.ranks);
+  std::fprintf(f, "  \"msgs_per_rank\": %d,\n", so.msgs_per_rank);
+  std::fprintf(f, "  \"msg_bytes\": %u,\n", so.msg_bytes);
+  std::fprintf(f, "  \"depth\": %d,\n", so.depth);
+  std::fprintf(f, "  \"window_ns\": %lld,\n", static_cast<long long>(so.window_ns));
+  std::fprintf(f, "  \"complete\": %s,\n", rep.complete ? "true" : "false");
+  std::fprintf(f, "  \"depth_limited\": %s,\n", rep.depth_limited ? "true" : "false");
+  std::fprintf(f, "  \"interleavings\": %ld,\n", rep.interleavings);
+  std::fprintf(f, "  \"redundant\": %ld,\n", rep.redundant);
+  std::fprintf(f, "  \"runs\": %ld,\n", rep.runs);
+  std::fprintf(f, "  \"choice_points\": %ld,\n", rep.choice_points);
+  std::fprintf(f, "  \"max_fanout\": %d,\n", rep.max_fanout);
+  std::fprintf(f, "  \"fanout_capped\": %ld,\n", rep.fanout_capped);
+  std::fprintf(f, "  \"distinct_outcomes\": %zu,\n", rep.distinct_outcomes);
+  std::fprintf(f, "  \"certificate_digest\": \"%016llx\",\n",
+               static_cast<unsigned long long>(rep.certificate_digest));
+  std::fprintf(f, "  \"invariant_digest\": \"%016llx\",\n",
+               static_cast<unsigned long long>(rep.invariant_digest));
+  std::fprintf(f, "  \"mismatches\": %zu,\n", rep.mismatches.size());
+  std::fprintf(f, "  \"repro_tokens\": [");
+  for (std::size_t i = 0; i < rep.mismatches.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ", rep.mismatches[i].token.c_str());
+  }
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 int cmd_explore(const Options& o) {
   sim::Explorer::Options eo;
   eo.nodes = o.nodes > 0 ? o.nodes : 4;
@@ -382,11 +457,48 @@ int cmd_explore(const Options& o) {
     const auto failure = ex.check(*p);
     std::printf("repro %s: %s\n", o.repro.c_str(),
                 failure ? failure->c_str() : "conformant (no divergence)");
-    if (!o.trace_out.empty() &&
-        !ex.export_trace(*p, eo.lapi_backend, o.trace_out)) {
+    const bool sys_token = (p->flags & sim::Perturbation::kFlagSystematic) != 0;
+    if (!o.trace_out.empty() && sys_token) {
+      std::fprintf(stderr,
+                   "spsim: --trace-out is not supported for systematic (x5) tokens\n");
+    } else if (!o.trace_out.empty() &&
+               !ex.export_trace(*p, eo.lapi_backend, o.trace_out)) {
       std::fprintf(stderr, "spsim: trace export to %s failed\n", o.trace_out.c_str());
     }
     return failure ? 1 : 0;
+  }
+
+  if (o.systematic) {
+    sim::SystematicOptions so;
+    so.ranks = o.nodes > 0 ? o.nodes : o.ranks;
+    so.msgs_per_rank = o.msgs_set ? o.msgs : 1;
+    so.msg_bytes = static_cast<std::uint32_t>(o.msg_bytes);
+    so.depth = o.depth;
+    so.window_ns = o.window;
+    so.backend = o.backend;
+    so.max_interleavings = o.interleavings;
+    so.canonical_check = false;
+    so.log = stdout;
+    std::printf("# explore --systematic: %d ranks, %d msgs/rank, %lld-byte payloads, %s\n",
+                so.ranks, so.msgs_per_rank, o.msg_bytes, mpi::backend_name(so.backend));
+    const sim::SystematicReport rep = ex.explore_systematic(so);
+    if (!write_certificate(rep, so, o.cert_out)) {
+      std::fprintf(stderr, "spsim: writing certificate to %s failed\n", o.cert_out.c_str());
+      return 2;
+    }
+    if (!rep.mismatches.empty()) {
+      for (const auto& mm : rep.mismatches) {
+        std::printf("MISMATCH: %s\n  repro: spsim explore --repro=%s\n", mm.reason.c_str(),
+                    mm.token.c_str());
+      }
+      return 1;
+    }
+    std::printf("%s: %ld interleavings, %ld pruned, %zu distinct outcomes, "
+                "certificate %016llx\n",
+                rep.complete ? "certificate complete" : "enumeration INCOMPLETE",
+                rep.interleavings, rep.redundant, rep.distinct_outcomes,
+                static_cast<unsigned long long>(rep.certificate_digest));
+    return 0;
   }
 
   std::printf("# explore: %d seeds from %llu, %d nodes, %d msgs/rank, pipes vs %s\n",
