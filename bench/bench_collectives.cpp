@@ -13,12 +13,17 @@
 // crossover sweep comparing large-message ping-pong on the RDMA-read
 // rendezvous against the LAPI-enhanced channel.
 //
+// A third section (DESIGN.md §16) scales a fat-tree machine to 128 nodes and
+// compares the in-network combining allreduce/barrier against every host
+// algorithm at a small payload, feeding the "in_network" JSON array.
+//
 // --quick keeps only the largest (acceptance) size per primitive, for the
 // per-PR CI smoke. --json writes BENCH_collectives.json (see
 // scripts/bench_json.sh), validated by CI with jq: at >= 256 KiB at least two
 // primitives must show >= 1.3x over their seed algorithm, the NIC barrier
-// must beat every host barrier at every node count, and the RDMA rendezvous
-// must beat LAPI-enhanced at >= 256 KiB.
+// must beat every host barrier at every node count, the RDMA rendezvous
+// must beat LAPI-enhanced at >= 256 KiB, and the in-network allreduce and
+// barrier must beat the best host algorithm at 128 nodes on the fat tree.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -57,6 +62,16 @@ struct BarrierSample {
 struct RdvSample {
   std::size_t bytes;
   const char* backend;  ///< "enhanced" | "rdma".
+  double sim_us;
+};
+
+/// One at-scale measurement on the fat-tree fabric: the in-network combining
+/// tables (DESIGN.md §16) against the host algorithms and the NIC offload.
+struct ScaleSample {
+  const char* primitive;  ///< "allreduce" | "barrier".
+  const char* algorithm;
+  int nodes;
+  std::size_t bytes;  ///< 0 for barrier.
   double sim_us;
 };
 
@@ -132,6 +147,44 @@ double run_barrier(mpi::Backend backend, const std::string& algorithm, int nodes
   return out;
 }
 
+/// Simulated microseconds per operation at scale on the fat-tree fabric with
+/// one algorithm pinned. Used for the 128-node in-network cutover: the
+/// combining tables finish in O(tree depth) switch hops while every host
+/// algorithm pays O(log n) end-to-end message latencies.
+double run_scale(mpi::Backend backend, const std::string& spec, const std::string& primitive,
+                 std::size_t bytes, int nodes, int iters) {
+  sim::MachineConfig cfg;
+  cfg.topology = sim::TopologyKind::kFatTree;
+  std::string err;
+  if (!mpi::coll::apply_algo_spec(cfg, spec, &err)) {
+    std::fprintf(stderr, "bench_collectives: %s\n", err.c_str());
+    std::exit(2);
+  }
+  mpi::Machine m(cfg, nodes, backend);
+  double out = 0.0;
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    const std::size_t count = std::max<std::size_t>(bytes / sizeof(double), 1);
+    std::vector<double> a(count, w.rank() + 1.0);
+    std::vector<double> b(count, 0.0);
+    mpi.barrier(w);
+    const double t0 = mpi.wtime();
+    for (int i = 0; i < iters; ++i) {
+      if (primitive == "allreduce") {
+        mpi.allreduce(a.data(), b.data(), bytes / sizeof(double), mpi::Datatype::kDouble,
+                      mpi::Op::kSum, w);
+      } else {
+        mpi.barrier(w);
+      }
+    }
+    double mine = mpi.wtime() - t0;
+    double slowest = 0.0;
+    mpi.allreduce(&mine, &slowest, 1, mpi::Datatype::kDouble, mpi::Op::kMax, w);
+    if (w.rank() == 0) out = slowest * 1e6 / iters;
+  });
+  return out;
+}
+
 /// Simulated microseconds per one-way message in a two-node ping-pong. Above
 /// the eager limit this is a pure rendezvous measurement: LAPI-enhanced pays
 /// the host RTS/CTS/data phases, the RDMA channel pulls with an RDMA read.
@@ -160,7 +213,8 @@ double run_pingpong(mpi::Backend backend, std::size_t bytes, int iters) {
 
 void write_json(const char* path, int nodes, const std::vector<Sample>& samples,
                 const std::vector<Case>& cases, const std::vector<BarrierSample>& barriers,
-                const std::vector<RdvSample>& rendezvous) {
+                const std::vector<RdvSample>& rendezvous,
+                const std::vector<ScaleSample>& innet) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_collectives: cannot open %s\n", path);
@@ -218,6 +272,15 @@ void write_json(const char* path, int nodes, const std::vector<Sample>& samples,
     std::fprintf(f, "    {\"bytes\": %zu, \"backend\": \"%s\", \"sim_us\": %.3f}%s\n",
                  s.bytes, s.backend, s.sim_us, i + 1 < rendezvous.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"in_network\": [\n");
+  for (std::size_t i = 0; i < innet.size(); ++i) {
+    const ScaleSample& s = innet[i];
+    std::fprintf(f,
+                 "    {\"primitive\": \"%s\", \"algorithm\": \"%s\", \"nodes\": %d, "
+                 "\"bytes\": %zu, \"topology\": \"fattree\", \"sim_us\": %.3f}%s\n",
+                 s.primitive, s.algorithm, s.nodes, s.bytes, s.sim_us,
+                 i + 1 < innet.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
@@ -252,8 +315,11 @@ int main(int argc, char** argv) {
       // size is the acceptance point.
       {"bcast", {"binomial", "pipelined", "scatter_allgather"},
        {8 * 1024, 32 * 1024, 64 * 1024, 256 * 1024}},
-      {"allreduce", {"reduce_bcast", "recursive_doubling", "rabenseifner"},
-       {2 * 1024, 16 * 1024, 64 * 1024, 256 * 1024}},
+      // in_network serves sizes up to in_network_coll_max_bytes (2 KiB) from
+      // the switch combining tables and falls back to the host auto table
+      // above it — 1/2/16 KiB straddle that cap.
+      {"allreduce", {"reduce_bcast", "recursive_doubling", "rabenseifner", "in_network"},
+       {1 * 1024, 2 * 1024, 16 * 1024, 64 * 1024, 256 * 1024}},
       {"alltoall", {"pairwise", "bruck"}, {128, 512, 2 * 1024}},
       {"reduce_scatter", {"reduce_scatter", "recursive_halving"},
        {8 * 1024, 64 * 1024, 256 * 1024}},
@@ -334,6 +400,37 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // In-network combining at scale (DESIGN.md §16): a 128-node fat-tree, the
+  // switch-resident allreduce and barrier against every host algorithm and
+  // the NIC-offload barrier. The CI gate asserts the combining tables beat
+  // the best host algorithm on both primitives at this node count.
+  const int scale_nodes = 128;
+  const std::size_t scale_bytes = 1024;  // under the 2 KiB combining cap
+  std::vector<ScaleSample> innet;
+  {
+    const std::vector<const char*> ar_algos = {"reduce_bcast", "recursive_doubling",
+                                               "rabenseifner", "in_network"};
+    std::printf("\nin-network cutover: %d-node fat-tree, allreduce %zu B (us/op):\n",
+                scale_nodes, scale_bytes);
+    for (const char* algo : ar_algos) {
+      const double us = run_scale(mpi::Backend::kLapiEnhanced,
+                                  std::string("allreduce=") + algo, "allreduce", scale_bytes,
+                                  scale_nodes, iters);
+      innet.push_back({"allreduce", algo, scale_nodes, scale_bytes, us});
+      std::printf("  %-20s %10.1f\n", algo, us);
+    }
+    const std::vector<const char*> bar_algos = {"dissemination", "nic", "in_network"};
+    std::printf("in-network cutover: %d-node fat-tree, barrier (us/op):\n", scale_nodes);
+    for (const char* algo : bar_algos) {
+      // The RDMA channel so the NIC-resident barrier is available too; the
+      // combining tables do not depend on the channel.
+      const double us = run_scale(mpi::Backend::kRdma, std::string("barrier=") + algo,
+                                  "barrier", 0, scale_nodes, iters);
+      innet.push_back({"barrier", algo, scale_nodes, 0, us});
+      std::printf("  %-20s %10.1f\n", algo, us);
+    }
+  }
+
   // Rendezvous crossover: one-way large-message latency, LAPI-enhanced host
   // rendezvous vs the RDMA-read pull. The CI gate asserts the RDMA channel
   // wins at >= 256 KiB (the paper's host-copy elimination payoff).
@@ -352,7 +449,7 @@ int main(int argc, char** argv) {
   }
 
   if (json_path != nullptr) {
-    write_json(json_path, nodes, samples, cases, barriers, rendezvous);
+    write_json(json_path, nodes, samples, cases, barriers, rendezvous, innet);
     std::printf("\nwrote %s\n", json_path);
   }
   return 0;

@@ -216,10 +216,24 @@ namespace {
   return cfg.topology == sim::TopologyKind::kTorus2d ||
          cfg.topology == sim::TopologyKind::kTorus3d;
 }
+
+/// Auto-selection gate for the switch combining tables: the topology's bit
+/// must be set in in_network_topology_mask AND the vector must fit the table
+/// entry. Pins (coll id 5) bypass this — the Mpi layer still falls back to
+/// the host table if the engine itself declines.
+[[nodiscard]] bool in_network_auto(const sim::MachineConfig& cfg, std::size_t bytes,
+                                   int n) noexcept {
+  return n > 1 && bytes <= cfg.in_network_coll_max_bytes && in_network_enabled(cfg);
+}
 }  // namespace
+
+bool in_network_enabled(const sim::MachineConfig& cfg) noexcept {
+  return ((cfg.in_network_topology_mask >> static_cast<int>(cfg.topology)) & 1u) != 0;
+}
 
 BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   if (cfg.coll_bcast_algo != 0) return static_cast<BcastAlgo>(cfg.coll_bcast_algo);
+  if (in_network_auto(cfg, bytes, n)) return BcastAlgo::kInNetwork;
   return select_bcast_host(cfg, bytes, n);
 }
 
@@ -240,6 +254,7 @@ BcastAlgo select_bcast_host(const sim::MachineConfig& cfg, std::size_t bytes, in
 
 AllreduceAlgo select_allreduce(const sim::MachineConfig& cfg, std::size_t bytes, int n) {
   if (cfg.coll_allreduce_algo != 0) return static_cast<AllreduceAlgo>(cfg.coll_allreduce_algo);
+  if (in_network_auto(cfg, bytes, n)) return AllreduceAlgo::kInNetwork;
   return select_allreduce_host(cfg, bytes, n);
 }
 
@@ -281,6 +296,7 @@ sim::CollAlgo telem_id(BcastAlgo a) noexcept {
     case BcastAlgo::kPipelined: return sim::CollAlgo::kBcastPipelined;
     case BcastAlgo::kScatterAllgather: return sim::CollAlgo::kBcastScatterAllgather;
     case BcastAlgo::kNicOffload: return sim::CollAlgo::kBcastNicOffload;
+    case BcastAlgo::kInNetwork: return sim::CollAlgo::kBcastInNetwork;
     default: return sim::CollAlgo::kBcastBinomial;
   }
 }
@@ -289,6 +305,7 @@ sim::CollAlgo telem_id(AllreduceAlgo a) noexcept {
     case AllreduceAlgo::kRecursiveDoubling: return sim::CollAlgo::kAllreduceRecursiveDoubling;
     case AllreduceAlgo::kRabenseifner: return sim::CollAlgo::kAllreduceRabenseifner;
     case AllreduceAlgo::kNicOffload: return sim::CollAlgo::kAllreduceNicOffload;
+    case AllreduceAlgo::kInNetwork: return sim::CollAlgo::kAllreduceInNetwork;
     default: return sim::CollAlgo::kAllreduceReduceBcast;
   }
 }
@@ -342,16 +359,21 @@ bool apply_algo_spec(sim::MachineConfig& cfg, const std::string& spec, std::stri
           cfg.coll_reduce_scatter_algo = cfg.coll_scan_algo = cfg.coll_barrier_algo = 0;
       ok = true;
     } else if (prim == "bcast") {
-      ok = pick({"auto", "binomial", "pipelined", "scatter_allgather", "nic"},
+      ok = pick({"auto", "binomial", "pipelined", "scatter_allgather", "nic", "in_network"},
                 &cfg.coll_bcast_algo);
     } else if (prim == "allreduce") {
-      ok = pick({"auto", "reduce_bcast", "recursive_doubling", "rabenseifner", "nic"},
+      ok = pick({"auto", "reduce_bcast", "recursive_doubling", "rabenseifner", "nic",
+                 "in_network"},
                 &cfg.coll_allreduce_algo);
     } else if (prim == "barrier") {
-      // "nic" is id 4 on every primitive; barrier has no ids 2-3.
+      // "nic" is id 4 and "in_network" id 5 on every primitive; barrier has
+      // no ids 2-3.
       ok = pick({"auto", "dissemination"}, &cfg.coll_barrier_algo);
       if (!ok && algo == "nic") {
         cfg.coll_barrier_algo = static_cast<int>(BarrierAlgo::kNicOffload);
+        ok = true;
+      } else if (!ok && algo == "in_network") {
+        cfg.coll_barrier_algo = static_cast<int>(BarrierAlgo::kInNetwork);
         ok = true;
       }
     } else if (prim == "alltoall") {

@@ -39,16 +39,28 @@ namespace sp::mpi::coll {
 // kNicOffload = 4 across primitives: run the operation on the adapter via
 // the channel's nic_* hook; the Mpi layer falls back to the host auto table
 // (select_*_host) when the channel declines (no NIC, or message too large).
-enum class BcastAlgo : int { kAuto = 0, kBinomial, kPipelined, kScatterAllgather, kNicOffload };
+// kInNetwork = 5 across primitives: run the operation in the switch
+// combining tables (net::CombiningEngine, DESIGN.md §16); the Mpi layer
+// likewise falls back to select_*_host when the engine declines (message
+// above in_network_coll_max_bytes, or comm too small to profit).
+enum class BcastAlgo : int {
+  kAuto = 0, kBinomial, kPipelined, kScatterAllgather, kNicOffload, kInNetwork
+};
 enum class AllreduceAlgo : int {
-  kAuto = 0, kReduceBcast, kRecursiveDoubling, kRabenseifner, kNicOffload
+  kAuto = 0, kReduceBcast, kRecursiveDoubling, kRabenseifner, kNicOffload, kInNetwork
 };
 enum class AlltoallAlgo : int { kAuto = 0, kPairwise, kBruck };
 enum class ReduceScatterAlgo : int { kAuto = 0, kReduceScatter, kRecursiveHalving };
 enum class ScanAlgo : int { kAuto = 0, kLinear, kBinomial };
 /// Barrier pins (cfg.coll_barrier_algo): host dissemination is the only host
 /// algorithm, so the enum exists mainly to name the NIC pin.
-enum class BarrierAlgo : int { kAuto = 0, kDissemination = 1, kNicOffload = 4 };
+enum class BarrierAlgo : int {
+  kAuto = 0, kDissemination = 1, kNicOffload = 4, kInNetwork = 5
+};
+
+/// Whether in_network_topology_mask enables switch combining on the active
+/// topology (auto-selection gate; explicit pins bypass it).
+[[nodiscard]] bool in_network_enabled(const sim::MachineConfig& cfg) noexcept;
 
 // --- selection table (resolves kAuto; pins pass through) -------------------
 [[nodiscard]] BcastAlgo select_bcast(const sim::MachineConfig& cfg, std::size_t bytes, int n);

@@ -70,6 +70,9 @@ Machine::Machine(const sim::MachineConfig& cfg, int num_tasks, Backend backend)
     n->mpi = std::make_unique<Mpi>(*n->runtime, *n->channel, t, num_tasks_);
     hal::Hal* hal_ptr = n->hal.get();
     n->mpi->set_interrupt_hook([hal_ptr](bool on) { hal_ptr->set_interrupt_mode(on); });
+    // Every backend gets the switch combining engine: in-network collectives
+    // are a property of the interconnect, not of one adapter type.
+    n->mpi->set_combining(&fabric_->combining());
     nodes_.push_back(std::move(n));
   }
 }
@@ -163,6 +166,13 @@ Machine::Stats Machine::stats() const {
   for (const auto& n : nodes_) {
     s.hal_staged_bytes += n->hal->staged_bytes();
   }
+  const net::CombiningEngine& ce = fabric_->combining();
+  s.innet_collectives = ce.ops();
+  s.innet_combines = ce.combines();
+  s.innet_replications = ce.replications();
+  s.innet_dup_discards = ce.dup_discards();
+  s.innet_retransmits = ce.retransmits();
+  s.innet_table_peak = ce.table_peak();
   s.fabric_packets = fabric_->packets_delivered();
   s.fabric_bytes = fabric_->bytes_carried();
   s.fabric_dropped = fabric_->packets_dropped();
@@ -197,6 +207,12 @@ Machine::Stats Machine::stats_delta(const Stats& later, const Stats& earlier) no
   d.rdma_writes = later.rdma_writes - earlier.rdma_writes;
   d.rdma_reads = later.rdma_reads - earlier.rdma_reads;
   d.nic_collectives = later.nic_collectives - earlier.nic_collectives;
+  d.innet_collectives = later.innet_collectives - earlier.innet_collectives;
+  d.innet_combines = later.innet_combines - earlier.innet_combines;
+  d.innet_replications = later.innet_replications - earlier.innet_replications;
+  d.innet_dup_discards = later.innet_dup_discards - earlier.innet_dup_discards;
+  d.innet_retransmits = later.innet_retransmits - earlier.innet_retransmits;
+  d.innet_table_peak = later.innet_table_peak;  // a peak, not a counter
   d.rdma_retransmits = later.rdma_retransmits - earlier.rdma_retransmits;
   d.rdma_acks = later.rdma_acks - earlier.rdma_acks;
   d.rdma_duplicate_deliveries =
@@ -254,6 +270,16 @@ void Machine::print_stats(std::FILE* out) const {
                  static_cast<long long>(s.rdma_retransmits),
                  static_cast<long long>(s.rdma_acks),
                  static_cast<long long>(s.rdma_duplicate_deliveries));
+  }
+  if (s.innet_collectives > 0) {
+    std::fprintf(out, "innet:  %lld colls, %lld combines, %lld replications, "
+                 "%lld dup-discards, %lld retx, %lld table-peak\n",
+                 static_cast<long long>(s.innet_collectives),
+                 static_cast<long long>(s.innet_combines),
+                 static_cast<long long>(s.innet_replications),
+                 static_cast<long long>(s.innet_dup_discards),
+                 static_cast<long long>(s.innet_retransmits),
+                 static_cast<long long>(s.innet_table_peak));
   }
   std::fprintf(out, "lapi:   %lld messages, %lld retx, %lld dup-rcvd, %lld acks "
                "(%lld re-acks coalesced); completions: %lld thread, %lld inline\n",

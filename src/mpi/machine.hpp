@@ -82,6 +82,12 @@ class Machine {
     std::int64_t rdma_writes = 0;
     std::int64_t rdma_reads = 0;
     std::int64_t nic_collectives = 0;  ///< Collectives completed on the adapter.
+    std::int64_t innet_collectives = 0;    ///< Collectives combined in the switches.
+    std::int64_t innet_combines = 0;       ///< Element-level child folds.
+    std::int64_t innet_replications = 0;   ///< Downward replication fan-out.
+    std::int64_t innet_dup_discards = 0;   ///< Duplicates stopped by the seen-flags.
+    std::int64_t innet_retransmits = 0;    ///< Combining-tree hops retried after drops.
+    std::int64_t innet_table_peak = 0;     ///< Peak live combining-table entries.
     std::int64_t rdma_retransmits = 0;
     std::int64_t rdma_acks = 0;
     std::int64_t rdma_duplicate_deliveries = 0;

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "mpi/coll.hpp"
+#include "net/combining.hpp"
 
 namespace sp::mpi {
 
@@ -538,6 +539,39 @@ void* Mpi::buffer_detach() {
 // different-sized split() sub-communicators — where n <= 1 holds for some
 // members and not others — keep their coll_seq_ counters in lockstep.
 
+bool Mpi::innet_coll(const Comm& c, std::uint32_t seq, int root, std::byte* buf,
+                     std::size_t len, bool reduce_phase,
+                     std::function<void(std::byte*, const std::byte*, std::size_t)> combine) {
+  if (combining_ == nullptr || len > node_.cfg.in_network_coll_max_bytes) return false;
+  // Table-entry install + doorbell on the host side, then park the rank
+  // fiber until the engine's completion event fires — the same blocking
+  // idiom as the RDMA channel's NIC-resident collectives.
+  node_.app_charge(node_.cfg.innet_post_ns);
+  bool done = false;
+  sim::SimCondition cond;
+  net::CombiningEngine::Op op;
+  op.ctx = c.ctx();
+  op.seq = seq;
+  op.rank = c.rank();
+  op.root = root;
+  op.tasks = c.tasks();
+  op.buf = buf;
+  op.len = len;
+  op.reduce_phase = reduce_phase;
+  op.combine = std::move(combine);
+  op.on_done = [this, &done, &cond] {
+    node_.publish([this, &done, &cond] {
+      done = true;
+      cond.notify_all(node_.sim);
+    });
+  };
+  combining_->start(std::move(op));
+  assert(node_.thread != nullptr);
+  while (!done) cond.wait(*node_.thread);
+  node_.app_charge(node_.cfg.innet_post_ns);
+  return true;
+}
+
 void Mpi::barrier(const Comm& c) {
   SP_MPI_CALL(kBarrier);
   const int n = c.size();
@@ -549,7 +583,19 @@ void Mpi::barrier(const Comm& c) {
   // offload — or a host-only channel — falls back to dissemination, so the
   // pin is safe on every backend.
   const auto pin = static_cast<coll::BarrierAlgo>(node_.cfg.coll_barrier_algo);
-  if (pin != coll::BarrierAlgo::kDissemination && channel_.nic_offload()) {
+  // Switch-combining barrier (DESIGN.md §16): a zero-byte reduce phase
+  // through the combining tree. Tried before the NIC — when both are
+  // enabled the in-network path is strictly shallower.
+  if (pin == coll::BarrierAlgo::kInNetwork ||
+      (pin == coll::BarrierAlgo::kAuto && coll::in_network_enabled(node_.cfg))) {
+    CollScope span(node_, sim::CollAlgo::kBarrierInNetwork, 0);
+    if (innet_coll(c, static_cast<std::uint32_t>(tag), 0, nullptr, 0,
+                   /*reduce_phase=*/true, nullptr)) {
+      return;
+    }
+  }
+  if (pin != coll::BarrierAlgo::kDissemination && pin != coll::BarrierAlgo::kInNetwork &&
+      channel_.nic_offload()) {
     CollScope span(node_, sim::CollAlgo::kBarrierNicOffload, 0);
     if (channel_.nic_barrier(c.ctx(), static_cast<std::uint32_t>(tag), me, c.tasks())) {
       return;
@@ -572,6 +618,20 @@ void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& 
   if (n <= 1) return;
   const std::size_t bytes = count * datatype_size(d);
   coll::BcastAlgo algo = coll::select_bcast(node_.cfg, bytes, n);
+  // Switch-combining replication (pure data movement, bitwise identical to
+  // any host tree). Auto reaches here only via the topology mask; a pinned
+  // kInNetwork above the table cap falls back to the host auto table.
+  if (algo == coll::BcastAlgo::kInNetwork) {
+    {
+      CollScope innet_span(node_, sim::CollAlgo::kBcastInNetwork, bytes);
+      if (innet_coll(c, static_cast<std::uint32_t>(tag), root,
+                     static_cast<std::byte*>(buf), bytes, /*reduce_phase=*/false,
+                     nullptr)) {
+        return;
+      }
+    }
+    algo = coll::select_bcast_host(node_.cfg, bytes, n);
+  }
   // NIC offload: auto tries the adapter for small payloads (pure data
   // movement — bitwise identical to any host tree); a pinned kNicOffload is
   // attempted regardless of size and falls back to the host auto table when
@@ -633,6 +693,32 @@ void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype 
   // break cross-backend numeric equality. A pin attempts any type (the
   // NIC combine still folds in communicator rank order).
   const bool exact = d == Datatype::kByte || d == Datatype::kInt || d == Datatype::kLong;
+  // Switch-combining allreduce: the fixed child-port fold IS the sequential
+  // rank-order reduction, so like the NIC path, auto restricts itself to
+  // bitwise-exact element types while a pin attempts anything. n > 1 keeps
+  // the degenerate single-rank case on the host copy path.
+  if (algo == coll::AllreduceAlgo::kInNetwork &&
+      (node_.cfg.coll_allreduce_algo != 0 || exact) && n > 1) {
+    {
+      CollScope innet_span(node_, sim::CollAlgo::kAllreduceInNetwork, bytes);
+      if (bytes > 0 && bytes <= node_.cfg.in_network_coll_max_bytes &&
+          combining_ != nullptr) {
+        node_.app_charge(copy_cost(node_.cfg, bytes));
+        std::memcpy(recvb, sendb, bytes);
+      }
+      auto combine = [op, d](std::byte* into, const std::byte* from, std::size_t len) {
+        reduce_apply(op, d, from, into, len / datatype_size(d));
+      };
+      if (innet_coll(c, static_cast<std::uint32_t>(tag), 0,
+                     static_cast<std::byte*>(recvb), bytes, /*reduce_phase=*/true,
+                     std::move(combine))) {
+        return;
+      }
+    }
+  }
+  if (algo == coll::AllreduceAlgo::kInNetwork) {
+    algo = coll::select_allreduce_host(node_.cfg, bytes, n);
+  }
   const bool nic_capable = channel_.nic_offload() && n > 1 &&
                            bytes <= node_.cfg.rdma_nic_coll_max_bytes;
   if (algo == coll::AllreduceAlgo::kNicOffload ||

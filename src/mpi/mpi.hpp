@@ -20,6 +20,10 @@
 #include "mpi/derived_datatype.hpp"
 #include "sim/node_runtime.hpp"
 
+namespace sp::net {
+class CombiningEngine;
+}  // namespace sp::net
+
 namespace sp::mpi {
 
 using Status = mpci::Status;
@@ -189,11 +193,24 @@ class Mpi {
   void set_interrupt_mode(bool on);
   /// Wired by the Machine: flips the HAL delivery mode.
   void set_interrupt_hook(std::function<void(bool)> fn) { interrupt_hook_ = std::move(fn); }
+  /// Wired by the Machine: the fabric's switch-side combining engine
+  /// (DESIGN.md §16). Unlike the NIC offload this is a property of the
+  /// interconnect, so every channel gets it; null leaves in_network pins
+  /// falling back to the host algorithm table.
+  void set_combining(net::CombiningEngine* engine) { combining_ = engine; }
 
   [[nodiscard]] mpci::Channel& channel() noexcept { return channel_; }
   [[nodiscard]] sim::NodeRuntime& node() noexcept { return node_; }
 
  private:
+  /// Run one collective phase on the switch combining engine (blocking; the
+  /// rank fiber parks on a SimCondition until the engine delivers). `buf` is
+  /// contribution in / result out. Returns false when the engine is absent
+  /// or declines (len > in_network_coll_max_bytes) — caller falls back.
+  bool innet_coll(const Comm& c, std::uint32_t seq, int root, std::byte* buf,
+                  std::size_t len, bool reduce_phase,
+                  std::function<void(std::byte*, const std::byte*, std::size_t)> combine);
+
   void start_send_common(mpci::SendReq& req, const void* buf, std::size_t bytes, int dst,
                          int tag, const Comm& c, mpci::Mode mode, bool blocking);
   void start_bsend(mpci::SendReq& req, const void* buf, std::size_t bytes, int dst, int tag,
@@ -214,6 +231,7 @@ class Mpi {
   /// Buffered sends without a user-visible request, kept until drained.
   std::list<std::unique_ptr<mpci::SendReq>> orphans_;
   std::function<void(bool)> interrupt_hook_;
+  net::CombiningEngine* combining_ = nullptr;
 };
 
 }  // namespace sp::mpi

@@ -28,6 +28,7 @@ SwitchFabric::SwitchFabric(sim::Simulator& sim, const sim::MachineConfig& cfg, i
       rng_(cfg.fabric_seed) {
   assert(num_nodes >= 1);
   assert(cfg.num_routes >= 1);
+  combining_ = std::make_unique<CombiningEngine>(sim, cfg, *topo_);
   batching_ = cfg.fabric_delivery_batching == 1 ||
               (cfg.fabric_delivery_batching < 0 &&
                cfg.topology != sim::TopologyKind::kSpMultistage);

@@ -42,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/combining.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
 #include "sim/config.hpp"
@@ -88,7 +89,15 @@ class SwitchFabric {
   [[nodiscard]] bool delivery_batching() const noexcept { return batching_; }
 
   /// Wire structured telemetry (null disables; the fabric has no NodeRuntime).
-  void set_telemetry(sim::Telemetry* t) noexcept { telemetry_ = t; }
+  void set_telemetry(sim::Telemetry* t) noexcept {
+    telemetry_ = t;
+    combining_->set_telemetry(t);
+  }
+
+  /// The switch-side combining engine (DESIGN.md §16): in-network allreduce
+  /// partial reduction and bcast/barrier replication over this topology.
+  [[nodiscard]] CombiningEngine& combining() noexcept { return *combining_; }
+  [[nodiscard]] const CombiningEngine& combining() const noexcept { return *combining_; }
 
   /// The machine-wide frame recycler. Adapters acquire send frames from it
   /// and release frames after delivering them upward.
@@ -133,6 +142,7 @@ class SwitchFabric {
   const sim::MachineConfig& cfg_;
   int num_nodes_;
   std::unique_ptr<Topology> topo_;
+  std::unique_ptr<CombiningEngine> combining_;
   std::vector<Link> links_;  ///< one busy-until slot per directed link id
 
   std::vector<DeliverFn> deliver_;

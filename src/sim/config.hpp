@@ -196,6 +196,32 @@ struct MachineConfig {
   /// back to the host-side algorithm engine.
   std::size_t rdma_nic_coll_max_bytes = 2048;
 
+  // --- In-network combining collectives (sp::net, DESIGN.md §16) -----------
+  /// Largest payload the switch combining tables accept; bigger vectors fall
+  /// back to the host-side algorithm engine (table SRAM is scarce on real
+  /// combining switches, so the cap mirrors rdma_nic_coll_max_bytes).
+  std::size_t in_network_coll_max_bytes = 2048;
+  /// Per-topology auto-selection enablement: bit (1 << TopologyKind) allows
+  /// the selection engine to pick in_network on that fabric when unpinned.
+  /// Default 0: auto never selects it (every pinned digest predates the
+  /// engine); an explicit pin (coll id 5 / --coll-algo in_network) always
+  /// works regardless of the mask.
+  unsigned in_network_topology_mask = 0;
+  /// Per-level pipeline latency through one combining element (cut-through:
+  /// paid per level, but the payload is serialized only once end-to-end).
+  TimeNs innet_hop_ns = 120;
+  /// Fixed cost of folding one child contribution into an element's
+  /// accumulator, plus a per-byte term for the vector ALU.
+  TimeNs innet_combine_ns = 80;
+  double innet_combine_ns_per_byte = 0.5;
+  /// Host-side cost of posting one combining-collective descriptor (doorbell
+  /// + table-entry install) and of reaping its completion.
+  TimeNs innet_post_ns = 300;
+  /// Link-level retry interval when fault injection drops a combining-tree
+  /// hop (the table entry persists; the retransmit re-offers the same
+  /// contribution and the element's seen-flag makes re-combining impossible).
+  TimeNs innet_retry_ns = 2'000;
+
   // --- Early-arrival flow control (all channels) ----------------------------
   /// Sender-side cap on eager bytes in flight per destination before the
   /// sender falls back to rendezvous (counted in Machine::stats.ea_fallbacks).
@@ -246,7 +272,8 @@ struct MachineConfig {
   int coll_allreduce_algo = 0;
   /// Barrier: 0 = auto (NIC-offloaded when the channel has an adapter-
   /// resident barrier, else host dissemination), 1 = host dissemination,
-  /// 4 = NIC offload (falls back to dissemination off the RDMA channel).
+  /// 4 = NIC offload (falls back to dissemination off the RDMA channel),
+  /// 5 = in-network switch combining (DESIGN.md §16).
   int coll_barrier_algo = 0;
   int coll_alltoall_algo = 0;
   int coll_reduce_scatter_algo = 0;

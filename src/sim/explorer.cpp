@@ -434,6 +434,46 @@ void check_invariants(mpi::Backend backend, const mpi::Machine& machine,
   }
 }
 
+/// Rebuild a --coll-algo spec from a vector's pin nibbles (the reverse of
+/// apply_algo_spec's name lists) so a systematic token replays its collective
+/// phase under the same pinned algorithms standalone.
+[[nodiscard]] std::string sys_coll_spec(std::uint32_t coll_algos, std::uint32_t coll_ext) {
+  static const char* const kBcast[] = {"auto",              "binomial", "pipelined",
+                                       "scatter_allgather", "nic",      "in_network"};
+  static const char* const kAllreduce[] = {"auto",         "reduce_bcast", "recursive_doubling",
+                                           "rabenseifner", "nic",          "in_network"};
+  static const char* const kAlltoall[] = {"auto", "pairwise", "bruck"};
+  static const char* const kReduceScatter[] = {"auto", "reduce_scatter", "recursive_halving"};
+  static const char* const kScan[] = {"auto", "linear", "binomial"};
+  std::string s;
+  const auto add = [&s](const char* prim, const char* name) {
+    if (!s.empty()) s += ',';
+    s += prim;
+    s += '=';
+    s += name;
+  };
+  if (const std::uint32_t x = coll_algos & 0xF; x >= 1 && x <= 5) add("bcast", kBcast[x]);
+  if (const std::uint32_t x = (coll_algos >> 4) & 0xF; x >= 1 && x <= 5) {
+    add("allreduce", kAllreduce[x]);
+  }
+  if (const std::uint32_t x = (coll_algos >> 8) & 0xF; x >= 1 && x <= 2) {
+    add("alltoall", kAlltoall[x]);
+  }
+  if (const std::uint32_t x = (coll_algos >> 12) & 0xF; x >= 1 && x <= 2) {
+    add("reduce_scatter", kReduceScatter[x]);
+  }
+  if (const std::uint32_t x = (coll_algos >> 16) & 0xF; x >= 1 && x <= 2) add("scan", kScan[x]);
+  const std::uint32_t bar = coll_ext & 0xF;
+  if (bar == 1) {
+    add("barrier", "dissemination");
+  } else if (bar == 4) {
+    add("barrier", "nic");
+  } else if (bar == 5) {
+    add("barrier", "in_network");
+  }
+  return s;
+}
+
 }  // namespace
 
 MachineConfig Perturbation::apply(MachineConfig cfg) const {
@@ -452,6 +492,7 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
   cfg.coll_alltoall_algo = static_cast<int>((coll_algos >> 8) & 0xF);
   cfg.coll_reduce_scatter_algo = static_cast<int>((coll_algos >> 12) & 0xF);
   cfg.coll_scan_algo = static_cast<int>((coll_algos >> 16) & 0xF);
+  cfg.coll_barrier_algo = static_cast<int>(coll_ext & 0xF);
   cfg.topology = static_cast<TopologyKind>(topology);
   // Lossy runs use the soak timeout so go-back-N recovery happens promptly.
   if (drop_ppm > 0) cfg.retransmit_timeout_ns = 400'000;
@@ -462,24 +503,32 @@ MachineConfig Perturbation::apply(MachineConfig cfg) const {
 }
 
 std::string Perturbation::token() const {
-  // Systematic vectors append three fields ("x5"); everything else keeps the
-  // "x4" form so pre-existing pinned tokens stay byte-identical.
+  // Systematic vectors append three fields ("x5"); a barrier pin appends one
+  // more ("x6", which always carries the systematic fields too — versions
+  // stay append-only even when the vector is not systematic). Everything
+  // else keeps the "x4" form so pre-existing pinned tokens stay
+  // byte-identical.
   const bool sys = (flags & kFlagSystematic) != 0;
+  const bool ext = coll_ext != 0;
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s-%" PRIx64 "-%x-%x-%" PRIx64 "-%" PRIx64 "-%x-%x-%x-%" PRIx64 "-%" PRIx64
                 "-%x-%" PRIx64 "-%x-%x-%x-%x",
-                sys ? "x5" : "x4", seed, static_cast<unsigned>(nodes),
+                ext ? "x6" : (sys ? "x5" : "x4"), seed, static_cast<unsigned>(nodes),
                 static_cast<unsigned>(msgs_per_rank), workload_seed, fabric_seed, drop_ppm,
                 dup_ppm, route_bias_ppm, static_cast<std::uint64_t>(jitter_ns),
                 static_cast<std::uint64_t>(route_skew_ns), static_cast<unsigned>(burst),
                 tie_break_salt, flags, coll_algos, topology, channels);
   std::string t = buf;
-  if (sys) {
+  if (sys || ext) {
     std::snprintf(buf, sizeof(buf), "-%" PRIx64 "-%x-s",
                   static_cast<std::uint64_t>(sched_window_ns), sys_msg_bytes);
     t += buf;
     t += sched;  // lowercase hex decision digits (possibly empty)
+  }
+  if (ext) {
+    std::snprintf(buf, sizeof(buf), "-%x", coll_ext);
+    t += buf;
   }
   return t;
 }
@@ -500,10 +549,14 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   // pre-topology token (14 fields), "x3" appends topology (default 0 = SP
   // multistage), "x4" appends the channel-pairing field (default 0 = the
   // legacy Pipes <-> LAPI pair), "x5" appends the systematic-mode fields
-  // (candidate window, payload length, "s"-prefixed decision digits).
-  const bool sys = parts[0] == "x5";
-  if (!(sys && parts.size() == 20) && !(parts[0] == "x4" && parts.size() == 17) &&
-      !(parts[0] == "x3" && parts.size() == 16) && !(parts[0] == "x2" && parts.size() == 15)) {
+  // (candidate window, payload length, "s"-prefixed decision digits), "x6"
+  // appends the barrier-pin field (and therefore always carries the
+  // systematic fields, neutral when the vector is not systematic).
+  const bool ext = parts[0] == "x6";
+  const bool sys = parts[0] == "x5" || ext;
+  if (!(ext && parts.size() == 21) && !(parts[0] == "x5" && parts.size() == 20) &&
+      !(parts[0] == "x4" && parts.size() == 17) && !(parts[0] == "x3" && parts.size() == 16) &&
+      !(parts[0] == "x2" && parts.size() == 15)) {
     return std::nullopt;
   }
   // Strict lowercase-hex fields only. strtoull would silently accept leading
@@ -528,9 +581,10 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
     return true;
   };
   std::uint64_t v[18] = {};
-  // Numeric fields are parts[1..numeric]; x5 tokens end with the "s..."
-  // decision part, everything before it (after the version) is numeric.
-  const std::size_t numeric = sys ? parts.size() - 2 : parts.size() - 1;
+  // Numeric fields are parts[1..numeric]; x5/x6 tokens carry the "s..."
+  // decision part at index 19 (x6 appends one more numeric field after it),
+  // everything before it (after the version) is numeric.
+  const std::size_t numeric = sys ? 18 : parts.size() - 1;
   for (std::size_t i = 0; i < numeric; ++i) {
     if (!u64(parts[i + 1], v[i])) return std::nullopt;
   }
@@ -554,21 +608,36 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
   if (sys) {
     p.sched_window_ns = static_cast<TimeNs>(v[16]);
     p.sys_msg_bytes = static_cast<std::uint32_t>(v[17]);
-    const std::string& s = parts.back();
+    const std::string& s = parts[19];
     if (s.empty() || s[0] != 's') return std::nullopt;
     p.sched = s.substr(1);
     for (char c : p.sched) {
       if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return std::nullopt;
     }
-    // The flag and the version must agree; the backend nibble must name a
-    // real backend; systematic workloads are bounded (k rides in one byte).
-    const std::uint32_t backend = (p.flags & kBackendMask) >> kBackendShift;
-    if ((p.flags & kFlagSystematic) == 0 || backend > 4 || p.msgs_per_rank > 255 ||
-        p.sys_msg_bytes < 1 || p.sys_msg_bytes > 65536 || p.sched.size() > 4096) {
-      return std::nullopt;
+    if ((p.flags & kFlagSystematic) != 0) {
+      // The backend nibble must name a real backend; systematic workloads
+      // are bounded (k rides in one byte).
+      const std::uint32_t backend = (p.flags & kBackendMask) >> kBackendShift;
+      if (backend > 4 || p.msgs_per_rank > 255 || p.sys_msg_bytes < 1 ||
+          p.sys_msg_bytes > 65536 || p.sched.size() > 4096) {
+        return std::nullopt;
+      }
+    } else if (ext) {
+      // Non-systematic x6 vectors carry the systematic fields inert; a
+      // decision string without the flag is a corrupted token, not a vector.
+      if (!p.sched.empty() || p.sched_window_ns != 0) return std::nullopt;
+    } else {
+      return std::nullopt;  // x5 requires the systematic flag
     }
   } else if ((p.flags & kFlagSystematic) != 0) {
     return std::nullopt;  // pre-x5 tokens cannot carry the systematic flag
+  }
+  if (ext) {
+    std::uint64_t ce = 0;
+    if (!u64(parts[20], ce)) return std::nullopt;
+    // Barrier pins only (one nibble); ids 2-3 do not exist for barrier.
+    if (ce > 5 || ce == 2 || ce == 3) return std::nullopt;
+    p.coll_ext = static_cast<std::uint32_t>(ce);
   }
   if (p.nodes < 2 || p.nodes > 64 || p.msgs_per_rank < 1 || p.msgs_per_rank > 4096 ||
       p.burst < 1 || p.burst > 64 || p.drop_ppm > 500'000 || p.dup_ppm > 500'000 ||
@@ -577,10 +646,11 @@ std::optional<Perturbation> Perturbation::parse(const std::string& token) {
     return std::nullopt;
   }
   // Per-primitive pin bounds: bcast/allreduce have 3 host algorithms + the
-  // NIC offload (4) + auto, alltoall/reduce_scatter/scan have 2 + auto;
-  // nothing above the scan nibble.
+  // NIC offload (4) + the in-network combining tables (5) + auto,
+  // alltoall/reduce_scatter/scan have 2 + auto; nothing above the scan
+  // nibble.
   const std::uint32_t a = p.coll_algos;
-  if ((a >> 20) != 0 || (a & 0xF) > 4 || ((a >> 4) & 0xF) > 4 || ((a >> 8) & 0xF) > 2 ||
+  if ((a >> 20) != 0 || (a & 0xF) > 5 || ((a >> 4) & 0xF) > 5 || ((a >> 8) & 0xF) > 2 ||
       ((a >> 12) & 0xF) > 2 || ((a >> 16) & 0xF) > 2) {
     return std::nullopt;
   }
@@ -635,6 +705,19 @@ Perturbation Explorer::perturbation_for(std::uint64_t seed) const {
   // after topology so earlier fields stay seed-stable): evenly split between
   // pipes<->rdma, lapi<->rdma and the full trio.
   if (g.next_below(2) != 0) p.channels = 1 + g.next_below(3);
+  // In-network draws, kept last so every earlier field stays seed-stable:
+  // when collectives are pinned, an eighth of the space upgrades the bcast
+  // and/or allreduce nibble to the switch-combining id (5), and a quarter of
+  // the whole space pins the barrier algorithm (the x6 token field; barrier
+  // ids are 1/4/5 — there is no host-algorithm choice beyond dissemination).
+  if (p.coll_algos != 0) {
+    if (g.next_below(8) == 0) p.coll_algos = (p.coll_algos & ~0xFu) | 5u;
+    if (g.next_below(8) == 0) p.coll_algos = (p.coll_algos & ~0xF0u) | (5u << 4);
+  }
+  if (g.next_below(4) == 0) {
+    static constexpr std::uint32_t kBarrierIds[] = {1, 4, 5};
+    p.coll_ext = kBarrierIds[g.next_below(3)];
+  }
   if (opts_.inject_reack_bug) p.flags |= Perturbation::kFlagReackStormBug;
   return p;
 }
@@ -713,6 +796,7 @@ std::optional<std::string> Explorer::check(const Perturbation& p) {
     sopts.backend = static_cast<mpi::Backend>((p.flags & Perturbation::kBackendMask) >>
                                               Perturbation::kBackendShift);
     sopts.base_config = opts_.base_config;
+    sopts.coll_spec = sys_coll_spec(p.coll_algos, p.coll_ext);
     std::vector<std::uint8_t> decisions;
     decisions.reserve(p.sched.size());
     for (char c : p.sched) {
@@ -841,6 +925,7 @@ Perturbation Explorer::shrink(Perturbation p) {
       with([](Perturbation& q) { q.tie_break_salt = 0; });
       with([](Perturbation& q) { q.flags &= ~Perturbation::kFlagInterruptMode; });
       with([](Perturbation& q) { q.coll_algos = 0; });
+      with([](Perturbation& q) { q.coll_ext = 0; });
       return c;
     }();
     for (const Perturbation& q : ablations) {

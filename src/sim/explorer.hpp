@@ -105,6 +105,13 @@ struct Perturbation {
   /// index in canonical (at, seq) order); "" replays the canonical schedule.
   std::string sched;
 
+  /// Barrier-algorithm pin in bits [0,4): MachineConfig::coll_barrier_algo
+  /// values (0 auto, 1 dissemination, 4 NIC offload, 5 in-network combining).
+  /// Final field of "x6-" tokens, appended after the systematic fields per
+  /// the append-only rule; token() emits x6 only when this is non-zero, so
+  /// every pre-existing pinned x2/x3/x4/x5 token stays byte-identical.
+  std::uint32_t coll_ext = 0;
+
   bool operator==(const Perturbation&) const = default;
 
   /// Overlay this vector on a base config (also enables telemetry: the

@@ -11,6 +11,7 @@
 #include <tuple>
 #include <utility>
 
+#include "mpi/coll.hpp"
 #include "sim/explorer.hpp"
 #include "sim/sched.hpp"
 
@@ -213,6 +214,7 @@ struct SysObs {
   bool status_ok = true;
   bool payload_ok = true;
   bool order_ok = true;  ///< Per-source non-overtaking.
+  bool coll_ok = true;   ///< Collective-phase results == sequential reference.
 };
 
 /// Wildcard-heavy workload: every receive is MPI_ANY_SOURCE, so which sender
@@ -278,6 +280,43 @@ void systematic_workload(const SystematicOptions& o, mpi::Mpi& mpi, std::vector<
   for (int s = 0; s < n; ++s) {
     if (s != me && next_k[static_cast<std::size_t>(s)] != m) so.order_ok = false;
   }
+
+  // Optional pinned-collective phase (SystematicOptions::coll_spec): barrier +
+  // non-commutative allreduce + bcast after the wildcard storm, each checked
+  // in-fiber against the exact sequential reference. Because the check runs on
+  // EVERY enumerated interleaving, any schedule-dependence in the pinned
+  // algorithm (e.g. an in-network combining table folding children in arrival
+  // order instead of port order) surfaces as a coll_ok violation with a
+  // shrunk repro token.
+  if (!o.coll_spec.empty()) {
+    mpi.barrier(w);
+    // kMat2x2 is associative but not commutative: operand-order mistakes
+    // cannot cancel the way they can under kSum.
+    std::int64_t in4[4], out4[4] = {0, 0, 0, 0};
+    for (int j = 0; j < 4; ++j) in4[j] = static_cast<std::int64_t>(me * 4 + j + 2);
+    mpi.allreduce(in4, out4, 4, Datatype::kLong, mpi::Op::kMat2x2, w);
+    std::int64_t ref4[4] = {0, 0, 0, 0};
+    for (int r = 0; r < n; ++r) {
+      std::int64_t contrib[4];
+      for (int j = 0; j < 4; ++j) contrib[j] = static_cast<std::int64_t>(r * 4 + j + 2);
+      if (r == 0) {
+        std::memcpy(ref4, contrib, sizeof ref4);
+      } else {
+        mpi::reduce_apply(mpi::Op::kMat2x2, Datatype::kLong, contrib, ref4, 4);
+      }
+    }
+    for (int j = 0; j < 4; ++j) {
+      if (out4[j] != ref4[j]) so.coll_ok = false;
+      so.outcome = fnv(so.outcome, static_cast<std::uint64_t>(out4[j]));
+    }
+    std::int64_t b4[4];
+    for (int j = 0; j < 4; ++j) b4[j] = me == 0 ? 1000 + j * 37 : -1;
+    mpi.bcast(b4, 4, Datatype::kLong, 0, w);
+    for (int j = 0; j < 4; ++j) {
+      if (b4[j] != 1000 + j * 37) so.coll_ok = false;
+      so.outcome = fnv(so.outcome, static_cast<std::uint64_t>(b4[j]));
+    }
+  }
 }
 
 [[nodiscard]] MachineConfig clean_config(const SystematicOptions& opts,
@@ -297,6 +336,12 @@ void systematic_workload(const SystematicOptions& o, mpi::Mpi& mpi, std::vector<
   cfg.trace_enabled = false;
   cfg.sched_controller = ctrl;
   cfg.sched_window_ns = opts.window_ns;
+  if (!opts.coll_spec.empty()) {
+    std::string err;
+    if (!mpi::coll::apply_algo_spec(cfg, opts.coll_spec, &err)) {
+      throw std::invalid_argument("systematic coll_spec: " + err);
+    }
+  }
   return cfg;
 }
 
@@ -319,18 +364,22 @@ void systematic_workload(const SystematicOptions& o, mpi::Mpi& mpi, std::vector<
   }
   r.outcome_digest = kFnvBasis;
   r.invariant_digest = kFnvBasis;
-  bool status_ok = true, payload_ok = true, order_ok = true;
+  bool status_ok = true, payload_ok = true, order_ok = true, coll_ok = true;
   for (const SysObs& o : obs) {
     r.outcome_digest = fnv(r.outcome_digest, o.outcome);
     r.invariant_digest = fnv(r.invariant_digest, o.invariant);
     status_ok = status_ok && o.status_ok;
     payload_ok = payload_ok && o.payload_ok;
     order_ok = order_ok && o.order_ok;
+    coll_ok = coll_ok && o.coll_ok;
   }
   if (!status_ok) r.violations.push_back("wildcard status fields corrupt (tag/len/source)");
   if (!payload_ok) r.violations.push_back("received payload bytes corrupted");
   if (!order_ok) {
     r.violations.push_back("per-source non-overtaking violated (k sequence out of order)");
+  }
+  if (!coll_ok) {
+    r.violations.push_back("pinned collective result diverged from the sequential reference");
   }
   r.redundant = ctrl.redundant();
   r.depth_limited = ctrl.depth_limited();
@@ -357,6 +406,20 @@ void systematic_workload(const SystematicOptions& o, mpi::Mpi& mpi, std::vector<
   p.sched_window_ns = opts.window_ns;
   p.sys_msg_bytes = opts.msg_bytes;
   p.sched = decisions_to_hex(decisions);
+  // A collective-phase spec rides in the pin nibbles (x6 when the barrier is
+  // pinned) so the token replays the same pinned algorithms standalone.
+  if (!opts.coll_spec.empty()) {
+    MachineConfig c;
+    std::string err;
+    if (mpi::coll::apply_algo_spec(c, opts.coll_spec, &err)) {
+      p.coll_algos = static_cast<std::uint32_t>(c.coll_bcast_algo & 0xF) |
+                     (static_cast<std::uint32_t>(c.coll_allreduce_algo & 0xF) << 4) |
+                     (static_cast<std::uint32_t>(c.coll_alltoall_algo & 0xF) << 8) |
+                     (static_cast<std::uint32_t>(c.coll_reduce_scatter_algo & 0xF) << 12) |
+                     (static_cast<std::uint32_t>(c.coll_scan_algo & 0xF) << 16);
+      p.coll_ext = static_cast<std::uint32_t>(c.coll_barrier_algo & 0xF);
+    }
+  }
   return p.token();
 }
 

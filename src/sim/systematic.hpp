@@ -49,6 +49,14 @@ struct SystematicOptions {
   /// duplicates — the sleep-set non-redundancy check (O(events^2) per run,
   /// test-sized configs only).
   bool canonical_check = false;
+  /// Optional collective phase: a --coll-algo spec (e.g.
+  /// "allreduce=in_network,bcast=in_network,barrier=in_network") applied to
+  /// the machine config; the workload then appends a barrier + non-commutative
+  /// allreduce + bcast after the wildcard phase, each checked in-fiber
+  /// against the exact sequential reference on EVERY interleaving — pinning
+  /// that the pinned algorithm is schedule-invariant. Empty = off (the
+  /// pre-existing certificates are enumerated over the unchanged workload).
+  std::string coll_spec{};
   std::FILE* log = nullptr;
   MachineConfig base_config{};
 };

@@ -46,6 +46,8 @@ constexpr std::array<EvInfo, kNumEvents> kEvInfo = {{
     {"nas.kernel_end", Layer::kNas},
     {"mpi.coll_begin", Layer::kMpi},
     {"mpi.coll_end", Layer::kMpi},
+    {"net.innet_combine", Layer::kNet},
+    {"net.innet_replicate", Layer::kNet},
 }};
 
 constexpr std::array<const char*, kNumLayers> kLayerNames = {
@@ -70,7 +72,8 @@ constexpr std::array<const char*, kNumCollAlgos> kCollAlgoNames = {
     "reduce_scatter/reduce_scatter", "reduce_scatter/recursive_halving",
     "scan/linear",             "scan/binomial",
     "exscan/linear",           "exscan/binomial",
-    "bcast/nic_offload",       "allreduce/nic_offload",   "barrier/nic_offload"};
+    "bcast/nic_offload",       "allreduce/nic_offload",   "barrier/nic_offload",
+    "bcast/in_network",        "allreduce/in_network",    "barrier/in_network"};
 
 constexpr std::array<const char*, kNumHists> kHistNames = {
     "mpi_call_ns", "irq_service_ns", "match_scanned", "msg_bytes"};

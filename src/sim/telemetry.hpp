@@ -75,8 +75,11 @@ enum class Ev : std::uint16_t {
   // pinned telemetry digests of runs that emit none of these — stay stable)
   kCollBegin,        ///< a0 = CollAlgo, a1 = payload bytes
   kCollEnd,          ///< a0 = CollAlgo, a1 = span duration ns
+  // in-network combining engine (appended; same digest-stability rule)
+  kInnetCombine,     ///< a0 = children folded, a1 = payload bytes
+  kInnetReplicate,   ///< a0 = replication fan-out, a1 = payload bytes
 };
-inline constexpr int kNumEvents = static_cast<int>(Ev::kCollEnd) + 1;
+inline constexpr int kNumEvents = static_cast<int>(Ev::kInnetReplicate) + 1;
 
 [[nodiscard]] const char* event_name(Ev e) noexcept;
 [[nodiscard]] Layer event_layer(Ev e) noexcept;
@@ -111,8 +114,10 @@ enum class CollAlgo : std::uint8_t {
   // NIC-offloaded variants (appended so runs that emit none of these keep
   // their pinned digests — same append-only rule as Ev).
   kBcastNicOffload, kAllreduceNicOffload, kBarrierNicOffload,
+  // In-network switch-combining variants (appended; same rule).
+  kBcastInNetwork, kAllreduceInNetwork, kBarrierInNetwork,
 };
-inline constexpr int kNumCollAlgos = static_cast<int>(CollAlgo::kBarrierNicOffload) + 1;
+inline constexpr int kNumCollAlgos = static_cast<int>(CollAlgo::kBarrierInNetwork) + 1;
 [[nodiscard]] const char* coll_algo_name(CollAlgo a) noexcept;
 
 /// Live latency/size distributions, log2-bucketed (HDR style).

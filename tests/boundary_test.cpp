@@ -4,8 +4,10 @@
 // backend — the classic home of off-by-one reassembly bugs.
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <vector>
 
+#include "mpi/coll.hpp"
 #include "mpi/machine.hpp"
 
 namespace sp::mpi {
@@ -76,6 +78,103 @@ std::string boundary_name(const ::testing::TestParamInfo<BoundaryParam>& info) {
 
 INSTANTIATE_TEST_SUITE_P(Edges, BoundarySizes, ::testing::ValuesIn(boundary_params()),
                          boundary_name);
+
+// ---------------------------------------------------------------------------
+// Collective edge cases for the in-network combining engine (DESIGN.md §16):
+// zero counts, size-1 communicators, self-only sub-comms, and sizes
+// straddling the combining-table byte cap. Each reuses the PR 5 tag-hoist
+// audit: every call must consume exactly one collective tag on every rank,
+// so mixed comm sizes stay in lockstep.
+// ---------------------------------------------------------------------------
+
+sim::MachineConfig innet_cfg() {
+  sim::MachineConfig cfg;
+  std::string err;
+  EXPECT_TRUE(coll::apply_algo_spec(
+      cfg, "bcast=in_network,allreduce=in_network,barrier=in_network", &err))
+      << err;
+  return cfg;
+}
+
+TEST(CollEdge, InNetworkZeroCountIsWellDefined) {
+  Machine m(innet_cfg(), 4, Backend::kLapiEnhanced);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    // count == 0 (null buffers) through the combining tables: must neither
+    // crash nor desync, and the machine stays healthy afterwards.
+    mpi.bcast(nullptr, 0, Datatype::kInt, 0, w);
+    mpi.allreduce(nullptr, nullptr, 0, Datatype::kLong, Op::kSum, w);
+    mpi.barrier(w);
+    long mine = w.rank() + 1, sum = 0;
+    mpi.allreduce(&mine, &sum, 1, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(sum, static_cast<long>(w.size()) * (w.size() + 1) / 2);
+  });
+  EXPECT_GT(m.stats().innet_collectives, 0);
+}
+
+TEST(CollEdge, InNetworkSizeOneComm) {
+  Machine m(innet_cfg(), 1, Backend::kLapiEnhanced);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    mpi.barrier(w);
+    long v = 41;
+    mpi.bcast(&v, 1, Datatype::kLong, 0, w);
+    EXPECT_EQ(v, 41);
+    long out = -1;
+    mpi.allreduce(&v, &out, 1, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(out, 41);
+  });
+}
+
+TEST(CollEdge, InNetworkSelfCommKeepsTagsAligned) {
+  // Rank 0 sits alone in its split colour: its size-1 sub-comm collectives
+  // must consume the same number of tags as the size-(n-1) ones, and the
+  // world-wide in-network allreduce afterwards must still line up.
+  Machine m(innet_cfg(), 5, Backend::kLapiEnhanced);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    Comm sub = mpi.split(w, w.rank() == 0 ? 0 : 1, w.rank());
+    mpi.barrier(sub);
+    std::vector<long> b(4, sub.rank() == 0 ? 19 : -1);
+    mpi.bcast(b.data(), 4, Datatype::kLong, 0, sub);
+    for (long x : b) EXPECT_EQ(x, 19);
+    long mine = w.rank(), total = -1;
+    mpi.allreduce(&mine, &total, 1, Datatype::kLong, Op::kSum, sub);
+    long world_total = -1;
+    mpi.allreduce(&mine, &world_total, 1, Datatype::kLong, Op::kSum, w);
+    EXPECT_EQ(world_total, static_cast<long>(w.size()) * (w.size() - 1) / 2);
+  });
+  EXPECT_GT(m.stats().innet_collectives, 0);
+}
+
+TEST(CollEdge, InNetworkCapStraddleFallsBackCleanly) {
+  // Vectors one element under, at, and over in_network_coll_max_bytes: the
+  // over-cap call must fall back to the host engine on every rank (no rank
+  // may disagree about the path) and all three must reduce correctly.
+  sim::MachineConfig cfg = innet_cfg();
+  const std::size_t cap = cfg.in_network_coll_max_bytes / sizeof(long);
+  Machine m(cfg, 4, Backend::kLapiEnhanced);
+  m.run([&](Mpi& mpi) {
+    Comm& w = mpi.world();
+    const int n = w.size();
+    for (const std::size_t count : {cap - 1, cap, cap + 1}) {
+      std::vector<long> in(count), out(count, -1);
+      for (std::size_t i = 0; i < count; ++i) {
+        in[i] = static_cast<long>(i) + w.rank() + 1;
+      }
+      mpi.allreduce(in.data(), out.data(), count, Datatype::kLong, Op::kSum, w);
+      std::size_t bad = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const long want = static_cast<long>(n) * (static_cast<long>(i) + 1) +
+                          static_cast<long>(n) * (n - 1) / 2;
+        if (out[i] != want) ++bad;
+      }
+      EXPECT_EQ(bad, 0u) << "count=" << count << " rank=" << w.rank();
+    }
+  });
+  const auto s = m.stats();
+  EXPECT_GT(s.innet_collectives, 0);  // the two in-cap calls went in-network
+}
 
 }  // namespace
 }  // namespace sp::mpi

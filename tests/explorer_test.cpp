@@ -90,7 +90,10 @@ TEST(ExplorerToken, RejectsMalformed) {
   p.route_bias_ppm = 1'000'001;
   reject(p);
   p = busy_vector();
-  p.coll_algos = 0x5;  // bcast nibble past the NIC offload
+  p.coll_algos = 0x6;  // bcast nibble past the in-network combining id
+  reject(p);
+  p = busy_vector();
+  p.coll_algos = 0x60;  // allreduce nibble past the in-network combining id
   reject(p);
   p = busy_vector();
   p.coll_algos = 0x30000;  // scan nibble past its last algorithm
@@ -262,9 +265,11 @@ TEST(ExplorerConformance, AlgorithmChoiceNeverChangesCollectiveResults) {
   for (std::uint32_t pins : {0x11111u,   // binomial/reduce_bcast/pairwise/via-reduce/linear
                              0x21232u,   // the "new" algorithms for every primitive
                              0x02222u,   // pipelined/rec-doubling/bruck/halving, auto scan
-                             0x00030u}) {  // only allreduce pinned (Rabenseifner)
+                             0x00030u,   // only allreduce pinned (Rabenseifner)
+                             0x00055u}) {  // bcast+allreduce through the switch tables
     Perturbation q = p;
     q.coll_algos = pins;
+    if (pins == 0x00055u) q.coll_ext = 5;  // and the in-network barrier
     const auto pinned = ex.run_channel(q, Backend::kLapiEnhanced);
     ASSERT_TRUE(pinned.ok()) << "pins=0x" << std::hex << pins << ": "
                              << (pinned.invariant_violations.empty()
@@ -422,6 +427,56 @@ TEST(ExplorerToken, RejectsMalformedSystematic) {
   reject(q);
 }
 
+TEST(ExplorerToken, X6TokensRoundTripAndValidate) {
+  // The barrier-pin field ("x6", appended after the systematic fields per
+  // the append-only rule) round-trips for both systematic and
+  // non-systematic vectors, and only when it is non-zero — an unpinned
+  // barrier keeps every older token byte-identical.
+  Perturbation p = busy_vector();
+  p.coll_algos = 0x00055u;  // bcast and allreduce through the switch tables
+  p.coll_ext = 5;           // in-network barrier
+  const std::string tok = p.token();
+  ASSERT_EQ(tok.substr(0, 3), "x6-") << tok;
+  const auto back = Perturbation::parse(tok);
+  ASSERT_TRUE(back.has_value()) << tok;
+  EXPECT_EQ(*back, p);
+  EXPECT_EQ(back->token(), tok);
+
+  Perturbation sp = systematic_vector();
+  sp.coll_algos = 0x55;
+  sp.coll_ext = 1;  // dissemination barrier
+  const std::string stok = sp.token();
+  ASSERT_EQ(stok.substr(0, 3), "x6-") << stok;
+  const auto sback = Perturbation::parse(stok);
+  ASSERT_TRUE(sback.has_value()) << stok;
+  EXPECT_EQ(*sback, sp);
+  EXPECT_EQ(sback->token(), stok);
+
+  // Every strict prefix of an x6 token fails to parse: unlike x5, the
+  // decision digits are not the trailing field, so a truncation can never be
+  // mistaken for a shorter valid schedule.
+  for (std::size_t cut = 0; cut < stok.size(); ++cut) {
+    EXPECT_FALSE(Perturbation::parse(stok.substr(0, cut)).has_value())
+        << "prefix " << stok.substr(0, cut);
+  }
+  EXPECT_FALSE(Perturbation::parse(tok + "-0").has_value());  // field extra
+
+  auto reject = [](Perturbation q) {
+    EXPECT_FALSE(Perturbation::parse(q.token()).has_value()) << q.token();
+  };
+  // Barrier ids 2-3 do not exist; 6 is past the in-network id.
+  for (std::uint32_t bad : {2u, 3u, 6u, 0x15u}) {
+    Perturbation q = p;
+    q.coll_ext = bad;
+    reject(q);
+  }
+  // A non-systematic x6 vector must carry the systematic fields inert: a
+  // decision string without the flag is a corrupted token.
+  Perturbation q = p;
+  q.sched = "102";
+  reject(q);
+}
+
 TEST(ExplorerToken, RejectsGarbageHexFields) {
   // Perturbation::parse used to lean on strtoull, which silently accepted
   // leading whitespace, sign characters, "0x" prefixes, and values that wrap
@@ -485,6 +540,19 @@ TEST(ExplorerToken, FuzzParseTokenRoundTrip) {
     p.topology = static_cast<std::uint32_t>(next() % 5);
     p.channels = static_cast<std::uint32_t>(next() % 4);
     if (next() & 1) {
+      // Any in-range pin combination, including the in-network id (5) on the
+      // bcast/allreduce nibbles.
+      p.coll_algos = static_cast<std::uint32_t>(next() % 6) |
+                     (static_cast<std::uint32_t>(next() % 6) << 4) |
+                     (static_cast<std::uint32_t>(next() % 3) << 8) |
+                     (static_cast<std::uint32_t>(next() % 3) << 12) |
+                     (static_cast<std::uint32_t>(next() % 3) << 16);
+    }
+    {
+      static constexpr std::uint32_t kExt[] = {0, 0, 1, 4, 5};  // half stay x4/x5
+      p.coll_ext = kExt[next() % 5];
+    }
+    if (next() & 1) {
       p.flags |= Perturbation::kFlagSystematic |
                  (static_cast<std::uint32_t>(next() % 5) << Perturbation::kBackendShift);
       p.nodes = 2 + static_cast<int>(next() % 3);
@@ -504,9 +572,12 @@ TEST(ExplorerToken, FuzzParseTokenRoundTrip) {
 
     // Truncations: a strict prefix must fail to parse — except an x5 prefix
     // cut inside the trailing decision digits, which is a structurally valid
-    // shorter schedule (the shrinker relies on exactly that).
+    // shorter schedule (the shrinker relies on exactly that). x6 tokens put
+    // the barrier-pin field after the digits, so no x6 prefix is a token.
     const std::size_t sched_start =
-        (p.flags & Perturbation::kFlagSystematic) != 0 ? tok.rfind('s') + 1 : tok.size();
+        (p.flags & Perturbation::kFlagSystematic) != 0 && p.coll_ext == 0
+            ? tok.rfind('s') + 1
+            : tok.size();
     for (std::size_t cut = 0; cut < tok.size(); cut += 1 + tok.size() / 23) {
       const std::string prefix = tok.substr(0, cut);
       const auto parsed = Perturbation::parse(prefix);

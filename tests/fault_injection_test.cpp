@@ -169,7 +169,11 @@ TEST(FaultSoak, PinnedCollectiveAlgorithmsSurviveLoss) {
       "bcast=pipelined",       "bcast=scatter_allgather",
       "allreduce=recursive_doubling", "allreduce=rabenseifner",
       "alltoall=bruck",        "reduce_scatter=recursive_halving",
-      "scan=binomial",         "bcast=nic,allreduce=nic,barrier=nic"};
+      "scan=binomial",         "bcast=nic,allreduce=nic,barrier=nic",
+      // The combining-table state machine must survive drop/dup/retransmit
+      // without double-combining (the element seen-flags); big vectors fall
+      // back to the host engine, the small ones below go through the switch.
+      "bcast=in_network,allreduce=in_network,barrier=in_network"};
   const std::vector<double> drops =
       soak_mode() ? std::vector<double>{0.01, 0.05} : std::vector<double>{0.03};
   const std::vector<Backend> backends =
@@ -205,7 +209,24 @@ TEST(FaultSoak, PinnedCollectiveAlgorithmsSurviveLoss) {
           mpi.allreduce(in.data(), out.data(), kBig, sp::mpi::Datatype::kLong,
                         sp::mpi::Op::kSum, w);
           if (std::memcmp(out.data(), ref.data(), kBig * 8) != 0) ++bad;
-          mpi.barrier(w);  // exercises barrier=nic pins under loss
+          mpi.barrier(w);  // exercises barrier=nic / barrier=in_network under loss
+
+          // Small (512 B) allreduce + bcast: fits the NIC and combining-table
+          // caps, so offloaded pins run their actual protocol under loss.
+          mpi.allreduce(in.data(), out.data(), kSmall, sp::mpi::Datatype::kLong,
+                        sp::mpi::Op::kSum, w);
+          for (std::size_t i = 0; i < kSmall; ++i) {
+            if (out[i] != ref[i]) ++bad;
+          }
+          if (me == 0) {
+            for (std::size_t i = 0; i < kSmall; ++i) out[i] = val(0, i) * 9 + 1;
+          } else {
+            std::fill(out.begin(), out.begin() + kSmall, 0);
+          }
+          mpi.bcast(out.data(), kSmall, sp::mpi::Datatype::kLong, 0, w);
+          for (std::size_t i = 0; i < kSmall; ++i) {
+            if (out[i] != val(0, i) * 9 + 1) ++bad;
+          }
 
           if (me == n - 1) {
             for (std::size_t i = 0; i < kBig; ++i) out[i] = val(n - 1, i) * 5 + 3;

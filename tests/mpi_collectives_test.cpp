@@ -588,13 +588,13 @@ void split_workload(Mpi& mpi, std::uint64_t& h) {
 
 TEST_P(CollMatrix, Bcast) {
   check({"bcast=binomial", "bcast=pipelined", "bcast=scatter_allgather", "bcast=nic",
-         "all=auto"},
+         "bcast=in_network", "all=auto"},
         bcast_workload);
 }
 
 TEST_P(CollMatrix, AllreduceAndReduce) {
   check({"allreduce=reduce_bcast", "allreduce=recursive_doubling", "allreduce=rabenseifner",
-         "allreduce=nic", "all=auto"},
+         "allreduce=nic", "allreduce=in_network", "all=auto"},
         allreduce_workload);
 }
 
@@ -613,8 +613,51 @@ TEST_P(CollMatrix, ScanAndExscan) {
 
 TEST_P(CollMatrix, SplitSubCommunicators) {
   check({"all=auto", "allreduce=rabenseifner,scan=binomial",
-         "allreduce=recursive_doubling,scan=linear"},
+         "allreduce=recursive_doubling,scan=linear",
+         "allreduce=in_network,scan=binomial"},
         split_workload);
+}
+
+// In-network cells keyed by topology: the combining tree's shape (radix,
+// depth) differs per fabric, but the fixed child-port fold must keep every
+// topology's digest identical to the SP multistage cell — and the engine
+// must actually engage (stats, not just matching results).
+TEST_P(CollMatrix, InNetworkBitIdenticalAcrossTopologies) {
+  const int n = GetParam();
+  std::uint64_t first = 0;
+  bool have = false;
+  for (const sim::TopologyKind topo :
+       {sim::TopologyKind::kSpMultistage, sim::TopologyKind::kFatTree,
+        sim::TopologyKind::kTorus3d, sim::TopologyKind::kDragonfly}) {
+    sim::MachineConfig cfg;
+    cfg.topology = topo;
+    std::string err;
+    ASSERT_TRUE(coll::apply_algo_spec(
+        cfg, "bcast=in_network,allreduce=in_network,barrier=in_network", &err))
+        << err;
+    Machine m(cfg, n, Backend::kLapiEnhanced);
+    std::vector<std::uint64_t> per_rank(static_cast<std::size_t>(n), kFnvOffset);
+    m.run([&](Mpi& mpi) {
+      std::uint64_t h = kFnvOffset;
+      mpi.barrier(mpi.world());
+      allreduce_workload(mpi, h);
+      bcast_workload(mpi, h);
+      per_rank[static_cast<std::size_t>(mpi.world().rank())] = h;
+    });
+    if (n > 1) {
+      EXPECT_GT(m.stats().innet_collectives, 0)
+          << "engine never engaged on topology " << static_cast<int>(topo);
+    }
+    std::uint64_t all = kFnvOffset;
+    for (std::uint64_t h : per_rank) all = (all ^ h) * kFnvPrime;
+    if (!have) {
+      first = all;
+      have = true;
+    } else {
+      EXPECT_EQ(all, first) << "in_network digest diverges on topology "
+                            << static_cast<int>(topo) << " n=" << n;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(CommSizes, CollMatrix, ::testing::Values(1, 2, 3, 5, 8, 13, 16),

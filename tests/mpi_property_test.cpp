@@ -752,7 +752,7 @@ TEST(CollAlgoProperties, NonCommutativeOrderPreservedByEveryAlgorithm) {
       const std::vector<long> ref =
           seq_fold(Op::kMat2x2, in, static_cast<std::size_t>(nodes) - 1);
       for (const char* spec : {"allreduce=reduce_bcast", "allreduce=recursive_doubling",
-                               "allreduce=rabenseifner"}) {
+                               "allreduce=rabenseifner", "allreduce=in_network"}) {
         EXPECT_EQ(pinned_allreduce(spec, Op::kMat2x2, in), ref)
             << spec << " seed=" << seed << " n=" << nodes << " count=" << count;
       }
@@ -787,7 +787,7 @@ TEST(CollAlgoProperties, IntegerWrapIsBitIdenticalAcrossAlgorithms) {
         const std::vector<long> ref =
             seq_fold(op, in, static_cast<std::size_t>(nodes) - 1);
         for (const char* spec : {"allreduce=reduce_bcast", "allreduce=recursive_doubling",
-                                 "allreduce=rabenseifner"}) {
+                                 "allreduce=rabenseifner", "allreduce=in_network"}) {
           EXPECT_EQ(pinned_allreduce(spec, op, in), ref)
               << spec << " op=" << static_cast<int>(op) << " seed=" << seed << " n=" << nodes;
         }

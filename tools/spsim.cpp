@@ -404,6 +404,7 @@ bool write_certificate(const sim::SystematicReport& rep, const sim::SystematicOp
   std::fprintf(f, "  \"msg_bytes\": %u,\n", so.msg_bytes);
   std::fprintf(f, "  \"depth\": %d,\n", so.depth);
   std::fprintf(f, "  \"window_ns\": %lld,\n", static_cast<long long>(so.window_ns));
+  std::fprintf(f, "  \"coll_spec\": \"%s\",\n", so.coll_spec.c_str());
   std::fprintf(f, "  \"complete\": %s,\n", rep.complete ? "true" : "false");
   std::fprintf(f, "  \"depth_limited\": %s,\n", rep.depth_limited ? "true" : "false");
   std::fprintf(f, "  \"interleavings\": %ld,\n", rep.interleavings);
@@ -478,9 +479,11 @@ int cmd_explore(const Options& o) {
     so.backend = o.backend;
     so.max_interleavings = o.interleavings;
     so.canonical_check = false;
+    so.coll_spec = o.coll_algo;  // pinned collective phase checked per interleaving
     so.log = stdout;
-    std::printf("# explore --systematic: %d ranks, %d msgs/rank, %lld-byte payloads, %s\n",
-                so.ranks, so.msgs_per_rank, o.msg_bytes, mpi::backend_name(so.backend));
+    std::printf("# explore --systematic: %d ranks, %d msgs/rank, %lld-byte payloads, %s%s%s\n",
+                so.ranks, so.msgs_per_rank, o.msg_bytes, mpi::backend_name(so.backend),
+                so.coll_spec.empty() ? "" : ", coll ", so.coll_spec.c_str());
     const sim::SystematicReport rep = ex.explore_systematic(so);
     if (!write_certificate(rep, so, o.cert_out)) {
       std::fprintf(stderr, "spsim: writing certificate to %s failed\n", o.cert_out.c_str());
