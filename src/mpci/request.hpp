@@ -39,6 +39,11 @@ struct Status {
   int source = kAnySource;
   int tag = kAnyTag;
   std::size_t len = 0;
+  /// The matched message was longer than the posted buffer and was cut to
+  /// fit (MPI_ERR_TRUNCATE at the MPI level). Channels have always tracked
+  /// this on the RecvReq; the MPI layer folds it into the status it hands
+  /// back so callers — notably the C ABI veneer — can observe it.
+  bool truncated = false;
 };
 
 struct SendReq {

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "mpi/coll.hpp"
+#include "mpi/optrace.hpp"
 #include "net/combining.hpp"
 
 namespace sp::mpi {
@@ -79,6 +80,58 @@ class CollScope {
   sim::CollAlgo algo_;
   sim::TimeNs start_ = 0;
 };
+
+/// Depth guard for op-trace recording (DESIGN.md §17): only the outermost
+/// public MPI call records. The point-to-point traffic collectives issue
+/// internally is suppressed, so a replay re-runs whatever algorithm the
+/// what-if config selects instead of the one that happened to run here.
+class RecordScope {
+ public:
+  RecordScope(optrace::Recorder* rec, int& depth) noexcept
+      : armed_(rec != nullptr && depth == 0), depth_(depth) {
+    ++depth_;
+  }
+  ~RecordScope() { --depth_; }
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  RecordScope(const RecordScope&) = delete;
+  RecordScope& operator=(const RecordScope&) = delete;
+
+ private:
+  bool armed_;
+  int& depth_;
+};
+
+std::int64_t rec_p2p(optrace::Recorder* rec, int rank, optrace::OpKind k, const Comm& c,
+                     int peer, int tag, Datatype d, std::size_t count) {
+  optrace::Op op;
+  op.kind = k;
+  op.comm = rec->comm_index(rank, c.ctx());
+  op.peer = peer;
+  op.tag = tag;
+  op.dtype = static_cast<std::int32_t>(d);
+  op.count = static_cast<std::int64_t>(count);
+  return rec->push(rank, op);
+}
+
+void rec_coll(optrace::Recorder* rec, int rank, optrace::OpKind k, const Comm& c, int root,
+              Datatype d, Op redop, std::size_t count, std::vector<std::int64_t> vec = {}) {
+  optrace::Op op;
+  op.kind = k;
+  op.comm = rec->comm_index(rank, c.ctx());
+  op.peer = root;
+  op.dtype = static_cast<std::int32_t>(d);
+  op.redop = static_cast<std::int32_t>(redop);
+  op.count = static_cast<std::int64_t>(count);
+  op.vec = std::move(vec);
+  rec->push(rank, op);
+}
+
+void rec_wait(optrace::Recorder* rec, int rank, std::int64_t target) {
+  optrace::Op op;
+  op.kind = optrace::OpKind::kWait;
+  op.target = target;
+  rec->push(rank, op);
+}
 }  // namespace
 
 #define SP_MPI_CALL(name) MpiCallScope sp_mpi_call_scope_(node_, sim::MpiCall::name)
@@ -148,12 +201,17 @@ void Mpi::wait_recv(mpci::RecvReq& req, Status* st) {
     if (req.poll && req.poll()) break;
     req.wait_cond().wait(*node_.thread);
   }
-  if (st != nullptr) *st = req.status;
+  if (st != nullptr) {
+    *st = req.status;
+    st->truncated = req.truncated;
+  }
 }
 
 void Mpi::send(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                const Comm& c) {
   SP_MPI_CALL(kSend);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) rec_p2p(rec_, task_id_, optrace::OpKind::kSend, c, dst, tag, d, count);
   mpci::SendReq req;
   start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kStandard,
                     /*blocking=*/true);
@@ -163,6 +221,8 @@ void Mpi::send(const void* buf, std::size_t count, Datatype d, int dst, int tag,
 void Mpi::ssend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                 const Comm& c) {
   SP_MPI_CALL(kSsend);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) rec_p2p(rec_, task_id_, optrace::OpKind::kSsend, c, dst, tag, d, count);
   mpci::SendReq req;
   start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kSync,
                     /*blocking=*/true);
@@ -172,6 +232,8 @@ void Mpi::ssend(const void* buf, std::size_t count, Datatype d, int dst, int tag
 void Mpi::rsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                 const Comm& c) {
   SP_MPI_CALL(kRsend);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) rec_p2p(rec_, task_id_, optrace::OpKind::kRsend, c, dst, tag, d, count);
   mpci::SendReq req;
   start_send_common(req, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kReady,
                     /*blocking=*/true);
@@ -181,6 +243,8 @@ void Mpi::rsend(const void* buf, std::size_t count, Datatype d, int dst, int tag
 void Mpi::bsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                 const Comm& c) {
   SP_MPI_CALL(kBsend);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) rec_p2p(rec_, task_id_, optrace::OpKind::kBsend, c, dst, tag, d, count);
   gc_orphans();
   auto req = std::make_unique<mpci::SendReq>();
   start_bsend(*req, buf, count * datatype_size(d), dst, tag, c, /*blocking=*/false);
@@ -190,6 +254,11 @@ void Mpi::bsend(const void* buf, std::size_t count, Datatype d, int dst, int tag
 void Mpi::recv(void* buf, std::size_t count, Datatype d, int src, int tag, const Comm& c,
                Status* st) {
   SP_MPI_CALL(kRecv);
+  RecordScope rs(rec_, rec_depth_);
+  std::int64_t tidx = -1;
+  if (rs.armed()) {
+    tidx = rec_p2p(rec_, task_id_, optrace::OpKind::kRecv, c, src, tag, d, count);
+  }
   node_.app_charge(node_.cfg.mpi_call_overhead_ns);
   mpci::RecvReq req;
   req.ctx = c.ctx();
@@ -198,7 +267,15 @@ void Mpi::recv(void* buf, std::size_t count, Datatype d, int src, int tag, const
   req.buf = static_cast<std::byte*>(buf);
   req.cap = count * datatype_size(d);
   channel_.post_recv(req);
-  wait_recv(req, st);
+  if (tidx >= 0) {
+    // Capture the concrete match so a replay can re-post wildcards exactly.
+    Status matched;
+    wait_recv(req, &matched);
+    rec_->set_matched(task_id_, tidx, matched);
+    if (st != nullptr) *st = matched;
+  } else {
+    wait_recv(req, st);
+  }
 }
 
 void Mpi::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag, void* rbuf,
@@ -213,7 +290,11 @@ void Mpi::sendrecv(const void* sbuf, std::size_t scount, int dst, int stag, void
 Request Mpi::isend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                    const Comm& c) {
   SP_MPI_CALL(kIsend);
+  RecordScope rs(rec_, rec_depth_);
   Request r;
+  if (rs.armed()) {
+    r.trace_idx_ = rec_p2p(rec_, task_id_, optrace::OpKind::kIsend, c, dst, tag, d, count);
+  }
   r.send_ = std::make_unique<mpci::SendReq>();
   start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c,
                     mpci::Mode::kStandard, /*blocking=*/false);
@@ -223,7 +304,11 @@ Request Mpi::isend(const void* buf, std::size_t count, Datatype d, int dst, int 
 Request Mpi::issend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                     const Comm& c) {
   SP_MPI_CALL(kIssend);
+  RecordScope rs(rec_, rec_depth_);
   Request r;
+  if (rs.armed()) {
+    r.trace_idx_ = rec_p2p(rec_, task_id_, optrace::OpKind::kIssend, c, dst, tag, d, count);
+  }
   r.send_ = std::make_unique<mpci::SendReq>();
   start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kSync,
                     /*blocking=*/false);
@@ -233,7 +318,11 @@ Request Mpi::issend(const void* buf, std::size_t count, Datatype d, int dst, int
 Request Mpi::irsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                     const Comm& c) {
   SP_MPI_CALL(kIrsend);
+  RecordScope rs(rec_, rec_depth_);
   Request r;
+  if (rs.armed()) {
+    r.trace_idx_ = rec_p2p(rec_, task_id_, optrace::OpKind::kIrsend, c, dst, tag, d, count);
+  }
   r.send_ = std::make_unique<mpci::SendReq>();
   start_send_common(*r.send_, buf, count * datatype_size(d), dst, tag, c, mpci::Mode::kReady,
                     /*blocking=*/false);
@@ -243,7 +332,11 @@ Request Mpi::irsend(const void* buf, std::size_t count, Datatype d, int dst, int
 Request Mpi::ibsend(const void* buf, std::size_t count, Datatype d, int dst, int tag,
                     const Comm& c) {
   SP_MPI_CALL(kIbsend);
+  RecordScope rs(rec_, rec_depth_);
   Request r;
+  if (rs.armed()) {
+    r.trace_idx_ = rec_p2p(rec_, task_id_, optrace::OpKind::kIbsend, c, dst, tag, d, count);
+  }
   r.send_ = std::make_unique<mpci::SendReq>();
   start_bsend(*r.send_, buf, count * datatype_size(d), dst, tag, c, /*blocking=*/false);
   return r;
@@ -251,8 +344,12 @@ Request Mpi::ibsend(const void* buf, std::size_t count, Datatype d, int dst, int
 
 Request Mpi::irecv(void* buf, std::size_t count, Datatype d, int src, int tag, const Comm& c) {
   SP_MPI_CALL(kIrecv);
+  RecordScope rs(rec_, rec_depth_);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns);
   Request r;
+  if (rs.armed()) {
+    r.trace_idx_ = rec_p2p(rec_, task_id_, optrace::OpKind::kIrecv, c, src, tag, d, count);
+  }
   r.recv_ = std::make_unique<mpci::RecvReq>();
   r.recv_->ctx = c.ctx();
   r.recv_->src_sel = src;
@@ -271,8 +368,20 @@ void Mpi::finish_request(Request& r, Status* st) {
       orphans_.push_back(std::move(r.send_));
     }
     r.send_.reset();
+    // MPI defines the status of a completed send as "empty"; leaving the
+    // caller's struct untouched (stale stack garbage) was a real gap the ABI
+    // conformance suite flushed out.
+    if (st != nullptr) *st = Status{};
   } else if (r.recv_) {
-    if (st != nullptr) *st = r.recv_->status;
+    if (rec_ != nullptr && r.trace_idx_ >= 0) {
+      Status matched = r.recv_->status;
+      matched.truncated = r.recv_->truncated;
+      rec_->set_matched(task_id_, r.trace_idx_, matched);
+    }
+    if (st != nullptr) {
+      *st = r.recv_->status;
+      st->truncated = r.recv_->truncated;
+    }
     r.recv_.reset();
   }
   if (r.on_complete_) {
@@ -281,16 +390,21 @@ void Mpi::finish_request(Request& r, Status* st) {
     fn();
   }
   r.staging_.reset();
+  r.trace_idx_ = -1;
 }
 
 void Mpi::wait(Request& r, Status* st) {
   SP_MPI_CALL(kWait);
+  RecordScope rs(rec_, rec_depth_);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   if (!r.send_ && !r.recv_) {
-    // Inactive persistent requests complete immediately (MPI semantics).
+    // Inactive persistent requests complete immediately (MPI semantics),
+    // with an empty status.
     assert(r.persistent() && "wait on an inactive request");
+    if (st != nullptr) *st = Status{};
     return;
   }
+  if (rs.armed() && r.trace_idx_ >= 0) rec_wait(rec_, task_id_, r.trace_idx_);
   if (r.send_) {
     wait_send(*r.send_);
   } else {
@@ -312,12 +426,16 @@ bool Mpi::check_complete(Request& r) {
 
 bool Mpi::test(Request& r, Status* st) {
   SP_MPI_CALL(kTest);
+  RecordScope rs(rec_, rec_depth_);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   if (!r.send_ && !r.recv_) {
     assert(r.persistent() && "test on an inactive request");
+    if (st != nullptr) *st = Status{};
     return true;
   }
   if (!check_complete(r)) return false;
+  // Only a successful test records: the false polls are no-ops to a replay.
+  if (rs.armed() && r.trace_idx_ >= 0) rec_wait(rec_, task_id_, r.trace_idx_);
   finish_request(r, st);
   return true;
 }
@@ -336,6 +454,7 @@ void Mpi::waitall(Request* reqs, std::size_t n, Status* sts) {
 
 std::size_t Mpi::waitany(Request* reqs, std::size_t n, Status* st) {
   SP_MPI_CALL(kWaitany);
+  RecordScope rs(rec_, rec_depth_);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   assert(node_.thread != nullptr);
   for (;;) {
@@ -344,6 +463,11 @@ std::size_t Mpi::waitany(Request* reqs, std::size_t n, Status* st) {
       if (!reqs[i].valid()) continue;
       any_active = true;
       if (check_complete(reqs[i])) {
+        // Record the completion the program actually observed, so the replay
+        // waits in the same order.
+        if (rs.armed() && reqs[i].trace_idx_ >= 0) {
+          rec_wait(rec_, task_id_, reqs[i].trace_idx_);
+        }
         finish_request(reqs[i], st);
         return i;
       }
@@ -369,13 +493,19 @@ bool Mpi::testall(Request* reqs, std::size_t n) {
 
 bool Mpi::testall(Request* reqs, std::size_t n, Status* sts) {
   SP_MPI_CALL(kTestall);
+  RecordScope rs(rec_, rec_depth_);
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   for (std::size_t i = 0; i < n; ++i) {
     if (reqs[i].valid() && !check_complete(reqs[i])) return false;
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (sts != nullptr) sts[i] = Status{};  // empty for sends / inactive
-    if (reqs[i].valid()) finish_request(reqs[i], sts != nullptr ? &sts[i] : nullptr);
+    if (reqs[i].valid()) {
+      if (rs.armed() && reqs[i].trace_idx_ >= 0) {
+        rec_wait(rec_, task_id_, reqs[i].trace_idx_);
+      }
+      finish_request(reqs[i], sts != nullptr ? &sts[i] : nullptr);
+    }
   }
   return true;
 }
@@ -478,9 +608,17 @@ Request Mpi::recv_init(void* buf, std::size_t count, Datatype d, int src, int ta
 
 void Mpi::start(Request& r) {
   SP_MPI_CALL(kStart);
+  RecordScope rs(rec_, rec_depth_);
   assert(r.persistent() && "start on a non-persistent request");
   assert(!r.send_ && !r.recv_ && "start on an already-active request");
   const auto& p = *r.persistent_;
+  if (rs.armed()) {
+    // A started persistent op is indistinguishable from a fresh nonblocking
+    // one; record it as such (byte-typed, the spec already pre-multiplied).
+    r.trace_idx_ = rec_p2p(rec_, task_id_,
+                           p.is_send ? optrace::OpKind::kIsend : optrace::OpKind::kIrecv,
+                           p.comm, p.peer, p.tag, Datatype::kByte, p.bytes);
+  }
   if (p.is_send) {
     r.send_ = std::make_unique<mpci::SendReq>();
     start_send_common(*r.send_, p.sbuf, p.bytes, p.peer, p.tag, p.comm, p.mode,
@@ -574,6 +712,10 @@ bool Mpi::innet_coll(const Comm& c, std::uint32_t seq, int root, std::byte* buf,
 
 void Mpi::barrier(const Comm& c) {
   SP_MPI_CALL(kBarrier);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kBarrier, c, 0, Datatype::kByte, Op::kSum, 0);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   if (n <= 1) return;
@@ -613,6 +755,10 @@ void Mpi::barrier(const Comm& c) {
 
 void Mpi::bcast(void* buf, std::size_t count, Datatype d, int root, const Comm& c) {
   SP_MPI_CALL(kBcast);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kBcast, c, root, d, Op::kSum, count);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   if (n <= 1) return;
@@ -676,6 +822,10 @@ void Mpi::bcast(void* buf, std::size_t count, const DerivedDatatype& t, int root
 void Mpi::reduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                  int root, const Comm& c) {
   SP_MPI_CALL(kReduce);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kReduce, c, root, d, op, count);
+  }
   const int tag = coll_tag();
   coll::reduce_binomial(*this, sendb, recvb, count, d, op, root, c, tag);
 }
@@ -683,6 +833,10 @@ void Mpi::reduce(const void* sendb, void* recvb, std::size_t count, Datatype d, 
 void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                     const Comm& c) {
   SP_MPI_CALL(kAllreduce);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kAllreduce, c, 0, d, op, count);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   const std::size_t bytes = count * datatype_size(d);
@@ -755,6 +909,10 @@ void Mpi::allreduce(const void* sendb, void* recvb, std::size_t count, Datatype 
 void Mpi::gather(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
                  const Comm& c) {
   SP_MPI_CALL(kGather);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kGather, c, root, d, Op::kSum, count);
+  }
   const std::size_t bytes = count * datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -774,6 +932,10 @@ void Mpi::gather(const void* sendb, std::size_t count, void* recvb, Datatype d, 
 void Mpi::scatter(const void* sendb, std::size_t count, void* recvb, Datatype d, int root,
                   const Comm& c) {
   SP_MPI_CALL(kScatter);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kScatter, c, root, d, Op::kSum, count);
+  }
   const std::size_t bytes = count * datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -793,6 +955,10 @@ void Mpi::scatter(const void* sendb, std::size_t count, void* recvb, Datatype d,
 void Mpi::allgather(const void* sendb, std::size_t count, void* recvb, Datatype d,
                     const Comm& c) {
   SP_MPI_CALL(kAllgather);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kAllgather, c, 0, d, Op::kSum, count);
+  }
   const int n = c.size();
   const std::size_t bytes = count * datatype_size(d);
   auto* out = static_cast<std::byte*>(recvb);
@@ -814,6 +980,10 @@ void Mpi::allgather(const void* sendb, std::size_t count, void* recvb, Datatype 
 void Mpi::alltoall(const void* sendb, std::size_t count, void* recvb, Datatype d,
                    const Comm& c) {
   SP_MPI_CALL(kAlltoall);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kAlltoall, c, 0, d, Op::kSum, count);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   const std::size_t bytes = count * datatype_size(d);
@@ -830,7 +1000,15 @@ void Mpi::alltoallv(const void* sendb, const std::size_t* scounts, const std::si
                     void* recvb, const std::size_t* rcounts, const std::size_t* rdispls,
                     Datatype d, const Comm& c) {
   SP_MPI_CALL(kAlltoallv);
+  RecordScope rs(rec_, rec_depth_);
   const int n = c.size();
+  if (rs.armed()) {
+    std::vector<std::int64_t> v;
+    v.reserve(2 * static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) v.push_back(static_cast<std::int64_t>(scounts[r]));
+    for (int r = 0; r < n; ++r) v.push_back(static_cast<std::int64_t>(rcounts[r]));
+    rec_coll(rec_, task_id_, optrace::OpKind::kAlltoallv, c, 0, d, Op::kSum, 0, std::move(v));
+  }
   const std::size_t esz = datatype_size(d);
   const auto* in = static_cast<const std::byte*>(sendb);
   auto* out = static_cast<std::byte*>(recvb);
@@ -851,6 +1029,10 @@ void Mpi::alltoallv(const void* sendb, const std::size_t* scounts, const std::si
 void Mpi::scan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                const Comm& c) {
   SP_MPI_CALL(kScan);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kScan, c, 0, d, op, count);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   const std::size_t bytes = count * datatype_size(d);
@@ -866,6 +1048,10 @@ void Mpi::scan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op
 void Mpi::exscan(const void* sendb, void* recvb, std::size_t count, Datatype d, Op op,
                  const Comm& c) {
   SP_MPI_CALL(kExscan);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kExscan, c, 0, d, op, count);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   const std::size_t bytes = count * datatype_size(d);
@@ -882,6 +1068,19 @@ void Mpi::gatherv(const void* sendb, std::size_t scount, void* recvb,
                   const std::size_t* rcounts, const std::size_t* displs, Datatype d, int root,
                   const Comm& c) {
   SP_MPI_CALL(kGatherv);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    // Per-rank receive counts are only meaningful (or even valid to read) at
+    // the root; non-roots record their send count alone.
+    std::vector<std::int64_t> v;
+    if (c.rank() == root) {
+      for (int r = 0; r < c.size(); ++r) {
+        v.push_back(static_cast<std::int64_t>(rcounts[static_cast<std::size_t>(r)]));
+      }
+    }
+    rec_coll(rec_, task_id_, optrace::OpKind::kGatherv, c, root, d, Op::kSum, scount,
+             std::move(v));
+  }
   const std::size_t esz = datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -902,6 +1101,17 @@ void Mpi::gatherv(const void* sendb, std::size_t scount, void* recvb,
 void Mpi::scatterv(const void* sendb, const std::size_t* scounts, const std::size_t* displs,
                    void* recvb, std::size_t rcount, Datatype d, int root, const Comm& c) {
   SP_MPI_CALL(kScatterv);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    std::vector<std::int64_t> v;
+    if (c.rank() == root) {
+      for (int r = 0; r < c.size(); ++r) {
+        v.push_back(static_cast<std::int64_t>(scounts[static_cast<std::size_t>(r)]));
+      }
+    }
+    rec_coll(rec_, task_id_, optrace::OpKind::kScatterv, c, root, d, Op::kSum, rcount,
+             std::move(v));
+  }
   const std::size_t esz = datatype_size(d);
   const int tag = coll_tag();
   if (c.rank() == root) {
@@ -922,6 +1132,10 @@ void Mpi::scatterv(const void* sendb, const std::size_t* scounts, const std::siz
 void Mpi::reduce_scatter_block(const void* sendb, void* recvb, std::size_t count, Datatype d,
                                Op op, const Comm& c) {
   SP_MPI_CALL(kReduceScatter);
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    rec_coll(rec_, task_id_, optrace::OpKind::kReduceScatterBlock, c, 0, d, op, count);
+  }
   const int n = c.size();
   const int tag = coll_tag();
   const std::size_t total_bytes = count * static_cast<std::size_t>(n) * datatype_size(d);
@@ -939,13 +1153,30 @@ void Mpi::reduce_scatter_block(const void* sendb, void* recvb, std::size_t count
 // ---------------------------------------------------------------------------
 
 Comm Mpi::dup(const Comm& c) {
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    optrace::Op op;
+    op.kind = optrace::OpKind::kDup;
+    op.comm = rec_->comm_index(task_id_, c.ctx());
+    rec_->push(task_id_, op);
+  }
   // Collective: every member allocates the same new context deterministically.
   barrier(c);
   const int ctx = next_ctx_++;
+  if (rs.armed()) rec_->register_comm(task_id_, ctx);
   return Comm(ctx, c.tasks(), c.rank());
 }
 
 Comm Mpi::split(const Comm& c, int color, int key) {
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    optrace::Op op;
+    op.kind = optrace::OpKind::kSplit;
+    op.comm = rec_->comm_index(task_id_, c.ctx());
+    op.peer = key;
+    op.tag = color;
+    rec_->push(task_id_, op);
+  }
   const int n = c.size();
   // Gather (color, key) from every member.
   std::vector<std::int32_t> mine{color, key};
@@ -963,6 +1194,7 @@ Comm Mpi::split(const Comm& c, int color, int key) {
       std::lower_bound(uniq.begin(), uniq.end(), color) - uniq.begin());
   const int ctx = next_ctx_ + color_idx;
   next_ctx_ += static_cast<int>(uniq.size());
+  if (rs.armed()) rec_->register_comm(task_id_, ctx);
 
   // Members of my color, ordered by (key, rank).
   std::vector<std::pair<int, int>> members;  // (key, rank)
@@ -987,9 +1219,25 @@ Comm Mpi::split(const Comm& c, int color, int key) {
 
 double Mpi::wtime() const { return sim::to_sec(node_.sim.now()); }
 
-void Mpi::compute(sim::TimeNs ns) { node_.app_charge(ns); }
+void Mpi::compute(sim::TimeNs ns) {
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    optrace::Op op;
+    op.kind = optrace::OpKind::kCompute;
+    op.count = ns;
+    rec_->push(task_id_, op);
+  }
+  node_.app_charge(ns);
+}
 
 void Mpi::set_interrupt_mode(bool on) {
+  RecordScope rs(rec_, rec_depth_);
+  if (rs.armed()) {
+    optrace::Op op;
+    op.kind = optrace::OpKind::kInterrupt;
+    op.count = on ? 1 : 0;
+    rec_->push(task_id_, op);
+  }
   node_.app_charge(node_.cfg.mpi_call_overhead_ns / 2);
   // The interrupt switch lives in the HAL; reach it through the runtime.
   assert(interrupt_hook_ && "interrupt hook not wired by the Machine");

@@ -26,6 +26,10 @@ class CombiningEngine;
 
 namespace sp::mpi {
 
+namespace optrace {
+class Recorder;
+}  // namespace optrace
+
 using Status = mpci::Status;
 
 /// Reserved tag space for collective-internal traffic (user tags must stay
@@ -63,6 +67,8 @@ class Request {
   std::unique_ptr<mpci::SendReq> send_;
   std::unique_ptr<mpci::RecvReq> recv_;
   std::unique_ptr<PersistentSpec> persistent_;
+  /// Index of this op in the attached optrace stream (-1 when not recorded).
+  std::int64_t trace_idx_ = -1;
   /// Typed operations: staging buffer for packed bytes (lives until wait).
   std::unique_ptr<std::vector<std::byte>> staging_;
   /// Run at completion (e.g. unpack a derived datatype into the user layout).
@@ -198,6 +204,12 @@ class Mpi {
   /// interconnect, so every channel gets it; null leaves in_network pins
   /// falling back to the host algorithm table.
   void set_combining(net::CombiningEngine* engine) { combining_ = engine; }
+  /// Attach (or detach, with null) an op-trace recorder. Only top-level calls
+  /// record: collectives' internal point-to-point traffic is depth-suppressed.
+  void set_recorder(optrace::Recorder* rec) noexcept {
+    rec_ = rec;
+    rec_depth_ = 0;
+  }
 
   [[nodiscard]] mpci::Channel& channel() noexcept { return channel_; }
   [[nodiscard]] sim::NodeRuntime& node() noexcept { return node_; }
@@ -232,6 +244,9 @@ class Mpi {
   std::list<std::unique_ptr<mpci::SendReq>> orphans_;
   std::function<void(bool)> interrupt_hook_;
   net::CombiningEngine* combining_ = nullptr;
+  optrace::Recorder* rec_ = nullptr;
+  /// Nesting depth of public Mpi calls; only depth-0 entries record.
+  int rec_depth_ = 0;
 };
 
 }  // namespace sp::mpi

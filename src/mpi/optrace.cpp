@@ -1,0 +1,553 @@
+#include "mpi/optrace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/rng.hpp"
+
+namespace sp::mpi::optrace {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Sanity bounds the strict parser enforces. Far above anything a recorded
+// workload produces, far below anything that could wedge the loader.
+constexpr int kMaxRanks = 4096;
+constexpr std::int64_t kMaxOpsPerRank = 10'000'000;
+constexpr std::int64_t kMaxCount = std::int64_t{1} << 26;
+constexpr std::int64_t kMaxAux = std::int64_t{1} << 32;
+constexpr std::int64_t kMaxMagnitude = std::int64_t{1} << 30;
+
+/// Deterministic buffer fill for replayed sends and collective contributions.
+/// Keyed on (rank, op index) only, so the bytes are identical under every
+/// what-if config. Values stay small so floating-point reductions are exact
+/// (sums of small integers associate bit-identically under any algorithm).
+void fill_buffer(std::byte* buf, std::size_t count, Datatype d, int rank,
+                 std::int64_t op_idx) {
+  sim::Pcg32 rng(static_cast<std::uint64_t>(op_idx) + 1,
+                 static_cast<std::uint64_t>(rank) + 1);
+  switch (d) {
+    case Datatype::kByte: {
+      auto* p = reinterpret_cast<std::uint8_t*>(buf);
+      for (std::size_t i = 0; i < count; ++i) p[i] = static_cast<std::uint8_t>(rng.next());
+      break;
+    }
+    case Datatype::kInt: {
+      auto* p = reinterpret_cast<std::int32_t*>(buf);
+      for (std::size_t i = 0; i < count; ++i) {
+        p[i] = static_cast<std::int32_t>(rng.next() % 1024u);
+      }
+      break;
+    }
+    case Datatype::kLong: {
+      auto* p = reinterpret_cast<std::int64_t*>(buf);
+      for (std::size_t i = 0; i < count; ++i) {
+        p[i] = static_cast<std::int64_t>(rng.next() % 1024u);
+      }
+      break;
+    }
+    case Datatype::kFloat: {
+      auto* p = reinterpret_cast<float*>(buf);
+      for (std::size_t i = 0; i < count; ++i) p[i] = static_cast<float>(rng.next() % 16u);
+      break;
+    }
+    case Datatype::kDouble: {
+      auto* p = reinterpret_cast<double*>(buf);
+      for (std::size_t i = 0; i < count; ++i) p[i] = static_cast<double>(rng.next() % 16u);
+      break;
+    }
+  }
+}
+
+[[nodiscard]] bool is_nonblocking(OpKind k) {
+  switch (k) {
+    case OpKind::kIsend:
+    case OpKind::kIssend:
+    case OpKind::kIrsend:
+    case OpKind::kIbsend:
+    case OpKind::kIrecv: return true;
+    default: return false;
+  }
+}
+
+std::string sanitize_token(const std::string& s) {
+  std::string out = s.empty() ? "unknown" : s;
+  for (char& ch : out) {
+    if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') ch = '_';
+  }
+  return out;
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+void attach(Machine& m, Recorder* rec) {
+  for (int t = 0; t < m.num_tasks(); ++t) m.mpi(t).set_recorder(rec);
+}
+
+void save_text(const Trace& t, std::ostream& os) {
+  os << "sptrace 1\n";
+  os << "ranks " << t.ranks << "\n";
+  os << "workload " << sanitize_token(t.workload) << "\n";
+  os << "scale " << t.scale << "\n";
+  for (int r = 0; r < t.ranks; ++r) {
+    const auto& ops = t.per_rank[static_cast<std::size_t>(r)];
+    os << "rank " << r << " ops " << ops.size() << "\n";
+    for (const Op& op : ops) {
+      os << "op " << static_cast<int>(op.kind) << ' ' << op.comm << ' ' << op.peer << ' '
+         << op.tag << ' ' << op.dtype << ' ' << op.redop << ' ' << op.count << ' ' << op.aux
+         << ' ' << op.msrc << ' ' << op.mtag << ' ' << op.target << ' ' << op.vec.size();
+      for (const std::int64_t v : op.vec) os << ' ' << v;
+      os << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+bool load_text(std::istream& is, Trace* out, std::string* error) {
+  std::string tok;
+  int version = 0;
+  if (!(is >> tok) || tok != "sptrace") return fail(error, "bad magic (not an sptrace file)");
+  if (!(is >> version) || version != 1) return fail(error, "unsupported sptrace version");
+
+  Trace t;
+  if (!(is >> tok) || tok != "ranks") return fail(error, "missing ranks header");
+  if (!(is >> t.ranks) || t.ranks < 1 || t.ranks > kMaxRanks) {
+    return fail(error, "ranks out of range");
+  }
+  if (!(is >> tok) || tok != "workload") return fail(error, "missing workload header");
+  if (!(is >> t.workload)) return fail(error, "missing workload name");
+  if (!(is >> tok) || tok != "scale") return fail(error, "missing scale header");
+  if (!(is >> t.scale) || t.scale < 0 || t.scale > 1'000'000) {
+    return fail(error, "scale out of range");
+  }
+
+  t.per_rank.resize(static_cast<std::size_t>(t.ranks));
+  for (int r = 0; r < t.ranks; ++r) {
+    int rank_id = -1;
+    std::int64_t nops = -1;
+    if (!(is >> tok) || tok != "rank") return fail(error, "missing rank section");
+    if (!(is >> rank_id) || rank_id != r) return fail(error, "rank sections out of order");
+    if (!(is >> tok) || tok != "ops") return fail(error, "missing ops count");
+    if (!(is >> nops) || nops < 0 || nops > kMaxOpsPerRank) {
+      return fail(error, "ops count out of range");
+    }
+    auto& ops = t.per_rank[static_cast<std::size_t>(r)];
+    ops.reserve(static_cast<std::size_t>(nops));
+    for (std::int64_t i = 0; i < nops; ++i) {
+      if (!(is >> tok) || tok != "op") return fail(error, "truncated op stream");
+      Op op;
+      int kind = -1;
+      std::int64_t vlen = -1;
+      if (!(is >> kind >> op.comm >> op.peer >> op.tag >> op.dtype >> op.redop >> op.count >>
+            op.aux >> op.msrc >> op.mtag >> op.target >> vlen)) {
+        return fail(error, "malformed op line");
+      }
+      if (kind < 0 || kind >= kNumOpKinds) return fail(error, "op kind out of range");
+      op.kind = static_cast<OpKind>(kind);
+      if (vlen < 0 || vlen > 2 * static_cast<std::int64_t>(t.ranks)) {
+        return fail(error, "op vector length out of range");
+      }
+      op.vec.resize(static_cast<std::size_t>(vlen));
+      for (auto& v : op.vec) {
+        if (!(is >> v)) return fail(error, "truncated op vector");
+        if (v < 0 || v > kMaxCount) return fail(error, "op vector entry out of range");
+      }
+      ops.push_back(std::move(op));
+    }
+  }
+  if (!(is >> tok) || tok != "end") return fail(error, "missing end footer (truncated file)");
+  if (is >> tok) return fail(error, "trailing garbage after end footer");
+
+  if (!validate(t, error)) return false;
+  *out = std::move(t);
+  return true;
+}
+
+bool validate(const Trace& t, std::string* error) {
+  if (t.ranks < 1 || t.ranks > kMaxRanks) return fail(error, "ranks out of range");
+  if (t.per_rank.size() != static_cast<std::size_t>(t.ranks)) {
+    return fail(error, "per-rank stream count mismatch");
+  }
+  for (int r = 0; r < t.ranks; ++r) {
+    const auto& ops = t.per_rank[static_cast<std::size_t>(r)];
+    // Communicators exist in creation order: index 0 is world, each dup/split
+    // widens the window by one.
+    std::int64_t comm_window = 1;
+    std::unordered_set<std::int64_t> waited;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Op& op = ops[i];
+      if (static_cast<int>(op.kind) < 0 || static_cast<int>(op.kind) >= kNumOpKinds) {
+        return fail(error, "op kind out of range");
+      }
+      if (op.comm < 0 || op.comm >= comm_window) {
+        return fail(error, "op references a communicator not yet created");
+      }
+      if (op.dtype < 0 || op.dtype > 4) return fail(error, "datatype out of range");
+      if (op.redop < 0 || op.redop > 7) return fail(error, "reduction op out of range");
+      if (op.count < 0 || op.count > kMaxCount) return fail(error, "count out of range");
+      if (op.aux < 0 || op.aux > kMaxAux) return fail(error, "aux out of range");
+      if (op.peer < -2 || op.peer > kMaxMagnitude) return fail(error, "peer out of range");
+      if (op.tag < -1 || op.tag > kMaxMagnitude) return fail(error, "tag out of range");
+      if (op.msrc < -1 || op.msrc >= t.ranks) return fail(error, "matched source out of range");
+      if (op.mtag < -1 || op.mtag > kMaxMagnitude) {
+        return fail(error, "matched tag out of range");
+      }
+      switch (op.kind) {
+        case OpKind::kWait: {
+          if (op.target < 0 || op.target >= static_cast<std::int64_t>(i)) {
+            return fail(error, "wait target out of range");
+          }
+          if (!is_nonblocking(ops[static_cast<std::size_t>(op.target)].kind)) {
+            return fail(error, "wait target is not a nonblocking op");
+          }
+          if (!waited.insert(op.target).second) {
+            return fail(error, "request waited twice");
+          }
+          break;
+        }
+        case OpKind::kAlltoallv:
+          if (op.vec.size() % 2 != 0) return fail(error, "alltoallv counts not paired");
+          break;
+        case OpKind::kDup:
+        case OpKind::kSplit: ++comm_window; break;
+        case OpKind::kCompute:
+          // ns charge: allow large values (the count bound still applies).
+          break;
+        default: break;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// A nonblocking op in flight during replay: the request plus the buffer it
+/// reads/writes (kept alive until the matching kWait).
+struct Pending {
+  Request r;
+  std::vector<std::byte> buf;
+  bool is_recv = false;
+};
+
+class RankReplayer {
+ public:
+  RankReplayer(Mpi& mpi, const Trace& t, int rank)
+      : mpi_(mpi), ops_(t.per_rank[static_cast<std::size_t>(rank)]), rank_(rank) {
+    comms_.push_back(mpi_.world());
+  }
+
+  std::uint64_t run() {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      step(static_cast<std::int64_t>(i), ops_[i]);
+    }
+    // Drain anything never explicitly waited (buffered sends, requests the
+    // recorded program freed while active).
+    for (auto& kv : pending_) mpi_.wait(kv.second.r);
+    pending_.clear();
+    return digest_;
+  }
+
+ private:
+  [[noreturn]] void die(const char* why) const {
+    throw mpci::FatalMpiError(std::string("replay: ") + why);
+  }
+
+  Comm& comm(std::int32_t ci) {
+    if (ci < 0 || static_cast<std::size_t>(ci) >= comms_.size()) die("bad communicator");
+    return comms_[static_cast<std::size_t>(ci)];
+  }
+
+  void fold(const void* data, std::size_t len) { digest_ = fnv(digest_, data, len); }
+
+  /// Heap buffer holding `count` freshly filled elements for this op.
+  std::vector<std::byte> filled(const Op& op, std::size_t count, std::int64_t idx) const {
+    const auto d = static_cast<Datatype>(op.dtype);
+    std::vector<std::byte> buf(count * datatype_size(d));
+    fill_buffer(buf.data(), count, d, rank_, idx);
+    return buf;
+  }
+
+  void step(std::int64_t idx, const Op& op) {
+    const auto d = static_cast<Datatype>(op.dtype);
+    const auto ro = static_cast<Op_>(op.redop);
+    const auto n = static_cast<std::size_t>(op.count);
+    switch (op.kind) {
+      case OpKind::kSend:
+      case OpKind::kRsend: {
+        // Ready mode replays as standard: the data flow is identical and
+        // standard mode is safe under any what-if timing.
+        auto buf = filled(op, n, idx);
+        mpi_.send(buf.data(), n, d, op.peer, op.tag, comm(op.comm));
+        break;
+      }
+      case OpKind::kBsend: {
+        // A buffered send never blocks the caller, so a blocking standard
+        // send could deadlock where the original program didn't. Replay as a
+        // nonblocking send drained at the end of the stream (no wait op was
+        // recorded for it).
+        Pending p;
+        p.buf = filled(op, n, idx);
+        p.r = mpi_.isend(p.buf.data(), n, d, op.peer, op.tag, comm(op.comm));
+        pending_.emplace(idx, std::move(p));
+        break;
+      }
+      case OpKind::kSsend: {
+        auto buf = filled(op, n, idx);
+        mpi_.ssend(buf.data(), n, d, op.peer, op.tag, comm(op.comm));
+        break;
+      }
+      case OpKind::kIsend:
+      case OpKind::kIrsend:
+      case OpKind::kIbsend:
+      case OpKind::kIssend: {
+        Pending p;
+        p.buf = filled(op, n, idx);
+        p.r = op.kind == OpKind::kIssend
+                  ? mpi_.issend(p.buf.data(), n, d, op.peer, op.tag, comm(op.comm))
+                  : mpi_.isend(p.buf.data(), n, d, op.peer, op.tag, comm(op.comm));
+        pending_.emplace(idx, std::move(p));
+        break;
+      }
+      case OpKind::kRecv: {
+        // Wildcards are re-posted with the concrete recorded match so the
+        // data flow is preserved under any replay timing.
+        const int src = op.msrc >= 0 ? op.msrc : op.peer;
+        const int tag = op.mtag >= 0 ? op.mtag : op.tag;
+        std::vector<std::byte> buf(n * datatype_size(d));
+        Status st;
+        mpi_.recv(buf.data(), n, d, src, tag, comm(op.comm), &st);
+        fold(buf.data(), std::min(st.len, buf.size()));
+        break;
+      }
+      case OpKind::kIrecv: {
+        const int src = op.msrc >= 0 ? op.msrc : op.peer;
+        const int tag = op.mtag >= 0 ? op.mtag : op.tag;
+        Pending p;
+        p.buf.resize(n * datatype_size(d));
+        p.is_recv = true;
+        p.r = mpi_.irecv(p.buf.data(), n, d, src, tag, comm(op.comm));
+        pending_.emplace(idx, std::move(p));
+        break;
+      }
+      case OpKind::kWait: {
+        auto it = pending_.find(op.target);
+        if (it == pending_.end()) die("wait on unknown request");
+        Status st;
+        mpi_.wait(it->second.r, &st);
+        if (it->second.is_recv) {
+          fold(it->second.buf.data(), std::min(st.len, it->second.buf.size()));
+        }
+        pending_.erase(it);
+        break;
+      }
+      case OpKind::kCompute: mpi_.compute(op.count); break;
+      case OpKind::kInterrupt: mpi_.set_interrupt_mode(op.count != 0); break;
+      case OpKind::kBarrier: mpi_.barrier(comm(op.comm)); break;
+      case OpKind::kBcast: {
+        std::vector<std::byte> buf(n * datatype_size(d));
+        if (comm(op.comm).rank() == op.peer) fill_buffer(buf.data(), n, d, rank_, idx);
+        mpi_.bcast(buf.data(), n, d, op.peer, comm(op.comm));
+        fold(buf.data(), buf.size());
+        break;
+      }
+      case OpKind::kReduce: {
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(in.size());
+        mpi_.reduce(in.data(), out.data(), n, d, ro, op.peer, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kAllreduce: {
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(in.size());
+        mpi_.allreduce(in.data(), out.data(), n, d, ro, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kGather: {
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(in.size() * static_cast<std::size_t>(comm(op.comm).size()));
+        mpi_.gather(in.data(), n, out.data(), d, op.peer, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kScatter: {
+        std::vector<std::byte> in(n * datatype_size(d) *
+                                  static_cast<std::size_t>(comm(op.comm).size()));
+        if (comm(op.comm).rank() == op.peer) {
+          fill_buffer(in.data(), n * static_cast<std::size_t>(comm(op.comm).size()), d, rank_,
+                      idx);
+        }
+        std::vector<std::byte> out(n * datatype_size(d));
+        mpi_.scatter(in.data(), n, out.data(), d, op.peer, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kAllgather: {
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(in.size() * static_cast<std::size_t>(comm(op.comm).size()));
+        mpi_.allgather(in.data(), n, out.data(), d, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kAlltoall: {
+        const auto cn = static_cast<std::size_t>(comm(op.comm).size());
+        std::vector<std::byte> in(n * datatype_size(d) * cn);
+        fill_buffer(in.data(), n * cn, d, rank_, idx);
+        std::vector<std::byte> out(in.size());
+        mpi_.alltoall(in.data(), n, out.data(), d, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kAlltoallv: {
+        const auto cn = static_cast<std::size_t>(comm(op.comm).size());
+        if (op.vec.size() != 2 * cn) die("alltoallv counts do not match communicator");
+        std::vector<std::size_t> sc(cn), sd(cn), rc(cn), rd(cn);
+        std::size_t stot = 0, rtot = 0;
+        for (std::size_t k = 0; k < cn; ++k) {
+          sc[k] = static_cast<std::size_t>(op.vec[k]);
+          rc[k] = static_cast<std::size_t>(op.vec[cn + k]);
+          sd[k] = stot;
+          rd[k] = rtot;
+          stot += sc[k];
+          rtot += rc[k];
+        }
+        std::vector<std::byte> in(stot * datatype_size(d));
+        fill_buffer(in.data(), stot, d, rank_, idx);
+        std::vector<std::byte> out(rtot * datatype_size(d));
+        mpi_.alltoallv(in.data(), sc.data(), sd.data(), out.data(), rc.data(), rd.data(), d,
+                       comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kGatherv: {
+        const auto cn = static_cast<std::size_t>(comm(op.comm).size());
+        const bool root = comm(op.comm).rank() == op.peer;
+        if (root && op.vec.size() != cn) die("gatherv counts do not match communicator");
+        std::vector<std::size_t> rc(cn, 0), dp(cn, 0);
+        std::size_t total = 0;
+        if (root) {
+          for (std::size_t k = 0; k < cn; ++k) {
+            rc[k] = static_cast<std::size_t>(op.vec[k]);
+            dp[k] = total;
+            total += rc[k];
+          }
+        }
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(std::max<std::size_t>(total * datatype_size(d), 1));
+        mpi_.gatherv(in.data(), n, out.data(), rc.data(), dp.data(), d, op.peer,
+                     comm(op.comm));
+        if (root) fold(out.data(), total * datatype_size(d));
+        break;
+      }
+      case OpKind::kScatterv: {
+        const auto cn = static_cast<std::size_t>(comm(op.comm).size());
+        const bool root = comm(op.comm).rank() == op.peer;
+        if (root && op.vec.size() != cn) die("scatterv counts do not match communicator");
+        std::vector<std::size_t> sc(cn, 0), dp(cn, 0);
+        std::size_t total = 0;
+        if (root) {
+          for (std::size_t k = 0; k < cn; ++k) {
+            sc[k] = static_cast<std::size_t>(op.vec[k]);
+            dp[k] = total;
+            total += sc[k];
+          }
+        }
+        std::vector<std::byte> in(std::max<std::size_t>(total * datatype_size(d), 1));
+        if (root) fill_buffer(in.data(), total, d, rank_, idx);
+        std::vector<std::byte> out(n * datatype_size(d));
+        mpi_.scatterv(in.data(), sc.data(), dp.data(), out.data(), n, d, op.peer,
+                      comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kReduceScatterBlock: {
+        const auto cn = static_cast<std::size_t>(comm(op.comm).size());
+        std::vector<std::byte> in(n * datatype_size(d) * cn);
+        fill_buffer(in.data(), n * cn, d, rank_, idx);
+        std::vector<std::byte> out(n * datatype_size(d));
+        mpi_.reduce_scatter_block(in.data(), out.data(), n, d, ro, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kScan: {
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(in.size());
+        mpi_.scan(in.data(), out.data(), n, d, ro, comm(op.comm));
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kExscan: {
+        auto in = filled(op, n, idx);
+        std::vector<std::byte> out(in.size());
+        mpi_.exscan(in.data(), out.data(), n, d, ro, comm(op.comm));
+        // Rank 0's exscan result is undefined by MPI; the zero-initialized
+        // buffer keeps the fold deterministic anyway.
+        fold(out.data(), out.size());
+        break;
+      }
+      case OpKind::kDup: comms_.push_back(mpi_.dup(comm(op.comm))); break;
+      case OpKind::kSplit:
+        comms_.push_back(mpi_.split(comm(op.comm), /*color=*/op.tag, /*key=*/op.peer));
+        break;
+    }
+  }
+
+  using Op_ = sp::mpi::Op;  // reduction operator (Op is the trace record here)
+
+  Mpi& mpi_;
+  const std::vector<Op>& ops_;
+  int rank_;
+  std::vector<Comm> comms_;
+  std::unordered_map<std::int64_t, Pending> pending_;
+  std::uint64_t digest_ = kFnvOffset;
+};
+
+}  // namespace
+
+ReplayResult replay(const Trace& t, const sim::MachineConfig& cfg, Backend backend) {
+  ReplayResult res;
+  if (!validate(t, &res.error)) return res;
+  try {
+    Machine m(cfg, t.ranks, backend);
+    std::vector<std::uint64_t> rank_digests(static_cast<std::size_t>(t.ranks), 0);
+    m.run([&](Mpi& mpi) {
+      const int rank = mpi.world().rank();
+      RankReplayer rr(mpi, t, rank);
+      rank_digests[static_cast<std::size_t>(rank)] = rr.run();
+    });
+    std::uint64_t digest = kFnvOffset;
+    for (const std::uint64_t dr : rank_digests) digest = fnv(digest, &dr, sizeof dr);
+    res.digest = digest;
+    res.elapsed = m.elapsed();
+    res.sim_events = m.stats().sim_events;
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.error = e.what();
+  }
+  return res;
+}
+
+}  // namespace sp::mpi::optrace

@@ -1,0 +1,176 @@
+// Per-rank MPI operation trace record/replay (DESIGN.md §17).
+//
+// A Recorder attached to a Machine captures the ordered stream of top-level
+// MPI calls each rank makes — peers, tags, datatypes, counts, and for
+// receives the concretely matched (source, tag) — but no payload bytes. The
+// resulting Trace replays against any MachineConfig/Backend: every send
+// buffer is refilled from a deterministic per-(rank, op) PCG stream and every
+// wildcard receive is re-posted with its recorded concrete match, so the
+// bytes that flow are a pure function of the trace. The replay digest (FNV-1a
+// over all delivered bytes, folded in rank order) is therefore invariant
+// across eager limits, collective algorithms, topologies and loss rates —
+// while the simulated elapsed time is exactly what the what-if config costs.
+//
+// Recording happens only for *top-level* calls: collectives internally issue
+// sends and receives through the same public API, and a depth guard in the
+// Mpi methods suppresses those (a replayed bcast re-runs whatever algorithm
+// the replay config selects, which is the whole point of a what-if).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::mpi::optrace {
+
+/// Every kind of top-level operation a trace can carry. Appended-only: the
+/// numeric values are the on-disk encoding.
+enum class OpKind : std::uint8_t {
+  kSend = 0,
+  kSsend,
+  kRsend,
+  kBsend,
+  kIsend,
+  kIssend,
+  kIrsend,
+  kIbsend,
+  kRecv,
+  kIrecv,
+  kWait,
+  kCompute,
+  kInterrupt,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllreduce,
+  kGather,
+  kGatherv,
+  kScatter,
+  kScatterv,
+  kAllgather,
+  kAlltoall,
+  kAlltoallv,
+  kReduceScatterBlock,
+  kScan,
+  kExscan,
+  kDup,
+  kSplit,
+};
+inline constexpr int kNumOpKinds = 29;
+
+struct Op {
+  OpKind kind = OpKind::kSend;
+  std::int32_t comm = 0;    ///< Dense per-rank communicator index (0 = world).
+  std::int32_t peer = -1;   ///< dst / src selector / root / split key.
+  std::int32_t tag = 0;     ///< Message tag, or split color.
+  std::int32_t dtype = 0;   ///< Datatype (numeric enum value).
+  std::int32_t redop = 0;   ///< Reduction Op (numeric enum value).
+  std::int64_t count = 0;   ///< Element count; ns for kCompute; flag for kInterrupt.
+  std::int64_t aux = 0;     ///< Matched byte length (receives).
+  std::int32_t msrc = -1;   ///< Concrete matched source (receives).
+  std::int32_t mtag = -1;   ///< Concrete matched tag (receives).
+  std::int64_t target = -1; ///< kWait: index of the op it completes.
+  std::vector<std::int64_t> vec;  ///< v-collective counts (send then recv).
+};
+
+struct Trace {
+  int ranks = 0;
+  std::string workload = "unknown";
+  int scale = 0;
+  std::vector<std::vector<Op>> per_rank;
+};
+
+/// Collects per-rank op streams. One Recorder per Machine; each rank fiber
+/// writes only its own stream (all fibers of a Machine share one host
+/// thread), so no locking is needed.
+class Recorder {
+ public:
+  explicit Recorder(int ranks)
+      : per_rank_(static_cast<std::size_t>(ranks)),
+        ctxs_(static_cast<std::size_t>(ranks), std::vector<int>{0}) {}
+
+  /// Appends and returns the op's index in the rank's stream.
+  std::int64_t push(int rank, Op op) {
+    auto& ops = per_rank_[static_cast<std::size_t>(rank)];
+    ops.push_back(std::move(op));
+    return static_cast<std::int64_t>(ops.size()) - 1;
+  }
+
+  /// Back-fills the concrete match of a nonblocking receive at completion.
+  void set_matched(int rank, std::int64_t idx, const Status& st) {
+    auto& ops = per_rank_[static_cast<std::size_t>(rank)];
+    if (idx < 0 || idx >= static_cast<std::int64_t>(ops.size())) return;
+    Op& op = ops[static_cast<std::size_t>(idx)];
+    op.msrc = st.source;
+    op.mtag = st.tag;
+    op.aux = static_cast<std::int64_t>(st.len);
+  }
+
+  /// Dense communicator index for a context id, or -1 if never registered.
+  [[nodiscard]] int comm_index(int rank, int ctx) const {
+    const auto& v = ctxs_[static_cast<std::size_t>(rank)];
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == ctx) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Registers a communicator created by dup/split, in creation order (the
+  /// replayer recreates them in the same order, so indices line up).
+  void register_comm(int rank, int ctx) {
+    ctxs_[static_cast<std::size_t>(rank)].push_back(ctx);
+  }
+
+  [[nodiscard]] int ranks() const noexcept { return static_cast<int>(per_rank_.size()); }
+
+  /// Moves the collected streams out into a Trace.
+  [[nodiscard]] Trace take(std::string workload, int scale) {
+    Trace t;
+    t.ranks = ranks();
+    t.workload = std::move(workload);
+    t.scale = scale;
+    t.per_rank = std::move(per_rank_);
+    per_rank_.assign(static_cast<std::size_t>(t.ranks), {});
+    ctxs_.assign(static_cast<std::size_t>(t.ranks), std::vector<int>{0});
+    return t;
+  }
+
+ private:
+  std::vector<std::vector<Op>> per_rank_;
+  std::vector<std::vector<int>> ctxs_;
+};
+
+/// Wires `rec` (may be null, to detach) into every rank's Mpi.
+void attach(Machine& m, Recorder* rec);
+
+/// Text serialization: `sptrace 1` header, per-rank op lines, `end` footer.
+void save_text(const Trace& t, std::ostream& os);
+
+/// Strict parser: returns false (with a reason in *error) on a bad magic,
+/// malformed or out-of-range fields, wrong op counts, or a missing `end`
+/// footer — a truncated or corrupted file never yields a Trace.
+[[nodiscard]] bool load_text(std::istream& is, Trace* out, std::string* error);
+
+/// Structural validation applied by load_text and again before replay: op
+/// kinds in range, comm indices within the rank's create-order window, wait
+/// targets referencing earlier nonblocking ops, bounded counts.
+[[nodiscard]] bool validate(const Trace& t, std::string* error);
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;
+  /// FNV-1a over every delivered payload byte, folded in rank order.
+  /// Config-invariant for a conformant simulator.
+  std::uint64_t digest = 0;
+  sim::TimeNs elapsed = 0;
+  std::uint64_t sim_events = 0;
+};
+
+/// Re-executes the trace under a what-if config/backend.
+[[nodiscard]] ReplayResult replay(const Trace& t, const sim::MachineConfig& cfg,
+                                  Backend backend);
+
+}  // namespace sp::mpi::optrace

@@ -1,0 +1,19 @@
+/* Entry points of the bundled C proxy apps. Each file is a standard MPI C
+ * program with an ordinary `main`; the build renames it to the symbol below
+ * via -Dmain=<sym> so several programs can link into one binary (the same
+ * trick SMPI-style simulators use). */
+#ifndef SP_MPIABI_APPS_H
+#define SP_MPIABI_APPS_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+int sp_abi_nas_ep_main(int argc, char** argv);
+int sp_abi_nas_is_main(int argc, char** argv);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* SP_MPIABI_APPS_H */

@@ -1,0 +1,78 @@
+/* NAS EP (embarrassingly parallel) mini-kernel as a plain MPI C program.
+ *
+ * This file compiles unmodified against any MPI: it includes only <mpi.h>
+ * and uses the standard API (the MPIX_* calls are the simulator's documented
+ * extensions and are the only non-standard lines). The algorithm and RNG
+ * match the native C++ port bit for bit, so the final checksum must equal
+ * the native kernel's on any channel/topology -- that equality is the ABI
+ * conformance criterion.
+ *
+ * Usage: nas_ep [scale]   (default scale 2; 8192*scale samples per rank)
+ */
+#include <mpi.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+/* PCG-XSH-RR 32-bit (O'Neill, 2014), bit-identical to the simulator's
+ * seeding sequence: zero state, advance, add seed, advance. */
+typedef struct {
+  uint64_t state;
+  uint64_t inc;
+} pcg32_t;
+
+static uint32_t pcg32_next(pcg32_t* g) {
+  const uint64_t old = g->state;
+  uint32_t xorshifted, rot;
+  g->state = old * 6364136223846793005ULL + g->inc;
+  xorshifted = (uint32_t)(((old >> 18) ^ old) >> 27);
+  rot = (uint32_t)(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+static void pcg32_seed(pcg32_t* g, uint64_t seed) {
+  g->state = 0;
+  g->inc = (0xda3e39cb94b95bdbULL << 1) | 1u;
+  (void)pcg32_next(g);
+  g->state += seed;
+  (void)pcg32_next(g);
+}
+
+int main(int argc, char** argv) {
+  int rank, nranks, i;
+  long long scale, samples, s;
+  long long q[4] = {0, 0, 0, 0};
+  long long total[4];
+  long long sum = 0;
+  unsigned long long chk = 0;
+  pcg32_t rng;
+
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nranks);
+
+  scale = argc > 1 ? atoll(argv[1]) : 2;
+  if (scale < 1) scale = 1;
+  samples = 8192LL * scale;
+
+  pcg32_seed(&rng, 0x9e3779b9u + (uint64_t)rank);
+  for (s = 0; s < samples; ++s) {
+    const uint32_t x = pcg32_next(&rng);
+    const uint32_t y = pcg32_next(&rng);
+    const uint64_t r2 = (((uint64_t)x * x) >> 34) + (((uint64_t)y * y) >> 34);
+    uint64_t bin = r2 >> 28;
+    if (bin > 3) bin = 3;
+    ++q[bin];
+  }
+  MPIX_Compute(samples * 900);
+
+  MPI_Allreduce(q, total, 4, MPI_LONG_LONG, MPI_SUM, MPI_COMM_WORLD);
+
+  for (i = 0; i < 4; ++i) {
+    sum += total[i];
+    chk = chk * 1000003u + (unsigned long long)total[i];
+  }
+  MPIX_Report(chk, sum == samples * nranks);
+
+  MPI_Finalize();
+  return 0;
+}

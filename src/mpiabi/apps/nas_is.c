@@ -1,0 +1,155 @@
+/* NAS IS (integer sort) mini-kernel as a plain MPI C program.
+ *
+ * Parallel bucket sort: histogram exchange (MPI_Alltoall), key exchange
+ * (MPI_Alltoallv), local sort, then global verification reductions. The RNG,
+ * bucketing and checksum match the native C++ port bit for bit.
+ *
+ * Usage: nas_is [scale]   (default scale 2; 8192*scale keys per rank)
+ */
+#include <mpi.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef struct {
+  uint64_t state;
+  uint64_t inc;
+} pcg32_t;
+
+static uint32_t pcg32_next(pcg32_t* g) {
+  const uint64_t old = g->state;
+  uint32_t xorshifted, rot;
+  g->state = old * 6364136223846793005ULL + g->inc;
+  xorshifted = (uint32_t)(((old >> 18) ^ old) >> 27);
+  rot = (uint32_t)(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+static void pcg32_seed(pcg32_t* g, uint64_t seed) {
+  g->state = 0;
+  g->inc = (0xda3e39cb94b95bdbULL << 1) | 1u;
+  (void)pcg32_next(g);
+  g->state += seed;
+  (void)pcg32_next(g);
+}
+
+/* Debiased modulo draw in [0, bound), matching sim::Pcg32::next_below. */
+static uint32_t pcg32_below(pcg32_t* g, uint32_t bound) {
+  uint32_t threshold, r;
+  if (bound == 0) return 0;
+  threshold = (0u - bound) % bound;
+  for (;;) {
+    r = pcg32_next(g);
+    if (r >= threshold) return r % bound;
+  }
+}
+
+static int cmp_i32(const void* a, const void* b) {
+  const int32_t x = *(const int32_t*)a;
+  const int32_t y = *(const int32_t*)b;
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+int main(int argc, char** argv) {
+  int rank, nranks, r, ok;
+  long long scale, i;
+  uint32_t key_range = 1u << 20;
+  uint32_t bucket_width;
+  long long keys_per_rank, total_recv;
+  int32_t* keys;
+  int32_t* bucketed;
+  int32_t* mine;
+  unsigned long long* scounts64;
+  unsigned long long* rcounts64;
+  int *scounts, *sdispls, *rcounts, *rdispls, *cursor;
+  unsigned long long local_sum = 0, moved_sum = 0, moved_total = 0;
+  unsigned long long sums[2], totals[2];
+  pcg32_t rng;
+
+  MPI_Init(&argc, &argv);
+  MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+  MPI_Comm_size(MPI_COMM_WORLD, &nranks);
+
+  scale = argc > 1 ? atoll(argv[1]) : 2;
+  if (scale < 1) scale = 1;
+  keys_per_rank = 8192LL * scale;
+  bucket_width = key_range / (uint32_t)nranks + 1;
+
+  keys = (int32_t*)malloc((size_t)keys_per_rank * sizeof(int32_t));
+  bucketed = (int32_t*)malloc((size_t)keys_per_rank * sizeof(int32_t));
+  scounts64 = (unsigned long long*)calloc((size_t)nranks, sizeof(unsigned long long));
+  rcounts64 = (unsigned long long*)calloc((size_t)nranks, sizeof(unsigned long long));
+  scounts = (int*)calloc((size_t)nranks, sizeof(int));
+  sdispls = (int*)calloc((size_t)nranks, sizeof(int));
+  rcounts = (int*)calloc((size_t)nranks, sizeof(int));
+  rdispls = (int*)calloc((size_t)nranks, sizeof(int));
+  cursor = (int*)calloc((size_t)nranks, sizeof(int));
+  if (!keys || !bucketed || !scounts64 || !rcounts64 || !scounts || !sdispls || !rcounts ||
+      !rdispls || !cursor) {
+    MPI_Abort(MPI_COMM_WORLD, 1);
+  }
+
+  pcg32_seed(&rng, 0xabcdef12u + (uint64_t)rank);
+  for (i = 0; i < keys_per_rank; ++i) {
+    keys[i] = (int32_t)pcg32_below(&rng, key_range);
+    local_sum += (unsigned long long)keys[i];
+  }
+
+  /* Bucketise locally: counting pass + permute. */
+  for (i = 0; i < keys_per_rank; ++i) ++scounts[(uint32_t)keys[i] / bucket_width];
+  for (r = 1; r < nranks; ++r) sdispls[r] = sdispls[r - 1] + scounts[r - 1];
+  for (r = 0; r < nranks; ++r) cursor[r] = sdispls[r];
+  for (i = 0; i < keys_per_rank; ++i) {
+    const int b = (int)((uint32_t)keys[i] / bucket_width);
+    bucketed[cursor[b]++] = keys[i];
+  }
+  MPIX_Compute(keys_per_rank * 60);
+
+  /* Exchange bucket sizes (8-byte counts, as the native port sends size_t),
+   * then the keys themselves. */
+  for (r = 0; r < nranks; ++r) scounts64[r] = (unsigned long long)scounts[r];
+  MPI_Alltoall(scounts64, 1, MPI_UNSIGNED_LONG_LONG, rcounts64, 1, MPI_UNSIGNED_LONG_LONG,
+               MPI_COMM_WORLD);
+  for (r = 0; r < nranks; ++r) rcounts[r] = (int)rcounts64[r];
+  total_recv = rcounts[0];
+  for (r = 1; r < nranks; ++r) {
+    rdispls[r] = rdispls[r - 1] + rcounts[r - 1];
+    total_recv += rcounts[r];
+  }
+  mine = (int32_t*)malloc((size_t)(total_recv > 0 ? total_recv : 1) * sizeof(int32_t));
+  if (!mine) MPI_Abort(MPI_COMM_WORLD, 1);
+  MPI_Alltoallv(bucketed, scounts, sdispls, MPI_INT, mine, rcounts, rdispls, MPI_INT,
+                MPI_COMM_WORLD);
+
+  qsort(mine, (size_t)total_recv, sizeof(int32_t), cmp_i32);
+  MPIX_Compute(total_recv * 80);
+
+  /* Verify: locally sorted, in my bucket range, nothing lost globally. */
+  ok = 1;
+  for (i = 1; i < total_recv; ++i) ok = ok && mine[i - 1] <= mine[i];
+  for (i = 0; i < total_recv; ++i) {
+    ok = ok && (int)((uint32_t)mine[i] / bucket_width) == rank;
+  }
+  sums[0] = local_sum;
+  sums[1] = (unsigned long long)total_recv;
+  MPI_Allreduce(sums, totals, 2, MPI_UNSIGNED_LONG_LONG, MPI_SUM, MPI_COMM_WORLD);
+  ok = ok && totals[1] == (unsigned long long)keys_per_rank * (unsigned long long)nranks;
+  /* Checksum: the global key sum is invariant under the exchange. */
+  for (i = 0; i < total_recv; ++i) moved_sum += (unsigned long long)mine[i];
+  MPI_Allreduce(&moved_sum, &moved_total, 1, MPI_UNSIGNED_LONG_LONG, MPI_SUM, MPI_COMM_WORLD);
+  ok = ok && moved_total == totals[0];
+
+  MPIX_Report(moved_total, ok);
+
+  free(mine);
+  free(cursor);
+  free(rdispls);
+  free(rcounts);
+  free(sdispls);
+  free(scounts);
+  free(rcounts64);
+  free(scounts64);
+  free(bucketed);
+  free(keys);
+  MPI_Finalize();
+  return 0;
+}

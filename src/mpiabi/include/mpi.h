@@ -1,0 +1,237 @@
+/* mpi.h — generated C ABI header for the simulated SP machine (sp::mpiabi).
+ *
+ * This header is what an external MPI program compiles against so it can run
+ * unmodified inside the simulator's rank fibers (DESIGN.md §17), in the style
+ * of SimGrid's SMPI: the MPI_* entry points below are a thin C veneer over
+ * the C++ sp::mpi layer, resolved per-call to the rank fiber that is
+ * currently executing. Handles are plain ints into per-rank tables, so the
+ * ABI is trivially stable; MPI_Status is a POD mirroring mpci::Status.
+ *
+ * Generated from the sp::mpi public surface (src/mpi/mpi.hpp) — keep the two
+ * in sync by regenerating rather than hand-editing call lists.
+ *
+ * Error handling follows MPI_ERRORS_RETURN: every call returns MPI_SUCCESS
+ * or an MPI_ERR_* code instead of aborting. Unrecoverable simulator errors
+ * (e.g. a ready-mode send with no posted receive) still terminate the run,
+ * exactly as MPI_ERRORS_ARE_FATAL would.
+ *
+ * Extensions (prefixed MPIX_) model what a real machine provides outside
+ * MPI: MPIX_Compute charges local computation time to the simulated clock,
+ * and MPIX_Report hands a checksum/verdict back to the embedding harness.
+ */
+#ifndef SP_MPIABI_MPI_H
+#define SP_MPIABI_MPI_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* ---- handles ---------------------------------------------------------- */
+
+typedef int MPI_Comm;
+typedef int MPI_Datatype;
+typedef int MPI_Op;
+typedef int MPI_Request;
+typedef long MPI_Aint;
+
+#define MPI_COMM_NULL ((MPI_Comm)0)
+#define MPI_COMM_WORLD ((MPI_Comm)1)
+
+#define MPI_REQUEST_NULL ((MPI_Request)0)
+
+/* Predefined datatypes (mapped onto the simulator's element types; all
+ * integer types are LP64 widths). */
+#define MPI_DATATYPE_NULL ((MPI_Datatype)0)
+#define MPI_BYTE ((MPI_Datatype)1)
+#define MPI_CHAR ((MPI_Datatype)2)
+#define MPI_UNSIGNED_CHAR ((MPI_Datatype)3)
+#define MPI_INT ((MPI_Datatype)4)
+#define MPI_UNSIGNED ((MPI_Datatype)5)
+#define MPI_LONG ((MPI_Datatype)6)
+#define MPI_UNSIGNED_LONG ((MPI_Datatype)7)
+#define MPI_LONG_LONG ((MPI_Datatype)8)
+#define MPI_LONG_LONG_INT MPI_LONG_LONG
+#define MPI_UNSIGNED_LONG_LONG ((MPI_Datatype)9)
+#define MPI_FLOAT ((MPI_Datatype)10)
+#define MPI_DOUBLE ((MPI_Datatype)11)
+#define MPI_INT32_T MPI_INT
+#define MPI_INT64_T MPI_LONG_LONG
+#define MPI_UINT64_T MPI_UNSIGNED_LONG_LONG
+
+/* Predefined reduction operations. MPIX_MAT2X2 is the simulator's
+ * non-commutative 2x2 integer matrix product (groups of 4 elements). */
+#define MPI_OP_NULL ((MPI_Op)0)
+#define MPI_SUM ((MPI_Op)1)
+#define MPI_PROD ((MPI_Op)2)
+#define MPI_MAX ((MPI_Op)3)
+#define MPI_MIN ((MPI_Op)4)
+#define MPI_LAND ((MPI_Op)5)
+#define MPI_LOR ((MPI_Op)6)
+#define MPI_BOR ((MPI_Op)7)
+#define MPIX_MAT2X2 ((MPI_Op)8)
+
+/* ---- special values --------------------------------------------------- */
+
+#define MPI_ANY_SOURCE (-1)
+#define MPI_ANY_TAG (-1)
+#define MPI_PROC_NULL (-2)
+#define MPI_UNDEFINED (-32766)
+#define MPI_IN_PLACE ((void*)-1)
+#define MPI_BSEND_OVERHEAD 32
+#define MPI_MAX_ERROR_STRING 64
+
+typedef struct MPI_Status {
+  int MPI_SOURCE;
+  int MPI_TAG;
+  int MPI_ERROR;
+  /* Implementation fields (read via MPI_Get_count, not directly). */
+  int sp_count_bytes;
+  int sp_truncated;
+} MPI_Status;
+
+#define MPI_STATUS_IGNORE ((MPI_Status*)0)
+#define MPI_STATUSES_IGNORE ((MPI_Status*)0)
+
+/* ---- error codes ------------------------------------------------------ */
+
+#define MPI_SUCCESS 0
+#define MPI_ERR_BUFFER 1
+#define MPI_ERR_COUNT 2
+#define MPI_ERR_TYPE 3
+#define MPI_ERR_TAG 4
+#define MPI_ERR_COMM 5
+#define MPI_ERR_RANK 6
+#define MPI_ERR_REQUEST 7
+#define MPI_ERR_ROOT 8
+#define MPI_ERR_OP 9
+#define MPI_ERR_ARG 12
+#define MPI_ERR_TRUNCATE 14
+#define MPI_ERR_OTHER 15
+#define MPI_ERR_IN_STATUS 17
+#define MPI_ERR_PENDING 18
+#define MPI_ERR_LASTCODE 63
+
+/* ---- environment ------------------------------------------------------ */
+
+int MPI_Init(int* argc, char*** argv);
+int MPI_Finalize(void);
+int MPI_Initialized(int* flag);
+int MPI_Finalized(int* flag);
+int MPI_Abort(MPI_Comm comm, int errorcode);
+int MPI_Error_string(int errorcode, char* string, int* resultlen);
+double MPI_Wtime(void);
+double MPI_Wtick(void);
+
+/* ---- communicators ---------------------------------------------------- */
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+
+/* ---- point-to-point --------------------------------------------------- */
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+             MPI_Comm comm);
+int MPI_Ssend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm);
+int MPI_Rsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm);
+int MPI_Bsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+             MPI_Status* status);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype, int source,
+                 int recvtag, MPI_Comm comm, MPI_Status* status);
+int MPI_Buffer_attach(void* buffer, int size);
+int MPI_Buffer_detach(void* buffer_addr, int* size);
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Issend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+               MPI_Comm comm, MPI_Request* request);
+int MPI_Irsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+               MPI_Comm comm, MPI_Request* request);
+int MPI_Ibsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+               MPI_Comm comm, MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+              MPI_Request* request);
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]);
+int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* status);
+int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuses[]);
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count);
+
+/* Persistent requests. */
+int MPI_Send_init(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+                  MPI_Comm comm, MPI_Request* request);
+int MPI_Recv_init(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+                  MPI_Comm comm, MPI_Request* request);
+int MPI_Start(MPI_Request* request);
+int MPI_Startall(int count, MPI_Request requests[]);
+int MPI_Request_free(MPI_Request* request);
+
+/* ---- derived datatypes ------------------------------------------------ */
+
+int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype);
+int MPI_Type_vector(int count, int blocklength, int stride, MPI_Datatype oldtype,
+                    MPI_Datatype* newtype);
+int MPI_Type_create_struct(int count, const int blocklengths[], const MPI_Aint displacements[],
+                           const MPI_Datatype types[], MPI_Datatype* newtype);
+int MPI_Type_commit(MPI_Datatype* datatype);
+int MPI_Type_free(MPI_Datatype* datatype);
+int MPI_Type_size(MPI_Datatype datatype, int* size);
+
+/* ---- collectives ------------------------------------------------------ */
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype,
+                  MPI_Op op, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                const int recvcounts[], const int displs[], MPI_Datatype recvtype, int root,
+                MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Scatterv(const void* sendbuf, const int sendcounts[], const int displs[],
+                 MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int root, MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Alltoallv(const void* sendbuf, const int sendcounts[], const int sdispls[],
+                  MPI_Datatype sendtype, void* recvbuf, const int recvcounts[],
+                  const int rdispls[], MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount,
+                             MPI_Datatype datatype, MPI_Op op, MPI_Comm comm);
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+             MPI_Comm comm);
+int MPI_Exscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               MPI_Comm comm);
+
+/* ---- simulator extensions -------------------------------------------- */
+
+/* Charge `nanoseconds` of modelled local computation to the simulated clock
+ * (the NAS kernels use this the way real codes burn FLOPs). */
+int MPIX_Compute(long long nanoseconds);
+/* Report a result checksum + verification verdict to the embedding harness
+ * (collected per rank by sp::mpiabi::run_program). */
+int MPIX_Report(unsigned long long checksum, int verified);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* SP_MPIABI_MPI_H */

@@ -1,0 +1,1435 @@
+// The C MPI_* ABI veneer over sp::mpi, plus the embedding harness
+// (DESIGN.md §17). Entry points resolve their calling rank through
+// sim::RankThread::current() and the thread_local Process installed by
+// run_with_abi(); handles index per-rank tables, so nothing here needs
+// locking even though rank fibers interleave mid-call.
+#include "mpiabi/mpiabi.hpp"
+
+#include <mpi.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "mpci/request.hpp"
+#include "mpi/derived_datatype.hpp"
+#include "sim/rank_thread.hpp"
+
+namespace sp::mpiabi {
+namespace {
+
+/// Derived-datatype handles start here; predefined ones are small macros.
+constexpr int kDerivedBase = 0x100;
+constexpr MPI_Datatype kLastPredefined = MPI_DOUBLE;
+
+struct TypeInfo {
+  bool live = false;
+  std::shared_ptr<mpi::DerivedDatatype> dd;
+  std::size_t elem_bytes = 0;  ///< Packed bytes per element.
+};
+
+struct ReqSlot {
+  mpi::Request r;
+  bool live = false;
+  /// MPI_PROC_NULL pseudo-requests complete immediately; no sp request.
+  bool pnull = false;
+  bool pnull_send = false;
+  bool pnull_persistent = false;
+  bool pnull_armed = false;
+};
+
+struct RankCtx {
+  mpi::Mpi* mpi = nullptr;
+  bool initialized = false;
+  bool finalized = false;
+  std::vector<mpi::Comm> comms;  ///< [0] null, [1] world, then dup/split order.
+  std::vector<char> comm_live;
+  std::vector<ReqSlot> reqs;  ///< [0] reserved for MPI_REQUEST_NULL.
+  std::vector<int> req_free;
+  std::vector<TypeInfo> dtypes;  ///< Derived types; handle = kDerivedBase + index.
+  void* bsend_buf = nullptr;
+  int bsend_len = 0;
+  RankReport report;
+};
+
+struct Process {
+  std::vector<RankCtx> ranks;
+};
+
+thread_local Process* g_proc = nullptr;
+
+RankCtx* cur() {
+  if (g_proc == nullptr) return nullptr;
+  sim::RankThread* t = sim::RankThread::current();
+  if (t == nullptr) return nullptr;
+  const auto id = static_cast<std::size_t>(t->id());
+  if (id >= g_proc->ranks.size()) return nullptr;
+  return &g_proc->ranks[id];
+}
+
+/// Every MPI call (except the query trio) must come from an initialized,
+/// not-yet-finalized rank fiber.
+RankCtx* enter() {
+  RankCtx* c = cur();
+  if (c == nullptr || !c->initialized || c->finalized) return nullptr;
+  return c;
+}
+
+bool base_datatype(MPI_Datatype h, mpi::Datatype* out) {
+  switch (h) {
+    case MPI_BYTE:
+    case MPI_CHAR:
+    case MPI_UNSIGNED_CHAR: *out = mpi::Datatype::kByte; return true;
+    case MPI_INT:
+    case MPI_UNSIGNED: *out = mpi::Datatype::kInt; return true;
+    case MPI_LONG:
+    case MPI_UNSIGNED_LONG:
+    case MPI_LONG_LONG:
+    case MPI_UNSIGNED_LONG_LONG: *out = mpi::Datatype::kLong; return true;
+    case MPI_FLOAT: *out = mpi::Datatype::kFloat; return true;
+    case MPI_DOUBLE: *out = mpi::Datatype::kDouble; return true;
+    default: return false;
+  }
+}
+
+/// Resolve a datatype handle: predefined -> base element type, derived ->
+/// the committed DerivedDatatype. Returns false for invalid handles.
+struct ResolvedType {
+  bool derived = false;
+  mpi::Datatype base = mpi::Datatype::kByte;
+  const mpi::DerivedDatatype* dd = nullptr;
+  std::size_t elem_bytes = 0;
+};
+
+bool resolve_type(RankCtx& c, MPI_Datatype h, ResolvedType* out) {
+  if (h >= MPI_BYTE && h <= kLastPredefined) {
+    if (!base_datatype(h, &out->base)) return false;
+    out->derived = false;
+    out->elem_bytes = mpi::datatype_size(out->base);
+    return true;
+  }
+  const int idx = h - kDerivedBase;
+  if (idx < 0 || static_cast<std::size_t>(idx) >= c.dtypes.size()) return false;
+  const TypeInfo& t = c.dtypes[static_cast<std::size_t>(idx)];
+  if (!t.live) return false;
+  out->derived = true;
+  out->dd = t.dd.get();
+  out->elem_bytes = t.elem_bytes;
+  return true;
+}
+
+bool op_of(MPI_Op h, mpi::Op* out) {
+  switch (h) {
+    case MPI_SUM: *out = mpi::Op::kSum; return true;
+    case MPI_PROD: *out = mpi::Op::kProd; return true;
+    case MPI_MAX: *out = mpi::Op::kMax; return true;
+    case MPI_MIN: *out = mpi::Op::kMin; return true;
+    case MPI_LAND: *out = mpi::Op::kLand; return true;
+    case MPI_LOR: *out = mpi::Op::kLor; return true;
+    case MPI_BOR: *out = mpi::Op::kBor; return true;
+    case MPIX_MAT2X2: *out = mpi::Op::kMat2x2; return true;
+    default: return false;
+  }
+}
+
+mpi::Comm* comm_of(RankCtx& c, MPI_Comm h) {
+  if (h <= MPI_COMM_NULL || static_cast<std::size_t>(h) >= c.comms.size()) return nullptr;
+  if (!c.comm_live[static_cast<std::size_t>(h)]) return nullptr;
+  return &c.comms[static_cast<std::size_t>(h)];
+}
+
+int check_peer(const mpi::Comm& cm, int peer, bool allow_any) {
+  if (peer == MPI_PROC_NULL) return MPI_SUCCESS;
+  if (allow_any && peer == MPI_ANY_SOURCE) return MPI_SUCCESS;
+  if (peer < 0 || peer >= cm.size()) return MPI_ERR_RANK;
+  return MPI_SUCCESS;
+}
+
+int check_tag(int tag, bool allow_any) {
+  if (allow_any && tag == MPI_ANY_TAG) return MPI_SUCCESS;
+  if (tag < 0 || tag >= mpi::kCollTagBase) return MPI_ERR_TAG;
+  return MPI_SUCCESS;
+}
+
+void fill_status(MPI_Status* out, const mpi::Status& st) {
+  if (out == MPI_STATUS_IGNORE) return;
+  out->MPI_SOURCE = st.source;
+  out->MPI_TAG = st.tag;
+  out->sp_count_bytes = static_cast<int>(st.len);
+  out->sp_truncated = st.truncated ? 1 : 0;
+  out->MPI_ERROR = st.truncated ? MPI_ERR_TRUNCATE : MPI_SUCCESS;
+}
+
+void fill_empty_status(MPI_Status* out) { fill_status(out, mpi::Status{}); }
+
+void fill_pnull_status(MPI_Status* out) {
+  if (out == MPI_STATUS_IGNORE) return;
+  out->MPI_SOURCE = MPI_PROC_NULL;
+  out->MPI_TAG = MPI_ANY_TAG;
+  out->sp_count_bytes = 0;
+  out->sp_truncated = 0;
+  out->MPI_ERROR = MPI_SUCCESS;
+}
+
+int alloc_slot(RankCtx& c) {
+  if (!c.req_free.empty()) {
+    const int h = c.req_free.back();
+    c.req_free.pop_back();
+    return h;
+  }
+  c.reqs.emplace_back();
+  return static_cast<int>(c.reqs.size()) - 1;
+}
+
+void free_slot(RankCtx& c, int h) {
+  ReqSlot& s = c.reqs[static_cast<std::size_t>(h)];
+  s = ReqSlot{};
+  c.req_free.push_back(h);
+}
+
+ReqSlot* slot_of(RankCtx& c, MPI_Request h) {
+  if (h <= MPI_REQUEST_NULL || static_cast<std::size_t>(h) >= c.reqs.size()) return nullptr;
+  ReqSlot& s = c.reqs[static_cast<std::size_t>(h)];
+  return s.live ? &s : nullptr;
+}
+
+int make_pnull_slot(RankCtx& c, bool is_send, bool persistent, MPI_Request* request) {
+  const int h = alloc_slot(c);
+  ReqSlot& s = c.reqs[static_cast<std::size_t>(h)];
+  s.live = true;
+  s.pnull = true;
+  s.pnull_send = is_send;
+  s.pnull_persistent = persistent;
+  s.pnull_armed = !persistent;
+  *request = h;
+  return MPI_SUCCESS;
+}
+
+/// Simulator errors that a conforming program can observe (e.g. bsend pool
+/// exhaustion) surface as return codes; everything else stays fatal.
+template <typename Fn>
+int guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const mpci::FatalMpiError&) {
+    return MPI_ERR_OTHER;
+  } catch (const std::invalid_argument&) {
+    return MPI_ERR_ARG;
+  }
+}
+
+/// Shared validation + dispatch for the four blocking send modes.
+int do_send(mpci::Mode mode, const void* buf, int count, MPI_Datatype datatype, int dest,
+            int tag, MPI_Comm comm) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (int e = check_peer(*cm, dest, /*allow_any=*/false); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/false); e != MPI_SUCCESS) return e;
+  if (dest == MPI_PROC_NULL) return MPI_SUCCESS;
+  if (rt.derived && mode != mpci::Mode::kStandard) return MPI_ERR_TYPE;
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(count);
+    if (rt.derived) {
+      c->mpi->send(buf, n, *rt.dd, dest, tag, *cm);
+      return MPI_SUCCESS;
+    }
+    switch (mode) {
+      case mpci::Mode::kStandard: c->mpi->send(buf, n, rt.base, dest, tag, *cm); break;
+      case mpci::Mode::kSync: c->mpi->ssend(buf, n, rt.base, dest, tag, *cm); break;
+      case mpci::Mode::kReady: c->mpi->rsend(buf, n, rt.base, dest, tag, *cm); break;
+      case mpci::Mode::kBuffered: c->mpi->bsend(buf, n, rt.base, dest, tag, *cm); break;
+    }
+    return MPI_SUCCESS;
+  });
+}
+
+/// Shared validation + dispatch for the nonblocking send modes.
+int do_isend(mpci::Mode mode, const void* buf, int count, MPI_Datatype datatype, int dest,
+             int tag, MPI_Comm comm, MPI_Request* request) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (int e = check_peer(*cm, dest, /*allow_any=*/false); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/false); e != MPI_SUCCESS) return e;
+  if (dest == MPI_PROC_NULL) {
+    return make_pnull_slot(*c, /*is_send=*/true, /*persistent=*/false, request);
+  }
+  if (rt.derived && mode != mpci::Mode::kStandard) return MPI_ERR_TYPE;
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(count);
+    const int h = alloc_slot(*c);
+    ReqSlot& s = c->reqs[static_cast<std::size_t>(h)];
+    if (rt.derived) {
+      s.r = c->mpi->isend(buf, n, *rt.dd, dest, tag, *cm);
+    } else {
+      switch (mode) {
+        case mpci::Mode::kStandard: s.r = c->mpi->isend(buf, n, rt.base, dest, tag, *cm); break;
+        case mpci::Mode::kSync: s.r = c->mpi->issend(buf, n, rt.base, dest, tag, *cm); break;
+        case mpci::Mode::kReady: s.r = c->mpi->irsend(buf, n, rt.base, dest, tag, *cm); break;
+        case mpci::Mode::kBuffered:
+          s.r = c->mpi->ibsend(buf, n, rt.base, dest, tag, *cm);
+          break;
+      }
+    }
+    s.live = true;
+    *request = h;
+    return MPI_SUCCESS;
+  });
+}
+
+/// Completes one live slot via Mpi::wait(); fills status, retires the handle
+/// (persistent handles stay allocated, per MPI).
+int wait_slot(RankCtx& c, MPI_Request* request, MPI_Status* status) {
+  ReqSlot* s = slot_of(c, *request);
+  if (s == nullptr) return MPI_ERR_REQUEST;
+  if (s->pnull) {
+    if (s->pnull_send) {
+      fill_empty_status(status);
+    } else {
+      fill_pnull_status(status);
+    }
+    if (s->pnull_persistent) {
+      s->pnull_armed = false;
+    } else {
+      free_slot(c, *request);
+      *request = MPI_REQUEST_NULL;
+    }
+    return MPI_SUCCESS;
+  }
+  return guarded([&] {
+    mpi::Status st;
+    c.mpi->wait(s->r, &st);
+    fill_status(status, st);
+    const bool truncated = st.truncated;
+    if (!s->r.persistent()) {
+      free_slot(c, *request);
+      *request = MPI_REQUEST_NULL;
+    }
+    return truncated ? MPI_ERR_TRUNCATE : MPI_SUCCESS;
+  });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Embedding harness
+// ---------------------------------------------------------------------------
+
+RunResult run_with_abi(mpi::Machine& m, const std::function<int(int)>& body) {
+  Process p;
+  p.ranks.resize(static_cast<std::size_t>(m.num_tasks()));
+  for (int t = 0; t < m.num_tasks(); ++t) {
+    RankCtx& c = p.ranks[static_cast<std::size_t>(t)];
+    c.mpi = &m.mpi(t);
+    c.comms.resize(2);
+    c.comms[1] = c.mpi->world();
+    c.comm_live = {0, 1};
+    c.reqs.resize(1);  // slot 0 == MPI_REQUEST_NULL
+  }
+  Process* prev = g_proc;
+  g_proc = &p;
+  try {
+    m.run([&](mpi::Mpi& mpi) {
+      const int rank = mpi.world().rank();
+      p.ranks[static_cast<std::size_t>(rank)].report.exit_code = body(rank);
+    });
+  } catch (...) {
+    g_proc = prev;
+    throw;
+  }
+  g_proc = prev;
+  RunResult res;
+  res.elapsed = m.elapsed();
+  res.ranks.reserve(p.ranks.size());
+  for (auto& c : p.ranks) res.ranks.push_back(c.report);
+  return res;
+}
+
+RunResult run_program(mpi::Machine& m, MainFn program_main,
+                      const std::vector<std::string>& args) {
+  return run_with_abi(m, [program_main, &args](int) {
+    // Per-rank mutable argv on the fiber stack, as a real main expects.
+    std::vector<std::string> store;
+    store.reserve(args.size() + 1);
+    store.emplace_back("mpiapp");
+    for (const auto& a : args) store.push_back(a);
+    std::vector<char*> argv;
+    argv.reserve(store.size() + 1);
+    for (auto& s : store) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    return program_main(static_cast<int>(store.size()), argv.data());
+  });
+}
+
+}  // namespace sp::mpiabi
+
+// ---------------------------------------------------------------------------
+// C ABI entry points
+// ---------------------------------------------------------------------------
+
+using namespace sp;
+using namespace sp::mpiabi;
+// The anonymous-namespace helpers above are visible to these definitions
+// because they share this translation unit.
+
+extern "C" {
+
+// ---- environment ----------------------------------------------------------
+
+int MPI_Init(int* argc, char*** argv) {
+  (void)argc;
+  (void)argv;
+  RankCtx* c = cur();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (c->initialized) return MPI_ERR_OTHER;
+  c->initialized = true;
+  return MPI_SUCCESS;
+}
+
+int MPI_Finalize(void) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  c->finalized = true;
+  return MPI_SUCCESS;
+}
+
+int MPI_Initialized(int* flag) {
+  if (flag == nullptr) return MPI_ERR_ARG;
+  RankCtx* c = cur();
+  *flag = (c != nullptr && c->initialized) ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Finalized(int* flag) {
+  if (flag == nullptr) return MPI_ERR_ARG;
+  RankCtx* c = cur();
+  *flag = (c != nullptr && c->finalized) ? 1 : 0;
+  return MPI_SUCCESS;
+}
+
+int MPI_Abort(MPI_Comm comm, int errorcode) {
+  (void)comm;
+  // Terminates the whole simulated job: the exception unwinds this rank's
+  // fiber and Machine::run() rethrows it to the embedding caller.
+  char msg[64];
+  std::snprintf(msg, sizeof msg, "MPI_Abort(%d)", errorcode);
+  throw mpci::FatalMpiError(msg);
+}
+
+int MPI_Error_string(int errorcode, char* string, int* resultlen) {
+  if (string == nullptr || resultlen == nullptr) return MPI_ERR_ARG;
+  const char* s = "unknown MPI error";
+  switch (errorcode) {
+    case MPI_SUCCESS: s = "no error"; break;
+    case MPI_ERR_BUFFER: s = "invalid buffer"; break;
+    case MPI_ERR_COUNT: s = "invalid count"; break;
+    case MPI_ERR_TYPE: s = "invalid datatype"; break;
+    case MPI_ERR_TAG: s = "invalid tag"; break;
+    case MPI_ERR_COMM: s = "invalid communicator"; break;
+    case MPI_ERR_RANK: s = "invalid rank"; break;
+    case MPI_ERR_REQUEST: s = "invalid request"; break;
+    case MPI_ERR_ROOT: s = "invalid root"; break;
+    case MPI_ERR_OP: s = "invalid reduction operation"; break;
+    case MPI_ERR_ARG: s = "invalid argument"; break;
+    case MPI_ERR_TRUNCATE: s = "message truncated on receive"; break;
+    case MPI_ERR_OTHER: s = "other MPI error"; break;
+    case MPI_ERR_IN_STATUS: s = "error code in status"; break;
+    default: break;
+  }
+  std::snprintf(string, MPI_MAX_ERROR_STRING, "%s", s);
+  *resultlen = static_cast<int>(std::strlen(string));
+  return MPI_SUCCESS;
+}
+
+double MPI_Wtime(void) {
+  RankCtx* c = cur();
+  return c == nullptr ? 0.0 : c->mpi->wtime();
+}
+
+double MPI_Wtick(void) { return 1e-9; }
+
+// ---- communicators --------------------------------------------------------
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (rank == nullptr) return MPI_ERR_ARG;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  *rank = cm->rank();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (size == nullptr) return MPI_ERR_ARG;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  *size = cm->size();
+  return MPI_SUCCESS;
+}
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (newcomm == nullptr) return MPI_ERR_ARG;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  return guarded([&] {
+    c->comms.push_back(c->mpi->dup(*cm));
+    c->comm_live.push_back(1);
+    *newcomm = static_cast<MPI_Comm>(c->comms.size()) - 1;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (newcomm == nullptr) return MPI_ERR_ARG;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (color < 0 && color != MPI_UNDEFINED) return MPI_ERR_ARG;
+  return guarded([&] {
+    // MPI_UNDEFINED ranks still participate in the underlying allgather (the
+    // split is collective) but discard the resulting group.
+    mpi::Comm split = c->mpi->split(*cm, color, key);
+    if (color == MPI_UNDEFINED) {
+      *newcomm = MPI_COMM_NULL;
+      return MPI_SUCCESS;
+    }
+    c->comms.push_back(std::move(split));
+    c->comm_live.push_back(1);
+    *newcomm = static_cast<MPI_Comm>(c->comms.size()) - 1;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (comm == nullptr) return MPI_ERR_ARG;
+  if (*comm == MPI_COMM_WORLD || comm_of(*c, *comm) == nullptr) return MPI_ERR_COMM;
+  c->comm_live[static_cast<std::size_t>(*comm)] = 0;
+  *comm = MPI_COMM_NULL;
+  return MPI_SUCCESS;
+}
+
+// ---- blocking point-to-point ----------------------------------------------
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+             MPI_Comm comm) {
+  return do_send(mpci::Mode::kStandard, buf, count, datatype, dest, tag, comm);
+}
+
+int MPI_Ssend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm) {
+  return do_send(mpci::Mode::kSync, buf, count, datatype, dest, tag, comm);
+}
+
+int MPI_Rsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm) {
+  return do_send(mpci::Mode::kReady, buf, count, datatype, dest, tag, comm);
+}
+
+int MPI_Bsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm) {
+  return do_send(mpci::Mode::kBuffered, buf, count, datatype, dest, tag, comm);
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+             MPI_Status* status) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (int e = check_peer(*cm, source, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (source == MPI_PROC_NULL) {
+    fill_pnull_status(status);
+    return MPI_SUCCESS;
+  }
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(count);
+    mpi::Status st;
+    if (rt.derived) {
+      c->mpi->recv(buf, n, *rt.dd, source, tag, *cm, &st);
+    } else {
+      c->mpi->recv(buf, n, rt.base, source, tag, *cm, &st);
+    }
+    fill_status(status, st);
+    return st.truncated ? MPI_ERR_TRUNCATE : MPI_SUCCESS;
+  });
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype, int source,
+                 int recvtag, MPI_Comm comm, MPI_Status* status) {
+  // Composed from the veneer's own nonblocking pieces so mixed datatypes and
+  // MPI_PROC_NULL on either side fall out naturally.
+  MPI_Request r = MPI_REQUEST_NULL;
+  int e = MPI_Irecv(recvbuf, recvcount, recvtype, source, recvtag, comm, &r);
+  if (e != MPI_SUCCESS) return e;
+  e = MPI_Send(sendbuf, sendcount, sendtype, dest, sendtag, comm);
+  if (e != MPI_SUCCESS) return e;
+  return MPI_Wait(&r, status);
+}
+
+int MPI_Buffer_attach(void* buffer, int size) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (buffer == nullptr || size < 0) return MPI_ERR_BUFFER;
+  return guarded([&] {
+    c->mpi->buffer_attach(buffer, static_cast<std::size_t>(size));
+    c->bsend_buf = buffer;
+    c->bsend_len = size;
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Buffer_detach(void* buffer_addr, int* size) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  return guarded([&] {
+    void* buf = c->mpi->buffer_detach();
+    if (buffer_addr != nullptr) *static_cast<void**>(buffer_addr) = buf;
+    if (size != nullptr) *size = c->bsend_len;
+    c->bsend_buf = nullptr;
+    c->bsend_len = 0;
+    return MPI_SUCCESS;
+  });
+}
+
+// ---- nonblocking point-to-point -------------------------------------------
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+  return do_isend(mpci::Mode::kStandard, buf, count, datatype, dest, tag, comm, request);
+}
+
+int MPI_Issend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+               MPI_Comm comm, MPI_Request* request) {
+  return do_isend(mpci::Mode::kSync, buf, count, datatype, dest, tag, comm, request);
+}
+
+int MPI_Irsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+               MPI_Comm comm, MPI_Request* request) {
+  return do_isend(mpci::Mode::kReady, buf, count, datatype, dest, tag, comm, request);
+}
+
+int MPI_Ibsend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+               MPI_Comm comm, MPI_Request* request) {
+  return do_isend(mpci::Mode::kBuffered, buf, count, datatype, dest, tag, comm, request);
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (int e = check_peer(*cm, source, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (source == MPI_PROC_NULL) {
+    return make_pnull_slot(*c, /*is_send=*/false, /*persistent=*/false, request);
+  }
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(count);
+    const int h = alloc_slot(*c);
+    ReqSlot& s = c->reqs[static_cast<std::size_t>(h)];
+    if (rt.derived) {
+      s.r = c->mpi->irecv(buf, n, *rt.dd, source, tag, *cm);
+    } else {
+      s.r = c->mpi->irecv(buf, n, rt.base, source, tag, *cm);
+    }
+    s.live = true;
+    *request = h;
+    return MPI_SUCCESS;
+  });
+}
+
+// ---- completion -----------------------------------------------------------
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  if (*request == MPI_REQUEST_NULL) {
+    fill_empty_status(status);
+    return MPI_SUCCESS;
+  }
+  return wait_slot(*c, request, status);
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr || flag == nullptr) return MPI_ERR_REQUEST;
+  if (*request == MPI_REQUEST_NULL) {
+    *flag = 1;
+    fill_empty_status(status);
+    return MPI_SUCCESS;
+  }
+  ReqSlot* s = slot_of(*c, *request);
+  if (s == nullptr) return MPI_ERR_REQUEST;
+  if (s->pnull) {
+    *flag = 1;
+    return wait_slot(*c, request, status);
+  }
+  return guarded([&] {
+    mpi::Status st;
+    if (!c->mpi->test(s->r, &st)) {
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    *flag = 1;
+    fill_status(status, st);
+    const bool truncated = st.truncated;
+    if (!s->r.persistent()) {
+      free_slot(*c, *request);
+      *request = MPI_REQUEST_NULL;
+    }
+    return truncated ? MPI_ERR_TRUNCATE : MPI_SUCCESS;
+  });
+}
+
+int MPI_Waitall(int count, MPI_Request requests[], MPI_Status statuses[]) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  bool any_error = false;
+  for (int i = 0; i < count; ++i) {
+    MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+    const int e = MPI_Wait(&requests[i], st);
+    if (e != MPI_SUCCESS) {
+      any_error = true;
+      if (st != MPI_STATUS_IGNORE) st->MPI_ERROR = e;
+    }
+  }
+  return any_error ? MPI_ERR_IN_STATUS : MPI_SUCCESS;
+}
+
+int MPI_Waitany(int count, MPI_Request requests[], int* index, MPI_Status* status) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (index == nullptr) return MPI_ERR_ARG;
+  if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  // PROC_NULL pseudo-requests are already complete.
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL) continue;
+    ReqSlot* s = slot_of(*c, requests[i]);
+    if (s == nullptr) return MPI_ERR_REQUEST;
+    if (s->pnull && (!s->pnull_persistent || s->pnull_armed)) {
+      *index = i;
+      return wait_slot(*c, &requests[i], status);
+    }
+  }
+  // Move the live sp requests into a dense array for Mpi::waitany; moved-from
+  // slots keep their handles, and the underlying Send/RecvReqs are heap-owned
+  // so channel pointers stay valid across the moves.
+  std::vector<mpi::Request> tmp(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL) continue;
+    ReqSlot* s = slot_of(*c, requests[i]);
+    if (s != nullptr && !s->pnull) tmp[static_cast<std::size_t>(i)] = std::move(s->r);
+  }
+  return guarded([&] {
+    mpi::Status st;
+    const std::size_t done = c->mpi->waitany(tmp.data(), static_cast<std::size_t>(count), &st);
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      ReqSlot* s = slot_of(*c, requests[i]);
+      if (s != nullptr && !s->pnull) s->r = std::move(tmp[static_cast<std::size_t>(i)]);
+    }
+    if (done == static_cast<std::size_t>(count)) {
+      *index = MPI_UNDEFINED;
+      fill_empty_status(status);
+      return MPI_SUCCESS;
+    }
+    const int i = static_cast<int>(done);
+    *index = i;
+    fill_status(status, st);
+    const bool truncated = st.truncated;
+    ReqSlot* s = slot_of(*c, requests[i]);
+    if (s != nullptr && !s->r.persistent()) {
+      free_slot(*c, requests[i]);
+      requests[i] = MPI_REQUEST_NULL;
+    }
+    return truncated ? MPI_ERR_TRUNCATE : MPI_SUCCESS;
+  });
+}
+
+int MPI_Testall(int count, MPI_Request requests[], int* flag, MPI_Status statuses[]) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (flag == nullptr) return MPI_ERR_ARG;
+  if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  std::vector<mpi::Request> tmp(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (requests[i] == MPI_REQUEST_NULL) continue;
+    ReqSlot* s = slot_of(*c, requests[i]);
+    if (s == nullptr) return MPI_ERR_REQUEST;
+    if (!s->pnull) tmp[static_cast<std::size_t>(i)] = std::move(s->r);
+  }
+  auto restore = [&] {
+    for (int i = 0; i < count; ++i) {
+      if (requests[i] == MPI_REQUEST_NULL) continue;
+      ReqSlot* s = slot_of(*c, requests[i]);
+      if (s != nullptr && !s->pnull) s->r = std::move(tmp[static_cast<std::size_t>(i)]);
+    }
+  };
+  return guarded([&] {
+    std::vector<mpi::Status> sts(static_cast<std::size_t>(count));
+    if (!c->mpi->testall(tmp.data(), static_cast<std::size_t>(count), sts.data())) {
+      restore();
+      *flag = 0;
+      return MPI_SUCCESS;
+    }
+    restore();
+    *flag = 1;
+    bool any_error = false;
+    for (int i = 0; i < count; ++i) {
+      MPI_Status* st = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+      if (requests[i] == MPI_REQUEST_NULL) {
+        fill_empty_status(st);
+        continue;
+      }
+      ReqSlot* s = slot_of(*c, requests[i]);
+      if (s == nullptr) continue;
+      if (s->pnull) {
+        wait_slot(*c, &requests[i], st);
+        continue;
+      }
+      fill_status(st, sts[static_cast<std::size_t>(i)]);
+      if (sts[static_cast<std::size_t>(i)].truncated) any_error = true;
+      if (!s->r.persistent()) {
+        free_slot(*c, requests[i]);
+        requests[i] = MPI_REQUEST_NULL;
+      }
+    }
+    return any_error ? MPI_ERR_IN_STATUS : MPI_SUCCESS;
+  });
+}
+
+// ---- probe ----------------------------------------------------------------
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (int e = check_peer(*cm, source, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (source == MPI_PROC_NULL) {
+    fill_pnull_status(status);
+    return MPI_SUCCESS;
+  }
+  return guarded([&] {
+    mpi::Status st;
+    c->mpi->probe(source, tag, *cm, &st);
+    fill_status(status, st);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (flag == nullptr) return MPI_ERR_ARG;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (int e = check_peer(*cm, source, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (source == MPI_PROC_NULL) {
+    *flag = 1;
+    fill_pnull_status(status);
+    return MPI_SUCCESS;
+  }
+  return guarded([&] {
+    mpi::Status st;
+    *flag = c->mpi->iprobe(source, tag, *cm, &st) ? 1 : 0;
+    if (*flag != 0) fill_status(status, st);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (status == nullptr || count == nullptr) return MPI_ERR_ARG;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  const auto bytes = static_cast<std::size_t>(status->sp_count_bytes);
+  const std::size_t esz = rt.derived ? rt.elem_bytes : mpi::datatype_size(rt.base);
+  if (esz == 0 || bytes % esz != 0) {
+    *count = MPI_UNDEFINED;  // not a whole number of elements
+    return MPI_SUCCESS;
+  }
+  *count = static_cast<int>(bytes / esz);
+  return MPI_SUCCESS;
+}
+
+// ---- persistent requests ---------------------------------------------------
+
+int MPI_Send_init(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+                  MPI_Comm comm, MPI_Request* request) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (rt.derived) return MPI_ERR_TYPE;
+  if (int e = check_peer(*cm, dest, /*allow_any=*/false); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/false); e != MPI_SUCCESS) return e;
+  if (dest == MPI_PROC_NULL) {
+    return make_pnull_slot(*c, /*is_send=*/true, /*persistent=*/true, request);
+  }
+  const int h = alloc_slot(*c);
+  ReqSlot& s = c->reqs[static_cast<std::size_t>(h)];
+  s.r = c->mpi->send_init(buf, static_cast<std::size_t>(count), rt.base, dest, tag, *cm);
+  s.live = true;
+  *request = h;
+  return MPI_SUCCESS;
+}
+
+int MPI_Recv_init(void* buf, int count, MPI_Datatype datatype, int source, int tag,
+                  MPI_Comm comm, MPI_Request* request) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (rt.derived) return MPI_ERR_TYPE;
+  if (int e = check_peer(*cm, source, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (int e = check_tag(tag, /*allow_any=*/true); e != MPI_SUCCESS) return e;
+  if (source == MPI_PROC_NULL) {
+    return make_pnull_slot(*c, /*is_send=*/false, /*persistent=*/true, request);
+  }
+  const int h = alloc_slot(*c);
+  ReqSlot& s = c->reqs[static_cast<std::size_t>(h)];
+  s.r = c->mpi->recv_init(buf, static_cast<std::size_t>(count), rt.base, source, tag, *cm);
+  s.live = true;
+  *request = h;
+  return MPI_SUCCESS;
+}
+
+int MPI_Start(MPI_Request* request) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  ReqSlot* s = slot_of(*c, *request);
+  if (s == nullptr) return MPI_ERR_REQUEST;
+  if (s->pnull) {
+    if (!s->pnull_persistent || s->pnull_armed) return MPI_ERR_REQUEST;
+    s->pnull_armed = true;
+    return MPI_SUCCESS;
+  }
+  if (!s->r.persistent()) return MPI_ERR_REQUEST;
+  return guarded([&] {
+    c->mpi->start(s->r);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Startall(int count, MPI_Request requests[]) {
+  if (count < 0) return MPI_ERR_COUNT;
+  if (count > 0 && requests == nullptr) return MPI_ERR_REQUEST;
+  for (int i = 0; i < count; ++i) {
+    if (const int e = MPI_Start(&requests[i]); e != MPI_SUCCESS) return e;
+  }
+  return MPI_SUCCESS;
+}
+
+int MPI_Request_free(MPI_Request* request) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (request == nullptr) return MPI_ERR_REQUEST;
+  if (*request == MPI_REQUEST_NULL) return MPI_SUCCESS;
+  ReqSlot* s = slot_of(*c, *request);
+  if (s == nullptr) return MPI_ERR_REQUEST;
+  // Only inactive requests may be freed here (freeing in-flight operations
+  // is legal MPI but not supported by the simulator's request model).
+  if (!s->pnull && s->r.valid()) return MPI_ERR_REQUEST;
+  if (s->pnull && s->pnull_armed && !s->pnull_persistent) return MPI_ERR_REQUEST;
+  free_slot(*c, *request);
+  *request = MPI_REQUEST_NULL;
+  return MPI_SUCCESS;
+}
+
+// ---- derived datatypes ------------------------------------------------------
+
+}  // extern "C"
+
+namespace {
+
+int install_type(RankCtx& c, mpi::DerivedDatatype dd, std::size_t elem_bytes,
+                 MPI_Datatype* newtype) {
+  TypeInfo t;
+  t.live = true;
+  t.dd = std::make_shared<mpi::DerivedDatatype>(std::move(dd));
+  t.elem_bytes = elem_bytes;
+  c.dtypes.push_back(std::move(t));
+  *newtype = kDerivedBase + static_cast<int>(c.dtypes.size()) - 1;
+  return MPI_SUCCESS;
+}
+
+}  // namespace
+
+extern "C" {
+
+int MPI_Type_contiguous(int count, MPI_Datatype oldtype, MPI_Datatype* newtype) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (newtype == nullptr) return MPI_ERR_ARG;
+  if (count < 0) return MPI_ERR_COUNT;
+  mpi::Datatype base;
+  if (!base_datatype(oldtype, &base)) return MPI_ERR_TYPE;
+  auto dd = mpi::DerivedDatatype::contiguous(static_cast<std::size_t>(count), base);
+  const std::size_t bytes = dd.packed_bytes();
+  return install_type(*c, std::move(dd), bytes, newtype);
+}
+
+int MPI_Type_vector(int count, int blocklength, int stride, MPI_Datatype oldtype,
+                    MPI_Datatype* newtype) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (newtype == nullptr) return MPI_ERR_ARG;
+  if (count < 0 || blocklength < 0) return MPI_ERR_COUNT;
+  if (stride < 0) return MPI_ERR_ARG;  // negative strides unsupported
+  mpi::Datatype base;
+  if (!base_datatype(oldtype, &base)) return MPI_ERR_TYPE;
+  auto dd = mpi::DerivedDatatype::vector(static_cast<std::size_t>(count),
+                                         static_cast<std::size_t>(blocklength),
+                                         static_cast<std::size_t>(stride), base);
+  const std::size_t bytes = dd.packed_bytes();
+  return install_type(*c, std::move(dd), bytes, newtype);
+}
+
+int MPI_Type_create_struct(int count, const int blocklengths[], const MPI_Aint displacements[],
+                           const MPI_Datatype types[], MPI_Datatype* newtype) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (newtype == nullptr) return MPI_ERR_ARG;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (count > 0 && (blocklengths == nullptr || displacements == nullptr || types == nullptr)) {
+    return MPI_ERR_ARG;
+  }
+  // Flatten to byte runs: pack/unpack only move bytes, so heterogeneous
+  // member types reduce to (byte displacement, byte length) pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  runs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (blocklengths[i] < 0) return MPI_ERR_COUNT;
+    if (displacements[i] < 0) return MPI_ERR_ARG;
+    mpi::Datatype base;
+    if (!base_datatype(types[i], &base)) return MPI_ERR_TYPE;
+    runs.emplace_back(static_cast<std::size_t>(displacements[i]),
+                      static_cast<std::size_t>(blocklengths[i]) * mpi::datatype_size(base));
+  }
+  auto dd = mpi::DerivedDatatype::indexed(runs, mpi::Datatype::kByte);
+  const std::size_t bytes = dd.packed_bytes();
+  return install_type(*c, std::move(dd), bytes, newtype);
+}
+
+int MPI_Type_commit(MPI_Datatype* datatype) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (datatype == nullptr) return MPI_ERR_ARG;
+  ResolvedType rt;
+  if (!resolve_type(*c, *datatype, &rt)) return MPI_ERR_TYPE;
+  return MPI_SUCCESS;  // types are usable from construction
+}
+
+int MPI_Type_free(MPI_Datatype* datatype) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (datatype == nullptr) return MPI_ERR_ARG;
+  const int idx = *datatype - kDerivedBase;
+  if (idx < 0 || static_cast<std::size_t>(idx) >= c->dtypes.size() ||
+      !c->dtypes[static_cast<std::size_t>(idx)].live) {
+    return MPI_ERR_TYPE;
+  }
+  c->dtypes[static_cast<std::size_t>(idx)].live = false;
+  c->dtypes[static_cast<std::size_t>(idx)].dd.reset();
+  *datatype = MPI_DATATYPE_NULL;
+  return MPI_SUCCESS;
+}
+
+int MPI_Type_size(MPI_Datatype datatype, int* size) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (size == nullptr) return MPI_ERR_ARG;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  *size = static_cast<int>(rt.derived ? rt.elem_bytes : mpi::datatype_size(rt.base));
+  return MPI_SUCCESS;
+}
+
+// ---- collectives ------------------------------------------------------------
+
+}  // extern "C"
+
+namespace {
+
+/// Common validation for the collectives: live comm, predefined datatype,
+/// non-negative count. Derived types are only supported on MPI_Bcast.
+int coll_enter(RankCtx** c, MPI_Comm comm, mpi::Comm** cm, MPI_Datatype datatype,
+               mpi::Datatype* d, int count) {
+  *c = enter();
+  if (*c == nullptr) return MPI_ERR_OTHER;
+  *cm = comm_of(**c, comm);
+  if (*cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  if (!base_datatype(datatype, d)) return MPI_ERR_TYPE;
+  return MPI_SUCCESS;
+}
+
+int check_root(const mpi::Comm& cm, int root) {
+  return (root < 0 || root >= cm.size()) ? MPI_ERR_ROOT : MPI_SUCCESS;
+}
+
+int check_op(MPI_Op op, int count, mpi::Op* out) {
+  if (!op_of(op, out)) return MPI_ERR_OP;
+  if (*out == mpi::Op::kMat2x2 && count % 4 != 0) return MPI_ERR_COUNT;
+  return MPI_SUCCESS;
+}
+
+/// The fixed-count collectives require matching type signatures on both
+/// sides; the veneer enforces handle + count equality, which is what every
+/// conforming SPMD kernel passes anyway.
+int check_symmetric(MPI_Datatype sendtype, int sendcount, MPI_Datatype recvtype,
+                    int recvcount) {
+  if (sendtype != recvtype) return MPI_ERR_TYPE;
+  if (sendcount != recvcount) return MPI_ERR_COUNT;
+  return MPI_SUCCESS;
+}
+
+}  // namespace
+
+extern "C" {
+
+int MPI_Barrier(MPI_Comm comm) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  return guarded([&] {
+    c->mpi->barrier(*cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm comm) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  mpi::Comm* cm = comm_of(*c, comm);
+  if (cm == nullptr) return MPI_ERR_COMM;
+  if (count < 0) return MPI_ERR_COUNT;
+  ResolvedType rt;
+  if (!resolve_type(*c, datatype, &rt)) return MPI_ERR_TYPE;
+  if (int e = check_root(*cm, root); e != MPI_SUCCESS) return e;
+  return guarded([&] {
+    if (rt.derived) {
+      c->mpi->bcast(buffer, static_cast<std::size_t>(count), *rt.dd, root, *cm);
+    } else {
+      c->mpi->bcast(buffer, static_cast<std::size_t>(count), rt.base, root, *cm);
+    }
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               int root, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, datatype, &d, count); e != MPI_SUCCESS) return e;
+  if (int e = check_root(*cm, root); e != MPI_SUCCESS) return e;
+  mpi::Op o;
+  if (int e = check_op(op, count, &o); e != MPI_SUCCESS) return e;
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(count);
+    if (sendbuf == MPI_IN_PLACE) {
+      std::vector<std::byte> tmp(n * mpi::datatype_size(d));
+      if (!tmp.empty()) std::memcpy(tmp.data(), recvbuf, tmp.size());
+      c->mpi->reduce(tmp.data(), recvbuf, n, d, o, root, *cm);
+    } else {
+      c->mpi->reduce(sendbuf, recvbuf, n, d, o, root, *cm);
+    }
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype,
+                  MPI_Op op, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, datatype, &d, count); e != MPI_SUCCESS) return e;
+  mpi::Op o;
+  if (int e = check_op(op, count, &o); e != MPI_SUCCESS) return e;
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(count);
+    if (sendbuf == MPI_IN_PLACE) {
+      std::vector<std::byte> tmp(n * mpi::datatype_size(d));
+      if (!tmp.empty()) std::memcpy(tmp.data(), recvbuf, tmp.size());
+      c->mpi->allreduce(tmp.data(), recvbuf, n, d, o, *cm);
+    } else {
+      c->mpi->allreduce(sendbuf, recvbuf, n, d, o, *cm);
+    }
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, sendtype, &d, sendcount); e != MPI_SUCCESS) return e;
+  if (int e = check_root(*cm, root); e != MPI_SUCCESS) return e;
+  if (int e = check_symmetric(sendtype, sendcount, recvtype, recvcount); e != MPI_SUCCESS) {
+    return e;
+  }
+  return guarded([&] {
+    c->mpi->gather(sendbuf, static_cast<std::size_t>(sendcount), recvbuf, d, root, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Gatherv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                const int recvcounts[], const int displs[], MPI_Datatype recvtype, int root,
+                MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, sendtype, &d, sendcount); e != MPI_SUCCESS) return e;
+  if (int e = check_root(*cm, root); e != MPI_SUCCESS) return e;
+  if (sendtype != recvtype) return MPI_ERR_TYPE;
+  const int n = cm->size();
+  std::vector<std::size_t> rc(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> dp(static_cast<std::size_t>(n), 0);
+  if (cm->rank() == root) {
+    if (recvcounts == nullptr || displs == nullptr) return MPI_ERR_ARG;
+    for (int i = 0; i < n; ++i) {
+      if (recvcounts[i] < 0 || displs[i] < 0) return MPI_ERR_COUNT;
+      rc[static_cast<std::size_t>(i)] = static_cast<std::size_t>(recvcounts[i]);
+      dp[static_cast<std::size_t>(i)] = static_cast<std::size_t>(displs[i]);
+    }
+  }
+  return guarded([&] {
+    c->mpi->gatherv(sendbuf, static_cast<std::size_t>(sendcount), recvbuf, rc.data(),
+                    dp.data(), d, root, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, recvtype, &d, recvcount); e != MPI_SUCCESS) return e;
+  if (int e = check_root(*cm, root); e != MPI_SUCCESS) return e;
+  if (int e = check_symmetric(sendtype, sendcount, recvtype, recvcount); e != MPI_SUCCESS) {
+    return e;
+  }
+  return guarded([&] {
+    c->mpi->scatter(sendbuf, static_cast<std::size_t>(recvcount), recvbuf, d, root, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Scatterv(const void* sendbuf, const int sendcounts[], const int displs[],
+                 MPI_Datatype sendtype, void* recvbuf, int recvcount, MPI_Datatype recvtype,
+                 int root, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, recvtype, &d, recvcount); e != MPI_SUCCESS) return e;
+  if (int e = check_root(*cm, root); e != MPI_SUCCESS) return e;
+  if (sendtype != recvtype) return MPI_ERR_TYPE;
+  const int n = cm->size();
+  std::vector<std::size_t> sc(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> dp(static_cast<std::size_t>(n), 0);
+  if (cm->rank() == root) {
+    if (sendcounts == nullptr || displs == nullptr) return MPI_ERR_ARG;
+    for (int i = 0; i < n; ++i) {
+      if (sendcounts[i] < 0 || displs[i] < 0) return MPI_ERR_COUNT;
+      sc[static_cast<std::size_t>(i)] = static_cast<std::size_t>(sendcounts[i]);
+      dp[static_cast<std::size_t>(i)] = static_cast<std::size_t>(displs[i]);
+    }
+  }
+  return guarded([&] {
+    c->mpi->scatterv(sendbuf, sc.data(), dp.data(), recvbuf,
+                     static_cast<std::size_t>(recvcount), d, root, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, recvtype, &d, recvcount); e != MPI_SUCCESS) return e;
+  const bool in_place = sendbuf == MPI_IN_PLACE;
+  if (!in_place) {
+    if (int e = check_symmetric(sendtype, sendcount, recvtype, recvcount); e != MPI_SUCCESS) {
+      return e;
+    }
+  }
+  return guarded([&] {
+    const auto n = static_cast<std::size_t>(recvcount);
+    if (in_place) {
+      // My contribution already sits in my block of recvbuf.
+      const std::size_t bytes = n * mpi::datatype_size(d);
+      std::vector<std::byte> tmp(bytes);
+      const auto* mine =
+          static_cast<const std::byte*>(recvbuf) + static_cast<std::size_t>(cm->rank()) * bytes;
+      if (!tmp.empty()) std::memcpy(tmp.data(), mine, bytes);
+      c->mpi->allgather(tmp.data(), n, recvbuf, d, *cm);
+    } else {
+      c->mpi->allgather(sendbuf, n, recvbuf, d, *cm);
+    }
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Alltoall(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                 int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, sendtype, &d, sendcount); e != MPI_SUCCESS) return e;
+  if (int e = check_symmetric(sendtype, sendcount, recvtype, recvcount); e != MPI_SUCCESS) {
+    return e;
+  }
+  return guarded([&] {
+    c->mpi->alltoall(sendbuf, static_cast<std::size_t>(sendcount), recvbuf, d, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Alltoallv(const void* sendbuf, const int sendcounts[], const int sdispls[],
+                  MPI_Datatype sendtype, void* recvbuf, const int recvcounts[],
+                  const int rdispls[], MPI_Datatype recvtype, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, sendtype, &d, 0); e != MPI_SUCCESS) return e;
+  if (sendtype != recvtype) return MPI_ERR_TYPE;
+  if (sendcounts == nullptr || sdispls == nullptr || recvcounts == nullptr ||
+      rdispls == nullptr) {
+    return MPI_ERR_ARG;
+  }
+  const int n = cm->size();
+  std::vector<std::size_t> sc(static_cast<std::size_t>(n)), sd(static_cast<std::size_t>(n));
+  std::vector<std::size_t> rc(static_cast<std::size_t>(n)), rd(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (sendcounts[i] < 0 || recvcounts[i] < 0 || sdispls[i] < 0 || rdispls[i] < 0) {
+      return MPI_ERR_COUNT;
+    }
+    sc[static_cast<std::size_t>(i)] = static_cast<std::size_t>(sendcounts[i]);
+    sd[static_cast<std::size_t>(i)] = static_cast<std::size_t>(sdispls[i]);
+    rc[static_cast<std::size_t>(i)] = static_cast<std::size_t>(recvcounts[i]);
+    rd[static_cast<std::size_t>(i)] = static_cast<std::size_t>(rdispls[i]);
+  }
+  return guarded([&] {
+    c->mpi->alltoallv(sendbuf, sc.data(), sd.data(), recvbuf, rc.data(), rd.data(), d, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Reduce_scatter_block(const void* sendbuf, void* recvbuf, int recvcount,
+                             MPI_Datatype datatype, MPI_Op op, MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, datatype, &d, recvcount); e != MPI_SUCCESS) return e;
+  mpi::Op o;
+  if (int e = check_op(op, recvcount, &o); e != MPI_SUCCESS) return e;
+  return guarded([&] {
+    c->mpi->reduce_scatter_block(sendbuf, recvbuf, static_cast<std::size_t>(recvcount), d, o,
+                                 *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Scan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+             MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, datatype, &d, count); e != MPI_SUCCESS) return e;
+  mpi::Op o;
+  if (int e = check_op(op, count, &o); e != MPI_SUCCESS) return e;
+  return guarded([&] {
+    c->mpi->scan(sendbuf, recvbuf, static_cast<std::size_t>(count), d, o, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+int MPI_Exscan(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               MPI_Comm comm) {
+  RankCtx* c;
+  mpi::Comm* cm;
+  mpi::Datatype d;
+  if (int e = coll_enter(&c, comm, &cm, datatype, &d, count); e != MPI_SUCCESS) return e;
+  mpi::Op o;
+  if (int e = check_op(op, count, &o); e != MPI_SUCCESS) return e;
+  return guarded([&] {
+    c->mpi->exscan(sendbuf, recvbuf, static_cast<std::size_t>(count), d, o, *cm);
+    return MPI_SUCCESS;
+  });
+}
+
+// ---- simulator extensions ---------------------------------------------------
+
+int MPIX_Compute(long long nanoseconds) {
+  RankCtx* c = enter();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  if (nanoseconds < 0) return MPI_ERR_ARG;
+  c->mpi->compute(nanoseconds);
+  return MPI_SUCCESS;
+}
+
+int MPIX_Report(unsigned long long checksum, int verified) {
+  RankCtx* c = cur();
+  if (c == nullptr) return MPI_ERR_OTHER;
+  c->report.reported = true;
+  c->report.checksum = checksum;
+  c->report.verified = verified != 0;
+  return MPI_SUCCESS;
+}
+
+}  // extern "C"

@@ -1,0 +1,61 @@
+// sp::mpiabi — host-side harness for the C MPI_* ABI veneer (DESIGN.md §17).
+//
+// The generated include/mpi.h declares a plain-C MPI subset; this module
+// implements those entry points over sp::mpi and provides the embedding API
+// that runs a C program (a standard `main` compiled against the generated
+// header, renamed via -Dmain=<sym>) as an SPMD job: one invocation per rank
+// fiber of a Machine, on any channel/topology.
+//
+// Context resolution: C MPI_* calls carry no per-call context argument, so
+// the veneer finds its calling rank through sim::RankThread::current() — the
+// fiber-tracking hook maintained across every context switch — and a
+// thread_local pointer to the active per-rank handle tables installed by
+// run_with_abi(). Both are thread_local, so independent Machines may run
+// concurrently on separate host threads (the sweep driver does).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::mpiabi {
+
+/// A C program entry point: `int main(int, char**)` renamed at compile time.
+using MainFn = int (*)(int, char**);
+
+struct RankReport {
+  int exit_code = 0;
+  /// Set by the MPIX_Report extension, if the program called it.
+  bool reported = false;
+  unsigned long long checksum = 0;
+  bool verified = false;
+};
+
+struct RunResult {
+  sim::TimeNs elapsed = 0;
+  std::vector<RankReport> ranks;
+
+  /// Every rank returned 0 and every MPIX_Report verdict was positive.
+  [[nodiscard]] bool ok() const noexcept {
+    for (const auto& r : ranks) {
+      if (r.exit_code != 0) return false;
+      if (r.reported && !r.verified) return false;
+    }
+    return !ranks.empty();
+  }
+};
+
+/// Run `program_main` on every rank fiber of `m`. Each rank receives
+/// argv = {"mpiapp", args...}. Blocks until the simulated program completes;
+/// rank errors (including MPI_Abort) propagate as exceptions from Machine.
+RunResult run_program(mpi::Machine& m, MainFn program_main,
+                      const std::vector<std::string>& args = {});
+
+/// Embedding hook for tests: binds the C ABI to `m` and runs `body(rank)` on
+/// every rank fiber. MPI_* calls made inside `body` resolve to the calling
+/// rank exactly as they would from a C program.
+RunResult run_with_abi(mpi::Machine& m, const std::function<int(int)>& body);
+
+}  // namespace sp::mpiabi

@@ -92,13 +92,21 @@ void RankThread::fiber_main() {
   asan_start_switch(nullptr, main_stack_bottom_, main_stack_size_);
 }
 
+thread_local RankThread* RankThread::current_ = nullptr;
+
 void RankThread::resume_from_sim() {
   if (finished_) return;
+  // Save/restore rather than set/clear: resume_from_sim can be reached from
+  // another fiber's stack (rank A completing rank B's condition), and the
+  // restore must hand current() back to A, not to nullptr.
+  RankThread* prev = current_;
+  current_ = this;
   asan_start_switch(&sim_fake_stack_, stack_.get(), kStackBytes);
   swapcontext(&sim_ctx_, &app_ctx_);
   // finish's out-params would report the stack we came *from* (the fiber);
   // the main-stack bounds were captured once at first fiber entry.
   asan_finish_switch(sim_fake_stack_, nullptr, nullptr);
+  current_ = prev;
 }
 
 void RankThread::yield_to_sim() {

@@ -59,6 +59,15 @@ class RankThread {
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] Simulator& sim() noexcept { return sim_; }
 
+  /// The fiber whose body is executing on this host thread right now, or
+  /// nullptr when control is in the simulator (event context). Maintained
+  /// across every swapcontext by resume_from_sim(), so it stays correct even
+  /// when rank code blocks mid-call and another fiber interleaves — this is
+  /// what lets a C ABI veneer (src/mpiabi) with no per-call context argument
+  /// find its calling rank. thread_local so concurrent Machines on separate
+  /// host threads (the sweep driver) never see each other's fibers.
+  [[nodiscard]] static RankThread* current() noexcept { return current_; }
+
   /// Exception (other than AbortSimulation) that escaped the body, if any.
   [[nodiscard]] std::exception_ptr error() const noexcept { return error_; }
 
@@ -67,6 +76,8 @@ class RankThread {
 
   static void trampoline(unsigned int hi, unsigned int lo);
   void fiber_main();
+
+  static thread_local RankThread* current_;
 
   Simulator& sim_;
   int id_;

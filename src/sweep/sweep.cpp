@@ -1,0 +1,354 @@
+#include "sweep/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "mpi/coll.hpp"
+#include "mpiabi/apps/apps.h"
+#include "mpiabi/mpiabi.hpp"
+#include "nas/kernels.hpp"
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+#include "sweep/work_queue.hpp"
+
+namespace sp::sweep {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+sim::MachineConfig job_config(const SweepJob& job) {
+  sim::MachineConfig cfg = sim::MachineConfig::tbmx_332();
+  cfg.eager_limit = job.eager;
+  cfg.packet_drop_rate = job.drop;
+  cfg.fabric_seed = job.seed * 0x9e3779b9ULL + 1;
+  if (job.drop > 0) cfg.retransmit_timeout_ns = 400'000;
+  if (!job.topology.empty() && !net::topology_from_name(job.topology, &cfg.topology)) {
+    throw std::invalid_argument("bad topology: " + job.topology);
+  }
+  if (!job.coll_spec.empty()) {
+    std::string err;
+    if (!mpi::coll::apply_algo_spec(cfg, job.coll_spec, &err)) {
+      throw std::invalid_argument("bad coll spec: " + err);
+    }
+  }
+  return cfg;
+}
+
+/// Ping-pong between ranks 0 and 1; payload size and fill vary with the seed.
+/// Checksum folds every byte rank 0 got back, so a corrupted echo shows up.
+void run_pingpong(mpi::Machine& m, const SweepJob& job, JobResult* res) {
+  const std::size_t bytes = std::size_t{64} << (job.seed % 6);
+  const int iters = 4 + job.scale * 4;
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> sum{0};
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    if (w.rank() > 1) return;
+    std::vector<std::uint8_t> buf(bytes);
+    sim::Pcg32 rng(job.seed + 7, 1);
+    std::uint64_t h = kFnvOffset;
+    for (int i = 0; i < iters; ++i) {
+      if (w.rank() == 0) {
+        for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+        const std::vector<std::uint8_t> sent = buf;
+        mpi.send(buf.data(), bytes, mpi::Datatype::kByte, 1, i, w);
+        mpi.recv(buf.data(), bytes, mpi::Datatype::kByte, 1, i, w);
+        if (buf != sent) ok = false;
+        h = fnv(h, buf.data(), bytes);
+      } else {
+        mpi.recv(buf.data(), bytes, mpi::Datatype::kByte, 0, i, w);
+        mpi.send(buf.data(), bytes, mpi::Datatype::kByte, 0, i, w);
+      }
+    }
+    if (w.rank() == 0) sum = h;
+  });
+  res->verified = ok.load();
+  res->checksum = sum.load();
+}
+
+/// Each rank circulates a token the whole way around the ring, folding every
+/// hop; all ranks must agree on the final fold.
+void run_ring(mpi::Machine& m, const SweepJob& job, JobResult* res) {
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> sum{0};
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    const int n = w.size();
+    const int me = w.rank();
+    std::int64_t token = static_cast<std::int64_t>(job.seed % 1024) + me;
+    std::uint64_t h = kFnvOffset;
+    for (int hop = 0; hop < n; ++hop) {
+      std::int64_t in = 0;
+      mpi.sendrecv(&token, 1, (me + 1) % n, 5, &in, 1, (me - 1 + n) % n, 5,
+                   mpi::Datatype::kLong, w);
+      token = in + 1;
+      h = fnv(h, &token, sizeof token);
+    }
+    // After n hops every rank holds its own seed value plus n increments.
+    const std::int64_t expect = static_cast<std::int64_t>(job.seed % 1024) + me + n;
+    if (token != expect) ok = false;
+    std::uint64_t agreed = h;
+    mpi.bcast(&agreed, 1, mpi::Datatype::kLong, 0, w);
+    if (me == 0) sum = agreed;
+  });
+  res->verified = ok.load();
+  res->checksum = sum.load();
+}
+
+/// Integer allreduce checked against an independently recomputed expectation.
+void run_allreduce(mpi::Machine& m, const SweepJob& job, JobResult* res) {
+  constexpr std::size_t kCount = 96;
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> sum{0};
+  const int n = m.num_tasks();
+  m.run([&](mpi::Mpi& mpi) {
+    auto& w = mpi.world();
+    auto fill = [&](int rank) {
+      std::vector<std::int64_t> v(kCount);
+      sim::Pcg32 rng(job.seed + 11, static_cast<std::uint64_t>(rank) + 1);
+      for (auto& x : v) x = static_cast<std::int64_t>(rng.next() % 4096);
+      return v;
+    };
+    const std::vector<std::int64_t> mine = fill(w.rank());
+    std::vector<std::int64_t> out(kCount, 0);
+    mpi.allreduce(mine.data(), out.data(), kCount, mpi::Datatype::kLong, mpi::Op::kSum, w);
+    std::vector<std::int64_t> expect(kCount, 0);
+    for (int r = 0; r < n; ++r) {
+      const auto v = fill(r);
+      for (std::size_t i = 0; i < kCount; ++i) expect[i] += v[i];
+    }
+    if (out != expect) ok = false;
+    if (w.rank() == 0) sum = fnv(kFnvOffset, out.data(), kCount * sizeof(std::int64_t));
+  });
+  res->verified = ok.load();
+  res->checksum = sum.load();
+}
+
+void run_nas(mpi::Machine& m, const SweepJob& job, bool is_kernel, JobResult* res) {
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> sum{0};
+  m.run([&](mpi::Mpi& mpi) {
+    const nas::KernelResult r =
+        is_kernel ? nas::run_is(mpi, job.scale) : nas::run_ep(mpi, job.scale);
+    if (!r.verified) ok = false;
+    if (mpi.world().rank() == 0) sum = r.checksum;
+  });
+  res->verified = ok.load();
+  res->checksum = sum.load();
+}
+
+void run_abi(mpi::Machine& m, const SweepJob& job, bool is_kernel, JobResult* res) {
+  const mpiabi::RunResult r = mpiabi::run_program(
+      m, is_kernel ? sp_abi_nas_is_main : sp_abi_nas_ep_main, {std::to_string(job.scale)});
+  res->verified = r.ok();
+  res->checksum = r.ranks.empty() ? 0 : r.ranks[0].checksum;
+}
+
+}  // namespace
+
+const char* backend_token(mpi::Backend b) noexcept {
+  switch (b) {
+    case mpi::Backend::kNativePipes: return "native";
+    case mpi::Backend::kLapiBase: return "base";
+    case mpi::Backend::kLapiCounters: return "counters";
+    case mpi::Backend::kLapiEnhanced: return "enhanced";
+    case mpi::Backend::kRdma: return "rdma";
+  }
+  return "?";
+}
+
+std::vector<SweepJob> quick_matrix(int seeds) {
+  const char* workloads[] = {"pingpong", "ring",   "allreduce", "nas_ep",
+                             "nas_is",   "abi_ep", "abi_is"};
+  const mpi::Backend backends[] = {mpi::Backend::kNativePipes, mpi::Backend::kLapiEnhanced,
+                                   mpi::Backend::kRdma};
+  const std::size_t eagers[] = {1024, 4096};
+  const double drops[] = {0.0, 0.01};
+  std::vector<SweepJob> jobs;
+  for (const char* w : workloads) {
+    for (const mpi::Backend b : backends) {
+      for (const std::size_t e : eagers) {
+        for (const double dr : drops) {
+          for (int s = 1; s <= seeds; ++s) {
+            SweepJob j;
+            j.workload = w;
+            j.backend = b;
+            j.nodes = 4;
+            j.scale = 1;
+            j.eager = e;
+            j.drop = dr;
+            j.seed = static_cast<unsigned long long>(s);
+            jobs.push_back(std::move(j));
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+JobResult run_job(const SweepJob& job, int id) {
+  JobResult res;
+  res.id = id;
+  res.job = job;
+  try {
+    const sim::MachineConfig cfg = job_config(job);
+    mpi::Machine m(cfg, job.nodes, job.backend);
+    if (job.workload == "pingpong") {
+      run_pingpong(m, job, &res);
+    } else if (job.workload == "ring") {
+      run_ring(m, job, &res);
+    } else if (job.workload == "allreduce") {
+      run_allreduce(m, job, &res);
+    } else if (job.workload == "nas_ep") {
+      run_nas(m, job, /*is_kernel=*/false, &res);
+    } else if (job.workload == "nas_is") {
+      run_nas(m, job, /*is_kernel=*/true, &res);
+    } else if (job.workload == "abi_ep") {
+      run_abi(m, job, /*is_kernel=*/false, &res);
+    } else if (job.workload == "abi_is") {
+      run_abi(m, job, /*is_kernel=*/true, &res);
+    } else {
+      throw std::invalid_argument("unknown workload: " + job.workload);
+    }
+    res.elapsed_ns = m.elapsed();
+    res.sim_events = m.stats().sim_events;
+    res.ok = true;
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.verified = false;
+    res.error = e.what();
+  }
+  return res;
+}
+
+void write_jsonl(const JobResult& r, std::FILE* f) {
+  std::fprintf(f,
+               "{\"id\":%d,\"workload\":\"%s\",\"backend\":\"%s\",\"nodes\":%d,"
+               "\"scale\":%d,\"eager\":%zu,\"drop\":%g,\"seed\":%llu,\"ok\":%s,"
+               "\"verified\":%s,\"elapsed_ns\":%lld,\"sim_events\":%llu,"
+               "\"checksum\":\"%016llx\",\"worker\":%d,\"error\":\"%s\"}\n",
+               r.id, r.job.workload.c_str(), backend_token(r.job.backend), r.job.nodes,
+               r.job.scale, r.job.eager, r.job.drop, r.job.seed, r.ok ? "true" : "false",
+               r.verified ? "true" : "false", static_cast<long long>(r.elapsed_ns),
+               static_cast<unsigned long long>(r.sim_events),
+               static_cast<unsigned long long>(r.checksum), r.worker, r.error.c_str());
+}
+
+SweepReport run_sweep(const std::vector<SweepJob>& jobs, const SweepOptions& opt) {
+  SweepReport rep;
+  int workers = opt.workers;
+  if (workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = static_cast<int>(std::clamp(hw, 1u, 8u));
+  }
+  workers = std::min<int>(workers, std::max<std::size_t>(jobs.size(), 1));
+  rep.workers = workers;
+  rep.results.resize(jobs.size());
+
+  WorkStealingQueue queue(workers);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    queue.push(static_cast<int>(i % static_cast<std::size_t>(workers)), i);
+  }
+
+  std::mutex mu;  // guards rep.results writes + the stream
+  std::atomic<bool> stop{false};
+  auto worker_fn = [&](int wid) {
+    std::size_t idx = 0;
+    while (!stop.load(std::memory_order_relaxed) && queue.pop(wid, &idx)) {
+      JobResult r = run_job(jobs[idx], static_cast<int>(idx));
+      r.worker = wid;
+      if (opt.fail_fast && !r.ok) stop.store(true, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(mu);
+      if (opt.stream != nullptr) {
+        write_jsonl(r, opt.stream);
+        std::fflush(opt.stream);
+      }
+      rep.results[idx] = std::move(r);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn, w);
+  for (auto& t : pool) t.join();
+  rep.steals = queue.steals();
+
+  // Aggregate simulated elapsed time per (workload, backend) over ok jobs.
+  std::map<std::pair<std::string, std::string>, std::vector<double>> groups;
+  for (const auto& r : rep.results) {
+    if (r.id < 0 || !r.ok) continue;
+    groups[{r.job.workload, backend_token(r.job.backend)}].push_back(
+        static_cast<double>(r.elapsed_ns) / 1e6);
+  }
+  auto pct = [](const std::vector<double>& v, double q) {
+    const auto n = static_cast<double>(v.size());
+    auto idx = static_cast<std::size_t>(std::ceil(q / 100.0 * n)) - 1;
+    idx = std::min(idx, v.size() - 1);
+    return v[idx];
+  };
+  for (auto& [key, v] : groups) {
+    std::sort(v.begin(), v.end());
+    AggregateRow row;
+    row.workload = key.first;
+    row.backend = key.second;
+    row.jobs = static_cast<int>(v.size());
+    row.p50_ms = pct(v, 50);
+    row.p90_ms = pct(v, 90);
+    row.p99_ms = pct(v, 99);
+    row.min_ms = v.front();
+    row.max_ms = v.back();
+    double total = 0;
+    for (const double x : v) total += x;
+    row.mean_ms = total / static_cast<double>(v.size());
+    rep.rows.push_back(std::move(row));
+  }
+  return rep;
+}
+
+bool write_bench_json(const SweepReport& rep, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  int ok_jobs = 0, verified_jobs = 0;
+  for (const auto& r : rep.results) {
+    ok_jobs += r.ok ? 1 : 0;
+    verified_jobs += (r.ok && r.verified) ? 1 : 0;
+  }
+  std::fprintf(f, "{\n  \"total_jobs\": %zu,\n  \"ok_jobs\": %d,\n", rep.results.size(),
+               ok_jobs);
+  std::fprintf(f, "  \"verified_jobs\": %d,\n  \"all_ok\": %s,\n  \"all_verified\": %s,\n",
+               verified_jobs, rep.all_ok() ? "true" : "false",
+               rep.all_verified() ? "true" : "false");
+  std::fprintf(f, "  \"workers\": %d,\n  \"steals\": %llu,\n  \"rows\": [\n", rep.workers,
+               static_cast<unsigned long long>(rep.steals));
+  for (std::size_t i = 0; i < rep.rows.size(); ++i) {
+    const AggregateRow& r = rep.rows[i];
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"backend\": \"%s\", \"jobs\": %d, "
+                 "\"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"min_ms\": %.4f, \"max_ms\": %.4f, \"mean_ms\": %.4f}%s\n",
+                 r.workload.c_str(), r.backend.c_str(), r.jobs, r.p50_ms, r.p90_ms, r.p99_ms,
+                 r.min_ms, r.max_ms, r.mean_ms, i + 1 < rep.rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace sp::sweep

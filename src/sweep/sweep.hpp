@@ -1,0 +1,98 @@
+// spsim sweep: a sharded batch server running (workload × config × seed) jobs
+// across host cores with work stealing (DESIGN.md §17).
+//
+// Every job boots its own Machine, so jobs are fully independent and safe to
+// run on concurrent host threads (rank-fiber tracking and the C ABI tables
+// are thread_local). Results stream as JSON-lines the moment a job finishes,
+// in completion order; the final report aggregates simulated elapsed-time
+// percentiles per (workload, backend) group for BENCH_sweep.json.
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+
+namespace sp::sweep {
+
+struct SweepJob {
+  std::string workload;  ///< pingpong | ring | allreduce | nas_ep | nas_is | abi_ep | abi_is
+  mpi::Backend backend = mpi::Backend::kLapiEnhanced;
+  int nodes = 4;
+  int scale = 1;
+  std::size_t eager = 4096;
+  double drop = 0.0;
+  unsigned long long seed = 1;
+  std::string coll_spec;  ///< Optional --coll-algo pin spec.
+  std::string topology;   ///< Optional topology name ("" = sp switch).
+};
+
+struct JobResult {
+  int id = -1;
+  SweepJob job;
+  bool ok = false;        ///< Ran to completion without an exception.
+  bool verified = false;  ///< The workload's internal invariant held.
+  std::string error;
+  std::int64_t elapsed_ns = 0;  ///< Simulated time.
+  std::uint64_t sim_events = 0;
+  std::uint64_t checksum = 0;  ///< Exact per-workload checksum.
+  int worker = -1;             ///< Host worker that ran the job.
+};
+
+/// Simulated-time percentiles over one (workload, backend) group.
+struct AggregateRow {
+  std::string workload;
+  std::string backend;
+  int jobs = 0;
+  double p50_ms = 0, p90_ms = 0, p99_ms = 0;
+  double min_ms = 0, max_ms = 0, mean_ms = 0;
+};
+
+struct SweepOptions {
+  int workers = 0;               ///< 0 = hardware_concurrency clamped to [1, 8].
+  std::FILE* stream = nullptr;   ///< JSON-lines sink (completion order); null = off.
+  bool fail_fast = false;        ///< Stop dispatching after the first failure.
+};
+
+struct SweepReport {
+  std::vector<JobResult> results;  ///< In job-id order.
+  std::vector<AggregateRow> rows;  ///< Sorted by (workload, backend).
+  int workers = 0;
+  std::uint64_t steals = 0;
+
+  [[nodiscard]] bool all_ok() const {
+    for (const auto& r : results) {
+      if (!r.ok) return false;
+    }
+    return !results.empty();
+  }
+  [[nodiscard]] bool all_verified() const {
+    for (const auto& r : results) {
+      if (!r.ok || !r.verified) return false;
+    }
+    return !results.empty();
+  }
+};
+
+[[nodiscard]] const char* backend_token(mpi::Backend b) noexcept;
+
+/// The CI quick matrix: 7 workloads x {native, enhanced, rdma} x 2 eager
+/// limits x {lossless, 1% drop} x `seeds` seeds = 252 jobs at seeds=3.
+[[nodiscard]] std::vector<SweepJob> quick_matrix(int seeds = 3);
+
+/// Run one job synchronously on the calling thread.
+[[nodiscard]] JobResult run_job(const SweepJob& job, int id);
+
+/// Run all jobs across a work-stealing worker pool; blocks until drained.
+[[nodiscard]] SweepReport run_sweep(const std::vector<SweepJob>& jobs,
+                                    const SweepOptions& opt);
+
+/// One JSON object per line, completion-ordered (the streaming format).
+void write_jsonl(const JobResult& r, std::FILE* f);
+
+/// BENCH_sweep.json: totals + per-(workload, backend) percentile rows.
+[[nodiscard]] bool write_bench_json(const SweepReport& rep, const std::string& path);
+
+}  // namespace sp::sweep

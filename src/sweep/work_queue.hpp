@@ -1,0 +1,90 @@
+// Work-stealing job queue for the spsim sweep batch server (DESIGN.md §17).
+//
+// Jobs are opaque indices into a caller-owned job table. Each worker owns a
+// sharded deque: the owner pushes and pops at the back (LIFO keeps its cache
+// warm), thieves take from the front (FIFO steals the oldest — and for a
+// seeded queue, the largest-remaining — work first). Jobs never re-enter the
+// queue, so "every shard empty" is a complete termination condition and no
+// condition variable is needed: a worker that fails a full sweep of shards is
+// done.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sp::sweep {
+
+class WorkStealingQueue {
+ public:
+  explicit WorkStealingQueue(int workers) {
+    shards_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) shards_.push_back(std::make_unique<Shard>());
+  }
+
+  [[nodiscard]] int workers() const noexcept { return static_cast<int>(shards_.size()); }
+
+  /// Enqueue a job on `worker`'s shard (callers seed round-robin before the
+  /// workers start; a worker may also push follow-up jobs to itself).
+  void push(int worker, std::size_t job) {
+    Shard& s = *shards_[static_cast<std::size_t>(worker)];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.q.push_back(job);
+  }
+
+  /// Dequeue for `worker`: its own newest job, else the oldest job of the
+  /// nearest non-empty shard (round-robin from worker+1). False = queue fully
+  /// drained.
+  [[nodiscard]] bool pop(int worker, std::size_t* out) {
+    const int n = workers();
+    {
+      Shard& own = *shards_[static_cast<std::size_t>(worker)];
+      const std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.q.empty()) {
+        *out = own.q.back();
+        own.q.pop_back();
+        return true;
+      }
+    }
+    for (int k = 1; k < n; ++k) {
+      Shard& victim = *shards_[static_cast<std::size_t>((worker + k) % n)];
+      const std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.q.empty()) {
+        *out = victim.q.front();
+        victim.q.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Jobs currently enqueued across all shards (racy under concurrency;
+  /// exact once the workers have stopped).
+  [[nodiscard]] std::size_t remaining() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s->mu);
+      total += s->q.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace sp::sweep

@@ -1,0 +1,729 @@
+// ABI conformance suite for the C MPI_* veneer (DESIGN.md §17).
+//
+// Every veneer entry point is exercised through the generated mpi.h, on all
+// three channels (native pipes, LAPI enhanced, RDMA offload), and checked
+// against either a locally recomputed expectation or a native sp::mpi golden
+// run — the NAS parity tests require bit-identical checksums between the C
+// ports and the C++ kernels.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpiabi/apps/apps.h"
+#include "mpiabi/include/mpi.h"
+#include "mpiabi/mpiabi.hpp"
+#include "nas/kernels.hpp"
+
+namespace sp {
+namespace {
+
+class AbiConformance : public ::testing::TestWithParam<mpi::Backend> {
+ protected:
+  static sim::MachineConfig config() { return sim::MachineConfig::tbmx_332(); }
+
+  /// Runs `body(rank)` on 4 ranks through the ABI binding; the body returns
+  /// the number of failed in-body checks, so ok() doubles as the assertion.
+  void run4(const std::function<int(int)>& body) {
+    mpi::Machine m(config(), 4, GetParam());
+    const mpiabi::RunResult rr = mpiabi::run_with_abi(m, body);
+    EXPECT_TRUE(rr.ok());
+    for (const auto& r : rr.ranks) EXPECT_EQ(r.exit_code, 0);
+  }
+};
+
+TEST_P(AbiConformance, InitRankSizeFinalize) {
+  run4([](int rank) {
+    int fails = 0;
+    int flag = -1;
+    if (MPI_Initialized(&flag) != MPI_SUCCESS || flag != 0) ++fails;
+    if (MPI_Init(nullptr, nullptr) != MPI_SUCCESS) ++fails;
+    if (MPI_Initialized(&flag) != MPI_SUCCESS || flag != 1) ++fails;
+    int r = -1, n = -1;
+    if (MPI_Comm_rank(MPI_COMM_WORLD, &r) != MPI_SUCCESS || r != rank) ++fails;
+    if (MPI_Comm_size(MPI_COMM_WORLD, &n) != MPI_SUCCESS || n != 4) ++fails;
+    if (MPI_Finalize() != MPI_SUCCESS) ++fails;
+    if (MPI_Finalized(&flag) != MPI_SUCCESS || flag != 1) ++fails;
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, SendRecvStatusAndGetCount) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    long payload[8];
+    if (rank == 0) {
+      for (int i = 0; i < 8; ++i) payload[i] = 100 + i;
+      if (MPI_Send(payload, 8, MPI_LONG, 1, 42, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    } else if (rank == 1) {
+      std::memset(payload, 0, sizeof payload);
+      MPI_Status st;
+      if (MPI_Recv(payload, 8, MPI_LONG, 0, 42, MPI_COMM_WORLD, &st) != MPI_SUCCESS) ++fails;
+      if (st.MPI_SOURCE != 0 || st.MPI_TAG != 42 || st.MPI_ERROR != MPI_SUCCESS) ++fails;
+      int count = -1;
+      if (MPI_Get_count(&st, MPI_LONG, &count) != MPI_SUCCESS || count != 8) ++fails;
+      for (int i = 0; i < 8; ++i) {
+        if (payload[i] != 100 + i) ++fails;
+      }
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, SendrecvRing) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    int n = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &n);
+    long token = rank;
+    for (int hop = 0; hop < n; ++hop) {
+      long in = -1;
+      MPI_Status st;
+      if (MPI_Sendrecv(&token, 1, MPI_LONG, (rank + 1) % n, 3, &in, 1, MPI_LONG,
+                       (rank - 1 + n) % n, 3, MPI_COMM_WORLD, &st) != MPI_SUCCESS) {
+        ++fails;
+      }
+      token = in;
+    }
+    if (token != rank) ++fails;  // travelled the whole ring
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, WildcardSourceAndTag) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      for (int got = 0; got < 3; ++got) {
+        int v = -1;
+        MPI_Status st;
+        if (MPI_Recv(&v, 1, MPI_INT, MPI_ANY_SOURCE, MPI_ANY_TAG, MPI_COMM_WORLD, &st) !=
+            MPI_SUCCESS) {
+          ++fails;
+        }
+        // The concrete match must be self-consistent: payload encodes sender.
+        if (st.MPI_SOURCE < 1 || st.MPI_SOURCE > 3) ++fails;
+        if (v != st.MPI_SOURCE * 10 || st.MPI_TAG != st.MPI_SOURCE) ++fails;
+      }
+    } else {
+      const int v = rank * 10;
+      if (MPI_Send(&v, 1, MPI_INT, 0, rank, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, NonblockingWaitall) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    int n = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &n);
+    std::vector<int> out(static_cast<std::size_t>(n), rank);
+    std::vector<int> in(static_cast<std::size_t>(n), -1);
+    std::vector<MPI_Request> reqs;
+    for (int p = 0; p < n; ++p) {
+      if (p == rank) continue;
+      MPI_Request r;
+      if (MPI_Irecv(&in[p], 1, MPI_INT, p, 5, MPI_COMM_WORLD, &r) != MPI_SUCCESS) ++fails;
+      reqs.push_back(r);
+      if (MPI_Isend(&out[p], 1, MPI_INT, p, 5, MPI_COMM_WORLD, &r) != MPI_SUCCESS) ++fails;
+      reqs.push_back(r);
+    }
+    std::vector<MPI_Status> sts(reqs.size());
+    if (MPI_Waitall(static_cast<int>(reqs.size()), reqs.data(), sts.data()) != MPI_SUCCESS) {
+      ++fails;
+    }
+    for (MPI_Request r : reqs) {
+      if (r != MPI_REQUEST_NULL) ++fails;  // Waitall nulls completed requests
+    }
+    for (int p = 0; p < n; ++p) {
+      if (p != rank && in[p] != p) ++fails;
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, TestPollingCompletes) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      double v = -1.0;
+      MPI_Request r;
+      MPI_Irecv(&v, 1, MPI_DOUBLE, 1, 8, MPI_COMM_WORLD, &r);
+      int flag = 0;
+      MPI_Status st;
+      while (flag == 0) {
+        if (MPI_Test(&r, &flag, &st) != MPI_SUCCESS) {
+          ++fails;
+          break;
+        }
+      }
+      if (r != MPI_REQUEST_NULL || v != 2.5 || st.MPI_SOURCE != 1) ++fails;
+    } else if (rank == 1) {
+      const double v = 2.5;
+      MPI_Send(&v, 1, MPI_DOUBLE, 0, 8, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, WaitanyDrainsAll) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      int vals[3] = {-1, -1, -1};
+      MPI_Request reqs[3];
+      for (int i = 0; i < 3; ++i) {
+        MPI_Irecv(&vals[i], 1, MPI_INT, i + 1, i, MPI_COMM_WORLD, &reqs[i]);
+      }
+      bool seen[3] = {false, false, false};
+      for (int k = 0; k < 3; ++k) {
+        int idx = -1;
+        MPI_Status st;
+        if (MPI_Waitany(3, reqs, &idx, &st) != MPI_SUCCESS) ++fails;
+        if (idx < 0 || idx > 2 || seen[idx]) {
+          ++fails;
+          continue;
+        }
+        seen[idx] = true;
+        if (vals[idx] != (idx + 1) * 7 || st.MPI_SOURCE != idx + 1) ++fails;
+      }
+    } else {
+      const int v = rank * 7;
+      MPI_Send(&v, 1, MPI_INT, 0, rank - 1, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, SendModesSsendBsendRsend) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      int v = 11;
+      if (MPI_Ssend(&v, 1, MPI_INT, 1, 0, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+      static char pool[4096];
+      if (MPI_Buffer_attach(pool, sizeof pool) != MPI_SUCCESS) ++fails;
+      v = 22;
+      if (MPI_Bsend(&v, 1, MPI_INT, 1, 1, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+      void* addr = nullptr;
+      int sz = 0;
+      if (MPI_Buffer_detach(&addr, &sz) != MPI_SUCCESS || sz != sizeof pool) ++fails;
+      // Ready mode: rank 1 posted the receive before replying on tag 2.
+      int go = 0;
+      MPI_Recv(&go, 1, MPI_INT, 1, 9, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      v = 33;
+      if (MPI_Rsend(&v, 1, MPI_INT, 1, 2, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    } else if (rank == 1) {
+      int v = -1;
+      MPI_Recv(&v, 1, MPI_INT, 0, 0, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      if (v != 11) ++fails;
+      MPI_Recv(&v, 1, MPI_INT, 0, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE);
+      if (v != 22) ++fails;
+      int ready = -1;
+      MPI_Request r;
+      MPI_Irecv(&ready, 1, MPI_INT, 0, 2, MPI_COMM_WORLD, &r);
+      const int go = 1;
+      MPI_Send(&go, 1, MPI_INT, 0, 9, MPI_COMM_WORLD);
+      MPI_Wait(&r, MPI_STATUS_IGNORE);
+      if (ready != 33) ++fails;
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, PersistentStartall) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    int n = 0;
+    MPI_Comm_size(MPI_COMM_WORLD, &n);
+    const int to = (rank + 1) % n;
+    const int from = (rank - 1 + n) % n;
+    int out = 0, in = -1;
+    MPI_Request reqs[2];
+    if (MPI_Recv_init(&in, 1, MPI_INT, from, 4, MPI_COMM_WORLD, &reqs[0]) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (MPI_Send_init(&out, 1, MPI_INT, to, 4, MPI_COMM_WORLD, &reqs[1]) != MPI_SUCCESS) {
+      ++fails;
+    }
+    for (int iter = 0; iter < 3; ++iter) {
+      out = rank * 100 + iter;
+      if (MPI_Startall(2, reqs) != MPI_SUCCESS) ++fails;
+      if (MPI_Waitall(2, reqs, MPI_STATUSES_IGNORE) != MPI_SUCCESS) ++fails;
+      if (in != from * 100 + iter) ++fails;
+      if (reqs[0] == MPI_REQUEST_NULL || reqs[1] == MPI_REQUEST_NULL) ++fails;
+    }
+    if (MPI_Request_free(&reqs[0]) != MPI_SUCCESS || reqs[0] != MPI_REQUEST_NULL) ++fails;
+    if (MPI_Request_free(&reqs[1]) != MPI_SUCCESS) ++fails;
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, ProbeIprobeMatch) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      MPI_Status st;
+      if (MPI_Probe(1, MPI_ANY_TAG, MPI_COMM_WORLD, &st) != MPI_SUCCESS) ++fails;
+      if (st.MPI_SOURCE != 1 || st.MPI_TAG != 6) ++fails;
+      int count = -1;
+      if (MPI_Get_count(&st, MPI_INT, &count) != MPI_SUCCESS || count != 5) ++fails;
+      int flag = 0;
+      MPI_Status st2;
+      if (MPI_Iprobe(1, 6, MPI_COMM_WORLD, &flag, &st2) != MPI_SUCCESS || flag != 1) ++fails;
+      int buf[5];
+      MPI_Recv(buf, 5, MPI_INT, st.MPI_SOURCE, st.MPI_TAG, MPI_COMM_WORLD,
+               MPI_STATUS_IGNORE);
+      for (int i = 0; i < 5; ++i) {
+        if (buf[i] != i * i) ++fails;
+      }
+    } else if (rank == 1) {
+      int buf[5];
+      for (int i = 0; i < 5; ++i) buf[i] = i * i;
+      MPI_Send(buf, 5, MPI_INT, 0, 6, MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, CommDupSplitFree) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    MPI_Comm dup = MPI_COMM_NULL;
+    if (MPI_Comm_dup(MPI_COMM_WORLD, &dup) != MPI_SUCCESS || dup == MPI_COMM_NULL) ++fails;
+    int r = -1, n = -1;
+    MPI_Comm_rank(dup, &r);
+    MPI_Comm_size(dup, &n);
+    if (r != rank || n != 4) ++fails;
+    MPI_Comm half = MPI_COMM_NULL;
+    // Reverse ranks inside each half via a descending key.
+    if (MPI_Comm_split(MPI_COMM_WORLD, rank % 2, -rank, &half) != MPI_SUCCESS) ++fails;
+    int hr = -1, hn = -1;
+    MPI_Comm_rank(half, &hr);
+    MPI_Comm_size(half, &hn);
+    if (hn != 2 || hr != (rank < 2 ? 1 : 0)) ++fails;
+    long sum = 0;
+    const long mine = rank + 1;
+    if (MPI_Allreduce(&mine, &sum, 1, MPI_LONG, MPI_SUM, half) != MPI_SUCCESS) ++fails;
+    const long expect = (rank % 2 == 0) ? (1 + 3) : (2 + 4);
+    if (sum != expect) ++fails;
+    if (MPI_Comm_free(&half) != MPI_SUCCESS || half != MPI_COMM_NULL) ++fails;
+    if (MPI_Comm_free(&dup) != MPI_SUCCESS) ++fails;
+    MPI_Comm world = MPI_COMM_WORLD;
+    if (MPI_Comm_free(&world) != MPI_ERR_COMM) ++fails;  // world is not freeable
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, BarrierBcastReduceAllreduce) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (MPI_Barrier(MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    double x = rank == 2 ? 3.25 : 0.0;
+    if (MPI_Bcast(&x, 1, MPI_DOUBLE, 2, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    if (x != 3.25) ++fails;
+    const long mine[2] = {rank + 1, 10 * (rank + 1)};
+    long red[2] = {0, 0};
+    if (MPI_Reduce(mine, red, 2, MPI_LONG, MPI_SUM, 0, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (rank == 0 && (red[0] != 10 || red[1] != 100)) ++fails;
+    long mx = 0;
+    if (MPI_Allreduce(&mine[0], &mx, 1, MPI_LONG, MPI_MAX, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (mx != 4) ++fails;
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, GatherScatterAllgather) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    const int mine = rank * rank + 1;
+    int all[4] = {-1, -1, -1, -1};
+    if (MPI_Gather(&mine, 1, MPI_INT, all, 1, MPI_INT, 3, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (rank == 3) {
+      for (int i = 0; i < 4; ++i) {
+        if (all[i] != i * i + 1) ++fails;
+      }
+    }
+    int spread[4] = {0, 0, 0, 0};
+    if (rank == 1) {
+      for (int i = 0; i < 4; ++i) spread[i] = 50 + i;
+    }
+    int got = -1;
+    if (MPI_Scatter(spread, 1, MPI_INT, &got, 1, MPI_INT, 1, MPI_COMM_WORLD) !=
+        MPI_SUCCESS) {
+      ++fails;
+    }
+    if (got != 50 + rank) ++fails;
+    int ag[4] = {-1, -1, -1, -1};
+    if (MPI_Allgather(&mine, 1, MPI_INT, ag, 1, MPI_INT, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (ag[i] != i * i + 1) ++fails;
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, AlltoallAndV) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    int out[4], in[4];
+    for (int i = 0; i < 4; ++i) out[i] = rank * 10 + i;
+    if (MPI_Alltoall(out, 1, MPI_INT, in, 1, MPI_INT, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    for (int i = 0; i < 4; ++i) {
+      if (in[i] != i * 10 + rank) ++fails;
+    }
+    // Variable flavor: rank r sends r+1 copies of its rank to everyone.
+    int scounts[4], sdispls[4], rcounts[4], rdispls[4];
+    int sbuf[16], rbuf[16];
+    int soff = 0, roff = 0;
+    for (int p = 0; p < 4; ++p) {
+      scounts[p] = rank + 1;
+      sdispls[p] = soff;
+      for (int k = 0; k < scounts[p]; ++k) sbuf[soff + k] = rank;
+      soff += scounts[p];
+      rcounts[p] = p + 1;
+      rdispls[p] = roff;
+      roff += rcounts[p];
+    }
+    if (MPI_Alltoallv(sbuf, scounts, sdispls, MPI_INT, rbuf, rcounts, rdispls, MPI_INT,
+                      MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    for (int p = 0; p < 4; ++p) {
+      for (int k = 0; k < rcounts[p]; ++k) {
+        if (rbuf[rdispls[p] + k] != p) ++fails;
+      }
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, GathervScatterv) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    // Rank r contributes r+1 elements, all equal to r.
+    int mine[4];
+    for (int i = 0; i <= rank; ++i) mine[i] = rank;
+    int rcounts[4] = {1, 2, 3, 4};
+    int displs[4] = {0, 1, 3, 6};
+    int gathered[10];
+    if (MPI_Gatherv(mine, rank + 1, MPI_INT, gathered, rcounts, displs, MPI_INT, 0,
+                    MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (rank == 0) {
+      for (int p = 0; p < 4; ++p) {
+        for (int k = 0; k < rcounts[p]; ++k) {
+          if (gathered[displs[p] + k] != p) ++fails;
+        }
+      }
+    }
+    int seed[10];
+    if (rank == 0) {
+      for (int p = 0; p < 4; ++p) {
+        for (int k = 0; k < rcounts[p]; ++k) seed[displs[p] + k] = 1000 + p;
+      }
+    }
+    int back[4] = {-1, -1, -1, -1};
+    if (MPI_Scatterv(seed, rcounts, displs, MPI_INT, back, rank + 1, MPI_INT, 0,
+                     MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    for (int k = 0; k <= rank; ++k) {
+      if (back[k] != 1000 + rank) ++fails;
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, ScanExscanReduceScatterBlock) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    const long mine = rank + 1;
+    long pre = -1;
+    if (MPI_Scan(&mine, &pre, 1, MPI_LONG, MPI_SUM, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    if (pre != (rank + 1) * (rank + 2) / 2) ++fails;
+    long ex = -1;
+    if (MPI_Exscan(&mine, &ex, 1, MPI_LONG, MPI_SUM, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (rank > 0 && ex != rank * (rank + 1) / 2) ++fails;
+    long contrib[4], got = 0;
+    for (int i = 0; i < 4; ++i) contrib[i] = (rank + 1) * (i + 1);
+    if (MPI_Reduce_scatter_block(contrib, &got, 1, MPI_LONG, MPI_SUM, MPI_COMM_WORLD) !=
+        MPI_SUCCESS) {
+      ++fails;
+    }
+    if (got != 10L * (rank + 1)) ++fails;  // (1+2+3+4) * (rank+1)
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, NoncommutativeMat2x2MatchesNative) {
+  // The simulator's non-commutative reduction through the C ABI must equal a
+  // native sp::mpi golden run: order sensitivity makes this a sharp probe of
+  // the veneer's argument plumbing.
+  long native_out[4] = {0, 0, 0, 0};
+  {
+    mpi::Machine m(config(), 4, GetParam());
+    m.run([&](mpi::Mpi& mpi) {
+      auto& w = mpi.world();
+      const long r = w.rank() + 1;
+      const std::int64_t mat[4] = {r, r + 1, 0, 1};
+      std::int64_t out[4] = {0, 0, 0, 0};
+      mpi.allreduce(mat, out, 4, mpi::Datatype::kLong, mpi::Op::kMat2x2, w);
+      if (w.rank() == 0) {
+        for (int i = 0; i < 4; ++i) native_out[i] = out[i];
+      }
+    });
+  }
+  mpi::Machine m(config(), 4, GetParam());
+  long abi_out[4] = {0, 0, 0, 0};
+  const mpiabi::RunResult rr = mpiabi::run_with_abi(m, [&](int rank) {
+    MPI_Init(nullptr, nullptr);
+    const long r = rank + 1;
+    const long mat[4] = {r, r + 1, 0, 1};
+    long out[4] = {0, 0, 0, 0};
+    int fails = 0;
+    if (MPI_Allreduce(mat, out, 4, MPI_LONG, MPIX_MAT2X2, MPI_COMM_WORLD) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (MPI_Allreduce(mat, out, 3, MPI_LONG, MPIX_MAT2X2, MPI_COMM_WORLD) !=
+        MPI_ERR_COUNT) {
+      ++fails;  // group size must be a multiple of 4
+    }
+    if (rank == 0) {
+      for (int i = 0; i < 4; ++i) abi_out[i] = out[i];
+    }
+    MPI_Finalize();
+    return fails;
+  });
+  EXPECT_TRUE(rr.ok());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(abi_out[i], native_out[i]) << "element " << i;
+}
+
+TEST_P(AbiConformance, DerivedDatatypes) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    MPI_Datatype pair = MPI_DATATYPE_NULL;
+    if (MPI_Type_contiguous(2, MPI_INT, &pair) != MPI_SUCCESS) ++fails;
+    if (MPI_Type_commit(&pair) != MPI_SUCCESS) ++fails;
+    int sz = 0;
+    if (MPI_Type_size(pair, &sz) != MPI_SUCCESS || sz != 8) ++fails;
+    if (rank == 0) {
+      const int buf[6] = {1, 2, 3, 4, 5, 6};
+      if (MPI_Send(buf, 3, pair, 1, 0, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    } else if (rank == 1) {
+      int buf[6] = {0};
+      MPI_Status st;
+      if (MPI_Recv(buf, 3, pair, 0, 0, MPI_COMM_WORLD, &st) != MPI_SUCCESS) ++fails;
+      int count = -1;
+      if (MPI_Get_count(&st, pair, &count) != MPI_SUCCESS || count != 3) ++fails;
+      for (int i = 0; i < 6; ++i) {
+        if (buf[i] != i + 1) ++fails;
+      }
+    }
+    // Strided vector: send column 0 of a 3x2 row-major matrix.
+    MPI_Datatype col = MPI_DATATYPE_NULL;
+    if (MPI_Type_vector(3, 1, 2, MPI_INT, &col) != MPI_SUCCESS) ++fails;
+    if (MPI_Type_commit(&col) != MPI_SUCCESS) ++fails;
+    if (rank == 0) {
+      const int mat[6] = {10, 11, 20, 21, 30, 31};
+      if (MPI_Send(mat, 1, col, 1, 1, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    } else if (rank == 1) {
+      int colv[3] = {0, 0, 0};
+      if (MPI_Recv(colv, 3, MPI_INT, 0, 1, MPI_COMM_WORLD, MPI_STATUS_IGNORE) !=
+          MPI_SUCCESS) {
+        ++fails;
+      }
+      if (colv[0] != 10 || colv[1] != 20 || colv[2] != 30) ++fails;
+    }
+    if (MPI_Type_free(&col) != MPI_SUCCESS || col != MPI_DATATYPE_NULL) ++fails;
+    if (MPI_Type_free(&pair) != MPI_SUCCESS) ++fails;
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, TruncationReportsErrTruncate) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    if (rank == 0) {
+      const int buf[4] = {1, 2, 3, 4};
+      MPI_Send(buf, 4, MPI_INT, 1, 0, MPI_COMM_WORLD);
+    } else if (rank == 1) {
+      int small[2] = {0, 0};
+      MPI_Status st;
+      const int rc = MPI_Recv(small, 2, MPI_INT, 0, 0, MPI_COMM_WORLD, &st);
+      if (rc != MPI_ERR_TRUNCATE) ++fails;
+      if (st.MPI_ERROR != MPI_ERR_TRUNCATE || st.sp_truncated != 1) ++fails;
+      if (small[0] != 1 || small[1] != 2) ++fails;  // prefix still delivered
+    }
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, ErrorReturnsAndStrings) {
+  run4([](int) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    int v = 0;
+    if (MPI_Send(&v, 1, MPI_INT, 99, 0, MPI_COMM_WORLD) != MPI_ERR_RANK) ++fails;
+    if (MPI_Send(&v, -1, MPI_INT, 0, 0, MPI_COMM_WORLD) != MPI_ERR_COUNT) ++fails;
+    if (MPI_Send(&v, 1, MPI_INT, 0, 0, (MPI_Comm)77) != MPI_ERR_COMM) ++fails;
+    char msg[MPI_MAX_ERROR_STRING];
+    int len = 0;
+    if (MPI_Error_string(MPI_ERR_RANK, msg, &len) != MPI_SUCCESS || len <= 0) ++fails;
+    if (std::string(msg).find("rank") == std::string::npos) ++fails;
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, WtimeAdvancesWithCompute) {
+  run4([](int) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    const double t0 = MPI_Wtime();
+    if (MPIX_Compute(1'000'000) != MPI_SUCCESS) ++fails;  // 1 ms of modelled work
+    const double t1 = MPI_Wtime();
+    if (t1 - t0 < 0.0009) ++fails;  // simulated clock must have moved ~1 ms
+    if (MPI_Wtick() <= 0.0) ++fails;
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+TEST_P(AbiConformance, ProcNullIsNoop) {
+  run4([](int rank) {
+    int fails = 0;
+    MPI_Init(nullptr, nullptr);
+    int v = 5;
+    if (MPI_Send(&v, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD) != MPI_SUCCESS) ++fails;
+    MPI_Status st;
+    int got = 123;
+    if (MPI_Recv(&got, 1, MPI_INT, MPI_PROC_NULL, 0, MPI_COMM_WORLD, &st) != MPI_SUCCESS) {
+      ++fails;
+    }
+    if (got != 123) ++fails;  // buffer untouched
+    (void)rank;
+    MPI_Finalize();
+    return fails;
+  });
+}
+
+/// The tentpole acceptance check: the ported C NAS kernels must produce
+/// bit-identical checksums to the native C++ kernels, per channel.
+TEST_P(AbiConformance, NasEpParity) {
+  unsigned long long native_sum = 0;
+  {
+    mpi::Machine m(config(), 4, GetParam());
+    m.run([&](mpi::Mpi& mpi) {
+      const auto r = nas::run_ep(mpi, 1);
+      EXPECT_TRUE(r.verified);
+      if (mpi.world().rank() == 0) native_sum = r.checksum;
+    });
+  }
+  mpi::Machine m(config(), 4, GetParam());
+  const mpiabi::RunResult rr = mpiabi::run_program(m, sp_abi_nas_ep_main, {"1"});
+  ASSERT_TRUE(rr.ok());
+  ASSERT_EQ(rr.ranks.size(), 4u);
+  EXPECT_TRUE(rr.ranks[0].reported);
+  EXPECT_EQ(rr.ranks[0].checksum, native_sum);
+}
+
+TEST_P(AbiConformance, NasIsParity) {
+  unsigned long long native_sum = 0;
+  {
+    mpi::Machine m(config(), 4, GetParam());
+    m.run([&](mpi::Mpi& mpi) {
+      const auto r = nas::run_is(mpi, 1);
+      EXPECT_TRUE(r.verified);
+      if (mpi.world().rank() == 0) native_sum = r.checksum;
+    });
+  }
+  mpi::Machine m(config(), 4, GetParam());
+  const mpiabi::RunResult rr = mpiabi::run_program(m, sp_abi_nas_is_main, {"1"});
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr.ranks[0].checksum, native_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChannels, AbiConformance,
+                         ::testing::Values(mpi::Backend::kNativePipes,
+                                           mpi::Backend::kLapiEnhanced,
+                                           mpi::Backend::kRdma),
+                         [](const ::testing::TestParamInfo<mpi::Backend>& info) {
+                           switch (info.param) {
+                             case mpi::Backend::kNativePipes: return "native";
+                             case mpi::Backend::kLapiEnhanced: return "enhanced";
+                             default: return "rdma";
+                           }
+                         });
+
+TEST(AbiHarness, ArgvPlumbing) {
+  mpi::Machine m(sim::MachineConfig::tbmx_332(), 2, mpi::Backend::kLapiEnhanced);
+  const mpiabi::RunResult rr = mpiabi::run_with_abi(m, [](int) {
+    MPI_Init(nullptr, nullptr);
+    MPI_Finalize();
+    return 0;
+  });
+  EXPECT_TRUE(rr.ok());
+  EXPECT_EQ(rr.ranks.size(), 2u);
+}
+
+TEST(AbiHarness, NonzeroExitCodeFailsRun) {
+  mpi::Machine m(sim::MachineConfig::tbmx_332(), 2, mpi::Backend::kLapiEnhanced);
+  const mpiabi::RunResult rr =
+      mpiabi::run_with_abi(m, [](int rank) { return rank == 1 ? 3 : 0; });
+  EXPECT_FALSE(rr.ok());
+  EXPECT_EQ(rr.ranks[1].exit_code, 3);
+}
+
+}  // namespace
+}  // namespace sp

@@ -1,0 +1,252 @@
+// Trace record/replay determinism tests (DESIGN.md §17).
+//
+// A recorded op trace replays against any channel/config with a byte-exact
+// delivered-payload digest; these tests lock down the digest invariance, the
+// top-level-only recording rule, and the strict parser's rejection of
+// truncated or corrupted trace files.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpi/optrace.hpp"
+#include "nas/kernels.hpp"
+
+namespace sp::mpi {
+namespace {
+
+void gnarly_workload(Mpi& mpi) {
+  auto& w = mpi.world();
+  const int n = w.size();
+  const int me = w.rank();
+  std::vector<std::int64_t> pay(24, me + 1);
+  std::vector<std::int64_t> in(24, 0);
+  Request r = mpi.irecv(in.data(), in.size(), Datatype::kLong, kAnySource, kAnyTag, w);
+  mpi.send(pay.data(), pay.size(), Datatype::kLong, (me + 1) % n, 7, w);
+  mpi.wait(r);
+  mpi.compute(2'000 * (me + 1));
+  Comm dup = mpi.dup(w);
+  std::vector<std::int64_t> sum(24, 0);
+  mpi.allreduce(pay.data(), sum.data(), pay.size(), Datatype::kLong, Op::kSum, dup);
+  Comm half = mpi.split(w, me % 2, me);
+  mpi.bcast(sum.data(), sum.size(), Datatype::kLong, 0, half);
+  mpi.sendrecv(sum.data(), 6, (me + 1) % n, 9, in.data(), 6, (me - 1 + n) % n, 9,
+               Datatype::kLong, w);
+  mpi.barrier(w);
+}
+
+optrace::Trace record_gnarly() {
+  sim::MachineConfig cfg = sim::MachineConfig::tbmx_332();
+  Machine m(cfg, 4, Backend::kLapiEnhanced);
+  optrace::Recorder rec(4);
+  optrace::attach(m, &rec);
+  m.run(gnarly_workload);
+  return rec.take("gnarly", 1);
+}
+
+TEST(Replay, SaveLoadRoundtrip) {
+  const optrace::Trace t = record_gnarly();
+  ASSERT_EQ(t.ranks, 4);
+  std::ostringstream os;
+  optrace::save_text(t, os);
+  std::istringstream is(os.str());
+  optrace::Trace back;
+  std::string err;
+  ASSERT_TRUE(optrace::load_text(is, &back, &err)) << err;
+  EXPECT_EQ(back.ranks, t.ranks);
+  EXPECT_EQ(back.workload, "gnarly");
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(back.per_rank[r].size(), t.per_rank[r].size()) << "rank " << r;
+    for (std::size_t i = 0; i < t.per_rank[r].size(); ++i) {
+      EXPECT_EQ(back.per_rank[r][i].kind, t.per_rank[r][i].kind);
+      EXPECT_EQ(back.per_rank[r][i].peer, t.per_rank[r][i].peer);
+      EXPECT_EQ(back.per_rank[r][i].count, t.per_rank[r][i].count);
+      EXPECT_EQ(back.per_rank[r][i].msrc, t.per_rank[r][i].msrc);
+    }
+  }
+}
+
+TEST(Replay, DigestInvariantAcrossChannels) {
+  const optrace::Trace t = record_gnarly();
+  const sim::MachineConfig cfg = sim::MachineConfig::tbmx_332();
+  const auto native = optrace::replay(t, cfg, Backend::kNativePipes);
+  const auto enhanced = optrace::replay(t, cfg, Backend::kLapiEnhanced);
+  const auto rdma = optrace::replay(t, cfg, Backend::kRdma);
+  ASSERT_TRUE(native.ok) << native.error;
+  ASSERT_TRUE(enhanced.ok) << enhanced.error;
+  ASSERT_TRUE(rdma.ok) << rdma.error;
+  EXPECT_NE(native.digest, 0u);
+  EXPECT_EQ(native.digest, enhanced.digest);
+  EXPECT_EQ(native.digest, rdma.digest);
+  EXPECT_GT(native.elapsed, 0);
+  EXPECT_GT(native.sim_events, 0u);
+}
+
+TEST(Replay, DigestInvariantUnderWhatIfConfigs) {
+  const optrace::Trace t = record_gnarly();
+  const sim::MachineConfig base = sim::MachineConfig::tbmx_332();
+  const std::uint64_t golden = optrace::replay(t, base, Backend::kLapiEnhanced).digest;
+
+  sim::MachineConfig tiny_eager = base;
+  tiny_eager.eager_limit = 64;  // force rendezvous everywhere
+  const auto r1 = optrace::replay(t, tiny_eager, Backend::kLapiEnhanced);
+  ASSERT_TRUE(r1.ok) << r1.error;
+  EXPECT_EQ(r1.digest, golden);
+
+  sim::MachineConfig lossy = base;
+  lossy.packet_drop_rate = 0.02;
+  lossy.retransmit_timeout_ns = 400'000;
+  lossy.fabric_seed = 99;
+  const auto r2 = optrace::replay(t, lossy, Backend::kLapiEnhanced);
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r2.digest, golden);
+
+  // A lossy fabric costs simulated time; the digest must not notice.
+  EXPECT_GE(r2.elapsed, r1.elapsed == 0 ? 0 : 1);
+}
+
+TEST(Replay, NasKernelTraceReplays) {
+  sim::MachineConfig cfg = sim::MachineConfig::tbmx_332();
+  Machine m(cfg, 4, Backend::kLapiEnhanced);
+  optrace::Recorder rec(4);
+  optrace::attach(m, &rec);
+  m.run([](Mpi& mpi) {
+    const auto r = nas::run_is(mpi, 1);
+    ASSERT_TRUE(r.verified);
+  });
+  const optrace::Trace t = rec.take("is", 1);
+  const auto a = optrace::replay(t, cfg, Backend::kNativePipes);
+  const auto b = optrace::replay(t, cfg, Backend::kRdma);
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.digest, b.digest);
+}
+
+TEST(Replay, CollectivesRecordOnlyTopLevelOps) {
+  sim::MachineConfig cfg = sim::MachineConfig::tbmx_332();
+  Machine m(cfg, 4, Backend::kLapiEnhanced);
+  optrace::Recorder rec(4);
+  optrace::attach(m, &rec);
+  m.run([](Mpi& mpi) {
+    auto& w = mpi.world();
+    std::int64_t x = w.rank(), y = 0;
+    mpi.allreduce(&x, &y, 1, Datatype::kLong, Op::kSum, w);
+    mpi.barrier(w);
+  });
+  const optrace::Trace t = rec.take("coll", 0);
+  for (int r = 0; r < 4; ++r) {
+    // The collective's internal p2p traffic must be depth-suppressed: each
+    // rank's stream is exactly [allreduce, barrier].
+    ASSERT_EQ(t.per_rank[r].size(), 2u) << "rank " << r;
+    EXPECT_EQ(t.per_rank[r][0].kind, optrace::OpKind::kAllreduce);
+    EXPECT_EQ(t.per_rank[r][1].kind, optrace::OpKind::kBarrier);
+  }
+}
+
+TEST(Replay, WildcardReceivesRecordConcreteMatch) {
+  const optrace::Trace t = record_gnarly();
+  bool saw_irecv = false;
+  for (const auto& ops : t.per_rank) {
+    for (const auto& op : ops) {
+      if (op.kind == optrace::OpKind::kIrecv) {
+        saw_irecv = true;
+        EXPECT_GE(op.msrc, 0);  // back-filled at completion
+        EXPECT_GE(op.mtag, 0);
+        EXPECT_GT(op.aux, 0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_irecv);
+}
+
+TEST(Replay, TruncatedTracesAreRejected) {
+  const optrace::Trace t = record_gnarly();
+  std::ostringstream os;
+  optrace::save_text(t, os);
+  const std::string full = os.str();
+  ASSERT_GT(full.size(), 200u);
+  int rejected = 0, total = 0;
+  for (std::size_t cut = 0; cut + 1 < full.size(); cut += 97) {
+    std::istringstream is(full.substr(0, cut));
+    optrace::Trace out;
+    std::string err;
+    ++total;
+    if (!optrace::load_text(is, &out, &err)) ++rejected;
+  }
+  EXPECT_EQ(rejected, total);  // every strict prefix must fail to parse
+}
+
+TEST(Replay, CorruptedTracesAreRejected) {
+  const optrace::Trace t = record_gnarly();
+  std::ostringstream os;
+  optrace::save_text(t, os);
+  const std::string full = os.str();
+  optrace::Trace out;
+  std::string err;
+
+  std::istringstream bad_magic("sptracX 1\n" + full.substr(full.find('\n') + 1));
+  EXPECT_FALSE(optrace::load_text(bad_magic, &out, &err));
+
+  std::istringstream bad_version("sptrace 999\n" + full.substr(full.find('\n') + 1));
+  EXPECT_FALSE(optrace::load_text(bad_version, &out, &err));
+
+  std::string trailing = full + "junk after end\n";
+  std::istringstream with_trailing(trailing);
+  EXPECT_FALSE(optrace::load_text(with_trailing, &out, &err));
+
+  // Blow up one op kind far out of range.
+  std::string bad_kind = full;
+  const auto pos = bad_kind.find("\nop ");
+  ASSERT_NE(pos, std::string::npos);
+  bad_kind.replace(pos, 4, "\nop 250 ");
+  std::istringstream with_bad_kind(bad_kind);
+  EXPECT_FALSE(optrace::load_text(with_bad_kind, &out, &err));
+}
+
+TEST(Replay, ValidateRejectsBadPrograms) {
+  optrace::Trace t;
+  t.ranks = 2;
+  t.per_rank.resize(2);
+  std::string err;
+
+  // A wait whose target points forward.
+  optrace::Op w;
+  w.kind = optrace::OpKind::kWait;
+  w.target = 5;
+  t.per_rank[0] = {w};
+  EXPECT_FALSE(optrace::validate(t, &err));
+
+  // A wait on a blocking op.
+  optrace::Op s;
+  s.kind = optrace::OpKind::kSend;
+  s.peer = 1;
+  s.count = 1;
+  w.target = 0;
+  t.per_rank[0] = {s, w};
+  EXPECT_FALSE(optrace::validate(t, &err));
+
+  // A comm index the rank never created.
+  optrace::Op b;
+  b.kind = optrace::OpKind::kBarrier;
+  b.comm = 3;
+  t.per_rank[0] = {b};
+  EXPECT_FALSE(optrace::validate(t, &err));
+}
+
+TEST(Replay, ReplayRejectsInvalidTraceGracefully) {
+  optrace::Trace t;
+  t.ranks = 2;
+  t.per_rank.resize(2);
+  optrace::Op w;
+  w.kind = optrace::OpKind::kWait;
+  w.target = 9;
+  t.per_rank[1] = {w};
+  const auto r = optrace::replay(t, sim::MachineConfig::tbmx_332(), Backend::kLapiEnhanced);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+}
+
+}  // namespace
+}  // namespace sp::mpi

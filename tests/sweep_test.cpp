@@ -1,0 +1,261 @@
+// Sweep batch-server tests: the work-stealing queue's invariants, the quick
+// matrix's shape, single-job execution, and a concurrent mini-sweep whose
+// per-job checksums must be independent of worker count (DESIGN.md §17).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/sweep.hpp"
+#include "sweep/work_queue.hpp"
+
+namespace sp::sweep {
+namespace {
+
+TEST(WorkQueue, OwnerPopsLifo) {
+  WorkStealingQueue q(2);
+  q.push(0, 10);
+  q.push(0, 11);
+  q.push(0, 12);
+  std::size_t j = 0;
+  ASSERT_TRUE(q.pop(0, &j));
+  EXPECT_EQ(j, 12u);  // own shard drains newest-first
+  ASSERT_TRUE(q.pop(0, &j));
+  EXPECT_EQ(j, 11u);
+  EXPECT_EQ(q.remaining(), 1u);
+  EXPECT_EQ(q.steals(), 0u);
+}
+
+TEST(WorkQueue, ThiefStealsFifo) {
+  WorkStealingQueue q(3);
+  q.push(0, 20);
+  q.push(0, 21);
+  std::size_t j = 0;
+  ASSERT_TRUE(q.pop(2, &j));  // worker 2 owns nothing; must steal
+  EXPECT_EQ(j, 20u);          // victims lose their oldest job
+  EXPECT_EQ(q.steals(), 1u);
+  ASSERT_TRUE(q.pop(0, &j));
+  EXPECT_EQ(j, 21u);
+  EXPECT_EQ(q.steals(), 1u);
+}
+
+TEST(WorkQueue, DrainedQueueTerminates) {
+  WorkStealingQueue q(4);
+  q.push(1, 7);
+  std::size_t j = 0;
+  ASSERT_TRUE(q.pop(3, &j));
+  EXPECT_EQ(j, 7u);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_FALSE(q.pop(w, &j)) << "worker " << w;
+  }
+  EXPECT_EQ(q.remaining(), 0u);
+}
+
+TEST(WorkQueue, ConcurrentDrainSeesEveryJobOnce) {
+  constexpr int kWorkers = 4;
+  constexpr std::size_t kJobs = 2000;
+  WorkStealingQueue q(kWorkers);
+  for (std::size_t i = 0; i < kJobs; ++i) q.push(static_cast<int>(i % kWorkers), i);
+  std::vector<std::vector<std::size_t>> got(kWorkers);
+  std::vector<std::thread> pool;
+  for (int w = 0; w < kWorkers; ++w) {
+    pool.emplace_back([&, w] {
+      std::size_t j = 0;
+      while (q.pop(w, &j)) got[static_cast<std::size_t>(w)].push_back(j);
+    });
+  }
+  for (auto& t : pool) t.join();
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    seen.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, kJobs);       // nothing ran twice...
+  EXPECT_EQ(seen.size(), kJobs); // ...and nothing was dropped
+  EXPECT_EQ(q.remaining(), 0u);
+}
+
+TEST(QuickMatrix, ShapeAndCoverage) {
+  const std::vector<SweepJob> jobs = quick_matrix(3);
+  EXPECT_EQ(jobs.size(), 252u);  // 7 workloads x 3 channels x 2 eager x 2 loss x 3 seeds
+  EXPECT_GE(jobs.size(), 200u);  // the CI floor
+  std::set<std::string> workloads;
+  std::set<std::string> backends;
+  std::set<double> drops;
+  for (const auto& j : jobs) {
+    workloads.insert(j.workload);
+    backends.insert(backend_token(j.backend));
+    drops.insert(j.drop);
+    EXPECT_EQ(j.nodes, 4);
+  }
+  EXPECT_EQ(workloads.size(), 7u);
+  EXPECT_EQ(backends, (std::set<std::string>{"native", "enhanced", "rdma"}));
+  EXPECT_EQ(drops, (std::set<double>{0.0, 0.01}));
+}
+
+TEST(RunJob, PingpongVerifies) {
+  SweepJob j;
+  j.workload = "pingpong";
+  j.backend = mpi::Backend::kLapiEnhanced;
+  const JobResult r = run_job(j, 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.verified);
+  EXPECT_NE(r.checksum, 0u);
+  EXPECT_GT(r.elapsed_ns, 0);
+  EXPECT_GT(r.sim_events, 0u);
+}
+
+TEST(RunJob, ChecksumDependsOnSeedNotChannel) {
+  SweepJob j;
+  j.workload = "allreduce";
+  j.seed = 5;
+  j.backend = mpi::Backend::kNativePipes;
+  const JobResult a = run_job(j, 0);
+  j.backend = mpi::Backend::kRdma;
+  const JobResult b = run_job(j, 1);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.checksum, b.checksum);  // same data, different fabric
+  j.seed = 6;
+  const JobResult c = run_job(j, 2);
+  ASSERT_TRUE(c.ok);
+  EXPECT_NE(c.checksum, b.checksum);  // different data
+}
+
+TEST(RunJob, AbiMatchesNativeKernelChecksum) {
+  SweepJob j;
+  j.workload = "nas_ep";
+  const JobResult native = run_job(j, 0);
+  j.workload = "abi_ep";
+  const JobResult abi = run_job(j, 1);
+  ASSERT_TRUE(native.ok) << native.error;
+  ASSERT_TRUE(abi.ok) << abi.error;
+  EXPECT_TRUE(native.verified && abi.verified);
+  EXPECT_EQ(native.checksum, abi.checksum);
+}
+
+TEST(RunJob, UnknownWorkloadFailsCleanly) {
+  SweepJob j;
+  j.workload = "fizzbuzz";
+  const JobResult r = run_job(j, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.error.find("fizzbuzz"), std::string::npos);
+}
+
+TEST(Sweep, MiniSweepConcurrentAndOrdered) {
+  // One seed per cell: 7 workloads x 3 channels x 2 eager x 2 loss = 84 jobs,
+  // across 4 workers. Results must come back in job-id order regardless of
+  // completion order.
+  const std::vector<SweepJob> jobs = quick_matrix(1);
+  ASSERT_EQ(jobs.size(), 84u);
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  SweepOptions opt;
+  opt.workers = 4;
+  opt.stream = stream;
+  const SweepReport rep = run_sweep(jobs, opt);
+  EXPECT_EQ(rep.workers, 4);
+  ASSERT_EQ(rep.results.size(), jobs.size());
+  for (std::size_t i = 0; i < rep.results.size(); ++i) {
+    EXPECT_EQ(rep.results[i].id, static_cast<int>(i));
+    EXPECT_TRUE(rep.results[i].ok) << i << ": " << rep.results[i].error;
+    EXPECT_TRUE(rep.results[i].verified) << i;
+    EXPECT_GE(rep.results[i].worker, 0);
+    EXPECT_LT(rep.results[i].worker, 4);
+  }
+  EXPECT_TRUE(rep.all_ok());
+  EXPECT_TRUE(rep.all_verified());
+  EXPECT_EQ(rep.rows.size(), 21u);  // 7 workloads x 3 channels
+  for (const auto& row : rep.rows) {
+    EXPECT_EQ(row.jobs, 4);  // 2 eager x 2 loss
+    EXPECT_LE(row.min_ms, row.p50_ms);
+    EXPECT_LE(row.p50_ms, row.p90_ms);
+    EXPECT_LE(row.p90_ms, row.p99_ms);
+    EXPECT_LE(row.p99_ms, row.max_ms);
+  }
+  // The stream got one JSON line per job.
+  std::rewind(stream);
+  int lines = 0;
+  for (int ch; (ch = std::fgetc(stream)) != EOF;) {
+    if (ch == '\n') ++lines;
+  }
+  std::fclose(stream);
+  EXPECT_EQ(lines, 84);
+}
+
+TEST(Sweep, ResultsIdenticalAcrossWorkerCounts) {
+  // Worker count is a host-side concern: the simulated results must not
+  // change. Compare a small slice run serially vs. on 3 workers.
+  std::vector<SweepJob> jobs;
+  const char* wl[] = {"pingpong", "ring", "allreduce"};
+  for (const char* w : wl) {
+    for (int s = 1; s <= 3; ++s) {
+      SweepJob j;
+      j.workload = w;
+      j.seed = static_cast<unsigned long long>(s);
+      jobs.push_back(j);
+    }
+  }
+  SweepOptions serial;
+  serial.workers = 1;
+  SweepOptions wide;
+  wide.workers = 3;
+  const SweepReport a = run_sweep(jobs, serial);
+  const SweepReport b = run_sweep(jobs, wide);
+  ASSERT_TRUE(a.all_ok() && b.all_ok());
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].checksum, b.results[i].checksum) << i;
+    EXPECT_EQ(a.results[i].elapsed_ns, b.results[i].elapsed_ns) << i;
+    EXPECT_EQ(a.results[i].sim_events, b.results[i].sim_events) << i;
+  }
+}
+
+TEST(Sweep, FailFastStopsDispatch) {
+  std::vector<SweepJob> jobs;
+  for (int i = 0; i < 40; ++i) {
+    SweepJob j;
+    // A single worker pops its own shard LIFO, so the highest-index job runs
+    // first — make that the poisoned one.
+    j.workload = i == 39 ? "bogus" : "ring";
+    jobs.push_back(j);
+  }
+  SweepOptions opt;
+  opt.workers = 1;
+  opt.fail_fast = true;
+  const SweepReport rep = run_sweep(jobs, opt);
+  EXPECT_FALSE(rep.all_ok());
+  int ran = 0;
+  for (const auto& r : rep.results) ran += r.id >= 0 ? 1 : 0;
+  EXPECT_LT(ran, 40);  // dispatch stopped early
+}
+
+TEST(Sweep, BenchJsonWellFormed) {
+  const std::vector<SweepJob> jobs = {[] {
+    SweepJob j;
+    j.workload = "ring";
+    return j;
+  }()};
+  SweepOptions opt;
+  opt.workers = 1;
+  const SweepReport rep = run_sweep(jobs, opt);
+  const std::string path = ::testing::TempDir() + "/bench_sweep_test.json";
+  ASSERT_TRUE(write_bench_json(rep, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  for (int ch; (ch = std::fgetc(f)) != EOF;) content.push_back(static_cast<char>(ch));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"total_jobs\": 1"), std::string::npos);
+  EXPECT_NE(content.find("\"all_ok\": true"), std::string::npos);
+  EXPECT_NE(content.find("\"all_verified\": true"), std::string::npos);
+  EXPECT_NE(content.find("\"workload\": \"ring\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sp::sweep

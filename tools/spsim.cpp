@@ -11,6 +11,9 @@
 //   spsim trace     [options]          dump a protocol-event timeline
 //   spsim metrics   [options]          telemetry counters + histograms
 //   spsim explore   [options]          differential Pipes<->LAPI conformance fuzzing
+//   spsim record    [options]          record a per-rank MPI op trace
+//   spsim replay    [options]          replay a trace under a what-if config
+//   spsim sweep     [options]          sharded (workload x config x seed) batch run
 //
 // Options:
 //   --backend native|base|counters|enhanced|rdma   (default enhanced;
@@ -36,6 +39,24 @@
 //   --csv              machine-readable output
 //   --format text|json|csv   trace export format (default text)
 //   --out FILE         write the trace there instead of stdout
+//   --abi              nas: also run the C MPI_* ABI ports and require
+//                      bit-identical checksums against the native kernels
+//
+// Record/replay options:
+//   --workload ep|is|mix  what to record (default mix; ep/is use --scale)
+//   --out FILE         record: trace file (default stdout)
+//   --in FILE          replay: trace file (required)
+//                      replay re-reads --backend/--eager/--drop/--coll-algo/
+//                      --topology as the what-if config; the digest must match
+//                      the recording run's digest for a conformant simulator
+//
+// Sweep options:
+//   --quick            the CI matrix: 7 workloads x 3 channels x 2 eager
+//                      limits x {lossless, 1%% drop} x --seeds seeds
+//   --seeds N          seeds per cell (default 3; 252 jobs)
+//   --workers N        host worker threads (default: cores, capped at 8)
+//   --out FILE         JSON-lines stream, completion order (default stdout)
+//   --json FILE        write the aggregate BENCH_sweep.json there
 //
 // Explore options:
 //   --seeds N          master seeds to sweep (default 256)
@@ -58,15 +79,21 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "mpi/coll.hpp"
+#include "mpi/optrace.hpp"
+#include "mpiabi/apps/apps.h"
+#include "mpiabi/mpiabi.hpp"
 #include "net/topology.hpp"
 #include "nas/kernels.hpp"
 #include "sim/explorer.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -109,11 +136,20 @@ struct Options {
   long long interleavings = 0;  // 0 = unlimited
   long long msg_bytes = 24;
   std::string cert_out;
+  // nas / record / replay / sweep
+  bool abi = false;
+  std::string workload = "mix";
+  std::string in;
+  bool quick = false;
+  int sweep_seeds = 3;
+  int workers = 0;
+  std::string json_out;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
-               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics|explore "
+               "usage: spsim latency|bandwidth|interrupt|nas|stats|trace|metrics|explore|"
+               "record|replay|sweep "
                "[--backend native|base|counters|enhanced|rdma] [--nodes N] [--size B] [--iters N] "
                "[--eager B] [--drop P] [--dup P] [--jitter NS] [--burst N] "
                "[--seed S] [--scale N] [--coll-algo SPEC] "
@@ -121,7 +157,8 @@ struct Options {
                "[--format text|json|csv] [--out FILE] "
                "[--seeds N] [--budget N] [--msgs N] [--seed-base S] [--repro TOKEN] "
                "[--trace-out FILE] [--systematic] [--ranks N] [--depth D] [--window NS] "
-               "[--interleavings N] [--msg-bytes B] [--cert-out FILE]\n");
+               "[--interleavings N] [--msg-bytes B] [--cert-out FILE] [--abi] "
+               "[--workload ep|is|mix] [--in FILE] [--quick] [--workers N] [--json FILE]\n");
   std::exit(2);
 }
 
@@ -194,6 +231,7 @@ Options parse(int argc, char** argv) {
       o.out = next();
     } else if (a == "--seeds") {
       o.explore_seeds = std::atoi(next());
+      o.sweep_seeds = o.explore_seeds;
     } else if (a == "--budget") {
       o.budget = std::atoi(next());
     } else if (a == "--msgs") {
@@ -221,6 +259,18 @@ Options parse(int argc, char** argv) {
       o.msg_bytes = std::atoll(next());
     } else if (a == "--cert-out") {
       o.cert_out = next();
+    } else if (a == "--abi") {
+      o.abi = true;
+    } else if (a == "--workload") {
+      o.workload = next();
+    } else if (a == "--in") {
+      o.in = next();
+    } else if (a == "--quick") {
+      o.quick = true;
+    } else if (a == "--workers") {
+      o.workers = std::atoi(next());
+    } else if (a == "--json") {
+      o.json_out = next();
     } else {
       usage();
     }
@@ -298,7 +348,55 @@ int cmd_interrupt(const Options& o) {
   return 0;
 }
 
+/// nas --abi: every ported kernel, run natively and again through the C MPI_*
+/// veneer, must report bit-identical checksums on the selected channel.
+int cmd_nas_abi(const Options& o) {
+  const auto cfg = make_config(o);
+  const int nodes = o.nodes > 0 ? o.nodes : 4;
+  struct AbiKernel {
+    const char* name;
+    nas::KernelResult (*native)(mpi::Mpi&, int);
+    mpiabi::MainFn abi_main;
+  };
+  const AbiKernel kernels[] = {{"ep", nas::run_ep, sp_abi_nas_ep_main},
+                               {"is", nas::run_is, sp_abi_nas_is_main}};
+  std::printf(o.csv ? "kernel,native_ms,abi_ms,match\n" : "%-8s %12s %12s %8s\n", "kernel",
+              "native_ms", "abi_ms", "match");
+  bool all_match = true;
+  for (const AbiKernel& k : kernels) {
+    mpi::Machine native(cfg, nodes, o.backend);
+    std::uint64_t native_sum = 0;
+    bool native_ok = true;
+    native.run([&](mpi::Mpi& mpi) {
+      const auto r = k.native(mpi, o.scale);
+      if (!r.verified) native_ok = false;
+      if (mpi.world().rank() == 0) native_sum = r.checksum;
+    });
+    mpi::Machine abi(cfg, nodes, o.backend);
+    const mpiabi::RunResult rr =
+        mpiabi::run_program(abi, k.abi_main, {std::to_string(o.scale)});
+    const std::uint64_t abi_sum = rr.ranks.empty() ? 0 : rr.ranks[0].checksum;
+    const bool match = native_ok && rr.ok() && native_sum == abi_sum;
+    all_match = all_match && match;
+    const double native_ms = sim::to_us(native.elapsed()) / 1000.0;
+    const double abi_ms = sim::to_us(rr.elapsed) / 1000.0;
+    if (o.csv) {
+      std::printf("%s,%.3f,%.3f,%d\n", k.name, native_ms, abi_ms, match ? 1 : 0);
+    } else {
+      std::printf("%-8s %12.2f %12.2f %8s\n", k.name, native_ms, abi_ms,
+                  match ? "yes" : "NO");
+    }
+    if (!match) {
+      std::fprintf(stderr, "spsim: %s checksum mismatch: native %016llx abi %016llx\n",
+                   k.name, static_cast<unsigned long long>(native_sum),
+                   static_cast<unsigned long long>(abi_sum));
+    }
+  }
+  return all_match ? 0 : 1;
+}
+
 int cmd_nas(const Options& o) {
+  if (o.abi) return cmd_nas_abi(o);
   const auto cfg = make_config(o);
   const int nodes = o.nodes > 0 ? o.nodes : 4;
   std::printf(o.csv ? "kernel,ms,verified\n" : "%-8s %12s %10s\n", "kernel", "ms", "verified");
@@ -317,6 +415,144 @@ int cmd_nas(const Options& o) {
     }
   }
   return 0;
+}
+
+/// record --workload mix: a deliberately gnarly body — nonblocking p2p,
+/// wildcard receives, communicator dup/split, collectives on a subcomm, and
+/// compute phases — so a recorded trace exercises most of the op vocabulary.
+void mix_workload(mpi::Mpi& mpi) {
+  auto& w = mpi.world();
+  const int n = w.size();
+  const int me = w.rank();
+  const int to = (me + 1) % n;
+  const int from = (me - 1 + n) % n;
+  std::vector<std::int64_t> pay(32, me + 1);
+  std::vector<std::int64_t> in(32, 0);
+  mpi::Request r = mpi.irecv(in.data(), in.size(), mpi::Datatype::kLong, mpi::kAnySource,
+                             mpi::kAnyTag, w);
+  mpi.send(pay.data(), pay.size(), mpi::Datatype::kLong, to, 7, w);
+  mpi.wait(r);
+  mpi.compute(5'000 * (me + 1));
+  mpi::Comm dup = mpi.dup(w);
+  std::vector<std::int64_t> sum(32, 0);
+  mpi.allreduce(pay.data(), sum.data(), pay.size(), mpi::Datatype::kLong, mpi::Op::kSum, dup);
+  mpi::Comm half = mpi.split(w, me % 2, me);
+  mpi.bcast(sum.data(), sum.size(), mpi::Datatype::kLong, 0, half);
+  mpi.sendrecv(sum.data(), 8, to, 9, in.data(), 8, from, 9, mpi::Datatype::kLong, w);
+  mpi.barrier(w);
+}
+
+int cmd_record(const Options& o) {
+  const auto cfg = make_config(o);
+  const int nodes = o.nodes > 0 ? o.nodes : 4;
+  mpi::Machine m(cfg, nodes, o.backend);
+  mpi::optrace::Recorder rec(nodes);
+  mpi::optrace::attach(m, &rec);
+  bool verified = true;
+  if (o.workload == "ep" || o.workload == "is") {
+    const bool is_is = o.workload == "is";
+    m.run([&](mpi::Mpi& mpi) {
+      const auto r = is_is ? nas::run_is(mpi, o.scale) : nas::run_ep(mpi, o.scale);
+      if (!r.verified) verified = false;
+    });
+  } else if (o.workload == "mix") {
+    m.run(mix_workload);
+  } else {
+    std::fprintf(stderr, "spsim: bad --workload: %s (want ep|is|mix)\n", o.workload.c_str());
+    return 2;
+  }
+  if (!verified) {
+    std::fprintf(stderr, "spsim: %s failed verification during recording\n",
+                 o.workload.c_str());
+    return 1;
+  }
+  const mpi::optrace::Trace t = rec.take(o.workload, o.scale);
+  if (o.out.empty()) {
+    mpi::optrace::save_text(t, std::cout);
+  } else {
+    std::ofstream os(o.out);
+    if (!os) {
+      std::fprintf(stderr, "spsim: cannot open %s\n", o.out.c_str());
+      return 1;
+    }
+    mpi::optrace::save_text(t, os);
+  }
+  std::size_t total = 0;
+  for (const auto& ops : t.per_rank) total += ops.size();
+  std::fprintf(stderr, "recorded %s: %d ranks, %zu ops\n", t.workload.c_str(), t.ranks,
+               total);
+  return 0;
+}
+
+int cmd_replay(const Options& o) {
+  if (o.in.empty()) {
+    std::fprintf(stderr, "spsim: replay needs --in FILE\n");
+    return 2;
+  }
+  std::ifstream is(o.in);
+  if (!is) {
+    std::fprintf(stderr, "spsim: cannot open %s\n", o.in.c_str());
+    return 1;
+  }
+  mpi::optrace::Trace t;
+  std::string err;
+  if (!mpi::optrace::load_text(is, &t, &err)) {
+    std::fprintf(stderr, "spsim: bad trace %s: %s\n", o.in.c_str(), err.c_str());
+    return 1;
+  }
+  const auto cfg = make_config(o);
+  const auto r = mpi::optrace::replay(t, cfg, o.backend);
+  if (!r.ok) {
+    std::fprintf(stderr, "spsim: replay failed: %s\n", r.error.c_str());
+    return 1;
+  }
+  if (o.csv) {
+    std::printf("workload,backend,digest,elapsed_ns,sim_events\n%s,%s,%016llx,%lld,%llu\n",
+                t.workload.c_str(), mpi::backend_name(o.backend),
+                static_cast<unsigned long long>(r.digest),
+                static_cast<long long>(r.elapsed),
+                static_cast<unsigned long long>(r.sim_events));
+  } else {
+    std::printf("replayed %s (%d ranks) on %s: digest %016llx, %.3f ms, %llu events\n",
+                t.workload.c_str(), t.ranks, mpi::backend_name(o.backend),
+                static_cast<unsigned long long>(r.digest), sim::to_us(r.elapsed) / 1000.0,
+                static_cast<unsigned long long>(r.sim_events));
+  }
+  return 0;
+}
+
+int cmd_sweep(const Options& o) {
+  std::vector<sweep::SweepJob> jobs = sweep::quick_matrix(o.quick ? o.sweep_seeds : 1);
+  sweep::SweepOptions so;
+  so.workers = o.workers;
+  std::FILE* stream = stdout;
+  if (!o.out.empty()) {
+    stream = std::fopen(o.out.c_str(), "w");
+    if (stream == nullptr) {
+      std::fprintf(stderr, "spsim: cannot open %s\n", o.out.c_str());
+      return 1;
+    }
+  }
+  so.stream = stream;
+  std::fprintf(stderr, "# sweep: %zu jobs\n", jobs.size());
+  const sweep::SweepReport rep = sweep::run_sweep(jobs, so);
+  if (stream != stdout) std::fclose(stream);
+  if (!o.json_out.empty() && !sweep::write_bench_json(rep, o.json_out)) {
+    std::fprintf(stderr, "spsim: cannot write %s\n", o.json_out.c_str());
+    return 1;
+  }
+  int ok_jobs = 0;
+  for (const auto& r : rep.results) ok_jobs += r.ok ? 1 : 0;
+  std::fprintf(stderr, "# sweep: %d/%zu ok, %d workers, %llu steals, verified=%s\n",
+               ok_jobs, rep.results.size(), rep.workers,
+               static_cast<unsigned long long>(rep.steals),
+               rep.all_verified() ? "yes" : "NO");
+  for (const auto& row : rep.rows) {
+    std::fprintf(stderr, "#   %-10s %-8s n=%-3d p50=%.3fms p90=%.3fms p99=%.3fms\n",
+                 row.workload.c_str(), row.backend.c_str(), row.jobs, row.p50_ms, row.p90_ms,
+                 row.p99_ms);
+  }
+  return rep.all_ok() && rep.all_verified() ? 0 : 1;
 }
 
 // Shared by trace/metrics: one message exchange with both trace systems on.
@@ -538,5 +774,8 @@ int main(int argc, char** argv) {
   if (o.cmd == "trace") return cmd_trace(o);
   if (o.cmd == "metrics") return cmd_metrics(o);
   if (o.cmd == "explore") return cmd_explore(o);
+  if (o.cmd == "record") return cmd_record(o);
+  if (o.cmd == "replay") return cmd_replay(o);
+  if (o.cmd == "sweep") return cmd_sweep(o);
   usage();
 }
